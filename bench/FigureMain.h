@@ -1,0 +1,41 @@
+//===- bench/FigureMain.h - Shared driver for the figure benches -*-C++-*-===//
+///
+/// \file
+/// Each Figure 6-13 bench binary parameterizes this driver: it loads (or
+/// builds) the trained model artifacts, measures the suite under the
+/// baseline and the five leave-one-out model sets, and prints the figure's
+/// rows. Set JITML_RUNS to override the repetition count (the paper used
+/// 30 runs per configuration) and JITML_CACHE_DIR to relocate the
+/// collection cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_BENCH_FIGUREMAIN_H
+#define JITML_BENCH_FIGUREMAIN_H
+
+#include "harness/FigureReport.h"
+
+#include <cstdio>
+
+namespace jitml {
+
+inline int runFigureBench(const char *Title, FigureMetric Metric,
+                          Suite BenchSuite, unsigned Iterations,
+                          unsigned DefaultRuns) {
+  FigureRequest Request;
+  Request.Title = Title;
+  Request.Metric = Metric;
+  Request.BenchSuite = BenchSuite;
+  Request.Iterations = Iterations;
+  Request.Runs = configuredRuns(DefaultRuns);
+
+  ModelStore::Artifacts Artifacts = ModelStore::getOrBuild(true);
+  FigureData Data = runFigure(Request, Artifacts);
+  std::string Report = formatFigure(Request, Data);
+  std::fputs(Report.c_str(), stdout);
+  return 0;
+}
+
+} // namespace jitml
+
+#endif // JITML_BENCH_FIGUREMAIN_H

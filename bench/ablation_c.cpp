@@ -1,0 +1,71 @@
+//===- bench/ablation_c.cpp -----------------------------------------------===//
+//
+// Ablation: the SVM misclassification cost C. The paper empirically
+// selected C = 10 "to balance the quality of the model generated and the
+// training time". This sweep reports training time, training accuracy and
+// end-to-end start-up quality across C values.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/FigureReport.h"
+#include "harness/ModelStore.h"
+#include "support/TablePrinter.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace jitml;
+
+int main() {
+  ModelStore::Artifacts A = ModelStore::getOrBuild(true);
+  IntermediateDataSet Merged = mergeAll(A.PerBenchmark);
+  TrainConfig TC = ModelStore::trainConfig();
+
+  std::vector<RankedInstance> Ranked =
+      rankRecords(Merged, OptLevel::Warm, TC.Selection, TC.Triggers);
+  Scaling S = Scaling::fit(Ranked);
+  LabelMap Labels;
+  std::vector<NormalizedInstance> Data =
+      normalizeInstances(Ranked, S, Labels);
+  std::printf("warm-level data: %zu instances, %zu classes\n", Data.size(),
+              Labels.size());
+
+  TablePrinter Table;
+  Table.setHeader({"C", "train (ms)", "iterations", "train acc",
+                   "startup geomean"});
+  unsigned Runs = configuredRuns(8);
+  for (double C : {0.1, 1.0, 10.0, 100.0, 1000.0}) {
+    TrainOptions TO = TC.Svm;
+    TO.C = C;
+    auto T0 = std::chrono::steady_clock::now();
+    TrainReport Report;
+    LinearModel Model = trainCrammerSinger(Data, TO, &Report);
+    double Ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - T0)
+                    .count();
+    (void)Model;
+    // End-to-end quality: train a full model set at this C and measure
+    // start-up on two reservation benchmarks.
+    TrainConfig Variant = TC;
+    Variant.Svm.C = C;
+    ModelSet Set = trainModelSet(Merged, "c-sweep", Variant);
+    std::vector<double> Values;
+    for (const char *Code : {"js", "jc"}) {
+      Program P = buildWorkload(workloadByCode(Code));
+      ExperimentConfig EC;
+      EC.Iterations = 1;
+      EC.Runs = Runs;
+      Series Baseline = measureSeries(P, EC, nullptr);
+      LearnedStrategyProvider Provider(Set);
+      Series Learned = measureSeries(P, EC, &Provider);
+      Values.push_back(relativePerformance(Baseline, Learned).Value);
+    }
+    Table.addRow({TablePrinter::fmt(C, 1), TablePrinter::fmt(Ms, 1),
+                  std::to_string(Report.Iterations),
+                  TablePrinter::fmt(Report.TrainAccuracy, 3),
+                  TablePrinter::fmt(geometricMean(Values), 3)});
+  }
+  std::printf("== Ablation: misclassification cost C (paper: C = 10) ==\n%s",
+              Table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,18 @@
+//===- bench/fig10_throughput_spec.cpp ------------------------------------===//
+//
+// Figure 10: "Throughput performance results (10 iterations) for
+// SPECjvm98." Expected shape: the learned models are "not as successful":
+// the hand-tuned adaptive baseline wins on most benchmarks (bars around or
+// below 1.0), with occasional exceptions (the paper singles out javac),
+// and less variation between models than in the start-up results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureMain.h"
+
+int main() {
+  return jitml::runFigureBench(
+      "Figure 10: SPECjvm98 throughput performance (10 iterations)",
+      jitml::FigureMetric::ThroughputPerformance, jitml::Suite::SpecJvm98,
+      /*Iterations=*/10, /*DefaultRuns=*/12);
+}

@@ -1,0 +1,17 @@
+//===- bench/fig11_throughput_dacapo.cpp ----------------------------------===//
+//
+// Figure 11: DaCapo throughput performance (10 iterations). Expected
+// shape: mostly at or below 1.0 (the baseline's hand-tuned plans win once
+// compilation is amortized), with isolated exceptions (the paper singles
+// out tomcat).
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureMain.h"
+
+int main() {
+  return jitml::runFigureBench(
+      "Figure 11: DaCapo throughput performance (10 iterations)",
+      jitml::FigureMetric::ThroughputPerformance, jitml::Suite::DaCapo,
+      /*Iterations=*/10, /*DefaultRuns=*/12);
+}

@@ -1,0 +1,16 @@
+//===- bench/fig12_compile_tp_spec.cpp ------------------------------------===//
+//
+// Figure 12: "Relative compilation time for SPECjvm98" under throughput
+// (10 iteration) runs. Expected shape: "the significant reduction in the
+// compilation time is consistent when throughput performance is measured".
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureMain.h"
+
+int main() {
+  return jitml::runFigureBench(
+      "Figure 12: SPECjvm98 relative compilation time (10 iterations)",
+      jitml::FigureMetric::CompileTime, jitml::Suite::SpecJvm98,
+      /*Iterations=*/10, /*DefaultRuns=*/12);
+}

@@ -1,0 +1,14 @@
+//===- bench/fig13_compile_tp_dacapo.cpp ----------------------------------===//
+//
+// Figure 13: relative compilation time for DaCapo under throughput runs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureMain.h"
+
+int main() {
+  return jitml::runFigureBench(
+      "Figure 13: DaCapo relative compilation time (10 iterations)",
+      jitml::FigureMetric::CompileTime, jitml::Suite::DaCapo,
+      /*Iterations=*/10, /*DefaultRuns=*/12);
+}

@@ -1,0 +1,18 @@
+//===- bench/fig6_startup_spec.cpp ----------------------------------------===//
+//
+// Figure 6: "Start-up performance results (single iteration) for SPECjvm98
+// relative to Testarossa, where higher bars are better." Expected shape:
+// the learned models win on average (the paper reports 10-22% average
+// improvement depending on the model), with visible variance across the
+// five leave-one-out models on the reservation-set benchmarks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureMain.h"
+
+int main() {
+  return jitml::runFigureBench(
+      "Figure 6: SPECjvm98 start-up performance (1 iteration)",
+      jitml::FigureMetric::StartupPerformance, jitml::Suite::SpecJvm98,
+      /*Iterations=*/1, /*DefaultRuns=*/30);
+}

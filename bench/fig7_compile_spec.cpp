@@ -1,0 +1,18 @@
+//===- bench/fig7_compile_spec.cpp ----------------------------------------===//
+//
+// Figure 7: "Start-up compilation time (single iteration) for SPECjvm98
+// relative to Testarossa, where lower bars are better." Expected shape:
+// roughly half the baseline compilation time ("the compilation time is
+// less than half of the compilation time in the unmodified Testarossa. In
+// some instances, such as jess, a five-fold reduction ... is observed").
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureMain.h"
+
+int main() {
+  return jitml::runFigureBench(
+      "Figure 7: SPECjvm98 start-up compilation time (1 iteration)",
+      jitml::FigureMetric::CompileTime, jitml::Suite::SpecJvm98,
+      /*Iterations=*/1, /*DefaultRuns=*/30);
+}

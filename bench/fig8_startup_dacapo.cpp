@@ -1,0 +1,18 @@
+//===- bench/fig8_startup_dacapo.cpp --------------------------------------===//
+//
+// Figure 8: DaCapo start-up performance with models trained ONLY on
+// SPECjvm98 — the generalization study. Expected shape: "even when
+// presented with a significantly different set of benchmarks, the models
+// delivered a modest performance gain for start-up performance"; every
+// benchmark shows all five models (DaCapo is entirely a reservation set).
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureMain.h"
+
+int main() {
+  return jitml::runFigureBench(
+      "Figure 8: DaCapo start-up performance (1 iteration)",
+      jitml::FigureMetric::StartupPerformance, jitml::Suite::DaCapo,
+      /*Iterations=*/1, /*DefaultRuns=*/30);
+}

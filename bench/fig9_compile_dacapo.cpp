@@ -1,0 +1,18 @@
+//===- bench/fig9_compile_dacapo.cpp --------------------------------------===//
+//
+// Figure 9: DaCapo start-up compilation time. Expected shape: significant
+// reductions, correlated with the Figure 8 performance gains ("a
+// correlation between the performance improvements and the
+// compilation-time reductions ... suggests that the learned models are
+// disabling unproductive transformations").
+//
+//===----------------------------------------------------------------------===//
+
+#include "FigureMain.h"
+
+int main() {
+  return jitml::runFigureBench(
+      "Figure 9: DaCapo start-up compilation time (1 iteration)",
+      jitml::FigureMetric::CompileTime, jitml::Suite::DaCapo,
+      /*Iterations=*/1, /*DefaultRuns=*/30);
+}

@@ -1,0 +1,82 @@
+//===- examples/adaptive_jit.cpp ------------------------------------------===//
+//
+// Watch the adaptive compilation control at work: run a synthetic
+// SPECjvm98-style benchmark for several application iterations and log
+// every compilation event (method, level, compile effort) exactly as the
+// VM's profiling sees it — the "when to compile and at which level"
+// behaviour the paper's Figure 1 control unit owns.
+//
+//   $ ./build/examples/adaptive_jit [benchmark-code] [iterations]
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/VirtualMachine.h"
+#include "workloads/Workload.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+using namespace jitml;
+
+namespace {
+
+class EventLogger : public JitEventListener {
+public:
+  explicit EventLogger(const Program &P, VirtualMachine &VM)
+      : Prog(P), VM(VM) {}
+
+  void onMethodEnter(uint32_t, const TscSample &) override {}
+  void onMethodExit(uint32_t, const TscSample &, bool) override {}
+  void onCompile(const CompileEvent &E) override {
+    std::printf("  [compile #%2llu] t=%-10.0f %-9s %-40s nodes=%-4u "
+                "effort=%.0f cycles\n",
+                (unsigned long long)++Count, VM.clock().cycles(),
+                optLevelName(E.Level),
+                Prog.signatureOf(E.MethodIndex).c_str(),
+                E.Features.counter(CF_TreeNodes), E.CompileCycles);
+    ++PerLevel[E.Level];
+  }
+
+  uint64_t Count = 0;
+  std::map<OptLevel, unsigned> PerLevel;
+
+private:
+  const Program &Prog;
+  VirtualMachine &VM;
+};
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  const char *Code = Argc > 1 ? Argv[1] : "mt";
+  unsigned Iterations = Argc > 2 ? (unsigned)std::atoi(Argv[2]) : 6;
+  const WorkloadSpec &Spec = workloadByCode(Code);
+  std::printf("benchmark %s (%s suite), %u iterations\n",
+              Spec.Name.c_str(),
+              Spec.BenchSuite == Suite::SpecJvm98 ? "SPECjvm98" : "DaCapo",
+              Iterations);
+
+  Program P = buildWorkload(Spec);
+  VirtualMachine::Config Cfg;
+  VirtualMachine VM(P, Cfg);
+  EventLogger Logger(P, VM);
+  VM.setListener(&Logger);
+
+  for (unsigned I = 0; I < Iterations; ++I) {
+    double Before = VM.clock().cycles();
+    ExecResult R = VM.run({Value::ofI((int64_t)I)});
+    std::printf("iteration %u: checksum=%lld cycles=%.0f\n", I,
+                (long long)R.Ret.I, VM.clock().cycles() - Before);
+  }
+
+  std::printf("\nsummary: %llu invocations, %llu interpreted, "
+              "%llu compilations (app=%.0f cycles, compile=%.0f cycles)\n",
+              (unsigned long long)VM.stats().Invocations,
+              (unsigned long long)VM.stats().InterpretedInvocations,
+              (unsigned long long)VM.stats().Compilations,
+              VM.stats().AppCycles, VM.stats().CompileCycles);
+  for (auto [Level, N] : Logger.PerLevel)
+    std::printf("  %-9s x%u\n", optLevelName(Level), N);
+  return 0;
+}

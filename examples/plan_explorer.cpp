@@ -1,0 +1,122 @@
+//===- examples/plan_explorer.cpp -----------------------------------------===//
+//
+// Explore the compilation-plan modifier space for one method, the way the
+// data-collection campaign does (section 5): generate modifiers with both
+// search strategies, compile the method with each, measure run and
+// compile time under the cycle model, and rank the plans with Eq. 2
+// (V = R/I + C/T_h). Prints the best plans found, which transformations
+// they disabled, and where the null modifier (the hand-tuned plan) landed.
+//
+//   $ ./build/examples/plan_explorer [benchmark-code] [level 0-4] [count]
+//
+//===----------------------------------------------------------------------===//
+
+#include "modifiers/StrategyControl.h"
+#include "runtime/VirtualMachine.h"
+#include "support/TablePrinter.h"
+#include "workloads/Workload.h"
+
+#include <algorithm>
+#include <set>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace jitml;
+
+int main(int Argc, char **Argv) {
+  const char *Code = Argc > 1 ? Argv[1] : "co";
+  OptLevel Level = Argc > 2 ? (OptLevel)std::atoi(Argv[2]) : OptLevel::Hot;
+  unsigned Count = Argc > 3 ? (unsigned)std::atoi(Argv[3]) : 60;
+
+  Program P = buildWorkload(workloadByCode(Code));
+  // Pick the first loop kernel: the most interesting plan-space subject.
+  uint32_t Method = UINT32_MAX;
+  for (uint32_t M = 0; M < P.numMethods(); ++M)
+    if (P.methodAt(M).Name.find("Kernel") != std::string::npos) {
+      Method = M;
+      break;
+    }
+  if (Method == UINT32_MAX) {
+    std::fprintf(stderr, "no kernel method found\n");
+    return 1;
+  }
+  std::printf("exploring %u modifiers for %s at level %s\n", Count,
+              P.signatureOf(Method).c_str(), optLevelName(Level));
+
+  // Candidate modifiers: null + half randomized + half progressive,
+  // deduplicated (the progressive sequence starts at the null modifier).
+  Rng R(0x5eeded);
+  std::vector<PlanModifier> Candidates{PlanModifier()};
+  std::set<uint64_t> Seen{PlanModifier().raw()};
+  auto AddAll = [&](std::vector<PlanModifier> Mods) {
+    for (PlanModifier &M : Mods)
+      if (Seen.insert(M.raw()).second)
+        Candidates.push_back(M);
+  };
+  AddAll(generateRandomizedModifiers(R, Count / 2));
+  AddAll(generateProgressiveModifiers(R, Count / 2));
+
+  struct Outcome {
+    PlanModifier Mod;
+    double RunPerInvocation;
+    double CompileCycles;
+    double V;
+  };
+  std::vector<Outcome> Outcomes;
+  const unsigned Invocations = 6;
+  const double Th = 300.0; // warm-tier trigger: amortization horizon
+
+  for (const PlanModifier &Mod : Candidates) {
+    VirtualMachine::Config Cfg;
+    Cfg.Control.Enabled = false;
+    VirtualMachine VM(P, Cfg);
+    VM.compileWithPlan(Method, planForLevel(Level), Mod);
+    double Compile = VM.nativeOf(Method)->CompileCycles;
+    double Before = VM.clock().cycles();
+    bool Ok = true;
+    for (unsigned I = 0; I < Invocations && Ok; ++I) {
+      ExecResult Res = VM.invoke(Method, {Value::ofI((int64_t)(40 + I))});
+      Ok = !Res.Exceptional;
+    }
+    if (!Ok)
+      continue;
+    double Run = (VM.clock().cycles() - Before) / Invocations;
+    Outcomes.push_back({Mod, Run, Compile, Run + Compile / Th});
+  }
+
+  std::sort(Outcomes.begin(), Outcomes.end(),
+            [](const Outcome &A, const Outcome &B) { return A.V < B.V; });
+  size_t NullRank = 0;
+  for (size_t I = 0; I < Outcomes.size(); ++I)
+    if (Outcomes[I].Mod.isNull())
+      NullRank = I + 1;
+
+  TablePrinter Table;
+  Table.setHeader({"rank", "V (Eq.2)", "run/invoc", "compile", "#disabled",
+                   "disabled transformations"});
+  for (size_t I = 0; I < Outcomes.size() && I < 8; ++I) {
+    const Outcome &O = Outcomes[I];
+    std::string Disabled;
+    unsigned Shown = 0;
+    for (unsigned K = 0; K < NumTransformations; ++K)
+      if (O.Mod.disables((TransformationKind)K)) {
+        if (Shown++ == 4) {
+          Disabled += ", ...";
+          break;
+        }
+        if (!Disabled.empty())
+          Disabled += ", ";
+        Disabled += transformationName((TransformationKind)K);
+      }
+    if (O.Mod.isNull())
+      Disabled = "(null modifier: original plan)";
+    Table.addRow({std::to_string(I + 1), TablePrinter::fmt(O.V, 1),
+                  TablePrinter::fmt(O.RunPerInvocation, 1),
+                  TablePrinter::fmt(O.CompileCycles, 0),
+                  std::to_string(O.Mod.numDisabled()), Disabled});
+  }
+  std::fputs(Table.render().c_str(), stdout);
+  std::printf("\nnull modifier ranked %zu of %zu evaluated plans\n",
+              NullRank, Outcomes.size());
+  return 0;
+}

@@ -1,0 +1,129 @@
+//===- bridge/Message.cpp -------------------------------------------------===//
+
+#include "bridge/Message.h"
+
+#include <cstring>
+
+using namespace jitml;
+
+Transport::~Transport() = default;
+
+namespace {
+
+void putU16(std::vector<uint8_t> &Out, uint16_t V) {
+  Out.push_back((uint8_t)(V & 0xff));
+  Out.push_back((uint8_t)(V >> 8));
+}
+
+void putU32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back((uint8_t)(V >> (8 * I)));
+}
+
+void putU64(std::vector<uint8_t> &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back((uint8_t)(V >> (8 * I)));
+}
+
+void putF64(std::vector<uint8_t> &Out, double V) {
+  uint64_t Bits;
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  putU64(Out, Bits);
+}
+
+uint16_t getU16(const uint8_t *P) {
+  return (uint16_t)(P[0] | (P[1] << 8));
+}
+
+uint64_t getU64(const uint8_t *P) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= (uint64_t)P[I] << (8 * I);
+  return V;
+}
+
+double getF64(const uint8_t *P) {
+  uint64_t Bits = getU64(P);
+  double V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+} // namespace
+
+bool jitml::sendMessage(Transport &T, const Message &M) {
+  std::vector<uint8_t> Payload;
+  Payload.push_back((uint8_t)M.Type);
+  switch (M.Type) {
+  case MsgType::Hello:
+    Payload.push_back(M.Version);
+    break;
+  case MsgType::Features:
+    Payload.push_back((uint8_t)M.Level);
+    putU16(Payload, (uint16_t)M.FeatureValues.size());
+    for (double V : M.FeatureValues)
+      putF64(Payload, V);
+    break;
+  case MsgType::Modifier:
+    putU64(Payload, M.ModifierBits);
+    break;
+  case MsgType::Error:
+    Payload.insert(Payload.end(), M.Text.begin(), M.Text.end());
+    break;
+  case MsgType::Bye:
+    break;
+  }
+  std::vector<uint8_t> Frame;
+  putU32(Frame, (uint32_t)Payload.size());
+  Frame.insert(Frame.end(), Payload.begin(), Payload.end());
+  return T.writeBytes(Frame.data(), Frame.size());
+}
+
+bool jitml::recvMessage(Transport &T, Message &Out) {
+  uint8_t Head[4];
+  if (!T.readBytes(Head, 4))
+    return false;
+  uint32_t Size = Head[0] | (Head[1] << 8) | (Head[2] << 16) |
+                  ((uint32_t)Head[3] << 24);
+  if (Size == 0 || Size > (1u << 20))
+    return false;
+  std::vector<uint8_t> Payload(Size);
+  if (!T.readBytes(Payload.data(), Size))
+    return false;
+  Out = Message();
+  Out.Type = (MsgType)Payload[0];
+  const uint8_t *P = Payload.data() + 1;
+  size_t Rest = Size - 1;
+  switch (Out.Type) {
+  case MsgType::Hello:
+    if (Rest != 1)
+      return false;
+    Out.Version = P[0];
+    return true;
+  case MsgType::Features: {
+    if (Rest < 3)
+      return false;
+    Out.Level = (OptLevel)P[0];
+    if ((unsigned)Out.Level >= NumOptLevels)
+      return false;
+    uint16_t Count = getU16(P + 1);
+    if (Rest != 3 + (size_t)Count * 8)
+      return false;
+    Out.FeatureValues.resize(Count);
+    for (uint16_t I = 0; I < Count; ++I)
+      Out.FeatureValues[I] = getF64(P + 3 + (size_t)I * 8);
+    return true;
+  }
+  case MsgType::Modifier:
+    if (Rest != 8)
+      return false;
+    Out.ModifierBits = getU64(P);
+    return true;
+  case MsgType::Error:
+    Out.Text.assign(reinterpret_cast<const char *>(P), Rest);
+    return true;
+  case MsgType::Bye:
+    return Rest == 0;
+  }
+  return false;
+}

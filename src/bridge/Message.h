@@ -1,0 +1,71 @@
+//===- bridge/Message.h - Compiler <-> model protocol -----------*- C++ -*-===//
+///
+/// \file
+/// The "lean and versatile communication protocol that integrates the
+/// machine-learned models with the compiler and allows different models to
+/// be easily swapped without changes to the compiler" (paper contribution
+/// 4). Messages are length-prefixed frames over a byte-stream transport:
+///
+///   frame  := length u32le | type u8 | payload
+///   Hello  := version u8
+///   Features := level u8 | count u16le | count x f64le (raw features)
+///   Modifier := bits u64le
+///   Error  := utf-8 text
+///   Bye    := (empty)
+///
+/// The model side owns the scaling file and the label lookup table, so the
+/// compiler ships raw feature values and receives a ready-to-install
+/// 58-bit modifier (section 7).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_BRIDGE_MESSAGE_H
+#define JITML_BRIDGE_MESSAGE_H
+
+#include "opt/Plan.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jitml {
+
+enum class MsgType : uint8_t {
+  Hello = 1,
+  Features = 2,
+  Modifier = 3,
+  Error = 4,
+  Bye = 5,
+};
+
+struct Message {
+  MsgType Type = MsgType::Bye;
+  // Payload variants (valid per Type).
+  uint8_t Version = 1;                ///< Hello
+  OptLevel Level = OptLevel::Cold;    ///< Features
+  std::vector<double> FeatureValues;  ///< Features
+  uint64_t ModifierBits = 0;          ///< Modifier
+  std::string Text;                   ///< Error
+};
+
+/// Byte-stream transport. Implementations must deliver bytes in order and
+/// block until the requested amount is available (or the peer goes away).
+class Transport {
+public:
+  virtual ~Transport();
+  /// Writes all bytes; false on a broken connection.
+  virtual bool writeBytes(const uint8_t *Data, size_t Size) = 0;
+  /// Reads exactly \p Size bytes; false on EOF / broken connection.
+  virtual bool readBytes(uint8_t *Data, size_t Size) = 0;
+};
+
+/// Frames and sends \p M. Returns false on transport failure.
+bool sendMessage(Transport &T, const Message &M);
+
+/// Receives one frame. Returns false on EOF, transport failure, or a
+/// malformed frame.
+bool recvMessage(Transport &T, Message &Out);
+
+} // namespace jitml
+
+#endif // JITML_BRIDGE_MESSAGE_H

@@ -1,0 +1,84 @@
+//===- bridge/ModelService.cpp --------------------------------------------===//
+
+#include "bridge/ModelService.h"
+
+using namespace jitml;
+
+ModelBackend::~ModelBackend() = default;
+
+uint64_t jitml::serveModel(Transport &T, ModelBackend &Backend) {
+  uint64_t Served = 0;
+  Message In;
+  while (recvMessage(T, In)) {
+    switch (In.Type) {
+    case MsgType::Hello: {
+      Message Reply;
+      Reply.Type = MsgType::Hello;
+      Reply.Version = 1;
+      if (!sendMessage(T, Reply))
+        return Served;
+      break;
+    }
+    case MsgType::Features: {
+      std::optional<uint64_t> Bits =
+          Backend.predictModifier(In.Level, In.FeatureValues);
+      Message Reply;
+      if (Bits) {
+        Reply.Type = MsgType::Modifier;
+        Reply.ModifierBits = *Bits;
+      } else {
+        Reply.Type = MsgType::Error;
+        Reply.Text = "no model for level";
+      }
+      if (!sendMessage(T, Reply))
+        return Served;
+      ++Served;
+      break;
+    }
+    case MsgType::Bye:
+      return Served;
+    default: {
+      Message Reply;
+      Reply.Type = MsgType::Error;
+      Reply.Text = "unexpected message";
+      if (!sendMessage(T, Reply))
+        return Served;
+      break;
+    }
+    }
+  }
+  return Served;
+}
+
+bool ModelClient::hello() {
+  Message M;
+  M.Type = MsgType::Hello;
+  M.Version = 1;
+  if (!sendMessage(T, M))
+    return false;
+  Message Reply;
+  return recvMessage(T, Reply) && Reply.Type == MsgType::Hello &&
+         Reply.Version == 1;
+}
+
+std::optional<uint64_t>
+ModelClient::requestModifier(OptLevel Level, const FeatureVector &Features) {
+  Message M;
+  M.Type = MsgType::Features;
+  M.Level = Level;
+  M.FeatureValues.reserve(NumFeatures);
+  for (unsigned I = 0; I < NumFeatures; ++I)
+    M.FeatureValues.push_back((double)Features.get(I));
+  if (!sendMessage(T, M))
+    return std::nullopt;
+  Message Reply;
+  if (!recvMessage(T, Reply) || Reply.Type != MsgType::Modifier)
+    return std::nullopt;
+  return Reply.ModifierBits;
+}
+
+void ModelClient::bye() {
+  Message M;
+  M.Type = MsgType::Bye;
+  sendMessage(T, M);
+}

@@ -1,0 +1,60 @@
+//===- bridge/ModelService.h - Model server and compiler client -*- C++ -*-===//
+///
+/// \file
+/// The two endpoints of Figure 5's compiler/model integration:
+///
+///  * ModelServer — wraps a prediction backend and answers Features
+///    requests with Modifier replies until Bye/EOF. The backend interface
+///    is what makes models swappable "without changes to the compiler".
+///  * ModelClient — the Strategy Control side: ships the raw feature
+///    vector and the selected optimization level, gets back the 58-bit
+///    modifier to install.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_BRIDGE_MODELSERVICE_H
+#define JITML_BRIDGE_MODELSERVICE_H
+
+#include "bridge/Transports.h"
+#include "features/FeatureVector.h"
+
+#include <optional>
+
+namespace jitml {
+
+/// Anything that can map (level, raw features) to a modifier bit pattern.
+class ModelBackend {
+public:
+  virtual ~ModelBackend();
+  /// Returns the modifier bits, or std::nullopt when no model covers the
+  /// level (the caller then falls back to the null modifier).
+  virtual std::optional<uint64_t>
+  predictModifier(OptLevel Level, const std::vector<double> &RawFeatures) = 0;
+};
+
+/// Serves one connection: replies to Hello and Features, stops on Bye or
+/// transport EOF. Returns the number of predictions served.
+uint64_t serveModel(Transport &T, ModelBackend &Backend);
+
+class ModelClient {
+public:
+  explicit ModelClient(Transport &T) : T(T) {}
+
+  /// Performs the Hello handshake; false on protocol mismatch.
+  bool hello();
+
+  /// Requests a modifier for (Level, Features). std::nullopt on transport
+  /// failure or a server-side Error reply.
+  std::optional<uint64_t> requestModifier(OptLevel Level,
+                                          const FeatureVector &Features);
+
+  /// Polite shutdown.
+  void bye();
+
+private:
+  Transport &T;
+};
+
+} // namespace jitml
+
+#endif // JITML_BRIDGE_MODELSERVICE_H

@@ -1,0 +1,134 @@
+//===- bridge/Transports.cpp ----------------------------------------------===//
+
+#include "bridge/Transports.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace jitml;
+
+void ByteQueue::push(const uint8_t *Data, size_t Size) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Bytes.insert(Bytes.end(), Data, Data + Size);
+  }
+  Cv.notify_all();
+}
+
+bool ByteQueue::pop(uint8_t *Data, size_t Size) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  Cv.wait(Lock, [&] { return Bytes.size() >= Size || Closed; });
+  if (Bytes.size() < Size)
+    return false; // closed with insufficient data
+  for (size_t I = 0; I < Size; ++I) {
+    Data[I] = Bytes.front();
+    Bytes.pop_front();
+  }
+  return true;
+}
+
+void ByteQueue::close() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Closed = true;
+  }
+  Cv.notify_all();
+}
+
+InProcessPipe::~InProcessPipe() { close(); }
+
+bool InProcessPipe::writeBytes(const uint8_t *Data, size_t Size) {
+  Out->push(Data, Size);
+  return true;
+}
+
+bool InProcessPipe::readBytes(uint8_t *Data, size_t Size) {
+  return In->pop(Data, Size);
+}
+
+void InProcessPipe::close() {
+  Out->close();
+  In->close();
+}
+
+std::pair<std::unique_ptr<InProcessPipe>, std::unique_ptr<InProcessPipe>>
+InProcessPipe::makePair() {
+  auto AtoB = std::make_shared<ByteQueue>();
+  auto BtoA = std::make_shared<ByteQueue>();
+  auto A = std::make_unique<InProcessPipe>(AtoB, BtoA);
+  auto B = std::make_unique<InProcessPipe>(BtoA, AtoB);
+  return {std::move(A), std::move(B)};
+}
+
+FifoTransport::~FifoTransport() {
+  if (ReadFd >= 0)
+    ::close(ReadFd);
+  if (WriteFd >= 0)
+    ::close(WriteFd);
+}
+
+bool FifoTransport::createPipes(const std::string &ToServerPath,
+                                const std::string &ToClientPath) {
+  ::unlink(ToServerPath.c_str());
+  ::unlink(ToClientPath.c_str());
+  if (::mkfifo(ToServerPath.c_str(), 0600) != 0)
+    return false;
+  if (::mkfifo(ToClientPath.c_str(), 0600) != 0) {
+    ::unlink(ToServerPath.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<FifoTransport>
+FifoTransport::open(const std::string &ToServerPath,
+                    const std::string &ToClientPath, bool IsServer) {
+  // FIFO open order matters: both sides open their read end first in
+  // opposite order to avoid deadlock. The server reads ToServer and
+  // writes ToClient; opening read ends blocks until a writer appears, so
+  // the client opens its write end first.
+  int ReadFd = -1, WriteFd = -1;
+  if (IsServer) {
+    ReadFd = ::open(ToServerPath.c_str(), O_RDONLY);
+    if (ReadFd < 0)
+      return nullptr;
+    WriteFd = ::open(ToClientPath.c_str(), O_WRONLY);
+    if (WriteFd < 0) {
+      ::close(ReadFd);
+      return nullptr;
+    }
+  } else {
+    WriteFd = ::open(ToServerPath.c_str(), O_WRONLY);
+    if (WriteFd < 0)
+      return nullptr;
+    ReadFd = ::open(ToClientPath.c_str(), O_RDONLY);
+    if (ReadFd < 0) {
+      ::close(WriteFd);
+      return nullptr;
+    }
+  }
+  return std::unique_ptr<FifoTransport>(new FifoTransport(ReadFd, WriteFd));
+}
+
+bool FifoTransport::writeBytes(const uint8_t *Data, size_t Size) {
+  size_t Done = 0;
+  while (Done < Size) {
+    ssize_t N = ::write(WriteFd, Data + Done, Size - Done);
+    if (N <= 0)
+      return false;
+    Done += (size_t)N;
+  }
+  return true;
+}
+
+bool FifoTransport::readBytes(uint8_t *Data, size_t Size) {
+  size_t Done = 0;
+  while (Done < Size) {
+    ssize_t N = ::read(ReadFd, Data + Done, Size - Done);
+    if (N <= 0)
+      return false;
+    Done += (size_t)N;
+  }
+  return true;
+}

@@ -1,0 +1,93 @@
+//===- bridge/Transports.h - In-process and named-pipe transports -*-C++-*-===//
+///
+/// \file
+/// Two Transport implementations:
+///
+///  * InProcessPipe — a thread-safe byte queue pair for deterministic
+///    tests and for running the model "service" on a thread inside the
+///    same process;
+///  * FifoTransport — POSIX named pipes, the mechanism the paper used:
+///    "the machine-learned model is in a separate process and the
+///    communication between Testarossa and the model uses named pipes ...
+///    a flexible prototype enabling the machine-learned model to be
+///    replaced without any change to the rest of the infrastructure."
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_BRIDGE_TRANSPORTS_H
+#define JITML_BRIDGE_TRANSPORTS_H
+
+#include "bridge/Message.h"
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+namespace jitml {
+
+/// One direction of an in-process byte stream.
+class ByteQueue {
+public:
+  void push(const uint8_t *Data, size_t Size);
+  /// Blocks until \p Size bytes are available or the queue is closed.
+  bool pop(uint8_t *Data, size_t Size);
+  void close();
+
+private:
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<uint8_t> Bytes;
+  bool Closed = false;
+};
+
+/// A bidirectional in-process pipe; create a pair with makePair().
+class InProcessPipe : public Transport {
+public:
+  InProcessPipe(std::shared_ptr<ByteQueue> Out, std::shared_ptr<ByteQueue> In)
+      : Out(std::move(Out)), In(std::move(In)) {}
+  ~InProcessPipe() override;
+
+  bool writeBytes(const uint8_t *Data, size_t Size) override;
+  bool readBytes(uint8_t *Data, size_t Size) override;
+  void close();
+
+  /// Creates two connected endpoints (client, server).
+  static std::pair<std::unique_ptr<InProcessPipe>,
+                   std::unique_ptr<InProcessPipe>>
+  makePair();
+
+private:
+  std::shared_ptr<ByteQueue> Out;
+  std::shared_ptr<ByteQueue> In;
+};
+
+/// Named-pipe (FIFO) transport. Each side opens the pair of FIFOs in
+/// opposite roles.
+class FifoTransport : public Transport {
+public:
+  ~FifoTransport() override;
+
+  /// Creates the two FIFO files (unlinking stale ones). Returns false when
+  /// mkfifo fails.
+  static bool createPipes(const std::string &ToServerPath,
+                          const std::string &ToClientPath);
+
+  /// Opens as the client (writes ToServer, reads ToClient) or the server.
+  /// Open blocks until the peer arrives, exactly like real named pipes.
+  static std::unique_ptr<FifoTransport>
+  open(const std::string &ToServerPath, const std::string &ToClientPath,
+       bool IsServer);
+
+  bool writeBytes(const uint8_t *Data, size_t Size) override;
+  bool readBytes(uint8_t *Data, size_t Size) override;
+
+private:
+  FifoTransport(int ReadFd, int WriteFd) : ReadFd(ReadFd), WriteFd(WriteFd) {}
+  int ReadFd = -1;
+  int WriteFd = -1;
+};
+
+} // namespace jitml
+
+#endif // JITML_BRIDGE_TRANSPORTS_H

@@ -1,0 +1,404 @@
+//===- bytecode/Builder.cpp -----------------------------------------------===//
+
+#include "bytecode/Builder.h"
+
+using namespace jitml;
+
+ClassBuilder::ClassBuilder(Program &P, std::string Name, int32_t SuperIndex,
+                           ClassKind Kind)
+    : Prog(P) {
+  Info.Name = std::move(Name);
+  Info.SuperIndex = SuperIndex;
+  Info.Kind = Kind;
+  if (SuperIndex >= 0)
+    Info.FieldTypes = P.classAt((uint32_t)SuperIndex).FieldTypes;
+}
+
+uint32_t ClassBuilder::addField(DataType T) {
+  assert(!Finished && "class already finished");
+  Info.FieldTypes.push_back(T);
+  return (uint32_t)Info.FieldTypes.size() - 1;
+}
+
+uint32_t ClassBuilder::finish() {
+  assert(!Finished && "class already finished");
+  Finished = true;
+  return Prog.addClass(std::move(Info));
+}
+
+MethodBuilder::MethodBuilder(Program &P, std::string Name, int32_t ClassIndex,
+                             uint32_t Flags, std::vector<DataType> ArgTypes,
+                             DataType ReturnType)
+    : Prog(P) {
+  Info.Name = std::move(Name);
+  Info.ClassIndex = ClassIndex;
+  Info.Flags = Flags;
+  Info.ArgTypes = std::move(ArgTypes);
+  Info.ReturnType = ReturnType;
+  Info.LocalTypes = Info.ArgTypes;
+  Info.NumLocals = (uint32_t)Info.LocalTypes.size();
+}
+
+MethodBuilder::MethodBuilder(Program &P, uint32_t Predeclared)
+    : Prog(P), PredeclaredIndex((int32_t)Predeclared) {
+  const MethodInfo &Proto = P.methodAt(Predeclared);
+  assert(Proto.Code.empty() && "prototype already has a body");
+  Info.Name = Proto.Name;
+  Info.ClassIndex = Proto.ClassIndex;
+  Info.Flags = Proto.Flags;
+  Info.ArgTypes = Proto.ArgTypes;
+  Info.ReturnType = Proto.ReturnType;
+  Info.LocalTypes = Info.ArgTypes;
+  Info.NumLocals = (uint32_t)Info.LocalTypes.size();
+}
+
+uint32_t MethodBuilder::addLocal(DataType T) {
+  Info.LocalTypes.push_back(T);
+  return Info.NumLocals++;
+}
+
+MethodBuilder::Label MethodBuilder::newLabel() {
+  LabelPcs.push_back(-1);
+  return Label{(int32_t)LabelPcs.size() - 1};
+}
+
+void MethodBuilder::place(Label L) {
+  assert(L.Id >= 0 && (size_t)L.Id < LabelPcs.size() && "invalid label");
+  assert(LabelPcs[(size_t)L.Id] < 0 && "label placed twice");
+  LabelPcs[(size_t)L.Id] = (int32_t)Code.size();
+}
+
+MethodBuilder &MethodBuilder::emit(BcInst I) {
+  assert(!Finished && "method already finished");
+  Code.push_back(I);
+  return *this;
+}
+
+MethodBuilder &MethodBuilder::constI(DataType T, int64_t V) {
+  BcInst I;
+  I.Op = BcOp::Const;
+  I.Type = T;
+  I.ImmI = V;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::constF(DataType T, double V) {
+  BcInst I;
+  I.Op = BcOp::Const;
+  I.Type = T;
+  I.ImmF = V;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::load(uint32_t Slot) {
+  assert(Slot < Info.NumLocals && "load from undeclared local");
+  BcInst I;
+  I.Op = BcOp::Load;
+  I.Type = Info.LocalTypes[Slot];
+  I.A = (int32_t)Slot;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::store(uint32_t Slot) {
+  assert(Slot < Info.NumLocals && "store to undeclared local");
+  BcInst I;
+  I.Op = BcOp::Store;
+  I.Type = Info.LocalTypes[Slot];
+  I.A = (int32_t)Slot;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::inc(uint32_t Slot, int32_t By) {
+  assert(Slot < Info.NumLocals && "inc of undeclared local");
+  BcInst I;
+  I.Op = BcOp::Inc;
+  I.Type = Info.LocalTypes[Slot];
+  I.A = (int32_t)Slot;
+  I.B = By;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::getField(uint32_t Field, DataType T) {
+  BcInst I;
+  I.Op = BcOp::GetField;
+  I.Type = T;
+  I.A = (int32_t)Field;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::putField(uint32_t Field, DataType T) {
+  BcInst I;
+  I.Op = BcOp::PutField;
+  I.Type = T;
+  I.A = (int32_t)Field;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::getGlobal(uint32_t Slot, DataType T) {
+  BcInst I;
+  I.Op = BcOp::GetGlobal;
+  I.Type = T;
+  I.A = (int32_t)Slot;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::putGlobal(uint32_t Slot, DataType T) {
+  BcInst I;
+  I.Op = BcOp::PutGlobal;
+  I.Type = T;
+  I.A = (int32_t)Slot;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::aload(DataType ElemT) {
+  BcInst I;
+  I.Op = BcOp::ALoad;
+  I.Type = ElemT;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::astore(DataType ElemT) {
+  BcInst I;
+  I.Op = BcOp::AStore;
+  I.Type = ElemT;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::arrayLen() {
+  BcInst I;
+  I.Op = BcOp::ArrayLen;
+  I.Type = DataType::Int32;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::binop(BcOp Op, DataType T) {
+  assert((Op == BcOp::Add || Op == BcOp::Sub || Op == BcOp::Mul ||
+          Op == BcOp::Div || Op == BcOp::Rem || Op == BcOp::Shl ||
+          Op == BcOp::Shr || Op == BcOp::Or || Op == BcOp::And ||
+          Op == BcOp::Xor) &&
+         "binop expects an arithmetic/logical opcode");
+  BcInst I;
+  I.Op = Op;
+  I.Type = T;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::neg(DataType T) {
+  BcInst I;
+  I.Op = BcOp::Neg;
+  I.Type = T;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::cmp(DataType T) {
+  BcInst I;
+  I.Op = BcOp::Cmp;
+  I.Type = T;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::conv(DataType From, DataType To) {
+  BcInst I;
+  I.Op = BcOp::Conv;
+  I.Type = To;
+  I.A = (int32_t)From;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::ifCmp(BcCond C, Label Target) {
+  BcInst I;
+  I.Op = BcOp::IfCmp;
+  I.Type = DataType::Int32;
+  I.A = (int32_t)C;
+  Fixups.emplace_back((uint32_t)Code.size(), Target.Id);
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::ifZero(BcCond C, Label Target) {
+  BcInst I;
+  I.Op = BcOp::If;
+  I.Type = DataType::Int32;
+  I.A = (int32_t)C;
+  Fixups.emplace_back((uint32_t)Code.size(), Target.Id);
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::ifNull(Label Target) {
+  BcInst I;
+  I.Op = BcOp::IfRef;
+  I.Type = DataType::Object;
+  I.A = 0;
+  Fixups.emplace_back((uint32_t)Code.size(), Target.Id);
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::ifNonNull(Label Target) {
+  BcInst I;
+  I.Op = BcOp::IfRef;
+  I.Type = DataType::Object;
+  I.A = 1;
+  Fixups.emplace_back((uint32_t)Code.size(), Target.Id);
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::gotoLabel(Label Target) {
+  BcInst I;
+  I.Op = BcOp::Goto;
+  Fixups.emplace_back((uint32_t)Code.size(), Target.Id);
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::call(uint32_t Method) {
+  BcInst I;
+  I.Op = BcOp::Call;
+  I.Type = Prog.methodAt(Method).ReturnType;
+  I.A = (int32_t)Method;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::callVirtual(uint32_t Method) {
+  assert(!Prog.methodAt(Method).isStatic() &&
+         "virtual call to a static method");
+  BcInst I;
+  I.Op = BcOp::CallVirtual;
+  I.Type = Prog.methodAt(Method).ReturnType;
+  I.A = (int32_t)Method;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::ret() {
+  assert(Info.ReturnType == DataType::Void && "void return from a function");
+  BcInst I;
+  I.Op = BcOp::Return;
+  I.Type = DataType::Void;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::retValue(DataType T) {
+  assert(Info.ReturnType == T && "return type mismatch");
+  BcInst I;
+  I.Op = BcOp::Return;
+  I.Type = T;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::newObject(uint32_t Class) {
+  BcInst I;
+  I.Op = BcOp::New;
+  I.Type = DataType::Object;
+  I.A = (int32_t)Class;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::newArray(DataType ElemT) {
+  BcInst I;
+  I.Op = BcOp::NewArray;
+  I.Type = ElemT;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::newMultiArray(DataType ElemT, uint32_t Dims) {
+  assert(Dims >= 2 && "multi-array needs at least two dimensions");
+  BcInst I;
+  I.Op = BcOp::NewMultiArray;
+  I.Type = ElemT;
+  I.A = (int32_t)Dims;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::instanceOf(uint32_t Class) {
+  BcInst I;
+  I.Op = BcOp::InstanceOf;
+  I.Type = DataType::Int32;
+  I.A = (int32_t)Class;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::checkCast(uint32_t Class) {
+  BcInst I;
+  I.Op = BcOp::CheckCast;
+  I.Type = DataType::Object;
+  I.A = (int32_t)Class;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::monitorEnter() {
+  BcInst I;
+  I.Op = BcOp::MonitorEnter;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::monitorExit() {
+  BcInst I;
+  I.Op = BcOp::MonitorExit;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::throwRef() {
+  BcInst I;
+  I.Op = BcOp::Throw;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::arrayCopy() {
+  BcInst I;
+  I.Op = BcOp::ArrayCopy;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::arrayCmp() {
+  BcInst I;
+  I.Op = BcOp::ArrayCmp;
+  I.Type = DataType::Int32;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::pop(DataType T) {
+  BcInst I;
+  I.Op = BcOp::Pop;
+  I.Type = T;
+  return emit(I);
+}
+
+MethodBuilder &MethodBuilder::dup(DataType T) {
+  BcInst I;
+  I.Op = BcOp::Dup;
+  I.Type = T;
+  return emit(I);
+}
+
+uint32_t MethodBuilder::beginTry() { return (uint32_t)Code.size(); }
+
+void MethodBuilder::endTry(uint32_t StartPc, Label Handler,
+                           int32_t ClassIndex) {
+  ExceptionEntry E;
+  E.StartPc = StartPc;
+  E.EndPc = (uint32_t)Code.size();
+  E.ClassIndex = ClassIndex;
+  HandlerFixups.emplace_back((uint32_t)PendingHandlers.size(), Handler.Id);
+  PendingHandlers.push_back(E);
+}
+
+uint32_t MethodBuilder::finish() {
+  assert(!Finished && "method already finished");
+  Finished = true;
+  for (auto [Pc, LabelId] : Fixups) {
+    assert(LabelPcs[(size_t)LabelId] >= 0 && "branch to unplaced label");
+    // Branch target lives in B for conditional branches, A for Goto.
+    if (Code[Pc].Op == BcOp::Goto)
+      Code[Pc].A = LabelPcs[(size_t)LabelId];
+    else
+      Code[Pc].B = LabelPcs[(size_t)LabelId];
+  }
+  for (auto [Entry, LabelId] : HandlerFixups) {
+    assert(LabelPcs[(size_t)LabelId] >= 0 && "handler at unplaced label");
+    PendingHandlers[Entry].HandlerPc = (uint32_t)LabelPcs[(size_t)LabelId];
+  }
+  Info.Code = std::move(Code);
+  Info.ExceptionTable = std::move(PendingHandlers);
+  if (PredeclaredIndex >= 0) {
+    Prog.defineMethod((uint32_t)PredeclaredIndex, std::move(Info));
+    return (uint32_t)PredeclaredIndex;
+  }
+  return Prog.addMethod(std::move(Info));
+}

@@ -1,0 +1,129 @@
+//===- bytecode/Builder.h - Fluent bytecode construction -------*- C++ -*-===//
+///
+/// \file
+/// Builders for classes and method bodies. MethodBuilder provides label-based
+/// branch patching so workload generators and tests never deal with raw
+/// bytecode indices; finish() leaves a verifier-clean MethodInfo.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_BYTECODE_BUILDER_H
+#define JITML_BYTECODE_BUILDER_H
+
+#include "bytecode/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace jitml {
+
+/// Builds a class, flattening inherited fields into the field table.
+class ClassBuilder {
+public:
+  ClassBuilder(Program &P, std::string Name, int32_t SuperIndex = -1,
+               ClassKind Kind = ClassKind::Normal);
+
+  /// Appends an instance field; returns its index (inherited fields first).
+  uint32_t addField(DataType T);
+
+  /// Registers the class with the program; returns its index. Must be
+  /// called before methods are added on it.
+  uint32_t finish();
+
+private:
+  Program &Prog;
+  ClassInfo Info;
+  bool Finished = false;
+};
+
+/// Builds one method body with label-based control flow.
+class MethodBuilder {
+public:
+  /// Label handle; created by newLabel(), bound by place().
+  struct Label {
+    int32_t Id = -1;
+  };
+
+  MethodBuilder(Program &P, std::string Name, int32_t ClassIndex,
+                uint32_t Flags, std::vector<DataType> ArgTypes,
+                DataType ReturnType);
+
+  /// Builds the body of a method previously registered with
+  /// Program::declarePrototype (enables recursive call sites).
+  MethodBuilder(Program &P, uint32_t PredeclaredIndex);
+
+  /// Adds a temporary local slot of type \p T; returns its slot index.
+  uint32_t addLocal(DataType T);
+
+  Label newLabel();
+  /// Binds \p L to the next emitted instruction.
+  void place(Label L);
+
+  // Straight-line emission helpers. Each returns *this for chaining.
+  MethodBuilder &constI(DataType T, int64_t V);
+  MethodBuilder &constF(DataType T, double V);
+  MethodBuilder &load(uint32_t Slot);
+  MethodBuilder &store(uint32_t Slot);
+  MethodBuilder &inc(uint32_t Slot, int32_t By);
+  MethodBuilder &getField(uint32_t Field, DataType T);
+  MethodBuilder &putField(uint32_t Field, DataType T);
+  MethodBuilder &getGlobal(uint32_t Slot, DataType T);
+  MethodBuilder &putGlobal(uint32_t Slot, DataType T);
+  MethodBuilder &aload(DataType ElemT);
+  MethodBuilder &astore(DataType ElemT);
+  MethodBuilder &arrayLen();
+  MethodBuilder &binop(BcOp Op, DataType T);
+  MethodBuilder &neg(DataType T);
+  MethodBuilder &cmp(DataType T);
+  MethodBuilder &conv(DataType From, DataType To);
+  MethodBuilder &ifCmp(BcCond C, Label Target);
+  MethodBuilder &ifZero(BcCond C, Label Target);
+  MethodBuilder &ifNull(Label Target);
+  MethodBuilder &ifNonNull(Label Target);
+  MethodBuilder &gotoLabel(Label Target);
+  MethodBuilder &call(uint32_t Method);
+  MethodBuilder &callVirtual(uint32_t Method);
+  MethodBuilder &ret();                 ///< return void
+  MethodBuilder &retValue(DataType T);  ///< return top of stack
+  MethodBuilder &newObject(uint32_t Class);
+  MethodBuilder &newArray(DataType ElemT);
+  MethodBuilder &newMultiArray(DataType ElemT, uint32_t Dims);
+  MethodBuilder &instanceOf(uint32_t Class);
+  MethodBuilder &checkCast(uint32_t Class);
+  MethodBuilder &monitorEnter();
+  MethodBuilder &monitorExit();
+  MethodBuilder &throwRef();
+  MethodBuilder &arrayCopy();
+  MethodBuilder &arrayCmp();
+  MethodBuilder &pop(DataType T);
+  MethodBuilder &dup(DataType T);
+
+  /// Opens a protected region at the current pc.
+  uint32_t beginTry();
+  /// Closes the protected region started at \p StartPc; the handler is the
+  /// code at \p Handler, catching \p ClassIndex (-1 = any).
+  void endTry(uint32_t StartPc, Label Handler, int32_t ClassIndex = -1);
+
+  uint32_t currentPc() const { return (uint32_t)Code.size(); }
+
+  /// Patches labels, fills LocalTypes and registers the method with the
+  /// program. Asserts when any label is unbound. Returns the method index.
+  uint32_t finish();
+
+private:
+  MethodBuilder &emit(BcInst I);
+
+  Program &Prog;
+  MethodInfo Info;
+  int32_t PredeclaredIndex = -1;
+  std::vector<BcInst> Code;
+  std::vector<int32_t> LabelPcs;              ///< -1 while unbound
+  std::vector<std::pair<uint32_t, int32_t>> Fixups; ///< (inst pc, label id)
+  std::vector<std::pair<uint32_t, int32_t>> HandlerFixups; ///< (entry, label)
+  std::vector<ExceptionEntry> PendingHandlers;
+  bool Finished = false;
+};
+
+} // namespace jitml
+
+#endif // JITML_BYTECODE_BUILDER_H

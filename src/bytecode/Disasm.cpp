@@ -1,0 +1,98 @@
+//===- bytecode/Disasm.cpp ------------------------------------------------===//
+
+#include "bytecode/Disasm.h"
+
+#include <cstdio>
+
+using namespace jitml;
+
+std::string jitml::disassemble(const Program &P, const BcInst &I) {
+  char Buf[256];
+  switch (I.Op) {
+  case BcOp::Const:
+    if (isFloatType(I.Type))
+      std::snprintf(Buf, sizeof(Buf), "const.%s %g", dataTypeName(I.Type),
+                    I.ImmF);
+    else
+      std::snprintf(Buf, sizeof(Buf), "const.%s %lld", dataTypeName(I.Type),
+                    (long long)I.ImmI);
+    return Buf;
+  case BcOp::Load:
+  case BcOp::Store:
+    std::snprintf(Buf, sizeof(Buf), "%s.%s #%d", bcOpName(I.Op),
+                  dataTypeName(I.Type), I.A);
+    return Buf;
+  case BcOp::Inc:
+    std::snprintf(Buf, sizeof(Buf), "inc #%d %+d", I.A, I.B);
+    return Buf;
+  case BcOp::GetField:
+  case BcOp::PutField:
+  case BcOp::GetGlobal:
+  case BcOp::PutGlobal:
+    std::snprintf(Buf, sizeof(Buf), "%s.%s @%d", bcOpName(I.Op),
+                  dataTypeName(I.Type), I.A);
+    return Buf;
+  case BcOp::Conv:
+    std::snprintf(Buf, sizeof(Buf), "conv %s->%s",
+                  dataTypeName((DataType)I.A), dataTypeName(I.Type));
+    return Buf;
+  case BcOp::IfCmp:
+  case BcOp::If:
+    std::snprintf(Buf, sizeof(Buf), "%s.%s ->%d", bcOpName(I.Op),
+                  bcCondName((BcCond)I.A), I.B);
+    return Buf;
+  case BcOp::IfRef:
+    std::snprintf(Buf, sizeof(Buf), "ifref.%s ->%d",
+                  I.A ? "nonnull" : "null", I.B);
+    return Buf;
+  case BcOp::Goto:
+    std::snprintf(Buf, sizeof(Buf), "goto ->%d", I.A);
+    return Buf;
+  case BcOp::Call:
+  case BcOp::CallVirtual:
+    std::snprintf(Buf, sizeof(Buf), "%s %s", bcOpName(I.Op),
+                  P.signatureOf((uint32_t)I.A).c_str());
+    return Buf;
+  case BcOp::New:
+  case BcOp::InstanceOf:
+  case BcOp::CheckCast:
+    std::snprintf(Buf, sizeof(Buf), "%s %s", bcOpName(I.Op),
+                  P.classAt((uint32_t)I.A).Name.c_str());
+    return Buf;
+  case BcOp::NewMultiArray:
+    std::snprintf(Buf, sizeof(Buf), "newmultiarray.%s dims=%d",
+                  dataTypeName(I.Type), I.A);
+    return Buf;
+  default:
+    if (I.Type != DataType::Void) {
+      std::snprintf(Buf, sizeof(Buf), "%s.%s", bcOpName(I.Op),
+                    dataTypeName(I.Type));
+      return Buf;
+    }
+    return bcOpName(I.Op);
+  }
+}
+
+std::string jitml::disassembleMethod(const Program &P, uint32_t MethodIndex) {
+  const MethodInfo &M = P.methodAt(MethodIndex);
+  std::string Out = P.signatureOf(MethodIndex);
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), "  [locals=%u maxstack=%u]\n", M.NumLocals,
+                M.MaxStack);
+  Out += Buf;
+  for (uint32_t Pc = 0; Pc < M.Code.size(); ++Pc) {
+    std::snprintf(Buf, sizeof(Buf), "  %4u: ", Pc);
+    Out += Buf;
+    Out += disassemble(P, M.Code[Pc]);
+    Out += '\n';
+  }
+  for (const ExceptionEntry &E : M.ExceptionTable) {
+    std::snprintf(Buf, sizeof(Buf), "  try [%u,%u) -> %u catch %s\n",
+                  E.StartPc, E.EndPc, E.HandlerPc,
+                  E.ClassIndex < 0
+                      ? "any"
+                      : P.classAt((uint32_t)E.ClassIndex).Name.c_str());
+    Out += Buf;
+  }
+  return Out;
+}

@@ -1,0 +1,26 @@
+//===- bytecode/Disasm.h - Bytecode disassembler ---------------*- C++ -*-===//
+///
+/// \file
+/// Human-readable rendering of bytecode, used by tests, examples, and when
+/// debugging workload generators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_BYTECODE_DISASM_H
+#define JITML_BYTECODE_DISASM_H
+
+#include "bytecode/Program.h"
+
+#include <string>
+
+namespace jitml {
+
+/// Renders a single instruction, e.g. "ifcmp.lt ->12" or "const.int 42".
+std::string disassemble(const Program &P, const BcInst &I);
+
+/// Renders a whole method with pc prefixes and the exception table.
+std::string disassembleMethod(const Program &P, uint32_t MethodIndex);
+
+} // namespace jitml
+
+#endif // JITML_BYTECODE_DISASM_H

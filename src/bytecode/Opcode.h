@@ -1,0 +1,182 @@
+//===- bytecode/Opcode.h - Stack bytecode instruction set ------*- C++ -*-===//
+///
+/// \file
+/// The instruction set of the simulated stack bytecode (a JVM-like subset
+/// extended with Testarossa's decimal/long-double operations and the array
+/// intrinsics the paper's feature set distinguishes). Instructions carry an
+/// explicit DataType instead of having one mnemonic per typed variant; the
+/// IL generator and verifier dispatch on (Op, Type).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_BYTECODE_OPCODE_H
+#define JITML_BYTECODE_OPCODE_H
+
+#include "bytecode/Type.h"
+
+#include <cstdint>
+
+namespace jitml {
+
+enum class BcOp : uint8_t {
+  Nop = 0,
+  /// Push a constant of Type (ImmI for integral/decimal, ImmF for FP).
+  Const,
+  /// Push local slot A (of Type).
+  Load,
+  /// Pop into local slot A.
+  Store,
+  /// Increment integer local slot A by B (JVM iinc).
+  Inc,
+  /// Pop object ref, push field A (of Type).
+  GetField,
+  /// Pop value then object ref, store into field A.
+  PutField,
+  /// Push program global slot A (of Type).
+  GetGlobal,
+  /// Pop into program global slot A.
+  PutGlobal,
+  /// Pop index then array ref, push element (of Type).
+  ALoad,
+  /// Pop value, index, array ref; store element.
+  AStore,
+  /// Pop array ref, push its length (Int32).
+  ArrayLen,
+  // Arithmetic/logic: pop operand(s) of Type, push result of Type.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Neg,
+  Shl,  ///< shift left (int types)
+  Shr,  ///< arithmetic shift right (int types)
+  Or,
+  And,
+  Xor,
+  /// Pop two values of Type, push three-way compare as Int32 (-1/0/1).
+  Cmp,
+  /// Convert top of stack from type A (as DataType) to Type.
+  Conv,
+  /// Pop two Int32, branch to B when condition A holds.
+  IfCmp,
+  /// Pop one Int32, branch to B when (value <cond A> 0).
+  If,
+  /// Pop one reference, branch to B when it is (A==0) null / (A==1) nonnull.
+  IfRef,
+  /// Unconditional branch to A.
+  Goto,
+  /// Call static method A. Pops args, pushes return value unless void.
+  Call,
+  /// Call virtual method A (resolved through the receiver's vtable).
+  CallVirtual,
+  /// Return (value of Type popped unless Type == Void).
+  Return,
+  /// Allocate instance of class A, push Object ref.
+  New,
+  /// Pop Int32 length, allocate array of element Type, push Address ref.
+  NewArray,
+  /// Pop A Int32 lengths, allocate A-dimensional array, push Address ref.
+  NewMultiArray,
+  /// Pop object ref, push Int32 1 if instance of class A else 0.
+  InstanceOf,
+  /// Pop object ref, re-push it; traps when not an instance of class A.
+  CheckCast,
+  /// Pop object ref, acquire its monitor.
+  MonitorEnter,
+  /// Pop object ref, release its monitor.
+  MonitorExit,
+  /// Pop object ref and raise it as an exception.
+  Throw,
+  /// Intrinsic System.arraycopy: pops len, dstPos, dst, srcPos, src.
+  ArrayCopy,
+  /// Intrinsic array comparison: pops two refs, pushes Int32.
+  ArrayCmp,
+  /// Pop top-of-stack value of Type (discard).
+  Pop,
+  /// Duplicate top-of-stack value of Type.
+  Dup,
+};
+
+/// Condition codes for If / IfCmp.
+enum class BcCond : uint8_t { Eq = 0, Ne, Lt, Ge, Gt, Le };
+
+/// Flips a condition (used when normalizing branches).
+inline BcCond negateCond(BcCond C) {
+  switch (C) {
+  case BcCond::Eq:
+    return BcCond::Ne;
+  case BcCond::Ne:
+    return BcCond::Eq;
+  case BcCond::Lt:
+    return BcCond::Ge;
+  case BcCond::Ge:
+    return BcCond::Lt;
+  case BcCond::Gt:
+    return BcCond::Le;
+  case BcCond::Le:
+    return BcCond::Gt;
+  }
+  return C;
+}
+
+/// One bytecode instruction. A and B are operand fields whose meaning
+/// depends on Op (local slot, field index, branch target, method index,
+/// class index, condition code, dimension count).
+struct BcInst {
+  BcOp Op = BcOp::Nop;
+  DataType Type = DataType::Void;
+  int32_t A = 0;
+  int32_t B = 0;
+  int64_t ImmI = 0;
+  double ImmF = 0.0;
+};
+
+const char *bcOpName(BcOp Op);
+const char *bcCondName(BcCond C);
+
+/// True when \p Op ends a basic block (branch, return, throw).
+inline bool isTerminator(BcOp Op) {
+  switch (Op) {
+  case BcOp::IfCmp:
+  case BcOp::If:
+  case BcOp::IfRef:
+  case BcOp::Goto:
+  case BcOp::Return:
+  case BcOp::Throw:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// True when \p Op can transfer control to an exception handler.
+inline bool canThrow(BcOp Op) {
+  switch (Op) {
+  case BcOp::ALoad:
+  case BcOp::AStore:
+  case BcOp::ArrayLen:
+  case BcOp::GetField:
+  case BcOp::PutField:
+  case BcOp::Div:
+  case BcOp::Rem:
+  case BcOp::Call:
+  case BcOp::CallVirtual:
+  case BcOp::New:
+  case BcOp::NewArray:
+  case BcOp::NewMultiArray:
+  case BcOp::CheckCast:
+  case BcOp::Throw:
+  case BcOp::ArrayCopy:
+  case BcOp::ArrayCmp:
+  case BcOp::MonitorEnter:
+  case BcOp::MonitorExit:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace jitml
+
+#endif // JITML_BYTECODE_OPCODE_H

@@ -1,0 +1,237 @@
+//===- bytecode/Program.cpp -----------------------------------------------===//
+
+#include "bytecode/Program.h"
+
+using namespace jitml;
+
+const char *jitml::dataTypeName(DataType T) {
+  switch (T) {
+  case DataType::Int8:
+    return "byte";
+  case DataType::Char:
+    return "char";
+  case DataType::Int16:
+    return "short";
+  case DataType::Int32:
+    return "int";
+  case DataType::Int64:
+    return "long";
+  case DataType::Float:
+    return "float";
+  case DataType::Double:
+    return "double";
+  case DataType::Void:
+    return "void";
+  case DataType::Address:
+    return "address";
+  case DataType::Object:
+    return "object";
+  case DataType::LongDouble:
+    return "longdouble";
+  case DataType::PackedDecimal:
+    return "packed";
+  case DataType::ZonedDecimal:
+    return "zoned";
+  case DataType::Mixed:
+    return "mixed";
+  }
+  return "?";
+}
+
+const char *jitml::bcOpName(BcOp Op) {
+  switch (Op) {
+  case BcOp::Nop:
+    return "nop";
+  case BcOp::Const:
+    return "const";
+  case BcOp::Load:
+    return "load";
+  case BcOp::Store:
+    return "store";
+  case BcOp::Inc:
+    return "inc";
+  case BcOp::GetField:
+    return "getfield";
+  case BcOp::PutField:
+    return "putfield";
+  case BcOp::GetGlobal:
+    return "getglobal";
+  case BcOp::PutGlobal:
+    return "putglobal";
+  case BcOp::ALoad:
+    return "aload";
+  case BcOp::AStore:
+    return "astore";
+  case BcOp::ArrayLen:
+    return "arraylen";
+  case BcOp::Add:
+    return "add";
+  case BcOp::Sub:
+    return "sub";
+  case BcOp::Mul:
+    return "mul";
+  case BcOp::Div:
+    return "div";
+  case BcOp::Rem:
+    return "rem";
+  case BcOp::Neg:
+    return "neg";
+  case BcOp::Shl:
+    return "shl";
+  case BcOp::Shr:
+    return "shr";
+  case BcOp::Or:
+    return "or";
+  case BcOp::And:
+    return "and";
+  case BcOp::Xor:
+    return "xor";
+  case BcOp::Cmp:
+    return "cmp";
+  case BcOp::Conv:
+    return "conv";
+  case BcOp::IfCmp:
+    return "ifcmp";
+  case BcOp::If:
+    return "if";
+  case BcOp::IfRef:
+    return "ifref";
+  case BcOp::Goto:
+    return "goto";
+  case BcOp::Call:
+    return "call";
+  case BcOp::CallVirtual:
+    return "callvirtual";
+  case BcOp::Return:
+    return "return";
+  case BcOp::New:
+    return "new";
+  case BcOp::NewArray:
+    return "newarray";
+  case BcOp::NewMultiArray:
+    return "newmultiarray";
+  case BcOp::InstanceOf:
+    return "instanceof";
+  case BcOp::CheckCast:
+    return "checkcast";
+  case BcOp::MonitorEnter:
+    return "monitorenter";
+  case BcOp::MonitorExit:
+    return "monitorexit";
+  case BcOp::Throw:
+    return "throw";
+  case BcOp::ArrayCopy:
+    return "arraycopy";
+  case BcOp::ArrayCmp:
+    return "arraycmp";
+  case BcOp::Pop:
+    return "pop";
+  case BcOp::Dup:
+    return "dup";
+  }
+  return "?";
+}
+
+const char *jitml::bcCondName(BcCond C) {
+  switch (C) {
+  case BcCond::Eq:
+    return "eq";
+  case BcCond::Ne:
+    return "ne";
+  case BcCond::Lt:
+    return "lt";
+  case BcCond::Ge:
+    return "ge";
+  case BcCond::Gt:
+    return "gt";
+  case BcCond::Le:
+    return "le";
+  }
+  return "?";
+}
+
+uint32_t Program::addClass(ClassInfo C) {
+  Classes.push_back(std::move(C));
+  return (uint32_t)Classes.size() - 1;
+}
+
+uint32_t Program::addMethod(MethodInfo M) {
+  uint32_t Index = (uint32_t)Methods.size();
+  if (M.ClassIndex >= 0) {
+    assert((uint32_t)M.ClassIndex < Classes.size() &&
+           "method declared on unknown class");
+    Classes[(uint32_t)M.ClassIndex].Methods.push_back(Index);
+  }
+  Methods.push_back(std::move(M));
+  return Index;
+}
+
+void Program::defineMethod(uint32_t Index, MethodInfo M) {
+  assert(Index < Methods.size() && "defining an undeclared method");
+  assert(Methods[Index].Name == M.Name && "prototype/definition mismatch");
+  assert(Methods[Index].Code.empty() && "method defined twice");
+  // The class method list entry from declarePrototype stays valid.
+  M.ClassIndex = Methods[Index].ClassIndex;
+  Methods[Index] = std::move(M);
+}
+
+bool Program::isSubclassOf(int32_t Sub, int32_t Super) const {
+  while (Sub >= 0) {
+    if (Sub == Super)
+      return true;
+    Sub = Classes[(uint32_t)Sub].SuperIndex;
+  }
+  return false;
+}
+
+uint32_t Program::resolveVirtual(uint32_t DeclaredMethod,
+                                 uint32_t DynClass) const {
+  const MethodInfo &Declared = methodAt(DeclaredMethod);
+  // Walk from the dynamic class up to the declaring class looking for a
+  // method with the same name (our vtables are keyed by name).
+  int32_t C = (int32_t)DynClass;
+  while (C >= 0) {
+    for (uint32_t MI : Classes[(uint32_t)C].Methods)
+      if (Methods[MI].Name == Declared.Name)
+        return MI;
+    if (C == Declared.ClassIndex)
+      break;
+    C = Classes[(uint32_t)C].SuperIndex;
+  }
+  return DeclaredMethod;
+}
+
+bool Program::isOverridden(uint32_t MethodIndex) const {
+  const MethodInfo &M = methodAt(MethodIndex);
+  if (M.ClassIndex < 0 || M.isStatic() || M.hasFlag(MF_Final))
+    return false;
+  for (uint32_t C = 0; C < Classes.size(); ++C) {
+    if ((int32_t)C == M.ClassIndex)
+      continue;
+    if (!isSubclassOf((int32_t)C, M.ClassIndex))
+      continue;
+    for (uint32_t MI : Classes[C].Methods)
+      if (MI != MethodIndex && Methods[MI].Name == M.Name)
+        return true;
+  }
+  return false;
+}
+
+std::string Program::signatureOf(uint32_t MethodIndex) const {
+  const MethodInfo &M = methodAt(MethodIndex);
+  std::string Sig;
+  if (M.ClassIndex >= 0) {
+    Sig += Classes[(uint32_t)M.ClassIndex].Name;
+    Sig += '.';
+  }
+  Sig += M.Name;
+  Sig += '(';
+  for (size_t I = 0; I < M.ArgTypes.size(); ++I) {
+    if (I)
+      Sig += ',';
+    Sig += dataTypeName(M.ArgTypes[I]);
+  }
+  Sig += ')';
+  Sig += dataTypeName(M.ReturnType);
+  return Sig;
+}

@@ -1,0 +1,101 @@
+//===- bytecode/Type.h - The 14-type system (Table 2) ----------*- C++ -*-===//
+///
+/// \file
+/// The data types tracked by the simulated VM and its JIT. These are exactly
+/// the 14 types of Table 2 in the paper: the eight Java native types, the
+/// two non-scalar Java types (Address = arrays, Object = user objects), the
+/// three Testarossa extension types (long double, packed decimal, zoned
+/// decimal used for BCD arithmetic in financial code), plus the
+/// learning-only "Mixed" bucket for trees that combine several types.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_BYTECODE_TYPE_H
+#define JITML_BYTECODE_TYPE_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace jitml {
+
+/// Order matters: the feature extractor indexes the type-distribution slice
+/// of the feature vector by this enum's value (see features/FeatureVector.h).
+enum class DataType : uint8_t {
+  Int8 = 0,      ///< Java byte
+  Char,          ///< Java char (unsigned 16-bit)
+  Int16,         ///< Java short
+  Int32,         ///< Java int
+  Int64,         ///< Java long
+  Float,         ///< Java float
+  Double,        ///< Java double
+  Void,          ///< Java void
+  Address,       ///< array reference (one or more dimensions)
+  Object,        ///< user-defined object reference
+  LongDouble,    ///< Testarossa 128-bit IEEE-754 extension
+  PackedDecimal, ///< Testarossa BCD extension
+  ZonedDecimal,  ///< Testarossa BCD extension
+  Mixed,         ///< learning-only: tree mixing several types
+};
+
+constexpr unsigned NumDataTypes = 14;
+
+/// Integer-like types are carried in a 64-bit lane at run time.
+inline bool isIntegerType(DataType T) {
+  switch (T) {
+  case DataType::Int8:
+  case DataType::Char:
+  case DataType::Int16:
+  case DataType::Int32:
+  case DataType::Int64:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Floating-point-like types (including the long double extension).
+inline bool isFloatType(DataType T) {
+  return T == DataType::Float || T == DataType::Double ||
+         T == DataType::LongDouble;
+}
+
+/// Binary-coded-decimal extension types.
+inline bool isDecimalType(DataType T) {
+  return T == DataType::PackedDecimal || T == DataType::ZonedDecimal;
+}
+
+/// Reference types (arrays and objects).
+inline bool isReferenceType(DataType T) {
+  return T == DataType::Address || T == DataType::Object;
+}
+
+/// True for types a value can actually have at run time (everything except
+/// Void and the learning-only Mixed bucket).
+inline bool isValueType(DataType T) {
+  return T != DataType::Void && T != DataType::Mixed;
+}
+
+/// Width in bits of the narrow integer types; 64 for everything else that
+/// is integral. Used by sign-extension elimination.
+inline unsigned integerWidth(DataType T) {
+  switch (T) {
+  case DataType::Int8:
+    return 8;
+  case DataType::Char:
+  case DataType::Int16:
+    return 16;
+  case DataType::Int32:
+    return 32;
+  case DataType::Int64:
+    return 64;
+  default:
+    assert(false && "integerWidth on non-integer type");
+    return 64;
+  }
+}
+
+const char *dataTypeName(DataType T);
+
+} // namespace jitml
+
+#endif // JITML_BYTECODE_TYPE_H

@@ -1,0 +1,34 @@
+//===- codegen/CodeGenerator.h - IL -> native lowering ----------*- C++ -*-===//
+///
+/// \file
+/// The Code Generator of Figure 1: lowers optimized tree IL to the
+/// simulated native ISA and runs the codegen-stage controllable
+/// transformations (peephole, constant encoding, register coalescing,
+/// instruction scheduling, profile-guided layout, leaf-routine
+/// optimization) whose enablement arrives from the optimizer as a
+/// TransformSet.
+///
+/// Lowering honors the IL's evaluate-at-first-reference semantics: each
+/// node is emitted once per block, later references reuse its register.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_CODEGEN_CODEGENERATOR_H
+#define JITML_CODEGEN_CODEGENERATOR_H
+
+#include "codegen/CostModel.h"
+#include "codegen/NativeInst.h"
+#include "il/MethodIL.h"
+#include "opt/Optimizer.h"
+
+namespace jitml {
+
+/// Lowers \p IL into native code. \p Options carries the enabled
+/// codegen-stage transformations; \p Level is recorded for bookkeeping.
+NativeMethod generateCode(const MethodIL &IL, const TransformSet &Options,
+                          OptLevel Level,
+                          const CostModel &CM = CostModel::defaults());
+
+} // namespace jitml
+
+#endif // JITML_CODEGEN_CODEGENERATOR_H

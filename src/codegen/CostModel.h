@@ -1,0 +1,89 @@
+//===- codegen/CostModel.h - Cycle costs of the simulated machine -*-C++-*-===//
+///
+/// \file
+/// The deterministic cycle cost model of the simulated machine. Execution
+/// time in this reproduction is "cycles charged while interpreting native
+/// code under this model"; compile time is "cycles charged by optimizer and
+/// codegen work". Both feed the ranking function V = R/I + C/T_h (Eq. 2).
+///
+/// The constants encode the usual relative costs: memory traffic and
+/// allocation are expensive, ALU is cheap, calls carry fixed overhead,
+/// decimal/long-double extension arithmetic is microcoded (slow), taken
+/// branches and icache misses add up.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_CODEGEN_COSTMODEL_H
+#define JITML_CODEGEN_COSTMODEL_H
+
+#include "codegen/NativeInst.h"
+
+namespace jitml {
+
+/// Tunable cost-model constants (cycles).
+struct CostModel {
+  double Alu = 1.0;
+  double MulCost = 3.0;
+  double DivCost = 12.0;
+  double FpAlu = 2.0;
+  double FpDiv = 10.0;
+  double LongDoubleFactor = 4.0;  ///< multiplier for LongDouble arithmetic
+  double DecimalFactor = 6.0;     ///< multiplier for packed/zoned (BCD)
+  double ConstCost = 1.0;         ///< materializing a constant
+  double MoveCost = 1.0;
+  double LocalAccess = 1.0;
+  double GlobalAccess = 3.0;
+  double FieldAccess = 4.0;
+  double ElemAccess = 4.0;
+  double ElemPrefetched = 1.5;    ///< strided access with prefetch hint
+  double CheckCost = 1.0;         ///< explicit null/div check
+  double BoundsCost = 2.0;
+  double CastCheckCost = 4.0;
+  double InstanceOfCost = 4.0;
+  double AllocObject = 24.0;
+  double AllocStack = 4.0;        ///< escape-analyzed allocation
+  double AllocArrayBase = 24.0;
+  double AllocArrayPerElem = 0.5;
+  double MonitorCost = 20.0;
+  double ThrowCost = 60.0;
+  double ThrowFastCost = 12.0;
+  double UnwindPerFrame = 30.0;
+  double BranchCost = 1.0;
+  double BranchTakenExtra = 2.0;  ///< transfer away from layout order
+  double CallOverhead = 16.0;     ///< frame setup + spill at call sites
+  double LeafCallOverhead = 6.0;  ///< callee is a leaf routine
+  double ReturnCost = 2.0;
+  double ArrayCopyBase = 10.0;
+  double ArrayCopyPerElem = 0.25;
+  double ArrayCmpBase = 8.0;
+  double ArrayCmpPerElem = 0.5;
+  double StallCost = 1.0;         ///< result used by the very next inst
+  double SpillCost = 2.0;         ///< per vreg above the register file
+  unsigned PhysRegs = 16;
+  /// Instruction-cache model: methods whose warm code exceeds this many
+  /// instructions pay a growing per-cycle factor.
+  double ICacheWarmCapacity = 1024.0;
+  double ICachePressureSlope = 0.20;
+  /// Interpreter: per-bytecode dispatch cost multiplier over native.
+  double InterpDispatch = 8.0;
+
+  /// Base issue cost of \p I (excluding dynamic effects such as stalls,
+  /// taken branches and allocation sizes).
+  double instCost(const NativeInst &I) const;
+
+  /// ICache factor for a method with \p WarmInsts non-cold instructions.
+  double icacheFactor(double WarmInsts) const {
+    if (WarmInsts <= ICacheWarmCapacity)
+      return 1.0;
+    return 1.0 +
+           ICachePressureSlope * (WarmInsts - ICacheWarmCapacity) /
+               ICacheWarmCapacity;
+  }
+
+  /// The process-wide default model.
+  static const CostModel &defaults();
+};
+
+} // namespace jitml
+
+#endif // JITML_CODEGEN_COSTMODEL_H

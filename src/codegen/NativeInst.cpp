@@ -1,0 +1,156 @@
+//===- codegen/NativeInst.cpp ---------------------------------------------===//
+
+#include "codegen/NativeInst.h"
+
+#include <cstdio>
+
+using namespace jitml;
+
+const char *jitml::nOpName(NOp Op) {
+  switch (Op) {
+  case NOp::Nop:
+    return "nop";
+  case NOp::ConstI:
+    return "consti";
+  case NOp::ConstF:
+    return "constf";
+  case NOp::Move:
+    return "move";
+  case NOp::LdLoc:
+    return "ldloc";
+  case NOp::StLoc:
+    return "stloc";
+  case NOp::LdGlob:
+    return "ldglob";
+  case NOp::StGlob:
+    return "stglob";
+  case NOp::LdFld:
+    return "ldfld";
+  case NOp::StFld:
+    return "stfld";
+  case NOp::LdElem:
+    return "ldelem";
+  case NOp::StElem:
+    return "stelem";
+  case NOp::ArrLen:
+    return "arrlen";
+  case NOp::LdExc:
+    return "ldexc";
+  case NOp::Add:
+    return "add";
+  case NOp::Sub:
+    return "sub";
+  case NOp::Mul:
+    return "mul";
+  case NOp::Div:
+    return "div";
+  case NOp::Rem:
+    return "rem";
+  case NOp::Neg:
+    return "neg";
+  case NOp::Shl:
+    return "shl";
+  case NOp::Shr:
+    return "shr";
+  case NOp::Or:
+    return "or";
+  case NOp::And:
+    return "and";
+  case NOp::Xor:
+    return "xor";
+  case NOp::Cmp3:
+    return "cmp3";
+  case NOp::CmpCond:
+    return "cmpcond";
+  case NOp::Conv:
+    return "conv";
+  case NOp::Br:
+    return "br";
+  case NOp::Jmp:
+    return "jmp";
+  case NOp::CallM:
+    return "call";
+  case NOp::Ret:
+    return "ret";
+  case NOp::ThrowR:
+    return "throw";
+  case NOp::NewObj:
+    return "newobj";
+  case NOp::NewArr:
+    return "newarr";
+  case NOp::NewMulti:
+    return "newmulti";
+  case NOp::InstOf:
+    return "instof";
+  case NOp::ChkCast:
+    return "chkcast";
+  case NOp::MonEnter:
+    return "monenter";
+  case NOp::MonExit:
+    return "monexit";
+  case NOp::NullChk:
+    return "nullchk";
+  case NOp::BndChk:
+    return "bndchk";
+  case NOp::DivChk:
+    return "divchk";
+  case NOp::ArrCopy:
+    return "arrcopy";
+  case NOp::ArrCmp:
+    return "arrcmp";
+  }
+  return "?";
+}
+
+std::string jitml::printNativeInst(const NativeInst &I) {
+  char Buf[160];
+  auto Reg = [](uint16_t R) {
+    if (R == NoReg)
+      return std::string("-");
+    char B[16];
+    std::snprintf(B, sizeof(B), "r%u", R);
+    return std::string(B);
+  };
+  std::snprintf(Buf, sizeof(Buf), "%-9s %s <- %s, %s aux=%d imm=%lld%s%s%s%s",
+                nOpName(I.Op), Reg(I.Dst).c_str(), Reg(I.A).c_str(),
+                Reg(I.B).c_str(), I.Aux, (long long)I.Imm,
+                I.hasFlag(NF_ImplicitCheck) ? " [implicit]" : "",
+                I.hasFlag(NF_StackAlloc) ? " [stack]" : "",
+                I.hasFlag(NF_EncodedConst) ? " [encoded]" : "",
+                I.hasFlag(NF_Prefetched) ? " [prefetch]" : "");
+  std::string Out = Buf;
+  if (!I.Args.empty()) {
+    Out += " args(";
+    for (size_t K = 0; K < I.Args.size(); ++K) {
+      if (K)
+        Out += ',';
+      Out += Reg(I.Args[K]);
+    }
+    Out += ')';
+  }
+  return Out;
+}
+
+std::string jitml::printNativeMethod(const NativeMethod &M) {
+  std::string Out;
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf),
+                "native method #%u level=%s vregs=%u icache=%.3f%s\n",
+                M.MethodIndex, optLevelName(M.Level), M.NumVRegs,
+                M.ICacheFactor, M.Leaf ? " [leaf]" : "");
+  Out += Buf;
+  for (uint32_t B : M.Layout) {
+    const NativeBlock &Blk = M.Blocks[B];
+    std::snprintf(Buf, sizeof(Buf), "NB%u%s%s -> taken=%d fall=%d spill=%.1f\n",
+                  B, B == M.Entry ? " [entry]" : "",
+                  Blk.Cold ? " [cold]" : "", Blk.SuccTaken, Blk.SuccFall,
+                  Blk.SpillPenalty);
+    Out += Buf;
+    for (const NativeInst &I : Blk.Insts) {
+      Out += "  ";
+      Out += printNativeInst(I);
+      Out += '\n';
+    }
+  }
+  return Out;
+}

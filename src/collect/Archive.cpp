@@ -1,0 +1,129 @@
+//===- collect/Archive.cpp ------------------------------------------------===//
+
+#include "collect/Archive.h"
+
+#include "support/VarInt.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace jitml;
+
+namespace {
+
+constexpr uint8_t Magic[4] = {'J', 'M', 'L', 'A'};
+constexpr uint8_t Version = 1;
+
+} // namespace
+
+std::vector<uint8_t>
+jitml::encodeArchive(const StringInterner &Dict,
+                     const std::vector<CollectionRecord> &Recs) {
+  std::vector<uint8_t> Out;
+  Out.reserve(64 + Recs.size() * 96); // silences GCC's memmove analysis too
+  Out.insert(Out.end(), Magic, Magic + 4);
+  Out.push_back(Version);
+  encodeVarUInt(Out, NumFeatures);
+  encodeVarUInt(Out, Dict.size());
+  for (const std::string &S : Dict.strings()) {
+    encodeVarUInt(Out, S.size());
+    Out.insert(Out.end(), S.begin(), S.end());
+  }
+  encodeVarUInt(Out, Recs.size());
+  for (const CollectionRecord &R : Recs) {
+    encodeVarUInt(Out, R.SignatureId);
+    encodeVarUInt(Out, (uint64_t)R.Level);
+    encodeVarUInt(Out, R.ModifierBits);
+    encodeVarUInt(Out, (uint64_t)std::llround(R.CompileCycles));
+    encodeVarUInt(Out, (uint64_t)std::llround(R.RunCycles));
+    encodeVarUInt(Out, R.Invocations);
+    encodeVarUInt(Out, R.DiscardedSamples);
+    for (unsigned F = 0; F < NumFeatures; ++F)
+      encodeVarUInt(Out, R.Features.get(F));
+  }
+  return Out;
+}
+
+bool jitml::decodeArchive(const std::vector<uint8_t> &Buffer,
+                          ArchiveData &Out) {
+  Out = ArchiveData();
+  ByteReader Reader(Buffer);
+  uint8_t Head[4];
+  if (!Reader.readBytes(Head, 4) || Head[0] != Magic[0] ||
+      Head[1] != Magic[1] || Head[2] != Magic[2] || Head[3] != Magic[3])
+    return false;
+  if (Reader.readByte() != Version)
+    return false;
+  if (Reader.readVarUInt() != NumFeatures)
+    return false;
+  uint64_t DictCount = Reader.readVarUInt();
+  if (!Reader.ok() || DictCount > 1u << 24)
+    return false;
+  Out.Signatures.reserve(DictCount);
+  for (uint64_t I = 0; I < DictCount; ++I) {
+    uint64_t Len = Reader.readVarUInt();
+    if (!Reader.ok() || Len > Reader.remaining()) {
+      Out = ArchiveData();
+      return false;
+    }
+    std::string S(Len, '\0');
+    Reader.readBytes(reinterpret_cast<uint8_t *>(S.data()), Len);
+    Out.Signatures.push_back(std::move(S));
+  }
+  uint64_t RecCount = Reader.readVarUInt();
+  if (!Reader.ok() || RecCount > 1u << 28) {
+    Out = ArchiveData();
+    return false;
+  }
+  Out.Records.reserve(RecCount);
+  for (uint64_t I = 0; I < RecCount; ++I) {
+    CollectionRecord R;
+    R.SignatureId = (uint32_t)Reader.readVarUInt();
+    R.Level = (OptLevel)Reader.readVarUInt();
+    R.ModifierBits = Reader.readVarUInt();
+    R.CompileCycles = (double)Reader.readVarUInt();
+    R.RunCycles = (double)Reader.readVarUInt();
+    R.Invocations = Reader.readVarUInt();
+    R.DiscardedSamples = Reader.readVarUInt();
+    for (unsigned F = 0; F < NumFeatures; ++F)
+      R.Features.set(F, (uint32_t)Reader.readVarUInt());
+    if (!Reader.ok() || R.SignatureId >= Out.Signatures.size() ||
+        (unsigned)R.Level >= NumOptLevels) {
+      Out = ArchiveData();
+      return false;
+    }
+    Out.Records.push_back(std::move(R));
+  }
+  return Reader.ok();
+}
+
+bool jitml::writeArchiveFile(const std::string &Path,
+                             const StringInterner &Dict,
+                             const std::vector<CollectionRecord> &Recs) {
+  std::vector<uint8_t> Data = encodeArchive(Dict, Recs);
+  std::FILE *F = std::fopen(Path.c_str(), "wb");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Data.data(), 1, Data.size(), F);
+  std::fclose(F);
+  return Written == Data.size();
+}
+
+bool jitml::readArchiveFile(const std::string &Path, ArchiveData &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F)
+    return false;
+  std::fseek(F, 0, SEEK_END);
+  long Size = std::ftell(F);
+  std::fseek(F, 0, SEEK_SET);
+  if (Size < 0) {
+    std::fclose(F);
+    return false;
+  }
+  std::vector<uint8_t> Data((size_t)Size);
+  size_t Read = std::fread(Data.data(), 1, Data.size(), F);
+  std::fclose(F);
+  if (Read != Data.size())
+    return false;
+  return decodeArchive(Data, Out);
+}

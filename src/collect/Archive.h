@@ -1,0 +1,54 @@
+//===- collect/Archive.h - Compact binary archive format --------*- C++ -*-===//
+///
+/// \file
+/// The "customized binary archive format to facilitate large-scale data
+/// collection" (paper contribution 2): a magic/version header, a method
+/// signature dictionary ("the creation of a dictionary of method
+/// signatures is key for a compact representation"), then LEB128-coded
+/// records. Everything integral is varint-coded; feature vectors compress
+/// well because most of the 71 counters are zero or tiny.
+///
+/// Layout:
+///   magic "JMLA" | version u8 | featureCount varint
+///   dictCount varint | dictCount x (len varint, bytes)
+///   recordCount varint | records...
+/// Record:
+///   sigId, level, modifierBits, compileCycles, runCycles, invocations,
+///   discarded, 71 feature values — all varuint.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_COLLECT_ARCHIVE_H
+#define JITML_COLLECT_ARCHIVE_H
+
+#include "collect/CollectionRecord.h"
+#include "support/StringInterner.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jitml {
+
+/// An archive in memory: dictionary plus records.
+struct ArchiveData {
+  std::vector<std::string> Signatures;
+  std::vector<CollectionRecord> Records;
+};
+
+/// Serializes \p Dict and \p Records into the binary archive format.
+std::vector<uint8_t> encodeArchive(const StringInterner &Dict,
+                                   const std::vector<CollectionRecord> &Recs);
+
+/// Parses an archive buffer. Returns false (and leaves \p Out empty) on a
+/// malformed buffer — wrong magic, truncated data, or bad version.
+bool decodeArchive(const std::vector<uint8_t> &Buffer, ArchiveData &Out);
+
+/// File convenience wrappers. Write returns false on I/O failure.
+bool writeArchiveFile(const std::string &Path, const StringInterner &Dict,
+                      const std::vector<CollectionRecord> &Recs);
+bool readArchiveFile(const std::string &Path, ArchiveData &Out);
+
+} // namespace jitml
+
+#endif // JITML_COLLECT_ARCHIVE_H

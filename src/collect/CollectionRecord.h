@@ -1,0 +1,41 @@
+//===- collect/CollectionRecord.h - One compilation experiment --*- C++ -*-===//
+///
+/// \file
+/// The unit of collected data: one compilation of one method with one
+/// compilation-plan modifier, together with the profile gathered while
+/// that compilation was the method's active body. These records feed the
+/// ranking function V_i = R_i/I_i + C_i/T_h (Eq. 2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_COLLECT_COLLECTIONRECORD_H
+#define JITML_COLLECT_COLLECTIONRECORD_H
+
+#include "features/FeatureVector.h"
+#include "opt/Plan.h"
+
+#include <cstdint>
+
+namespace jitml {
+
+struct CollectionRecord {
+  /// Signature-dictionary id of the method (archives store strings once).
+  uint32_t SignatureId = 0;
+  OptLevel Level = OptLevel::Cold;
+  /// Raw 58-bit enabled-mask of the modifier used for this compilation.
+  uint64_t ModifierBits = 0;
+  FeatureVector Features;
+  /// Compile effort (C_i) in simulated cycles.
+  double CompileCycles = 0.0;
+  /// Accumulated run time (R_i) in TSC ticks across valid samples.
+  double RunCycles = 0.0;
+  /// Invocation counter (I_i): number of valid enter/exit samples.
+  uint64_t Invocations = 0;
+  /// Samples discarded because enter/exit landed on different cores
+  /// (TSC drift protection, section 4.2).
+  uint64_t DiscardedSamples = 0;
+};
+
+} // namespace jitml
+
+#endif // JITML_COLLECT_COLLECTIONRECORD_H

@@ -1,0 +1,286 @@
+//===- features/FeatureExtractor.cpp --------------------------------------===//
+
+#include "features/FeatureExtractor.h"
+
+#include "il/LoopInfo.h"
+#include "support/SaturatingCounter.h"
+
+#include <vector>
+
+using namespace jitml;
+
+namespace {
+
+/// Accumulates saturating distribution counters during the single IL walk.
+class DistributionCollector {
+public:
+  explicit DistributionCollector(const MethodIL &IL) : IL(IL) {}
+
+  void walkTree(NodeId Root) {
+    // Iterative DFS; commoned (shared) nodes are counted once, matching
+    // the "number of operations in the method" reading of Table 3.
+    Stack.push_back(Root);
+    while (!Stack.empty()) {
+      NodeId Id = Stack.back();
+      Stack.pop_back();
+      if (Id < Seen.size() && Seen[Id])
+        continue;
+      if (Seen.size() < IL.numNodes())
+        Seen.resize(IL.numNodes(), false);
+      Seen[Id] = true;
+      visit(Id);
+      for (NodeId Kid : IL.node(Id).Kids)
+        Stack.push_back(Kid);
+    }
+  }
+
+  void exportInto(FeatureVector &F) const {
+    for (unsigned T = 0; T < NumDataTypes; ++T)
+      F.set(TypeBase + T, Types[T].value());
+    for (unsigned O = 0; O < NumOpFeatures; ++O)
+      F.set(OpBase + O, Ops[O].value());
+  }
+
+  bool UsesFloatingPoint = false;
+  bool AllocatesMemory = false;
+  bool UsesUnsafe = false;
+  bool UsesBigDecimal = false;
+
+private:
+  void countType(DataType T) {
+    if (isValueType(T) || T == DataType::Mixed)
+      Types[(unsigned)T].increment();
+    if (isFloatType(T))
+      UsesFloatingPoint = true;
+  }
+  void countOp(OpFeature O) { Ops[O].increment(); }
+
+  /// Operand-type of a node for type counting: the node's own type when it
+  /// carries a value, otherwise the type of its first value child (stores
+  /// and checks are Void but operate on typed data).
+  DataType operandType(const Node &N) const {
+    if (N.Type != DataType::Void)
+      return N.Type;
+    switch (N.Op) {
+    case ILOp::StoreLocal:
+    case ILOp::StoreGlobal:
+      return IL.node(N.Kids[0]).Type;
+    case ILOp::StoreField:
+      return IL.node(N.Kids[1]).Type;
+    case ILOp::StoreElem:
+      return IL.node(N.Kids[2]).Type;
+    default:
+      return DataType::Void;
+    }
+  }
+
+  /// The "inc" pattern: store of (load of the same local) + constant.
+  bool isIncPattern(const Node &Store) const {
+    if (Store.Op != ILOp::StoreLocal)
+      return false;
+    const Node &V = IL.node(Store.Kids[0]);
+    if (V.Op != ILOp::Add || V.Kids.size() != 2)
+      return false;
+    const Node &L = IL.node(V.Kids[0]);
+    const Node &R = IL.node(V.Kids[1]);
+    return L.Op == ILOp::LoadLocal && L.A == Store.A && R.Op == ILOp::Const;
+  }
+
+  /// A node "mixes types" when two value-typed children disagree, or a
+  /// child's type differs from a value-producing parent's.
+  bool mixesTypes(const Node &N) const {
+    DataType Seen = DataType::Void;
+    for (NodeId Kid : N.Kids) {
+      DataType KT = IL.node(Kid).Type;
+      if (!isValueType(KT))
+        continue;
+      if (Seen == DataType::Void)
+        Seen = KT;
+      else if (Seen != KT)
+        return true;
+    }
+    if (isValueType(N.Type) && Seen != DataType::Void && Seen != N.Type &&
+        N.Op != ILOp::Conv)
+      return true;
+    return false;
+  }
+
+  void visit(NodeId Id) {
+    const Node &N = IL.node(Id);
+    countType(operandType(N));
+    if (mixesTypes(N)) {
+      Types[(unsigned)DataType::Mixed].increment();
+      countOp(OF_MixedOperations);
+    }
+
+    switch (N.Op) {
+    case ILOp::Const:
+      countOp(OF_LoadConst);
+      break;
+    case ILOp::LoadLocal:
+    case ILOp::LoadGlobal:
+    case ILOp::LoadField:
+    case ILOp::LoadElem:
+      countOp(OF_Load);
+      break;
+    case ILOp::StoreLocal:
+      countOp(isIncPattern(N) ? OF_Inc : OF_Store);
+      break;
+    case ILOp::StoreGlobal:
+    case ILOp::StoreField:
+    case ILOp::StoreElem:
+      countOp(OF_Store);
+      break;
+    case ILOp::Add:
+      countOp(OF_Add);
+      break;
+    case ILOp::Sub:
+      countOp(OF_Sub);
+      break;
+    case ILOp::Mul:
+      countOp(OF_Mul);
+      break;
+    case ILOp::Div:
+      countOp(OF_Div);
+      break;
+    case ILOp::Rem:
+      countOp(OF_Rem);
+      break;
+    case ILOp::Neg:
+      countOp(OF_Neg);
+      break;
+    case ILOp::Shl:
+    case ILOp::Shr:
+      countOp(OF_Shift);
+      break;
+    case ILOp::Or:
+      countOp(OF_Or);
+      break;
+    case ILOp::And:
+      countOp(OF_And);
+      break;
+    case ILOp::Xor:
+      countOp(OF_Xor);
+      break;
+    case ILOp::Cmp:
+    case ILOp::CmpCond:
+      countOp(OF_Compare);
+      break;
+    case ILOp::Conv: {
+      static const OpFeature CastOf[NumDataTypes] = {
+          OF_CastByte,   OF_CastChar,   OF_CastShort,     OF_CastInt,
+          OF_CastLong,   OF_CastFloat,  OF_CastDouble,    OF_CastInt,
+          OF_CastAddress, OF_CastObject, OF_CastLongDouble, OF_CastPacked,
+          OF_CastZoned,  OF_CastInt};
+      countOp(CastOf[(unsigned)N.Type]);
+      // Each type-specialized form also triggers the source type counter.
+      countType((DataType)N.A);
+      break;
+    }
+    case ILOp::CastCheck:
+      countOp(OF_CastCheck);
+      break;
+    case ILOp::Call: {
+      countOp(OF_Call);
+      const MethodInfo &Callee = IL.program().methodAt((uint32_t)N.A);
+      if (Callee.ClassIndex >= 0) {
+        ClassKind CK = IL.program().classAt((uint32_t)Callee.ClassIndex).Kind;
+        if (CK == ClassKind::UnsafeIntrinsic)
+          UsesUnsafe = true;
+        if (CK == ClassKind::BigDecimal)
+          UsesBigDecimal = true;
+      }
+      break;
+    }
+    case ILOp::New:
+      countOp(OF_New);
+      AllocatesMemory = true;
+      break;
+    case ILOp::NewArray:
+      countOp(OF_NewArray);
+      AllocatesMemory = true;
+      break;
+    case ILOp::NewMultiArray:
+      countOp(OF_NewMultiArray);
+      AllocatesMemory = true;
+      break;
+    case ILOp::InstanceOf:
+      countOp(OF_InstanceOf);
+      break;
+    case ILOp::MonitorEnter:
+    case ILOp::MonitorExit:
+      countOp(OF_Synchronization);
+      break;
+    case ILOp::Throw:
+      countOp(OF_Throw);
+      break;
+    case ILOp::Branch:
+      countOp(OF_Branch);
+      break;
+    case ILOp::ArrayLen:
+    case ILOp::BoundsCheck:
+    case ILOp::ArrayCopy:
+    case ILOp::ArrayCmp:
+      countOp(OF_ArrayOperations);
+      break;
+    case ILOp::LoadException:
+    case ILOp::NullCheck:
+    case ILOp::DivCheck:
+    case ILOp::ExprStmt:
+    case ILOp::Goto:
+    case ILOp::Return:
+      break;
+    }
+  }
+
+  const MethodIL &IL;
+  Sat16 Types[NumDataTypes];
+  Sat8 Ops[NumOpFeatures];
+  std::vector<bool> Seen;
+  std::vector<NodeId> Stack;
+};
+
+} // namespace
+
+FeatureVector jitml::extractFeatures(const MethodIL &IL) {
+  FeatureVector F;
+  const MethodInfo &M = IL.methodInfo();
+
+  // Scalar counters.
+  F.set(CF_ExceptionHandlers, (uint32_t)M.ExceptionTable.size());
+  F.set(CF_Arguments, M.numArgs());
+  F.set(CF_Temporaries, IL.numLocals() - M.numArgs());
+  F.set(CF_TreeNodes, IL.countLiveNodes());
+
+  // Declaration attributes.
+  F.setAttr(AF_Constructor, M.hasFlag(MF_Constructor));
+  F.setAttr(AF_Final, M.hasFlag(MF_Final));
+  F.setAttr(AF_Protected, M.hasFlag(MF_Protected));
+  F.setAttr(AF_Public, M.hasFlag(MF_Public));
+  F.setAttr(AF_Static, M.hasFlag(MF_Static));
+  F.setAttr(AF_Synchronized, M.hasFlag(MF_Synchronized));
+  F.setAttr(AF_VirtualMethodOverridden, M.hasFlag(MF_VirtualOverridden));
+  F.setAttr(AF_StrictFloatingPoint, M.hasFlag(MF_StrictFP));
+
+  // Loop attributes.
+  LoopInfo LI(IL);
+  F.setAttr(AF_MayHaveLoops, LI.hasLoops());
+  F.setAttr(AF_ManyIterationLoops, LI.hasKnownManyIterationLoop());
+  F.setAttr(AF_MayHaveManyIterationLoops, LI.mayHaveManyIterationLoop());
+
+  // Distributions (single pass over all reachable trees).
+  DistributionCollector DC(IL);
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    if (!IL.block(B).Reachable)
+      continue;
+    for (NodeId Tree : IL.block(B).Trees)
+      DC.walkTree(Tree);
+  }
+  DC.exportInto(F);
+
+  F.setAttr(AF_AllocatesDynamicMemory, DC.AllocatesMemory);
+  F.setAttr(AF_UnsafeSymbols, DC.UsesUnsafe);
+  F.setAttr(AF_UsesBigDecimal, DC.UsesBigDecimal);
+  F.setAttr(AF_UsesFloatingPoint, DC.UsesFloatingPoint);
+  return F;
+}

@@ -1,0 +1,27 @@
+//===- features/FeatureExtractor.h - IL -> feature vector ------*- C++ -*-===//
+///
+/// \file
+/// Computes the 71-feature vector of a method from its IL "in a single pass
+/// over the tree-based representation ... just prior to the start of the
+/// optimization stage" (section 4.1.2). The type-distribution counters
+/// saturate at 16 bits and the operation-distribution counters at 8 bits,
+/// exactly as in the paper's implementation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_FEATURES_FEATUREEXTRACTOR_H
+#define JITML_FEATURES_FEATUREEXTRACTOR_H
+
+#include "features/FeatureVector.h"
+#include "il/MethodIL.h"
+
+namespace jitml {
+
+/// Extracts every feature of \p IL. The IL must be freshly generated
+/// (pre-optimization); extracting after transformations would describe a
+/// different method than the one the model was trained on.
+FeatureVector extractFeatures(const MethodIL &IL);
+
+} // namespace jitml
+
+#endif // JITML_FEATURES_FEATUREEXTRACTOR_H

@@ -1,0 +1,70 @@
+//===- features/FeatureVector.cpp -----------------------------------------===//
+
+#include "features/FeatureVector.h"
+
+#include "support/Rng.h"
+
+using namespace jitml;
+
+uint64_t FeatureVector::hash() const {
+  uint64_t H = 0x9e3779b97f4a7c15ULL;
+  for (uint32_t V : Values)
+    H = mix64(H ^ (H << 6) ^ V);
+  return H;
+}
+
+const char *jitml::featureName(unsigned I) {
+  static const char *CounterNames[NumCounterFeatures] = {
+      "exceptionHandlers", "arguments", "temporaries", "treeNodes"};
+  static const char *AttrNames[NumAttrFeatures] = {
+      "constructor",
+      "final",
+      "protected",
+      "public",
+      "static",
+      "synchronized",
+      "manyIterationLoops",
+      "mayHaveLoops",
+      "mayHaveManyIterationLoops",
+      "allocatesDynamicMemory",
+      "unsafeSymbols",
+      "usesBigDecimal",
+      "virtualMethodOverridden",
+      "strictFloatingPoint",
+      "usesFloatingPoint"};
+  static const char *TypeNames[NumDataTypes] = {
+      "type.byte",       "type.char",   "type.short",  "type.int",
+      "type.long",       "type.float",  "type.double", "type.void",
+      "type.address",    "type.object", "type.longdouble",
+      "type.packed",     "type.zoned",  "type.mixed"};
+  static const char *OpNames[NumOpFeatures] = {
+      "op.add",        "op.sub",        "op.mul",         "op.div",
+      "op.rem",        "op.neg",        "op.shift",       "op.or",
+      "op.and",        "op.xor",        "op.inc",         "op.compare",
+      "op.cast.byte",  "op.cast.char",  "op.cast.short",  "op.cast.int",
+      "op.cast.long",  "op.cast.float", "op.cast.double", "op.cast.longdouble",
+      "op.cast.address", "op.cast.object", "op.cast.packed", "op.cast.zoned",
+      "op.cast.check", "op.load",       "op.loadconst",   "op.store",
+      "op.new",        "op.newarray",   "op.newmultiarray",
+      "op.instanceof", "op.synchronization", "op.throw",
+      "op.branch",     "op.call",       "op.arrayops",    "op.mixedops"};
+  if (I < AttrBase)
+    return CounterNames[I];
+  if (I < TypeBase)
+    return AttrNames[I - AttrBase];
+  if (I < OpBase)
+    return TypeNames[I - TypeBase];
+  if (I < NumFeatures)
+    return OpNames[I - OpBase];
+  return "?";
+}
+
+const char *jitml::featureGroup(unsigned I) {
+  if (I < AttrBase)
+    return "counter";
+  if (I < TypeBase)
+    return "attribute";
+  if (I < OpBase)
+    return "type";
+  return "op";
+}

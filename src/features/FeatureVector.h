@@ -1,0 +1,165 @@
+//===- features/FeatureVector.h - The 71 method features -------*- C++ -*-===//
+///
+/// \file
+/// The feature vector of section 4.1: 71 numerical attributes per method,
+/// "dynamically extracted from the compiler just prior to the optimization
+/// stage". Layout:
+///
+///   [0..3]    scalar counters (Table 1): exception handlers, arguments,
+///             temporaries, tree nodes
+///   [4..18]   binary attributes (Table 1), 15 of them
+///   [19..32]  type distributions (Table 2), 14 counters, 16-bit saturating
+///   [33..70]  operation distributions (Table 3), 38 counters, 8-bit
+///             saturating
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_FEATURES_FEATUREVECTOR_H
+#define JITML_FEATURES_FEATUREVECTOR_H
+
+#include "bytecode/Type.h"
+
+#include <array>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace jitml {
+
+/// Indices of the scalar counter features.
+enum CounterFeature : unsigned {
+  CF_ExceptionHandlers = 0,
+  CF_Arguments,
+  CF_Temporaries,
+  CF_TreeNodes,
+  NumCounterFeatures,
+};
+
+/// Indices of the binary attribute features, offset by AttrBase.
+enum AttrFeature : unsigned {
+  AF_Constructor = 0,
+  AF_Final,
+  AF_Protected,
+  AF_Public,
+  AF_Static,
+  AF_Synchronized,
+  AF_ManyIterationLoops,
+  AF_MayHaveLoops,
+  AF_MayHaveManyIterationLoops,
+  AF_AllocatesDynamicMemory,
+  AF_UnsafeSymbols,
+  AF_UsesBigDecimal,
+  AF_VirtualMethodOverridden,
+  AF_StrictFloatingPoint,
+  AF_UsesFloatingPoint,
+  NumAttrFeatures,
+};
+
+/// Indices of the operation distributions (Table 3), offset by OpBase.
+enum OpFeature : unsigned {
+  // ALU
+  OF_Add = 0,
+  OF_Sub,
+  OF_Mul,
+  OF_Div,
+  OF_Rem,
+  OF_Neg,
+  OF_Shift,
+  OF_Or,
+  OF_And,
+  OF_Xor,
+  OF_Inc,
+  OF_Compare,
+  // Cast
+  OF_CastByte,
+  OF_CastChar,
+  OF_CastShort,
+  OF_CastInt,
+  OF_CastLong,
+  OF_CastFloat,
+  OF_CastDouble,
+  OF_CastLongDouble,
+  OF_CastAddress,
+  OF_CastObject,
+  OF_CastPacked,
+  OF_CastZoned,
+  OF_CastCheck,
+  // Load/Store
+  OF_Load,
+  OF_LoadConst,
+  OF_Store,
+  // Memory
+  OF_New,
+  OF_NewArray,
+  OF_NewMultiArray,
+  // JVM
+  OF_InstanceOf,
+  OF_Synchronization,
+  OF_Throw,
+  // Branch
+  OF_Branch,
+  OF_Call,
+  // Array / mixed
+  OF_ArrayOperations,
+  OF_MixedOperations,
+  NumOpFeatures,
+};
+
+constexpr unsigned AttrBase = NumCounterFeatures;                    // 4
+constexpr unsigned TypeBase = AttrBase + NumAttrFeatures;            // 19
+constexpr unsigned OpBase = TypeBase + NumDataTypes;                 // 33
+constexpr unsigned NumFeatures = OpBase + NumOpFeatures;             // 71
+static_assert(NumFeatures == 71, "the paper's feature vector has 71 dims");
+
+/// The raw (un-normalized) feature vector of a method. Stored as unsigned
+/// counters; the mldata normalizer maps each component to [0,1] (Eq. 3).
+class FeatureVector {
+public:
+  FeatureVector() { Values.fill(0); }
+
+  uint32_t get(unsigned I) const {
+    assert(I < NumFeatures && "feature index out of range");
+    return Values[I];
+  }
+  void set(unsigned I, uint32_t V) {
+    assert(I < NumFeatures && "feature index out of range");
+    Values[I] = V;
+  }
+
+  uint32_t counter(CounterFeature F) const { return Values[F]; }
+  bool attr(AttrFeature F) const { return Values[AttrBase + F] != 0; }
+  void setAttr(AttrFeature F, bool V) { Values[AttrBase + F] = V ? 1 : 0; }
+  uint32_t typeCount(DataType T) const {
+    return Values[TypeBase + (unsigned)T];
+  }
+  uint32_t opCount(OpFeature F) const { return Values[OpBase + F]; }
+
+  /// Lexicographic comparison — the ranking stage sorts records by feature
+  /// vector to aggregate experiments on the same method shape (Figure 3).
+  friend bool operator<(const FeatureVector &A, const FeatureVector &B) {
+    return A.Values < B.Values;
+  }
+  friend bool operator==(const FeatureVector &A, const FeatureVector &B) {
+    return A.Values == B.Values;
+  }
+
+  const std::array<uint32_t, NumFeatures> &raw() const { return Values; }
+  std::array<uint32_t, NumFeatures> &raw() { return Values; }
+
+  /// 64-bit content hash (for unique-vector counting).
+  uint64_t hash() const;
+
+private:
+  std::array<uint32_t, NumFeatures> Values;
+};
+
+/// Stable, human-readable name of feature \p I ("treeNodes", "type.float",
+/// "op.loadconst", ...). Used by Table 1-3 printers and model dumps.
+const char *featureName(unsigned I);
+
+/// Group label for feature \p I: "counter", "attribute", "type", "op".
+const char *featureGroup(unsigned I);
+
+} // namespace jitml
+
+#endif // JITML_FEATURES_FEATUREVECTOR_H

@@ -1,0 +1,77 @@
+//===- harness/Experiment.cpp ---------------------------------------------===//
+
+#include "harness/Experiment.h"
+
+#include <cmath>
+
+using namespace jitml;
+
+RunResult jitml::runOnce(const Program &P, unsigned Iterations,
+                         LearnedStrategyProvider *Provider,
+                         uint64_t RunSeed) {
+  VirtualMachine::Config Cfg;
+  Cfg.Clock.Seed = mix64(RunSeed ^ 0xc10c4);
+  VirtualMachine VM(P, Cfg);
+  if (Provider)
+    VM.setModifierHook(makeLearnedHook(*Provider));
+
+  RunResult Out;
+  for (unsigned I = 0; I < Iterations; ++I) {
+    ExecResult R = VM.run({Value::ofI((int64_t)I)});
+    assert(!R.Exceptional && "benchmark must not throw out of main");
+    Out.Checksum = (int64_t)mix64((uint64_t)Out.Checksum ^ (uint64_t)R.Ret.I);
+  }
+  Out.AppCycles = VM.stats().AppCycles;
+  Out.Compilations = VM.stats().Compilations;
+  // OS-level disturbances: small seeded multiplicative noise on every
+  // measured time (the quantities the paper averages over 30 runs).
+  Rng Noise(mix64(RunSeed ^ 0x5c4ed));
+  Out.WallCycles =
+      VM.stats().totalCycles() * (1.0 + 0.008 * Noise.nextGaussian());
+  Out.CompileCycles =
+      VM.stats().CompileCycles * (1.0 + 0.008 * Noise.nextGaussian());
+  return Out;
+}
+
+Series jitml::measureSeries(const Program &P, const ExperimentConfig &Config,
+                            LearnedStrategyProvider *Provider) {
+  Series Out;
+  for (unsigned Run = 0; Run < Config.Runs; ++Run) {
+    RunResult R = runOnce(P, Config.Iterations, Provider,
+                          mix64(Config.Seed + Run * 0x9e37u));
+    Out.Wall.add(R.WallCycles);
+    Out.Compile.add(R.CompileCycles);
+    if (Run == 0)
+      Out.Checksum = R.Checksum;
+    else
+      assert(Out.Checksum == R.Checksum && "non-deterministic benchmark");
+  }
+  return Out;
+}
+
+namespace {
+
+Relative ratioOf(double Num, double NumCi, double Den, double DenCi) {
+  Relative R;
+  if (Den <= 0.0 || Num <= 0.0)
+    return R;
+  R.Value = Num / Den;
+  double RelErr = std::sqrt((NumCi / Num) * (NumCi / Num) +
+                            (DenCi / Den) * (DenCi / Den));
+  R.Ci = R.Value * RelErr;
+  return R;
+}
+
+} // namespace
+
+Relative jitml::relativePerformance(const Series &Baseline,
+                                    const Series &Variant) {
+  return ratioOf(Baseline.Wall.mean(), Baseline.Wall.ci95HalfWidth(),
+                 Variant.Wall.mean(), Variant.Wall.ci95HalfWidth());
+}
+
+Relative jitml::relativeCompileTime(const Series &Baseline,
+                                    const Series &Variant) {
+  return ratioOf(Variant.Compile.mean(), Variant.Compile.ci95HalfWidth(),
+                 Baseline.Compile.mean(), Baseline.Compile.ci95HalfWidth());
+}

@@ -1,0 +1,77 @@
+//===- harness/Experiment.h - Measurement methodology -----------*- C++ -*-===//
+///
+/// \file
+/// The paper's measurement methodology (section 8.1): "Each JVM invocation
+/// was run 30 times to account for disturbances (e.g.: scheduling policies
+/// in the operating system, garbage collection in the JVM), and a 95%
+/// confidence interval is presented along with the average." A JVM
+/// invocation here is one fresh VirtualMachine executing the benchmark's
+/// entry method for N internal iterations: N=1 for *start-up* runs, N=10
+/// for *throughput* runs.
+///
+/// Simulated runs are deterministic, so the cross-run disturbances are
+/// modeled: each run uses a different clock seed (different migration
+/// pattern) and a small seeded multiplicative noise on the measured wall
+/// time, which exercises the CI machinery realistically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_HARNESS_EXPERIMENT_H
+#define JITML_HARNESS_EXPERIMENT_H
+
+#include "jitml/LearnedStrategy.h"
+#include "support/Statistics.h"
+#include "workloads/Workload.h"
+
+namespace jitml {
+
+/// Measurements of one JVM invocation.
+struct RunResult {
+  double WallCycles = 0.0;    ///< app + compile, with measurement noise
+  double AppCycles = 0.0;
+  double CompileCycles = 0.0;
+  int64_t Checksum = 0;
+  uint64_t Compilations = 0;
+};
+
+/// Aggregates over the repetition loop.
+struct Series {
+  RunningStat Wall;
+  RunningStat Compile;
+  int64_t Checksum = 0; ///< must agree across runs and configurations
+};
+
+struct ExperimentConfig {
+  unsigned Iterations = 1; ///< 1 = start-up, 10 = throughput
+  unsigned Runs = 30;
+  double NoiseSigma = 0.008; ///< relative wall-time noise per run
+  uint64_t Seed = 2011;
+};
+
+/// One JVM invocation of \p P. \p Provider selects learned plans when
+/// non-null; the baseline (out-of-the-box) compiler otherwise.
+RunResult runOnce(const Program &P, unsigned Iterations,
+                  LearnedStrategyProvider *Provider, uint64_t RunSeed);
+
+/// The full 30-run series for one (benchmark, configuration) pair.
+Series measureSeries(const Program &P, const ExperimentConfig &Config,
+                     LearnedStrategyProvider *Provider);
+
+/// Ratio helpers for the relative bars the figures report. Confidence
+/// half-widths propagate first-order.
+struct Relative {
+  double Value = 0.0;
+  double Ci = 0.0;
+};
+
+/// Relative performance (Figures 6/8/10/11): baseline time / variant
+/// time, so > 1 means the learned plans win.
+Relative relativePerformance(const Series &Baseline, const Series &Variant);
+
+/// Relative compilation time (Figures 7/9/12/13): variant compile time /
+/// baseline compile time, so < 1 means the learned plans compile faster.
+Relative relativeCompileTime(const Series &Baseline, const Series &Variant);
+
+} // namespace jitml
+
+#endif // JITML_HARNESS_EXPERIMENT_H

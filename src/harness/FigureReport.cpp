@@ -1,0 +1,133 @@
+//===- harness/FigureReport.cpp -------------------------------------------===//
+
+#include "harness/FigureReport.h"
+
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace jitml;
+
+unsigned jitml::configuredRuns(unsigned Default) {
+  const char *Env = std::getenv("JITML_RUNS");
+  if (!Env || !*Env)
+    return Default;
+  long V = std::strtol(Env, nullptr, 10);
+  return V >= 1 ? (unsigned)V : Default;
+}
+
+FigureData jitml::runFigure(const FigureRequest &Request,
+                            const ModelStore::Artifacts &Artifacts) {
+  const std::vector<WorkloadSpec> &Suite =
+      Request.BenchSuite == Suite::SpecJvm98 ? specJvm98Suite()
+                                             : daCapoSuite();
+  FigureData Data;
+  std::vector<std::vector<double>> GeoInputs(Artifacts.Sets.size());
+
+  for (const WorkloadSpec &Spec : Suite) {
+    std::printf("[figure] %s: measuring baseline (%u runs x %u iters)\n",
+                Spec.Name.c_str(), Request.Runs, Request.Iterations);
+    std::fflush(stdout);
+    Program P = buildWorkload(Spec);
+    ExperimentConfig EC;
+    EC.Iterations = Request.Iterations;
+    EC.Runs = Request.Runs;
+    EC.Seed = mix64(Spec.Seed ^ 0xf19u);
+    Series Baseline = measureSeries(P, EC, nullptr);
+
+    FigureData::Row Row;
+    Row.Benchmark = Spec.Name;
+    Row.Code = Spec.Code;
+    Row.PerModel.resize(Artifacts.Sets.size());
+    const ModelSet *LooSet = ModelStore::setExcluding(Artifacts, Spec.Code);
+    Row.LeaveOneOut = LooSet != nullptr;
+
+    auto MeasureWith = [&](const ModelSet &Set) {
+      LearnedStrategyProvider Provider(Set);
+      Series Learned = measureSeries(P, EC, &Provider);
+      // Correctness first: the learned compiler must compute the same
+      // answers as the baseline.
+      assert(Learned.Checksum == Baseline.Checksum &&
+             "learned configuration changed program semantics");
+      switch (Request.Metric) {
+      case FigureMetric::StartupPerformance:
+      case FigureMetric::ThroughputPerformance:
+        return relativePerformance(Baseline, Learned);
+      case FigureMetric::CompileTime:
+        return relativeCompileTime(Baseline, Learned);
+      }
+      return Relative();
+    };
+
+    if (LooSet) {
+      // Training benchmark: only the fold that excluded it is honest.
+      for (size_t S = 0; S < Artifacts.Sets.size(); ++S)
+        if (&Artifacts.Sets[S] == LooSet)
+          Row.PerModel[S] = MeasureWith(*LooSet);
+    } else {
+      for (size_t S = 0; S < Artifacts.Sets.size(); ++S) {
+        Row.PerModel[S] = MeasureWith(Artifacts.Sets[S]);
+        if (Row.PerModel[S].Value > 0.0)
+          GeoInputs[S].push_back(Row.PerModel[S].Value);
+      }
+    }
+    Data.Rows.push_back(std::move(Row));
+  }
+  Data.ModelGeoMean.resize(Artifacts.Sets.size(), 0.0);
+  for (size_t S = 0; S < GeoInputs.size(); ++S)
+    if (!GeoInputs[S].empty())
+      Data.ModelGeoMean[S] = geometricMean(GeoInputs[S]);
+  return Data;
+}
+
+std::string jitml::formatFigure(const FigureRequest &Request,
+                                const FigureData &Data) {
+  TablePrinter Table;
+  std::vector<std::string> Header{"benchmark"};
+  for (size_t S = 0; S < 5; ++S)
+    Header.push_back("H" + std::to_string(S + 1));
+  Header.push_back("note");
+  Table.setHeader(Header);
+  for (const FigureData::Row &Row : Data.Rows) {
+    std::vector<std::string> Cells{Row.Benchmark};
+    for (const Relative &R : Row.PerModel)
+      Cells.push_back(R.Value > 0.0 ? TablePrinter::fmtCi(R.Value, R.Ci)
+                                    : std::string("-"));
+    Cells.push_back(Row.LeaveOneOut ? "leave-one-out" : "reservation set");
+    Table.addRow(std::move(Cells));
+  }
+  {
+    std::vector<std::string> Cells{"geomean (reservation)"};
+    for (double G : Data.ModelGeoMean)
+      Cells.push_back(G > 0.0 ? TablePrinter::fmt(G) : std::string("-"));
+    Cells.push_back("");
+    Table.addRow(std::move(Cells));
+  }
+  std::string Out = "== " + Request.Title + " ==\n";
+  switch (Request.Metric) {
+  case FigureMetric::StartupPerformance:
+  case FigureMetric::ThroughputPerformance:
+    Out += "relative performance vs out-of-the-box compiler; "
+           "higher bars are better\n";
+    break;
+  case FigureMetric::CompileTime:
+    Out += "relative compilation time vs out-of-the-box compiler; "
+           "lower bars are better\n";
+    break;
+  }
+  Out += formatFigureRunsNote(Request.Runs, Request.Iterations);
+  Out += Table.render();
+  return Out;
+}
+
+namespace jitml {
+std::string formatFigureRunsNote(unsigned Runs, unsigned Iterations) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf),
+                "%u runs per configuration, %u iteration(s) per JVM "
+                "invocation, 95%% CI\n",
+                Runs, Iterations);
+  return Buf;
+}
+} // namespace jitml

@@ -1,0 +1,70 @@
+//===- harness/FigureReport.h - Figure/table row printers -------*- C++ -*-===//
+///
+/// \file
+/// Shared driver behind the Figure 6-13 bench binaries: measures a suite
+/// of benchmarks under the baseline compiler and under each of the five
+/// leave-one-out model sets, then prints the same rows/series the paper's
+/// plots show. For benchmarks that belong to the training set,
+/// leave-one-out applies: only the model trained without them is reported
+/// ("hence the single bar for those benchmarks").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_HARNESS_FIGUREREPORT_H
+#define JITML_HARNESS_FIGUREREPORT_H
+
+#include "harness/Experiment.h"
+#include "harness/ModelStore.h"
+
+namespace jitml {
+
+/// What the figure plots.
+enum class FigureMetric : uint8_t {
+  StartupPerformance,  ///< Figures 6, 8 (higher = better)
+  CompileTime,         ///< Figures 7, 9, 12, 13 (lower = better)
+  ThroughputPerformance, ///< Figures 10, 11
+};
+
+struct FigureRequest {
+  std::string Title;
+  FigureMetric Metric = FigureMetric::StartupPerformance;
+  Suite BenchSuite = Suite::SpecJvm98;
+  unsigned Iterations = 1; ///< 1 start-up, 10 throughput
+  unsigned Runs = 30;
+};
+
+/// Measured cells for one figure: per benchmark, either one LOO value or
+/// all five model values.
+struct FigureData {
+  struct Row {
+    std::string Benchmark;
+    std::string Code;
+    bool LeaveOneOut = false;
+    /// One entry per model set (H1..H5); LOO rows fill only their fold.
+    std::vector<Relative> PerModel;
+  };
+  std::vector<Row> Rows;
+  /// Geometric means across benchmarks, one per model set (reservation-set
+  /// rows only, mirroring how the paper summarizes averages).
+  std::vector<double> ModelGeoMean;
+};
+
+/// Runs the whole figure. Progress lines go to stdout (these are long
+/// benchmarks); rows are returned for printing.
+FigureData runFigure(const FigureRequest &Request,
+                     const ModelStore::Artifacts &Artifacts);
+
+/// Renders the standard table for a figure.
+std::string formatFigure(const FigureRequest &Request,
+                         const FigureData &Data);
+
+/// Number of measurement runs, honoring the JITML_RUNS environment
+/// override (useful for quick smoke runs of the bench binaries).
+unsigned configuredRuns(unsigned Default = 30);
+
+/// "N runs per configuration, M iteration(s) ..." annotation line.
+std::string formatFigureRunsNote(unsigned Runs, unsigned Iterations);
+
+} // namespace jitml
+
+#endif // JITML_HARNESS_FIGUREREPORT_H

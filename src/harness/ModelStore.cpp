@@ -1,0 +1,98 @@
+//===- harness/ModelStore.cpp ---------------------------------------------===//
+
+#include "harness/ModelStore.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sys/stat.h>
+
+using namespace jitml;
+
+std::string ModelStore::cacheDir() {
+  const char *Env = std::getenv("JITML_CACHE_DIR");
+  return Env && *Env ? Env : "./jitml_bench_cache";
+}
+
+CollectConfig ModelStore::collectConfig() { return CollectConfig(); }
+
+TrainConfig ModelStore::trainConfig() { return TrainConfig(); }
+
+const ModelSet *ModelStore::setExcluding(const Artifacts &A,
+                                         const std::string &BenchmarkCode) {
+  for (const ModelSet &S : A.Sets)
+    if (S.LeftOutBenchmark == BenchmarkCode)
+      return &S;
+  return nullptr;
+}
+
+namespace {
+
+/// Re-encodes an intermediate data set as an archive for caching; the
+/// dictionary is rebuilt from the resolved signatures.
+bool saveDataSet(const std::string &Path, const IntermediateDataSet &Data) {
+  StringInterner Dict;
+  std::vector<CollectionRecord> Records;
+  Records.reserve(Data.Records.size());
+  for (const TaggedRecord &T : Data.Records) {
+    CollectionRecord R = T.Record;
+    R.SignatureId = Dict.intern(T.Signature);
+    Records.push_back(std::move(R));
+  }
+  return writeArchiveFile(Path, Dict, Records);
+}
+
+bool loadDataSet(const std::string &Path, const std::string &Tag,
+                 IntermediateDataSet &Out) {
+  ArchiveData Archive;
+  if (!readArchiveFile(Path, Archive))
+    return false;
+  Out = unarchive(Archive, Tag);
+  return !Out.Records.empty();
+}
+
+} // namespace
+
+ModelStore::Artifacts ModelStore::getOrBuild(bool Verbose) {
+  Artifacts A;
+  std::string Dir = cacheDir();
+  ::mkdir(Dir.c_str(), 0755);
+
+  CollectConfig CC = collectConfig();
+  for (const WorkloadSpec &Spec : trainingBenchmarks()) {
+    std::string Path = Dir + "/" + Spec.Code + ".jmla";
+    IntermediateDataSet Data;
+    if (loadDataSet(Path, Spec.Code, Data)) {
+      if (Verbose)
+        std::printf("[modelstore] %s: %zu records (cached)\n",
+                    Spec.Name.c_str(), Data.size());
+    } else {
+      if (Verbose)
+        std::printf("[modelstore] %s: collecting...\n", Spec.Name.c_str());
+      std::fflush(stdout);
+      Data = collectFromWorkload(Spec, CC);
+      if (Verbose)
+        std::printf("[modelstore] %s: %zu records collected\n",
+                    Spec.Name.c_str(), Data.size());
+      if (!saveDataSet(Path, Data) && Verbose)
+        std::printf("[modelstore] warning: could not cache %s\n",
+                    Path.c_str());
+    }
+    A.PerBenchmark.push_back(std::move(Data));
+  }
+
+  if (Verbose)
+    std::printf("[modelstore] training 5 leave-one-out model sets "
+                "(3 levels each, C=%.0f)...\n",
+                trainConfig().Svm.C);
+  std::fflush(stdout);
+  A.Sets = trainLeaveOneOut(A.PerBenchmark, trainConfig());
+  if (Verbose)
+    for (const ModelSet &S : A.Sets)
+      std::printf("[modelstore] %s (leaves out %s): cold=%s warm=%s "
+                  "hot=%s\n",
+                  S.Name.c_str(), S.LeftOutBenchmark.c_str(),
+                  S.Levels[0].Valid ? "ok" : "-",
+                  S.Levels[1].Valid ? "ok" : "-",
+                  S.Levels[2].Valid ? "ok" : "-");
+  return A;
+}

@@ -1,0 +1,49 @@
+//===- harness/ModelStore.h - Cached collection + training ------*- C++ -*-===//
+///
+/// \file
+/// The benchmark binaries all need the same trained artifacts: collection
+/// data for the five training benchmarks and the five leave-one-out model
+/// sets. Collection is the expensive step, so its archives are cached on
+/// disk (JITML_CACHE_DIR, default ./jitml_bench_cache) in the binary
+/// archive format; models are retrained from the archives in memory (fast
+/// — the paper's models took 30-90 s on 2008 hardware, ours take well
+/// under a second each at bench scale).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_HARNESS_MODELSTORE_H
+#define JITML_HARNESS_MODELSTORE_H
+
+#include "jitml/Training.h"
+
+namespace jitml {
+
+class ModelStore {
+public:
+  struct Artifacts {
+    /// Collection data per training benchmark (co, db, mp, mt, rt order).
+    std::vector<IntermediateDataSet> PerBenchmark;
+    /// The five leave-one-out model sets H1..H5.
+    std::vector<ModelSet> Sets;
+  };
+
+  /// Collects (or loads cached archives) and trains. Prints progress to
+  /// stdout when \p Verbose.
+  static Artifacts getOrBuild(bool Verbose = true);
+
+  /// Cache directory in use ($JITML_CACHE_DIR or ./jitml_bench_cache).
+  static std::string cacheDir();
+
+  /// Model set whose training fold excluded \p BenchmarkCode, or nullptr
+  /// when the benchmark was not part of the training suite.
+  static const ModelSet *setExcluding(const Artifacts &A,
+                                      const std::string &BenchmarkCode);
+
+  /// Default collection/training configs shared by all benches.
+  static CollectConfig collectConfig();
+  static TrainConfig trainConfig();
+};
+
+} // namespace jitml
+
+#endif // JITML_HARNESS_MODELSTORE_H

@@ -1,0 +1,71 @@
+//===- il/Dominators.cpp --------------------------------------------------===//
+
+#include "il/Dominators.h"
+
+using namespace jitml;
+
+DominatorTree::DominatorTree(const MethodIL &IL) {
+  uint32_t N = IL.numBlocks();
+  Idom.assign(N, InvalidBlock);
+  RpoIndex.assign(N, UINT32_MAX);
+  Rpo = IL.reversePostOrder();
+  for (uint32_t I = 0; I < Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+
+  // Predecessors including handler edges (a handler's preds are all blocks
+  // that list it in Handlers).
+  std::vector<std::vector<BlockId>> Preds(N);
+  for (BlockId B = 0; B < N; ++B) {
+    if (RpoIndex[B] == UINT32_MAX)
+      continue;
+    for (BlockId S : IL.block(B).Succs)
+      Preds[S].push_back(B);
+    for (const HandlerRef &H : IL.block(B).Handlers)
+      Preds[H.Handler].push_back(B);
+  }
+
+  BlockId Entry = IL.entryBlock();
+  Idom[Entry] = Entry;
+
+  auto Intersect = [&](BlockId A, BlockId B) {
+    while (A != B) {
+      while (RpoIndex[A] > RpoIndex[B])
+        A = Idom[A];
+      while (RpoIndex[B] > RpoIndex[A])
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (BlockId B : Rpo) {
+      if (B == Entry)
+        continue;
+      BlockId NewIdom = InvalidBlock;
+      for (BlockId P : Preds[B]) {
+        if (Idom[P] == InvalidBlock)
+          continue; // not yet processed
+        NewIdom = NewIdom == InvalidBlock ? P : Intersect(P, NewIdom);
+      }
+      if (NewIdom != InvalidBlock && Idom[B] != NewIdom) {
+        Idom[B] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(BlockId A, BlockId B) const {
+  if (Idom[B] == InvalidBlock || Idom[A] == InvalidBlock)
+    return false;
+  while (true) {
+    if (A == B)
+      return true;
+    BlockId Up = Idom[B];
+    if (Up == B)
+      return false; // reached the entry
+    B = Up;
+  }
+}

@@ -1,0 +1,45 @@
+//===- il/Dominators.h - Dominator tree over the block CFG -----*- C++ -*-===//
+///
+/// \file
+/// Iterative dominator computation (Cooper-Harvey-Kennedy). Used by loop
+/// detection, loop-invariant code motion, and the dominator-scoped value
+/// numbering in global CSE.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_IL_DOMINATORS_H
+#define JITML_IL_DOMINATORS_H
+
+#include "il/MethodIL.h"
+
+#include <vector>
+
+namespace jitml {
+
+/// Immediate-dominator table for the reachable portion of a CFG. Handler
+/// edges participate as ordinary edges so code motion never crosses into a
+/// handler incorrectly.
+class DominatorTree {
+public:
+  explicit DominatorTree(const MethodIL &IL);
+
+  /// Immediate dominator of \p B; the entry block's idom is itself.
+  /// InvalidBlock for unreachable blocks.
+  BlockId idom(BlockId B) const { return Idom[B]; }
+
+  /// True when \p A dominates \p B (reflexive).
+  bool dominates(BlockId A, BlockId B) const;
+
+  /// Blocks in reverse post order (reachable only) — handy for passes that
+  /// want dominators and a consistent visit order.
+  const std::vector<BlockId> &rpo() const { return Rpo; }
+
+private:
+  std::vector<BlockId> Idom;
+  std::vector<uint32_t> RpoIndex; ///< UINT32_MAX for unreachable
+  std::vector<BlockId> Rpo;
+};
+
+} // namespace jitml
+
+#endif // JITML_IL_DOMINATORS_H

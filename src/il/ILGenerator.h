@@ -1,0 +1,28 @@
+//===- il/ILGenerator.h - Bytecode -> tree IL -------------------*- C++ -*-===//
+///
+/// \file
+/// The IL Generator of Figure 1: converts verified stack bytecode into the
+/// tree-form IL by abstract interpretation of the operand stack. Runtime
+/// checks (null, bounds, division, cast) become explicit treetops; calls and
+/// allocations are anchored at their bytecode position so evaluation order
+/// is preserved under the IL's evaluate-at-first-reference (DAG) semantics;
+/// values live across block boundaries are spilled to synthetic locals.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_IL_ILGENERATOR_H
+#define JITML_IL_ILGENERATOR_H
+
+#include "il/MethodIL.h"
+
+#include <memory>
+
+namespace jitml {
+
+/// Generates the IL for \p MethodIndex. The bytecode must already verify;
+/// malformed input trips assertions rather than returning errors.
+std::unique_ptr<MethodIL> generateIL(const Program &P, uint32_t MethodIndex);
+
+} // namespace jitml
+
+#endif // JITML_IL_ILGENERATOR_H

@@ -1,0 +1,198 @@
+//===- il/ILOps.h - Tree IL opcodes ----------------------------*- C++ -*-===//
+///
+/// \file
+/// Opcodes of the tree-form intermediate language. Like Testarossa's IL
+/// (paper section 2), the IL is "used as both input and output during the
+/// optimization process": methods are lists of treetops grouped into basic
+/// blocks, and every optimization consumes and produces the same form.
+/// Checks (null, bounds, division, cast) are explicit treetops so that
+/// check-elimination transformations can remove them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_IL_ILOPS_H
+#define JITML_IL_ILOPS_H
+
+#include "bytecode/Opcode.h"
+#include "bytecode/Type.h"
+
+#include <cstdint>
+
+namespace jitml {
+
+enum class ILOp : uint8_t {
+  // --- Expressions ---
+  Const = 0,    ///< constant of Type (ConstI or ConstF payload)
+  LoadLocal,    ///< A = local slot
+  LoadGlobal,   ///< A = global slot
+  LoadField,    ///< A = field index; child 0 = object
+  LoadElem,     ///< children: array, index
+  ArrayLen,     ///< child: array
+  LoadException,///< the in-flight exception at a handler entry
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Rem,
+  Neg,
+  Shl,
+  Shr,
+  Or,
+  And,
+  Xor,
+  Cmp,          ///< three-way compare of children, yields Int32
+  CmpCond,      ///< A = BcCond; children lhs, rhs; yields 0/1 Int32
+  Conv,         ///< A = source DataType; child 0 = value
+  Call,         ///< A = method index, B = 1 for virtual dispatch
+  New,          ///< A = class index
+  NewArray,     ///< Type = element type; child 0 = length
+  NewMultiArray,///< Type = element type; A = dims; children = lengths
+  InstanceOf,   ///< A = class index; child 0 = object
+  ArrayCmp,     ///< children: two arrays; yields Int32
+
+  // --- Statements (treetops) ---
+  StoreLocal,   ///< A = slot; child 0 = value
+  StoreGlobal,  ///< A = slot; child 0 = value
+  StoreField,   ///< A = field; children: object, value
+  StoreElem,    ///< children: array, index, value
+  NullCheck,    ///< child: reference that must be nonnull
+  BoundsCheck,  ///< children: array, index
+  DivCheck,     ///< child: integer divisor that must be nonzero
+  CastCheck,    ///< A = class index; child: reference being cast
+  MonitorEnter, ///< child: object
+  MonitorExit,  ///< child: object
+  ArrayCopy,    ///< children: src, srcPos, dst, dstPos, len
+  ExprStmt,     ///< child evaluated for side effects (e.g. discarded call)
+  Branch,       ///< A = BcCond; children lhs, rhs; block has two successors
+  Goto,         ///< unconditional; block has one successor
+  Return,       ///< child 0 = value unless method returns void
+  Throw,        ///< child: exception reference
+};
+
+const char *ilOpName(ILOp Op);
+
+/// True for opcodes that must appear only as treetops (statement roots).
+inline bool isStatementOp(ILOp Op) {
+  switch (Op) {
+  case ILOp::StoreLocal:
+  case ILOp::StoreGlobal:
+  case ILOp::StoreField:
+  case ILOp::StoreElem:
+  case ILOp::NullCheck:
+  case ILOp::BoundsCheck:
+  case ILOp::DivCheck:
+  case ILOp::CastCheck:
+  case ILOp::MonitorEnter:
+  case ILOp::MonitorExit:
+  case ILOp::ArrayCopy:
+  case ILOp::ExprStmt:
+  case ILOp::Branch:
+  case ILOp::Goto:
+  case ILOp::Return:
+  case ILOp::Throw:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Terminator treetops end a basic block.
+inline bool isTerminatorOp(ILOp Op) {
+  switch (Op) {
+  case ILOp::Branch:
+  case ILOp::Goto:
+  case ILOp::Return:
+  case ILOp::Throw:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Expressions with side effects (cannot be removed even when unused, and
+/// block most code motion).
+inline bool hasSideEffects(ILOp Op) {
+  switch (Op) {
+  case ILOp::Call:
+  case ILOp::New:
+  case ILOp::NewArray:
+  case ILOp::NewMultiArray:
+    return true;
+  default:
+    return isStatementOp(Op);
+  }
+}
+
+/// Expressions that read mutable memory (fields, array elements, globals);
+/// value numbering must kill them across stores and calls.
+inline bool readsMemory(ILOp Op) {
+  switch (Op) {
+  case ILOp::LoadGlobal:
+  case ILOp::LoadField:
+  case ILOp::LoadElem:
+  case ILOp::ArrayLen: // array length is immutable, but keep it simple here
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Binary integer/float arithmetic usable by folding and reassociation.
+inline bool isArithOp(ILOp Op) {
+  switch (Op) {
+  case ILOp::Add:
+  case ILOp::Sub:
+  case ILOp::Mul:
+  case ILOp::Div:
+  case ILOp::Rem:
+  case ILOp::Shl:
+  case ILOp::Shr:
+  case ILOp::Or:
+  case ILOp::And:
+  case ILOp::Xor:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Commutative operations (reassociation and CSE canonicalize these).
+inline bool isCommutative(ILOp Op) {
+  switch (Op) {
+  case ILOp::Add:
+  case ILOp::Mul:
+  case ILOp::Or:
+  case ILOp::And:
+  case ILOp::Xor:
+    return true;
+  default:
+    return false;
+  }
+}
+
+/// Opcodes that can raise a runtime exception and therefore end the
+/// "can't reorder past this" region inside a block.
+inline bool ilCanThrow(ILOp Op) {
+  switch (Op) {
+  case ILOp::NullCheck:
+  case ILOp::BoundsCheck:
+  case ILOp::DivCheck:
+  case ILOp::CastCheck:
+  case ILOp::Call:
+  case ILOp::New:
+  case ILOp::NewArray:
+  case ILOp::NewMultiArray:
+  case ILOp::Throw:
+  case ILOp::ArrayCopy:
+  case ILOp::ArrayCmp:
+  case ILOp::MonitorEnter:
+  case ILOp::MonitorExit:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace jitml
+
+#endif // JITML_IL_ILOPS_H

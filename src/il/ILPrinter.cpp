@@ -1,0 +1,110 @@
+//===- il/ILPrinter.cpp ---------------------------------------------------===//
+
+#include "il/ILPrinter.h"
+
+#include <cstdio>
+#include <unordered_set>
+
+using namespace jitml;
+
+namespace {
+
+void printNode(const MethodIL &IL, NodeId Id, unsigned Indent,
+               std::unordered_set<NodeId> &Printed, std::string &Out) {
+  const Node &N = IL.node(Id);
+  char Buf[160];
+  Out.append(Indent * 2, ' ');
+  if (Printed.count(Id)) {
+    std::snprintf(Buf, sizeof(Buf), "==> n%u (commoned)\n", Id);
+    Out += Buf;
+    return;
+  }
+  Printed.insert(Id);
+  std::snprintf(Buf, sizeof(Buf), "n%u %s", Id, ilOpName(N.Op));
+  Out += Buf;
+  if (N.Type != DataType::Void) {
+    Out += '.';
+    Out += dataTypeName(N.Type);
+  }
+  switch (N.Op) {
+  case ILOp::Const:
+    if (isFloatType(N.Type))
+      std::snprintf(Buf, sizeof(Buf), " %g", N.ConstF);
+    else
+      std::snprintf(Buf, sizeof(Buf), " %lld", (long long)N.ConstI);
+    Out += Buf;
+    break;
+  case ILOp::LoadLocal:
+  case ILOp::StoreLocal:
+  case ILOp::LoadGlobal:
+  case ILOp::StoreGlobal:
+    std::snprintf(Buf, sizeof(Buf), " #%d", N.A);
+    Out += Buf;
+    break;
+  case ILOp::LoadField:
+  case ILOp::StoreField:
+    std::snprintf(Buf, sizeof(Buf), " @%d", N.A);
+    Out += Buf;
+    break;
+  case ILOp::Call:
+    std::snprintf(Buf, sizeof(Buf), " %s%s",
+                  IL.program().signatureOf((uint32_t)N.A).c_str(),
+                  N.B ? " [virtual]" : "");
+    Out += Buf;
+    break;
+  case ILOp::Branch:
+  case ILOp::CmpCond:
+    std::snprintf(Buf, sizeof(Buf), " %s", bcCondName((BcCond)N.A));
+    Out += Buf;
+    break;
+  case ILOp::New:
+  case ILOp::InstanceOf:
+  case ILOp::CastCheck:
+    std::snprintf(Buf, sizeof(Buf), " %s",
+                  IL.program().classAt((uint32_t)N.A).Name.c_str());
+    Out += Buf;
+    break;
+  default:
+    break;
+  }
+  Out += '\n';
+  for (NodeId Kid : N.Kids)
+    printNode(IL, Kid, Indent + 1, Printed, Out);
+}
+
+} // namespace
+
+std::string jitml::printTree(const MethodIL &IL, NodeId Root) {
+  std::string Out;
+  std::unordered_set<NodeId> Printed;
+  printNode(IL, Root, 0, Printed, Out);
+  return Out;
+}
+
+std::string jitml::printMethodIL(const MethodIL &IL) {
+  std::string Out = "method " +
+                    IL.program().signatureOf(IL.methodIndex()) + "\n";
+  char Buf[160];
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    const Block &Blk = IL.block(B);
+    if (!Blk.Reachable)
+      continue;
+    std::snprintf(Buf, sizeof(Buf), "block B%u%s%s freq=%.2f ->", B,
+                  B == IL.entryBlock() ? " [entry]" : "",
+                  Blk.IsHandler ? " [handler]" : "", Blk.Frequency);
+    Out += Buf;
+    for (BlockId S : Blk.Succs) {
+      std::snprintf(Buf, sizeof(Buf), " B%u", S);
+      Out += Buf;
+    }
+    for (const HandlerRef &H : Blk.Handlers) {
+      std::snprintf(Buf, sizeof(Buf), " (catch->B%u)", H.Handler);
+      Out += Buf;
+    }
+    Out += '\n';
+    std::unordered_set<NodeId> Printed;
+    for (NodeId Tree : Blk.Trees)
+      printNode(IL, Tree, 1, Printed, Out);
+  }
+  return Out;
+}

@@ -1,0 +1,26 @@
+//===- il/ILPrinter.h - Textual IL dumps ------------------------*- C++ -*-===//
+///
+/// \file
+/// Renders a MethodIL as indented trees grouped by block — the main
+/// debugging aid when writing optimization passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_IL_ILPRINTER_H
+#define JITML_IL_ILPRINTER_H
+
+#include "il/MethodIL.h"
+
+#include <string>
+
+namespace jitml {
+
+/// Renders a single tree rooted at \p Root.
+std::string printTree(const MethodIL &IL, NodeId Root);
+
+/// Renders all reachable blocks with CFG edges and handler annotations.
+std::string printMethodIL(const MethodIL &IL);
+
+} // namespace jitml
+
+#endif // JITML_IL_ILPRINTER_H

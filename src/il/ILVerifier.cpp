@@ -1,0 +1,169 @@
+//===- il/ILVerifier.cpp --------------------------------------------------===//
+
+#include "il/ILVerifier.h"
+
+#include <cstdio>
+
+using namespace jitml;
+
+namespace {
+
+/// Expected child count for an opcode; -1 means variable.
+int expectedKids(const MethodIL &IL, const Node &N) {
+  switch (N.Op) {
+  case ILOp::Const:
+  case ILOp::LoadLocal:
+  case ILOp::LoadGlobal:
+  case ILOp::LoadException:
+  case ILOp::New:
+  case ILOp::Goto:
+    return 0;
+  case ILOp::LoadField:
+  case ILOp::ArrayLen:
+  case ILOp::Neg:
+  case ILOp::Conv:
+  case ILOp::InstanceOf:
+  case ILOp::StoreLocal:
+  case ILOp::StoreGlobal:
+  case ILOp::NullCheck:
+  case ILOp::DivCheck:
+  case ILOp::CastCheck:
+  case ILOp::MonitorEnter:
+  case ILOp::MonitorExit:
+  case ILOp::ExprStmt:
+  case ILOp::Throw:
+  case ILOp::NewArray:
+    return 1;
+  case ILOp::LoadElem:
+  case ILOp::Add:
+  case ILOp::Sub:
+  case ILOp::Mul:
+  case ILOp::Div:
+  case ILOp::Rem:
+  case ILOp::Shl:
+  case ILOp::Shr:
+  case ILOp::Or:
+  case ILOp::And:
+  case ILOp::Xor:
+  case ILOp::Cmp:
+  case ILOp::CmpCond:
+  case ILOp::ArrayCmp:
+  case ILOp::StoreField:
+  case ILOp::BoundsCheck:
+  case ILOp::Branch:
+    return 2;
+  case ILOp::StoreElem:
+    return 3;
+  case ILOp::ArrayCopy:
+    return 5;
+  case ILOp::Call: {
+    if (N.A < 0 || (uint32_t)N.A >= IL.program().numMethods())
+      return -2; // flagged separately
+    return (int)IL.program().methodAt((uint32_t)N.A).numArgs();
+  }
+  case ILOp::NewMultiArray:
+    return N.A;
+  case ILOp::Return:
+    return -1; // 0 or 1
+  }
+  return -1;
+}
+
+} // namespace
+
+std::vector<std::string> jitml::verifyIL(const MethodIL &IL) {
+  std::vector<std::string> Errors;
+  char Buf[256];
+  auto Err = [&](const char *Fmt, auto... Args) {
+    std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
+    Errors.push_back(Buf);
+  };
+
+  if (IL.entryBlock() == InvalidBlock || IL.entryBlock() >= IL.numBlocks()) {
+    Err("missing or invalid entry block");
+    return Errors;
+  }
+
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    const Block &Blk = IL.block(B);
+    if (!Blk.Reachable)
+      continue;
+    if (Blk.Trees.empty()) {
+      Err("B%u: reachable block has no trees", B);
+      continue;
+    }
+    for (size_t TI = 0; TI < Blk.Trees.size(); ++TI) {
+      NodeId Root = Blk.Trees[TI];
+      if (Root >= IL.numNodes()) {
+        Err("B%u: tree %zu references invalid node", B, TI);
+        continue;
+      }
+      const Node &RootN = IL.node(Root);
+      bool IsLast = TI + 1 == Blk.Trees.size();
+      if (isTerminatorOp(RootN.Op) != IsLast) {
+        Err("B%u: tree %zu (%s) %s", B, TI, ilOpName(RootN.Op),
+            IsLast ? "does not terminate the block"
+                   : "is a terminator in the middle of a block");
+      }
+      // Walk the tree checking structure.
+      std::vector<NodeId> Stack{Root};
+      std::vector<bool> OnPath(IL.numNodes(), false);
+      std::vector<NodeId> Visited;
+      while (!Stack.empty()) {
+        NodeId Id = Stack.back();
+        Stack.pop_back();
+        const Node &N = IL.node(Id);
+        if (Id != Root && isStatementOp(N.Op))
+          Err("B%u: statement op %s nested inside a tree", B, ilOpName(N.Op));
+        int Want = expectedKids(IL, N);
+        if (Want == -2)
+          Err("B%u: call node with invalid method index %d", B, N.A);
+        else if (Want >= 0 && (int)N.Kids.size() != Want)
+          Err("B%u: %s has %u children, expected %d", B, ilOpName(N.Op),
+              N.numKids(), Want);
+        if (N.Op == ILOp::Return && N.Kids.size() > 1)
+          Err("B%u: return with more than one child", B);
+        if ((N.Op == ILOp::LoadLocal || N.Op == ILOp::StoreLocal) &&
+            (N.A < 0 || (uint32_t)N.A >= IL.numLocals()))
+          Err("B%u: local slot %d out of range", B, N.A);
+        for (NodeId Kid : N.Kids) {
+          if (Kid >= IL.numNodes()) {
+            Err("B%u: child id out of range", B);
+            continue;
+          }
+          Stack.push_back(Kid);
+        }
+      }
+    }
+    // Successor arity must match the terminator.
+    const Node &Term = IL.node(Blk.Trees.back());
+    unsigned WantSuccs = 0;
+    switch (Term.Op) {
+    case ILOp::Branch:
+      WantSuccs = 2;
+      break;
+    case ILOp::Goto:
+      WantSuccs = 1;
+      break;
+    case ILOp::Return:
+    case ILOp::Throw:
+      WantSuccs = 0;
+      break;
+    default:
+      break;
+    }
+    if (Blk.Succs.size() != WantSuccs)
+      Err("B%u: terminator %s with %zu successors (expected %u)", B,
+          ilOpName(Term.Op), Blk.Succs.size(), WantSuccs);
+    for (BlockId S : Blk.Succs)
+      if (S >= IL.numBlocks())
+        Err("B%u: successor out of range", B);
+    for (const HandlerRef &H : Blk.Handlers) {
+      if (H.Handler >= IL.numBlocks())
+        Err("B%u: handler block out of range", B);
+      else if (!IL.block(H.Handler).IsHandler)
+        Err("B%u: handler edge to non-handler block B%u", B, H.Handler);
+    }
+  }
+  return Errors;
+}

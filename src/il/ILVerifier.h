@@ -1,0 +1,27 @@
+//===- il/ILVerifier.h - IL structural invariants ---------------*- C++ -*-===//
+///
+/// \file
+/// Structural checks run after IL generation and (in tests and debug runs)
+/// after every optimization pass: every reachable block ends in exactly one
+/// terminator, successor counts match the terminator kind, statement opcodes
+/// appear only as treetops, child counts match opcodes, and node/local/CFG
+/// references stay in range.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_IL_ILVERIFIER_H
+#define JITML_IL_ILVERIFIER_H
+
+#include "il/MethodIL.h"
+
+#include <string>
+#include <vector>
+
+namespace jitml {
+
+/// Returns a list of violated invariants; empty means the IL is sound.
+std::vector<std::string> verifyIL(const MethodIL &IL);
+
+} // namespace jitml
+
+#endif // JITML_IL_ILVERIFIER_H

@@ -1,0 +1,247 @@
+//===- il/MethodIL.cpp ----------------------------------------------------===//
+
+#include "il/MethodIL.h"
+
+#include <algorithm>
+
+using namespace jitml;
+
+const char *jitml::ilOpName(ILOp Op) {
+  switch (Op) {
+  case ILOp::Const:
+    return "const";
+  case ILOp::LoadLocal:
+    return "loadlocal";
+  case ILOp::LoadGlobal:
+    return "loadglobal";
+  case ILOp::LoadField:
+    return "loadfield";
+  case ILOp::LoadElem:
+    return "loadelem";
+  case ILOp::ArrayLen:
+    return "arraylen";
+  case ILOp::LoadException:
+    return "loadexception";
+  case ILOp::Add:
+    return "add";
+  case ILOp::Sub:
+    return "sub";
+  case ILOp::Mul:
+    return "mul";
+  case ILOp::Div:
+    return "div";
+  case ILOp::Rem:
+    return "rem";
+  case ILOp::Neg:
+    return "neg";
+  case ILOp::Shl:
+    return "shl";
+  case ILOp::Shr:
+    return "shr";
+  case ILOp::Or:
+    return "or";
+  case ILOp::And:
+    return "and";
+  case ILOp::Xor:
+    return "xor";
+  case ILOp::Cmp:
+    return "cmp";
+  case ILOp::CmpCond:
+    return "cmpcond";
+  case ILOp::Conv:
+    return "conv";
+  case ILOp::Call:
+    return "call";
+  case ILOp::New:
+    return "new";
+  case ILOp::NewArray:
+    return "newarray";
+  case ILOp::NewMultiArray:
+    return "newmultiarray";
+  case ILOp::InstanceOf:
+    return "instanceof";
+  case ILOp::ArrayCmp:
+    return "arraycmp";
+  case ILOp::StoreLocal:
+    return "storelocal";
+  case ILOp::StoreGlobal:
+    return "storeglobal";
+  case ILOp::StoreField:
+    return "storefield";
+  case ILOp::StoreElem:
+    return "storeelem";
+  case ILOp::NullCheck:
+    return "nullcheck";
+  case ILOp::BoundsCheck:
+    return "boundscheck";
+  case ILOp::DivCheck:
+    return "divcheck";
+  case ILOp::CastCheck:
+    return "castcheck";
+  case ILOp::MonitorEnter:
+    return "monitorenter";
+  case ILOp::MonitorExit:
+    return "monitorexit";
+  case ILOp::ArrayCopy:
+    return "arraycopy";
+  case ILOp::ExprStmt:
+    return "exprstmt";
+  case ILOp::Branch:
+    return "branch";
+  case ILOp::Goto:
+    return "goto";
+  case ILOp::Return:
+    return "return";
+  case ILOp::Throw:
+    return "throw";
+  }
+  return "?";
+}
+
+MethodIL::MethodIL(const Program &P, uint32_t MethodIndex)
+    : Prog(&P), MethodIndex(MethodIndex) {
+  const MethodInfo &M = P.methodAt(MethodIndex);
+  LocalTypes = M.LocalTypes;
+}
+
+NodeId MethodIL::makeNode(ILOp Op, DataType Type) {
+  Node N;
+  N.Op = Op;
+  N.Type = Type;
+  Nodes.push_back(std::move(N));
+  return (NodeId)Nodes.size() - 1;
+}
+
+NodeId MethodIL::makeNode(ILOp Op, DataType Type, std::vector<NodeId> Kids) {
+  Node N;
+  N.Op = Op;
+  N.Type = Type;
+  N.Kids = std::move(Kids);
+  Nodes.push_back(std::move(N));
+  return (NodeId)Nodes.size() - 1;
+}
+
+NodeId MethodIL::makeConstI(DataType Type, int64_t V) {
+  NodeId Id = makeNode(ILOp::Const, Type);
+  Nodes[Id].ConstI = V;
+  return Id;
+}
+
+NodeId MethodIL::makeConstF(DataType Type, double V) {
+  NodeId Id = makeNode(ILOp::Const, Type);
+  Nodes[Id].ConstF = V;
+  return Id;
+}
+
+BlockId MethodIL::makeBlock() {
+  Blocks.emplace_back();
+  return (BlockId)Blocks.size() - 1;
+}
+
+void MethodIL::addEdge(BlockId From, BlockId To) {
+  block(From).Succs.push_back(To);
+  block(To).Preds.push_back(From);
+}
+
+void MethodIL::replaceEdge(BlockId From, BlockId OldTo, BlockId NewTo) {
+  bool Replaced = false;
+  for (BlockId &S : block(From).Succs)
+    if (S == OldTo && !Replaced) {
+      S = NewTo;
+      Replaced = true;
+    }
+  assert(Replaced && "edge to replace not found");
+  auto &OldPreds = block(OldTo).Preds;
+  auto It = std::find(OldPreds.begin(), OldPreds.end(), From);
+  assert(It != OldPreds.end() && "stale pred list");
+  OldPreds.erase(It);
+  block(NewTo).Preds.push_back(From);
+}
+
+void MethodIL::recomputePreds() {
+  for (Block &B : Blocks)
+    B.Preds.clear();
+  for (BlockId Id = 0; Id < Blocks.size(); ++Id)
+    for (BlockId S : Blocks[Id].Succs)
+      Blocks[S].Preds.push_back(Id);
+}
+
+void MethodIL::computeReachability() {
+  for (Block &B : Blocks)
+    B.Reachable = false;
+  if (Entry == InvalidBlock)
+    return;
+  std::vector<BlockId> Stack{Entry};
+  Blocks[Entry].Reachable = true;
+  while (!Stack.empty()) {
+    BlockId Id = Stack.back();
+    Stack.pop_back();
+    auto Push = [&](BlockId S) {
+      if (!Blocks[S].Reachable) {
+        Blocks[S].Reachable = true;
+        Stack.push_back(S);
+      }
+    };
+    for (BlockId S : Blocks[Id].Succs)
+      Push(S);
+    for (const HandlerRef &H : Blocks[Id].Handlers)
+      Push(H.Handler);
+  }
+}
+
+uint32_t MethodIL::countLiveNodes() const {
+  std::vector<bool> Seen(Nodes.size(), false);
+  uint32_t Count = 0;
+  std::vector<NodeId> Stack;
+  for (const Block &B : Blocks) {
+    if (!B.Reachable)
+      continue;
+    for (NodeId Root : B.Trees)
+      Stack.push_back(Root);
+  }
+  while (!Stack.empty()) {
+    NodeId Id = Stack.back();
+    Stack.pop_back();
+    if (Seen[Id])
+      continue;
+    Seen[Id] = true;
+    ++Count;
+    for (NodeId Kid : Nodes[Id].Kids)
+      Stack.push_back(Kid);
+  }
+  return Count;
+}
+
+std::vector<BlockId> MethodIL::reversePostOrder() const {
+  std::vector<BlockId> Post;
+  if (Entry == InvalidBlock)
+    return Post;
+  std::vector<uint8_t> State(Blocks.size(), 0); // 0 new, 1 open, 2 done
+  // Iterative DFS with an explicit stack of (block, next-successor-index).
+  std::vector<std::pair<BlockId, size_t>> Stack;
+  Stack.emplace_back(Entry, 0);
+  State[Entry] = 1;
+  auto Successors = [&](BlockId Id) {
+    std::vector<BlockId> All = Blocks[Id].Succs;
+    for (const HandlerRef &H : Blocks[Id].Handlers)
+      All.push_back(H.Handler);
+    return All;
+  };
+  while (!Stack.empty()) {
+    auto &[Id, NextIdx] = Stack.back();
+    std::vector<BlockId> Succ = Successors(Id);
+    if (NextIdx < Succ.size()) {
+      BlockId S = Succ[NextIdx++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.emplace_back(S, 0);
+      }
+      continue;
+    }
+    State[Id] = 2;
+    Post.push_back(Id);
+    Stack.pop_back();
+  }
+  std::reverse(Post.begin(), Post.end());
+  return Post;
+}

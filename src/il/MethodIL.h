@@ -1,0 +1,150 @@
+//===- il/MethodIL.h - Tree IL method representation -----------*- C++ -*-===//
+///
+/// \file
+/// The in-memory IL for one method: a node arena, basic blocks holding
+/// treetop lists, and the CFG. This is the representation every one of the
+/// 58 controllable transformations operates on, the representation the
+/// feature extractor walks "just prior to the start of the optimization
+/// stage" (section 4.1), and the input to the code generator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_IL_METHODIL_H
+#define JITML_IL_METHODIL_H
+
+#include "bytecode/Program.h"
+#include "il/ILOps.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jitml {
+
+using NodeId = uint32_t;
+using BlockId = uint32_t;
+constexpr NodeId InvalidNode = UINT32_MAX;
+constexpr BlockId InvalidBlock = UINT32_MAX;
+
+/// One IL tree node. Nodes live in MethodIL's arena and reference children
+/// by id; trees may share subtrees after value numbering (DAG form), which
+/// the code generator exploits by emitting shared subtrees once.
+struct Node {
+  ILOp Op = ILOp::Const;
+  DataType Type = DataType::Void;
+  int32_t A = 0;      ///< slot/field/class/method/cond payload (per opcode)
+  int32_t B = 0;      ///< secondary payload (e.g. virtual-dispatch flag)
+  int64_t ConstI = 0; ///< integer/decimal constant payload
+  double ConstF = 0;  ///< floating constant payload
+  std::vector<NodeId> Kids;
+
+  bool is(ILOp O) const { return Op == O; }
+  unsigned numKids() const { return (unsigned)Kids.size(); }
+};
+
+/// Exception handler reachable from a block: the handler block plus the
+/// class filter (-1 catches everything).
+struct HandlerRef {
+  BlockId Handler = InvalidBlock;
+  int32_t ClassIndex = -1;
+};
+
+/// A basic block: an ordered list of treetops ending in a terminator.
+struct Block {
+  std::vector<NodeId> Trees;
+  std::vector<BlockId> Succs; ///< Branch: [taken, fallthrough]; Goto: [next]
+  std::vector<BlockId> Preds;
+  std::vector<HandlerRef> Handlers; ///< active try regions, innermost first
+  /// Estimated execution frequency relative to entry (1.0); set by loop
+  /// analysis and used by cold-block outlining and block layout.
+  double Frequency = 1.0;
+  bool IsHandler = false; ///< entered with the in-flight exception
+  bool Reachable = true;
+  /// Set by cold-block outlining: the code generator places cold blocks
+  /// after all warm code so they stop polluting the instruction cache.
+  bool Cold = false;
+};
+
+/// The method-level IL container.
+class MethodIL {
+public:
+  MethodIL(const Program &P, uint32_t MethodIndex);
+
+  const Program &program() const { return *Prog; }
+  uint32_t methodIndex() const { return MethodIndex; }
+  const MethodInfo &methodInfo() const { return Prog->methodAt(MethodIndex); }
+
+  // --- Node arena ---
+  NodeId makeNode(ILOp Op, DataType Type);
+  NodeId makeNode(ILOp Op, DataType Type, std::vector<NodeId> Kids);
+  NodeId makeConstI(DataType Type, int64_t V);
+  NodeId makeConstF(DataType Type, double V);
+
+  Node &node(NodeId Id) {
+    assert(Id < Nodes.size() && "node id out of range");
+    return Nodes[Id];
+  }
+  const Node &node(NodeId Id) const {
+    assert(Id < Nodes.size() && "node id out of range");
+    return Nodes[Id];
+  }
+  uint32_t numNodes() const { return (uint32_t)Nodes.size(); }
+
+  // --- Blocks / CFG ---
+  BlockId makeBlock();
+  Block &block(BlockId Id) {
+    assert(Id < Blocks.size() && "block id out of range");
+    return Blocks[Id];
+  }
+  const Block &block(BlockId Id) const {
+    assert(Id < Blocks.size() && "block id out of range");
+    return Blocks[Id];
+  }
+  uint32_t numBlocks() const { return (uint32_t)Blocks.size(); }
+  BlockId entryBlock() const { return Entry; }
+  void setEntryBlock(BlockId B) { Entry = B; }
+
+  /// Adds CFG edge From -> To (appends to Succs/Preds).
+  void addEdge(BlockId From, BlockId To);
+  /// Replaces the edge From -> OldTo with From -> NewTo.
+  void replaceEdge(BlockId From, BlockId OldTo, BlockId NewTo);
+  /// Recomputes every block's Preds from Succs.
+  void recomputePreds();
+  /// Marks blocks unreachable from the entry (including via handler edges).
+  void computeReachability();
+
+  // --- Locals ---
+  /// Locals [0, method numArgs) are parameters; the IL generator and the
+  /// optimizer may append temporaries.
+  uint32_t numLocals() const { return (uint32_t)LocalTypes.size(); }
+  DataType localType(uint32_t Slot) const {
+    assert(Slot < LocalTypes.size() && "local slot out of range");
+    return LocalTypes[Slot];
+  }
+  uint32_t addLocal(DataType T) {
+    LocalTypes.push_back(T);
+    return (uint32_t)LocalTypes.size() - 1;
+  }
+
+  /// Counts nodes reachable from the treetops of reachable blocks; this is
+  /// the "tree nodes" scalar feature and the unit the compile-time cost
+  /// model charges per pass.
+  uint32_t countLiveNodes() const;
+
+  /// Returns the blocks in reverse post order from the entry (reachable
+  /// blocks only) — the iteration order used by the global passes.
+  std::vector<BlockId> reversePostOrder() const;
+
+private:
+  const Program *Prog;
+  uint32_t MethodIndex;
+  std::vector<Node> Nodes;
+  std::vector<Block> Blocks;
+  std::vector<DataType> LocalTypes;
+  BlockId Entry = InvalidBlock;
+};
+
+} // namespace jitml
+
+#endif // JITML_IL_METHODIL_H

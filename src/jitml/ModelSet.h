@@ -1,0 +1,50 @@
+//===- jitml/ModelSet.h - Per-level learned model bundles -------*- C++ -*-===//
+///
+/// \file
+/// One trained model per optimization level, with its scaling file and
+/// label lookup table. "Separate models are trained for three optimization
+/// levels (cold, warm, hot) ... a learned model was not generated for
+/// scorching. When Testarossa selects scorching, the original compilation
+/// plan is used." (section 8.1). veryHot likewise falls back to the
+/// original plan in this reproduction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_JITML_MODELSET_H
+#define JITML_JITML_MODELSET_H
+
+#include "mldata/Normalizer.h"
+#include "opt/Plan.h"
+#include "svm/LinearModel.h"
+
+#include <string>
+
+namespace jitml {
+
+/// The learned artifacts for one optimization level.
+struct LevelModel {
+  bool Valid = false;
+  Scaling Scale;   ///< Eq. 3 parameters saved at training time
+  LabelMap Labels; ///< label <-> 58-bit modifier lookup table
+  LinearModel Model;
+};
+
+/// A complete model set (what one leave-one-out fold trains).
+struct ModelSet {
+  std::string Name;            ///< e.g. "H3"
+  std::string LeftOutBenchmark; ///< code of the excluded benchmark
+  LevelModel Levels[NumOptLevels];
+
+  bool hasModelFor(OptLevel L) const {
+    return Levels[(unsigned)L].Valid;
+  }
+};
+
+/// The levels the paper trains models for.
+inline bool isLearnedLevel(OptLevel L) {
+  return L == OptLevel::Cold || L == OptLevel::Warm || L == OptLevel::Hot;
+}
+
+} // namespace jitml
+
+#endif // JITML_JITML_MODELSET_H

@@ -1,0 +1,143 @@
+//===- jitml/Training.cpp -------------------------------------------------===//
+
+#include "jitml/Training.h"
+
+#include "collect/CollectionListener.h"
+
+using namespace jitml;
+
+namespace {
+
+/// One collection run of \p Spec with one search strategy.
+IntermediateDataSet collectOnce(const WorkloadSpec &Spec,
+                                const CollectConfig &Config,
+                                SearchStrategy Strategy) {
+  Program P = buildWorkload(Spec);
+
+  StrategyConfig SC;
+  SC.Strategy = Strategy;
+  SC.ModifiersPerLevel = Config.ModifiersPerLevel;
+  SC.UsesPerModifier = Config.UsesPerModifier;
+  SC.MaxRecompilesPerMethod = Config.MaxRecompilesPerMethod;
+  SC.Seed = mix64(Config.Seed ^ Spec.Seed ^ (uint64_t)Strategy);
+  StrategyControl Control(SC);
+
+  VirtualMachine::Config Cfg;
+  Cfg.Control.CollectMode = true;
+  Cfg.Control.ExplorationTargetCycles = Config.ExplorationTargetCycles;
+  Cfg.Control.ExplorationMinInvocations = Config.ExplorationMinInvocations;
+  // Stretch only the cold->warm window: cold is otherwise left almost
+  // unexplored (promotion beats the first exploration recompile), while
+  // warm->hot must stay reachable within the run.
+  for (unsigned LC = 0; LC < 3; ++LC)
+    Cfg.Control.InvocationTriggers[1][LC] *= Config.DwellMultiplier;
+  Cfg.Control.CycleTriggers[1] *= Config.DwellMultiplier;
+  Cfg.InstrumentMethods = true;
+  Cfg.Clock.Seed = mix64(Config.Seed ^ Spec.Seed);
+  VirtualMachine VM(P, Cfg);
+
+  CollectionListener Listener(P);
+  VM.setListener(&Listener);
+  if (Strategy == SearchStrategy::Guided) {
+    // Future-work search (section 5): completed experiments feed their
+    // Eq. 2 ranking value back so new modifiers concentrate on promising
+    // regions of the 2^58 space.
+    Listener.setRecordClosedHook([&Control](const CollectionRecord &Rec) {
+      if (Rec.Invocations == 0)
+        return;
+      Control.noteOutcome(Rec.Level,
+                          PlanModifier::fromRaw(Rec.ModifierBits),
+                          rankValue(Rec, TriggerTable()));
+    });
+  }
+  VM.setModifierHook([&Control](uint32_t Method, OptLevel Level,
+                                const FeatureVector &Features) {
+    (void)Features; // exploration picks modifiers blindly; only the
+                    // learned mode consults the features
+    return Control.modifierFor(Method, Level);
+  });
+  VM.setRecompileGate([&Control](uint32_t Method) {
+    if (Control.methodFrozen(Method) || Control.explorationExhausted())
+      return false;
+    Control.noteRecompile(Method);
+    return true;
+  });
+
+  for (unsigned I = 0; I < Config.Iterations; ++I) {
+    ExecResult R = VM.run({Value::ofI((int64_t)I)});
+    // "Data generated in a session that crashed is not included in the
+    // training data sets": an escaped exception voids this run.
+    if (R.Exceptional)
+      return IntermediateDataSet();
+  }
+  Listener.finalize();
+
+  // Round-trip through the compact binary archive: the same path a
+  // cluster-scale campaign would take through the filesystem.
+  std::vector<uint8_t> Bytes =
+      encodeArchive(Listener.dictionary(), Listener.records());
+  ArchiveData Archive;
+  bool Ok = decodeArchive(Bytes, Archive);
+  assert(Ok && "self-produced archive must decode");
+  (void)Ok;
+  return unarchive(Archive, Spec.Code);
+}
+
+} // namespace
+
+IntermediateDataSet jitml::collectFromWorkload(const WorkloadSpec &Spec,
+                                               const CollectConfig &Config) {
+  // "The training data merges the data from the randomized search and the
+  // progressive randomized search data collections" (section 8.1).
+  IntermediateDataSet Merged =
+      collectOnce(Spec, Config, SearchStrategy::Randomized);
+  Merged.append(collectOnce(Spec, Config, SearchStrategy::Progressive));
+  return Merged;
+}
+
+IntermediateDataSet jitml::collectWithStrategy(const WorkloadSpec &Spec,
+                                               const CollectConfig &Config,
+                                               SearchStrategy Strategy) {
+  return collectOnce(Spec, Config, Strategy);
+}
+
+ModelSet jitml::trainModelSet(const IntermediateDataSet &Data,
+                              const std::string &Name,
+                              const TrainConfig &Config) {
+  ModelSet Set;
+  Set.Name = Name;
+  for (unsigned L = 0; L < NumOptLevels; ++L) {
+    OptLevel Level = (OptLevel)L;
+    if (!isLearnedLevel(Level))
+      continue;
+    std::vector<RankedInstance> Ranked =
+        rankRecords(Data, Level, Config.Selection, Config.Triggers);
+    if (Ranked.size() < 8)
+      continue; // not enough signal for this level
+    LevelModel &LM = Set.Levels[L];
+    LM.Scale = Scaling::fit(Ranked);
+    std::vector<NormalizedInstance> Instances =
+        normalizeInstances(Ranked, LM.Scale, LM.Labels);
+    LM.Model = trainCrammerSinger(Instances, Config.Svm);
+    LM.Valid = true;
+  }
+  return Set;
+}
+
+std::vector<ModelSet>
+jitml::trainLeaveOneOut(const std::vector<IntermediateDataSet> &PerBenchmark,
+                        const TrainConfig &Config) {
+  const std::vector<WorkloadSpec> &Training = trainingBenchmarks();
+  assert(PerBenchmark.size() == Training.size() &&
+         "one data set per training benchmark");
+  std::vector<ModelSet> Sets;
+  for (size_t Fold = 0; Fold < Training.size(); ++Fold) {
+    IntermediateDataSet Merged =
+        mergeExcluding(PerBenchmark, {Training[Fold].Code});
+    std::string Name = "H" + std::to_string(Fold + 1);
+    ModelSet Set = trainModelSet(Merged, Name, Config);
+    Set.LeftOutBenchmark = Training[Fold].Code;
+    Sets.push_back(std::move(Set));
+  }
+  return Sets;
+}

@@ -1,0 +1,78 @@
+//===- mldata/Dataset.h - Training data containers --------------*- C++ -*-===//
+///
+/// \file
+/// Containers for the stages of Figure 3: unarchived intermediate data
+/// sets, merged sets (for cross-validation / leave-one-out), ranked
+/// instances, and the final normalized LIBLINEAR-style instances.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_MLDATA_DATASET_H
+#define JITML_MLDATA_DATASET_H
+
+#include "collect/CollectionRecord.h"
+
+#include <string>
+#include <vector>
+
+namespace jitml {
+
+/// One unarchived record with its provenance (which collection run /
+/// benchmark it came from — leave-one-out merges select on this tag).
+struct TaggedRecord {
+  std::string SourceTag;  ///< e.g. benchmark code "co", "db", ...
+  std::string Signature;  ///< resolved method signature from the archive
+  CollectionRecord Record;
+};
+
+/// An intermediate data set: what unarchiving produces, what merging
+/// combines.
+struct IntermediateDataSet {
+  std::vector<TaggedRecord> Records;
+
+  size_t size() const { return Records.size(); }
+  void append(const IntermediateDataSet &Other) {
+    Records.insert(Records.end(), Other.Records.begin(),
+                   Other.Records.end());
+  }
+};
+
+/// A ranked training instance: one (feature vector, modifier) pair that
+/// survived selection, with its ranking value.
+struct RankedInstance {
+  FeatureVector Features;
+  uint64_t ModifierBits = 0;
+  double RankValue = 0.0; ///< V_i of Eq. 2 (smaller is better)
+};
+
+/// A normalized instance in the form LIBLINEAR consumes: class label in
+/// [1, 2^31-1] plus components scaled to [0, 1].
+struct NormalizedInstance {
+  int32_t Label = 0;
+  std::vector<double> Components; ///< NumFeatures entries in [0,1]
+};
+
+/// Summary counters used by the Table 4 reproduction.
+struct DataSetSummary {
+  uint64_t Instances = 0;
+  uint64_t UniqueClasses = 0;        ///< distinct modifiers
+  uint64_t UniqueFeatureVectors = 0; ///< distinct methods-as-seen
+  /// instances per unique feature vector (the "Vector:Instance Ratio").
+  double vectorInstanceRatio() const {
+    return UniqueFeatureVectors
+               ? (double)Instances / (double)UniqueFeatureVectors
+               : 0.0;
+  }
+};
+
+/// Counts instances / unique classes / unique feature vectors over raw
+/// records of one optimization level ("Merged Data" columns of Table 4).
+DataSetSummary summarizeMerged(const IntermediateDataSet &Data,
+                               OptLevel Level);
+
+/// Same counters over ranked instances ("Ranked Data" columns).
+DataSetSummary summarizeRanked(const std::vector<RankedInstance> &Data);
+
+} // namespace jitml
+
+#endif // JITML_MLDATA_DATASET_H

@@ -1,0 +1,81 @@
+//===- mldata/LibLinearIO.cpp ---------------------------------------------===//
+
+#include "mldata/LibLinearIO.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace jitml;
+
+std::string
+jitml::writeLibLinear(const std::vector<NormalizedInstance> &Data) {
+  std::string Out;
+  char Buf[64];
+  for (const NormalizedInstance &N : Data) {
+    std::snprintf(Buf, sizeof(Buf), "%d", N.Label);
+    Out += Buf;
+    for (size_t I = 0; I < N.Components.size(); ++I) {
+      if (N.Components[I] == 0.0)
+        continue; // "features with value zero can be omitted"
+      std::snprintf(Buf, sizeof(Buf), " %zu:%.10g", I + 1, N.Components[I]);
+      Out += Buf;
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool jitml::readLibLinear(const std::string &Text, unsigned NumComponents,
+                          std::vector<NormalizedInstance> &Out) {
+  Out.clear();
+  std::istringstream In(Text);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    std::istringstream Fields(Line);
+    NormalizedInstance N;
+    if (!(Fields >> N.Label) || N.Label < 1)
+      return false;
+    N.Components.assign(NumComponents, 0.0);
+    std::string Pair;
+    while (Fields >> Pair) {
+      size_t Colon = Pair.find(':');
+      if (Colon == std::string::npos)
+        return false;
+      unsigned long Index = std::strtoul(Pair.c_str(), nullptr, 10);
+      double Value = std::strtod(Pair.c_str() + Colon + 1, nullptr);
+      if (Index < 1 || Index > NumComponents)
+        return false;
+      N.Components[Index - 1] = Value;
+    }
+    Out.push_back(std::move(N));
+  }
+  return true;
+}
+
+bool jitml::writeLibLinearFile(const std::string &Path,
+                               const std::vector<NormalizedInstance> &Data) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Text = writeLibLinear(Data);
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
+  return Written == Text.size();
+}
+
+bool jitml::readLibLinearFile(const std::string &Path,
+                              unsigned NumComponents,
+                              std::vector<NormalizedInstance> &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return false;
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  return readLibLinear(Text, NumComponents, Out);
+}

@@ -1,0 +1,35 @@
+//===- mldata/LibLinearIO.h - LIBLINEAR sparse text format ------*- C++ -*-===//
+///
+/// \file
+/// Reader/writer for the "textual sparse-matrix format, where each line is
+/// a data instance" (Figure 4): the class label followed by `index:value`
+/// pairs with 1-based component indices; zero-valued features are omitted.
+/// LIBLINEAR requires class labels in [1, 2^31-1].
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_MLDATA_LIBLINEARIO_H
+#define JITML_MLDATA_LIBLINEARIO_H
+
+#include "mldata/Dataset.h"
+
+#include <string>
+
+namespace jitml {
+
+/// Renders instances in the sparse text format.
+std::string writeLibLinear(const std::vector<NormalizedInstance> &Data);
+
+/// Parses the sparse text format; returns false on malformed input.
+/// \p NumComponents sets the dense width of the parsed instances.
+bool readLibLinear(const std::string &Text, unsigned NumComponents,
+                   std::vector<NormalizedInstance> &Out);
+
+bool writeLibLinearFile(const std::string &Path,
+                        const std::vector<NormalizedInstance> &Data);
+bool readLibLinearFile(const std::string &Path, unsigned NumComponents,
+                       std::vector<NormalizedInstance> &Out);
+
+} // namespace jitml
+
+#endif // JITML_MLDATA_LIBLINEARIO_H

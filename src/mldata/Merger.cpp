@@ -1,0 +1,39 @@
+//===- mldata/Merger.cpp --------------------------------------------------===//
+
+#include "mldata/Merger.h"
+
+#include <algorithm>
+
+using namespace jitml;
+
+IntermediateDataSet jitml::unarchive(const ArchiveData &Archive,
+                                     const std::string &SourceTag) {
+  IntermediateDataSet Out;
+  Out.Records.reserve(Archive.Records.size());
+  for (const CollectionRecord &R : Archive.Records) {
+    assert(R.SignatureId < Archive.Signatures.size() &&
+           "record references a missing dictionary entry");
+    Out.Records.push_back({SourceTag, Archive.Signatures[R.SignatureId], R});
+  }
+  return Out;
+}
+
+IntermediateDataSet
+jitml::mergeExcluding(const std::vector<IntermediateDataSet> &Sets,
+                      const std::vector<std::string> &ExcludedTags) {
+  IntermediateDataSet Out;
+  for (const IntermediateDataSet &S : Sets)
+    for (const TaggedRecord &T : S.Records) {
+      bool Excluded =
+          std::find(ExcludedTags.begin(), ExcludedTags.end(), T.SourceTag) !=
+          ExcludedTags.end();
+      if (!Excluded)
+        Out.Records.push_back(T);
+    }
+  return Out;
+}
+
+IntermediateDataSet
+jitml::mergeAll(const std::vector<IntermediateDataSet> &Sets) {
+  return mergeExcluding(Sets, {});
+}

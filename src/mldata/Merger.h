@@ -1,0 +1,36 @@
+//===- mldata/Merger.h - Data set merging / unarchiving ---------*- C++ -*-===//
+///
+/// \file
+/// Unarchiving ("extracts information from the compact archives and stores
+/// it in a format that is suitable for further processing") and merging
+/// ("allows for the selective use of data sets of interest to enable
+/// cross-validation and leave-one-out cross-validation") — the first two
+/// stages of the Figure 3 work flow.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_MLDATA_MERGER_H
+#define JITML_MLDATA_MERGER_H
+
+#include "collect/Archive.h"
+#include "mldata/Dataset.h"
+
+namespace jitml {
+
+/// Converts a decoded archive into an intermediate data set tagged with
+/// its provenance.
+IntermediateDataSet unarchive(const ArchiveData &Archive,
+                              const std::string &SourceTag);
+
+/// Merges every set whose tag is NOT in \p ExcludedTags — the leave-one-out
+/// merge: pass the held-out benchmark's tag to exclude it.
+IntermediateDataSet
+mergeExcluding(const std::vector<IntermediateDataSet> &Sets,
+               const std::vector<std::string> &ExcludedTags);
+
+/// Merges everything.
+IntermediateDataSet mergeAll(const std::vector<IntermediateDataSet> &Sets);
+
+} // namespace jitml
+
+#endif // JITML_MLDATA_MERGER_H

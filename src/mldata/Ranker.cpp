@@ -1,0 +1,131 @@
+//===- mldata/Ranker.cpp --------------------------------------------------===//
+
+#include "mldata/Ranker.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace jitml;
+
+DataSetSummary jitml::summarizeMerged(const IntermediateDataSet &Data,
+                                      OptLevel Level) {
+  DataSetSummary S;
+  std::set<uint64_t> Classes;
+  std::set<uint64_t> Vectors;
+  for (const TaggedRecord &T : Data.Records) {
+    if (T.Record.Level != Level)
+      continue;
+    ++S.Instances;
+    Classes.insert(T.Record.ModifierBits);
+    Vectors.insert(T.Record.Features.hash());
+  }
+  S.UniqueClasses = Classes.size();
+  S.UniqueFeatureVectors = Vectors.size();
+  return S;
+}
+
+DataSetSummary
+jitml::summarizeRanked(const std::vector<RankedInstance> &Data) {
+  DataSetSummary S;
+  std::set<uint64_t> Classes;
+  std::set<uint64_t> Vectors;
+  for (const RankedInstance &R : Data) {
+    ++S.Instances;
+    Classes.insert(R.ModifierBits);
+    Vectors.insert(R.Features.hash());
+  }
+  S.UniqueClasses = Classes.size();
+  S.UniqueFeatureVectors = Vectors.size();
+  return S;
+}
+
+unsigned jitml::loopClassOfFeatures(const FeatureVector &F) {
+  if (!F.attr(AF_MayHaveLoops))
+    return 0;
+  if (F.attr(AF_ManyIterationLoops) || F.attr(AF_MayHaveManyIterationLoops))
+    return 2;
+  return 1;
+}
+
+double jitml::rankValue(const CollectionRecord &R,
+                        const TriggerTable &Triggers) {
+  assert(R.Invocations > 0 && "ranking a record without samples");
+  double PerInvocation = R.RunCycles / (double)R.Invocations;
+  double Th = Triggers.of(R.Level, loopClassOfFeatures(R.Features));
+  return PerInvocation + R.CompileCycles / Th;
+}
+
+std::vector<RankedInstance>
+jitml::rankRecords(const IntermediateDataSet &Data, OptLevel Level,
+                   const SelectionPolicy &Policy,
+                   const TriggerTable &Triggers) {
+  // Figure 3: "intermediate data sets are loaded and progressively sorted
+  // in lexicographical order, based on the feature vector of each record.
+  // This sorting aggregates all experiments performed on the same feature
+  // vector."
+  struct Entry {
+    const CollectionRecord *Rec;
+    double V;
+  };
+  std::map<FeatureVector, std::map<uint64_t, Entry>> Groups;
+  for (const TaggedRecord &T : Data.Records) {
+    const CollectionRecord &R = T.Record;
+    if (R.Level != Level || R.Invocations == 0)
+      continue;
+    double V = rankValue(R, Triggers);
+    auto &PerModifier = Groups[R.Features];
+    auto It = PerModifier.find(R.ModifierBits);
+    // The same (vector, modifier) pair can appear in several runs; keep
+    // the best-performing observation.
+    if (It == PerModifier.end() || V < It->second.V)
+      PerModifier[R.ModifierBits] = {&R, V};
+  }
+
+  std::vector<RankedInstance> Out;
+  for (const auto &[Features, PerModifier] : Groups) {
+    std::vector<Entry> Sorted;
+    Sorted.reserve(PerModifier.size());
+    for (const auto &[Bits, E] : PerModifier) {
+      (void)Bits;
+      Sorted.push_back(E);
+    }
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const Entry &A, const Entry &B) { return A.V < B.V; });
+    size_t Keep = 0;
+    switch (Policy.Mode) {
+    case SelectionPolicy::Kind::BestOnly:
+      Keep = 1;
+      break;
+    case SelectionPolicy::Kind::TopN:
+      Keep = Policy.N;
+      break;
+    case SelectionPolicy::Kind::TopPercent:
+      Keep = (size_t)((double)Sorted.size() * Policy.Percent / 100.0);
+      if (Keep == 0)
+        Keep = 1;
+      break;
+    case SelectionPolicy::Kind::WithinOfBest: {
+      // "To be selected, a modifier must have a ranking value of at least
+      // 95% of the best performing modifier" — smaller V is better, so
+      // V_best / V_i >= Threshold. Capped at N (paper: 3).
+      double Best = Sorted.front().V;
+      Keep = 1;
+      while (Keep < Sorted.size() && Keep < Policy.N &&
+             (Sorted[Keep].V <= 0.0 ||
+              Best / Sorted[Keep].V >= Policy.Threshold))
+        ++Keep;
+      break;
+    }
+    }
+    Keep = std::min(Keep, Sorted.size());
+    for (size_t I = 0; I < Keep; ++I) {
+      RankedInstance Inst;
+      Inst.Features = Features;
+      Inst.ModifierBits = Sorted[I].Rec->ModifierBits;
+      Inst.RankValue = Sorted[I].V;
+      Out.push_back(std::move(Inst));
+    }
+  }
+  return Out;
+}

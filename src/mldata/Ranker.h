@@ -1,0 +1,71 @@
+//===- mldata/Ranker.h - Eq. 2 ranking and selection ------------*- C++ -*-===//
+///
+/// \file
+/// The ranking stage of Figure 3: records are sorted lexicographically by
+/// feature vector (aggregating all experiments on the same method shape),
+/// each record gets the value
+///
+///     V_i = R_i / I_i + C_i / T_h                              (Eq. 2)
+///
+/// — average run time per invocation plus compile time amortized over the
+/// level-h recompilation trigger — and per unique feature vector a small
+/// set of best modifiers is selected. The paper's production setting is
+/// "at most 3 modifiers ... a modifier must have a ranking value of at
+/// least 95% of the best performing modifier"; the alternative strategies
+/// (best-only / top-N / top-M%) from section 6 are implemented too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_MLDATA_RANKER_H
+#define JITML_MLDATA_RANKER_H
+
+#include "mldata/Dataset.h"
+
+namespace jitml {
+
+/// Modifier-selection strategy per unique feature vector (section 6).
+struct SelectionPolicy {
+  enum class Kind : uint8_t {
+    BestOnly,      ///< strategy (i)
+    TopN,          ///< strategy (ii)
+    TopPercent,    ///< strategy (iii)
+    WithinOfBest,  ///< the paper's evaluation setting
+  };
+  Kind Mode = Kind::WithinOfBest;
+  unsigned N = 3;        ///< TopN / cap for WithinOfBest
+  double Percent = 10.0; ///< TopPercent
+  double Threshold = 0.95; ///< WithinOfBest: V_best / V_i >= Threshold
+};
+
+/// Recompilation triggers T_h per optimization level, indexed by the loop
+/// class derived from the record's feature vector (footnote 6: separate
+/// triggers for no-loop / loop / many-iteration-loop methods).
+struct TriggerTable {
+  double T[NumOptLevels][3] = {
+      {12, 6, 3},
+      {60, 30, 15},
+      {400, 200, 100},
+      {2500, 1500, 800},
+      {12000, 8000, 4000},
+  };
+  double of(OptLevel L, unsigned LoopClass) const {
+    return T[(unsigned)L][LoopClass];
+  }
+};
+
+/// Loop class encoded in a feature vector's Table 1 attributes.
+unsigned loopClassOfFeatures(const FeatureVector &F);
+
+/// The ranking value V_i for one record (Eq. 2).
+double rankValue(const CollectionRecord &R, const TriggerTable &Triggers);
+
+/// Ranks and selects training instances for one optimization level.
+/// Records of other levels and records without valid samples are skipped.
+std::vector<RankedInstance> rankRecords(const IntermediateDataSet &Data,
+                                        OptLevel Level,
+                                        const SelectionPolicy &Policy,
+                                        const TriggerTable &Triggers);
+
+} // namespace jitml
+
+#endif // JITML_MLDATA_RANKER_H

@@ -1,0 +1,56 @@
+//===- modifiers/GuidedSearch.cpp -----------------------------------------===//
+
+#include "modifiers/GuidedSearch.h"
+
+#include <algorithm>
+
+using namespace jitml;
+
+void GuidedSearch::noteOutcome(OptLevel Level, const PlanModifier &M,
+                               double V) {
+  LevelState &S = PerLevel[(unsigned)Level];
+  ++S.Observations;
+  for (unsigned K = 0; K < NumTransformations; ++K) {
+    BitStat &B = S.Bits[K];
+    if (M.disables((TransformationKind)K)) {
+      B.DisabledSum += V;
+      ++B.DisabledCount;
+    } else {
+      B.EnabledSum += V;
+      ++B.EnabledCount;
+    }
+  }
+}
+
+double GuidedSearch::disableProbability(OptLevel Level,
+                                        TransformationKind K) const {
+  const BitStat &B = PerLevel[(unsigned)Level].Bits[(unsigned)K];
+  if (B.DisabledCount < Cfg.MinSamplesPerBit ||
+      B.EnabledCount < Cfg.MinSamplesPerBit)
+    return Cfg.BaseDisableProbability;
+  double MeanDisabled = B.DisabledSum / (double)B.DisabledCount;
+  double MeanEnabled = B.EnabledSum / (double)B.EnabledCount;
+  if (MeanEnabled <= 0.0)
+    return Cfg.BaseDisableProbability;
+  // Relative advantage of disabling: positive when experiments that
+  // disabled this transformation ranked better (smaller V).
+  double Advantage = (MeanEnabled - MeanDisabled) / MeanEnabled;
+  double P = Cfg.BaseDisableProbability + Advantage;
+  return std::clamp(P, 0.02, Cfg.MaxDisableProbability);
+}
+
+PlanModifier GuidedSearch::propose(Rng &R, OptLevel Level) const {
+  PlanModifier M;
+  // Exploration: an unbiased randomized probe keeps the statistics for
+  // rarely-disabled bits flowing.
+  if (R.nextBool(Cfg.ExplorationRate)) {
+    for (unsigned K = 0; K < NumTransformations; ++K)
+      if (R.nextBool(0.35))
+        M.disable((TransformationKind)K);
+    return M;
+  }
+  for (unsigned K = 0; K < NumTransformations; ++K)
+    if (R.nextBool(disableProbability(Level, (TransformationKind)K)))
+      M.disable((TransformationKind)K);
+  return M;
+}

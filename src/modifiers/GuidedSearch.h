@@ -1,0 +1,77 @@
+//===- modifiers/GuidedSearch.h - Feedback-guided modifier search -*-C++-*-===//
+///
+/// \file
+/// The paper's future work, implemented: "a heuristic-based search that
+/// evaluates the performance for modifiers during data collection may
+/// focus the search on promising regions within the space of possible
+/// modifiers. The implementation of such a search is left for future
+/// work." (section 5)
+///
+/// The heuristic is a per-transformation credit assignment: every
+/// completed experiment (modifier, ranking value V from Eq. 2) updates,
+/// for each transformation, the running mean of V among experiments that
+/// DISABLED it and among those that kept it ENABLED. New modifiers then
+/// disable each transformation with a probability proportional to the
+/// observed advantage of disabling it, mixed with exploration noise so the
+/// search never collapses prematurely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_MODIFIERS_GUIDEDSEARCH_H
+#define JITML_MODIFIERS_GUIDEDSEARCH_H
+
+#include "modifiers/Modifier.h"
+#include "opt/Plan.h"
+
+namespace jitml {
+
+class GuidedSearch {
+public:
+  struct Config {
+    /// Baseline disable probability before any feedback arrives.
+    double BaseDisableProbability = 0.12;
+    /// Fraction of proposals that are pure exploration (randomized).
+    double ExplorationRate = 0.25;
+    /// Cap on the learned per-bit disable probability.
+    double MaxDisableProbability = 0.85;
+    /// Observations of a bit required before its estimate is trusted.
+    unsigned MinSamplesPerBit = 4;
+  };
+
+  GuidedSearch() : GuidedSearch(Config{}) {}
+  explicit GuidedSearch(const Config &C) : Cfg(C) {}
+
+  /// Records one completed experiment: modifier \p M achieved ranking
+  /// value \p V (smaller is better) at \p Level.
+  void noteOutcome(OptLevel Level, const PlanModifier &M, double V);
+
+  /// Proposes the next modifier for \p Level.
+  PlanModifier propose(Rng &R, OptLevel Level) const;
+
+  /// Learned disable probability for one transformation (exposed for
+  /// analysis and tests).
+  double disableProbability(OptLevel Level, TransformationKind K) const;
+
+  uint64_t observations(OptLevel Level) const {
+    return PerLevel[(unsigned)Level].Observations;
+  }
+
+private:
+  struct BitStat {
+    double DisabledSum = 0.0;
+    uint64_t DisabledCount = 0;
+    double EnabledSum = 0.0;
+    uint64_t EnabledCount = 0;
+  };
+  struct LevelState {
+    BitStat Bits[NumTransformations];
+    uint64_t Observations = 0;
+  };
+
+  Config Cfg;
+  LevelState PerLevel[NumOptLevels];
+};
+
+} // namespace jitml
+
+#endif // JITML_MODIFIERS_GUIDEDSEARCH_H

@@ -1,0 +1,85 @@
+//===- modifiers/Modifier.h - Compilation-plan modifiers --------*- C++ -*-===//
+///
+/// \file
+/// "A compilation-plan modifier is a sequence of bits. Each bit determines
+/// whether a code transformation is enabled. ... transformations may be
+/// removed from the original compilation plan but no transformations are
+/// added and transformations are not reordered." (paper section 5)
+///
+/// The two generation strategies are implemented here:
+///  * pure randomized search with aggressive exploration, and
+///  * progressive randomized search, where the probability that the i-th
+///    modifier disables any given transformation is D_i = i * 0.25 / L
+///    (Eq. 1), evolving from the null modifier to 25% disabled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_MODIFIERS_MODIFIER_H
+#define JITML_MODIFIERS_MODIFIER_H
+
+#include "opt/Transformation.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace jitml {
+
+/// A compilation-plan modifier: one bit per controllable transformation;
+/// a set bit means the transformation stays ENABLED. The null modifier has
+/// every bit set and leaves the original Testarossa-style plan untouched.
+class PlanModifier {
+public:
+  /// The null modifier: "does not change the original compilation plan".
+  PlanModifier() : Enabled(BitSet64::allOne(NumTransformations)) {}
+  explicit PlanModifier(BitSet64 EnabledBits) : Enabled(EnabledBits) {
+    assert(EnabledBits.width() == NumTransformations &&
+           "modifier must cover all 58 transformations");
+  }
+  /// Rebuilds a modifier from its raw 58-bit pattern (archive decoding,
+  /// model label lookup).
+  static PlanModifier fromRaw(uint64_t Bits) {
+    return PlanModifier(BitSet64(NumTransformations, Bits));
+  }
+
+  bool isNull() const {
+    return Enabled == BitSet64::allOne(NumTransformations);
+  }
+  bool disables(TransformationKind K) const {
+    return !Enabled.test((unsigned)K);
+  }
+  void disable(TransformationKind K) { Enabled.reset((unsigned)K); }
+  unsigned numDisabled() const {
+    return NumTransformations - Enabled.popCount();
+  }
+
+  const BitSet64 &enabledMask() const { return Enabled; }
+  uint64_t raw() const { return Enabled.raw(); }
+
+  friend bool operator==(const PlanModifier &A, const PlanModifier &B) {
+    return A.Enabled == B.Enabled;
+  }
+  friend bool operator!=(const PlanModifier &A, const PlanModifier &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const PlanModifier &A, const PlanModifier &B) {
+    return A.Enabled < B.Enabled;
+  }
+
+private:
+  BitSet64 Enabled;
+};
+
+/// Pure randomized search: every transformation is independently disabled
+/// with probability \p DisableProbability (default: aggressive 0.5).
+std::vector<PlanModifier>
+generateRandomizedModifiers(Rng &R, unsigned Count,
+                            double DisableProbability = 0.5);
+
+/// Progressive randomized search (Eq. 1): returns L+1 modifiers where the
+/// i-th disables each transformation with probability i * 0.25 / L. The
+/// 0-th is the null modifier.
+std::vector<PlanModifier> generateProgressiveModifiers(Rng &R, unsigned L);
+
+} // namespace jitml
+
+#endif // JITML_MODIFIERS_MODIFIER_H

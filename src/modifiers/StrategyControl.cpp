@@ -1,0 +1,148 @@
+//===- modifiers/StrategyControl.cpp --------------------------------------===//
+
+#include "modifiers/StrategyControl.h"
+
+using namespace jitml;
+
+std::vector<PlanModifier>
+jitml::generateRandomizedModifiers(Rng &R, unsigned Count,
+                                   double DisableProbability) {
+  std::vector<PlanModifier> Out;
+  Out.reserve(Count);
+  for (unsigned I = 0; I < Count; ++I) {
+    PlanModifier M;
+    for (unsigned K = 0; K < NumTransformations; ++K)
+      if (R.nextBool(DisableProbability))
+        M.disable((TransformationKind)K);
+    Out.push_back(M);
+  }
+  return Out;
+}
+
+std::vector<PlanModifier> jitml::generateProgressiveModifiers(Rng &R,
+                                                              unsigned L) {
+  assert(L > 0 && "progressive search needs at least one step");
+  std::vector<PlanModifier> Out;
+  Out.reserve(L + 1);
+  for (unsigned I = 0; I <= L; ++I) {
+    // Eq. 1: D_i = i * 0.25 / L, from 0 (null) to 0.25.
+    double D = (double)I * 0.25 / (double)L;
+    PlanModifier M;
+    for (unsigned K = 0; K < NumTransformations; ++K)
+      if (R.nextBool(D))
+        M.disable((TransformationKind)K);
+    Out.push_back(M);
+  }
+  return Out;
+}
+
+ModifierQueue::ModifierQueue(std::vector<PlanModifier> Mods,
+                             unsigned UsesPerModifier)
+    : UsesPerModifier(UsesPerModifier) {
+  assert(UsesPerModifier > 0 && "modifiers must serve at least once");
+  // "The third modifier used is always the null modifier": interleave a
+  // null slot after every two generated modifiers.
+  unsigned SinceNull = 0;
+  for (const PlanModifier &M : Mods) {
+    Slots.push_back(M);
+    if (++SinceNull == 2) {
+      Slots.push_back(PlanModifier());
+      SinceNull = 0;
+    }
+  }
+  UsesLeft = Slots.empty() ? 0 : UsesPerModifier;
+}
+
+PlanModifier ModifierQueue::next() {
+  if (exhausted())
+    return PlanModifier(); // exploration over: fall back to the null plan
+  PlanModifier Current = Slots[Position];
+  if (--UsesLeft == 0) {
+    ++Position;
+    UsesLeft = UsesPerModifier;
+  }
+  return Current;
+}
+
+StrategyControl::StrategyControl(const StrategyConfig &Config)
+    : Config(Config), GuidedRng(mix64(Config.Seed ^ 0x9d1d)) {
+  Queues.resize(NumOptLevels);
+  if (Config.Strategy == SearchStrategy::NullOnly ||
+      Config.Strategy == SearchStrategy::Guided)
+    return;
+  for (unsigned Level = 0; Level < NumOptLevels; ++Level) {
+    Rng R(mix64(Config.Seed ^ (0x1000 + Level)));
+    std::vector<PlanModifier> Mods =
+        Config.Strategy == SearchStrategy::Randomized
+            ? generateRandomizedModifiers(R, Config.ModifiersPerLevel)
+            : generateProgressiveModifiers(R, Config.ModifiersPerLevel);
+    Queues[Level] = ModifierQueue(std::move(Mods), Config.UsesPerModifier);
+  }
+}
+
+PlanModifier StrategyControl::modifierFor(uint32_t MethodIndex,
+                                          OptLevel Level) {
+  if (Config.Strategy == SearchStrategy::NullOnly)
+    return PlanModifier();
+  if (Config.Strategy == SearchStrategy::Guided) {
+    uint64_t &Served = GuidedServed[(unsigned)Level];
+    // Same budget shape as the queues: ModifiersPerLevel slots with the
+    // null modifier interleaved every third proposal.
+    if (Served >= (uint64_t)Config.ModifiersPerLevel *
+                      Config.UsesPerModifier * 3 / 2)
+      return PlanModifier();
+    ++Served;
+    if (Served % 3 == 0)
+      return PlanModifier();
+    std::set<uint64_t> &Used = UsedByMethod[MethodIndex];
+    for (unsigned Attempts = 0; Attempts < 8; ++Attempts) {
+      PlanModifier M = Guided.propose(GuidedRng, Level);
+      if (M.isNull() || Used.insert(M.raw()).second)
+        return M;
+    }
+    return PlanModifier();
+  }
+  ModifierQueue &Q = Queues[(unsigned)Level];
+  std::set<uint64_t> &Used = UsedByMethod[MethodIndex];
+  // "The method is never compiled twice with the same modifier" — the null
+  // modifier is exempt ("tried with every compiled method").
+  for (unsigned Attempts = 0; Attempts < 8; ++Attempts) {
+    PlanModifier M = Q.next();
+    if (M.isNull() || Used.insert(M.raw()).second)
+      return M;
+  }
+  return PlanModifier();
+}
+
+bool StrategyControl::methodFrozen(uint32_t MethodIndex) const {
+  auto It = RecompileCount.find(MethodIndex);
+  return It != RecompileCount.end() &&
+         It->second >= Config.MaxRecompilesPerMethod;
+}
+
+void StrategyControl::noteRecompile(uint32_t MethodIndex) {
+  ++RecompileCount[MethodIndex];
+}
+
+bool StrategyControl::explorationExhausted() const {
+  if (Config.Strategy == SearchStrategy::NullOnly)
+    return false;
+  if (Config.Strategy == SearchStrategy::Guided) {
+    uint64_t Budget = (uint64_t)Config.ModifiersPerLevel *
+                      Config.UsesPerModifier * 3 / 2;
+    for (uint64_t Served : GuidedServed)
+      if (Served < Budget)
+        return false;
+    return true;
+  }
+  for (const ModifierQueue &Q : Queues)
+    if (!Q.exhausted())
+      return false;
+  return true;
+}
+
+void StrategyControl::noteOutcome(OptLevel Level, const PlanModifier &M,
+                                  double V) {
+  if (Config.Strategy == SearchStrategy::Guided)
+    Guided.noteOutcome(Level, M, V);
+}

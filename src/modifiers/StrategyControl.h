@@ -1,0 +1,114 @@
+//===- modifiers/StrategyControl.h - Modifier exploration control -*-C++-*-===//
+///
+/// \file
+/// The "strategy control" component added to the compiler (paper section
+/// 4): during data collection it hands out compilation-plan modifiers from
+/// per-level queues, retires a modifier after a fixed number of
+/// compilations, interleaves the null modifier so the learner sees the
+/// original strategy, never gives the same method the same modifier twice,
+/// and gracefully stops exploration when every method has been recompiled
+/// L times.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_MODIFIERS_STRATEGYCONTROL_H
+#define JITML_MODIFIERS_STRATEGYCONTROL_H
+
+#include "modifiers/GuidedSearch.h"
+#include "modifiers/Modifier.h"
+#include "opt/Plan.h"
+
+#include <map>
+#include <set>
+#include <vector>
+
+namespace jitml {
+
+/// Exploration search strategy.
+enum class SearchStrategy : uint8_t {
+  NullOnly = 0, ///< always the null modifier (baseline compiler)
+  Randomized,
+  Progressive,
+  /// Feedback-guided search (the paper's future work): requires the
+  /// collection loop to report ranking values via noteOutcome.
+  Guided,
+};
+
+/// Configuration of a data-collection run.
+struct StrategyConfig {
+  SearchStrategy Strategy = SearchStrategy::NullOnly;
+  /// Modifiers generated per optimization level (the paper's L = 2000;
+  /// scaled down by default so bench runs finish quickly).
+  unsigned ModifiersPerLevel = 200;
+  /// Compilations a modifier serves before retiring (paper: 50).
+  unsigned UsesPerModifier = 50;
+  /// Maximum recompilations per method before it is frozen (paper: L).
+  unsigned MaxRecompilesPerMethod = 200;
+  uint64_t Seed = 0x5eed;
+};
+
+/// Per-level modifier queue with null-modifier interleaving: every third
+/// slot in the rotation is the null modifier.
+class ModifierQueue {
+public:
+  ModifierQueue() = default;
+  ModifierQueue(std::vector<PlanModifier> Mods, unsigned UsesPerModifier);
+
+  /// The modifier currently in service; advances the rotation state.
+  PlanModifier next();
+  /// True when every generated modifier has been retired.
+  bool exhausted() const { return Position >= Slots.size(); }
+  size_t slotsRemaining() const {
+    return Position >= Slots.size() ? 0 : Slots.size() - Position;
+  }
+
+private:
+  std::vector<PlanModifier> Slots; ///< with null modifiers interleaved
+  unsigned UsesPerModifier = 1;
+  size_t Position = 0;
+  unsigned UsesLeft = 0;
+};
+
+/// Drives modifier selection for a whole data-collection run.
+class StrategyControl {
+public:
+  explicit StrategyControl(const StrategyConfig &Config);
+
+  /// Selects the modifier for compiling \p MethodIndex at \p Level. The
+  /// same method is never given the same non-null modifier twice; when the
+  /// queue would repeat one, it is skipped forward.
+  PlanModifier modifierFor(uint32_t MethodIndex, OptLevel Level);
+
+  /// True when \p MethodIndex hit the recompilation cap ("that method is
+  /// no longer recompiled while still allowing other methods").
+  bool methodFrozen(uint32_t MethodIndex) const;
+  void noteRecompile(uint32_t MethodIndex);
+
+  /// True when exploration is over for every level ("the data collection
+  /// is gracefully terminated").
+  bool explorationExhausted() const;
+
+  /// Guided mode: reports a completed experiment's ranking value (Eq. 2)
+  /// so the search can focus on promising regions. No-op otherwise.
+  void noteOutcome(OptLevel Level, const PlanModifier &M, double V);
+
+  /// Guided mode introspection (analysis, tests).
+  const GuidedSearch &guidedSearch() const { return Guided; }
+
+  const StrategyConfig &config() const { return Config; }
+
+private:
+  StrategyConfig Config;
+  std::vector<ModifierQueue> Queues; ///< one per optimization level
+  GuidedSearch Guided;
+  Rng GuidedRng{0};
+  /// Guided mode: proposals served per level (bounds the exploration the
+  /// same way queue exhaustion bounds the offline strategies).
+  uint64_t GuidedServed[NumOptLevels] = {};
+  std::map<uint32_t, unsigned> RecompileCount;
+  std::map<uint32_t, std::set<uint64_t>> UsedByMethod;
+};
+
+} // namespace jitml
+
+#endif // JITML_MODIFIERS_STRATEGYCONTROL_H

@@ -1,0 +1,251 @@
+//===- opt/Checks.cpp - Runtime check eliminations ------------------------===//
+//
+// Null/bounds/division/cast check elimination plus the implicit-check
+// marking that lets the code generator fold a null check into the hardware
+// trap of the dereference that follows it.
+//
+// All reasoning here leans on the IL's DAG semantics: a node id denotes one
+// value per block execution, so two checks guarding the same node id are
+// literally checking the same value.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+#include <set>
+#include <unordered_set>
+
+using namespace jitml;
+
+namespace {
+
+bool isAllocation(ILOp Op) {
+  return Op == ILOp::New || Op == ILOp::NewArray || Op == ILOp::NewMultiArray;
+}
+
+} // namespace
+
+bool jitml::runNullCheckElimination(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  bool Changed = false;
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    Block &Blk = IL.block(B);
+    if (!Blk.Reachable)
+      continue;
+    std::unordered_set<NodeId> NonNullNodes;
+    std::unordered_set<int32_t> NonNullSlots;
+    for (size_t TI = 0; TI < Blk.Trees.size();) {
+      Node &N = IL.node(Blk.Trees[TI]);
+      Ctx.charge(1);
+      if (N.Op == ILOp::StoreLocal) {
+        NonNullSlots.erase(N.A);
+        // A store of a fresh allocation makes the slot non-null.
+        if (isAllocation(IL.node(N.Kids[0]).Op))
+          NonNullSlots.insert(N.A);
+      }
+      if (N.Op != ILOp::NullCheck) {
+        ++TI;
+        continue;
+      }
+      NodeId Ref = N.Kids[0];
+      const Node &RefN = IL.node(Ref);
+      bool Redundant = isAllocation(RefN.Op) || NonNullNodes.count(Ref) ||
+                       (RefN.Op == ILOp::LoadLocal &&
+                        NonNullSlots.count(RefN.A));
+      if (Redundant) {
+        Blk.Trees.erase(Blk.Trees.begin() + (std::ptrdiff_t)TI);
+        Ctx.noteChange(TransformationKind::NullCheckElimination);
+        Changed = true;
+        continue;
+      }
+      NonNullNodes.insert(Ref);
+      if (RefN.Op == ILOp::LoadLocal)
+        NonNullSlots.insert(RefN.A);
+      ++TI;
+    }
+  }
+  return Changed;
+}
+
+bool jitml::runBoundsCheckElimination(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  bool Changed = false;
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    Block &Blk = IL.block(B);
+    if (!Blk.Reachable)
+      continue;
+    // (array node, index node) pairs already checked in this block. Node
+    // ids denote fixed values per execution, so repeats are redundant.
+    std::set<std::pair<NodeId, NodeId>> Checked;
+    for (size_t TI = 0; TI < Blk.Trees.size();) {
+      Node &N = IL.node(Blk.Trees[TI]);
+      Ctx.charge(1);
+      if (N.Op != ILOp::BoundsCheck) {
+        ++TI;
+        continue;
+      }
+      NodeId Arr = N.Kids[0], Idx = N.Kids[1];
+      bool Redundant = false;
+      // Fused checks (GuardMerging set B=1) still subsume later plain
+      // checks on the same pair.
+      if (Checked.count({Arr, Idx}))
+        Redundant = true;
+      // Constant index into an allocation with a constant length.
+      const Node &ArrN = IL.node(Arr);
+      const Node &IdxN = IL.node(Idx);
+      if (!Redundant && ArrN.Op == ILOp::NewArray &&
+          IdxN.Op == ILOp::Const) {
+        const Node &Len = IL.node(ArrN.Kids[0]);
+        if (Len.Op == ILOp::Const && IdxN.ConstI >= 0 &&
+            IdxN.ConstI < Len.ConstI)
+          Redundant = true;
+      }
+      if (Redundant && N.B == 0) {
+        Blk.Trees.erase(Blk.Trees.begin() + (std::ptrdiff_t)TI);
+        Ctx.noteChange(TransformationKind::BoundsCheckElimination);
+        Changed = true;
+        continue;
+      }
+      Checked.insert({Arr, Idx});
+      ++TI;
+    }
+  }
+  return Changed;
+}
+
+bool jitml::runDivCheckElimination(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  bool Changed = false;
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    Block &Blk = IL.block(B);
+    if (!Blk.Reachable)
+      continue;
+    std::unordered_set<NodeId> CheckedDivisors;
+    for (size_t TI = 0; TI < Blk.Trees.size();) {
+      Node &N = IL.node(Blk.Trees[TI]);
+      Ctx.charge(1);
+      if (N.Op != ILOp::DivCheck) {
+        ++TI;
+        continue;
+      }
+      NodeId D = N.Kids[0];
+      const Node &DN = IL.node(D);
+      bool Redundant = CheckedDivisors.count(D) ||
+                       (DN.Op == ILOp::Const && DN.ConstI != 0);
+      if (Redundant) {
+        Blk.Trees.erase(Blk.Trees.begin() + (std::ptrdiff_t)TI);
+        Ctx.noteChange(TransformationKind::DivCheckElimination);
+        Changed = true;
+        continue;
+      }
+      CheckedDivisors.insert(D);
+      ++TI;
+    }
+  }
+  return Changed;
+}
+
+bool jitml::runCastCheckElimination(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  const Program &P = IL.program();
+  bool Changed = false;
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    Block &Blk = IL.block(B);
+    if (!Blk.Reachable)
+      continue;
+    std::set<std::pair<int32_t, NodeId>> Passed; ///< (class, node) pairs
+    for (size_t TI = 0; TI < Blk.Trees.size();) {
+      Node &N = IL.node(Blk.Trees[TI]);
+      Ctx.charge(1);
+      if (N.Op != ILOp::CastCheck) {
+        ++TI;
+        continue;
+      }
+      NodeId Obj = N.Kids[0];
+      const Node &ObjN = IL.node(Obj);
+      bool Redundant = Passed.count({N.A, Obj});
+      // Statically known allocation class.
+      if (!Redundant && ObjN.Op == ILOp::New &&
+          P.isSubclassOf(ObjN.A, N.A))
+        Redundant = true;
+      if (Redundant) {
+        Blk.Trees.erase(Blk.Trees.begin() + (std::ptrdiff_t)TI);
+        Ctx.noteChange(TransformationKind::CastCheckElimination);
+        Changed = true;
+        continue;
+      }
+      Passed.insert({N.A, Obj});
+      ++TI;
+    }
+  }
+  // Fold instanceof on fresh allocations (expression level).
+  for (NodeId Id = 0; Id < IL.numNodes(); ++Id) {
+    Node &N = IL.node(Id);
+    if (N.Op != ILOp::InstanceOf)
+      continue;
+    const Node &Obj = IL.node(N.Kids[0]);
+    if (Obj.Op != ILOp::New)
+      continue;
+    Ctx.rewriteToConstI(Id, DataType::Int32,
+                        P.isSubclassOf(Obj.A, N.A) ? 1 : 0);
+    Ctx.noteChange(TransformationKind::CastCheckElimination);
+    Changed = true;
+  }
+  return Changed;
+}
+
+bool jitml::runImplicitExceptionChecks(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  bool Changed = false;
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    Block &Blk = IL.block(B);
+    if (!Blk.Reachable)
+      continue;
+    for (size_t TI = 0; TI < Blk.Trees.size(); ++TI) {
+      Node &N = IL.node(Blk.Trees[TI]);
+      Ctx.charge(1);
+      if (N.Op != ILOp::NullCheck || N.B == 1)
+        continue;
+      NodeId Ref = N.Kids[0];
+      // The check is free when a following statement in the same block
+      // dereferences the same value: the memory access itself traps.
+      bool Dereferenced = false;
+      for (size_t TJ = TI + 1; TJ < Blk.Trees.size() && !Dereferenced;
+           ++TJ) {
+        std::vector<NodeId> Stack{Blk.Trees[TJ]};
+        while (!Stack.empty()) {
+          const Node &K = IL.node(Stack.back());
+          Stack.pop_back();
+          bool Deref = false;
+          switch (K.Op) {
+          case ILOp::LoadField:
+          case ILOp::ArrayLen:
+            Deref = K.Kids[0] == Ref;
+            break;
+          case ILOp::StoreField:
+          case ILOp::LoadElem:
+            Deref = K.Kids[0] == Ref;
+            break;
+          case ILOp::StoreElem:
+            Deref = K.Kids[0] == Ref;
+            break;
+          default:
+            break;
+          }
+          if (Deref) {
+            Dereferenced = true;
+            break;
+          }
+          for (NodeId Kid : K.Kids)
+            Stack.push_back(Kid);
+        }
+      }
+      if (!Dereferenced)
+        continue;
+      N.B = 1; // codegen: folded into the access, zero issue cost
+      Ctx.noteChange(TransformationKind::ImplicitExceptionChecks);
+      Changed = true;
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,739 @@
+//===- opt/GlobalOpt.cpp - CFG-level transformations ----------------------===//
+//
+// Global constant/copy propagation, dominator-scoped value numbering,
+// liveness-based dead store elimination, partial redundancy elimination,
+// unreachable-code elimination, block merging, branch folding, jump
+// threading, tail duplication, and cold-block marking.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+#include "il/Dominators.h"
+#include "il/LoopInfo.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+using namespace jitml;
+
+namespace {
+
+/// Walks every node under \p Root once, calling \p Fn(NodeId).
+template <typename Fn>
+void forEachNodeInTree(const MethodIL &IL, NodeId Root, Fn Visit) {
+  std::vector<NodeId> Stack{Root};
+  while (!Stack.empty()) {
+    NodeId Id = Stack.back();
+    Stack.pop_back();
+    Visit(Id);
+    for (NodeId Kid : IL.node(Id).Kids)
+      Stack.push_back(Kid);
+  }
+}
+
+/// Per-local liveness over the CFG (handler edges included).
+class Liveness {
+public:
+  explicit Liveness(const MethodIL &IL) : IL(IL) {
+    uint32_t NB = IL.numBlocks();
+    uint32_t NL = IL.numLocals();
+    Use.assign(NB, std::vector<bool>(NL, false));
+    Def.assign(NB, std::vector<bool>(NL, false));
+    LiveOut.assign(NB, std::vector<bool>(NL, false));
+    LiveIn.assign(NB, std::vector<bool>(NL, false));
+
+    for (BlockId B = 0; B < NB; ++B) {
+      const Block &Blk = IL.block(B);
+      if (!Blk.Reachable)
+        continue;
+      for (NodeId Root : Blk.Trees) {
+        // Loads anywhere in the tree happen before the root store.
+        forEachNodeInTree(IL, Root, [&](NodeId Id) {
+          const Node &N = IL.node(Id);
+          if (N.Op == ILOp::LoadLocal && !Def[B][(uint32_t)N.A])
+            Use[B][(uint32_t)N.A] = true;
+        });
+        const Node &RootN = IL.node(Root);
+        if (RootN.Op == ILOp::StoreLocal)
+          Def[B][(uint32_t)RootN.A] = true;
+      }
+    }
+    // Backward fixpoint.
+    bool Changed = true;
+    while (Changed) {
+      Changed = false;
+      for (BlockId B = 0; B < NB; ++B) {
+        const Block &Blk = IL.block(B);
+        if (!Blk.Reachable)
+          continue;
+        std::vector<bool> Out(NL, false);
+        auto Merge = [&](BlockId S) {
+          for (uint32_t L = 0; L < NL; ++L)
+            if (LiveIn[S][L])
+              Out[L] = true;
+        };
+        for (BlockId S : Blk.Succs)
+          Merge(S);
+        for (const HandlerRef &H : Blk.Handlers)
+          Merge(H.Handler);
+        std::vector<bool> In = Out;
+        for (uint32_t L = 0; L < NL; ++L) {
+          if (Def[B][L] && !Use[B][L])
+            In[L] = false;
+          if (Use[B][L])
+            In[L] = true;
+        }
+        if (Out != LiveOut[B] || In != LiveIn[B]) {
+          LiveOut[B] = std::move(Out);
+          LiveIn[B] = std::move(In);
+          Changed = true;
+        }
+      }
+    }
+  }
+
+  bool liveOut(BlockId B, uint32_t Slot) const { return LiveOut[B][Slot]; }
+  bool liveIn(BlockId B, uint32_t Slot) const { return LiveIn[B][Slot]; }
+
+private:
+  const MethodIL &IL;
+  std::vector<std::vector<bool>> Use, Def, LiveOut, LiveIn;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Global constant propagation over locals
+//===----------------------------------------------------------------------===//
+
+bool jitml::runGlobalCopyPropagation(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  uint32_t NL = IL.numLocals();
+  struct Lattice {
+    enum Kind : uint8_t { Top, ConstI, ConstF, Bottom } K = Top;
+    int64_t I = 0;
+    double F = 0;
+    bool operator==(const Lattice &O) const {
+      return K == O.K && I == O.I && F == O.F;
+    }
+  };
+  auto Meet = [](const Lattice &A, const Lattice &B) {
+    if (A.K == Lattice::Top)
+      return B;
+    if (B.K == Lattice::Top)
+      return A;
+    if (A == B)
+      return A;
+    return Lattice{Lattice::Bottom, 0, 0};
+  };
+
+  uint32_t NB = IL.numBlocks();
+  std::vector<std::vector<Lattice>> EntryState(NB,
+                                               std::vector<Lattice>(NL));
+  // Parameters have unknown values.
+  for (uint32_t L = 0; L < IL.methodInfo().numArgs(); ++L)
+    EntryState[IL.entryBlock()][L] = {Lattice::Bottom, 0, 0};
+
+  auto Transfer = [&](BlockId B, std::vector<Lattice> State) {
+    for (NodeId Root : IL.block(B).Trees) {
+      Ctx.charge(1);
+      const Node &N = IL.node(Root);
+      if (N.Op != ILOp::StoreLocal)
+        continue;
+      const Node &V = IL.node(N.Kids[0]);
+      if (V.Op == ILOp::Const) {
+        if (isFloatType(V.Type))
+          State[(uint32_t)N.A] = {Lattice::ConstF, 0, V.ConstF};
+        else
+          State[(uint32_t)N.A] = {Lattice::ConstI, V.ConstI, 0};
+      } else {
+        State[(uint32_t)N.A] = {Lattice::Bottom, 0, 0};
+      }
+    }
+    return State;
+  };
+
+  // Forward fixpoint in RPO. Handler blocks are conservatively Bottom: an
+  // exception can arrive from any point in the protected region.
+  std::vector<BlockId> Rpo = IL.reversePostOrder();
+  bool Iterate = true;
+  while (Iterate) {
+    Iterate = false;
+    for (BlockId B : Rpo) {
+      if (IL.block(B).IsHandler) {
+        std::vector<Lattice> Bot(NL, {Lattice::Bottom, 0, 0});
+        if (!(EntryState[B] == Bot)) {
+          EntryState[B] = Bot;
+          Iterate = true;
+        }
+        continue;
+      }
+      std::vector<Lattice> Out = Transfer(B, EntryState[B]);
+      for (BlockId S : IL.block(B).Succs) {
+        std::vector<Lattice> Merged = EntryState[S];
+        for (uint32_t L = 0; L < NL; ++L)
+          Merged[L] = Meet(Merged[L], Out[L]);
+        if (!(Merged == EntryState[S])) {
+          EntryState[S] = std::move(Merged);
+          Iterate = true;
+        }
+      }
+    }
+  }
+
+  // Rewrite loads whose reaching value is a constant.
+  bool Changed = false;
+  for (BlockId B : Rpo) {
+    std::vector<Lattice> State = EntryState[B];
+    std::vector<bool> Visited(IL.numNodes(), false);
+    for (NodeId Root : IL.block(B).Trees) {
+      forEachNodeInTree(IL, Root, [&](NodeId Id) {
+        if (Visited[Id])
+          return;
+        Visited[Id] = true;
+        Node &N = IL.node(Id);
+        if (N.Op != ILOp::LoadLocal)
+          return;
+        const Lattice &V = State[(uint32_t)N.A];
+        if (V.K == Lattice::ConstI && !isReferenceType(N.Type)) {
+          Ctx.rewriteToConstI(Id, N.Type, V.I);
+          Changed = true;
+        } else if (V.K == Lattice::ConstF) {
+          Ctx.rewriteToConstF(Id, N.Type, V.F);
+          Changed = true;
+        }
+      });
+      const Node &RootN = IL.node(Root);
+      if (RootN.Op == ILOp::StoreLocal) {
+        const Node &V = IL.node(RootN.Kids[0]);
+        if (V.Op == ILOp::Const) {
+          if (isFloatType(V.Type))
+            State[(uint32_t)RootN.A] = {Lattice::ConstF, 0, V.ConstF};
+          else
+            State[(uint32_t)RootN.A] = {Lattice::ConstI, V.ConstI, 0};
+        } else {
+          State[(uint32_t)RootN.A] = {Lattice::Bottom, 0, 0};
+        }
+      }
+    }
+  }
+  if (Changed)
+    Ctx.noteChange(TransformationKind::GlobalCopyPropagation);
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Dominator-scoped global value numbering
+//===----------------------------------------------------------------------===//
+
+bool jitml::runGlobalValueNumbering(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  DominatorTree DT(IL);
+
+  // Def-once locals: their loads are stable everywhere after the def.
+  std::vector<uint32_t> StoreCount(IL.numLocals(), 0);
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    if (!IL.block(B).Reachable)
+      continue;
+    for (NodeId Root : IL.block(B).Trees) {
+      const Node &N = IL.node(Root);
+      if (N.Op == ILOp::StoreLocal)
+        ++StoreCount[(uint32_t)N.A];
+    }
+  }
+  // Parameters are implicitly stored at entry.
+  for (uint32_t L = 0; L < IL.methodInfo().numArgs(); ++L)
+    ++StoreCount[L];
+
+  // Is the whole tree stable (pure, memory-free, only def-once locals)?
+  auto IsStable = [&](auto &&Self, NodeId Id) -> bool {
+    const Node &N = IL.node(Id);
+    if (N.Op == ILOp::LoadLocal)
+      // Slots beyond the pass-entry count are temps this pass created,
+      // and those are def-once by construction.
+      return (uint32_t)N.A >= StoreCount.size() ||
+             StoreCount[(uint32_t)N.A] <= 1;
+    if (hasSideEffects(N.Op) || readsMemory(N.Op) ||
+        N.Op == ILOp::LoadException)
+      return false;
+    for (NodeId Kid : N.Kids)
+      if (!Self(Self, Kid))
+        return false;
+    return true;
+  };
+
+  // First occurrence of each stable expression shape, keyed structurally.
+  struct Occurrence {
+    BlockId Block;
+    size_t TreeIndex;
+    NodeId Node;
+    int32_t TempSlot = -1; ///< materialized on the second occurrence
+  };
+  std::map<std::string, Occurrence> Table;
+
+  auto KeyOf = [&](auto &&Self, NodeId Id) -> std::string {
+    const Node &N = IL.node(Id);
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf), "%u:%u:%d:%d:%lld:%a(", (unsigned)N.Op,
+                  (unsigned)N.Type, N.A, N.B, (long long)N.ConstI, N.ConstF);
+    std::string Key = Buf;
+    for (NodeId Kid : N.Kids) {
+      Key += Self(Self, Kid);
+      Key += ',';
+    }
+    Key += ')';
+    return Key;
+  };
+
+  bool Changed = false;
+  for (BlockId B : DT.rpo()) {
+    Block &Blk = IL.block(B);
+    for (size_t TI = 0; TI < Blk.Trees.size(); ++TI) {
+      // Consider candidate nodes: direct children of the treetop (the
+      // biggest subtrees — maximal reuse).
+      for (unsigned KI = 0; KI < IL.node(Blk.Trees[TI]).numKids(); ++KI) {
+        NodeId Cand = IL.node(Blk.Trees[TI]).Kids[KI];
+        Ctx.charge(2);
+        const Node &CN = IL.node(Cand);
+        if (CN.Op == ILOp::Const || CN.Op == ILOp::LoadLocal)
+          continue; // too cheap to be worth a temp
+        if (!IsStable(IsStable, Cand))
+          continue;
+        std::string Key = KeyOf(KeyOf, Cand);
+        auto It = Table.find(Key);
+        if (It == Table.end()) {
+          Table.emplace(Key, Occurrence{B, TI, Cand, -1});
+          continue;
+        }
+        Occurrence &First = It->second;
+        if (First.Node == Cand)
+          continue; // same DAG node, nothing to do
+        if (!DT.dominates(First.Block, B))
+          continue;
+        if (First.Block == B)
+          continue; // local VN's job
+        // Materialize a temp at the first occurrence if not done yet.
+        if (First.TempSlot < 0) {
+          uint32_t Slot = IL.addLocal(IL.node(First.Node).Type);
+          NodeId Clone = Ctx.cloneTree(First.Node, nullptr);
+          NodeId Store =
+              IL.makeNode(ILOp::StoreLocal, DataType::Void, {Clone});
+          IL.node(Store).A = (int32_t)Slot;
+          Block &FB = IL.block(First.Block);
+          FB.Trees.insert(FB.Trees.begin() + (std::ptrdiff_t)First.TreeIndex,
+                          Store);
+          if (First.Block == B && First.TreeIndex <= TI)
+            ++TI; // keep our index valid after the insert
+          Ctx.rewriteToLoadLocal(First.Node, IL.node(Clone).Type, Slot);
+          First.TempSlot = (int32_t)Slot;
+        }
+        Ctx.rewriteToLoadLocal(Cand, IL.node(First.Node).Type,
+                               (uint32_t)First.TempSlot);
+        Ctx.noteChange(TransformationKind::GlobalValueNumbering);
+        Changed = true;
+      }
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Liveness-based (global) dead store elimination
+//===----------------------------------------------------------------------===//
+
+bool jitml::runGlobalDeadStoreElimination(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  Liveness LV(IL);
+  bool Changed = false;
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    Block &Blk = IL.block(B);
+    if (!Blk.Reachable)
+      continue;
+    bool HasHandlers = !Blk.Handlers.empty();
+    // Walk backward tracking locals still needed after each point.
+    std::vector<bool> Needed(IL.numLocals(), false);
+    for (uint32_t L = 0; L < IL.numLocals(); ++L)
+      Needed[L] = LV.liveOut(B, L);
+    for (size_t TI = Blk.Trees.size(); TI-- > 0;) {
+      Node &N = IL.node(Blk.Trees[TI]);
+      Ctx.charge(1);
+      if (N.Op == ILOp::StoreLocal && !Needed[(uint32_t)N.A] &&
+          !HasHandlers) {
+        // Dead everywhere below: keep the value's evaluation as an anchor
+        // (dead-tree elimination finishes the job when it is pure).
+        N.Op = ILOp::ExprStmt;
+        N.A = 0;
+        Ctx.noteChange(TransformationKind::GlobalDeadStoreElimination);
+        Changed = true;
+        continue;
+      }
+      if (N.Op == ILOp::StoreLocal)
+        Needed[(uint32_t)N.A] = false;
+      forEachNodeInTree(IL, Blk.Trees[TI], [&](NodeId Id) {
+        const Node &K = IL.node(Id);
+        if (K.Op == ILOp::LoadLocal)
+          Needed[(uint32_t)K.A] = true;
+      });
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Partial redundancy elimination: hoist expressions computed identically in
+// both arms of a branch into the branch block.
+//===----------------------------------------------------------------------===//
+
+bool jitml::runPartialRedundancyElimination(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  bool Changed = false;
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    Block &Blk = IL.block(B);
+    if (!Blk.Reachable || Blk.Succs.size() != 2)
+      continue;
+    BlockId S0 = Blk.Succs[0], S1 = Blk.Succs[1];
+    if (S0 == S1)
+      continue;
+    Block &B0 = IL.block(S0);
+    Block &B1 = IL.block(S1);
+    if (B0.Preds.size() != 1 || B1.Preds.size() != 1 || B0.IsHandler ||
+        B1.IsHandler)
+      continue;
+
+    // Collect hoistable candidates from S0: pure, memory-free direct kids
+    // of treetops. (Memory-free keeps the hoist trivially safe: evaluating
+    // earlier cannot observe different state.)
+    struct Cand {
+      NodeId Id;
+      std::string Key;
+    };
+    auto KeyOf = [&](auto &&Self, NodeId Id) -> std::string {
+      const Node &N = IL.node(Id);
+      char Buf[96];
+      std::snprintf(Buf, sizeof(Buf), "%u:%u:%d:%d:%lld:%a(", (unsigned)N.Op,
+                    (unsigned)N.Type, N.A, N.B, (long long)N.ConstI,
+                    N.ConstF);
+      std::string Key = Buf;
+      for (NodeId Kid : N.Kids) {
+        Key += Self(Self, Kid);
+        Key += ',';
+      }
+      Key += ')';
+      return Key;
+    };
+    // Only expressions whose local inputs are not redefined before their
+    // use in the successor may be hoisted; requiring the candidate to sit
+    // in the successor's *first* treetop guarantees that.
+    auto Collect = [&](Block &SB) {
+      std::vector<Cand> Out;
+      if (SB.Trees.empty())
+        return Out;
+      const Node &Root = IL.node(SB.Trees.front());
+      for (NodeId Kid : Root.Kids) {
+        Ctx.charge(2);
+        const Node &K = IL.node(Kid);
+        if (K.Op == ILOp::Const || K.Op == ILOp::LoadLocal)
+          continue;
+        if (!Ctx.isPureAndMemoryFree(Kid))
+          continue;
+        Out.push_back({Kid, KeyOf(KeyOf, Kid)});
+      }
+      return Out;
+    };
+    std::vector<Cand> C0 = Collect(B0);
+    std::vector<Cand> C1 = Collect(B1);
+    for (const Cand &A : C0) {
+      for (const Cand &C : C1) {
+        if (A.Key != C.Key || A.Id == C.Id)
+          continue;
+        uint32_t Slot = IL.addLocal(IL.node(A.Id).Type);
+        NodeId Clone = Ctx.cloneTree(A.Id, nullptr);
+        NodeId Store = IL.makeNode(ILOp::StoreLocal, DataType::Void, {Clone});
+        IL.node(Store).A = (int32_t)Slot;
+        // Insert before the branch terminator.
+        Blk.Trees.insert(Blk.Trees.end() - 1, Store);
+        DataType T = IL.node(Clone).Type;
+        Ctx.rewriteToLoadLocal(A.Id, T, Slot);
+        Ctx.rewriteToLoadLocal(C.Id, T, Slot);
+        Ctx.noteChange(TransformationKind::PartialRedundancyElimination);
+        Changed = true;
+        break;
+      }
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Unreachable-code elimination
+//===----------------------------------------------------------------------===//
+
+bool jitml::runUnreachableCodeElimination(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  IL.computeReachability();
+  bool Changed = false;
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    Block &Blk = IL.block(B);
+    Ctx.charge(1);
+    if (Blk.Reachable || Blk.Succs.empty())
+      continue;
+    // Scrub edges out of dead blocks so predecessor counts stay honest.
+    for (BlockId S : Blk.Succs) {
+      auto &P = IL.block(S).Preds;
+      P.erase(std::remove(P.begin(), P.end(), B), P.end());
+    }
+    Blk.Succs.clear();
+    Blk.Trees.clear();
+    Ctx.noteChange(TransformationKind::UnreachableCodeElimination);
+    Changed = true;
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Branch folding: branches with constant condition become gotos.
+//===----------------------------------------------------------------------===//
+
+bool jitml::runBranchFolding(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  bool Changed = false;
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    Block &Blk = IL.block(B);
+    if (!Blk.Reachable || Blk.Trees.empty())
+      continue;
+    Node &Term = IL.node(Blk.Trees.back());
+    Ctx.charge(1);
+    if (Term.Op != ILOp::Branch)
+      continue;
+    BlockId Taken = Blk.Succs[0], Fall = Blk.Succs[1];
+    bool Fold = false;
+    bool CondTrue = false;
+    const Node &L = IL.node(Term.Kids[0]);
+    const Node &R = IL.node(Term.Kids[1]);
+    if (L.Op == ILOp::Const && R.Op == ILOp::Const) {
+      int64_t C3;
+      if (isFloatType(L.Type))
+        C3 = L.ConstF < R.ConstF ? -1 : (L.ConstF > R.ConstF ? 1 : 0);
+      else
+        C3 = L.ConstI < R.ConstI ? -1 : (L.ConstI > R.ConstI ? 1 : 0);
+      switch ((BcCond)Term.A) {
+      case BcCond::Eq:
+        CondTrue = C3 == 0;
+        break;
+      case BcCond::Ne:
+        CondTrue = C3 != 0;
+        break;
+      case BcCond::Lt:
+        CondTrue = C3 < 0;
+        break;
+      case BcCond::Ge:
+        CondTrue = C3 >= 0;
+        break;
+      case BcCond::Gt:
+        CondTrue = C3 > 0;
+        break;
+      case BcCond::Le:
+        CondTrue = C3 <= 0;
+        break;
+      }
+      Fold = true;
+    } else if (Taken == Fall) {
+      CondTrue = true; // either way, same place
+      Fold = Ctx.isPureAndMemoryFree(Term.Kids[0]) &&
+             Ctx.isPureAndMemoryFree(Term.Kids[1]);
+    }
+    if (!Fold)
+      continue;
+    BlockId Kept = CondTrue ? Taken : Fall;
+    BlockId Dropped = CondTrue ? Fall : Taken;
+    Term.Op = ILOp::Goto;
+    Term.Kids.clear();
+    Term.A = 0;
+    Blk.Succs = {Kept};
+    if (Dropped != Kept) {
+      auto &P = IL.block(Dropped).Preds;
+      P.erase(std::find(P.begin(), P.end(), B));
+    } else {
+      // Two edges to the same block collapse to one: drop one pred entry.
+      auto &P = IL.block(Kept).Preds;
+      P.erase(std::find(P.begin(), P.end(), B));
+    }
+    Ctx.noteChange(TransformationKind::BranchFolding);
+    Changed = true;
+  }
+  if (Changed)
+    IL.computeReachability();
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Jump threading: skip over empty goto-only blocks.
+//===----------------------------------------------------------------------===//
+
+bool jitml::runJumpThreading(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  auto IsTrivialGoto = [&](BlockId B) {
+    const Block &Blk = IL.block(B);
+    return Blk.Reachable && !Blk.IsHandler && Blk.Trees.size() == 1 &&
+           IL.node(Blk.Trees[0]).Op == ILOp::Goto;
+  };
+  bool Changed = false;
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    Block &Blk = IL.block(B);
+    if (!Blk.Reachable)
+      continue;
+    for (BlockId S : std::vector<BlockId>(Blk.Succs)) {
+      Ctx.charge(1);
+      if (!IsTrivialGoto(S))
+        continue;
+      BlockId Target = IL.block(S).Succs[0];
+      if (Target == S || Target == B)
+        continue;
+      IL.replaceEdge(B, S, Target);
+      Ctx.noteChange(TransformationKind::JumpThreading);
+      Changed = true;
+    }
+  }
+  if (Changed)
+    IL.computeReachability();
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Block merging: collapse straight-line goto chains.
+//===----------------------------------------------------------------------===//
+
+bool jitml::runBlockMerging(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  bool Changed = false;
+  bool Merged = true;
+  while (Merged) {
+    Merged = false;
+    for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+      Block &Blk = IL.block(B);
+      if (!Blk.Reachable || Blk.Trees.empty())
+        continue;
+      Ctx.charge(1);
+      if (IL.node(Blk.Trees.back()).Op != ILOp::Goto ||
+          Blk.Succs.size() != 1)
+        continue;
+      BlockId S = Blk.Succs[0];
+      if (S == B || S == IL.entryBlock())
+        continue;
+      Block &Next = IL.block(S);
+      if (Next.Preds.size() != 1 || Next.IsHandler)
+        continue;
+      // Handler scopes must match or the merged code would be covered by
+      // the wrong try regions.
+      auto SameHandlers = [&] {
+        if (Blk.Handlers.size() != Next.Handlers.size())
+          return false;
+        for (size_t I = 0; I < Blk.Handlers.size(); ++I)
+          if (Blk.Handlers[I].Handler != Next.Handlers[I].Handler ||
+              Blk.Handlers[I].ClassIndex != Next.Handlers[I].ClassIndex)
+            return false;
+        return true;
+      };
+      if (!SameHandlers())
+        continue;
+      // Splice: drop our goto, take S's trees and successors.
+      Blk.Trees.pop_back();
+      for (NodeId T : Next.Trees)
+        Blk.Trees.push_back(T);
+      Blk.Succs = Next.Succs;
+      for (BlockId NS : Next.Succs) {
+        auto &P = IL.block(NS).Preds;
+        std::replace(P.begin(), P.end(), S, B);
+      }
+      Next.Trees.clear();
+      Next.Succs.clear();
+      Next.Preds.clear();
+      Next.Reachable = false;
+      Ctx.noteChange(TransformationKind::BlockMerging);
+      Changed = Merged = true;
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Tail duplication: copy tiny join blocks into their goto predecessors.
+//===----------------------------------------------------------------------===//
+
+bool jitml::runTailDuplication(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  bool Changed = false;
+  for (BlockId S = 0; S < IL.numBlocks(); ++S) {
+    Block &Join = IL.block(S);
+    if (!Join.Reachable || Join.IsHandler || Join.Preds.size() < 2)
+      continue;
+    if (Join.Trees.size() > 4)
+      continue;
+    const Node &Term = IL.node(Join.Trees.back());
+    if (Term.Op != ILOp::Return && Term.Op != ILOp::Goto)
+      continue;
+    // Duplicate into predecessors that reach us by an unconditional goto
+    // and share our handler scope.
+    auto SameHandlers = [&](const Block &P) {
+      if (P.Handlers.size() != Join.Handlers.size())
+        return false;
+      for (size_t I = 0; I < P.Handlers.size(); ++I)
+        if (P.Handlers[I].Handler != Join.Handlers[I].Handler)
+          return false;
+      return true;
+    };
+    std::vector<BlockId> Preds = Join.Preds;
+    for (BlockId P : Preds) {
+      if (IL.block(S).Preds.size() <= 1)
+        break; // keep one inline path
+      Block &Pred = IL.block(P);
+      if (P == S || !Pred.Reachable || Pred.Trees.empty())
+        continue;
+      if (IL.node(Pred.Trees.back()).Op != ILOp::Goto ||
+          Pred.Succs.size() != 1 || Pred.Succs[0] != S)
+        continue;
+      if (!SameHandlers(Pred))
+        continue;
+      Ctx.charge((double)Join.Trees.size() * 3);
+      // Clone the join's trees in place of the predecessor's goto.
+      Pred.Trees.pop_back();
+      for (NodeId T : IL.block(S).Trees)
+        Pred.Trees.push_back(Ctx.cloneTree(T, nullptr));
+      Pred.Succs.clear();
+      {
+        auto &JP = IL.block(S).Preds;
+        JP.erase(std::find(JP.begin(), JP.end(), P));
+      }
+      for (BlockId NS : IL.block(S).Succs)
+        IL.addEdge(P, NS);
+      Ctx.noteChange(TransformationKind::TailDuplication);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+//===----------------------------------------------------------------------===//
+// Cold-block marking for outlined layout
+//===----------------------------------------------------------------------===//
+
+bool jitml::runColdBlockOutlining(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  LoopInfo::annotateFrequencies(IL);
+  bool Changed = false;
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    Block &Blk = IL.block(B);
+    Ctx.charge(1);
+    if (!Blk.Reachable)
+      continue;
+    bool Cold = Blk.Frequency <= 0.05 || Blk.IsHandler;
+    if (Cold != Blk.Cold) {
+      Blk.Cold = Cold;
+      Ctx.noteChange(TransformationKind::ColdBlockOutlining);
+      Changed = true;
+    }
+  }
+  return Changed;
+}

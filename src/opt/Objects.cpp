@@ -1,0 +1,180 @@
+//===- opt/Objects.cpp - Escape analysis and monitor elision --------------===//
+//
+// Escape analysis marks allocations that never leave the method so the
+// code generator can stack-allocate them; monitor elision removes
+// synchronization on such thread-local objects. The paper calls out
+// "allocates dynamic memory triggers specific passes, such as escape
+// analysis" as one of the feature/transformation couplings the learning
+// can discover.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Passes.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace jitml;
+
+namespace {
+
+/// Result of the escape computation: allocation nodes that provably never
+/// escape the frame, and the local slots that exclusively alias them.
+struct EscapeFacts {
+  std::unordered_set<NodeId> NonEscaping;
+  std::unordered_map<int32_t, NodeId> ExclusiveSlots; ///< slot -> alloc node
+};
+
+EscapeFacts computeEscapes(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  EscapeFacts Facts;
+
+  // Candidate allocations: every reachable `new` node.
+  std::vector<NodeId> Allocs;
+  for (NodeId Id = 0; Id < IL.numNodes(); ++Id)
+    if (IL.node(Id).Op == ILOp::New)
+      Allocs.push_back(Id);
+  if (Allocs.empty())
+    return Facts;
+
+  // Slots that only ever hold one specific allocation (every store to the
+  // slot stores that allocation and nothing else).
+  std::unordered_map<int32_t, NodeId> SlotAlloc;
+  std::unordered_set<int32_t> PoisonedSlots;
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    const Block &Blk = IL.block(B);
+    if (!Blk.Reachable)
+      continue;
+    for (NodeId Root : Blk.Trees) {
+      const Node &N = IL.node(Root);
+      if (N.Op != ILOp::StoreLocal)
+        continue;
+      const Node &V = IL.node(N.Kids[0]);
+      if (!isReferenceType(V.Type) &&
+          !isReferenceType(IL.localType((uint32_t)N.A)))
+        continue;
+      if (V.Op == ILOp::New) {
+        auto It = SlotAlloc.find(N.A);
+        if (It == SlotAlloc.end())
+          SlotAlloc[N.A] = N.Kids[0];
+        else if (It->second != N.Kids[0])
+          PoisonedSlots.insert(N.A);
+      } else if (isReferenceType(IL.localType((uint32_t)N.A))) {
+        PoisonedSlots.insert(N.A);
+      }
+    }
+  }
+  for (int32_t Slot : PoisonedSlots)
+    SlotAlloc.erase(Slot);
+
+  // A use is "safe" when the object stays a receiver: field access on it,
+  // monitor, checks, comparisons. Everything else escapes.
+  std::unordered_set<NodeId> Escaped;
+  auto AliasesAlloc = [&](NodeId Ref, NodeId Alloc) {
+    if (Ref == Alloc)
+      return true;
+    const Node &N = IL.node(Ref);
+    if (N.Op == ILOp::LoadLocal) {
+      auto It = SlotAlloc.find(N.A);
+      return It != SlotAlloc.end() && It->second == Alloc;
+    }
+    return false;
+  };
+
+  for (NodeId Alloc : Allocs) {
+    bool Escapes = false;
+    for (NodeId Id = 0; Id < IL.numNodes() && !Escapes; ++Id) {
+      const Node &N = IL.node(Id);
+      Ctx.charge(0.05);
+      for (unsigned KI = 0; KI < N.Kids.size() && !Escapes; ++KI) {
+        NodeId Kid = N.Kids[KI];
+        if (!AliasesAlloc(Kid, Alloc))
+          continue;
+        switch (N.Op) {
+        case ILOp::LoadField:
+        case ILOp::NullCheck:
+        case ILOp::MonitorEnter:
+        case ILOp::MonitorExit:
+        case ILOp::InstanceOf:
+        case ILOp::CastCheck:
+        case ILOp::ExprStmt:
+        case ILOp::Branch:
+        case ILOp::CmpCond:
+          break; // receiver/observer positions: no escape
+        case ILOp::StoreField:
+          if (KI != 0)
+            Escapes = true; // stored INTO another object
+          break;
+        case ILOp::StoreLocal:
+          // Only exclusive aliasing slots are allowed.
+          if (!SlotAlloc.count(N.A) || SlotAlloc[N.A] != Alloc)
+            Escapes = true;
+          break;
+        default:
+          Escapes = true; // call argument, return, throw, array store, ...
+          break;
+        }
+      }
+    }
+    if (Escapes)
+      continue;
+    Facts.NonEscaping.insert(Alloc);
+    for (const auto &[Slot, A] : SlotAlloc)
+      if (A == Alloc)
+        Facts.ExclusiveSlots[Slot] = Alloc;
+  }
+  return Facts;
+}
+
+} // namespace
+
+bool jitml::runEscapeAnalysis(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  EscapeFacts Facts = computeEscapes(Ctx);
+  bool Changed = false;
+  for (NodeId Alloc : Facts.NonEscaping) {
+    Node &N = IL.node(Alloc);
+    if (N.B & 1)
+      continue;
+    N.B |= 1; // codegen: frame-local allocation, no heap traffic
+    Ctx.noteChange(TransformationKind::EscapeAnalysis);
+    Changed = true;
+  }
+  return Changed;
+}
+
+bool jitml::runMonitorElision(PassContext &Ctx) {
+  MethodIL &IL = Ctx.il();
+  EscapeFacts Facts = computeEscapes(Ctx);
+  if (Facts.NonEscaping.empty())
+    return false;
+  auto GuardsNonEscaping = [&](NodeId Ref) {
+    if (Facts.NonEscaping.count(Ref))
+      return true;
+    const Node &N = IL.node(Ref);
+    if (N.Op != ILOp::LoadLocal)
+      return false;
+    auto It = Facts.ExclusiveSlots.find(N.A);
+    return It != Facts.ExclusiveSlots.end();
+  };
+  bool Changed = false;
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    Block &Blk = IL.block(B);
+    if (!Blk.Reachable)
+      continue;
+    for (size_t TI = 0; TI < Blk.Trees.size();) {
+      const Node &N = IL.node(Blk.Trees[TI]);
+      Ctx.charge(1);
+      bool IsMonitor =
+          N.Op == ILOp::MonitorEnter || N.Op == ILOp::MonitorExit;
+      if (IsMonitor && GuardsNonEscaping(N.Kids[0])) {
+        Blk.Trees.erase(Blk.Trees.begin() + (std::ptrdiff_t)TI);
+        Ctx.noteChange(TransformationKind::MonitorElision);
+        Changed = true;
+        continue;
+      }
+      ++TI;
+    }
+  }
+  return Changed;
+}

@@ -1,0 +1,161 @@
+//===- opt/Optimizer.cpp --------------------------------------------------===//
+
+#include "opt/Optimizer.h"
+
+#include "opt/Passes.h"
+
+using namespace jitml;
+
+bool jitml::runTransformation(PassContext &Ctx, TransformationKind K) {
+  switch (K) {
+  case TransformationKind::ConstantFolding:
+    return runConstantFolding(Ctx);
+  case TransformationKind::ExpressionSimplification:
+    return runExpressionSimplification(Ctx);
+  case TransformationKind::StrengthReduction:
+    return runStrengthReduction(Ctx);
+  case TransformationKind::Reassociation:
+    return runReassociation(Ctx);
+  case TransformationKind::SignExtensionElimination:
+    return runSignExtensionElimination(Ctx);
+  case TransformationKind::FPSimplification:
+    return runFPSimplification(Ctx);
+  case TransformationKind::FPStrengthReduction:
+    return runFPStrengthReduction(Ctx);
+  case TransformationKind::BCDSimplification:
+    return runBCDSimplification(Ctx);
+  case TransformationKind::LongDoubleFastPath:
+    return runLongDoubleFastPath(Ctx);
+  case TransformationKind::LocalCopyPropagation:
+    return runLocalCopyPropagation(Ctx);
+  case TransformationKind::LocalValueNumbering:
+    return runLocalValueNumbering(Ctx);
+  case TransformationKind::RedundantLoadElimination:
+    return runRedundantLoadElimination(Ctx);
+  case TransformationKind::DeadTreeElimination:
+    return runDeadTreeElimination(Ctx);
+  case TransformationKind::DeadStoreElimination:
+    return runDeadStoreElimination(Ctx);
+  case TransformationKind::Rematerialization:
+    return runRematerialization(Ctx);
+  case TransformationKind::StoreSinking:
+    return runStoreSinking(Ctx);
+  case TransformationKind::GuardMerging:
+    return runGuardMerging(Ctx);
+  case TransformationKind::ThrowFastPathing:
+    return runThrowFastPathing(Ctx);
+  case TransformationKind::AllocationSinking:
+    return runAllocationSinking(Ctx);
+  case TransformationKind::GlobalCopyPropagation:
+    return runGlobalCopyPropagation(Ctx);
+  case TransformationKind::GlobalValueNumbering:
+    return runGlobalValueNumbering(Ctx);
+  case TransformationKind::GlobalDeadStoreElimination:
+    return runGlobalDeadStoreElimination(Ctx);
+  case TransformationKind::PartialRedundancyElimination:
+    return runPartialRedundancyElimination(Ctx);
+  case TransformationKind::UnreachableCodeElimination:
+    return runUnreachableCodeElimination(Ctx);
+  case TransformationKind::BlockMerging:
+    return runBlockMerging(Ctx);
+  case TransformationKind::BranchFolding:
+    return runBranchFolding(Ctx);
+  case TransformationKind::JumpThreading:
+    return runJumpThreading(Ctx);
+  case TransformationKind::TailDuplication:
+    return runTailDuplication(Ctx);
+  case TransformationKind::ColdBlockOutlining:
+    return runColdBlockOutlining(Ctx);
+  case TransformationKind::NullCheckElimination:
+    return runNullCheckElimination(Ctx);
+  case TransformationKind::BoundsCheckElimination:
+    return runBoundsCheckElimination(Ctx);
+  case TransformationKind::DivCheckElimination:
+    return runDivCheckElimination(Ctx);
+  case TransformationKind::CastCheckElimination:
+    return runCastCheckElimination(Ctx);
+  case TransformationKind::Devirtualization:
+    return runDevirtualization(Ctx);
+  case TransformationKind::InlineTrivial:
+    return runInlining(Ctx, /*CalleeNodeBudget=*/12, /*GrowthBudget=*/64);
+  case TransformationKind::InlineSmall:
+    return runInlining(Ctx, /*CalleeNodeBudget=*/40, /*GrowthBudget=*/256);
+  case TransformationKind::InlineAggressive:
+    return runInlining(Ctx, /*CalleeNodeBudget=*/120, /*GrowthBudget=*/1024);
+  case TransformationKind::EscapeAnalysis:
+    return runEscapeAnalysis(Ctx);
+  case TransformationKind::MonitorElision:
+    return runMonitorElision(Ctx);
+  case TransformationKind::LoopCanonicalization:
+    return runLoopCanonicalization(Ctx);
+  case TransformationKind::LoopInvariantCodeMotion:
+    return runLoopInvariantCodeMotion(Ctx);
+  case TransformationKind::LoopUnrolling:
+    return runLoopUnrolling(Ctx, 2);
+  case TransformationKind::LoopUnrollingAggressive:
+    return runLoopUnrolling(Ctx, 4);
+  case TransformationKind::LoopFullUnrolling:
+    return runLoopUnrolling(Ctx, 0);
+  case TransformationKind::LoopPeeling:
+    return runLoopPeeling(Ctx);
+  case TransformationKind::LoopBoundsVersioning:
+    return runLoopBoundsVersioning(Ctx);
+  case TransformationKind::LoopStrengthReduction:
+    return runLoopStrengthReduction(Ctx);
+  case TransformationKind::InductionVariableElimination:
+    return runInductionVariableElimination(Ctx);
+  case TransformationKind::EmptyLoopRemoval:
+    return runEmptyLoopRemoval(Ctx);
+  case TransformationKind::IdiomRecognition:
+    return runIdiomRecognition(Ctx);
+  case TransformationKind::PrefetchInsertion:
+    return runPrefetchInsertion(Ctx);
+  case TransformationKind::ImplicitExceptionChecks:
+    return runImplicitExceptionChecks(Ctx);
+  case TransformationKind::RegisterCoalescing:
+  case TransformationKind::InstructionScheduling:
+  case TransformationKind::PeepholeOptimization:
+  case TransformationKind::ConstantEncoding:
+  case TransformationKind::ProfileGuidedLayout:
+  case TransformationKind::LeafRoutineOptimization:
+    return false; // codegen-stage: handled by the code generator
+  }
+  return false;
+}
+
+OptimizeResult jitml::optimize(MethodIL &IL, const CompilationPlan &Plan,
+                               const BitSet64 &EnabledMask) {
+  assert(EnabledMask.width() == NumTransformations &&
+         "modifier mask must cover all 58 transformations");
+  OptimizeResult Result;
+  PassContext Ctx(IL);
+  for (TransformationKind K : Plan.Entries) {
+    if (!EnabledMask.test((unsigned)K)) {
+      ++Result.EntriesDisabled;
+      continue;
+    }
+    const TransformationInfo &Info = transformationInfo(K);
+    if (Info.Stage == TransformStage::Codegen) {
+      // Codegen options are recorded once; repeated entries are free.
+      if (!Result.CodegenOptions.contains(K)) {
+        Result.CodegenOptions.insert(K);
+        Ctx.charge(Info.BaseCost);
+      }
+      ++Result.EntriesRun;
+      continue;
+    }
+    // "Before applying a transformation prescribed by a plan, the compiler
+    // checks for method characteristics that might make the transformation
+    // meaningless." The guard itself costs a cheap scan.
+    Ctx.charge(IL.countLiveNodes() * 0.05);
+    if (!transformationApplicable(K, IL)) {
+      ++Result.EntriesSkippedInapplicable;
+      continue;
+    }
+    Ctx.charge(Info.BaseCost + Info.CostPerNode * IL.countLiveNodes());
+    runTransformation(Ctx, K);
+    ++Result.EntriesRun;
+  }
+  Result.CompileCycles = Ctx.compileCycles();
+  return Result;
+}

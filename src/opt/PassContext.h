@@ -1,0 +1,79 @@
+//===- opt/PassContext.h - Shared state for optimization passes -*- C++ -*===//
+///
+/// \file
+/// The context handed to every pass engine: the IL under optimization,
+/// compile-effort accounting (the C_i term of the ranking function, Eq. 2,
+/// comes from here), and small IL-surgery helpers shared by many passes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_OPT_PASSCONTEXT_H
+#define JITML_OPT_PASSCONTEXT_H
+
+#include "il/MethodIL.h"
+#include "opt/Transformation.h"
+
+#include <unordered_map>
+
+namespace jitml {
+
+class PassContext {
+public:
+  explicit PassContext(MethodIL &IL) : IL(IL) {}
+
+  MethodIL &il() { return IL; }
+  const Program &program() const { return IL.program(); }
+
+  /// Charges \p Cycles of compile effort to the current pass.
+  void charge(double Cycles) { CompileCycles += Cycles; }
+  double compileCycles() const { return CompileCycles; }
+
+  /// Statistics: how many times each pass reported a change.
+  void noteChange(TransformationKind K) { ++Changes[(unsigned)K]; }
+  uint32_t changesOf(TransformationKind K) const {
+    auto It = Changes.find((unsigned)K);
+    return It == Changes.end() ? 0 : It->second;
+  }
+
+  // --- IL surgery helpers (in-place node rewrites; every tree referencing
+  // the node observes the new form, which is how passes "replace all uses").
+  void rewriteToConstI(NodeId Id, DataType T, int64_t V);
+  void rewriteToConstF(NodeId Id, DataType T, double V);
+  void rewriteToLoadLocal(NodeId Id, DataType T, uint32_t Slot);
+  /// Turns \p Id into a shallow copy of \p Source (same kids vector).
+  void rewriteToCopyOf(NodeId Id, NodeId Source);
+
+  /// Deep-clones the tree rooted at \p Root into fresh nodes. \p LocalMap,
+  /// when non-null, remaps local slots (used by inlining and unrolling).
+  NodeId cloneTree(NodeId Root,
+                   const std::unordered_map<uint32_t, uint32_t> *LocalMap);
+
+  /// True when evaluating \p Root can be skipped entirely: no side effects
+  /// anywhere in the tree.
+  bool isPure(NodeId Root) const;
+
+  /// True when the tree's value depends only on its inputs (pure and reads
+  /// no mutable memory) — the condition for commoning across statements.
+  bool isPureAndMemoryFree(NodeId Root) const;
+
+private:
+  MethodIL &IL;
+  double CompileCycles = 0.0;
+  std::unordered_map<unsigned, uint32_t> Changes;
+};
+
+/// Counts how many times each node is referenced (as a treetop root or as a
+/// child) across all reachable blocks. Passes use this to decide whether a
+/// node is shared (DAG-commoned) before duplicating or deleting it.
+std::vector<uint32_t> computeRefCounts(const MethodIL &IL);
+
+/// Shallow structural equality of two nodes (same op/type/payload and the
+/// same child ids) — the equivalence used by value numbering.
+bool shallowEqualNodes(const Node &A, const Node &B);
+
+/// Hash matching shallowEqualNodes.
+uint64_t shallowHashNode(const Node &N);
+
+} // namespace jitml
+
+#endif // JITML_OPT_PASSCONTEXT_H

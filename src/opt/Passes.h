@@ -1,0 +1,87 @@
+//===- opt/Passes.h - Pass engine entry points ------------------*- C++ -*-===//
+///
+/// \file
+/// Entry points of the optimization pass engines. Each engine mutates the
+/// IL in place, charges compile effort to the PassContext, and returns
+/// whether it changed anything. The Optimizer dispatches TransformationKind
+/// values to these engines (several kinds share an engine with different
+/// parameters, e.g. the three inlining tiers).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_OPT_PASSES_H
+#define JITML_OPT_PASSES_H
+
+#include "opt/PassContext.h"
+
+namespace jitml {
+
+// FoldSimplify.cpp — expression-level rewrites.
+bool runConstantFolding(PassContext &Ctx);
+bool runExpressionSimplification(PassContext &Ctx);
+bool runStrengthReduction(PassContext &Ctx);
+bool runReassociation(PassContext &Ctx);
+bool runSignExtensionElimination(PassContext &Ctx);
+bool runFPSimplification(PassContext &Ctx);
+bool runFPStrengthReduction(PassContext &Ctx);
+bool runBCDSimplification(PassContext &Ctx);
+bool runLongDoubleFastPath(PassContext &Ctx);
+
+// LocalOpt.cpp — block-scoped transformations.
+bool runLocalCopyPropagation(PassContext &Ctx);
+bool runLocalValueNumbering(PassContext &Ctx);
+bool runRedundantLoadElimination(PassContext &Ctx);
+bool runDeadTreeElimination(PassContext &Ctx);
+bool runDeadStoreElimination(PassContext &Ctx);
+bool runRematerialization(PassContext &Ctx);
+bool runStoreSinking(PassContext &Ctx);
+bool runGuardMerging(PassContext &Ctx);
+bool runThrowFastPathing(PassContext &Ctx);
+bool runAllocationSinking(PassContext &Ctx);
+
+// GlobalOpt.cpp — CFG-level transformations.
+bool runGlobalCopyPropagation(PassContext &Ctx);
+bool runGlobalValueNumbering(PassContext &Ctx);
+bool runGlobalDeadStoreElimination(PassContext &Ctx);
+bool runPartialRedundancyElimination(PassContext &Ctx);
+bool runUnreachableCodeElimination(PassContext &Ctx);
+bool runBlockMerging(PassContext &Ctx);
+bool runBranchFolding(PassContext &Ctx);
+bool runJumpThreading(PassContext &Ctx);
+bool runTailDuplication(PassContext &Ctx);
+bool runColdBlockOutlining(PassContext &Ctx);
+
+// Checks.cpp — runtime check eliminations.
+bool runNullCheckElimination(PassContext &Ctx);
+bool runBoundsCheckElimination(PassContext &Ctx);
+bool runDivCheckElimination(PassContext &Ctx);
+bool runCastCheckElimination(PassContext &Ctx);
+bool runImplicitExceptionChecks(PassContext &Ctx);
+
+// Calls.cpp — call-site transformations.
+bool runDevirtualization(PassContext &Ctx);
+/// Shared inliner; tiers differ in per-callee node budget and total-growth
+/// budget (trivial 12/64, small 40/256, aggressive 120/1024).
+bool runInlining(PassContext &Ctx, uint32_t CalleeNodeBudget,
+                 uint32_t GrowthBudget);
+
+// Objects.cpp — allocation/synchronization transformations.
+bool runEscapeAnalysis(PassContext &Ctx);
+bool runMonitorElision(PassContext &Ctx);
+
+// Loops.cpp — loop transformations.
+bool runLoopCanonicalization(PassContext &Ctx);
+bool runLoopInvariantCodeMotion(PassContext &Ctx);
+/// Shared unroller; Factor 0 requests full unrolling of short loops.
+bool runLoopUnrolling(PassContext &Ctx, unsigned Factor);
+bool runLoopPeeling(PassContext &Ctx);
+bool runLoopBoundsVersioning(PassContext &Ctx);
+bool runLoopStrengthReduction(PassContext &Ctx);
+bool runInductionVariableElimination(PassContext &Ctx);
+bool runEmptyLoopRemoval(PassContext &Ctx);
+bool runIdiomRecognition(PassContext &Ctx);
+bool runPrefetchInsertion(PassContext &Ctx);
+
+} // namespace jitml
+
+#endif // JITML_OPT_PASSES_H

@@ -1,0 +1,266 @@
+//===- opt/Plan.cpp -------------------------------------------------------===//
+//
+// The hand-tuned plans. Ordering encodes years'-worth of phase-ordering
+// lessons, e.g. idiom recognition and bounds versioning must run before
+// unrolling (unrolled bodies no longer match their patterns), check
+// eliminations pay off best after inlining exposed the checks, and cleanup
+// rounds re-run after every structural phase.
+//
+//===----------------------------------------------------------------------===//
+
+#include "opt/Plan.h"
+
+#include <cassert>
+
+using namespace jitml;
+
+namespace {
+
+using TK = TransformationKind;
+
+/// Expression/local cleanup round re-run after structural passes.
+void appendCleanup(std::vector<TK> &Plan) {
+  Plan.push_back(TK::ConstantFolding);
+  Plan.push_back(TK::ExpressionSimplification);
+  Plan.push_back(TK::LocalValueNumbering);
+  Plan.push_back(TK::DeadStoreElimination);
+  Plan.push_back(TK::DeadTreeElimination);
+}
+
+/// CFG tidy-up round.
+void appendCfgCleanup(std::vector<TK> &Plan) {
+  Plan.push_back(TK::BranchFolding);
+  Plan.push_back(TK::JumpThreading);
+  Plan.push_back(TK::BlockMerging);
+  Plan.push_back(TK::UnreachableCodeElimination);
+}
+
+/// Check-elimination round.
+void appendChecks(std::vector<TK> &Plan, bool Full) {
+  Plan.push_back(TK::NullCheckElimination);
+  Plan.push_back(TK::DivCheckElimination);
+  if (Full) {
+    Plan.push_back(TK::BoundsCheckElimination);
+    Plan.push_back(TK::CastCheckElimination);
+  }
+  Plan.push_back(TK::GuardMerging);
+  Plan.push_back(TK::ImplicitExceptionChecks);
+}
+
+/// The loop pipeline. Pattern-matching phases (idiom recognition, bounds
+/// versioning, strength reduction) MUST precede unrolling: an unrolled
+/// body no longer matches the canonical counted-loop shape.
+enum class LoopTier { Basic, Full, Aggressive };
+
+void appendLoopPipeline(std::vector<TK> &Plan, LoopTier Tier) {
+  Plan.push_back(TK::LoopCanonicalization);
+  Plan.push_back(TK::LoopInvariantCodeMotion);
+  Plan.push_back(TK::EmptyLoopRemoval);
+  Plan.push_back(TK::IdiomRecognition);
+  if (Tier != LoopTier::Basic) {
+    Plan.push_back(TK::LoopBoundsVersioning);
+    Plan.push_back(TK::LoopStrengthReduction);
+    Plan.push_back(TK::InductionVariableElimination);
+    Plan.push_back(TK::PrefetchInsertion);
+    Plan.push_back(TK::LoopFullUnrolling);
+  }
+  if (Tier == LoopTier::Aggressive)
+    Plan.push_back(TK::LoopUnrollingAggressive);
+  Plan.push_back(TK::LoopUnrolling);
+  // Peeling last: it straight-lines the first iteration, which destroys
+  // the constant-start shape the unrollers depend on.
+  if (Tier != LoopTier::Basic)
+    Plan.push_back(TK::LoopPeeling);
+}
+
+std::vector<TK> buildCold() {
+  // 20 entries: the quick-and-dirty plan for rarely-run methods.
+  return {
+      TK::ConstantFolding,
+      TK::ExpressionSimplification,
+      TK::LocalCopyPropagation,
+      TK::LocalValueNumbering,
+      TK::StrengthReduction,
+      TK::DeadStoreElimination,
+      TK::DeadTreeElimination,
+      TK::BranchFolding,
+      TK::JumpThreading,
+      TK::BlockMerging,
+      TK::UnreachableCodeElimination,
+      TK::NullCheckElimination,
+      TK::DivCheckElimination,
+      TK::GuardMerging,
+      TK::ImplicitExceptionChecks,
+      TK::InlineTrivial,
+      TK::PeepholeOptimization,
+      TK::ConstantEncoding,
+      TK::RegisterCoalescing,
+      TK::LeafRoutineOptimization,
+  };
+}
+
+std::vector<TK> buildWarm() {
+  std::vector<TK> Plan = buildCold(); // 20
+  Plan.push_back(TK::Devirtualization);
+  Plan.push_back(TK::InlineSmall);
+  Plan.push_back(TK::GlobalCopyPropagation);
+  Plan.push_back(TK::Reassociation);
+  Plan.push_back(TK::SignExtensionElimination);
+  Plan.push_back(TK::FPSimplification);
+  Plan.push_back(TK::RedundantLoadElimination); // 27
+  appendLoopPipeline(Plan, LoopTier::Basic);    // 32
+  Plan.push_back(TK::GlobalValueNumbering);
+  Plan.push_back(TK::GlobalDeadStoreElimination);
+  Plan.push_back(TK::StoreSinking); // 35
+  appendCleanup(Plan);              // 40
+  appendChecks(Plan, /*Full=*/true); // 46 (bounds after loop opts)
+  Plan.push_back(TK::InstructionScheduling);
+  Plan.push_back(TK::ProfileGuidedLayout); // 48... trim below
+  return Plan;
+}
+
+std::vector<TK> buildHot() {
+  std::vector<TK> Plan = buildCold(); // 20
+  // Aggressive inlining first so everything downstream sees big methods.
+  Plan.push_back(TK::Devirtualization);
+  Plan.push_back(TK::InlineSmall);
+  appendCfgCleanup(Plan); // 26
+  Plan.push_back(TK::GlobalCopyPropagation);
+  Plan.push_back(TK::Reassociation);
+  Plan.push_back(TK::SignExtensionElimination);
+  Plan.push_back(TK::FPSimplification);
+  Plan.push_back(TK::FPStrengthReduction);
+  Plan.push_back(TK::BCDSimplification);
+  Plan.push_back(TK::LongDoubleFastPath);
+  Plan.push_back(TK::RedundantLoadElimination); // 34
+  Plan.push_back(TK::EscapeAnalysis);
+  Plan.push_back(TK::MonitorElision);
+  Plan.push_back(TK::AllocationSinking);
+  Plan.push_back(TK::ThrowFastPathing); // 38
+  appendChecks(Plan, /*Full=*/true);    // 44 (before loops: clean bodies)
+  appendLoopPipeline(Plan, LoopTier::Full); // 55
+  Plan.push_back(TK::PartialRedundancyElimination);
+  Plan.push_back(TK::GlobalValueNumbering);
+  Plan.push_back(TK::GlobalDeadStoreElimination); // 58
+  appendCleanup(Plan);                            // 63
+  appendCfgCleanup(Plan);                         // 67
+  appendChecks(Plan, /*Full=*/true);              // 73
+  Plan.push_back(TK::TailDuplication);
+  Plan.push_back(TK::Rematerialization);
+  Plan.push_back(TK::StoreSinking);
+  Plan.push_back(TK::ColdBlockOutlining);
+  Plan.push_back(TK::InstructionScheduling);
+  Plan.push_back(TK::ProfileGuidedLayout);
+  Plan.push_back(TK::DeadTreeElimination); // 80
+  return Plan;
+}
+
+std::vector<TK> buildVeryHot() {
+  std::vector<TK> Plan = buildCold(); // 20
+  Plan.push_back(TK::Devirtualization);
+  Plan.push_back(TK::InlineAggressive);
+  appendCfgCleanup(Plan); // 26
+  Plan.push_back(TK::GlobalCopyPropagation);
+  Plan.push_back(TK::Reassociation);
+  Plan.push_back(TK::StrengthReduction);
+  Plan.push_back(TK::SignExtensionElimination);
+  Plan.push_back(TK::FPSimplification);
+  Plan.push_back(TK::FPStrengthReduction);
+  Plan.push_back(TK::BCDSimplification);
+  Plan.push_back(TK::LongDoubleFastPath);
+  Plan.push_back(TK::RedundantLoadElimination); // 35
+  Plan.push_back(TK::EscapeAnalysis);
+  Plan.push_back(TK::MonitorElision);
+  Plan.push_back(TK::AllocationSinking);
+  Plan.push_back(TK::ThrowFastPathing); // 39
+  appendChecks(Plan, /*Full=*/true);    // 45
+  appendLoopPipeline(Plan, LoopTier::Full); // 56
+  appendCleanup(Plan);                      // 61
+  // Second inlining round: loop-optimized callees are smaller now.
+  Plan.push_back(TK::Devirtualization);
+  Plan.push_back(TK::InlineSmall);
+  appendCfgCleanup(Plan); // 67
+  Plan.push_back(TK::GlobalCopyPropagation);
+  Plan.push_back(TK::GlobalValueNumbering);
+  Plan.push_back(TK::GlobalDeadStoreElimination);
+  Plan.push_back(TK::PartialRedundancyElimination);
+  Plan.push_back(TK::RedundantLoadElimination); // 72
+  appendLoopPipeline(Plan, LoopTier::Aggressive); // 84
+  appendCleanup(Plan);                            // 89
+  appendCfgCleanup(Plan);                         // 93
+  appendChecks(Plan, /*Full=*/true);              // 99
+  Plan.push_back(TK::EscapeAnalysis);
+  Plan.push_back(TK::MonitorElision); // 101
+  appendCleanup(Plan);                // 106
+  Plan.push_back(TK::TailDuplication);
+  Plan.push_back(TK::Rematerialization);
+  Plan.push_back(TK::StoreSinking);
+  Plan.push_back(TK::ColdBlockOutlining);
+  Plan.push_back(TK::InstructionScheduling);
+  Plan.push_back(TK::ProfileGuidedLayout); // 112
+  appendChecks(Plan, /*Full=*/false);      // 116
+  Plan.push_back(TK::Reassociation);
+  Plan.push_back(TK::StrengthReduction);
+  Plan.push_back(TK::SignExtensionElimination);
+  Plan.push_back(TK::DeadTreeElimination); // 120
+  return Plan;
+}
+
+std::vector<TK> buildScorching() {
+  std::vector<TK> Plan = buildVeryHot(); // 120
+  // A third full round with profile-guided emphasis: by scorching time the
+  // profile is trustworthy, so layout/duplication decisions pay off.
+  Plan.push_back(TK::Devirtualization);
+  Plan.push_back(TK::InlineAggressive);
+  appendCfgCleanup(Plan); // 126
+  appendCleanup(Plan);    // 131
+  Plan.push_back(TK::GlobalCopyPropagation);
+  Plan.push_back(TK::GlobalValueNumbering);
+  Plan.push_back(TK::GlobalDeadStoreElimination);
+  Plan.push_back(TK::RedundantLoadElimination);
+  Plan.push_back(TK::PartialRedundancyElimination); // 136
+  appendLoopPipeline(Plan, LoopTier::Aggressive);   // 148
+  appendCleanup(Plan);                              // 153
+  appendCfgCleanup(Plan);                           // 157
+  appendChecks(Plan, /*Full=*/true);                // 163
+  Plan.push_back(TK::FPSimplification);
+  Plan.push_back(TK::FPStrengthReduction);
+  Plan.push_back(TK::BCDSimplification);
+  Plan.push_back(TK::LongDoubleFastPath);
+  Plan.push_back(TK::ThrowFastPathing); // 168
+  Plan.push_back(TK::TailDuplication);
+  Plan.push_back(TK::Rematerialization);
+  Plan.push_back(TK::ColdBlockOutlining);
+  Plan.push_back(TK::ProfileGuidedLayout); // 172
+  return Plan;
+}
+
+} // namespace
+
+const char *jitml::optLevelName(OptLevel L) {
+  switch (L) {
+  case OptLevel::Cold:
+    return "cold";
+  case OptLevel::Warm:
+    return "warm";
+  case OptLevel::Hot:
+    return "hot";
+  case OptLevel::VeryHot:
+    return "veryHot";
+  case OptLevel::Scorching:
+    return "scorching";
+  }
+  return "?";
+}
+
+const CompilationPlan &jitml::planForLevel(OptLevel L) {
+  static const CompilationPlan Plans[NumOptLevels] = {
+      {OptLevel::Cold, buildCold()},
+      {OptLevel::Warm, buildWarm()},
+      {OptLevel::Hot, buildHot()},
+      {OptLevel::VeryHot, buildVeryHot()},
+      {OptLevel::Scorching, buildScorching()},
+  };
+  assert((unsigned)L < NumOptLevels && "invalid optimization level");
+  return Plans[(unsigned)L];
+}

@@ -1,0 +1,52 @@
+//===- opt/Plan.h - Compilation plans for the five hotness levels -*-C++-*-===//
+///
+/// \file
+/// "Each optimization level has an ordered set of code transformations (a
+/// compilation plan) that are applied on the IL-tree of a method. A plan
+/// may apply from 20 transformations (cold) to more than 170 (scorching),
+/// including the multiple application of some transformations that are
+/// used as cleanup steps." (paper section 2)
+///
+/// Plans are hand-tuned constants, exactly like Testarossa's: the modifier
+/// mechanism may remove entries but never adds or reorders them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_OPT_PLAN_H
+#define JITML_OPT_PLAN_H
+
+#include "opt/Transformation.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jitml {
+
+/// Testarossa's five adaptive optimization levels, "identified by
+/// adjectives related to temperature".
+enum class OptLevel : uint8_t {
+  Cold = 0,
+  Warm,
+  Hot,
+  VeryHot,
+  Scorching,
+};
+
+constexpr unsigned NumOptLevels = 5;
+const char *optLevelName(OptLevel L);
+
+/// An ordered list of transformation applications (entries may repeat).
+struct CompilationPlan {
+  OptLevel Level = OptLevel::Cold;
+  std::vector<TransformationKind> Entries;
+
+  size_t size() const { return Entries.size(); }
+};
+
+/// The hand-tuned plan for each level. Sizes: cold 20, warm 45, hot 80,
+/// veryHot 120, scorching 172 — matching the paper's 20..170+ span.
+const CompilationPlan &planForLevel(OptLevel L);
+
+} // namespace jitml
+
+#endif // JITML_OPT_PLAN_H

@@ -1,0 +1,224 @@
+//===- opt/Transformation.cpp ---------------------------------------------===//
+
+#include "opt/Transformation.h"
+
+#include "il/LoopInfo.h"
+#include "il/MethodIL.h"
+
+using namespace jitml;
+
+namespace {
+
+constexpr TransformationInfo Infos[NumTransformations] = {
+    // Name, Stage, CostPerNode, BaseCost
+    {"constantFolding", TransformStage::Tree, 4.8, 320},
+    {"expressionSimplification", TransformStage::Tree, 5.6, 320},
+    {"strengthReduction", TransformStage::Tree, 4.0, 240},
+    {"reassociation", TransformStage::Tree, 7.2, 400},
+    {"signExtensionElimination", TransformStage::Tree, 3.2, 200},
+    {"fpSimplification", TransformStage::Tree, 4.0, 240},
+    {"fpStrengthReduction", TransformStage::Tree, 4.0, 240},
+    {"bcdSimplification", TransformStage::Tree, 6.4, 320},
+    {"longDoubleFastPath", TransformStage::Tree, 4.8, 240},
+    {"localCopyPropagation", TransformStage::Tree, 8.0, 480},
+    {"localValueNumbering", TransformStage::Tree, 12.8, 720},
+    {"redundantLoadElimination", TransformStage::Tree, 11.2, 640},
+    {"deadTreeElimination", TransformStage::Tree, 6.4, 320},
+    {"deadStoreElimination", TransformStage::Tree, 9.6, 480},
+    {"rematerialization", TransformStage::Tree, 7.2, 400},
+    {"storeSinking", TransformStage::Tree, 8.0, 400},
+    {"guardMerging", TransformStage::Tree, 5.6, 280},
+    {"throwFastPathing", TransformStage::Tree, 4.0, 200},
+    {"allocationSinking", TransformStage::Tree, 8.8, 480},
+    {"globalCopyPropagation", TransformStage::Tree, 17.6, 1200},
+    {"globalValueNumbering", TransformStage::Tree, 24.0, 1760},
+    {"globalDeadStoreElimination", TransformStage::Tree, 16.0, 1120},
+    {"partialRedundancyElimination", TransformStage::Tree, 20.8, 1440},
+    {"unreachableCodeElimination", TransformStage::Tree, 4.0, 240},
+    {"blockMerging", TransformStage::Tree, 4.8, 240},
+    {"branchFolding", TransformStage::Tree, 4.8, 240},
+    {"jumpThreading", TransformStage::Tree, 7.2, 400},
+    {"tailDuplication", TransformStage::Tree, 12.0, 720},
+    {"coldBlockOutlining", TransformStage::Tree, 4.8, 280},
+    {"nullCheckElimination", TransformStage::Tree, 8.8, 480},
+    {"boundsCheckElimination", TransformStage::Tree, 12.0, 720},
+    {"divCheckElimination", TransformStage::Tree, 4.8, 240},
+    {"castCheckElimination", TransformStage::Tree, 6.4, 320},
+    {"devirtualization", TransformStage::Tree, 9.6, 560},
+    {"inlineTrivial", TransformStage::Tree, 16.0, 960},
+    {"inlineSmall", TransformStage::Tree, 25.6, 1760},
+    {"inlineAggressive", TransformStage::Tree, 40.0, 3200},
+    {"escapeAnalysis", TransformStage::Tree, 19.2, 1280},
+    {"monitorElision", TransformStage::Tree, 8.0, 400},
+    {"loopCanonicalization", TransformStage::Tree, 9.6, 560},
+    {"loopInvariantCodeMotion", TransformStage::Tree, 19.2, 1280},
+    {"loopUnrolling", TransformStage::Tree, 22.4, 1440},
+    {"loopUnrollingAggressive", TransformStage::Tree, 28.8, 1920},
+    {"loopFullUnrolling", TransformStage::Tree, 24.0, 1600},
+    {"loopPeeling", TransformStage::Tree, 17.6, 1200},
+    {"loopBoundsVersioning", TransformStage::Tree, 20.8, 1360},
+    {"loopStrengthReduction", TransformStage::Tree, 16.0, 1040},
+    {"inductionVariableElimination", TransformStage::Tree, 11.2, 640},
+    {"emptyLoopRemoval", TransformStage::Tree, 8.0, 400},
+    {"idiomRecognition", TransformStage::Tree, 14.4, 880},
+    {"prefetchInsertion", TransformStage::Tree, 8.0, 440},
+    {"registerCoalescing", TransformStage::Codegen, 8.0, 480},
+    {"instructionScheduling", TransformStage::Codegen, 19.2, 1280},
+    {"peepholeOptimization", TransformStage::Codegen, 7.2, 400},
+    {"constantEncoding", TransformStage::Codegen, 4.8, 240},
+    {"profileGuidedLayout", TransformStage::Codegen, 9.6, 560},
+    {"implicitExceptionChecks", TransformStage::Tree, 6.4, 320},
+    {"leafRoutineOptimization", TransformStage::Codegen, 2.4, 160},
+};
+
+/// One cached scan of the IL for the cheap guard predicates.
+struct GuardFacts {
+  bool HasLoops = false;
+  bool HasAllocation = false;
+  bool HasMonitors = false;
+  bool HasCalls = false;
+  bool HasVirtualCalls = false;
+  bool HasFP = false;
+  bool HasDecimal = false;
+  bool HasLongDouble = false;
+  bool HasThrow = false;
+  bool HasCasts = false;
+  bool HasCheckCast = false;
+  bool HasMemoryLoads = false;
+  bool HasChecks = false;
+  bool UsesUnsafe = false;
+};
+
+GuardFacts scanFacts(const MethodIL &IL) {
+  GuardFacts F;
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    const Block &Blk = IL.block(B);
+    if (!Blk.Reachable)
+      continue;
+    for (BlockId S : Blk.Succs)
+      if (S <= B)
+        F.HasLoops = true; // cheap necessary condition; refined below
+  }
+  for (NodeId Id = 0; Id < IL.numNodes(); ++Id) {
+    const Node &N = IL.node(Id);
+    if (isFloatType(N.Type))
+      F.HasFP = true;
+    if (isDecimalType(N.Type))
+      F.HasDecimal = true;
+    if (N.Type == DataType::LongDouble)
+      F.HasLongDouble = true;
+    switch (N.Op) {
+    case ILOp::New:
+    case ILOp::NewArray:
+    case ILOp::NewMultiArray:
+      F.HasAllocation = true;
+      break;
+    case ILOp::MonitorEnter:
+      F.HasMonitors = true;
+      break;
+    case ILOp::Call: {
+      F.HasCalls = true;
+      if (N.B)
+        F.HasVirtualCalls = true;
+      const MethodInfo &Callee = IL.program().methodAt((uint32_t)N.A);
+      if (Callee.ClassIndex >= 0 &&
+          IL.program().classAt((uint32_t)Callee.ClassIndex).Kind ==
+              ClassKind::UnsafeIntrinsic)
+        F.UsesUnsafe = true;
+      break;
+    }
+    case ILOp::Throw:
+      F.HasThrow = true;
+      break;
+    case ILOp::Conv:
+      F.HasCasts = true;
+      break;
+    case ILOp::CastCheck:
+    case ILOp::InstanceOf:
+      F.HasCheckCast = true;
+      break;
+    case ILOp::LoadField:
+    case ILOp::LoadElem:
+    case ILOp::LoadGlobal:
+      F.HasMemoryLoads = true;
+      break;
+    case ILOp::NullCheck:
+    case ILOp::BoundsCheck:
+    case ILOp::DivCheck:
+      F.HasChecks = true;
+      break;
+    default:
+      break;
+    }
+  }
+  return F;
+}
+
+} // namespace
+
+const TransformationInfo &jitml::transformationInfo(TransformationKind K) {
+  return Infos[(unsigned)K];
+}
+
+const char *jitml::transformationName(TransformationKind K) {
+  return Infos[(unsigned)K].Name;
+}
+
+bool jitml::transformationApplicable(TransformationKind K,
+                                     const MethodIL &IL) {
+  GuardFacts F = scanFacts(IL);
+  const MethodInfo &M = IL.methodInfo();
+  switch (K) {
+  case TransformationKind::LoopCanonicalization:
+  case TransformationKind::LoopInvariantCodeMotion:
+  case TransformationKind::LoopUnrolling:
+  case TransformationKind::LoopUnrollingAggressive:
+  case TransformationKind::LoopFullUnrolling:
+  case TransformationKind::LoopPeeling:
+  case TransformationKind::LoopBoundsVersioning:
+  case TransformationKind::LoopStrengthReduction:
+  case TransformationKind::InductionVariableElimination:
+  case TransformationKind::EmptyLoopRemoval:
+  case TransformationKind::IdiomRecognition:
+  case TransformationKind::PrefetchInsertion:
+    return F.HasLoops;
+  case TransformationKind::EscapeAnalysis:
+  case TransformationKind::AllocationSinking:
+    return F.HasAllocation;
+  case TransformationKind::MonitorElision:
+    return F.HasMonitors;
+  case TransformationKind::FPSimplification:
+    return F.HasFP;
+  case TransformationKind::FPStrengthReduction:
+    // Unsafe under strict floating-point rules.
+    return F.HasFP && !M.hasFlag(MF_StrictFP);
+  case TransformationKind::BCDSimplification:
+    return F.HasDecimal;
+  case TransformationKind::LongDoubleFastPath:
+    return F.HasLongDouble;
+  case TransformationKind::ThrowFastPathing:
+    return F.HasThrow;
+  case TransformationKind::SignExtensionElimination:
+    return F.HasCasts;
+  case TransformationKind::CastCheckElimination:
+    return F.HasCheckCast;
+  case TransformationKind::Devirtualization:
+    return F.HasVirtualCalls;
+  case TransformationKind::InlineTrivial:
+  case TransformationKind::InlineSmall:
+  case TransformationKind::InlineAggressive:
+    return F.HasCalls;
+  case TransformationKind::RedundantLoadElimination:
+    // "Unsafe symbols ... prevents some optimizations such as
+    // redundant-load elimination" (section 4.1.1).
+    return F.HasMemoryLoads && !F.UsesUnsafe;
+  case TransformationKind::NullCheckElimination:
+  case TransformationKind::BoundsCheckElimination:
+  case TransformationKind::DivCheckElimination:
+  case TransformationKind::GuardMerging:
+  case TransformationKind::ImplicitExceptionChecks:
+    return F.HasChecks;
+  default:
+    return true;
+  }
+}

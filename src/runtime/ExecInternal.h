@@ -1,0 +1,26 @@
+//===- runtime/ExecInternal.h - Engine entry points (private) --*- C++ -*-===//
+///
+/// \file
+/// Internal interface between the VM facade and its two execution engines.
+/// Not installed; include only from runtime/*.cpp.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_RUNTIME_EXECINTERNAL_H
+#define JITML_RUNTIME_EXECINTERNAL_H
+
+#include "runtime/VirtualMachine.h"
+
+namespace jitml {
+
+/// Executes \p MethodIndex by interpreting its bytecode.
+ExecResult interpretMethod(VirtualMachine &VM, uint32_t MethodIndex,
+                           std::vector<Value> Args, unsigned Depth);
+
+/// Executes compiled native code.
+ExecResult executeNative(VirtualMachine &VM, const NativeMethod &Code,
+                         std::vector<Value> Args, unsigned Depth);
+
+} // namespace jitml
+
+#endif // JITML_RUNTIME_EXECINTERNAL_H

@@ -1,0 +1,32 @@
+//===- runtime/Heap.cpp ---------------------------------------------------===//
+
+#include "runtime/Heap.h"
+
+using namespace jitml;
+
+uint32_t Heap::allocObject(const Program &P, uint32_t ClassIndex) {
+  Cell C;
+  C.ClassIndex = (int32_t)ClassIndex;
+  C.Slots.resize(P.classAt(ClassIndex).FieldTypes.size());
+  BytesAllocated += 16 + 8 * C.Slots.size();
+  Cells.push_back(std::move(C));
+  return (uint32_t)Cells.size() - 1;
+}
+
+uint32_t Heap::allocArray(DataType ElemType, uint32_t Length) {
+  Cell C;
+  C.IsArray = true;
+  C.ElemType = ElemType;
+  C.Slots.resize(Length);
+  BytesAllocated += 16 + 8 * (uint64_t)Length;
+  Cells.push_back(std::move(C));
+  return (uint32_t)Cells.size() - 1;
+}
+
+uint32_t Heap::allocException(RtExceptionKind Kind) {
+  Cell C;
+  C.ClassIndex = (int32_t)Kind;
+  BytesAllocated += 16;
+  Cells.push_back(std::move(C));
+  return (uint32_t)Cells.size() - 1;
+}

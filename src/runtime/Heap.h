@@ -1,0 +1,126 @@
+//===- runtime/Heap.h - Simulated object heap -------------------*- C++ -*-===//
+///
+/// \file
+/// The VM's heap: objects (field slots + class id) and arrays (element
+/// slots + element type). References are indices into the heap table;
+/// index 0 is the null reference. There is no collector — the heap lives
+/// for one VM invocation and is dropped wholesale, which is sufficient for
+/// the paper's experiments (allocation cost is modeled by the executor's
+/// cost model, reclamation is not measured).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_RUNTIME_HEAP_H
+#define JITML_RUNTIME_HEAP_H
+
+#include "bytecode/Program.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace jitml {
+
+/// A runtime value: integer, floating and reference lanes. Instructions
+/// are statically typed, so no tag is needed.
+struct Value {
+  int64_t I = 0;
+  double F = 0.0;
+  uint32_t R = 0;
+
+  static Value ofI(int64_t V) {
+    Value X;
+    X.I = V;
+    return X;
+  }
+  static Value ofF(double V) {
+    Value X;
+    X.F = V;
+    return X;
+  }
+  static Value ofR(uint32_t V) {
+    Value X;
+    X.R = V;
+    return X;
+  }
+};
+
+constexpr uint32_t NullRef = 0;
+
+/// Built-in exception kinds raised by the runtime itself. They are encoded
+/// as negative class ids so they never match a program class filter.
+enum class RtExceptionKind : int32_t {
+  NullPointer = -2,
+  ArrayIndexOutOfBounds = -3,
+  ArithmeticDivByZero = -4,
+  ClassCast = -5,
+  NegativeArraySize = -6,
+  StackOverflow = -7,
+};
+
+class Heap {
+public:
+  Heap() { Cells.emplace_back(); /* slot 0 = null */ }
+
+  /// Allocates an instance of \p ClassIndex with zeroed fields.
+  uint32_t allocObject(const Program &P, uint32_t ClassIndex);
+
+  /// Allocates an array of \p Length elements of \p ElemType.
+  uint32_t allocArray(DataType ElemType, uint32_t Length);
+
+  /// Allocates a runtime exception object (kind encoded as class id).
+  uint32_t allocException(RtExceptionKind Kind);
+
+  bool isNull(uint32_t Ref) const { return Ref == NullRef; }
+
+  /// Class index of an object, or the negative RtExceptionKind encoding,
+  /// or -1 for arrays.
+  int32_t classOf(uint32_t Ref) const { return cell(Ref).ClassIndex; }
+  bool isArray(uint32_t Ref) const { return cell(Ref).IsArray; }
+  DataType elemType(uint32_t Ref) const { return cell(Ref).ElemType; }
+
+  uint32_t arrayLength(uint32_t Ref) const {
+    return (uint32_t)cell(Ref).Slots.size();
+  }
+  uint32_t numFields(uint32_t Ref) const {
+    return (uint32_t)cell(Ref).Slots.size();
+  }
+
+  Value getSlot(uint32_t Ref, uint32_t Index) const {
+    const Cell &C = cell(Ref);
+    assert(Index < C.Slots.size() && "heap slot out of range");
+    return C.Slots[Index];
+  }
+  void setSlot(uint32_t Ref, uint32_t Index, Value V) {
+    Cell &C = cell(Ref);
+    assert(Index < C.Slots.size() && "heap slot out of range");
+    C.Slots[Index] = V;
+  }
+
+  size_t numCells() const { return Cells.size(); }
+  uint64_t bytesAllocated() const { return BytesAllocated; }
+
+private:
+  struct Cell {
+    int32_t ClassIndex = -1;
+    DataType ElemType = DataType::Void;
+    bool IsArray = false;
+    std::vector<Value> Slots;
+  };
+
+  const Cell &cell(uint32_t Ref) const {
+    assert(Ref != NullRef && Ref < Cells.size() && "bad heap reference");
+    return Cells[Ref];
+  }
+  Cell &cell(uint32_t Ref) {
+    assert(Ref != NullRef && Ref < Cells.size() && "bad heap reference");
+    return Cells[Ref];
+  }
+
+  std::vector<Cell> Cells;
+  uint64_t BytesAllocated = 0;
+};
+
+} // namespace jitml
+
+#endif // JITML_RUNTIME_HEAP_H

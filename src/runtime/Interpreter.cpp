@@ -1,0 +1,463 @@
+//===- runtime/Interpreter.cpp - Bytecode interpreter ---------------------===//
+//
+// The pre-JIT execution engine: direct threaded interpretation of the
+// stack bytecode with per-opcode dispatch cost. Semantics must match the
+// native executor exactly (the differential tests depend on it).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ExecInternal.h"
+
+#include "runtime/RuntimeOps.h"
+
+using namespace jitml;
+
+namespace {
+
+/// Per-opcode interpretation cost: dispatch overhead plus the operation's
+/// intrinsic cost from the shared model.
+double interpCost(const CostModel &CM, const BcInst &I) {
+  double Base = CM.InterpDispatch;
+  switch (I.Op) {
+  case BcOp::Mul:
+    return Base + CM.MulCost;
+  case BcOp::Div:
+  case BcOp::Rem:
+    return Base + CM.DivCost;
+  case BcOp::GetField:
+  case BcOp::PutField:
+    return Base + CM.FieldAccess;
+  case BcOp::ALoad:
+  case BcOp::AStore:
+    return Base + CM.ElemAccess + CM.BoundsCost;
+  case BcOp::GetGlobal:
+  case BcOp::PutGlobal:
+    return Base + CM.GlobalAccess;
+  case BcOp::New:
+    return Base + CM.AllocObject;
+  case BcOp::NewArray:
+  case BcOp::NewMultiArray:
+    return Base + CM.AllocArrayBase;
+  case BcOp::MonitorEnter:
+  case BcOp::MonitorExit:
+    return Base + CM.MonitorCost;
+  case BcOp::Throw:
+    return Base + CM.ThrowCost;
+  case BcOp::InstanceOf:
+  case BcOp::CheckCast:
+    return Base + CM.InstanceOfCost;
+  case BcOp::ArrayCopy:
+    return Base + CM.ArrayCopyBase;
+  case BcOp::ArrayCmp:
+    return Base + CM.ArrayCmpBase;
+  case BcOp::Call:
+  case BcOp::CallVirtual:
+    return Base; // call overhead charged by VirtualMachine::invoke
+  default:
+    return Base + CM.Alu;
+  }
+}
+
+} // namespace
+
+ExecResult jitml::interpretMethod(VirtualMachine &VM, uint32_t MethodIndex,
+                                  std::vector<Value> Args, unsigned Depth) {
+  const Program &P = VM.program();
+  const MethodInfo &M = P.methodAt(MethodIndex);
+  const CostModel &CM = VM.costModel();
+  Heap &H = VM.heap();
+
+  std::vector<Value> Locals(M.NumLocals);
+  for (size_t I = 0; I < Args.size(); ++I)
+    Locals[I] = Args[I];
+  std::vector<Value> Stack;
+  Stack.reserve(M.MaxStack);
+
+  auto Pop = [&Stack]() {
+    assert(!Stack.empty() && "interpreter stack underflow");
+    Value V = Stack.back();
+    Stack.pop_back();
+    return V;
+  };
+
+  uint32_t Pc = 0;
+  // Exception dispatch: find a handler covering ThrowPc, or return.
+  auto Dispatch = [&](uint32_t ThrowPc, uint32_t ExcRef,
+                      uint32_t &NewPc) -> bool {
+    for (const ExceptionEntry &E : M.ExceptionTable) {
+      if (ThrowPc < E.StartPc || ThrowPc >= E.EndPc)
+        continue;
+      if (E.ClassIndex >= 0) {
+        int32_t Cls = H.classOf(ExcRef);
+        if (Cls < 0 || !P.isSubclassOf(Cls, E.ClassIndex))
+          continue;
+      }
+      Stack.clear();
+      Stack.push_back(Value::ofR(ExcRef));
+      NewPc = E.HandlerPc;
+      return true;
+    }
+    return false;
+  };
+  auto Raise = [&](RtExceptionKind Kind, uint32_t ThrowPc,
+                   ExecResult &Out) -> bool {
+    uint32_t Exc = H.allocException(Kind);
+    VM.noteException();
+    uint32_t NewPc = 0;
+    if (Dispatch(ThrowPc, Exc, NewPc)) {
+      Pc = NewPc;
+      return false; // handled locally, keep running
+    }
+    VM.charge(CM.UnwindPerFrame);
+    Out = ExecResult::exception(Exc);
+    return true;
+  };
+
+  while (true) {
+    assert(Pc < M.Code.size() && "interpreter ran off the code");
+    const BcInst &I = M.Code[Pc];
+    VM.charge(interpCost(CM, I));
+    ExecResult Out;
+    switch (I.Op) {
+    case BcOp::Nop:
+      break;
+    case BcOp::Const:
+      if (isFloatType(I.Type))
+        Stack.push_back(Value::ofF(I.ImmF));
+      else
+        Stack.push_back(Value::ofI(I.ImmI));
+      break;
+    case BcOp::Load:
+      Stack.push_back(Locals[(uint32_t)I.A]);
+      break;
+    case BcOp::Store:
+      Locals[(uint32_t)I.A] = Pop();
+      break;
+    case BcOp::Inc:
+      Locals[(uint32_t)I.A].I =
+          normalizeRtInt(I.Type, Locals[(uint32_t)I.A].I + I.B);
+      break;
+    case BcOp::GetField: {
+      Value Obj = Pop();
+      if (H.isNull(Obj.R)) {
+        if (Raise(RtExceptionKind::NullPointer, Pc, Out))
+          return Out;
+        continue;
+      }
+      Stack.push_back(H.getSlot(Obj.R, (uint32_t)I.A));
+      break;
+    }
+    case BcOp::PutField: {
+      Value V = Pop();
+      Value Obj = Pop();
+      if (H.isNull(Obj.R)) {
+        if (Raise(RtExceptionKind::NullPointer, Pc, Out))
+          return Out;
+        continue;
+      }
+      H.setSlot(Obj.R, (uint32_t)I.A, V);
+      break;
+    }
+    case BcOp::GetGlobal:
+      Stack.push_back(VM.getGlobal((uint32_t)I.A));
+      break;
+    case BcOp::PutGlobal:
+      VM.setGlobal((uint32_t)I.A, Pop());
+      break;
+    case BcOp::ALoad: {
+      Value Idx = Pop();
+      Value Arr = Pop();
+      if (H.isNull(Arr.R)) {
+        if (Raise(RtExceptionKind::NullPointer, Pc, Out))
+          return Out;
+        continue;
+      }
+      if (Idx.I < 0 || (uint64_t)Idx.I >= H.arrayLength(Arr.R)) {
+        if (Raise(RtExceptionKind::ArrayIndexOutOfBounds, Pc, Out))
+          return Out;
+        continue;
+      }
+      Stack.push_back(H.getSlot(Arr.R, (uint32_t)Idx.I));
+      break;
+    }
+    case BcOp::AStore: {
+      Value V = Pop();
+      Value Idx = Pop();
+      Value Arr = Pop();
+      if (H.isNull(Arr.R)) {
+        if (Raise(RtExceptionKind::NullPointer, Pc, Out))
+          return Out;
+        continue;
+      }
+      if (Idx.I < 0 || (uint64_t)Idx.I >= H.arrayLength(Arr.R)) {
+        if (Raise(RtExceptionKind::ArrayIndexOutOfBounds, Pc, Out))
+          return Out;
+        continue;
+      }
+      H.setSlot(Arr.R, (uint32_t)Idx.I, V);
+      break;
+    }
+    case BcOp::ArrayLen: {
+      Value Arr = Pop();
+      if (H.isNull(Arr.R)) {
+        if (Raise(RtExceptionKind::NullPointer, Pc, Out))
+          return Out;
+        continue;
+      }
+      Stack.push_back(Value::ofI(H.arrayLength(Arr.R)));
+      break;
+    }
+    case BcOp::Add:
+    case BcOp::Sub:
+    case BcOp::Mul:
+    case BcOp::Div:
+    case BcOp::Rem:
+    case BcOp::Shl:
+    case BcOp::Shr:
+    case BcOp::Or:
+    case BcOp::And:
+    case BcOp::Xor: {
+      Value B = Pop();
+      Value A = Pop();
+      bool DivByZero = false;
+      Value R = evalArith(I.Op, I.Type, A, B, DivByZero);
+      if (DivByZero) {
+        if (Raise(RtExceptionKind::ArithmeticDivByZero, Pc, Out))
+          return Out;
+        continue;
+      }
+      Stack.push_back(R);
+      break;
+    }
+    case BcOp::Neg: {
+      Value A = Pop();
+      if (isFloatType(I.Type))
+        Stack.push_back(Value::ofF(-A.F));
+      else
+        Stack.push_back(Value::ofI(normalizeRtInt(I.Type, -A.I)));
+      break;
+    }
+    case BcOp::Cmp: {
+      Value B = Pop();
+      Value A = Pop();
+      Stack.push_back(Value::ofI(compare3(I.Type, A, B)));
+      break;
+    }
+    case BcOp::Conv: {
+      Value A = Pop();
+      Stack.push_back(convertValue((DataType)I.A, I.Type, A));
+      break;
+    }
+    case BcOp::IfCmp: {
+      Value B = Pop();
+      Value A = Pop();
+      if (testCond((BcCond)I.A, compare3(DataType::Int32, A, B))) {
+        Pc = (uint32_t)I.B;
+        continue;
+      }
+      break;
+    }
+    case BcOp::If: {
+      Value A = Pop();
+      if (testCond((BcCond)I.A, A.I < 0 ? -1 : (A.I > 0 ? 1 : 0))) {
+        Pc = (uint32_t)I.B;
+        continue;
+      }
+      break;
+    }
+    case BcOp::IfRef: {
+      Value A = Pop();
+      bool Taken = I.A == 0 ? H.isNull(A.R) : !H.isNull(A.R);
+      if (Taken) {
+        Pc = (uint32_t)I.B;
+        continue;
+      }
+      break;
+    }
+    case BcOp::Goto:
+      Pc = (uint32_t)I.A;
+      continue;
+    case BcOp::Call:
+    case BcOp::CallVirtual: {
+      uint32_t Target = (uint32_t)I.A;
+      const MethodInfo &Callee = P.methodAt(Target);
+      std::vector<Value> CallArgs(Callee.numArgs());
+      for (unsigned K = Callee.numArgs(); K-- > 0;)
+        CallArgs[K] = Pop();
+      if (I.Op == BcOp::CallVirtual) {
+        if (H.isNull(CallArgs[0].R)) {
+          if (Raise(RtExceptionKind::NullPointer, Pc, Out))
+            return Out;
+          continue;
+        }
+        int32_t DynClass = H.classOf(CallArgs[0].R);
+        assert(DynClass >= 0 && "virtual call on a non-object");
+        Target = P.resolveVirtual(Target, (uint32_t)DynClass);
+      }
+      ExecResult R = VM.invoke(Target, std::move(CallArgs), Depth + 1);
+      if (R.Exceptional) {
+        uint32_t NewPc = 0;
+        if (Dispatch(Pc, R.ExcRef, NewPc)) {
+          Pc = NewPc;
+          continue;
+        }
+        VM.charge(CM.UnwindPerFrame);
+        return R;
+      }
+      if (P.methodAt(Target).ReturnType != DataType::Void)
+        Stack.push_back(R.Ret);
+      break;
+    }
+    case BcOp::Return:
+      if (M.ReturnType == DataType::Void)
+        return ExecResult::ok(Value());
+      return ExecResult::ok(Pop());
+    case BcOp::New:
+      Stack.push_back(Value::ofR(H.allocObject(P, (uint32_t)I.A)));
+      break;
+    case BcOp::NewArray: {
+      Value Len = Pop();
+      if (Len.I < 0) {
+        if (Raise(RtExceptionKind::NegativeArraySize, Pc, Out))
+          return Out;
+        continue;
+      }
+      VM.charge(CM.AllocArrayPerElem * (double)Len.I);
+      Stack.push_back(Value::ofR(H.allocArray(I.Type, (uint32_t)Len.I)));
+      break;
+    }
+    case BcOp::NewMultiArray: {
+      unsigned Dims = (unsigned)I.A;
+      std::vector<int64_t> Lens(Dims);
+      for (unsigned K = Dims; K-- > 0;)
+        Lens[K] = Pop().I;
+      bool Bad = false;
+      for (int64_t L : Lens)
+        if (L < 0)
+          Bad = true;
+      if (Bad) {
+        if (Raise(RtExceptionKind::NegativeArraySize, Pc, Out))
+          return Out;
+        continue;
+      }
+      // Build nested arrays depth-first.
+      auto Build = [&](auto &&Self, unsigned Dim) -> uint32_t {
+        uint32_t Len = (uint32_t)Lens[Dim];
+        DataType ET = Dim + 1 == Dims ? I.Type : DataType::Address;
+        VM.charge(CM.AllocArrayPerElem * (double)Len);
+        uint32_t Arr = H.allocArray(ET, Len);
+        if (Dim + 1 < Dims)
+          for (uint32_t K = 0; K < Len; ++K)
+            H.setSlot(Arr, K, Value::ofR(Self(Self, Dim + 1)));
+        return Arr;
+      };
+      Stack.push_back(Value::ofR(Build(Build, 0)));
+      break;
+    }
+    case BcOp::InstanceOf: {
+      Value Obj = Pop();
+      bool Is = false;
+      if (!H.isNull(Obj.R)) {
+        int32_t Cls = H.classOf(Obj.R);
+        Is = Cls >= 0 && P.isSubclassOf(Cls, I.A);
+      }
+      Stack.push_back(Value::ofI(Is ? 1 : 0));
+      break;
+    }
+    case BcOp::CheckCast: {
+      Value Obj = Pop();
+      if (!H.isNull(Obj.R)) {
+        int32_t Cls = H.classOf(Obj.R);
+        if (Cls < 0 || !P.isSubclassOf(Cls, I.A)) {
+          if (Raise(RtExceptionKind::ClassCast, Pc, Out))
+            return Out;
+          continue;
+        }
+      }
+      Stack.push_back(Obj);
+      break;
+    }
+    case BcOp::MonitorEnter:
+    case BcOp::MonitorExit: {
+      Value Obj = Pop();
+      if (H.isNull(Obj.R)) {
+        if (Raise(RtExceptionKind::NullPointer, Pc, Out))
+          return Out;
+        continue;
+      }
+      break; // single-threaded: the cost is the semantics
+    }
+    case BcOp::Throw: {
+      Value Obj = Pop();
+      if (H.isNull(Obj.R)) {
+        if (Raise(RtExceptionKind::NullPointer, Pc, Out))
+          return Out;
+        continue;
+      }
+      VM.noteException();
+      uint32_t NewPc = 0;
+      if (Dispatch(Pc, Obj.R, NewPc)) {
+        Pc = NewPc;
+        continue;
+      }
+      VM.charge(CM.UnwindPerFrame);
+      return ExecResult::exception(Obj.R);
+    }
+    case BcOp::ArrayCopy: {
+      Value Len = Pop();
+      Value DstPos = Pop();
+      Value Dst = Pop();
+      Value SrcPos = Pop();
+      Value Src = Pop();
+      if (H.isNull(Src.R) || H.isNull(Dst.R)) {
+        if (Raise(RtExceptionKind::NullPointer, Pc, Out))
+          return Out;
+        continue;
+      }
+      if (Len.I < 0 || SrcPos.I < 0 || DstPos.I < 0 ||
+          (uint64_t)(SrcPos.I + Len.I) > H.arrayLength(Src.R) ||
+          (uint64_t)(DstPos.I + Len.I) > H.arrayLength(Dst.R)) {
+        if (Raise(RtExceptionKind::ArrayIndexOutOfBounds, Pc, Out))
+          return Out;
+        continue;
+      }
+      VM.charge(CM.ArrayCopyPerElem * (double)Len.I);
+      for (int64_t K = 0; K < Len.I; ++K)
+        H.setSlot(Dst.R, (uint32_t)(DstPos.I + K),
+                  H.getSlot(Src.R, (uint32_t)(SrcPos.I + K)));
+      break;
+    }
+    case BcOp::ArrayCmp: {
+      Value B = Pop();
+      Value A = Pop();
+      if (H.isNull(A.R) || H.isNull(B.R)) {
+        if (Raise(RtExceptionKind::NullPointer, Pc, Out))
+          return Out;
+        continue;
+      }
+      uint32_t LenA = H.arrayLength(A.R), LenB = H.arrayLength(B.R);
+      uint32_t N = std::min(LenA, LenB);
+      VM.charge(CM.ArrayCmpPerElem * (double)N);
+      int64_t Cmp = 0;
+      for (uint32_t K = 0; K < N && Cmp == 0; ++K) {
+        int64_t X = H.getSlot(A.R, K).I, Y = H.getSlot(B.R, K).I;
+        Cmp = X < Y ? -1 : (X > Y ? 1 : 0);
+      }
+      if (Cmp == 0 && LenA != LenB)
+        Cmp = LenA < LenB ? -1 : 1;
+      Stack.push_back(Value::ofI(Cmp));
+      break;
+    }
+    case BcOp::Pop:
+      Pop();
+      break;
+    case BcOp::Dup: {
+      Value V = Pop();
+      Stack.push_back(V);
+      Stack.push_back(V);
+      break;
+    }
+    }
+    ++Pc;
+  }
+}

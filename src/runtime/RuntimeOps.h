@@ -1,0 +1,186 @@
+//===- runtime/RuntimeOps.h - Shared value semantics ------------*- C++ -*-===//
+///
+/// \file
+/// Value semantics shared by the interpreter and the native executor:
+/// integer normalization per type, conversions, arithmetic and comparison.
+/// Both engines must agree bit-for-bit — the tests execute every workload
+/// under both and diff the results.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_RUNTIME_RUNTIMEOPS_H
+#define JITML_RUNTIME_RUNTIMEOPS_H
+
+#include "bytecode/Opcode.h"
+#include "runtime/Heap.h"
+
+#include <cmath>
+
+namespace jitml {
+
+/// Wraps an integer to the value range of \p T (char is zero-extended).
+inline int64_t normalizeRtInt(DataType T, int64_t V) {
+  switch (T) {
+  case DataType::Int8:
+    return (int64_t)(int8_t)V;
+  case DataType::Char:
+    return (int64_t)(uint16_t)V;
+  case DataType::Int16:
+    return (int64_t)(int16_t)V;
+  case DataType::Int32:
+    return (int64_t)(int32_t)V;
+  default:
+    return V;
+  }
+}
+
+/// Converts \p V from \p From to \p To. Reference conversions are
+/// identity; decimal types are carried in the integer lane; long double is
+/// carried in the double lane.
+inline Value convertValue(DataType From, DataType To, Value V) {
+  if (isReferenceType(From) || isReferenceType(To))
+    return V;
+  double AsF = isFloatType(From) ? V.F : (double)V.I;
+  int64_t AsI;
+  if (isFloatType(From)) {
+    // Java semantics: NaN converts to 0, saturation at the extremes.
+    if (std::isnan(V.F))
+      AsI = 0;
+    else if (V.F >= 9.2233720368547758e18)
+      AsI = INT64_MAX;
+    else if (V.F <= -9.2233720368547758e18)
+      AsI = INT64_MIN;
+    else
+      AsI = (int64_t)V.F;
+  } else {
+    AsI = V.I;
+  }
+  Value Out;
+  if (isFloatType(To))
+    Out.F = To == DataType::Float ? (double)(float)AsF : AsF;
+  else
+    Out.I = normalizeRtInt(To, AsI);
+  return Out;
+}
+
+/// Integer/float binary arithmetic; \p DivByZero is set when an integral
+/// division by zero was attempted (the caller raises the exception).
+inline Value evalArith(BcOp Op, DataType T, Value A, Value B,
+                       bool &DivByZero) {
+  DivByZero = false;
+  Value Out;
+  if (isFloatType(T)) {
+    switch (Op) {
+    case BcOp::Add:
+      Out.F = A.F + B.F;
+      break;
+    case BcOp::Sub:
+      Out.F = A.F - B.F;
+      break;
+    case BcOp::Mul:
+      Out.F = A.F * B.F;
+      break;
+    case BcOp::Div:
+      Out.F = A.F / B.F;
+      break;
+    case BcOp::Rem:
+      Out.F = std::fmod(A.F, B.F);
+      break;
+    default:
+      assert(false && "bad float op");
+    }
+    if (T == DataType::Float)
+      Out.F = (double)(float)Out.F;
+    return Out;
+  }
+  int64_t X = A.I, Y = B.I, R = 0;
+  switch (Op) {
+  case BcOp::Add:
+    R = (int64_t)((uint64_t)X + (uint64_t)Y);
+    break;
+  case BcOp::Sub:
+    R = (int64_t)((uint64_t)X - (uint64_t)Y);
+    break;
+  case BcOp::Mul:
+    R = (int64_t)((uint64_t)X * (uint64_t)Y);
+    break;
+  case BcOp::Div:
+    if (Y == 0) {
+      DivByZero = true;
+      return Out;
+    }
+    R = (X == INT64_MIN && Y == -1) ? X : X / Y;
+    break;
+  case BcOp::Rem:
+    if (Y == 0) {
+      DivByZero = true;
+      return Out;
+    }
+    R = (X == INT64_MIN && Y == -1) ? 0 : X % Y;
+    break;
+  case BcOp::Shl:
+    R = (int64_t)((uint64_t)X << (Y & 63));
+    break;
+  case BcOp::Shr:
+    R = X >> (Y & 63);
+    break;
+  case BcOp::Or:
+    R = X | Y;
+    break;
+  case BcOp::And:
+    R = X & Y;
+    break;
+  case BcOp::Xor:
+    R = X ^ Y;
+    break;
+  default:
+    assert(false && "bad int op");
+  }
+  Out.I = normalizeRtInt(T, R);
+  return Out;
+}
+
+/// Three-way comparison under type \p T.
+inline int64_t compare3(DataType T, Value A, Value B) {
+  if (isFloatType(T)) {
+    if (A.F < B.F)
+      return -1;
+    if (A.F > B.F)
+      return 1;
+    return 0; // NaN compares as equal-ish; fine for the simulation
+  }
+  if (isReferenceType(T)) {
+    if (A.R < B.R)
+      return -1;
+    if (A.R > B.R)
+      return 1;
+    return 0;
+  }
+  if (A.I < B.I)
+    return -1;
+  if (A.I > B.I)
+    return 1;
+  return 0;
+}
+
+inline bool testCond(BcCond C, int64_t Cmp3) {
+  switch (C) {
+  case BcCond::Eq:
+    return Cmp3 == 0;
+  case BcCond::Ne:
+    return Cmp3 != 0;
+  case BcCond::Lt:
+    return Cmp3 < 0;
+  case BcCond::Ge:
+    return Cmp3 >= 0;
+  case BcCond::Gt:
+    return Cmp3 > 0;
+  case BcCond::Le:
+    return Cmp3 <= 0;
+  }
+  return false;
+}
+
+} // namespace jitml
+
+#endif // JITML_RUNTIME_RUNTIMEOPS_H

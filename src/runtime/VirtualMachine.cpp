@@ -1,0 +1,154 @@
+//===- runtime/VirtualMachine.cpp -----------------------------------------===//
+
+#include "runtime/VirtualMachine.h"
+
+#include "il/ILGenerator.h"
+#include "il/LoopInfo.h"
+#include "features/FeatureExtractor.h"
+#include "runtime/ExecInternal.h"
+
+using namespace jitml;
+
+JitEventListener::~JitEventListener() = default;
+
+VirtualMachine::VirtualMachine(const Program &P, const Config &C)
+    : Prog(P), Cfg(C), Clock(C.Clock), Control(C.Control) {
+  Globals.resize(P.numGlobals());
+  CodePool.resize(P.numMethods());
+  LoopClassCache.assign(P.numMethods(), -1);
+}
+
+VirtualMachine::~VirtualMachine() = default;
+
+const NativeMethod *VirtualMachine::nativeOf(uint32_t MethodIndex) const {
+  assert(MethodIndex < CodePool.size() && "method index out of range");
+  return CodePool[MethodIndex].get();
+}
+
+LoopClass VirtualMachine::loopClassOf(uint32_t MethodIndex) {
+  int8_t &Cached = LoopClassCache[MethodIndex];
+  if (Cached < 0) {
+    std::unique_ptr<MethodIL> IL = generateIL(Prog, MethodIndex);
+    Cached = (int8_t)LoopInfo(*IL).classify();
+  }
+  return (LoopClass)Cached;
+}
+
+ExecResult VirtualMachine::raise(RtExceptionKind Kind) {
+  ++Stat.ExceptionsRaised;
+  return ExecResult::exception(TheHeap.allocException(Kind));
+}
+
+void VirtualMachine::compileMethod(uint32_t MethodIndex, OptLevel Level,
+                                   bool IsExploration) {
+  if (!Hook) {
+    compileWithPlan(MethodIndex, planForLevel(Level), PlanModifier(),
+                    IsExploration);
+    return;
+  }
+  // "The Strategy Control extension computes the features for the method
+  // being compiled" just prior to optimization (Figure 5 step d).
+  std::unique_ptr<MethodIL> IL = generateIL(Prog, MethodIndex);
+  FeatureVector Features = extractFeatures(*IL);
+  PlanModifier Modifier = Hook(MethodIndex, Level, Features);
+  compileWithPlan(MethodIndex, planForLevel(Level), Modifier, IsExploration);
+}
+
+void VirtualMachine::compileWithPlan(uint32_t MethodIndex,
+                                     const CompilationPlan &Plan,
+                                     const PlanModifier &Modifier,
+                                     bool IsExploration) {
+  OptLevel Level = Plan.Level;
+  std::unique_ptr<MethodIL> IL = generateIL(Prog, MethodIndex);
+  LoopInfo::annotateFrequencies(*IL);
+  FeatureVector Features = extractFeatures(*IL);
+
+  OptimizeResult Opt = optimize(*IL, Plan, Modifier.enabledMask());
+  NativeMethod Native =
+      generateCode(*IL, Opt.CodegenOptions, Level, Cfg.Cost);
+  double TotalCompile = Opt.CompileCycles + Native.CompileCycles;
+  Native.CompileCycles = TotalCompile;
+
+  CodePool[MethodIndex] =
+      std::make_unique<NativeMethod>(std::move(Native));
+  Control.noteCompiled(MethodIndex, Level);
+
+  // Synchronous compilation: the compiler competes with the application
+  // for the same core, so compile cycles advance the clock too.
+  Clock.advance(TotalCompile);
+  Stat.CompileCycles += TotalCompile;
+  ++Stat.Compilations;
+  if (IsExploration)
+    ++Stat.ExplorationRecompiles;
+
+  if (Listener) {
+    CompileEvent Event;
+    Event.MethodIndex = MethodIndex;
+    Event.Level = Level;
+    Event.Modifier = Modifier;
+    Event.Features = Features;
+    Event.CompileCycles = TotalCompile;
+    Event.IsExplorationRecompile = IsExploration;
+    Listener->onCompile(Event);
+  }
+}
+
+ExecResult VirtualMachine::invoke(uint32_t MethodIndex,
+                                  std::vector<Value> Args, unsigned Depth) {
+  if (Depth > Cfg.MaxCallDepth)
+    return raise(RtExceptionKind::StackOverflow);
+  const MethodInfo &M = Prog.methodAt(MethodIndex);
+  assert(Args.size() == M.numArgs() &&
+         "invoke with wrong argument count");
+  ++Stat.Invocations;
+
+  const NativeMethod *Native = CodePool[MethodIndex].get();
+  // Call overhead: leaf-optimized callees skip most of the frame setup.
+  charge(Native && Native->Leaf ? Cfg.Cost.LeafCallOverhead
+                                : Cfg.Cost.CallOverhead);
+  // Synchronized methods lock the receiver (or the class for statics).
+  if (M.hasFlag(MF_Synchronized))
+    charge(Cfg.Cost.MonitorCost);
+
+  bool Instrument = Cfg.InstrumentMethods && Listener && Native;
+  if (Instrument)
+    Listener->onMethodEnter(MethodIndex, Clock.readTimestamp());
+
+  double CyclesBefore = Clock.cycles();
+  ExecResult Result;
+  if (Native) {
+    Result = executeNative(*this, *Native, std::move(Args), Depth);
+  } else {
+    ++Stat.InterpretedInvocations;
+    Result = interpretMethod(*this, MethodIndex, std::move(Args), Depth);
+  }
+  double Spent = Clock.cycles() - CyclesBefore;
+
+  if (M.hasFlag(MF_Synchronized))
+    charge(Cfg.Cost.MonitorCost);
+  if (Instrument)
+    Listener->onMethodExit(MethodIndex, Clock.readTimestamp(),
+                           Result.Exceptional);
+
+  // Compilation control: invocation counters + time sampling.
+  if (Cfg.EnableJit) {
+    std::optional<CompileRequest> Req =
+        Control.onInvocationEnd(MethodIndex, Spent, loopClassOf(MethodIndex));
+    if (Req) {
+      bool Allowed = true;
+      if (Req->IsExplorationRecompile && Gate)
+        Allowed = Gate(Req->MethodIndex);
+      if (Allowed)
+        compileMethod(Req->MethodIndex, Req->Level,
+                      Req->IsExplorationRecompile);
+      else
+        Control.freezeExploration(Req->MethodIndex);
+    }
+  }
+  return Result;
+}
+
+ExecResult VirtualMachine::run(const std::vector<Value> &Args) {
+  assert(Prog.entryMethod() >= 0 && "program has no entry method");
+  return invoke((uint32_t)Prog.entryMethod(), Args, 0);
+}

@@ -1,0 +1,184 @@
+//===- runtime/VirtualMachine.h - The VM facade -----------------*- C++ -*-===//
+///
+/// \file
+/// The complete simulated VM: interpreter + JIT + adaptive compilation
+/// control + heap + simulated clock. One VirtualMachine instance is one
+/// "JVM invocation" in the paper's terminology; the harness constructs a
+/// fresh one per run.
+///
+/// Two extension points reproduce the paper's architecture:
+///  * ModifierHook — the Strategy Control attachment point. During data
+///    collection it pulls modifiers from modifiers::StrategyControl; in
+///    learning-enabled mode it queries the machine-learned model through
+///    the bridge (Figure 5). Default: always the null modifier (the
+///    out-of-the-box compiler).
+///  * JitEventListener — the lightweight method profiling of section 4.2
+///    (TSC-timestamped enter/exit events and compile records). The
+///    collect module implements it to build archives.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_RUNTIME_VIRTUALMACHINE_H
+#define JITML_RUNTIME_VIRTUALMACHINE_H
+
+#include "codegen/CodeGenerator.h"
+#include "features/FeatureVector.h"
+#include "modifiers/Modifier.h"
+#include "runtime/CompilationControl.h"
+#include "runtime/Heap.h"
+#include "runtime/SimClock.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+
+namespace jitml {
+
+/// Outcome of executing one method body.
+struct ExecResult {
+  bool Exceptional = false;
+  Value Ret;         ///< valid when !Exceptional
+  uint32_t ExcRef = NullRef; ///< valid when Exceptional
+
+  static ExecResult ok(Value V) {
+    ExecResult R;
+    R.Ret = V;
+    return R;
+  }
+  static ExecResult exception(uint32_t Ref) {
+    ExecResult R;
+    R.Exceptional = true;
+    R.ExcRef = Ref;
+    return R;
+  }
+};
+
+/// Everything the instrumentation needs to know about one compilation.
+struct CompileEvent {
+  uint32_t MethodIndex = 0;
+  OptLevel Level = OptLevel::Cold;
+  PlanModifier Modifier;
+  FeatureVector Features;
+  double CompileCycles = 0.0;
+  bool IsExplorationRecompile = false;
+};
+
+/// Profiling callbacks (TR_jitPTTMethodEnter/Exit analogues).
+class JitEventListener {
+public:
+  virtual ~JitEventListener();
+  /// Called on entry of an instrumented (compiled) method.
+  virtual void onMethodEnter(uint32_t MethodIndex, const TscSample &Now) = 0;
+  /// Called on every exit path, including exceptional unwinds.
+  virtual void onMethodExit(uint32_t MethodIndex, const TscSample &Now,
+                            bool Exceptional) = 0;
+  virtual void onCompile(const CompileEvent &Event) = 0;
+};
+
+class VirtualMachine {
+public:
+  using ModifierHook = std::function<PlanModifier(
+      uint32_t MethodIndex, OptLevel Level, const FeatureVector &Features)>;
+  /// Called right after an exploration recompile was issued; lets the
+  /// strategy control freeze methods that hit their modifier budget.
+  using RecompileGate = std::function<bool(uint32_t MethodIndex)>;
+
+  struct Config {
+    SimClock::Config Clock;
+    CostModel Cost;
+    CompilationControl::Config Control;
+    /// false = pure interpreter (no JIT at all).
+    bool EnableJit = true;
+    /// Instrument compiled methods with enter/exit profiling events.
+    bool InstrumentMethods = false;
+    unsigned MaxCallDepth = 512;
+  };
+
+  VirtualMachine(const Program &P, const Config &C);
+  ~VirtualMachine();
+
+  /// Runs the program's entry method with integer arguments. Returns the
+  /// result, or the exception that escaped main.
+  ExecResult run(const std::vector<Value> &Args = {});
+
+  /// Invokes an arbitrary method (used by both engines for calls and by
+  /// tests to drive single methods). \p Depth guards against runaway
+  /// recursion.
+  ExecResult invoke(uint32_t MethodIndex, std::vector<Value> Args,
+                    unsigned Depth = 0);
+
+  /// Forces a compilation at \p Level right now (tests, examples).
+  void compileMethod(uint32_t MethodIndex, OptLevel Level,
+                     bool IsExploration = false);
+
+  /// Compiles with an explicit plan and modifier, bypassing the modifier
+  /// hook — the workhorse behind compileMethod and the plan-exploration
+  /// tooling.
+  void compileWithPlan(uint32_t MethodIndex, const CompilationPlan &Plan,
+                       const PlanModifier &Modifier,
+                       bool IsExploration = false);
+
+  void setModifierHook(ModifierHook H) { Hook = std::move(H); }
+  void setListener(JitEventListener *L) { Listener = L; }
+  void setRecompileGate(RecompileGate G) { Gate = std::move(G); }
+
+  const Program &program() const { return Prog; }
+  Heap &heap() { return TheHeap; }
+  SimClock &clock() { return Clock; }
+  CompilationControl &control() { return Control; }
+  const Config &config() const { return Cfg; }
+  const CostModel &costModel() const { return Cfg.Cost; }
+
+  Value getGlobal(uint32_t Slot) const { return Globals[Slot]; }
+  void setGlobal(uint32_t Slot, Value V) { Globals[Slot] = V; }
+
+  /// Compiled body of a method, or nullptr while interpreted.
+  const NativeMethod *nativeOf(uint32_t MethodIndex) const;
+
+  /// Loop class of a method (cached; computed from freshly generated IL).
+  LoopClass loopClassOf(uint32_t MethodIndex);
+
+  // --- Statistics for the harness ---
+  struct Stats {
+    double AppCycles = 0.0;     ///< cycles spent executing the program
+    double CompileCycles = 0.0; ///< cycles spent compiling
+    uint64_t Compilations = 0;
+    uint64_t ExplorationRecompiles = 0;
+    uint64_t Invocations = 0;
+    uint64_t InterpretedInvocations = 0;
+    uint64_t ExceptionsRaised = 0;
+    double totalCycles() const { return AppCycles + CompileCycles; }
+  };
+  const Stats &stats() const { return Stat; }
+
+  // Internal (used by the execution engines; not part of the public API).
+  ExecResult raise(RtExceptionKind Kind);
+  void charge(double Cycles) {
+    Clock.advance(Cycles);
+    Stat.AppCycles += Cycles;
+  }
+  void noteException() { ++Stat.ExceptionsRaised; }
+
+private:
+  friend ExecResult interpretMethod(VirtualMachine &, uint32_t,
+                                    std::vector<Value>, unsigned);
+  friend ExecResult executeNative(VirtualMachine &, const NativeMethod &,
+                                  std::vector<Value>, unsigned);
+
+  const Program &Prog;
+  Config Cfg;
+  SimClock Clock;
+  Heap TheHeap;
+  CompilationControl Control;
+  std::vector<Value> Globals;
+  std::vector<std::unique_ptr<NativeMethod>> CodePool; ///< per method
+  std::vector<int8_t> LoopClassCache;                  ///< -1 = unknown
+  ModifierHook Hook;
+  RecompileGate Gate;
+  JitEventListener *Listener = nullptr;
+  Stats Stat;
+};
+
+} // namespace jitml
+
+#endif // JITML_RUNTIME_VIRTUALMACHINE_H

@@ -1,0 +1,99 @@
+//===- support/BitSet64.h - Fixed 64-bit bitset ----------------*- C++ -*-===//
+///
+/// \file
+/// A 64-bit bitset with explicit width. Compilation-plan modifiers are "a
+/// sequence of bits [where] each bit determines whether a code transformation
+/// is enabled" (paper section 5); with 58 controllable transformations the
+/// whole modifier fits in one machine word, which keeps the archive format
+/// and the bridge protocol compact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_SUPPORT_BITSET64_H
+#define JITML_SUPPORT_BITSET64_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace jitml {
+
+/// Fixed-width (<= 64) bitset with value semantics.
+class BitSet64 {
+public:
+  BitSet64() = default;
+  BitSet64(unsigned NumBits, uint64_t Bits) : Width(NumBits), Bits(Bits) {
+    assert(NumBits <= 64 && "BitSet64 holds at most 64 bits");
+    assert((NumBits == 64 || (Bits >> NumBits) == 0) &&
+           "bits set beyond declared width");
+  }
+
+  static BitSet64 allZero(unsigned NumBits) { return BitSet64(NumBits, 0); }
+
+  static BitSet64 allOne(unsigned NumBits) {
+    assert(NumBits <= 64 && "BitSet64 holds at most 64 bits");
+    uint64_t Mask = NumBits == 64 ? ~0ULL : ((1ULL << NumBits) - 1);
+    return BitSet64(NumBits, Mask);
+  }
+
+  unsigned width() const { return Width; }
+  uint64_t raw() const { return Bits; }
+
+  bool test(unsigned I) const {
+    assert(I < Width && "bit index out of range");
+    return (Bits >> I) & 1;
+  }
+
+  void set(unsigned I) {
+    assert(I < Width && "bit index out of range");
+    Bits |= (1ULL << I);
+  }
+
+  void reset(unsigned I) {
+    assert(I < Width && "bit index out of range");
+    Bits &= ~(1ULL << I);
+  }
+
+  void setTo(unsigned I, bool V) {
+    if (V)
+      set(I);
+    else
+      reset(I);
+  }
+
+  unsigned popCount() const { return (unsigned)__builtin_popcountll(Bits); }
+
+  bool any() const { return Bits != 0; }
+  bool none() const { return Bits == 0; }
+
+  friend bool operator==(const BitSet64 &A, const BitSet64 &B) {
+    return A.Width == B.Width && A.Bits == B.Bits;
+  }
+  friend bool operator!=(const BitSet64 &A, const BitSet64 &B) {
+    return !(A == B);
+  }
+  /// Lexicographic order so modifiers can be used as map keys.
+  friend bool operator<(const BitSet64 &A, const BitSet64 &B) {
+    if (A.Width != B.Width)
+      return A.Width < B.Width;
+    return A.Bits < B.Bits;
+  }
+
+  /// Renders as a bit string, most significant (highest index) bit first,
+  /// e.g. width 4 with bit 0 set -> "0001".
+  std::string toString() const {
+    std::string S;
+    S.reserve(Width);
+    for (unsigned I = Width; I-- > 0;)
+      S.push_back(test(I) ? '1' : '0');
+    return S;
+  }
+
+private:
+  unsigned Width = 0;
+  uint64_t Bits = 0;
+};
+
+} // namespace jitml
+
+#endif // JITML_SUPPORT_BITSET64_H

@@ -1,0 +1,109 @@
+//===- support/Rng.h - Deterministic pseudo-random generators --*- C++ -*-===//
+//
+// Part of the jitml project: a reproduction of "Using Machines to Learn
+// Method-Specific Compilation Strategies" (CGO 2011).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded, deterministic pseudo-random number generators used everywhere a
+/// random choice is made (modifier generation, workload synthesis, simulated
+/// measurement noise). Using our own generators, rather than std::mt19937,
+/// guarantees bit-identical experiment results across standard libraries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_SUPPORT_RNG_H
+#define JITML_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace jitml {
+
+/// SplitMix64: tiny generator used to seed Xoshiro and for cheap hashing.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Mixes a 64-bit value through the SplitMix64 finalizer. Useful to derive
+/// independent seeds from (seed, index) pairs.
+inline uint64_t mix64(uint64_t X) {
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Xoshiro256**: the main generator. Fast, high quality, 256-bit state.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) {
+    SplitMix64 SM(Seed);
+    for (auto &Word : State)
+      Word = SM.next();
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform value in [0, Bound). Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow requires a positive bound");
+    // Debiased multiply-shift (Lemire). Good enough for simulation use.
+    unsigned __int128 Product = (unsigned __int128)next() * Bound;
+    return (uint64_t)(Product >> 64);
+  }
+
+  /// Uniform value in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    return Lo + (int64_t)nextBelow((uint64_t)(Hi - Lo) + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() { return (double)(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with probability P of returning true.
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Approximately normal sample (sum of uniforms), mean 0, stddev 1.
+  double nextGaussian() {
+    double Sum = 0.0;
+    for (int I = 0; I < 12; ++I)
+      Sum += nextDouble();
+    return Sum - 6.0;
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace jitml
+
+#endif // JITML_SUPPORT_RNG_H

@@ -1,0 +1,45 @@
+//===- support/SaturatingCounter.h - Saturating counters -------*- C++ -*-===//
+///
+/// \file
+/// Saturating counters used for the distribution features. Section 4.1.2:
+/// "Distributions are recorded by incrementing counters until they reach
+/// their maximum capacity" — type distributions use 16-bit counters and
+/// operation distributions use 8-bit counters, which keeps the collection
+/// pass simple and the storage compact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_SUPPORT_SATURATINGCOUNTER_H
+#define JITML_SUPPORT_SATURATINGCOUNTER_H
+
+#include <cstdint>
+#include <limits>
+
+namespace jitml {
+
+/// A counter that sticks at the maximum of its underlying type.
+template <typename IntT> class SaturatingCounter {
+public:
+  static constexpr IntT Max = std::numeric_limits<IntT>::max();
+
+  void increment(uint64_t By = 1) {
+    if (By >= (uint64_t)(Max - Value))
+      Value = Max;
+    else
+      Value = (IntT)(Value + By);
+  }
+
+  IntT value() const { return Value; }
+  bool saturated() const { return Value == Max; }
+  void reset() { Value = 0; }
+
+private:
+  IntT Value = 0;
+};
+
+using Sat8 = SaturatingCounter<uint8_t>;
+using Sat16 = SaturatingCounter<uint16_t>;
+
+} // namespace jitml
+
+#endif // JITML_SUPPORT_SATURATINGCOUNTER_H

@@ -1,0 +1,62 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace jitml;
+
+void RunningStat::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    if (X < Min)
+      Min = X;
+    if (X > Max)
+      Max = X;
+  }
+  ++N;
+  double Delta = X - Mean;
+  Mean += Delta / (double)N;
+  M2 += Delta * (X - Mean);
+}
+
+double RunningStat::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / (double)(N - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double RunningStat::ci95HalfWidth() const {
+  if (N < 2)
+    return 0.0;
+  // Two-sided 97.5% t quantiles for df = 1..30; 1.96 beyond that.
+  static const double TTable[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  size_t Df = N - 1;
+  double T = Df <= 30 ? TTable[Df - 1] : 1.96;
+  return T * stddev() / std::sqrt((double)N);
+}
+
+RunningStat jitml::summarize(const std::vector<double> &Xs) {
+  RunningStat S;
+  for (double X : Xs)
+    S.add(X);
+  return S;
+}
+
+double jitml::geometricMean(const std::vector<double> &Xs) {
+  if (Xs.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double X : Xs) {
+    assert(X > 0.0 && "geometric mean requires positive values");
+    LogSum += std::log(X);
+  }
+  return std::exp(LogSum / (double)Xs.size());
+}

@@ -1,0 +1,53 @@
+//===- support/Statistics.h - Mean / stddev / confidence interval -*-C++-*-===//
+///
+/// \file
+/// Running statistics used by the experiment harness. The paper reports the
+/// average of 30 JVM invocations with a 95% confidence interval; this class
+/// provides exactly that computation (Welford's online algorithm plus the
+/// normal-approximation CI used for n >= 30).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_SUPPORT_STATISTICS_H
+#define JITML_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jitml {
+
+/// Accumulates samples and reports mean, standard deviation, and the
+/// half-width of a 95% confidence interval on the mean.
+class RunningStat {
+public:
+  void add(double X);
+
+  size_t count() const { return N; }
+  double mean() const { return N ? Mean : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  /// Half-width of the 95% CI on the mean (t-distribution for small n,
+  /// normal approximation beyond the table).
+  double ci95HalfWidth() const;
+  double min() const { return N ? Min : 0.0; }
+  double max() const { return N ? Max : 0.0; }
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+};
+
+/// Convenience: statistics of a whole vector at once.
+RunningStat summarize(const std::vector<double> &Xs);
+
+/// Geometric mean of strictly positive values; returns 0 for empty input.
+double geometricMean(const std::vector<double> &Xs);
+
+} // namespace jitml
+
+#endif // JITML_SUPPORT_STATISTICS_H

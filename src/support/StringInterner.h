@@ -1,0 +1,56 @@
+//===- support/StringInterner.h - String <-> id interning ------*- C++ -*-===//
+///
+/// \file
+/// Bidirectional string interning. The archive format builds "a dictionary
+/// of method signatures" (paper section 4.2) so records reference signatures
+/// by a small integer id instead of repeating the string.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_SUPPORT_STRINGINTERNER_H
+#define JITML_SUPPORT_STRINGINTERNER_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace jitml {
+
+/// Assigns dense 0-based ids to distinct strings, preserving insertion order.
+class StringInterner {
+public:
+  /// Returns the id for \p S, creating one if unseen.
+  uint32_t intern(const std::string &S) {
+    auto It = IdOf.find(S);
+    if (It != IdOf.end())
+      return It->second;
+    uint32_t Id = (uint32_t)Strings.size();
+    Strings.push_back(S);
+    IdOf.emplace(S, Id);
+    return Id;
+  }
+
+  /// Returns the id of \p S or UINT32_MAX when not interned.
+  uint32_t lookup(const std::string &S) const {
+    auto It = IdOf.find(S);
+    return It == IdOf.end() ? UINT32_MAX : It->second;
+  }
+
+  const std::string &stringOf(uint32_t Id) const {
+    assert(Id < Strings.size() && "interner id out of range");
+    return Strings[Id];
+  }
+
+  size_t size() const { return Strings.size(); }
+  const std::vector<std::string> &strings() const { return Strings; }
+
+private:
+  std::vector<std::string> Strings;
+  std::unordered_map<std::string, uint32_t> IdOf;
+};
+
+} // namespace jitml
+
+#endif // JITML_SUPPORT_STRINGINTERNER_H

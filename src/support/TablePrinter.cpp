@@ -1,0 +1,84 @@
+//===- support/TablePrinter.cpp -------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <cctype>
+#include <cstdio>
+
+using namespace jitml;
+
+void TablePrinter::setHeader(std::vector<std::string> Names) {
+  Header = std::move(Names);
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+static bool looksNumeric(const std::string &S) {
+  if (S.empty())
+    return false;
+  for (char C : S)
+    if (!std::isdigit((unsigned char)C) && C != '.' && C != '-' && C != '+' &&
+        C != 'e' && C != 'E' && C != '%' && C != ',' && C != ':')
+      return false;
+  return std::isdigit((unsigned char)S.front()) || S.front() == '-' ||
+         S.front() == '+' || S.front() == '.';
+}
+
+std::string TablePrinter::render() const {
+  // Compute column widths over header plus all rows.
+  std::vector<size_t> Widths;
+  auto Grow = [&Widths](const std::vector<std::string> &Cells) {
+    if (Cells.size() > Widths.size())
+      Widths.resize(Cells.size(), 0);
+    for (size_t I = 0; I < Cells.size(); ++I)
+      if (Cells[I].size() > Widths[I])
+        Widths[I] = Cells[I].size();
+  };
+  if (!Header.empty())
+    Grow(Header);
+  for (const auto &Row : Rows)
+    Grow(Row);
+
+  std::string Out;
+  auto Emit = [&](const std::vector<std::string> &Cells, bool AlignNumeric) {
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      const std::string Cell = I < Cells.size() ? Cells[I] : std::string();
+      size_t Pad = Widths[I] - Cell.size();
+      Out += I == 0 ? "| " : " | ";
+      if (AlignNumeric && looksNumeric(Cell)) {
+        Out.append(Pad, ' ');
+        Out += Cell;
+      } else {
+        Out += Cell;
+        Out.append(Pad, ' ');
+      }
+    }
+    Out += " |\n";
+  };
+
+  if (!Header.empty()) {
+    Emit(Header, /*AlignNumeric=*/false);
+    for (size_t I = 0; I < Widths.size(); ++I) {
+      Out += I == 0 ? "|-" : "-|-";
+      Out.append(Widths[I], '-');
+    }
+    Out += "-|\n";
+  }
+  for (const auto &Row : Rows)
+    Emit(Row, /*AlignNumeric=*/true);
+  return Out;
+}
+
+std::string TablePrinter::fmt(double Value, int Digits) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Digits, Value);
+  return Buf;
+}
+
+std::string TablePrinter::fmtCi(double Mean, double Ci, int Digits) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "%.*f +- %.*f", Digits, Mean, Digits, Ci);
+  return Buf;
+}

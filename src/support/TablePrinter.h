@@ -1,0 +1,43 @@
+//===- support/TablePrinter.h - Aligned text tables ------------*- C++ -*-===//
+///
+/// \file
+/// Small helper that renders rows of strings as an aligned, pipe-separated
+/// text table. The benchmark harness uses it to print the reproduced tables
+/// and figure series in a stable, diffable format.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_SUPPORT_TABLEPRINTER_H
+#define JITML_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace jitml {
+
+/// Collects rows and renders them with per-column alignment.
+class TablePrinter {
+public:
+  /// Sets the header row (printed with a separator line beneath it).
+  void setHeader(std::vector<std::string> Names);
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the whole table; every column is padded to its widest cell.
+  /// Numeric-looking cells are right-aligned, text is left-aligned.
+  std::string render() const;
+
+  size_t numRows() const { return Rows.size(); }
+
+  /// Formats a double with \p Digits fractional digits.
+  static std::string fmt(double Value, int Digits = 3);
+  /// Formats "mean +- ci" pairs the way the paper's plots annotate bars.
+  static std::string fmtCi(double Mean, double Ci, int Digits = 3);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace jitml
+
+#endif // JITML_SUPPORT_TABLEPRINTER_H

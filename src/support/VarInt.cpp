@@ -1,0 +1,61 @@
+//===- support/VarInt.cpp -------------------------------------------------===//
+
+#include "support/VarInt.h"
+
+using namespace jitml;
+
+void jitml::encodeVarUInt(std::vector<uint8_t> &Out, uint64_t Value) {
+  do {
+    uint8_t Byte = Value & 0x7f;
+    Value >>= 7;
+    if (Value != 0)
+      Byte |= 0x80;
+    Out.push_back(Byte);
+  } while (Value != 0);
+}
+
+void jitml::encodeVarInt(std::vector<uint8_t> &Out, int64_t Value) {
+  // Zig-zag: map sign into the low bit so small magnitudes stay short.
+  uint64_t ZigZag = ((uint64_t)Value << 1) ^ (uint64_t)(Value >> 63);
+  encodeVarUInt(Out, ZigZag);
+}
+
+uint64_t ByteReader::readVarUInt() {
+  uint64_t Result = 0;
+  unsigned Shift = 0;
+  while (true) {
+    if (Pos >= Size || Shift >= 64) {
+      Error = true;
+      return 0;
+    }
+    uint8_t Byte = Data[Pos++];
+    Result |= (uint64_t)(Byte & 0x7f) << Shift;
+    if (!(Byte & 0x80))
+      return Result;
+    Shift += 7;
+  }
+}
+
+int64_t ByteReader::readVarInt() {
+  uint64_t ZigZag = readVarUInt();
+  return (int64_t)(ZigZag >> 1) ^ -(int64_t)(ZigZag & 1);
+}
+
+uint8_t ByteReader::readByte() {
+  if (Pos >= Size) {
+    Error = true;
+    return 0;
+  }
+  return Data[Pos++];
+}
+
+bool ByteReader::readBytes(uint8_t *Out, size_t N) {
+  if (Size - Pos < N) {
+    Error = true;
+    return false;
+  }
+  for (size_t I = 0; I < N; ++I)
+    Out[I] = Data[Pos + I];
+  Pos += N;
+  return true;
+}

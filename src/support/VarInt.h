@@ -1,0 +1,55 @@
+//===- support/VarInt.h - LEB128 variable-length integers ------*- C++ -*-===//
+///
+/// \file
+/// Unsigned/zig-zag-signed LEB128 coding. The custom binary archive format
+/// (paper section 4.2) needs a compact on-disk representation: most counters
+/// (invocation counts, feature values, signature ids) are small, so
+/// variable-length coding shrinks archives considerably.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_SUPPORT_VARINT_H
+#define JITML_SUPPORT_VARINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace jitml {
+
+/// Appends an unsigned LEB128 encoding of \p Value to \p Out.
+void encodeVarUInt(std::vector<uint8_t> &Out, uint64_t Value);
+
+/// Appends a zig-zag signed LEB128 encoding of \p Value to \p Out.
+void encodeVarInt(std::vector<uint8_t> &Out, int64_t Value);
+
+/// Cursor over a byte buffer for decoding. Decoding past the end or hitting
+/// a malformed encoding sets the error flag and yields zeros from then on;
+/// callers check ok() once after a batch of reads.
+class ByteReader {
+public:
+  ByteReader(const uint8_t *Data, size_t Size) : Data(Data), Size(Size) {}
+  explicit ByteReader(const std::vector<uint8_t> &Buf)
+      : Data(Buf.data()), Size(Buf.size()) {}
+
+  uint64_t readVarUInt();
+  int64_t readVarInt();
+  uint8_t readByte();
+  /// Reads \p N raw bytes into \p Out; on underrun sets the error flag.
+  bool readBytes(uint8_t *Out, size_t N);
+
+  bool ok() const { return !Error; }
+  bool atEnd() const { return Pos == Size; }
+  size_t position() const { return Pos; }
+  size_t remaining() const { return Size - Pos; }
+
+private:
+  const uint8_t *Data;
+  size_t Size;
+  size_t Pos = 0;
+  bool Error = false;
+};
+
+} // namespace jitml
+
+#endif // JITML_SUPPORT_VARINT_H

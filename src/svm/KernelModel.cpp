@@ -1,0 +1,112 @@
+//===- svm/KernelModel.cpp ------------------------------------------------===//
+
+#include "svm/KernelModel.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace jitml;
+
+double RbfModel::kernel(const std::vector<double> &A,
+                        const std::vector<double> &B) const {
+  double D2 = 0.0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    double D = A[I] - B[I];
+    D2 += D * D;
+  }
+  return std::exp(-Gamma * D2);
+}
+
+std::vector<double> RbfModel::scores(const std::vector<double> &X) const {
+  // The expensive part the paper measured: every prediction walks all
+  // support vectors for every class.
+  std::vector<double> K(Vectors.size());
+  for (size_t I = 0; I < Vectors.size(); ++I)
+    K[I] = kernel(Vectors[I], X);
+  std::vector<double> Out(AlphaY.size(), 0.0);
+  for (size_t C = 0; C < AlphaY.size(); ++C)
+    for (size_t I = 0; I < Vectors.size(); ++I)
+      Out[C] += AlphaY[C][I] * K[I];
+  return Out;
+}
+
+int32_t RbfModel::predict(const std::vector<double> &X) const {
+  std::vector<double> S = scores(X);
+  return (int32_t)(std::max_element(S.begin(), S.end()) - S.begin()) + 1;
+}
+
+RbfModel jitml::trainRbf(const std::vector<NormalizedInstance> &Data,
+                         const KernelTrainOptions &Options) {
+  RbfModel Model;
+  Model.Gamma = Options.Gamma;
+  if (Data.empty())
+    return Model;
+  size_t N = Data.size();
+  unsigned L = 0;
+  for (const NormalizedInstance &I : Data)
+    L = std::max(L, (unsigned)I.Label);
+  Model.Vectors.reserve(N);
+  for (const NormalizedInstance &I : Data)
+    Model.Vectors.push_back(I.Components);
+
+  // Kernel matrix: fine for the subsampled sets the kernel study uses.
+  std::vector<std::vector<double>> K(N, std::vector<double>(N));
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = I; J < N; ++J) {
+      double V = Model.kernel(Model.Vectors[I], Model.Vectors[J]);
+      K[I][J] = V;
+      K[J][I] = V;
+    }
+
+  Rng R(Options.Seed);
+  Model.AlphaY.assign(L, std::vector<double>(N, 0.0));
+  for (unsigned Cls = 0; Cls < L; ++Cls) {
+    std::vector<double> Alpha(N, 0.0);
+    std::vector<double> Y(N);
+    for (size_t I = 0; I < N; ++I)
+      Y[I] = Data[I].Label == (int32_t)Cls + 1 ? 1.0 : -1.0;
+    // G[i] = y_i * f(x_i) - 1 maintained incrementally.
+    std::vector<double> F(N, 0.0); // f(x_i) = sum_j alpha_j y_j K_ij
+    for (unsigned Iter = 0; Iter < Options.MaxIters; ++Iter) {
+      double Violation = 0.0;
+      std::vector<size_t> Order(N);
+      for (size_t I = 0; I < N; ++I)
+        Order[I] = I;
+      for (size_t I = N; I > 1; --I)
+        std::swap(Order[I - 1], Order[R.nextBelow(I)]);
+      for (size_t I : Order) {
+        double Qii = K[I][I];
+        if (Qii <= 0.0)
+          continue;
+        double Grad = Y[I] * F[I] - 1.0;
+        double Old = Alpha[I];
+        double NewA = std::clamp(Old - Grad / Qii, 0.0, Options.C);
+        double Delta = NewA - Old;
+        if (std::fabs(Delta) < 1e-12)
+          continue;
+        Violation = std::max(Violation, std::fabs(Delta));
+        Alpha[I] = NewA;
+        for (size_t J = 0; J < N; ++J)
+          F[J] += Delta * Y[I] * K[I][J];
+      }
+      if (Violation < Options.Epsilon)
+        break;
+    }
+    for (size_t I = 0; I < N; ++I)
+      Model.AlphaY[Cls][I] = Alpha[I] * Y[I];
+  }
+  return Model;
+}
+
+double jitml::rbfAccuracy(const RbfModel &Model,
+                          const std::vector<NormalizedInstance> &Data) {
+  if (Data.empty())
+    return 0.0;
+  size_t Correct = 0;
+  for (const NormalizedInstance &N : Data)
+    if (Model.predict(N.Components) == N.Label)
+      ++Correct;
+  return (double)Correct / (double)Data.size();
+}

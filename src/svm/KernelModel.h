@@ -1,0 +1,66 @@
+//===- svm/KernelModel.h - RBF-kernel SVM for the kernel study --*- C++ -*-===//
+///
+/// \file
+/// The non-linear alternative evaluated in section 6: an RBF-kernel
+/// multi-class SVM (one-vs-rest C-SVC). The paper found that the RBF model
+/// trains quickly "but its prediction speed was very low — a learned RBF
+/// model can take up to 660 ms to compute a prediction", four orders of
+/// magnitude slower than the linear kernel's 48 us, because prediction
+/// touches every support vector. bench/kernel_selection reproduces that
+/// trade-off shape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_SVM_KERNELMODEL_H
+#define JITML_SVM_KERNELMODEL_H
+
+#include "mldata/Dataset.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace jitml {
+
+struct KernelTrainOptions {
+  double C = 10.0;
+  double Gamma = 0.5;     ///< RBF width: exp(-gamma |x - z|^2)
+  unsigned MaxIters = 20; ///< passes of kernel dual coordinate descent
+  double Epsilon = 1e-3;
+  uint64_t Seed = 7;
+};
+
+/// One-vs-rest RBF SVM. Stores the full training set as candidate support
+/// vectors; prediction is O(classes x vectors x features).
+class RbfModel {
+public:
+  unsigned numClasses() const { return (unsigned)AlphaY.size(); }
+  size_t numVectors() const { return Vectors.size(); }
+  double gamma() const { return Gamma; }
+
+  int32_t predict(const std::vector<double> &X) const;
+  std::vector<double> scores(const std::vector<double> &X) const;
+
+  friend RbfModel trainRbf(const std::vector<NormalizedInstance> &Data,
+                           const KernelTrainOptions &Options);
+
+private:
+  double kernel(const std::vector<double> &A,
+                const std::vector<double> &B) const;
+
+  double Gamma = 0.5;
+  std::vector<std::vector<double>> Vectors;
+  /// AlphaY[class][i] = alpha_i * y_i for the class's binary problem.
+  std::vector<std::vector<double>> AlphaY;
+};
+
+/// Trains the one-vs-rest RBF SVM by kernel dual coordinate descent.
+RbfModel trainRbf(const std::vector<NormalizedInstance> &Data,
+                  const KernelTrainOptions &Options);
+
+/// Accuracy of the kernel model over \p Data.
+double rbfAccuracy(const RbfModel &Model,
+                   const std::vector<NormalizedInstance> &Data);
+
+} // namespace jitml
+
+#endif // JITML_SVM_KERNELMODEL_H

@@ -1,0 +1,91 @@
+//===- svm/LinearModel.cpp ------------------------------------------------===//
+
+#include "svm/LinearModel.h"
+
+#include <cstdio>
+#include <sstream>
+
+using namespace jitml;
+
+double LinearModel::score(unsigned Class, const std::vector<double> &X) const {
+  assert(X.size() == Features && "input dimensionality mismatch");
+  const double *Row = &W[(size_t)Class * Features];
+  double S = 0.0;
+  for (unsigned I = 0; I < Features; ++I)
+    S += Row[I] * X[I];
+  return S;
+}
+
+int32_t LinearModel::predict(const std::vector<double> &X) const {
+  assert(Classes > 0 && "predicting with an empty model");
+  unsigned Best = 0;
+  double BestScore = score(0, X);
+  for (unsigned C = 1; C < Classes; ++C) {
+    double S = score(C, X);
+    if (S > BestScore) {
+      BestScore = S;
+      Best = C;
+    }
+  }
+  return (int32_t)Best + 1;
+}
+
+std::vector<double> LinearModel::scores(const std::vector<double> &X) const {
+  std::vector<double> Out(Classes);
+  for (unsigned C = 0; C < Classes; ++C)
+    Out[C] = score(C, X);
+  return Out;
+}
+
+std::string LinearModel::toText() const {
+  std::string Out;
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "linearmodel %u %u\n", Classes, Features);
+  Out += Buf;
+  for (unsigned C = 0; C < Classes; ++C) {
+    for (unsigned F = 0; F < Features; ++F) {
+      std::snprintf(Buf, sizeof(Buf), F ? " %.17g" : "%.17g",
+                    weight(C, F));
+      Out += Buf;
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool LinearModel::fromText(const std::string &Text, LinearModel &Out) {
+  std::istringstream In(Text);
+  std::string Tag;
+  unsigned Classes = 0, Features = 0;
+  if (!(In >> Tag >> Classes >> Features) || Tag != "linearmodel")
+    return false;
+  Out = LinearModel(Classes, Features);
+  for (unsigned C = 0; C < Classes; ++C)
+    for (unsigned F = 0; F < Features; ++F)
+      if (!(In >> Out.weight(C, F)))
+        return false;
+  return true;
+}
+
+bool LinearModel::save(const std::string &Path) const {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::string Text = toText();
+  size_t Written = std::fwrite(Text.data(), 1, Text.size(), F);
+  std::fclose(F);
+  return Written == Text.size();
+}
+
+bool LinearModel::load(const std::string &Path, LinearModel &Out) {
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  if (!F)
+    return false;
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  return fromText(Text, Out);
+}

@@ -1,0 +1,63 @@
+//===- svm/LinearModel.h - Multi-class linear SVM model ---------*- C++ -*-===//
+///
+/// \file
+/// The learned model of section 3: "a p x L matrix containing real valued
+/// weights that represent the contributions of each of the p features used
+/// to separate the distinct classes. The prediction time is proportional
+/// to the size of the matrix." Prediction is argmax over per-class scores
+/// w_c . x.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_SVM_LINEARMODEL_H
+#define JITML_SVM_LINEARMODEL_H
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jitml {
+
+class LinearModel {
+public:
+  LinearModel() = default;
+  LinearModel(unsigned NumClasses, unsigned NumFeatures)
+      : Classes(NumClasses), Features(NumFeatures),
+        W((size_t)NumClasses * NumFeatures, 0.0) {}
+
+  unsigned numClasses() const { return Classes; }
+  unsigned numFeatures() const { return Features; }
+
+  double weight(unsigned Class, unsigned Feature) const {
+    return W[(size_t)Class * Features + Feature];
+  }
+  double &weight(unsigned Class, unsigned Feature) {
+    return W[(size_t)Class * Features + Feature];
+  }
+
+  /// Score of class \p Class for input \p X (dense, Features wide).
+  double score(unsigned Class, const std::vector<double> &X) const;
+
+  /// Predicted label: classes are 1-based (LIBLINEAR convention), so the
+  /// returned value is argmax-class-index + 1.
+  int32_t predict(const std::vector<double> &X) const;
+
+  /// Per-class scores (used by tests and by the analysis tooling).
+  std::vector<double> scores(const std::vector<double> &X) const;
+
+  /// Text serialization compatible with the bridge's model swapping.
+  std::string toText() const;
+  static bool fromText(const std::string &Text, LinearModel &Out);
+  bool save(const std::string &Path) const;
+  static bool load(const std::string &Path, LinearModel &Out);
+
+private:
+  unsigned Classes = 0;
+  unsigned Features = 0;
+  std::vector<double> W; ///< row-major: class * Features + feature
+};
+
+} // namespace jitml
+
+#endif // JITML_SVM_LINEARMODEL_H

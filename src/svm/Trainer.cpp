@@ -1,0 +1,240 @@
+//===- svm/Trainer.cpp - Sequential dual method and OvR solvers -----------===//
+//
+// Crammer-Singer dual:
+//
+//   min_a  1/2 sum_m ||w_m(a)||^2 + sum_i sum_m e_i^m a_i^m
+//   s.t.   sum_m a_i^m = 0 for all i;  a_i^m <= C_i^m
+//   where  w_m(a) = sum_i a_i^m x_i,  e_i^m = 1 - delta(y_i, m),
+//          C_i^m = C when m == y_i else 0.
+//
+// The sequential dual method optimizes one example's alpha-vector at a
+// time. With A = x_i.x_i and gradient g_m = w_m.x_i + e_i^m, the
+// subproblem's solution is a_new^m = min(C_i^m, (beta - B_m)/A) with
+// B_m = g_m - A a_i^m, where beta is chosen so the new alphas sum to zero
+// (found here by bisection: the sum is continuous and increasing in beta).
+//
+//===----------------------------------------------------------------------===//
+
+#include "svm/Trainer.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace jitml;
+
+namespace {
+
+unsigned maxLabel(const std::vector<NormalizedInstance> &Data) {
+  int32_t Max = 0;
+  for (const NormalizedInstance &N : Data)
+    Max = std::max(Max, N.Label);
+  return (unsigned)Max;
+}
+
+std::vector<size_t> shuffledOrder(size_t N, Rng &R) {
+  std::vector<size_t> Order(N);
+  for (size_t I = 0; I < N; ++I)
+    Order[I] = I;
+  for (size_t I = N; I > 1; --I)
+    std::swap(Order[I - 1], Order[R.nextBelow(I)]);
+  return Order;
+}
+
+} // namespace
+
+double jitml::modelAccuracy(const LinearModel &Model,
+                            const std::vector<NormalizedInstance> &Data) {
+  if (Data.empty())
+    return 0.0;
+  size_t Correct = 0;
+  for (const NormalizedInstance &N : Data)
+    if (Model.predict(N.Components) == N.Label)
+      ++Correct;
+  return (double)Correct / (double)Data.size();
+}
+
+LinearModel
+jitml::trainCrammerSinger(const std::vector<NormalizedInstance> &Data,
+                          const TrainOptions &Options, TrainReport *Report) {
+  assert(!Data.empty() && "training on an empty data set");
+  unsigned L = maxLabel(Data);
+  unsigned P = (unsigned)Data.front().Components.size();
+  LinearModel Model(L, P);
+
+  size_t N = Data.size();
+  // Dual variables alpha[i][m], stored sparsely would be nicer; dense is
+  // fine at our scale (thousands x dozens).
+  std::vector<std::vector<double>> Alpha(N, std::vector<double>(L, 0.0));
+  std::vector<double> XtX(N, 0.0);
+  for (size_t I = 0; I < N; ++I)
+    for (double V : Data[I].Components)
+      XtX[I] += V * V;
+
+  Rng R(Options.Seed);
+  double Violation = 0.0;
+  unsigned Iter = 0;
+  std::vector<double> G(L), B(L), NewAlpha(L);
+  for (; Iter < Options.MaxIters; ++Iter) {
+    Violation = 0.0;
+    std::vector<size_t> Order = shuffledOrder(N, R);
+    for (size_t Pick : Order) {
+      const NormalizedInstance &Inst = Data[Pick];
+      double A = XtX[Pick];
+      if (A <= 0.0)
+        continue;
+      unsigned Y = (unsigned)Inst.Label - 1;
+      // Gradient g_m = w_m.x + e_i^m.
+      for (unsigned M = 0; M < L; ++M)
+        G[M] = Model.score(M, Inst.Components) + (M == Y ? 0.0 : 1.0);
+      for (unsigned M = 0; M < L; ++M)
+        B[M] = G[M] - A * Alpha[Pick][M];
+
+      // Solve sum_m min(Cap_m, (beta - B_m)/A) = 0 for beta by bisection.
+      auto SumAt = [&](double Beta) {
+        double S = 0.0;
+        for (unsigned M = 0; M < L; ++M) {
+          double Cap = M == Y ? Options.C : 0.0;
+          S += std::min(Cap, (Beta - B[M]) / A);
+        }
+        return S;
+      };
+      double Lo = B[0], Hi = B[0];
+      for (unsigned M = 1; M < L; ++M) {
+        Lo = std::min(Lo, B[M]);
+        Hi = std::max(Hi, B[M]);
+      }
+      Hi += A * Options.C * L + A; // ensure SumAt(Hi) >= 0
+      Lo -= A;                     // ensure SumAt(Lo) <= 0
+      for (int Step = 0; Step < 64; ++Step) {
+        double Mid = 0.5 * (Lo + Hi);
+        if (SumAt(Mid) >= 0.0)
+          Hi = Mid;
+        else
+          Lo = Mid;
+      }
+      double Beta = 0.5 * (Lo + Hi);
+      double MaxDelta = 0.0;
+      for (unsigned M = 0; M < L; ++M) {
+        double Cap = M == Y ? Options.C : 0.0;
+        NewAlpha[M] = std::min(Cap, (Beta - B[M]) / A);
+        MaxDelta = std::max(MaxDelta, std::fabs(NewAlpha[M] - Alpha[Pick][M]));
+      }
+      if (MaxDelta < 1e-12)
+        continue;
+      Violation = std::max(Violation, MaxDelta);
+      for (unsigned M = 0; M < L; ++M) {
+        double Delta = NewAlpha[M] - Alpha[Pick][M];
+        if (Delta == 0.0)
+          continue;
+        Alpha[Pick][M] = NewAlpha[M];
+        for (unsigned F = 0; F < P; ++F)
+          Model.weight(M, F) += Delta * Inst.Components[F];
+      }
+    }
+    if (Violation < Options.Epsilon)
+      break;
+  }
+  if (Report) {
+    Report->Iterations = Iter;
+    Report->FinalViolation = Violation;
+    Report->NumClasses = L;
+    Report->TrainAccuracy = modelAccuracy(Model, Data);
+  }
+  return Model;
+}
+
+LinearModel jitml::trainOneVsRest(const std::vector<NormalizedInstance> &Data,
+                                  const TrainOptions &Options,
+                                  TrainReport *Report) {
+  assert(!Data.empty() && "training on an empty data set");
+  unsigned L = maxLabel(Data);
+  unsigned P = (unsigned)Data.front().Components.size();
+  LinearModel Model(L, P);
+  size_t N = Data.size();
+
+  std::vector<double> XtX(N, 0.0);
+  for (size_t I = 0; I < N; ++I)
+    for (double V : Data[I].Components)
+      XtX[I] += V * V;
+
+  Rng R(Options.Seed);
+  double WorstViolation = 0.0;
+  unsigned WorstIters = 0;
+  // One L1-loss binary problem per class: y = +1 for the class, -1 rest.
+  for (unsigned Cls = 0; Cls < L; ++Cls) {
+    std::vector<double> Alpha(N, 0.0);
+    std::vector<double> W(P, 0.0);
+    unsigned Iter = 0;
+    double Violation = 0.0;
+    for (; Iter < Options.MaxIters; ++Iter) {
+      Violation = 0.0;
+      std::vector<size_t> Order = shuffledOrder(N, R);
+      for (size_t I : Order) {
+        if (XtX[I] <= 0.0)
+          continue;
+        double Y = Data[I].Label == (int32_t)Cls + 1 ? 1.0 : -1.0;
+        double WX = 0.0;
+        for (unsigned F = 0; F < P; ++F)
+          WX += W[F] * Data[I].Components[F];
+        double Grad = Y * WX - 1.0;
+        double Old = Alpha[I];
+        double NewA =
+            std::clamp(Old - Grad / XtX[I], 0.0, Options.C);
+        double Delta = NewA - Old;
+        if (std::fabs(Delta) < 1e-12)
+          continue;
+        Violation = std::max(Violation, std::fabs(Delta));
+        Alpha[I] = NewA;
+        for (unsigned F = 0; F < P; ++F)
+          W[F] += Delta * Y * Data[I].Components[F];
+      }
+      if (Violation < Options.Epsilon)
+        break;
+    }
+    WorstViolation = std::max(WorstViolation, Violation);
+    WorstIters = std::max(WorstIters, Iter);
+    for (unsigned F = 0; F < P; ++F)
+      Model.weight(Cls, F) = W[F];
+  }
+  if (Report) {
+    Report->Iterations = WorstIters;
+    Report->FinalViolation = WorstViolation;
+    Report->NumClasses = L;
+    Report->TrainAccuracy = modelAccuracy(Model, Data);
+  }
+  return Model;
+}
+
+double jitml::crossValidate(const std::vector<NormalizedInstance> &Data,
+                            const TrainOptions &Options, unsigned Folds) {
+  assert(Folds >= 2 && "cross-validation needs at least two folds");
+  if (Data.size() < Folds)
+    return 0.0;
+  Rng R(Options.Seed ^ 0xf01d);
+  std::vector<size_t> Order = shuffledOrder(Data.size(), R);
+  size_t Correct = 0, Total = 0;
+  for (unsigned Fold = 0; Fold < Folds; ++Fold) {
+    std::vector<NormalizedInstance> Train, Test;
+    for (size_t K = 0; K < Order.size(); ++K) {
+      if (K % Folds == Fold)
+        Test.push_back(Data[Order[K]]);
+      else
+        Train.push_back(Data[Order[K]]);
+    }
+    if (Train.empty() || Test.empty())
+      continue;
+    LinearModel M = trainCrammerSinger(Train, Options);
+    for (const NormalizedInstance &N : Test) {
+      // Labels absent from the fold's training split can never be
+      // predicted; they still count as errors, as in real CV.
+      if (M.numClasses() >= 1 &&
+          (unsigned)N.Label <= M.numClasses() &&
+          M.predict(N.Components) == N.Label)
+        ++Correct;
+      ++Total;
+    }
+  }
+  return Total ? (double)Correct / (double)Total : 0.0;
+}

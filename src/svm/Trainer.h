@@ -1,0 +1,61 @@
+//===- svm/Trainer.h - Linear SVM trainers ----------------------*- C++ -*-===//
+///
+/// \file
+/// From-scratch solvers for the multi-class linear SVM:
+///
+///  * trainCrammerSinger — the sequential dual method for Crammer-Singer
+///    multi-class SVMs (Keerthi, Sundararajan, Chang, Hsieh, Lin, KDD'08),
+///    the solver behind LIBLINEAR's multi-class mode that the paper used;
+///  * trainOneVsRest — L2-regularized L1-loss binary SVMs by dual
+///    coordinate descent, one per class, argmax at prediction.
+///
+/// Both consume the normalized instances produced by mldata and return the
+/// p x L weight matrix of section 3. The paper's setting is C = 10.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_SVM_TRAINER_H
+#define JITML_SVM_TRAINER_H
+
+#include "mldata/Dataset.h"
+#include "svm/LinearModel.h"
+
+namespace jitml {
+
+struct TrainOptions {
+  double C = 10.0;      ///< misclassification cost (paper: C = 10)
+  unsigned MaxIters = 60; ///< outer passes over the data
+  double Epsilon = 1e-3;  ///< stop when the largest dual update is below
+  uint64_t Seed = 7;      ///< instance-order shuffling
+};
+
+struct TrainReport {
+  unsigned Iterations = 0;
+  double FinalViolation = 0.0;
+  unsigned NumClasses = 0;
+  /// Training-set accuracy of the returned model (sanity metric).
+  double TrainAccuracy = 0.0;
+};
+
+/// Crammer-Singer multi-class linear SVM via the sequential dual method.
+/// Labels must be dense in [1, L].
+LinearModel trainCrammerSinger(const std::vector<NormalizedInstance> &Data,
+                               const TrainOptions &Options,
+                               TrainReport *Report = nullptr);
+
+/// One-vs-rest dual coordinate descent (L1-loss SVM per class).
+LinearModel trainOneVsRest(const std::vector<NormalizedInstance> &Data,
+                           const TrainOptions &Options,
+                           TrainReport *Report = nullptr);
+
+/// Fraction of \p Data classified correctly by \p Model.
+double modelAccuracy(const LinearModel &Model,
+                     const std::vector<NormalizedInstance> &Data);
+
+/// k-fold cross-validation accuracy with the Crammer-Singer trainer.
+double crossValidate(const std::vector<NormalizedInstance> &Data,
+                     const TrainOptions &Options, unsigned Folds);
+
+} // namespace jitml
+
+#endif // JITML_SVM_TRAINER_H

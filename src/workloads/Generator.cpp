@@ -1,0 +1,684 @@
+//===- workloads/Generator.cpp - Synthetic benchmark generator ------------===//
+//
+// Deterministically synthesizes benchmark programs from WorkloadSpecs.
+// Each kernel archetype exercises a distinct slice of the optimizer —
+// which is precisely what gives the learned models signal: the best
+// modifier for an FP kernel differs from the best modifier for an
+// allocation-heavy transaction method.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workload.h"
+
+#include "bytecode/Builder.h"
+#include "bytecode/Verifier.h"
+#include "runtime/VirtualMachine.h"
+#include "support/Rng.h"
+
+#include <cassert>
+
+using namespace jitml;
+
+namespace {
+
+/// Builds one benchmark program.
+class WorkloadBuilder {
+public:
+  explicit WorkloadBuilder(const WorkloadSpec &Spec)
+      : Spec(Spec), R(mix64(Spec.Seed ^ 0xbe9cu)) {}
+
+  Program build();
+
+private:
+  // Class setup.
+  void makeClasses();
+
+  // Kernel archetypes; each returns the new method index.
+  uint32_t addIntKernel(unsigned Index);
+  uint32_t addFpKernel(unsigned Index);
+  uint32_t addObjectKernel(unsigned Index);
+  uint32_t addArrayKernel(unsigned Index);
+  uint32_t addBranchKernel(unsigned Index);
+  uint32_t addDecimalKernel(unsigned Index);
+  uint32_t addVirtualKernel(unsigned Index);
+  uint32_t addLongDoubleKernel(unsigned Index);
+
+  // Small leaf helpers (inlining targets).
+  void addHelpers();
+
+  uint32_t addDriver(const std::vector<uint32_t> &IntReturningKernels,
+                     const std::vector<uint32_t> &FpReturningKernels);
+
+  /// Random method flags: mostly public, some final/protected, rare
+  /// synchronized.
+  uint32_t randomFlags(bool AllowSynchronized) {
+    uint32_t Flags = MF_Static | MF_Public;
+    if (R.nextBool(0.3))
+      Flags |= MF_Final;
+    if (R.nextBool(0.1)) {
+      Flags &= ~MF_Public;
+      Flags |= MF_Protected;
+    }
+    if (AllowSynchronized && R.nextBool(0.12))
+      Flags |= MF_Synchronized;
+    return Flags;
+  }
+
+  int64_t oddConst(int64_t Lo, int64_t Hi) {
+    int64_t V = R.nextInRange(Lo, Hi);
+    return V | 1;
+  }
+
+  const WorkloadSpec &Spec;
+  Rng R;
+  Program P;
+
+  // Shared program structure.
+  int32_t RecordClass = -1;   ///< plain data holder (3-5 int fields)
+  int32_t ShapeClass = -1;    ///< virtual-dispatch base
+  int32_t SphereClass = -1;   ///< Shape subclass
+  int32_t BoxClass = -1;      ///< Shape subclass
+  int32_t ErrorClass = -1;    ///< application exception type
+  int32_t UnsafeClass = -1;   ///< sun.misc.Unsafe stand-in
+  int32_t DecimalClass = -1;  ///< java.math.BigDecimal stand-in
+  uint32_t ShapeCalc = 0;     ///< Shape.calc(this, int) int [virtual base]
+  uint32_t UnsafeProbe = 0;   ///< Unsafe.probe(int) int
+  uint32_t BigDecScale = 0;   ///< BigDecimal.scale(long) long
+  uint32_t HelperMix = 0;     ///< mix(int, int) int
+  uint32_t HelperClampF = 0;  ///< clampF(double) double
+  uint32_t RecordFieldCount = 0;
+};
+
+void WorkloadBuilder::makeClasses() {
+  {
+    ClassBuilder CB(P, "Record");
+    RecordFieldCount = 3 + (uint32_t)R.nextBelow(3);
+    for (uint32_t I = 0; I < RecordFieldCount; ++I)
+      CB.addField(DataType::Int32);
+    RecordClass = (int32_t)CB.finish();
+  }
+  {
+    ClassBuilder CB(P, "AppError");
+    CB.addField(DataType::Int32); // error code
+    ErrorClass = (int32_t)CB.finish();
+  }
+  {
+    ClassBuilder CB(P, "Shape");
+    CB.addField(DataType::Int32);
+    ShapeClass = (int32_t)CB.finish();
+  }
+  {
+    ClassBuilder CB(P, "Sphere", ShapeClass);
+    SphereClass = (int32_t)CB.finish();
+  }
+  {
+    ClassBuilder CB(P, "Box", ShapeClass);
+    BoxClass = (int32_t)CB.finish();
+  }
+  {
+    ClassBuilder CB(P, "UnsafeIntrinsics", -1, ClassKind::UnsafeIntrinsic);
+    UnsafeClass = (int32_t)CB.finish();
+  }
+  {
+    ClassBuilder CB(P, "BigDecimalOps", -1, ClassKind::BigDecimal);
+    DecimalClass = (int32_t)CB.finish();
+  }
+
+  // Shape.calc: base implementation `field * 3 + x`.
+  {
+    MethodBuilder MB(P, "calc", ShapeClass, MF_Public,
+                     {DataType::Object, DataType::Int32}, DataType::Int32);
+    MB.load(0).getField(0, DataType::Int32);
+    MB.constI(DataType::Int32, 3).binop(BcOp::Mul, DataType::Int32);
+    MB.load(1).binop(BcOp::Add, DataType::Int32);
+    MB.retValue(DataType::Int32);
+    ShapeCalc = MB.finish();
+  }
+  // Sphere.calc: `(field + x) * 5`.
+  {
+    MethodBuilder MB(P, "calc", SphereClass, MF_Public,
+                     {DataType::Object, DataType::Int32}, DataType::Int32);
+    MB.load(0).getField(0, DataType::Int32);
+    MB.load(1).binop(BcOp::Add, DataType::Int32);
+    MB.constI(DataType::Int32, 5).binop(BcOp::Mul, DataType::Int32);
+    MB.retValue(DataType::Int32);
+    MB.finish();
+  }
+  // Box.calc: `field ^ (x << 2)`.
+  {
+    MethodBuilder MB(P, "calc", BoxClass, MF_Public,
+                     {DataType::Object, DataType::Int32}, DataType::Int32);
+    MB.load(0).getField(0, DataType::Int32);
+    MB.load(1).constI(DataType::Int32, 2).binop(BcOp::Shl, DataType::Int32);
+    MB.binop(BcOp::Xor, DataType::Int32);
+    MB.retValue(DataType::Int32);
+    MB.finish();
+  }
+  // Unsafe.probe(x): a cheap mixing function; calling it marks callers as
+  // unsafe-symbol users (Table 1), which disables redundant-load
+  // elimination for them.
+  {
+    MethodBuilder MB(P, "probe", UnsafeClass, MF_Static | MF_Public,
+                     {DataType::Int32}, DataType::Int32);
+    MB.load(0).constI(DataType::Int32, 0x9e37).binop(BcOp::Xor,
+                                                     DataType::Int32);
+    MB.constI(DataType::Int32, 13).binop(BcOp::Shl, DataType::Int32);
+    MB.load(0).binop(BcOp::Or, DataType::Int32);
+    MB.retValue(DataType::Int32);
+    UnsafeProbe = MB.finish();
+  }
+  // BigDecimal.scale(v): arbitrary-precision flavored fixed-point math.
+  {
+    MethodBuilder MB(P, "scale", DecimalClass, MF_Static | MF_Public,
+                     {DataType::Int64}, DataType::Int64);
+    MB.load(0).constI(DataType::Int64, 10000).binop(BcOp::Mul,
+                                                    DataType::Int64);
+    MB.constI(DataType::Int64, 9973).binop(BcOp::Div, DataType::Int64);
+    MB.retValue(DataType::Int64);
+    BigDecScale = MB.finish();
+  }
+}
+
+void WorkloadBuilder::addHelpers() {
+  {
+    MethodBuilder MB(P, "mix", -1, MF_Static | MF_Public | MF_Final,
+                     {DataType::Int32, DataType::Int32}, DataType::Int32);
+    MB.load(0).constI(DataType::Int32, 31).binop(BcOp::Mul, DataType::Int32);
+    MB.load(1).binop(BcOp::Xor, DataType::Int32);
+    MB.constI(DataType::Int32, 7).binop(BcOp::Add, DataType::Int32);
+    MB.retValue(DataType::Int32);
+    HelperMix = MB.finish();
+  }
+  {
+    MethodBuilder MB(P, "clampF", -1, MF_Static | MF_Public | MF_Final,
+                     {DataType::Double}, DataType::Double);
+    auto Big = MB.newLabel();
+    MB.load(0).constF(DataType::Double, 1e9).cmp(DataType::Double);
+    MB.ifZero(BcCond::Gt, Big);
+    MB.load(0).retValue(DataType::Double);
+    MB.place(Big);
+    MB.constF(DataType::Double, 1e9).retValue(DataType::Double);
+    HelperClampF = MB.finish();
+  }
+}
+
+uint32_t WorkloadBuilder::addIntKernel(unsigned Index) {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "intKernel%u", Index);
+  bool UsesUnsafe = R.nextBelow(1000) < Spec.UnsafePerMille;
+  MethodBuilder MB(P, Name, -1, randomFlags(false), {DataType::Int32},
+                   DataType::Int32);
+  uint32_t Acc = MB.addLocal(DataType::Int32);
+  uint32_t Arr = MB.addLocal(DataType::Address);
+  uint32_t I = MB.addLocal(DataType::Int32);
+
+  // Trip counts divisible by 4 make factor unrolling applicable.
+  int64_t Len = (int64_t)(8 + R.nextBelow(Spec.WorkScale)) * 4;
+  int64_t C1 = oddConst(3, 17);
+  int64_t C2 = oddConst(5, 63);
+  int64_t Pow2 = 1ll << (2 + (int)R.nextBelow(4));
+
+  MB.load(0).store(Acc);
+  MB.constI(DataType::Int32, Len).newArray(DataType::Int32).store(Arr);
+
+  // Fill: arr[i] = i * C1 + acc  (loop strength reduction target).
+  {
+    auto Head = MB.newLabel();
+    auto Exit = MB.newLabel();
+    MB.constI(DataType::Int32, 0).store(I);
+    MB.place(Head);
+    MB.load(I).constI(DataType::Int32, Len).ifCmp(BcCond::Ge, Exit);
+    MB.load(Arr).load(I);
+    MB.load(I).constI(DataType::Int32, C1).binop(BcOp::Mul, DataType::Int32);
+    MB.load(Acc).binop(BcOp::Add, DataType::Int32);
+    MB.astore(DataType::Int32);
+    MB.inc(I, 1);
+    MB.gotoLabel(Head);
+    MB.place(Exit);
+  }
+  // Reduce with redundant loads and power-of-two strength patterns:
+  // acc += (arr[i] * Pow2) ^ (arr[i] & C2).
+  {
+    auto Head = MB.newLabel();
+    auto Exit = MB.newLabel();
+    MB.constI(DataType::Int32, 0).store(I);
+    MB.place(Head);
+    MB.load(I).constI(DataType::Int32, Len).ifCmp(BcCond::Ge, Exit);
+    MB.load(Acc);
+    MB.load(Arr).load(I).aload(DataType::Int32);
+    MB.constI(DataType::Int32, Pow2).binop(BcOp::Mul, DataType::Int32);
+    MB.load(Arr).load(I).aload(DataType::Int32);
+    MB.constI(DataType::Int32, C2).binop(BcOp::And, DataType::Int32);
+    MB.binop(BcOp::Xor, DataType::Int32);
+    MB.binop(BcOp::Add, DataType::Int32).store(Acc);
+    MB.inc(I, 1);
+    MB.gotoLabel(Head);
+    MB.place(Exit);
+  }
+  if (UsesUnsafe) {
+    MB.load(Acc).call(UnsafeProbe).store(Acc);
+  }
+  MB.load(Acc).load(0).call(HelperMix).retValue(DataType::Int32);
+  return MB.finish();
+}
+
+uint32_t WorkloadBuilder::addFpKernel(unsigned Index) {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "fpKernel%u", Index);
+  uint32_t Flags = randomFlags(false);
+  if (Spec.StrictFpMethods && R.nextBool(0.4))
+    Flags |= MF_StrictFP;
+  MethodBuilder MB(P, Name, -1, Flags, {DataType::Double}, DataType::Double);
+  uint32_t D = MB.addLocal(DataType::Double);
+  uint32_t I = MB.addLocal(DataType::Int32);
+  int64_t Trips = (int64_t)(6 + R.nextBelow(Spec.WorkScale)) * 2;
+  double Scale = 1.0 + (double)R.nextBelow(100) / 10000.0;
+  double Div = 2.0 + (double)R.nextBelow(30); // FP strength reduction bait
+
+  MB.load(0).store(D);
+  auto Head = MB.newLabel();
+  auto Exit = MB.newLabel();
+  MB.constI(DataType::Int32, 0).store(I);
+  MB.place(Head);
+  MB.load(I).constI(DataType::Int32, Trips).ifCmp(BcCond::Ge, Exit);
+  // d = d * Scale + i / Div  (mul, int->double conv, div-by-const).
+  MB.load(D).constF(DataType::Double, Scale).binop(BcOp::Mul,
+                                                   DataType::Double);
+  MB.load(I).conv(DataType::Int32, DataType::Double);
+  MB.constF(DataType::Double, Div).binop(BcOp::Div, DataType::Double);
+  MB.binop(BcOp::Add, DataType::Double).store(D);
+  // Narrow/widen round trip (conversion cleanup bait).
+  if (Index % 2 == 0) {
+    MB.load(D).conv(DataType::Double, DataType::Float);
+    MB.conv(DataType::Float, DataType::Double).store(D);
+  }
+  MB.inc(I, 1);
+  MB.gotoLabel(Head);
+  MB.place(Exit);
+  MB.load(D).call(HelperClampF).retValue(DataType::Double);
+  return MB.finish();
+}
+
+uint32_t WorkloadBuilder::addObjectKernel(unsigned Index) {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "objKernel%u", Index);
+  bool UsesBigDec = R.nextBelow(1000) < Spec.BigDecimalPerMille;
+  bool Escaping = R.nextBool(0.35); // some objects escape via a global
+  MethodBuilder MB(P, Name, -1, randomFlags(true), {DataType::Int32},
+                   DataType::Int32);
+  uint32_t Acc = MB.addLocal(DataType::Int32);
+  uint32_t Rec = MB.addLocal(DataType::Object);
+  uint32_t I = MB.addLocal(DataType::Int32);
+  int64_t Trips = 4 + (int64_t)R.nextBelow(Spec.WorkScale);
+  uint32_t EscapeSlot =
+      Escaping ? P.addGlobal(DataType::Object) : UINT32_MAX;
+
+  MB.load(0).store(Acc);
+  auto Head = MB.newLabel();
+  auto Exit = MB.newLabel();
+  MB.constI(DataType::Int32, 0).store(I);
+  MB.place(Head);
+  MB.load(I).constI(DataType::Int32, Trips).ifCmp(BcCond::Ge, Exit);
+  // rec = new Record; rec.f0 = i; rec.f1 = i * 3;
+  MB.newObject((uint32_t)RecordClass).store(Rec);
+  MB.load(Rec).load(I).putField(0, DataType::Int32);
+  MB.load(Rec);
+  MB.load(I).constI(DataType::Int32, 3).binop(BcOp::Mul, DataType::Int32);
+  MB.putField(1, DataType::Int32);
+  // Synchronized access to the (usually non-escaping) record: monitor
+  // elision bait.
+  MB.load(Rec).monitorEnter();
+  MB.load(Acc);
+  MB.load(Rec).getField(0, DataType::Int32);
+  MB.load(Rec).getField(1, DataType::Int32);
+  MB.binop(BcOp::Add, DataType::Int32);
+  MB.binop(BcOp::Add, DataType::Int32).store(Acc);
+  MB.load(Rec).monitorExit();
+  if (Escaping) {
+    MB.load(Rec).putGlobal(EscapeSlot, DataType::Object);
+  }
+  MB.inc(I, 1);
+  MB.gotoLabel(Head);
+  MB.place(Exit);
+  if (UsesBigDec) {
+    MB.load(Acc).conv(DataType::Int32, DataType::Int64);
+    MB.call(BigDecScale);
+    MB.conv(DataType::Int64, DataType::Int32).store(Acc);
+  }
+  MB.load(Acc).retValue(DataType::Int32);
+  return MB.finish();
+}
+
+uint32_t WorkloadBuilder::addArrayKernel(unsigned Index) {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "arrKernel%u", Index);
+  MethodBuilder MB(P, Name, -1, randomFlags(false), {DataType::Int32},
+                   DataType::Int32);
+  uint32_t Acc = MB.addLocal(DataType::Int32);
+  uint32_t Src = MB.addLocal(DataType::Address);
+  uint32_t Dst = MB.addLocal(DataType::Address);
+  uint32_t I = MB.addLocal(DataType::Int32);
+  int64_t Len = (int64_t)(10 + R.nextBelow(Spec.WorkScale)) * 2;
+
+  MB.load(0).store(Acc);
+  MB.constI(DataType::Int32, Len).newArray(DataType::Int32).store(Src);
+  MB.constI(DataType::Int32, Len).newArray(DataType::Int32).store(Dst);
+  // Fill source.
+  {
+    auto Head = MB.newLabel();
+    auto Exit = MB.newLabel();
+    MB.constI(DataType::Int32, 0).store(I);
+    MB.place(Head);
+    MB.load(I).constI(DataType::Int32, Len).ifCmp(BcCond::Ge, Exit);
+    MB.load(Src).load(I);
+    MB.load(I).load(Acc).binop(BcOp::Xor, DataType::Int32);
+    MB.astore(DataType::Int32);
+    MB.inc(I, 1);
+    MB.gotoLabel(Head);
+    MB.place(Exit);
+  }
+  // Element-copy loop (arraycopy idiom recognition bait).
+  {
+    auto Head = MB.newLabel();
+    auto Exit = MB.newLabel();
+    MB.constI(DataType::Int32, 0).store(I);
+    MB.place(Head);
+    MB.load(I).constI(DataType::Int32, Len).ifCmp(BcCond::Ge, Exit);
+    MB.load(Dst).load(I);
+    MB.load(Src).load(I).aload(DataType::Int32);
+    MB.astore(DataType::Int32);
+    MB.inc(I, 1);
+    MB.gotoLabel(Head);
+    MB.place(Exit);
+  }
+  // Scan bounded by src.length (loop bounds versioning bait).
+  {
+    auto Head = MB.newLabel();
+    auto Exit = MB.newLabel();
+    MB.constI(DataType::Int32, 0).store(I);
+    MB.place(Head);
+    MB.load(I).load(Src).arrayLen().ifCmp(BcCond::Ge, Exit);
+    MB.load(Acc);
+    MB.load(Src).load(I).aload(DataType::Int32);
+    MB.binop(BcOp::Add, DataType::Int32).store(Acc);
+    MB.inc(I, 1);
+    MB.gotoLabel(Head);
+    MB.place(Exit);
+  }
+  MB.load(Src).load(Dst).arrayCmp();
+  MB.load(Acc).binop(BcOp::Add, DataType::Int32).retValue(DataType::Int32);
+  return MB.finish();
+}
+
+uint32_t WorkloadBuilder::addBranchKernel(unsigned Index) {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "brKernel%u", Index);
+  MethodBuilder MB(P, Name, -1, randomFlags(false), {DataType::Int32},
+                   DataType::Int32);
+  uint32_t Acc = MB.addLocal(DataType::Int32);
+  uint32_t X = MB.addLocal(DataType::Int32);
+  uint32_t I = MB.addLocal(DataType::Int32);
+  int64_t Trips = 6 + (int64_t)R.nextBelow(Spec.WorkScale);
+  int64_t ThrowMod = 7 + (int64_t)R.nextBelow(9);
+
+  MB.load(0).store(Acc);
+  auto Head = MB.newLabel();
+  auto Exit = MB.newLabel();
+  auto Handler = MB.newLabel();
+  auto Join = MB.newLabel();
+  auto Odd = MB.newLabel();
+  auto AfterBranch = MB.newLabel();
+  MB.constI(DataType::Int32, 0).store(I);
+  MB.place(Head);
+  MB.load(I).constI(DataType::Int32, Trips).ifCmp(BcCond::Ge, Exit);
+  // x = mix(acc, i); branchy accumulation.
+  MB.load(Acc).load(I).call(HelperMix).store(X);
+  MB.load(X).constI(DataType::Int32, 1).binop(BcOp::And, DataType::Int32);
+  MB.ifZero(BcCond::Ne, Odd);
+  MB.load(Acc).load(X).binop(BcOp::Add, DataType::Int32).store(Acc);
+  MB.gotoLabel(AfterBranch);
+  MB.place(Odd);
+  MB.load(Acc).load(X).binop(BcOp::Xor, DataType::Int32).store(Acc);
+  MB.place(AfterBranch);
+  // Exceptional path: if (x % ThrowMod == 0) throw new AppError.
+  {
+    uint32_t TryStart = MB.beginTry();
+    auto NoThrow = MB.newLabel();
+    MB.load(X).constI(DataType::Int32, ThrowMod)
+        .binop(BcOp::Rem, DataType::Int32);
+    MB.ifZero(BcCond::Ne, NoThrow);
+    MB.newObject((uint32_t)ErrorClass).throwRef();
+    MB.place(NoThrow);
+    MB.load(Acc).constI(DataType::Int32, 1).binop(BcOp::Add,
+                                                  DataType::Int32);
+    MB.store(Acc);
+    MB.endTry(TryStart, Handler, ErrorClass);
+    MB.gotoLabel(Join);
+  }
+  MB.place(Handler);
+  MB.pop(DataType::Object); // discard the exception object
+  MB.load(Acc).constI(DataType::Int32, 3).binop(BcOp::Sub, DataType::Int32);
+  MB.store(Acc);
+  MB.place(Join);
+  MB.inc(I, 1);
+  MB.gotoLabel(Head);
+  MB.place(Exit);
+  MB.load(Acc).retValue(DataType::Int32);
+  return MB.finish();
+}
+
+uint32_t WorkloadBuilder::addDecimalKernel(unsigned Index) {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "bcdKernel%u", Index);
+  MethodBuilder MB(P, Name, -1, randomFlags(false), {DataType::Int32},
+                   DataType::Int32);
+  uint32_t Acc = MB.addLocal(DataType::PackedDecimal);
+  uint32_t I = MB.addLocal(DataType::Int32);
+  int64_t Trips = 4 + (int64_t)R.nextBelow(Spec.WorkScale / 2 + 2);
+  int64_t Rate = oddConst(3, 9);
+
+  MB.load(0).conv(DataType::Int32, DataType::PackedDecimal).store(Acc);
+  auto Head = MB.newLabel();
+  auto Exit = MB.newLabel();
+  MB.constI(DataType::Int32, 0).store(I);
+  MB.place(Head);
+  MB.load(I).constI(DataType::Int32, Trips).ifCmp(BcCond::Ge, Exit);
+  // acc = acc * rate + i  in packed decimal, with a zoned round trip
+  // (BCD simplification bait).
+  MB.load(Acc).constI(DataType::PackedDecimal, Rate)
+      .binop(BcOp::Mul, DataType::PackedDecimal);
+  MB.load(I).conv(DataType::Int32, DataType::PackedDecimal);
+  MB.binop(BcOp::Add, DataType::PackedDecimal);
+  MB.conv(DataType::PackedDecimal, DataType::ZonedDecimal);
+  MB.conv(DataType::ZonedDecimal, DataType::PackedDecimal);
+  MB.constI(DataType::PackedDecimal, 1000003)
+      .binop(BcOp::Rem, DataType::PackedDecimal);
+  MB.store(Acc);
+  MB.inc(I, 1);
+  MB.gotoLabel(Head);
+  MB.place(Exit);
+  MB.load(Acc).conv(DataType::PackedDecimal, DataType::Int32)
+      .retValue(DataType::Int32);
+  return MB.finish();
+}
+
+uint32_t WorkloadBuilder::addVirtualKernel(unsigned Index) {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "virtKernel%u", Index);
+  MethodBuilder MB(P, Name, -1, randomFlags(false), {DataType::Int32},
+                   DataType::Int32);
+  uint32_t Acc = MB.addLocal(DataType::Int32);
+  uint32_t Obj = MB.addLocal(DataType::Object);
+  uint32_t I = MB.addLocal(DataType::Int32);
+  int64_t Trips = 5 + (int64_t)R.nextBelow(Spec.WorkScale);
+
+  MB.load(0).store(Acc);
+  auto Head = MB.newLabel();
+  auto Exit = MB.newLabel();
+  MB.constI(DataType::Int32, 0).store(I);
+  MB.place(Head);
+  MB.load(I).constI(DataType::Int32, Trips).ifCmp(BcCond::Ge, Exit);
+  if (Spec.PolymorphicDispatch) {
+    auto UseBox = MB.newLabel();
+    auto Made = MB.newLabel();
+    MB.load(I).constI(DataType::Int32, 1).binop(BcOp::And, DataType::Int32);
+    MB.ifZero(BcCond::Ne, UseBox);
+    MB.newObject((uint32_t)SphereClass).store(Obj);
+    MB.gotoLabel(Made);
+    MB.place(UseBox);
+    MB.newObject((uint32_t)BoxClass).store(Obj);
+    MB.place(Made);
+  } else {
+    MB.newObject((uint32_t)SphereClass).store(Obj);
+  }
+  MB.load(Obj).load(I).putField(0, DataType::Int32);
+  MB.load(Acc);
+  MB.load(Obj).load(I).callVirtual(ShapeCalc);
+  MB.binop(BcOp::Add, DataType::Int32).store(Acc);
+  MB.inc(I, 1);
+  MB.gotoLabel(Head);
+  MB.place(Exit);
+  MB.load(Acc).retValue(DataType::Int32);
+  return MB.finish();
+}
+
+uint32_t WorkloadBuilder::addLongDoubleKernel(unsigned Index) {
+  char Name[32];
+  std::snprintf(Name, sizeof(Name), "ldKernel%u", Index);
+  MethodBuilder MB(P, Name, -1, randomFlags(false), {DataType::Double},
+                   DataType::Double);
+  uint32_t D = MB.addLocal(DataType::LongDouble);
+  uint32_t I = MB.addLocal(DataType::Int32);
+  int64_t Trips = 4 + (int64_t)R.nextBelow(Spec.WorkScale / 2 + 2);
+
+  MB.load(0).conv(DataType::Double, DataType::LongDouble).store(D);
+  auto Head = MB.newLabel();
+  auto Exit = MB.newLabel();
+  MB.constI(DataType::Int32, 0).store(I);
+  MB.place(Head);
+  MB.load(I).constI(DataType::Int32, Trips).ifCmp(BcCond::Ge, Exit);
+  // Quad-precision multiply-add whose operands are widened doubles
+  // (long-double fast-path bait).
+  MB.load(D).conv(DataType::LongDouble, DataType::Double);
+  MB.conv(DataType::Double, DataType::LongDouble);
+  MB.constF(DataType::Double, 1.0001).conv(DataType::Double,
+                                           DataType::LongDouble);
+  MB.binop(BcOp::Mul, DataType::LongDouble);
+  MB.store(D);
+  MB.inc(I, 1);
+  MB.gotoLabel(Head);
+  MB.place(Exit);
+  MB.load(D).conv(DataType::LongDouble, DataType::Double)
+      .retValue(DataType::Double);
+  return MB.finish();
+}
+
+uint32_t
+WorkloadBuilder::addDriver(const std::vector<uint32_t> &IntKernels,
+                           const std::vector<uint32_t> &FpKernels) {
+  MethodBuilder MB(P, "main", -1, MF_Static | MF_Public, {DataType::Int32},
+                   DataType::Int32);
+  uint32_t Acc = MB.addLocal(DataType::Int32);
+  uint32_t J = MB.addLocal(DataType::Int32);
+  MB.load(0).constI(DataType::Int32, 1).binop(BcOp::Add, DataType::Int32);
+  MB.store(Acc);
+  // Each kernel is invoked CallsPerKernel times per application iteration,
+  // feeding the accumulator through so results chain.
+  for (uint32_t Kernel : IntKernels) {
+    auto Head = MB.newLabel();
+    auto Exit = MB.newLabel();
+    MB.constI(DataType::Int32, 0).store(J);
+    MB.place(Head);
+    MB.load(J).constI(DataType::Int32, (int64_t)Spec.Mix.CallsPerKernel)
+        .ifCmp(BcCond::Ge, Exit);
+    // acc = (acc & 0xffff) + kernel(acc & 0xff + j)
+    MB.load(Acc).constI(DataType::Int32, 0xffff)
+        .binop(BcOp::And, DataType::Int32);
+    MB.load(Acc).constI(DataType::Int32, 0xff)
+        .binop(BcOp::And, DataType::Int32);
+    MB.load(J).binop(BcOp::Add, DataType::Int32);
+    MB.call(Kernel);
+    MB.binop(BcOp::Add, DataType::Int32).store(Acc);
+    MB.inc(J, 1);
+    MB.gotoLabel(Head);
+    MB.place(Exit);
+  }
+  for (uint32_t Kernel : FpKernels) {
+    auto Head = MB.newLabel();
+    auto Exit = MB.newLabel();
+    MB.constI(DataType::Int32, 0).store(J);
+    MB.place(Head);
+    MB.load(J).constI(DataType::Int32, (int64_t)Spec.Mix.CallsPerKernel)
+        .ifCmp(BcCond::Ge, Exit);
+    MB.load(Acc);
+    MB.load(Acc).constI(DataType::Int32, 0x3f)
+        .binop(BcOp::And, DataType::Int32);
+    MB.load(J).binop(BcOp::Add, DataType::Int32);
+    MB.conv(DataType::Int32, DataType::Double);
+    MB.call(Kernel);
+    MB.conv(DataType::Double, DataType::Int32);
+    MB.constI(DataType::Int32, 0xffffff)
+        .binop(BcOp::And, DataType::Int32);
+    MB.binop(BcOp::Add, DataType::Int32).store(Acc);
+    MB.inc(J, 1);
+    MB.gotoLabel(Head);
+    MB.place(Exit);
+  }
+  MB.load(Acc).retValue(DataType::Int32);
+  return MB.finish();
+}
+
+Program WorkloadBuilder::build() {
+  makeClasses();
+  addHelpers();
+  std::vector<uint32_t> IntKernels, FpKernels;
+  const ArchetypeMix &Mix = Spec.Mix;
+  for (unsigned I = 0; I < Mix.IntKernels; ++I)
+    IntKernels.push_back(addIntKernel(I));
+  for (unsigned I = 0; I < Mix.ObjectKernels; ++I)
+    IntKernels.push_back(addObjectKernel(I));
+  for (unsigned I = 0; I < Mix.ArrayKernels; ++I)
+    IntKernels.push_back(addArrayKernel(I));
+  for (unsigned I = 0; I < Mix.BranchKernels; ++I)
+    IntKernels.push_back(addBranchKernel(I));
+  for (unsigned I = 0; I < Mix.DecimalKernels; ++I)
+    IntKernels.push_back(addDecimalKernel(I));
+  for (unsigned I = 0; I < Mix.VirtualKernels; ++I)
+    IntKernels.push_back(addVirtualKernel(I));
+  for (unsigned I = 0; I < Mix.FpKernels; ++I)
+    FpKernels.push_back(addFpKernel(I));
+  for (unsigned I = 0; I < Mix.LongDoubleKernels; ++I)
+    FpKernels.push_back(addLongDoubleKernel(I));
+
+  // "Virtual method overridden" (Table 1): mark a kernel as invalidated by
+  // a later class load once in a while.
+  if (!IntKernels.empty() && R.nextBool(0.5))
+    P.methodAt(IntKernels[R.nextBelow(IntKernels.size())]).Flags |=
+        MF_VirtualOverridden;
+
+  uint32_t Main = addDriver(IntKernels, FpKernels);
+  P.setEntryMethod(Main);
+  VerifyResult VR = verifyProgram(P);
+  assert(VR.ok() && "generated workload failed verification");
+  (void)VR;
+  return std::move(P);
+}
+
+} // namespace
+
+Program jitml::buildWorkload(const WorkloadSpec &Spec) {
+  return WorkloadBuilder(Spec).build();
+}
+
+int64_t jitml::workloadChecksum(const Program &P, unsigned Iterations) {
+  VirtualMachine::Config Cfg;
+  Cfg.EnableJit = false;
+  VirtualMachine VM(P, Cfg);
+  int64_t Checksum = 0;
+  for (unsigned I = 0; I < Iterations; ++I) {
+    ExecResult R = VM.run({Value::ofI((int64_t)I)});
+    assert(!R.Exceptional && "workload must not throw out of main");
+    Checksum = (int64_t)mix64((uint64_t)Checksum ^ (uint64_t)R.Ret.I);
+  }
+  return Checksum;
+}

@@ -1,0 +1,180 @@
+//===- tests/BridgeTest.cpp - protocol + transport tests ------------------===//
+
+#include "bridge/ModelService.h"
+#include "bridge/Transports.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <unistd.h>
+
+using namespace jitml;
+
+namespace {
+
+/// Echo-style backend: modifier = sum of features + level.
+class StubBackend : public ModelBackend {
+public:
+  std::optional<uint64_t>
+  predictModifier(OptLevel Level,
+                  const std::vector<double> &RawFeatures) override {
+    if (FailLevels && Level == OptLevel::Scorching)
+      return std::nullopt;
+    uint64_t Sum = (uint64_t)Level;
+    for (double V : RawFeatures)
+      Sum += (uint64_t)V;
+    ++Served;
+    return Sum;
+  }
+  bool FailLevels = true;
+  uint64_t Served = 0;
+};
+
+} // namespace
+
+TEST(Message, RoundTripAllTypes) {
+  auto [A, B] = InProcessPipe::makePair();
+  {
+    Message M;
+    M.Type = MsgType::Hello;
+    M.Version = 1;
+    ASSERT_TRUE(sendMessage(*A, M));
+    Message Out;
+    ASSERT_TRUE(recvMessage(*B, Out));
+    EXPECT_EQ(Out.Type, MsgType::Hello);
+    EXPECT_EQ(Out.Version, 1);
+  }
+  {
+    Message M;
+    M.Type = MsgType::Features;
+    M.Level = OptLevel::Hot;
+    for (unsigned I = 0; I < NumFeatures; ++I)
+      M.FeatureValues.push_back((double)I * 0.25);
+    ASSERT_TRUE(sendMessage(*A, M));
+    Message Out;
+    ASSERT_TRUE(recvMessage(*B, Out));
+    EXPECT_EQ(Out.Type, MsgType::Features);
+    EXPECT_EQ(Out.Level, OptLevel::Hot);
+    ASSERT_EQ(Out.FeatureValues.size(), (size_t)NumFeatures);
+    EXPECT_DOUBLE_EQ(Out.FeatureValues[70], 70 * 0.25);
+  }
+  {
+    Message M;
+    M.Type = MsgType::Modifier;
+    M.ModifierBits = 0x123456789abcdefULL;
+    ASSERT_TRUE(sendMessage(*A, M));
+    Message Out;
+    ASSERT_TRUE(recvMessage(*B, Out));
+    EXPECT_EQ(Out.ModifierBits, 0x123456789abcdefULL);
+  }
+  {
+    Message M;
+    M.Type = MsgType::Error;
+    M.Text = "no model for level";
+    ASSERT_TRUE(sendMessage(*A, M));
+    Message Out;
+    ASSERT_TRUE(recvMessage(*B, Out));
+    EXPECT_EQ(Out.Type, MsgType::Error);
+    EXPECT_EQ(Out.Text, "no model for level");
+  }
+  {
+    Message M;
+    M.Type = MsgType::Bye;
+    ASSERT_TRUE(sendMessage(*A, M));
+    Message Out;
+    ASSERT_TRUE(recvMessage(*B, Out));
+    EXPECT_EQ(Out.Type, MsgType::Bye);
+  }
+}
+
+TEST(Message, RejectsMalformedFrames) {
+  auto [A, B] = InProcessPipe::makePair();
+  // Oversized length prefix.
+  uint8_t Huge[4] = {0xff, 0xff, 0xff, 0x7f};
+  A->writeBytes(Huge, 4);
+  Message Out;
+  EXPECT_FALSE(recvMessage(*B, Out));
+  // Bad level inside a Features frame.
+  auto [C, D] = InProcessPipe::makePair();
+  uint8_t Frame[] = {4, 0, 0, 0, (uint8_t)MsgType::Features, 9, 0, 0};
+  C->writeBytes(Frame, sizeof(Frame));
+  EXPECT_FALSE(recvMessage(*D, Out));
+}
+
+TEST(Message, EofOnClose) {
+  auto [A, B] = InProcessPipe::makePair();
+  A->close();
+  Message Out;
+  EXPECT_FALSE(recvMessage(*B, Out));
+}
+
+TEST(Service, InProcessClientServerSession) {
+  auto [ClientEnd, ServerEnd] = InProcessPipe::makePair();
+  StubBackend Backend;
+  std::thread Server([&] { serveModel(*ServerEnd, Backend); });
+  ModelClient Client(*ClientEnd);
+  ASSERT_TRUE(Client.hello());
+
+  FeatureVector F;
+  F.set(CF_TreeNodes, 40);
+  F.set(CF_Arguments, 2);
+  std::optional<uint64_t> Bits =
+      Client.requestModifier(OptLevel::Warm, F);
+  ASSERT_TRUE(Bits.has_value());
+  EXPECT_EQ(*Bits, 42u + (uint64_t)OptLevel::Warm);
+
+  // Uncovered level: server answers Error, client maps to nullopt.
+  EXPECT_FALSE(Client.requestModifier(OptLevel::Scorching, F).has_value());
+
+  Client.bye();
+  Server.join();
+  EXPECT_EQ(Backend.Served, 1u);
+}
+
+TEST(Service, NamedPipeSession) {
+  char Template[] = "/tmp/jitml_test_fifo_XXXXXX";
+  std::string Dir = mkdtemp(Template);
+  std::string ToServer = Dir + "/c2s";
+  std::string ToClient = Dir + "/s2c";
+  ASSERT_TRUE(FifoTransport::createPipes(ToServer, ToClient));
+
+  StubBackend Backend;
+  std::thread Server([&] {
+    auto T = FifoTransport::open(ToServer, ToClient, /*IsServer=*/true);
+    ASSERT_NE(T, nullptr);
+    serveModel(*T, Backend);
+  });
+  auto T = FifoTransport::open(ToServer, ToClient, /*IsServer=*/false);
+  ASSERT_NE(T, nullptr);
+  ModelClient Client(*T);
+  ASSERT_TRUE(Client.hello());
+  FeatureVector F;
+  F.set(CF_TreeNodes, 7);
+  std::optional<uint64_t> Bits = Client.requestModifier(OptLevel::Cold, F);
+  ASSERT_TRUE(Bits.has_value());
+  EXPECT_EQ(*Bits, 7u);
+  Client.bye();
+  Server.join();
+  ::unlink(ToServer.c_str());
+  ::unlink(ToClient.c_str());
+  ::rmdir(Dir.c_str());
+}
+
+TEST(Service, ManySequentialRequests) {
+  auto [ClientEnd, ServerEnd] = InProcessPipe::makePair();
+  StubBackend Backend;
+  Backend.FailLevels = false;
+  std::thread Server([&] { serveModel(*ServerEnd, Backend); });
+  ModelClient Client(*ClientEnd);
+  ASSERT_TRUE(Client.hello());
+  for (unsigned I = 0; I < 200; ++I) {
+    FeatureVector F;
+    F.set(CF_TreeNodes, I);
+    auto Bits = Client.requestModifier(OptLevel::Cold, F);
+    ASSERT_TRUE(Bits.has_value());
+    EXPECT_EQ(*Bits, (uint64_t)I);
+  }
+  Client.bye();
+  Server.join();
+  EXPECT_EQ(Backend.Served, 200u);
+}

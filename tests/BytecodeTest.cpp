@@ -1,0 +1,268 @@
+//===- tests/BytecodeTest.cpp - bytecode/ unit tests ----------------------===//
+
+#include "bytecode/Builder.h"
+#include "bytecode/Disasm.h"
+#include "bytecode/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitml;
+
+namespace {
+
+/// Minimal `f(x) = x + 1`.
+uint32_t addPlusOne(Program &P) {
+  MethodBuilder MB(P, "plusOne", -1, MF_Static | MF_Public,
+                   {DataType::Int32}, DataType::Int32);
+  MB.load(0).constI(DataType::Int32, 1).binop(BcOp::Add, DataType::Int32);
+  MB.retValue(DataType::Int32);
+  return MB.finish();
+}
+
+} // namespace
+
+TEST(Builder, LabelsPatchBranchTargets) {
+  Program P;
+  MethodBuilder MB(P, "abs", -1, MF_Static | MF_Public, {DataType::Int32},
+                   DataType::Int32);
+  auto Neg = MB.newLabel();
+  MB.load(0).ifZero(BcCond::Lt, Neg);
+  MB.load(0).retValue(DataType::Int32);
+  MB.place(Neg);
+  MB.load(0).neg(DataType::Int32).retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  const MethodInfo &Info = P.methodAt(M);
+  // The conditional branch targets the placed label's pc.
+  ASSERT_EQ(Info.Code[1].Op, BcOp::If);
+  EXPECT_EQ((uint32_t)Info.Code[1].B, 4u);
+  EXPECT_TRUE(verifyMethod(P, M).ok());
+}
+
+TEST(Builder, LocalTypesTracked) {
+  Program P;
+  MethodBuilder MB(P, "locals", -1, MF_Static, {DataType::Int32},
+                   DataType::Void);
+  uint32_t D = MB.addLocal(DataType::Double);
+  EXPECT_EQ(D, 1u);
+  MB.constF(DataType::Double, 1.5).store(D);
+  MB.ret();
+  uint32_t M = MB.finish();
+  EXPECT_EQ(P.methodAt(M).LocalTypes[1], DataType::Double);
+  EXPECT_EQ(P.methodAt(M).NumLocals, 2u);
+}
+
+TEST(Builder, PrototypeEnablesRecursion) {
+  Program P;
+  MethodInfo Proto;
+  Proto.Name = "countdown";
+  Proto.Flags = MF_Static;
+  Proto.ArgTypes = {DataType::Int32};
+  Proto.ReturnType = DataType::Int32;
+  uint32_t Self = P.declarePrototype(std::move(Proto));
+  MethodBuilder MB(P, Self);
+  auto Recurse = MB.newLabel();
+  MB.load(0).ifZero(BcCond::Gt, Recurse);
+  MB.constI(DataType::Int32, 0).retValue(DataType::Int32);
+  MB.place(Recurse);
+  MB.load(0).constI(DataType::Int32, 1).binop(BcOp::Sub, DataType::Int32);
+  MB.call(Self).retValue(DataType::Int32);
+  EXPECT_EQ(MB.finish(), Self);
+  EXPECT_TRUE(verifyProgram(P).ok()) << verifyProgram(P).message();
+}
+
+TEST(Verifier, AcceptsWellFormedMethod) {
+  Program P;
+  uint32_t M = addPlusOne(P);
+  VerifyResult R = verifyMethod(P, M);
+  EXPECT_TRUE(R.ok()) << R.message();
+  EXPECT_EQ(P.methodAt(M).MaxStack, 2u);
+}
+
+TEST(Verifier, RejectsStackUnderflow) {
+  Program P;
+  MethodInfo M;
+  M.Name = "bad";
+  M.Flags = MF_Static;
+  M.ReturnType = DataType::Int32;
+  BcInst Ret;
+  Ret.Op = BcOp::Return;
+  Ret.Type = DataType::Int32; // pops a value that was never pushed
+  M.Code = {Ret};
+  uint32_t Idx = P.addMethod(std::move(M));
+  EXPECT_FALSE(verifyMethod(P, Idx).ok());
+}
+
+TEST(Verifier, RejectsBranchOutOfRange) {
+  Program P;
+  MethodInfo M;
+  M.Name = "bad";
+  M.Flags = MF_Static;
+  BcInst G;
+  G.Op = BcOp::Goto;
+  G.A = 99;
+  M.Code = {G};
+  uint32_t Idx = P.addMethod(std::move(M));
+  EXPECT_FALSE(verifyMethod(P, Idx).ok());
+}
+
+TEST(Verifier, RejectsLocalOutOfRange) {
+  Program P;
+  MethodInfo M;
+  M.Name = "bad";
+  M.Flags = MF_Static;
+  BcInst L;
+  L.Op = BcOp::Load;
+  L.Type = DataType::Int32;
+  L.A = 3; // no such local
+  BcInst Ret;
+  Ret.Op = BcOp::Return;
+  Ret.Type = DataType::Int32;
+  M.Code = {L, Ret};
+  uint32_t Idx = P.addMethod(std::move(M));
+  EXPECT_FALSE(verifyMethod(P, Idx).ok());
+}
+
+TEST(Verifier, RejectsInconsistentJoinDepth) {
+  Program P;
+  MethodInfo M;
+  M.Name = "bad";
+  M.Flags = MF_Static;
+  M.ArgTypes = {DataType::Int32};
+  M.LocalTypes = {DataType::Int32};
+  M.NumLocals = 1;
+  M.ReturnType = DataType::Int32;
+  // if (x) goto 3; push const; [join] return  -- depth 0 vs 1 at pc 3.
+  BcInst Load{BcOp::Load, DataType::Int32, 0, 0, 0, 0};
+  BcInst If{BcOp::If, DataType::Int32, (int32_t)BcCond::Ne, 3, 0, 0};
+  BcInst Push{BcOp::Const, DataType::Int32, 0, 0, 7, 0};
+  BcInst Ret{BcOp::Return, DataType::Int32, 0, 0, 0, 0};
+  M.Code = {Load, If, Push, Ret};
+  uint32_t Idx = P.addMethod(std::move(M));
+  EXPECT_FALSE(verifyMethod(P, Idx).ok());
+}
+
+TEST(Verifier, RejectsShiftOnFloat) {
+  Program P;
+  MethodBuilder MB(P, "bad", -1, MF_Static, {DataType::Double},
+                   DataType::Double);
+  MB.load(0).load(0).binop(BcOp::Shl, DataType::Double);
+  MB.retValue(DataType::Double);
+  uint32_t Idx = MB.finish();
+  EXPECT_FALSE(verifyMethod(P, Idx).ok());
+}
+
+TEST(Verifier, RejectsEmptyMethod) {
+  Program P;
+  MethodInfo M;
+  M.Name = "empty";
+  uint32_t Idx = P.addMethod(std::move(M));
+  EXPECT_FALSE(verifyMethod(P, Idx).ok());
+}
+
+TEST(Program, ClassHierarchyAndFields) {
+  Program P;
+  ClassBuilder Base(P, "Base");
+  Base.addField(DataType::Int32);
+  uint32_t BaseIdx = Base.finish();
+  ClassBuilder Derived(P, "Derived", (int32_t)BaseIdx);
+  uint32_t F = Derived.addField(DataType::Double);
+  uint32_t DerivedIdx = Derived.finish();
+  EXPECT_EQ(F, 1u); // inherited field occupies slot 0
+  EXPECT_EQ(P.classAt(DerivedIdx).FieldTypes.size(), 2u);
+  EXPECT_TRUE(P.isSubclassOf((int32_t)DerivedIdx, (int32_t)BaseIdx));
+  EXPECT_FALSE(P.isSubclassOf((int32_t)BaseIdx, (int32_t)DerivedIdx));
+  EXPECT_TRUE(P.isSubclassOf((int32_t)BaseIdx, (int32_t)BaseIdx));
+}
+
+TEST(Program, VirtualResolutionByName) {
+  Program P;
+  uint32_t Base = ClassBuilder(P, "Base").finish();
+  uint32_t Derived = ClassBuilder(P, "Derived", (int32_t)Base).finish();
+  uint32_t Other = ClassBuilder(P, "Other", (int32_t)Base).finish();
+
+  auto AddCalc = [&](uint32_t Cls, int64_t K) {
+    MethodBuilder MB(P, "calc", (int32_t)Cls, MF_Public,
+                     {DataType::Object}, DataType::Int32);
+    MB.constI(DataType::Int32, K).retValue(DataType::Int32);
+    return MB.finish();
+  };
+  uint32_t BaseCalc = AddCalc(Base, 1);
+  uint32_t DerivedCalc = AddCalc(Derived, 2);
+
+  EXPECT_EQ(P.resolveVirtual(BaseCalc, Derived), DerivedCalc);
+  EXPECT_EQ(P.resolveVirtual(BaseCalc, Base), BaseCalc);
+  // Other doesn't override: resolves up to the base implementation.
+  EXPECT_EQ(P.resolveVirtual(BaseCalc, Other), BaseCalc);
+  EXPECT_TRUE(P.isOverridden(BaseCalc));
+  EXPECT_FALSE(P.isOverridden(DerivedCalc));
+}
+
+TEST(Program, SignatureFormat) {
+  Program P;
+  uint32_t Cls = ClassBuilder(P, "Acme").finish();
+  MethodBuilder MB(P, "frob", (int32_t)Cls, MF_Public,
+                   {DataType::Object, DataType::Int32, DataType::Double},
+                   DataType::Int64);
+  MB.constI(DataType::Int64, 0).retValue(DataType::Int64);
+  uint32_t M = MB.finish();
+  EXPECT_EQ(P.signatureOf(M), "Acme.frob(object,int,double)long");
+}
+
+TEST(Disasm, RendersKeyInstructions) {
+  Program P;
+  uint32_t M = addPlusOne(P);
+  std::string Text = disassembleMethod(P, M);
+  EXPECT_NE(Text.find("load.int #0"), std::string::npos);
+  EXPECT_NE(Text.find("const.int 1"), std::string::npos);
+  EXPECT_NE(Text.find("add.int"), std::string::npos);
+}
+
+TEST(Disasm, RendersTryRegions) {
+  Program P;
+  uint32_t Exc = ClassBuilder(P, "E").finish();
+  MethodBuilder MB(P, "t", -1, MF_Static, {}, DataType::Int32);
+  auto Handler = MB.newLabel();
+  auto Done = MB.newLabel();
+  uint32_t Start = MB.beginTry();
+  MB.newObject(Exc).throwRef();
+  MB.endTry(Start, Handler, (int32_t)Exc);
+  MB.place(Handler);
+  MB.pop(DataType::Object);
+  MB.constI(DataType::Int32, 1).gotoLabel(Done);
+  MB.place(Done);
+  MB.retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  ASSERT_TRUE(verifyMethod(P, M).ok()) << verifyMethod(P, M).message();
+  std::string Text = disassembleMethod(P, M);
+  EXPECT_NE(Text.find("try ["), std::string::npos);
+  EXPECT_NE(Text.find("catch E"), std::string::npos);
+}
+
+TEST(StackEffect, MatchesCallSignatures) {
+  Program P;
+  uint32_t Callee = addPlusOne(P);
+  BcInst Call;
+  Call.Op = BcOp::Call;
+  Call.A = (int32_t)Callee;
+  MethodInfo Dummy;
+  unsigned Pops = 0, Pushes = 0;
+  EXPECT_TRUE(stackEffect(P, Dummy, Call, Pops, Pushes));
+  EXPECT_EQ(Pops, 1u);
+  EXPECT_EQ(Pushes, 1u);
+}
+
+TEST(StackEffect, RejectsBadMethodIndex) {
+  Program P;
+  BcInst Call;
+  Call.Op = BcOp::Call;
+  Call.A = 42;
+  MethodInfo Dummy;
+  unsigned Pops, Pushes;
+  EXPECT_FALSE(stackEffect(P, Dummy, Call, Pops, Pushes));
+}
+
+TEST(Opcode, NegateCondIsInvolution) {
+  for (BcCond C : {BcCond::Eq, BcCond::Ne, BcCond::Lt, BcCond::Ge,
+                   BcCond::Gt, BcCond::Le})
+    EXPECT_EQ(negateCond(negateCond(C)), C);
+}

@@ -1,0 +1,248 @@
+//===- tests/CodegenTest.cpp - lowering and codegen pass tests ------------===//
+
+#include "TestPrograms.h"
+
+#include "codegen/CodeGenerator.h"
+#include "il/ILGenerator.h"
+#include "il/LoopInfo.h"
+#include "opt/Optimizer.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitml;
+using namespace jitml::testing;
+
+namespace {
+
+NativeMethod lower(Program &P, uint32_t Method,
+                   std::initializer_list<TransformationKind> Options,
+                   OptLevel Level = OptLevel::Warm) {
+  auto IL = generateIL(P, Method);
+  LoopInfo::annotateFrequencies(*IL);
+  TransformSet Set;
+  for (TransformationKind K : Options)
+    Set.insert(K);
+  return generateCode(*IL, Set, Level);
+}
+
+unsigned countNOps(const NativeMethod &M, NOp Op) {
+  unsigned N = 0;
+  for (const NativeBlock &B : M.Blocks)
+    for (const NativeInst &I : B.Insts)
+      if (I.Op == Op)
+        ++N;
+  return N;
+}
+
+} // namespace
+
+TEST(Lowering, SharedNodesEmitOnce) {
+  Program P;
+  MethodBuilder MB(P, "share", -1, MF_Static, {DataType::Int32},
+                   DataType::Int32);
+  // dup makes one multiply feed two adds: must lower to ONE Mul.
+  MB.load(0).load(0).binop(BcOp::Mul, DataType::Int32);
+  MB.dup(DataType::Int32);
+  MB.binop(BcOp::Add, DataType::Int32);
+  MB.retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  NativeMethod Code = lower(P, M, {});
+  EXPECT_EQ(countNOps(Code, NOp::Mul), 1u);
+  EXPECT_EQ(runBothEngines(P, M, 6, OptLevel::Cold), 72);
+}
+
+TEST(Lowering, BranchSuccessorsMirrorIL) {
+  Program P;
+  MethodBuilder MB(P, "br", -1, MF_Static, {DataType::Int32},
+                   DataType::Int32);
+  auto Else = MB.newLabel();
+  MB.load(0).ifZero(BcCond::Lt, Else);
+  MB.constI(DataType::Int32, 1).retValue(DataType::Int32);
+  MB.place(Else);
+  MB.constI(DataType::Int32, 2).retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  NativeMethod Code = lower(P, M, {});
+  const NativeBlock &Entry = Code.Blocks[Code.Entry];
+  EXPECT_EQ(Entry.Insts.back().Op, NOp::Br);
+  EXPECT_GE(Entry.SuccTaken, 0);
+  EXPECT_GE(Entry.SuccFall, 0);
+  EXPECT_NE(Entry.SuccTaken, Entry.SuccFall);
+}
+
+TEST(CodegenPass, CoalescingShrinksRegisterFile) {
+  Program P;
+  addConstKernel(P);
+  NativeMethod Plain = lower(P, 0, {});
+  NativeMethod Coalesced =
+      lower(P, 0, {TransformationKind::RegisterCoalescing});
+  EXPECT_LT(Coalesced.NumVRegs, Plain.NumVRegs);
+  // And lowers per-block spill penalties.
+  double PlainSpill = 0, CoalSpill = 0;
+  for (const NativeBlock &B : Plain.Blocks)
+    PlainSpill += B.SpillPenalty;
+  for (const NativeBlock &B : Coalesced.Blocks)
+    CoalSpill += B.SpillPenalty;
+  EXPECT_LE(CoalSpill, PlainSpill);
+}
+
+TEST(CodegenPass, ConstantEncodingMarksSmallImmediates) {
+  Program P;
+  MethodBuilder MB(P, "imm", -1, MF_Static, {DataType::Int32},
+                   DataType::Int32);
+  MB.load(0).constI(DataType::Int32, 100).binop(BcOp::Add, DataType::Int32);
+  MB.constI(DataType::Int32, 1 << 20)
+      .binop(BcOp::Add, DataType::Int32); // too big to encode
+  MB.retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  NativeMethod Code = lower(P, M, {TransformationKind::ConstantEncoding});
+  unsigned Encoded = 0, Plain = 0;
+  for (const NativeBlock &B : Code.Blocks)
+    for (const NativeInst &I : B.Insts)
+      if (I.Op == NOp::ConstI)
+        (I.hasFlag(NF_EncodedConst) ? Encoded : Plain) += 1;
+  EXPECT_EQ(Encoded, 1u);
+  EXPECT_EQ(Plain, 1u);
+}
+
+TEST(CodegenPass, PeepholeFusesCompareBranch) {
+  Program P;
+  MethodBuilder MB(P, "cmp", -1, MF_Static,
+                   {DataType::Double, DataType::Double}, DataType::Int32);
+  auto Gt = MB.newLabel();
+  // cmp yields -1/0/1; branch tests it against zero: fusable.
+  MB.load(0).load(1).cmp(DataType::Double);
+  MB.ifZero(BcCond::Gt, Gt);
+  MB.constI(DataType::Int32, 0).retValue(DataType::Int32);
+  MB.place(Gt);
+  MB.constI(DataType::Int32, 1).retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  NativeMethod Plain = lower(P, M, {});
+  NativeMethod Fused = lower(P, M, {TransformationKind::PeepholeOptimization});
+  EXPECT_LE(Fused.totalInsts(), Plain.totalInsts());
+  EXPECT_EQ(runBothEngines(P, M, 3, OptLevel::Cold), 0); // 3 > 3 false
+}
+
+TEST(CodegenPass, SchedulingPreservesSemantics) {
+  Program P;
+  uint32_t Kernel = addConstKernel(P);
+  int64_t Expected = 0;
+  for (int I = 0; I < 256; ++I)
+    Expected += (2 * 4 + 11) + I * 3;
+  VirtualMachine::Config Cfg;
+  Cfg.Control.Enabled = false;
+  VirtualMachine VM(P, Cfg);
+  // Warm plan includes scheduling; compare against the interpreter.
+  VM.compileMethod(Kernel, OptLevel::Warm);
+  ExecResult R = VM.invoke(Kernel, {Value::ofI(2), Value::ofI(4)});
+  EXPECT_EQ(R.Ret.I, Expected);
+}
+
+TEST(CodegenPass, ColdBlocksOutlinedLast) {
+  Program P;
+  uint32_t Exc = ClassBuilder(P, "E").finish();
+  MethodBuilder MB(P, "cold", -1, MF_Static, {DataType::Int32},
+                   DataType::Int32);
+  auto Handler = MB.newLabel();
+  auto Done = MB.newLabel();
+  uint32_t Start = MB.beginTry();
+  auto NoThrow = MB.newLabel();
+  MB.load(0).ifZero(BcCond::Ne, NoThrow);
+  MB.newObject(Exc).throwRef();
+  MB.place(NoThrow);
+  MB.endTry(Start, Handler, (int32_t)Exc);
+  MB.load(0).gotoLabel(Done);
+  MB.place(Handler);
+  MB.pop(DataType::Object);
+  MB.constI(DataType::Int32, -1).gotoLabel(Done);
+  MB.place(Done);
+  MB.retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+
+  auto IL = generateIL(P, M);
+  LoopInfo::annotateFrequencies(*IL);
+  PassContext Ctx(*IL);
+  runTransformation(Ctx, TransformationKind::ColdBlockOutlining);
+  TransformSet Set;
+  NativeMethod Code = generateCode(*IL, Set, OptLevel::Hot);
+  // Layout: once a cold block appears, everything after it is cold too.
+  bool SeenCold = false;
+  unsigned ColdCount = 0;
+  for (uint32_t B : Code.Layout) {
+    if (Code.Blocks[B].Cold) {
+      SeenCold = true;
+      ++ColdCount;
+    } else {
+      EXPECT_FALSE(SeenCold) << "warm block after cold in layout";
+    }
+  }
+  EXPECT_GE(ColdCount, 1u); // the handler is cold
+}
+
+TEST(CodegenPass, LeafFlagOnlyForCallFreeMethods) {
+  Program P = makeSumProgram(); // main calls sumToN
+  NativeMethod Leaf =
+      lower(P, 0, {TransformationKind::LeafRoutineOptimization});
+  EXPECT_TRUE(Leaf.Leaf); // sumToN makes no calls
+  NativeMethod Caller =
+      lower(P, (uint32_t)P.entryMethod(),
+            {TransformationKind::LeafRoutineOptimization});
+  EXPECT_FALSE(Caller.Leaf);
+  NativeMethod NoOpt = lower(P, 0, {});
+  EXPECT_FALSE(NoOpt.Leaf); // option off
+}
+
+TEST(CostModel, FlagsReduceCosts) {
+  const CostModel &CM = CostModel::defaults();
+  NativeInst Check;
+  Check.Op = NOp::NullChk;
+  double Explicit = CM.instCost(Check);
+  Check.Flags |= NF_ImplicitCheck;
+  EXPECT_LT(CM.instCost(Check), Explicit);
+
+  NativeInst Alloc;
+  Alloc.Op = NOp::NewObj;
+  double HeapCost = CM.instCost(Alloc);
+  Alloc.Flags |= NF_StackAlloc;
+  EXPECT_LT(CM.instCost(Alloc), HeapCost);
+
+  NativeInst Load;
+  Load.Op = NOp::LdElem;
+  double Plain = CM.instCost(Load);
+  Load.Flags |= NF_Prefetched;
+  EXPECT_LT(CM.instCost(Load), Plain);
+
+  NativeInst Throw;
+  Throw.Op = NOp::ThrowR;
+  double Slow = CM.instCost(Throw);
+  Throw.Flags |= NF_FastThrow;
+  EXPECT_LT(CM.instCost(Throw), Slow);
+}
+
+TEST(CostModel, ExtensionTypesCostMore) {
+  const CostModel &CM = CostModel::defaults();
+  NativeInst Mul;
+  Mul.Op = NOp::Mul;
+  Mul.T = DataType::Int32;
+  double IntMul = CM.instCost(Mul);
+  Mul.T = DataType::PackedDecimal;
+  EXPECT_GT(CM.instCost(Mul), IntMul); // microcoded BCD
+  Mul.T = DataType::LongDouble;
+  EXPECT_GT(CM.instCost(Mul), IntMul);
+}
+
+TEST(CostModel, ICacheFactorKicksInAboveCapacity) {
+  const CostModel &CM = CostModel::defaults();
+  EXPECT_DOUBLE_EQ(CM.icacheFactor(10), 1.0);
+  EXPECT_DOUBLE_EQ(CM.icacheFactor(CM.ICacheWarmCapacity), 1.0);
+  EXPECT_GT(CM.icacheFactor(CM.ICacheWarmCapacity * 3), 1.2);
+}
+
+TEST(Disasm, NativePrinterShowsFlagsAndLayout) {
+  Program P;
+  addConstKernel(P);
+  NativeMethod Code =
+      lower(P, 0, {TransformationKind::ConstantEncoding});
+  std::string Text = printNativeMethod(Code);
+  EXPECT_NE(Text.find("[entry]"), std::string::npos);
+  EXPECT_NE(Text.find("[encoded]"), std::string::npos);
+}

@@ -1,0 +1,172 @@
+//===- tests/CollectTest.cpp - instrumentation + archive tests ------------===//
+
+#include "TestPrograms.h"
+
+#include "collect/Archive.h"
+#include "collect/CollectionListener.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitml;
+using namespace jitml::testing;
+
+namespace {
+
+CollectionRecord makeRecord(Rng &R, StringInterner &Dict, unsigned SigMod) {
+  CollectionRecord Rec;
+  char Name[48];
+  std::snprintf(Name, sizeof(Name), "K%u.m(int)int",
+                (unsigned)R.nextBelow(SigMod));
+  Rec.SignatureId = Dict.intern(Name);
+  Rec.Level = (OptLevel)R.nextBelow(NumOptLevels);
+  Rec.ModifierBits = R.next() & ((1ull << NumTransformations) - 1);
+  Rec.CompileCycles = (double)R.nextBelow(1u << 22);
+  Rec.RunCycles = (double)R.nextBelow(1u << 26);
+  Rec.Invocations = 1 + R.nextBelow(100000);
+  Rec.DiscardedSamples = R.nextBelow(5);
+  for (unsigned F = 0; F < NumFeatures; ++F)
+    Rec.Features.set(F, (uint32_t)R.nextBelow(64));
+  return Rec;
+}
+
+} // namespace
+
+TEST(Archive, RoundTripPropertyOverRandomRecords) {
+  Rng R(123);
+  StringInterner Dict;
+  std::vector<CollectionRecord> Records;
+  for (int I = 0; I < 300; ++I)
+    Records.push_back(makeRecord(R, Dict, 40));
+  std::vector<uint8_t> Buf = encodeArchive(Dict, Records);
+  ArchiveData Out;
+  ASSERT_TRUE(decodeArchive(Buf, Out));
+  ASSERT_EQ(Out.Records.size(), Records.size());
+  ASSERT_EQ(Out.Signatures.size(), Dict.size());
+  for (size_t I = 0; I < Records.size(); ++I) {
+    const CollectionRecord &A = Records[I];
+    const CollectionRecord &B = Out.Records[I];
+    EXPECT_EQ(A.SignatureId, B.SignatureId);
+    EXPECT_EQ(A.Level, B.Level);
+    EXPECT_EQ(A.ModifierBits, B.ModifierBits);
+    EXPECT_EQ(A.Invocations, B.Invocations);
+    EXPECT_EQ(A.DiscardedSamples, B.DiscardedSamples);
+    EXPECT_DOUBLE_EQ(A.CompileCycles, B.CompileCycles);
+    EXPECT_DOUBLE_EQ(A.RunCycles, B.RunCycles);
+    EXPECT_EQ(A.Features, B.Features);
+  }
+}
+
+TEST(Archive, CompactnessBeatsNaiveEncoding) {
+  Rng R(9);
+  StringInterner Dict;
+  std::vector<CollectionRecord> Records;
+  for (int I = 0; I < 256; ++I)
+    Records.push_back(makeRecord(R, Dict, 16));
+  std::vector<uint8_t> Buf = encodeArchive(Dict, Records);
+  // Naive fixed-width: 71 features x 4B + ~40B header + full signature
+  // strings per record would be > 330 bytes/record.
+  double PerRecord = (double)Buf.size() / 256.0;
+  EXPECT_LT(PerRecord, 200.0);
+}
+
+TEST(Archive, RejectsCorruptedBuffers) {
+  Rng R(5);
+  StringInterner Dict;
+  std::vector<CollectionRecord> Records{makeRecord(R, Dict, 2)};
+  std::vector<uint8_t> Buf = encodeArchive(Dict, Records);
+  ArchiveData Out;
+  // Wrong magic.
+  std::vector<uint8_t> Bad = Buf;
+  Bad[0] = 'X';
+  EXPECT_FALSE(decodeArchive(Bad, Out));
+  // Wrong version.
+  Bad = Buf;
+  Bad[4] = 99;
+  EXPECT_FALSE(decodeArchive(Bad, Out));
+  // Truncation at every prefix must never crash and must mostly fail.
+  for (size_t Cut = 0; Cut < Buf.size(); Cut += 7) {
+    std::vector<uint8_t> Trunc(Buf.begin(), Buf.begin() + (long)Cut);
+    ArchiveData Ignored;
+    EXPECT_FALSE(decodeArchive(Trunc, Ignored)) << "cut=" << Cut;
+  }
+  // Empty input.
+  EXPECT_FALSE(decodeArchive({}, Out));
+}
+
+TEST(Archive, FileRoundTrip) {
+  Rng R(8);
+  StringInterner Dict;
+  std::vector<CollectionRecord> Records;
+  for (int I = 0; I < 10; ++I)
+    Records.push_back(makeRecord(R, Dict, 4));
+  std::string Path = ::testing::TempDir() + "jitml_archive_test.jmla";
+  ASSERT_TRUE(writeArchiveFile(Path, Dict, Records));
+  ArchiveData Out;
+  ASSERT_TRUE(readArchiveFile(Path, Out));
+  EXPECT_EQ(Out.Records.size(), Records.size());
+  ::remove(Path.c_str());
+  EXPECT_FALSE(readArchiveFile(Path, Out)); // gone now
+}
+
+TEST(Listener, AccumulatesPerCompilationProfiles) {
+  Program P = makeSumProgram();
+  CollectionListener Listener(P);
+  VirtualMachine::Config Cfg;
+  Cfg.InstrumentMethods = true;
+  Cfg.Control.Enabled = false;
+  VirtualMachine VM(P, Cfg);
+  VM.setListener(&Listener);
+  VM.compileMethod(0, OptLevel::Cold);
+  for (int I = 0; I < 5; ++I)
+    VM.invoke(0, {Value::ofI(10)});
+  // Recompile: closes the first record.
+  VM.compileMethod(0, OptLevel::Warm);
+  for (int I = 0; I < 3; ++I)
+    VM.invoke(0, {Value::ofI(10)});
+  Listener.finalize();
+  ASSERT_EQ(Listener.records().size(), 2u);
+  EXPECT_EQ(Listener.records()[0].Invocations, 5u);
+  EXPECT_EQ(Listener.records()[0].Level, OptLevel::Cold);
+  EXPECT_EQ(Listener.records()[1].Invocations, 3u);
+  EXPECT_EQ(Listener.records()[1].Level, OptLevel::Warm);
+  EXPECT_GT(Listener.records()[0].RunCycles, 0.0);
+  EXPECT_GT(Listener.records()[0].CompileCycles, 0.0);
+  // Dictionary interned the signature once.
+  EXPECT_EQ(Listener.dictionary().size(), 1u);
+}
+
+TEST(Listener, DiscardsCrossCoreSamples) {
+  Program P = makeSumProgram();
+  CollectionListener Listener(P);
+  VirtualMachine::Config Cfg;
+  Cfg.InstrumentMethods = true;
+  Cfg.Control.Enabled = false;
+  // Migrate constantly: many enter/exit pairs land on different cores.
+  Cfg.Clock.MigrationPeriod = 200.0;
+  Cfg.Clock.Seed = 77;
+  VirtualMachine VM(P, Cfg);
+  VM.setListener(&Listener);
+  VM.compileMethod(0, OptLevel::Cold);
+  for (int I = 0; I < 400; ++I)
+    VM.invoke(0, {Value::ofI(25)});
+  Listener.finalize();
+  ASSERT_EQ(Listener.records().size(), 1u);
+  const CollectionRecord &Rec = Listener.records()[0];
+  EXPECT_GT(Listener.discardedSamples(), 0u)
+      << "TSC drift protection never fired";
+  EXPECT_EQ(Rec.Invocations + Rec.DiscardedSamples, 400u);
+}
+
+TEST(Listener, UninstrumentedInterpretedCallsIgnored) {
+  Program P = makeSumProgram();
+  CollectionListener Listener(P);
+  VirtualMachine::Config Cfg;
+  Cfg.InstrumentMethods = true;
+  Cfg.EnableJit = false; // nothing ever compiles
+  VirtualMachine VM(P, Cfg);
+  VM.setListener(&Listener);
+  for (int I = 0; I < 10; ++I)
+    VM.invoke(0, {Value::ofI(5)});
+  Listener.finalize();
+  EXPECT_TRUE(Listener.records().empty());
+}

@@ -1,0 +1,90 @@
+//===- tests/ConversionPropertyTest.cpp - value-semantics properties ------===//
+//
+// Properties of the shared runtime value semantics (RuntimeOps.h) that the
+// fold engine must agree with: folding a constant expression yields
+// exactly what the runtime computes. The fold engine normalizes with its
+// own copy of the wrap-around rules, so this differential property guards
+// against the two drifting apart.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include "il/ILGenerator.h"
+#include "opt/Optimizer.h"
+#include "opt/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitml;
+using namespace jitml::testing;
+
+namespace {
+
+/// Builds `return (a <op> b)` over constants and returns (folded value,
+/// runtime value) for comparison.
+void checkFoldAgainstRuntime(BcOp Op, DataType T, int64_t A, int64_t B) {
+  Program P;
+  MethodBuilder MB(P, "k", -1, MF_Static, {}, T);
+  MB.constI(T, A).constI(T, B).binop(Op, T).retValue(T);
+  uint32_t M = MB.finish();
+  ASSERT_TRUE(verifyMethod(P, M).ok());
+
+  // Runtime value from the interpreter.
+  VirtualMachine::Config Cfg;
+  Cfg.EnableJit = false;
+  VirtualMachine VM(P, Cfg);
+  ExecResult R = VM.invoke(M, {});
+  ASSERT_FALSE(R.Exceptional);
+
+  // Folded value from the optimizer.
+  auto IL = generateIL(P, M);
+  PassContext Ctx(*IL);
+  runConstantFolding(Ctx);
+  const Node &Ret = IL->node(IL->block(IL->entryBlock()).Trees.back());
+  const Node &V = IL->node(Ret.Kids[0]);
+  ASSERT_EQ(V.Op, ILOp::Const)
+      << bcOpName(Op) << " did not fold for " << A << "," << B;
+  EXPECT_EQ(V.ConstI, R.Ret.I)
+      << bcOpName(Op) << "(" << A << ", " << B << ") type "
+      << dataTypeName(T);
+}
+
+} // namespace
+
+class FoldRuntimeAgreement
+    : public ::testing::TestWithParam<std::tuple<BcOp, DataType>> {};
+
+TEST_P(FoldRuntimeAgreement, RandomConstantsAgree) {
+  auto [Op, T] = GetParam();
+  Rng R((uint64_t)Op * 131 + (uint64_t)T);
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    int64_t A = (int64_t)R.next();
+    int64_t B = (int64_t)R.next();
+    // Keep shift amounts conventional and divisors nonzero.
+    if (Op == BcOp::Shl || Op == BcOp::Shr)
+      B &= 31;
+    if ((Op == BcOp::Div || Op == BcOp::Rem) && B == 0)
+      B = 3;
+    // Narrow the inputs into the type's own range sometimes, leave them
+    // wild otherwise (the wrap rules must normalize either way).
+    if (R.nextBool(0.5)) {
+      A = (int32_t)A;
+      B = (int32_t)B;
+    }
+    checkFoldAgainstRuntime(Op, T, A, B);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OpsAndTypes, FoldRuntimeAgreement,
+    ::testing::Combine(
+        ::testing::Values(BcOp::Add, BcOp::Sub, BcOp::Mul, BcOp::Div,
+                          BcOp::Rem, BcOp::And, BcOp::Or, BcOp::Xor,
+                          BcOp::Shl, BcOp::Shr),
+        ::testing::Values(DataType::Int8, DataType::Char, DataType::Int16,
+                          DataType::Int32, DataType::Int64)),
+    [](const auto &Info) {
+      return std::string(bcOpName(std::get<0>(Info.param))) + "_" +
+             dataTypeName(std::get<1>(Info.param));
+    });

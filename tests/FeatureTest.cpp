@@ -1,0 +1,248 @@
+//===- tests/FeatureTest.cpp - 71-feature extraction tests ----------------===//
+
+#include "TestPrograms.h"
+
+#include "features/FeatureExtractor.h"
+#include "il/ILGenerator.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace jitml;
+using namespace jitml::testing;
+
+TEST(FeatureLayout, ExactlySeventyOne) {
+  EXPECT_EQ(NumFeatures, 71u);
+  EXPECT_EQ(NumCounterFeatures, 4u);  // Table 1 counters
+  EXPECT_EQ((unsigned)NumAttrFeatures, 15u); // Table 1 attributes
+  EXPECT_EQ(NumDataTypes, 14u);       // Table 2
+  EXPECT_EQ((unsigned)NumOpFeatures, 38u);   // Table 3
+  EXPECT_EQ(AttrBase, 4u);
+  EXPECT_EQ(TypeBase, 19u);
+  EXPECT_EQ(OpBase, 33u);
+}
+
+TEST(FeatureLayout, NamesAreUniqueAndGrouped) {
+  std::set<std::string> Names;
+  for (unsigned I = 0; I < NumFeatures; ++I)
+    Names.insert(featureName(I));
+  EXPECT_EQ(Names.size(), NumFeatures);
+  EXPECT_STREQ(featureGroup(0), "counter");
+  EXPECT_STREQ(featureGroup(AttrBase), "attribute");
+  EXPECT_STREQ(featureGroup(TypeBase), "type");
+  EXPECT_STREQ(featureGroup(OpBase), "op");
+  EXPECT_STREQ(featureName(CF_TreeNodes), "treeNodes");
+  EXPECT_STREQ(featureName(TypeBase + (unsigned)DataType::PackedDecimal),
+               "type.packed");
+}
+
+TEST(FeatureExtract, ScalarCountersOfSimpleMethod) {
+  Program P;
+  MethodBuilder MB(P, "f", -1,
+                   MF_Static | MF_Public | MF_Final | MF_Synchronized,
+                   {DataType::Int32, DataType::Int32}, DataType::Int32);
+  uint32_t T = MB.addLocal(DataType::Int32);
+  MB.load(0).load(1).binop(BcOp::Add, DataType::Int32).store(T);
+  MB.load(T).retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  auto IL = generateIL(P, M);
+  FeatureVector F = extractFeatures(*IL);
+  EXPECT_EQ(F.counter(CF_Arguments), 2u);
+  EXPECT_EQ(F.counter(CF_Temporaries), 1u);
+  EXPECT_EQ(F.counter(CF_ExceptionHandlers), 0u);
+  EXPECT_EQ(F.counter(CF_TreeNodes), IL->countLiveNodes());
+  EXPECT_TRUE(F.attr(AF_Static));
+  EXPECT_TRUE(F.attr(AF_Public));
+  EXPECT_TRUE(F.attr(AF_Final));
+  EXPECT_TRUE(F.attr(AF_Synchronized));
+  EXPECT_FALSE(F.attr(AF_Protected));
+  EXPECT_FALSE(F.attr(AF_MayHaveLoops));
+  EXPECT_FALSE(F.attr(AF_UsesFloatingPoint));
+}
+
+TEST(FeatureExtract, OperationDistributionExact) {
+  Program P;
+  MethodBuilder MB(P, "ops", -1, MF_Static, {DataType::Int32},
+                   DataType::Int32);
+  MB.load(0).constI(DataType::Int32, 3).binop(BcOp::Mul, DataType::Int32);
+  MB.load(0).binop(BcOp::Xor, DataType::Int32);
+  MB.retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  auto IL = generateIL(P, M);
+  FeatureVector F = extractFeatures(*IL);
+  EXPECT_EQ(F.opCount(OF_Mul), 1u);
+  EXPECT_EQ(F.opCount(OF_Xor), 1u);
+  EXPECT_EQ(F.opCount(OF_Add), 0u);
+  EXPECT_EQ(F.opCount(OF_Load), 2u);      // two local loads
+  EXPECT_EQ(F.opCount(OF_LoadConst), 1u); // the 3
+  EXPECT_EQ(F.opCount(OF_Call), 0u);
+}
+
+TEST(FeatureExtract, IncPatternRecognized) {
+  Program P;
+  MethodBuilder MB(P, "inc", -1, MF_Static, {DataType::Int32},
+                   DataType::Int32);
+  uint32_t I = MB.addLocal(DataType::Int32);
+  MB.constI(DataType::Int32, 0).store(I);
+  MB.inc(I, 1);
+  MB.load(I).retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  auto IL = generateIL(P, M);
+  FeatureVector F = extractFeatures(*IL);
+  EXPECT_EQ(F.opCount(OF_Inc), 1u);   // the iinc pattern
+  EXPECT_EQ(F.opCount(OF_Store), 1u); // the plain const store
+}
+
+TEST(FeatureExtract, LoopAttributes) {
+  Program P;
+  addSumToN(P); // parameter-bound loop: unknown trips
+  addConstKernel(P); // 256-trip loop: known many-iteration
+  {
+    auto IL = generateIL(P, 0);
+    FeatureVector F = extractFeatures(*IL);
+    EXPECT_TRUE(F.attr(AF_MayHaveLoops));
+    EXPECT_FALSE(F.attr(AF_ManyIterationLoops)); // bound unknown
+    EXPECT_TRUE(F.attr(AF_MayHaveManyIterationLoops));
+  }
+  {
+    auto IL = generateIL(P, 1);
+    FeatureVector F = extractFeatures(*IL);
+    EXPECT_TRUE(F.attr(AF_ManyIterationLoops)); // 256 >= threshold
+  }
+}
+
+TEST(FeatureExtract, TypeDistributionsAndFpFlag) {
+  Program P;
+  MethodBuilder MB(P, "fp", -1, MF_Static | MF_StrictFP,
+                   {DataType::Double}, DataType::Double);
+  MB.load(0).constF(DataType::Double, 2.0).binop(BcOp::Mul,
+                                                 DataType::Double);
+  MB.retValue(DataType::Double);
+  uint32_t M = MB.finish();
+  auto IL = generateIL(P, M);
+  FeatureVector F = extractFeatures(*IL);
+  EXPECT_TRUE(F.attr(AF_UsesFloatingPoint));
+  EXPECT_TRUE(F.attr(AF_StrictFloatingPoint));
+  EXPECT_GT(F.typeCount(DataType::Double), 0u);
+  EXPECT_EQ(F.typeCount(DataType::PackedDecimal), 0u);
+}
+
+TEST(FeatureExtract, AllocationAndExceptionAttributes) {
+  Program P;
+  uint32_t Exc = ClassBuilder(P, "E").finish();
+  MethodBuilder MB(P, "alloc", -1, MF_Static, {DataType::Int32},
+                   DataType::Int32);
+  auto Handler = MB.newLabel();
+  auto Done = MB.newLabel();
+  uint32_t Start = MB.beginTry();
+  MB.newObject(Exc).throwRef();
+  MB.endTry(Start, Handler, (int32_t)Exc);
+  MB.place(Handler);
+  MB.pop(DataType::Object);
+  MB.constI(DataType::Int32, 1).gotoLabel(Done);
+  MB.place(Done);
+  MB.retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  ASSERT_TRUE(verifyMethod(P, M).ok());
+  auto IL = generateIL(P, M);
+  FeatureVector F = extractFeatures(*IL);
+  EXPECT_TRUE(F.attr(AF_AllocatesDynamicMemory));
+  EXPECT_EQ(F.counter(CF_ExceptionHandlers), 1u);
+  EXPECT_EQ(F.opCount(OF_Throw), 1u);
+  EXPECT_EQ(F.opCount(OF_New), 1u);
+}
+
+TEST(FeatureExtract, UnsafeAndBigDecimalFlagsComeFromCallees) {
+  Program P;
+  uint32_t Unsafe =
+      ClassBuilder(P, "U", -1, ClassKind::UnsafeIntrinsic).finish();
+  uint32_t BigDec = ClassBuilder(P, "B", -1, ClassKind::BigDecimal).finish();
+  uint32_t UM, BM;
+  {
+    MethodBuilder MB(P, "u", (int32_t)Unsafe, MF_Static, {DataType::Int32},
+                     DataType::Int32);
+    MB.load(0).retValue(DataType::Int32);
+    UM = MB.finish();
+  }
+  {
+    MethodBuilder MB(P, "b", (int32_t)BigDec, MF_Static, {DataType::Int32},
+                     DataType::Int32);
+    MB.load(0).retValue(DataType::Int32);
+    BM = MB.finish();
+  }
+  {
+    MethodBuilder MB(P, "caller", -1, MF_Static, {DataType::Int32},
+                     DataType::Int32);
+    MB.load(0).call(UM).call(BM).retValue(DataType::Int32);
+    uint32_t M = MB.finish();
+    auto IL = generateIL(P, M);
+    FeatureVector F = extractFeatures(*IL);
+    EXPECT_TRUE(F.attr(AF_UnsafeSymbols));
+    EXPECT_TRUE(F.attr(AF_UsesBigDecimal));
+  }
+  {
+    // The callees themselves do not carry the caller-side flags.
+    auto IL = generateIL(P, UM);
+    FeatureVector F = extractFeatures(*IL);
+    EXPECT_FALSE(F.attr(AF_UnsafeSymbols));
+  }
+}
+
+TEST(FeatureExtract, OpCountersSaturateAtEightBits) {
+  Program P;
+  MethodBuilder MB(P, "big", -1, MF_Static, {DataType::Int32},
+                   DataType::Int32);
+  MB.load(0);
+  for (int I = 0; I < 300; ++I)
+    MB.constI(DataType::Int32, I).binop(BcOp::Add, DataType::Int32);
+  MB.retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  auto IL = generateIL(P, M);
+  FeatureVector F = extractFeatures(*IL);
+  EXPECT_EQ(F.opCount(OF_Add), 255u);       // saturated 8-bit
+  EXPECT_EQ(F.opCount(OF_LoadConst), 255u);
+  // Type counters are 16-bit: not saturated by 300 ints.
+  EXPECT_GT(F.typeCount(DataType::Int32), 255u);
+}
+
+TEST(FeatureExtract, HashAndOrderingConsistent) {
+  Program P = makeSumProgram();
+  auto IL1 = generateIL(P, 0);
+  auto IL2 = generateIL(P, 0);
+  FeatureVector A = extractFeatures(*IL1);
+  FeatureVector B = extractFeatures(*IL2);
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.hash(), B.hash());
+  FeatureVector C = A;
+  C.set(CF_TreeNodes, C.get(CF_TreeNodes) + 1);
+  EXPECT_NE(A.hash(), C.hash());
+  EXPECT_TRUE(A < C || C < A);
+}
+
+TEST(FeatureExtract, DiverseAcrossWorkloadSuite) {
+  // Different archetypes must land on different feature vectors — the
+  // learning signal depends on it.
+  Program P = buildWorkload(workloadByCode("h2"));
+  std::set<uint64_t> Hashes;
+  unsigned Methods = 0;
+  for (uint32_t M = 0; M < P.numMethods(); ++M) {
+    if (P.methodAt(M).Name.find("Kernel") == std::string::npos)
+      continue;
+    auto IL = generateIL(P, M);
+    Hashes.insert(extractFeatures(*IL).hash());
+    ++Methods;
+  }
+  EXPECT_GE(Methods, 5u);
+  // Same-archetype kernels may collide ("methods are as distinct as their
+  // respective feature vectors"), but the mix must stay diverse.
+  EXPECT_GE(Hashes.size() * 10, Methods * 6); // >= 60% unique
+}
+
+TEST(FeatureExtract, VirtualOverriddenFlag) {
+  Program P = makeSumProgram();
+  P.methodAt(0).Flags |= MF_VirtualOverridden;
+  auto IL = generateIL(P, 0);
+  EXPECT_TRUE(extractFeatures(*IL).attr(AF_VirtualMethodOverridden));
+}

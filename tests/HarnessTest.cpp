@@ -1,0 +1,97 @@
+//===- tests/HarnessTest.cpp - harness utilities tests --------------------===//
+
+#include "harness/FigureReport.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace jitml;
+
+TEST(Harness, ConfiguredRunsHonorsEnvironment) {
+  ::unsetenv("JITML_RUNS");
+  EXPECT_EQ(configuredRuns(30), 30u);
+  ::setenv("JITML_RUNS", "7", 1);
+  EXPECT_EQ(configuredRuns(30), 7u);
+  ::setenv("JITML_RUNS", "garbage", 1);
+  EXPECT_EQ(configuredRuns(30), 30u);
+  ::setenv("JITML_RUNS", "0", 1);
+  EXPECT_EQ(configuredRuns(30), 30u); // must stay positive
+  ::unsetenv("JITML_RUNS");
+}
+
+TEST(Harness, CacheDirHonorsEnvironment) {
+  ::unsetenv("JITML_CACHE_DIR");
+  EXPECT_EQ(ModelStore::cacheDir(), "./jitml_bench_cache");
+  ::setenv("JITML_CACHE_DIR", "/tmp/some_cache", 1);
+  EXPECT_EQ(ModelStore::cacheDir(), "/tmp/some_cache");
+  ::unsetenv("JITML_CACHE_DIR");
+}
+
+TEST(Harness, SetExcludingFindsLooFold) {
+  ModelStore::Artifacts A;
+  for (const char *Code : {"co", "db", "mp"}) {
+    ModelSet S;
+    S.Name = std::string("H-") + Code;
+    S.LeftOutBenchmark = Code;
+    A.Sets.push_back(std::move(S));
+  }
+  const ModelSet *Found = ModelStore::setExcluding(A, "db");
+  ASSERT_NE(Found, nullptr);
+  EXPECT_EQ(Found->Name, "H-db");
+  EXPECT_EQ(ModelStore::setExcluding(A, "jc"), nullptr); // reservation set
+}
+
+TEST(Harness, FigureFormatterRendersRowsAndNotes) {
+  FigureRequest Req;
+  Req.Title = "Test figure";
+  Req.Metric = FigureMetric::StartupPerformance;
+  Req.Runs = 3;
+  Req.Iterations = 1;
+  FigureData Data;
+  FigureData::Row Loo;
+  Loo.Benchmark = "compress";
+  Loo.Code = "co";
+  Loo.LeaveOneOut = true;
+  Loo.PerModel.resize(5);
+  Loo.PerModel[0] = {1.08, 0.02};
+  FigureData::Row Res;
+  Res.Benchmark = "jess";
+  Res.Code = "js";
+  Res.PerModel.resize(5);
+  for (auto &R : Res.PerModel)
+    R = {1.10, 0.01};
+  Data.Rows = {Loo, Res};
+  Data.ModelGeoMean = {1.1, 1.1, 1.1, 1.1, 1.1};
+  std::string Out = formatFigure(Req, Data);
+  EXPECT_NE(Out.find("Test figure"), std::string::npos);
+  EXPECT_NE(Out.find("higher bars are better"), std::string::npos);
+  EXPECT_NE(Out.find("leave-one-out"), std::string::npos);
+  EXPECT_NE(Out.find("reservation set"), std::string::npos);
+  EXPECT_NE(Out.find("1.080 +- 0.020"), std::string::npos);
+  // The leave-one-out row leaves the other folds blank.
+  EXPECT_NE(Out.find("| compress"), std::string::npos);
+
+  Req.Metric = FigureMetric::CompileTime;
+  Out = formatFigure(Req, Data);
+  EXPECT_NE(Out.find("lower bars are better"), std::string::npos);
+}
+
+TEST(Harness, RelativeCiPropagation) {
+  Series A, B;
+  for (int I = 0; I < 10; ++I) {
+    A.Wall.add(1000.0 + I);
+    B.Wall.add(2000.0 + 2 * I);
+    A.Compile.add(100.0);
+    B.Compile.add(50.0);
+  }
+  Relative Perf = relativePerformance(A, B);
+  EXPECT_NEAR(Perf.Value, 0.5, 0.01); // A/B: A is the baseline
+  Relative Comp = relativeCompileTime(A, B);
+  EXPECT_NEAR(Comp.Value, 0.5, 1e-9); // variant/baseline
+  // Degenerate inputs yield zeroed results, never NaN/inf.
+  Series Empty;
+  Relative Zero = relativePerformance(Empty, A);
+  EXPECT_EQ(Zero.Value, 0.0);
+  EXPECT_EQ(Zero.Ci, 0.0);
+}

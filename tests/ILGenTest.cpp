@@ -1,0 +1,339 @@
+//===- tests/ILGenTest.cpp - IL generation and analysis tests -------------===//
+
+#include "TestPrograms.h"
+
+#include "il/Dominators.h"
+#include "il/ILGenerator.h"
+#include "il/ILPrinter.h"
+#include "il/ILVerifier.h"
+#include "il/LoopInfo.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitml;
+using namespace jitml::testing;
+
+namespace {
+
+/// Counts nodes with opcode \p Op across reachable trees.
+unsigned countOps(const MethodIL &IL, ILOp Op) {
+  unsigned Count = 0;
+  std::vector<bool> Seen(IL.numNodes(), false);
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    if (!IL.block(B).Reachable)
+      continue;
+    for (NodeId Root : IL.block(B).Trees) {
+      std::vector<NodeId> Stack{Root};
+      while (!Stack.empty()) {
+        NodeId Id = Stack.back();
+        Stack.pop_back();
+        if (Seen[Id])
+          continue;
+        Seen[Id] = true;
+        if (IL.node(Id).Op == Op)
+          ++Count;
+        for (NodeId Kid : IL.node(Id).Kids)
+          Stack.push_back(Kid);
+      }
+    }
+  }
+  return Count;
+}
+
+} // namespace
+
+TEST(ILGen, StraightLineSingleBlock) {
+  Program P;
+  MethodBuilder MB(P, "f", -1, MF_Static, {DataType::Int32},
+                   DataType::Int32);
+  MB.load(0).constI(DataType::Int32, 2).binop(BcOp::Mul, DataType::Int32);
+  MB.retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  ASSERT_TRUE(verifyMethod(P, M).ok());
+  auto IL = generateIL(P, M);
+  EXPECT_TRUE(verifyIL(*IL).empty());
+  unsigned Reachable = 0;
+  for (BlockId B = 0; B < IL->numBlocks(); ++B)
+    if (IL->block(B).Reachable)
+      ++Reachable;
+  EXPECT_EQ(Reachable, 1u);
+  const Block &Entry = IL->block(IL->entryBlock());
+  EXPECT_EQ(IL->node(Entry.Trees.back()).Op, ILOp::Return);
+}
+
+TEST(ILGen, BranchProducesDiamond) {
+  Program P;
+  MethodBuilder MB(P, "pick", -1, MF_Static, {DataType::Int32},
+                   DataType::Int32);
+  uint32_t Out = MB.addLocal(DataType::Int32);
+  auto Else = MB.newLabel();
+  auto Join = MB.newLabel();
+  MB.load(0).ifZero(BcCond::Lt, Else);
+  MB.constI(DataType::Int32, 1).store(Out).gotoLabel(Join);
+  MB.place(Else);
+  MB.constI(DataType::Int32, 2).store(Out);
+  MB.place(Join);
+  MB.load(Out).retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  ASSERT_TRUE(verifyMethod(P, M).ok());
+  auto IL = generateIL(P, M);
+  EXPECT_TRUE(verifyIL(*IL).empty());
+  // Entry branches two ways.
+  EXPECT_EQ(IL->block(IL->entryBlock()).Succs.size(), 2u);
+  EXPECT_EQ(countOps(*IL, ILOp::Branch), 1u);
+}
+
+TEST(ILGen, ChecksInsertedForMemoryOps) {
+  Program P;
+  uint32_t Cls = ClassBuilder(P, "C").finish();
+  {
+    ClassBuilder CB(P, "WithField");
+    CB.addField(DataType::Int32);
+    (void)CB.finish();
+  }
+  (void)Cls;
+  MethodBuilder MB(P, "mem", -1, MF_Static,
+                   {DataType::Address, DataType::Int32}, DataType::Int32);
+  MB.load(0).load(1).aload(DataType::Int32);
+  MB.load(0).arrayLen();
+  MB.binop(BcOp::Add, DataType::Int32);
+  MB.load(1).load(1).binop(BcOp::Div, DataType::Int32);
+  MB.binop(BcOp::Add, DataType::Int32);
+  MB.retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  ASSERT_TRUE(verifyMethod(P, M).ok());
+  auto IL = generateIL(P, M);
+  EXPECT_TRUE(verifyIL(*IL).empty());
+  EXPECT_EQ(countOps(*IL, ILOp::NullCheck), 2u);  // aload + arraylen
+  EXPECT_EQ(countOps(*IL, ILOp::BoundsCheck), 1u);
+  EXPECT_EQ(countOps(*IL, ILOp::DivCheck), 1u);
+}
+
+TEST(ILGen, CallsAreAnchored) {
+  Program P = makeSumProgram();
+  auto IL = generateIL(P, (uint32_t)P.entryMethod());
+  // The call's first reference is an ExprStmt anchor.
+  bool FoundAnchor = false;
+  for (BlockId B = 0; B < IL->numBlocks(); ++B) {
+    if (!IL->block(B).Reachable)
+      continue;
+    for (NodeId Root : IL->block(B).Trees) {
+      const Node &N = IL->node(Root);
+      if (N.Op == ILOp::ExprStmt &&
+          IL->node(N.Kids[0]).Op == ILOp::Call)
+        FoundAnchor = true;
+    }
+  }
+  EXPECT_TRUE(FoundAnchor);
+}
+
+TEST(ILGen, HandlerBlockLoadsException) {
+  Program P;
+  uint32_t Exc = ClassBuilder(P, "E").finish();
+  MethodBuilder MB(P, "t", -1, MF_Static, {DataType::Int32},
+                   DataType::Int32);
+  auto Handler = MB.newLabel();
+  auto Done = MB.newLabel();
+  uint32_t Start = MB.beginTry();
+  auto NoThrow = MB.newLabel();
+  MB.load(0).ifZero(BcCond::Ne, NoThrow);
+  MB.newObject(Exc).throwRef();
+  MB.place(NoThrow);
+  MB.endTry(Start, Handler, (int32_t)Exc);
+  MB.load(0).gotoLabel(Done);
+  MB.place(Handler);
+  // Store (rather than pop) the exception so its LoadException node is
+  // actually referenced by a tree.
+  uint32_t Caught = MB.addLocal(DataType::Object);
+  MB.store(Caught);
+  MB.constI(DataType::Int32, -1).gotoLabel(Done);
+  MB.place(Done);
+  MB.retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  ASSERT_TRUE(verifyMethod(P, M).ok()) << verifyMethod(P, M).message();
+  auto IL = generateIL(P, M);
+  ASSERT_TRUE(verifyIL(*IL).empty()) << verifyIL(*IL).front();
+  // Some block is a handler and references LoadException.
+  bool FoundHandler = false;
+  for (BlockId B = 0; B < IL->numBlocks(); ++B)
+    if (IL->block(B).Reachable && IL->block(B).IsHandler)
+      FoundHandler = true;
+  EXPECT_TRUE(FoundHandler);
+  EXPECT_GE(countOps(*IL, ILOp::LoadException), 1u);
+  // And some covered block lists the handler.
+  bool Covered = false;
+  for (BlockId B = 0; B < IL->numBlocks(); ++B)
+    if (!IL->block(B).Handlers.empty())
+      Covered = true;
+  EXPECT_TRUE(Covered);
+}
+
+TEST(ILGen, DupSharesNodes) {
+  Program P;
+  uint32_t Cls = ClassBuilder(P, "Pair").finish();
+  {
+    // Re-open a class with two fields via ClassBuilder is not possible;
+    // build a fresh one with fields instead.
+  }
+  ClassBuilder CB(P, "Obj");
+  uint32_t F0 = CB.addField(DataType::Int32);
+  uint32_t F1 = CB.addField(DataType::Int32);
+  uint32_t ObjCls = CB.finish();
+  (void)Cls;
+  MethodBuilder MB(P, "mk", -1, MF_Static, {}, DataType::Int32);
+  MB.newObject(ObjCls);
+  MB.dup(DataType::Object);
+  MB.constI(DataType::Int32, 5).putField(F0, DataType::Int32);
+  MB.dup(DataType::Object);
+  MB.constI(DataType::Int32, 6).putField(F1, DataType::Int32);
+  MB.getField(F0, DataType::Int32);
+  MB.retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  ASSERT_TRUE(verifyMethod(P, M).ok()) << verifyMethod(P, M).message();
+  auto IL = generateIL(P, M);
+  ASSERT_TRUE(verifyIL(*IL).empty());
+  // Exactly one allocation node despite three uses.
+  EXPECT_EQ(countOps(*IL, ILOp::New), 1u);
+}
+
+TEST(ILVerifier, CatchesMissingTerminator) {
+  Program P = makeSumProgram();
+  auto IL = generateIL(P, 0);
+  // Break the IL: drop the entry block's terminator.
+  IL->block(IL->entryBlock()).Trees.pop_back();
+  EXPECT_FALSE(verifyIL(*IL).empty());
+}
+
+TEST(ILVerifier, CatchesWrongSuccessorCount) {
+  Program P = makeSumProgram();
+  auto IL = generateIL(P, 0);
+  Block &Entry = IL->block(IL->entryBlock());
+  Entry.Succs.push_back(Entry.Succs.back()); // duplicate successor
+  EXPECT_FALSE(verifyIL(*IL).empty());
+}
+
+TEST(Dominators, LinearChain) {
+  Program P = makeSumProgram();
+  auto IL = generateIL(P, 0); // sumToN: entry -> header -> {body, exit}
+  DominatorTree DT(*IL);
+  BlockId Entry = IL->entryBlock();
+  for (BlockId B : DT.rpo())
+    EXPECT_TRUE(DT.dominates(Entry, B));
+}
+
+TEST(Dominators, BranchSidesDontDominateEachOther) {
+  Program P;
+  MethodBuilder MB(P, "d", -1, MF_Static, {DataType::Int32},
+                   DataType::Int32);
+  uint32_t Out = MB.addLocal(DataType::Int32);
+  auto Else = MB.newLabel();
+  auto Join = MB.newLabel();
+  MB.load(0).ifZero(BcCond::Lt, Else);
+  MB.constI(DataType::Int32, 1).store(Out).gotoLabel(Join);
+  MB.place(Else);
+  MB.constI(DataType::Int32, 2).store(Out);
+  MB.place(Join);
+  MB.load(Out).retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  auto IL = generateIL(P, M);
+  DominatorTree DT(*IL);
+  BlockId Entry = IL->entryBlock();
+  const Block &E = IL->block(Entry);
+  ASSERT_EQ(E.Succs.size(), 2u);
+  EXPECT_FALSE(DT.dominates(E.Succs[0], E.Succs[1]));
+  EXPECT_FALSE(DT.dominates(E.Succs[1], E.Succs[0]));
+  EXPECT_TRUE(DT.dominates(Entry, E.Succs[0]));
+}
+
+TEST(LoopInfo, DetectsCountedLoop) {
+  Program P = makeSumProgram();
+  auto IL = generateIL(P, 0);
+  LoopInfo LI(*IL);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  EXPECT_TRUE(LI.hasLoops());
+  EXPECT_EQ(LI.loops()[0].Depth, 1u);
+  // Bound is the parameter: trip count unknown.
+  EXPECT_EQ(LI.loops()[0].TripCount, -1);
+  EXPECT_EQ(LI.classify(), LoopClass::ManyIterationLoops);
+}
+
+TEST(LoopInfo, ConstBoundTripCount) {
+  Program P;
+  jitml::testing::addConstKernel(P);
+  auto IL = generateIL(P, 0);
+  LoopInfo LI(*IL);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  EXPECT_EQ(LI.loops()[0].TripCount, 256);
+  EXPECT_TRUE(LI.hasKnownManyIterationLoop());
+}
+
+TEST(LoopInfo, NoLoopsClassification) {
+  Program P;
+  MethodBuilder MB(P, "flat", -1, MF_Static, {DataType::Int32},
+                   DataType::Int32);
+  MB.load(0).retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  auto IL = generateIL(P, M);
+  LoopInfo LI(*IL);
+  EXPECT_FALSE(LI.hasLoops());
+  EXPECT_EQ(LI.classify(), LoopClass::NoLoops);
+}
+
+TEST(LoopInfo, NestedLoopsDepth) {
+  Program P;
+  MethodBuilder MB(P, "nest", -1, MF_Static, {DataType::Int32},
+                   DataType::Int32);
+  uint32_t Acc = MB.addLocal(DataType::Int32);
+  uint32_t I = MB.addLocal(DataType::Int32);
+  uint32_t J = MB.addLocal(DataType::Int32);
+  auto OuterHead = MB.newLabel();
+  auto OuterExit = MB.newLabel();
+  auto InnerHead = MB.newLabel();
+  auto InnerExit = MB.newLabel();
+  MB.constI(DataType::Int32, 0).store(Acc);
+  MB.constI(DataType::Int32, 0).store(I);
+  MB.place(OuterHead);
+  MB.load(I).constI(DataType::Int32, 4).ifCmp(BcCond::Ge, OuterExit);
+  MB.constI(DataType::Int32, 0).store(J);
+  MB.place(InnerHead);
+  MB.load(J).constI(DataType::Int32, 5).ifCmp(BcCond::Ge, InnerExit);
+  MB.load(Acc).constI(DataType::Int32, 1).binop(BcOp::Add, DataType::Int32);
+  MB.store(Acc);
+  MB.inc(J, 1);
+  MB.gotoLabel(InnerHead);
+  MB.place(InnerExit);
+  MB.inc(I, 1);
+  MB.gotoLabel(OuterHead);
+  MB.place(OuterExit);
+  MB.load(Acc).retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  ASSERT_TRUE(verifyMethod(P, M).ok());
+  auto IL = generateIL(P, M);
+  LoopInfo LI(*IL);
+  ASSERT_EQ(LI.loops().size(), 2u);
+  unsigned MaxDepth = 0;
+  for (const Loop &L : LI.loops())
+    MaxDepth = std::max(MaxDepth, L.Depth);
+  EXPECT_EQ(MaxDepth, 2u);
+  // Nesting implies the may-have-many-iterations attribute.
+  EXPECT_TRUE(LI.mayHaveManyIterationLoop());
+}
+
+TEST(LoopInfo, FrequenciesGrowWithDepth) {
+  Program P;
+  jitml::testing::addConstKernel(P);
+  auto IL = generateIL(P, 0);
+  LoopInfo::annotateFrequencies(*IL);
+  double MaxFreq = 0;
+  for (BlockId B = 0; B < IL->numBlocks(); ++B)
+    MaxFreq = std::max(MaxFreq, IL->block(B).Frequency);
+  EXPECT_GT(MaxFreq, 1.0);
+}
+
+TEST(ILPrinter, RendersCommonedNodes) {
+  Program P = makeSumProgram();
+  auto IL = generateIL(P, (uint32_t)P.entryMethod());
+  std::string Text = printMethodIL(*IL);
+  EXPECT_NE(Text.find("call.int"), std::string::npos);
+  EXPECT_NE(Text.find("(commoned)"), std::string::npos); // anchored call
+}

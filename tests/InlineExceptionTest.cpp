@@ -1,0 +1,198 @@
+//===- tests/InlineExceptionTest.cpp - inlining x exceptions --------------===//
+//
+// The trickiest inliner obligations: a spliced callee must keep its own
+// try regions working, its throws must still reach the caller's handlers,
+// and the caller's handler scope must wrap the inlined body.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include "il/ILGenerator.h"
+#include "il/ILVerifier.h"
+#include "opt/Optimizer.h"
+#include "opt/Passes.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitml;
+using namespace jitml::testing;
+
+namespace {
+
+unsigned countCalls(const MethodIL &IL) {
+  unsigned Count = 0;
+  for (NodeId Id = 0; Id < IL.numNodes(); ++Id)
+    if (IL.node(Id).Op == ILOp::Call)
+      ++Count;
+  // Over-approximates (dead nodes), so only use on freshly-inlined IL
+  // where the caller had exactly one call.
+  return Count;
+}
+
+} // namespace
+
+TEST(InlineExceptions, CalleeWithOwnHandlerInlines) {
+  Program P;
+  uint32_t Exc = ClassBuilder(P, "E").finish();
+  // callee(x): try { if (x < 0) throw; return x * 2; } catch { return -1 }
+  MethodBuilder Callee(P, "callee", -1, MF_Static, {DataType::Int32},
+                       DataType::Int32);
+  {
+    auto Handler = Callee.newLabel();
+    auto Ok = Callee.newLabel();
+    uint32_t Start = Callee.beginTry();
+    Callee.load(0).ifZero(BcCond::Ge, Ok);
+    Callee.newObject(Exc).throwRef();
+    Callee.place(Ok);
+    Callee.endTry(Start, Handler, (int32_t)Exc);
+    Callee.load(0).constI(DataType::Int32, 2)
+        .binop(BcOp::Mul, DataType::Int32);
+    Callee.retValue(DataType::Int32);
+    Callee.place(Handler);
+    Callee.pop(DataType::Object);
+    Callee.constI(DataType::Int32, -1).retValue(DataType::Int32);
+  }
+  uint32_t CalleeIdx = Callee.finish();
+
+  MethodBuilder Caller(P, "caller", -1, MF_Static, {DataType::Int32},
+                       DataType::Int32);
+  Caller.load(0).call(CalleeIdx);
+  Caller.constI(DataType::Int32, 100).binop(BcOp::Add, DataType::Int32);
+  Caller.retValue(DataType::Int32);
+  uint32_t CallerIdx = Caller.finish();
+  ASSERT_TRUE(verifyProgram(P).ok()) << verifyProgram(P).message();
+
+  // Force the inline and check the splice is structurally sound.
+  auto IL = generateIL(P, CallerIdx);
+  PassContext Ctx(*IL);
+  bool Inlined = runInlining(Ctx, /*CalleeNodeBudget=*/64,
+                             /*GrowthBudget=*/256);
+  EXPECT_TRUE(Inlined);
+  EXPECT_EQ(countCalls(*IL), 0u);
+  std::vector<std::string> Errors = verifyIL(*IL);
+  ASSERT_TRUE(Errors.empty()) << Errors.front();
+
+  // Semantics at every level (plans inline on their own).
+  for (unsigned L = 0; L < NumOptLevels; ++L) {
+    EXPECT_EQ(runBothEngines(P, CallerIdx, 21, (OptLevel)L), 142);
+    EXPECT_EQ(runBothEngines(P, CallerIdx, -3, (OptLevel)L), 99);
+  }
+}
+
+TEST(InlineExceptions, CalleeThrowReachesCallerHandler) {
+  Program P;
+  uint32_t Exc = ClassBuilder(P, "E").finish();
+  // callee(x): if (x == 0) throw new E; return x + 1;   (no local handler)
+  MethodBuilder Callee(P, "callee", -1, MF_Static, {DataType::Int32},
+                       DataType::Int32);
+  {
+    auto Ok = Callee.newLabel();
+    Callee.load(0).ifZero(BcCond::Ne, Ok);
+    Callee.newObject(Exc).throwRef();
+    Callee.place(Ok);
+    Callee.load(0).constI(DataType::Int32, 1)
+        .binop(BcOp::Add, DataType::Int32);
+    Callee.retValue(DataType::Int32);
+  }
+  uint32_t CalleeIdx = Callee.finish();
+
+  // caller(x): try { return callee(x) * 10; } catch (E) { return -5; }
+  MethodBuilder Caller(P, "caller", -1, MF_Static, {DataType::Int32},
+                       DataType::Int32);
+  {
+    auto Handler = Caller.newLabel();
+    auto Done = Caller.newLabel();
+    uint32_t Start = Caller.beginTry();
+    Caller.load(0).call(CalleeIdx);
+    Caller.constI(DataType::Int32, 10).binop(BcOp::Mul, DataType::Int32);
+    Caller.endTry(Start, Handler, (int32_t)Exc);
+    Caller.gotoLabel(Done);
+    Caller.place(Handler);
+    Caller.pop(DataType::Object);
+    Caller.constI(DataType::Int32, -5);
+    Caller.place(Done);
+    Caller.retValue(DataType::Int32);
+  }
+  uint32_t CallerIdx = Caller.finish();
+  ASSERT_TRUE(verifyProgram(P).ok()) << verifyProgram(P).message();
+
+  // After inlining, the spliced throw must land in the caller's handler:
+  // the inlined blocks inherit the caller block's handler scope.
+  auto IL = generateIL(P, CallerIdx);
+  PassContext Ctx(*IL);
+  ASSERT_TRUE(runInlining(Ctx, 64, 256));
+  ASSERT_TRUE(verifyIL(*IL).empty()) << verifyIL(*IL).front();
+  bool SplicedBlockCovered = false;
+  for (BlockId B = 0; B < IL->numBlocks(); ++B) {
+    const Block &Blk = IL->block(B);
+    if (!Blk.Reachable || Blk.Handlers.empty())
+      continue;
+    for (NodeId Root : Blk.Trees)
+      if (IL->node(Root).Op == ILOp::Throw)
+        SplicedBlockCovered = true;
+  }
+  EXPECT_TRUE(SplicedBlockCovered)
+      << "inlined throw block lost the caller's handler scope";
+
+  for (unsigned L = 0; L < NumOptLevels; ++L) {
+    EXPECT_EQ(runBothEngines(P, CallerIdx, 4, (OptLevel)L), 50);
+    EXPECT_EQ(runBothEngines(P, CallerIdx, 0, (OptLevel)L), -5);
+  }
+}
+
+TEST(InlineExceptions, NestedInlineChainsKeepSemantics) {
+  // a -> b -> c where c divides (can trap) and b adjusts; caller catches
+  // the arithmetic trap two inline levels deep.
+  Program P;
+  MethodBuilder C(P, "c", -1, MF_Static,
+                  {DataType::Int32, DataType::Int32}, DataType::Int32);
+  C.load(0).load(1).binop(BcOp::Div, DataType::Int32);
+  C.retValue(DataType::Int32);
+  uint32_t CIdx = C.finish();
+
+  MethodBuilder B(P, "b", -1, MF_Static,
+                  {DataType::Int32, DataType::Int32}, DataType::Int32);
+  B.load(0).load(1).call(CIdx);
+  B.constI(DataType::Int32, 7).binop(BcOp::Add, DataType::Int32);
+  B.retValue(DataType::Int32);
+  uint32_t BIdx = B.finish();
+
+  MethodBuilder A(P, "a", -1, MF_Static,
+                  {DataType::Int32, DataType::Int32}, DataType::Int32);
+  {
+    auto Handler = A.newLabel();
+    auto Done = A.newLabel();
+    uint32_t Start = A.beginTry();
+    A.load(0).load(1).call(BIdx);
+    A.endTry(Start, Handler, -1); // catch-all: builtin traps too
+    A.gotoLabel(Done);
+    A.place(Handler);
+    A.pop(DataType::Object);
+    A.constI(DataType::Int32, -99);
+    A.place(Done);
+    A.retValue(DataType::Int32);
+  }
+  uint32_t AIdx = A.finish();
+  ASSERT_TRUE(verifyProgram(P).ok()) << verifyProgram(P).message();
+
+  auto RunA = [&](int64_t X, int64_t Y, OptLevel L) {
+    VirtualMachine::Config Interp;
+    Interp.EnableJit = false;
+    VirtualMachine IVM(P, Interp);
+    ExecResult Ref = IVM.invoke(AIdx, {Value::ofI(X), Value::ofI(Y)});
+    EXPECT_FALSE(Ref.Exceptional);
+    VirtualMachine::Config Cfg;
+    Cfg.Control.Enabled = false;
+    VirtualMachine VM(P, Cfg);
+    VM.compileMethod(AIdx, L);
+    ExecResult Got = VM.invoke(AIdx, {Value::ofI(X), Value::ofI(Y)});
+    EXPECT_FALSE(Got.Exceptional);
+    EXPECT_EQ(Got.Ret.I, Ref.Ret.I);
+    return Got.Ret.I;
+  };
+  for (OptLevel L : {OptLevel::Cold, OptLevel::VeryHot, OptLevel::Scorching}) {
+    EXPECT_EQ(RunA(20, 5, L), 11);   // 20/5 + 7
+    EXPECT_EQ(RunA(20, 0, L), -99);  // trap two inline levels deep
+  }
+}

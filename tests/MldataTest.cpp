@@ -1,0 +1,232 @@
+//===- tests/MldataTest.cpp - ranking/normalization/format tests ----------===//
+
+#include "mldata/LibLinearIO.h"
+#include "mldata/Merger.h"
+#include "mldata/Normalizer.h"
+#include "mldata/Ranker.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitml;
+
+namespace {
+
+/// Builds a record with a given feature fingerprint and measurements.
+TaggedRecord record(const std::string &Tag, uint32_t MethodId,
+                    uint64_t Modifier, double RunPerInvoc, double Compile,
+                    OptLevel Level = OptLevel::Warm, bool Loopy = false) {
+  TaggedRecord T;
+  T.SourceTag = Tag;
+  T.Signature = "m" + std::to_string(MethodId);
+  CollectionRecord &R = T.Record;
+  R.SignatureId = MethodId;
+  R.Level = Level;
+  R.ModifierBits = Modifier;
+  R.Invocations = 100;
+  R.RunCycles = RunPerInvoc * 100;
+  R.CompileCycles = Compile;
+  R.Features.set(CF_TreeNodes, 10 + MethodId); // distinct per method
+  R.Features.setAttr(AF_MayHaveLoops, Loopy);
+  return T;
+}
+
+} // namespace
+
+TEST(Ranker, RankValueMatchesEquationTwo) {
+  TaggedRecord T = record("x", 1, 3, /*RunPerInvoc=*/50.0,
+                          /*Compile=*/3000.0, OptLevel::Warm);
+  TriggerTable Triggers;
+  // Loop class 0 (no loops): T_warm = Triggers.T[1][0].
+  double Expected = 50.0 + 3000.0 / Triggers.of(OptLevel::Warm, 0);
+  EXPECT_DOUBLE_EQ(rankValue(T.Record, Triggers), Expected);
+}
+
+TEST(Ranker, LoopClassSelectsTrigger) {
+  FeatureVector Flat;
+  EXPECT_EQ(loopClassOfFeatures(Flat), 0u);
+  FeatureVector Loopy;
+  Loopy.setAttr(AF_MayHaveLoops, true);
+  EXPECT_EQ(loopClassOfFeatures(Loopy), 1u);
+  Loopy.setAttr(AF_ManyIterationLoops, true);
+  EXPECT_EQ(loopClassOfFeatures(Loopy), 2u);
+}
+
+TEST(Ranker, SelectsBestWithin95Capped) {
+  IntermediateDataSet Data;
+  // One method, five modifiers with ranked values 100, 101, 104, 150, 400.
+  Data.Records.push_back(record("x", 1, 10, 100.0, 0));
+  Data.Records.push_back(record("x", 1, 11, 101.0, 0));
+  Data.Records.push_back(record("x", 1, 12, 104.0, 0));
+  Data.Records.push_back(record("x", 1, 13, 150.0, 0));
+  Data.Records.push_back(record("x", 1, 14, 400.0, 0));
+  SelectionPolicy Policy; // paper default: <=3 within 95%
+  auto Ranked = rankRecords(Data, OptLevel::Warm, Policy, TriggerTable());
+  // 100/101 = 0.990, 100/104 = 0.96 -> both within 95%; 100/150 is not.
+  ASSERT_EQ(Ranked.size(), 3u);
+  EXPECT_EQ(Ranked[0].ModifierBits, 10u);
+  EXPECT_EQ(Ranked[1].ModifierBits, 11u);
+  EXPECT_EQ(Ranked[2].ModifierBits, 12u);
+}
+
+TEST(Ranker, BestOnlyAndTopN) {
+  IntermediateDataSet Data;
+  for (uint64_t M = 0; M < 6; ++M)
+    Data.Records.push_back(record("x", 1, 100 + M, 10.0 + (double)M, 0));
+  SelectionPolicy Best;
+  Best.Mode = SelectionPolicy::Kind::BestOnly;
+  EXPECT_EQ(rankRecords(Data, OptLevel::Warm, Best, TriggerTable()).size(),
+            1u);
+  SelectionPolicy Top4;
+  Top4.Mode = SelectionPolicy::Kind::TopN;
+  Top4.N = 4;
+  EXPECT_EQ(rankRecords(Data, OptLevel::Warm, Top4, TriggerTable()).size(),
+            4u);
+  SelectionPolicy Half;
+  Half.Mode = SelectionPolicy::Kind::TopPercent;
+  Half.Percent = 50.0;
+  EXPECT_EQ(rankRecords(Data, OptLevel::Warm, Half, TriggerTable()).size(),
+            3u);
+}
+
+TEST(Ranker, GroupsByFeatureVectorAndDedupsModifiers) {
+  IntermediateDataSet Data;
+  // Two distinct methods; method 1's modifier 7 observed twice (keep best).
+  Data.Records.push_back(record("x", 1, 7, 120.0, 0));
+  Data.Records.push_back(record("y", 1, 7, 80.0, 0)); // better observation
+  Data.Records.push_back(record("x", 2, 9, 50.0, 0));
+  SelectionPolicy Best;
+  Best.Mode = SelectionPolicy::Kind::BestOnly;
+  auto Ranked = rankRecords(Data, OptLevel::Warm, Best, TriggerTable());
+  ASSERT_EQ(Ranked.size(), 2u); // one per unique feature vector
+  for (const RankedInstance &R : Ranked) {
+    if (R.ModifierBits == 7) {
+      EXPECT_DOUBLE_EQ(R.RankValue, 80.0);
+    }
+  }
+}
+
+TEST(Ranker, SkipsOtherLevelsAndEmptyProfiles) {
+  IntermediateDataSet Data;
+  Data.Records.push_back(record("x", 1, 7, 10.0, 0, OptLevel::Hot));
+  TaggedRecord NoSamples = record("x", 2, 8, 10.0, 0, OptLevel::Warm);
+  NoSamples.Record.Invocations = 0;
+  Data.Records.push_back(NoSamples);
+  SelectionPolicy Policy;
+  EXPECT_TRUE(
+      rankRecords(Data, OptLevel::Warm, Policy, TriggerTable()).empty());
+  EXPECT_EQ(rankRecords(Data, OptLevel::Hot, Policy, TriggerTable()).size(),
+            1u);
+}
+
+TEST(Summaries, MergedAndRankedCounts) {
+  IntermediateDataSet Data;
+  Data.Records.push_back(record("x", 1, 7, 10.0, 0));
+  Data.Records.push_back(record("x", 1, 8, 11.0, 0));
+  Data.Records.push_back(record("x", 2, 7, 12.0, 0));
+  DataSetSummary M = summarizeMerged(Data, OptLevel::Warm);
+  EXPECT_EQ(M.Instances, 3u);
+  EXPECT_EQ(M.UniqueClasses, 2u);
+  EXPECT_EQ(M.UniqueFeatureVectors, 2u);
+  EXPECT_NEAR(M.vectorInstanceRatio(), 1.5, 1e-9);
+}
+
+TEST(Merger, LeaveOneOutExcludesTag) {
+  IntermediateDataSet A, B;
+  A.Records.push_back(record("co", 1, 7, 10.0, 0));
+  B.Records.push_back(record("db", 2, 8, 11.0, 0));
+  IntermediateDataSet Merged = mergeExcluding({A, B}, {"co"});
+  ASSERT_EQ(Merged.size(), 1u);
+  EXPECT_EQ(Merged.Records[0].SourceTag, "db");
+  EXPECT_EQ(mergeAll({A, B}).size(), 2u);
+}
+
+TEST(Normalizer, EquationThreeBounds) {
+  std::vector<RankedInstance> Data(3);
+  Data[0].Features.set(CF_TreeNodes, 10);
+  Data[1].Features.set(CF_TreeNodes, 20);
+  Data[2].Features.set(CF_TreeNodes, 30);
+  Scaling S = Scaling::fit(Data);
+  std::vector<double> X = S.apply(Data[1].Features);
+  EXPECT_DOUBLE_EQ(X[CF_TreeNodes], 0.5);
+  EXPECT_DOUBLE_EQ(S.apply(Data[0].Features)[CF_TreeNodes], 0.0);
+  EXPECT_DOUBLE_EQ(S.apply(Data[2].Features)[CF_TreeNodes], 1.0);
+  // Invariant components map to zero (they carry no information).
+  EXPECT_DOUBLE_EQ(X[CF_Arguments], 0.0);
+  // Out-of-training-range values clamp.
+  FeatureVector Big;
+  Big.set(CF_TreeNodes, 500);
+  EXPECT_DOUBLE_EQ(S.apply(Big)[CF_TreeNodes], 1.0);
+}
+
+TEST(Normalizer, ScalingFileRoundTrip) {
+  std::vector<RankedInstance> Data(2);
+  Data[0].Features.set(CF_TreeNodes, 5);
+  Data[1].Features.set(CF_TreeNodes, 55);
+  Data[1].Features.set(CF_Arguments, 3);
+  Scaling S = Scaling::fit(Data);
+  Scaling Back;
+  ASSERT_TRUE(Scaling::fromText(S.toText(), Back));
+  for (unsigned I = 0; I < NumFeatures; ++I) {
+    EXPECT_DOUBLE_EQ(S.minOf(I), Back.minOf(I));
+    EXPECT_DOUBLE_EQ(S.maxOf(I), Back.maxOf(I));
+  }
+  Scaling Bad;
+  EXPECT_FALSE(Scaling::fromText("garbage\n", Bad));
+}
+
+TEST(LabelMap, DenseLabelsAndInverse) {
+  LabelMap L;
+  int32_t A = L.labelFor(0xdead);
+  int32_t B = L.labelFor(0xbeef);
+  EXPECT_EQ(A, 1); // LIBLINEAR labels start at 1
+  EXPECT_EQ(B, 2);
+  EXPECT_EQ(L.labelFor(0xdead), 1);
+  uint64_t Bits = 0;
+  ASSERT_TRUE(L.modifierFor(2, Bits));
+  EXPECT_EQ(Bits, 0xbeefu);
+  EXPECT_FALSE(L.modifierFor(3, Bits));
+  EXPECT_FALSE(L.modifierFor(0, Bits));
+  LabelMap Back;
+  ASSERT_TRUE(LabelMap::fromText(L.toText(), Back));
+  EXPECT_EQ(Back.lookup(0xdead), 1);
+  EXPECT_EQ(Back.lookup(0xbeef), 2);
+}
+
+TEST(LibLinear, SparseFormatOmitsZeros) {
+  NormalizedInstance N;
+  N.Label = 5;
+  N.Components = {0.0, 0.5625, 0.0, 1.0};
+  std::string Text = writeLibLinear({N});
+  // "For example, 10:0.5625 indicates that the 10-th component ... has
+  // value 0.5625" — 1-based indices, zeros omitted.
+  EXPECT_EQ(Text, "5 2:0.5625 4:1\n");
+}
+
+TEST(LibLinear, RoundTripProperty) {
+  Rng R(31);
+  std::vector<NormalizedInstance> Data;
+  for (int I = 0; I < 50; ++I) {
+    NormalizedInstance N;
+    N.Label = 1 + (int32_t)R.nextBelow(20);
+    N.Components.resize(NumFeatures);
+    for (unsigned F = 0; F < NumFeatures; ++F)
+      N.Components[F] = R.nextBool(0.3) ? R.nextDouble() : 0.0;
+    Data.push_back(std::move(N));
+  }
+  std::vector<NormalizedInstance> Back;
+  ASSERT_TRUE(readLibLinear(writeLibLinear(Data), NumFeatures, Back));
+  ASSERT_EQ(Back.size(), Data.size());
+  for (size_t I = 0; I < Data.size(); ++I) {
+    EXPECT_EQ(Back[I].Label, Data[I].Label);
+    for (unsigned F = 0; F < NumFeatures; ++F)
+      EXPECT_NEAR(Back[I].Components[F], Data[I].Components[F], 1e-9);
+  }
+}
+
+TEST(LibLinear, RejectsMalformedInput) {
+  std::vector<NormalizedInstance> Out;
+  EXPECT_FALSE(readLibLinear("0 1:0.5\n", 71, Out));   // label < 1
+  EXPECT_FALSE(readLibLinear("1 99:0.5\n", 71, Out)); // index too large
+  EXPECT_FALSE(readLibLinear("1 nonsense\n", 71, Out)); // no colon
+}

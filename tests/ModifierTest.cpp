@@ -1,0 +1,150 @@
+//===- tests/ModifierTest.cpp - modifiers/ unit + property tests ----------===//
+
+#include "modifiers/StrategyControl.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace jitml;
+
+TEST(Modifier, NullModifierLeavesEverythingEnabled) {
+  PlanModifier M;
+  EXPECT_TRUE(M.isNull());
+  EXPECT_EQ(M.numDisabled(), 0u);
+  for (unsigned K = 0; K < NumTransformations; ++K)
+    EXPECT_FALSE(M.disables((TransformationKind)K));
+}
+
+TEST(Modifier, DisableAndRawRoundTrip) {
+  PlanModifier M;
+  M.disable(TransformationKind::LoopUnrolling);
+  M.disable(TransformationKind::InlineSmall);
+  EXPECT_FALSE(M.isNull());
+  EXPECT_EQ(M.numDisabled(), 2u);
+  PlanModifier Back = PlanModifier::fromRaw(M.raw());
+  EXPECT_EQ(Back, M);
+  EXPECT_TRUE(Back.disables(TransformationKind::LoopUnrolling));
+  EXPECT_FALSE(Back.disables(TransformationKind::ConstantFolding));
+}
+
+TEST(Modifier, RandomizedGenerationDeterministicAndVaried) {
+  Rng A(5), B(5);
+  auto M1 = generateRandomizedModifiers(A, 50);
+  auto M2 = generateRandomizedModifiers(B, 50);
+  ASSERT_EQ(M1.size(), 50u);
+  for (size_t I = 0; I < 50; ++I)
+    EXPECT_EQ(M1[I], M2[I]);
+  std::set<uint64_t> Distinct;
+  for (const PlanModifier &M : M1)
+    Distinct.insert(M.raw());
+  EXPECT_GT(Distinct.size(), 45u); // "significant variation"
+}
+
+TEST(Modifier, ProgressiveStartsNullAndGrowsToQuarter) {
+  // Property over Eq. 1: D_0 = 0 and D_L = 0.25; the disabled fraction
+  // averaged over many trials tracks i * 0.25 / L.
+  Rng R(11);
+  const unsigned L = 100;
+  auto Mods = generateProgressiveModifiers(R, L);
+  ASSERT_EQ(Mods.size(), L + 1);
+  EXPECT_TRUE(Mods[0].isNull()); // D_0 = 0
+  // Average disabled fraction over the last decile approximates 0.25.
+  double Avg = 0;
+  for (unsigned I = L - 9; I <= L; ++I)
+    Avg += (double)Mods[I].numDisabled() / NumTransformations;
+  Avg /= 10.0;
+  EXPECT_NEAR(Avg, 0.25, 0.08);
+  // And over the first decile (excluding the null) it is far smaller.
+  double Early = 0;
+  for (unsigned I = 1; I <= 10; ++I)
+    Early += (double)Mods[I].numDisabled() / NumTransformations;
+  Early /= 10.0;
+  EXPECT_LT(Early, 0.10);
+}
+
+TEST(Queue, RetiresAfterConfiguredUses) {
+  Rng R(2);
+  auto Mods = generateRandomizedModifiers(R, 2);
+  ModifierQueue Q(Mods, /*UsesPerModifier=*/3);
+  // Slots: m0 m1 null, each served 3 times.
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(Q.next(), Mods[0]);
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(Q.next(), Mods[1]);
+  for (int I = 0; I < 3; ++I)
+    EXPECT_TRUE(Q.next().isNull());
+  EXPECT_TRUE(Q.exhausted());
+  // Exhausted queues keep answering with the null modifier.
+  EXPECT_TRUE(Q.next().isNull());
+}
+
+TEST(Queue, EveryThirdSlotIsNull) {
+  Rng R(3);
+  auto Mods = generateRandomizedModifiers(R, 6);
+  ModifierQueue Q(Mods, 1);
+  std::vector<PlanModifier> Served;
+  while (!Q.exhausted())
+    Served.push_back(Q.next());
+  ASSERT_EQ(Served.size(), 9u); // 6 + 3 interleaved nulls
+  EXPECT_TRUE(Served[2].isNull());
+  EXPECT_TRUE(Served[5].isNull());
+  EXPECT_TRUE(Served[8].isNull());
+  EXPECT_FALSE(Served[0].isNull());
+}
+
+TEST(Strategy, NullOnlyModeAlwaysNull) {
+  StrategyConfig Cfg;
+  Cfg.Strategy = SearchStrategy::NullOnly;
+  StrategyControl SC(Cfg);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_TRUE(SC.modifierFor(1, OptLevel::Warm).isNull());
+  EXPECT_FALSE(SC.explorationExhausted());
+}
+
+TEST(Strategy, MethodNeverSeesSameModifierTwice) {
+  StrategyConfig Cfg;
+  Cfg.Strategy = SearchStrategy::Randomized;
+  Cfg.ModifiersPerLevel = 30;
+  Cfg.UsesPerModifier = 4;
+  StrategyControl SC(Cfg);
+  std::set<uint64_t> SeenNonNull;
+  for (int I = 0; I < 60; ++I) {
+    PlanModifier M = SC.modifierFor(/*Method=*/9, OptLevel::Cold);
+    if (M.isNull())
+      continue; // the null modifier is exempt by design
+    EXPECT_TRUE(SeenNonNull.insert(M.raw()).second)
+        << "modifier repeated for the same method";
+  }
+}
+
+TEST(Strategy, DifferentLevelsHaveIndependentQueues) {
+  StrategyConfig Cfg;
+  Cfg.Strategy = SearchStrategy::Randomized;
+  Cfg.ModifiersPerLevel = 4;
+  Cfg.UsesPerModifier = 1;
+  StrategyControl SC(Cfg);
+  PlanModifier Cold = SC.modifierFor(1, OptLevel::Cold);
+  PlanModifier Warm = SC.modifierFor(1, OptLevel::Warm);
+  // Seeded independently per level.
+  EXPECT_NE(Cold.raw(), Warm.raw());
+}
+
+TEST(Strategy, FreezeAndExhaustion) {
+  StrategyConfig Cfg;
+  Cfg.Strategy = SearchStrategy::Progressive;
+  Cfg.ModifiersPerLevel = 4;
+  Cfg.UsesPerModifier = 1;
+  Cfg.MaxRecompilesPerMethod = 3;
+  StrategyControl SC(Cfg);
+  EXPECT_FALSE(SC.methodFrozen(5));
+  for (int I = 0; I < 3; ++I)
+    SC.noteRecompile(5);
+  EXPECT_TRUE(SC.methodFrozen(5));
+  EXPECT_FALSE(SC.methodFrozen(6));
+  // Drain every level's queue: exploration ends gracefully.
+  for (unsigned L = 0; L < NumOptLevels; ++L)
+    for (int I = 0; I < 100; ++I)
+      (void)SC.modifierFor(100 + I, (OptLevel)L);
+  EXPECT_TRUE(SC.explorationExhausted());
+}

@@ -1,0 +1,199 @@
+//===- tests/RandomProgramTest.cpp - differential fuzzing -----------------===//
+//
+// Seeded random straight-line/branchy programs executed at every
+// optimization level and compared against the interpreter. This is the
+// fuzz layer under the structured pass tests: expression shapes the
+// hand-written tests never produce (deep mixed-type trees, odd constants,
+// redundant subtrees) must still optimize soundly.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include "bridge/ModelService.h"
+#include "collect/Archive.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitml;
+
+namespace {
+
+/// Emits a random integer expression of \p Depth onto the stack.
+/// Uses locals [0, NumLocals) which are all Int32.
+void emitExpr(MethodBuilder &MB, Rng &R, unsigned NumLocals, unsigned Depth) {
+  if (Depth == 0 || R.nextBool(0.25)) {
+    if (R.nextBool(0.5))
+      MB.load((uint32_t)R.nextBelow(NumLocals));
+    else
+      MB.constI(DataType::Int32, R.nextInRange(-64, 64));
+    return;
+  }
+  switch (R.nextBelow(6)) {
+  case 0: {
+    static const BcOp Ops[] = {BcOp::Add, BcOp::Sub, BcOp::Mul, BcOp::Or,
+                               BcOp::And, BcOp::Xor};
+    emitExpr(MB, R, NumLocals, Depth - 1);
+    emitExpr(MB, R, NumLocals, Depth - 1);
+    MB.binop(Ops[R.nextBelow(6)], DataType::Int32);
+    return;
+  }
+  case 1: // division by a guaranteed nonzero constant
+    emitExpr(MB, R, NumLocals, Depth - 1);
+    MB.constI(DataType::Int32, R.nextInRange(1, 31));
+    MB.binop(R.nextBool(0.5) ? BcOp::Div : BcOp::Rem, DataType::Int32);
+    return;
+  case 2: // shifts by small constants
+    emitExpr(MB, R, NumLocals, Depth - 1);
+    MB.constI(DataType::Int32, R.nextInRange(0, 7));
+    MB.binop(R.nextBool(0.5) ? BcOp::Shl : BcOp::Shr, DataType::Int32);
+    return;
+  case 3: // narrowing/widening round trips
+    emitExpr(MB, R, NumLocals, Depth - 1);
+    MB.conv(DataType::Int32, DataType::Int16);
+    MB.conv(DataType::Int16, DataType::Int32);
+    return;
+  case 4: // a float detour
+    emitExpr(MB, R, NumLocals, Depth - 1);
+    MB.conv(DataType::Int32, DataType::Double);
+    MB.constF(DataType::Double, 1.0 + (double)R.nextBelow(4));
+    MB.binop(BcOp::Mul, DataType::Double);
+    MB.conv(DataType::Double, DataType::Int32);
+    return;
+  default: // negation
+    emitExpr(MB, R, NumLocals, Depth - 1);
+    MB.neg(DataType::Int32);
+    return;
+  }
+}
+
+/// Builds a random method: a few stores, a branch diamond, more stores.
+uint32_t buildRandomMethod(Program &P, uint64_t Seed) {
+  Rng R(Seed);
+  MethodBuilder MB(P, "fuzz", -1, MF_Static | MF_Public,
+                   {DataType::Int32, DataType::Int32}, DataType::Int32);
+  unsigned NumLocals = 2;
+  for (unsigned I = 0; I < 3; ++I) {
+    uint32_t T = MB.addLocal(DataType::Int32);
+    ++NumLocals;
+    emitExpr(MB, R, NumLocals - 1, 3);
+    MB.store(T);
+  }
+  auto Else = MB.newLabel();
+  auto Join = MB.newLabel();
+  emitExpr(MB, R, NumLocals, 2);
+  MB.ifZero((BcCond)R.nextBelow(6), Else);
+  emitExpr(MB, R, NumLocals, 3);
+  MB.store(2);
+  MB.gotoLabel(Join);
+  MB.place(Else);
+  emitExpr(MB, R, NumLocals, 3);
+  MB.store(3);
+  MB.place(Join);
+  emitExpr(MB, R, NumLocals, 3);
+  emitExpr(MB, R, NumLocals, 2);
+  MB.binop(BcOp::Xor, DataType::Int32);
+  MB.retValue(DataType::Int32);
+  return MB.finish();
+}
+
+} // namespace
+
+class RandomProgram : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomProgram, AllLevelsMatchInterpreter) {
+  Program P;
+  uint32_t M = buildRandomMethod(P, GetParam());
+  ASSERT_TRUE(verifyMethod(P, M).ok()) << verifyMethod(P, M).message();
+
+  VirtualMachine::Config Interp;
+  Interp.EnableJit = false;
+  for (int64_t A : {0ll, 1ll, -7ll, 1000003ll}) {
+    std::vector<Value> Args{Value::ofI(A), Value::ofI(A ^ 0x55)};
+    VirtualMachine IVM(P, Interp);
+    ExecResult Ref = IVM.invoke(M, Args);
+    ASSERT_FALSE(Ref.Exceptional);
+    for (unsigned L = 0; L < NumOptLevels; ++L) {
+      VirtualMachine::Config Cfg;
+      Cfg.Control.Enabled = false;
+      VirtualMachine VM(P, Cfg);
+      VM.compileMethod(M, (OptLevel)L);
+      ExecResult Got = VM.invoke(M, Args);
+      ASSERT_FALSE(Got.Exceptional);
+      EXPECT_EQ(Got.Ret.I, Ref.Ret.I)
+          << "seed " << GetParam() << " arg " << A << " level "
+          << optLevelName((OptLevel)L);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FuzzSeeds, RandomProgram,
+                         ::testing::Range<uint64_t>(1, 25));
+
+TEST(StackSpill, ValueLiveAcrossJoin) {
+  // A value computed before a branch and consumed after the join forces
+  // the IL generator's stack-temp spilling at block boundaries.
+  Program P;
+  MethodBuilder MB(P, "spill", -1, MF_Static, {DataType::Int32},
+                   DataType::Int32);
+  auto Else = MB.newLabel();
+  auto Join = MB.newLabel();
+  MB.load(0).constI(DataType::Int32, 3).binop(BcOp::Mul, DataType::Int32);
+  // ^ stays on the stack across the branch below.
+  MB.load(0).ifZero(BcCond::Lt, Else);
+  MB.constI(DataType::Int32, 1).gotoLabel(Join);
+  MB.place(Else);
+  MB.constI(DataType::Int32, 2);
+  MB.place(Join);
+  // Stack here: [x*3, 1-or-2].
+  MB.binop(BcOp::Add, DataType::Int32);
+  MB.retValue(DataType::Int32);
+  uint32_t M = MB.finish();
+  ASSERT_TRUE(verifyMethod(P, M).ok()) << verifyMethod(P, M).message();
+  for (unsigned L = 0; L < NumOptLevels; ++L) {
+    EXPECT_EQ(jitml::testing::runBothEngines(P, M, 10, (OptLevel)L), 31);
+    EXPECT_EQ(jitml::testing::runBothEngines(P, M, -4, (OptLevel)L), -10);
+  }
+}
+
+TEST(BridgeFuzz, RandomBytesNeverCrashReceiver) {
+  Rng R(404);
+  for (int Trial = 0; Trial < 50; ++Trial) {
+    auto [A, B] = InProcessPipe::makePair();
+    size_t Len = 5 + R.nextBelow(64);
+    std::vector<uint8_t> Junk(Len);
+    for (uint8_t &Byte : Junk)
+      Byte = (uint8_t)R.nextBelow(256);
+    // Keep the declared length sane so recv attempts a parse.
+    Junk[0] = (uint8_t)(Len - 4);
+    Junk[1] = Junk[2] = Junk[3] = 0;
+    A->writeBytes(Junk.data(), Junk.size());
+    A->close();
+    Message Out;
+    // Must return (true or false), never crash or hang.
+    (void)recvMessage(*B, Out);
+  }
+  SUCCEED();
+}
+
+TEST(ArchiveFuzz, BitFlipsNeverCrashDecoder) {
+  Rng R(808);
+  StringInterner Dict;
+  std::vector<CollectionRecord> Records;
+  for (int I = 0; I < 20; ++I) {
+    CollectionRecord Rec;
+    Rec.SignatureId = Dict.intern("sig" + std::to_string(I % 5));
+    Rec.Level = (OptLevel)(I % 3);
+    Rec.Invocations = 10;
+    Records.push_back(Rec);
+  }
+  std::vector<uint8_t> Good = encodeArchive(Dict, Records);
+  for (int Trial = 0; Trial < 200; ++Trial) {
+    std::vector<uint8_t> Bad = Good;
+    size_t Pos = R.nextBelow(Bad.size());
+    Bad[Pos] ^= (uint8_t)(1 << R.nextBelow(8));
+    ArchiveData Out;
+    (void)decodeArchive(Bad, Out); // may fail, must not crash
+  }
+  SUCCEED();
+}

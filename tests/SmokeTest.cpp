@@ -1,0 +1,119 @@
+//===- tests/SmokeTest.cpp - End-to-end pipeline smoke tests --------------===//
+//
+// Exercises the entire stack on small programs: build bytecode, verify,
+// interpret, generate IL, optimize at every level, lower to native code,
+// execute, and compare against the interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include "il/ILGenerator.h"
+#include "il/ILVerifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitml;
+using namespace jitml::testing;
+
+TEST(Smoke, SumLoopInterpreted) {
+  Program P = makeSumProgram();
+  VirtualMachine::Config Cfg;
+  Cfg.EnableJit = false;
+  VirtualMachine VM(P, Cfg);
+  ExecResult R = VM.run({Value::ofI(100)});
+  ASSERT_FALSE(R.Exceptional);
+  EXPECT_EQ(R.Ret.I, 4950);
+  EXPECT_GT(VM.stats().AppCycles, 0.0);
+  EXPECT_EQ(VM.stats().CompileCycles, 0.0);
+}
+
+TEST(Smoke, SumLoopEveryLevelMatchesInterpreter) {
+  Program P = makeSumProgram();
+  uint32_t Sum = 0; // sumToN is the first method added
+  for (unsigned L = 0; L < NumOptLevels; ++L) {
+    int64_t Got = runBothEngines(P, Sum, 137, (OptLevel)L);
+    EXPECT_EQ(Got, 137 * 136 / 2) << "level " << optLevelName((OptLevel)L);
+  }
+}
+
+TEST(Smoke, RecursiveFibBothEngines) {
+  Program P;
+  uint32_t Fib = addFib(P);
+  ASSERT_TRUE(verifyProgram(P).ok()) << verifyProgram(P).message();
+  EXPECT_EQ(runBothEngines(P, Fib, 15), 610);
+}
+
+TEST(Smoke, ILGeneratesAndVerifiesForAllMethods) {
+  Program P = makeSumProgram();
+  addFib(P);
+  for (uint32_t M = 0; M < P.numMethods(); ++M) {
+    auto IL = generateIL(P, M);
+    std::vector<std::string> Errors = verifyIL(*IL);
+    EXPECT_TRUE(Errors.empty())
+        << P.signatureOf(M) << ": " << Errors.front();
+  }
+}
+
+TEST(Smoke, AdaptiveJitCompilesHotMethod) {
+  Program P = makeSumProgram();
+  VirtualMachine::Config Cfg;
+  VirtualMachine VM(P, Cfg);
+  // Drive sumToN hot through repeated entry invocations.
+  for (int I = 0; I < 300; ++I) {
+    ExecResult R = VM.run({Value::ofI(50)});
+    ASSERT_FALSE(R.Exceptional);
+    ASSERT_EQ(R.Ret.I, 1225);
+  }
+  EXPECT_GT(VM.stats().Compilations, 0u);
+  EXPECT_GT(VM.stats().CompileCycles, 0.0);
+  const NativeMethod *Code = VM.nativeOf(0);
+  ASSERT_NE(Code, nullptr);
+  // The loop should have pushed it past cold.
+  EXPECT_GE((unsigned)Code->Level, (unsigned)OptLevel::Warm);
+}
+
+TEST(Smoke, OptimizedCodeIsFasterThanColdCode) {
+  Program P;
+  uint32_t Kernel = addConstKernel(P);
+  P.setEntryMethod(Kernel);
+  ASSERT_TRUE(verifyProgram(P).ok()) << verifyProgram(P).message();
+  int64_t Expected = 0;
+  for (int I = 0; I < 256; ++I)
+    Expected += (7 * 9 + 11) + I * 3;
+  auto TimeAt = [&](OptLevel L, double &Cycles) {
+    VirtualMachine::Config Cfg;
+    Cfg.Control.Enabled = false;
+    VirtualMachine VM(P, Cfg);
+    VM.compileMethod(Kernel, L);
+    double Before = VM.clock().cycles();
+    ExecResult R = VM.invoke(Kernel, {Value::ofI(7), Value::ofI(9)});
+    EXPECT_FALSE(R.Exceptional);
+    Cycles = VM.clock().cycles() - Before;
+    return R.Ret.I;
+  };
+  double Cold = 0, Hot = 0;
+  EXPECT_EQ(TimeAt(OptLevel::Cold, Cold), Expected);
+  EXPECT_EQ(TimeAt(OptLevel::Hot, Hot), Expected);
+  EXPECT_LT(Hot, Cold)
+      << "LICM/LSR/unrolling should beat the cold plan on this kernel";
+}
+
+TEST(Smoke, JitBeatsInterpreterOnLoops) {
+  Program P = makeSumProgram();
+  VirtualMachine::Config NoJit;
+  NoJit.EnableJit = false;
+  VirtualMachine Interp(P, NoJit);
+  Interp.run({Value::ofI(2000)});
+  double InterpCycles = Interp.stats().AppCycles;
+
+  VirtualMachine::Config Jit;
+  Jit.Control.Enabled = false;
+  VirtualMachine Compiled(P, Jit);
+  Compiled.compileMethod(0, OptLevel::Warm);
+  Compiled.compileMethod(1, OptLevel::Warm);
+  double Before = Compiled.stats().AppCycles;
+  Compiled.run({Value::ofI(2000)});
+  double JitCycles = Compiled.stats().AppCycles - Before;
+  EXPECT_LT(JitCycles, InterpCycles / 2.0);
+}

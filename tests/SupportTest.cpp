@@ -1,0 +1,239 @@
+//===- tests/SupportTest.cpp - support/ unit tests ------------------------===//
+
+#include "support/BitSet64.h"
+#include "support/Rng.h"
+#include "support/SaturatingCounter.h"
+#include "support/Statistics.h"
+#include "support/StringInterner.h"
+#include "support/TablePrinter.h"
+#include "support/VarInt.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace jitml;
+
+TEST(Rng, DeterministicForSeed) {
+  Rng A(42), B(42), C(43);
+  for (int I = 0; I < 100; ++I) {
+    uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    (void)C.next();
+  }
+  Rng A2(42), C2(43);
+  EXPECT_NE(A2.next(), C2.next());
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng R(7);
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_LT(R.nextBelow(17), 17u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng R(11);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 1000; ++I)
+    Seen.insert(R.nextBelow(8));
+  EXPECT_EQ(Seen.size(), 8u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng R(3);
+  for (int I = 0; I < 10000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliFrequencyTracksProbability) {
+  Rng R(5);
+  int Hits = 0;
+  for (int I = 0; I < 20000; ++I)
+    Hits += R.nextBool(0.25) ? 1 : 0;
+  EXPECT_NEAR(Hits / 20000.0, 0.25, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng R(9);
+  double Sum = 0, Sq = 0;
+  const int N = 20000;
+  for (int I = 0; I < N; ++I) {
+    double G = R.nextGaussian();
+    Sum += G;
+    Sq += G * G;
+  }
+  EXPECT_NEAR(Sum / N, 0.0, 0.05);
+  EXPECT_NEAR(Sq / N, 1.0, 0.05);
+}
+
+TEST(Statistics, MeanAndVariance) {
+  RunningStat S;
+  for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+    S.add(X);
+  EXPECT_DOUBLE_EQ(S.mean(), 5.0);
+  EXPECT_NEAR(S.variance(), 32.0 / 7.0, 1e-12); // sample variance
+  EXPECT_EQ(S.min(), 2.0);
+  EXPECT_EQ(S.max(), 9.0);
+}
+
+TEST(Statistics, CiShrinksWithSamples) {
+  RunningStat Small, Large;
+  Rng R(1);
+  for (int I = 0; I < 5; ++I)
+    Small.add(R.nextDouble());
+  for (int I = 0; I < 500; ++I)
+    Large.add(R.nextDouble());
+  EXPECT_GT(Small.ci95HalfWidth(), Large.ci95HalfWidth());
+}
+
+TEST(Statistics, CiZeroForConstantData) {
+  RunningStat S;
+  for (int I = 0; I < 30; ++I)
+    S.add(3.25);
+  EXPECT_DOUBLE_EQ(S.ci95HalfWidth(), 0.0);
+}
+
+TEST(Statistics, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+  EXPECT_NEAR(geometricMean({2.0, 8.0}), 4.0, 1e-12);
+}
+
+TEST(BitSet64, BasicOps) {
+  BitSet64 B = BitSet64::allZero(58);
+  EXPECT_TRUE(B.none());
+  B.set(0);
+  B.set(57);
+  EXPECT_TRUE(B.test(0));
+  EXPECT_TRUE(B.test(57));
+  EXPECT_FALSE(B.test(31));
+  EXPECT_EQ(B.popCount(), 2u);
+  B.reset(0);
+  EXPECT_FALSE(B.test(0));
+  EXPECT_EQ(BitSet64::allOne(58).popCount(), 58u);
+}
+
+TEST(BitSet64, ToStringMsbFirst) {
+  BitSet64 B(4, 0b0001);
+  EXPECT_EQ(B.toString(), "0001");
+  B.set(3);
+  EXPECT_EQ(B.toString(), "1001");
+}
+
+TEST(BitSet64, EqualityAndOrdering) {
+  EXPECT_EQ(BitSet64(8, 5), BitSet64(8, 5));
+  EXPECT_NE(BitSet64(8, 5), BitSet64(8, 6));
+  EXPECT_LT(BitSet64(8, 5), BitSet64(8, 6));
+  EXPECT_NE(BitSet64(8, 5), BitSet64(9, 5)); // width matters
+}
+
+TEST(SaturatingCounter, Saturates) {
+  Sat8 C;
+  for (int I = 0; I < 300; ++I)
+    C.increment();
+  EXPECT_EQ(C.value(), 255);
+  EXPECT_TRUE(C.saturated());
+  Sat16 W;
+  W.increment(70000);
+  EXPECT_EQ(W.value(), 65535);
+}
+
+TEST(SaturatingCounter, IncrementByAmount) {
+  Sat8 C;
+  C.increment(250);
+  EXPECT_EQ(C.value(), 250);
+  C.increment(3);
+  EXPECT_EQ(C.value(), 253);
+  C.increment(10);
+  EXPECT_EQ(C.value(), 255);
+}
+
+TEST(VarInt, UnsignedRoundTripProperty) {
+  Rng R(77);
+  std::vector<uint64_t> Values{0, 1, 127, 128, 16383, 16384, UINT64_MAX};
+  for (int I = 0; I < 200; ++I)
+    Values.push_back(R.next() >> (R.nextBelow(64)));
+  std::vector<uint8_t> Buf;
+  for (uint64_t V : Values)
+    encodeVarUInt(Buf, V);
+  ByteReader Reader(Buf);
+  for (uint64_t V : Values)
+    EXPECT_EQ(Reader.readVarUInt(), V);
+  EXPECT_TRUE(Reader.ok());
+  EXPECT_TRUE(Reader.atEnd());
+}
+
+TEST(VarInt, SignedRoundTripProperty) {
+  Rng R(78);
+  std::vector<int64_t> Values{0, -1, 1, INT64_MIN, INT64_MAX, -64, 63, -65};
+  for (int I = 0; I < 200; ++I)
+    Values.push_back((int64_t)R.next());
+  std::vector<uint8_t> Buf;
+  for (int64_t V : Values)
+    encodeVarInt(Buf, V);
+  ByteReader Reader(Buf);
+  for (int64_t V : Values)
+    EXPECT_EQ(Reader.readVarInt(), V);
+  EXPECT_TRUE(Reader.ok());
+}
+
+TEST(VarInt, SmallValuesAreOneByte) {
+  std::vector<uint8_t> Buf;
+  encodeVarUInt(Buf, 127);
+  EXPECT_EQ(Buf.size(), 1u);
+  encodeVarUInt(Buf, 128);
+  EXPECT_EQ(Buf.size(), 3u); // second value took two bytes
+}
+
+TEST(VarInt, TruncatedInputSetsError) {
+  std::vector<uint8_t> Buf{0x80}; // continuation bit with no next byte
+  ByteReader Reader(Buf);
+  (void)Reader.readVarUInt();
+  EXPECT_FALSE(Reader.ok());
+}
+
+TEST(VarInt, ReadBytesUnderrun) {
+  std::vector<uint8_t> Buf{1, 2, 3};
+  ByteReader Reader(Buf);
+  uint8_t Out[8];
+  EXPECT_FALSE(Reader.readBytes(Out, 8));
+  EXPECT_FALSE(Reader.ok());
+}
+
+TEST(StringInterner, DenseIdsAndLookup) {
+  StringInterner SI;
+  EXPECT_EQ(SI.intern("alpha"), 0u);
+  EXPECT_EQ(SI.intern("beta"), 1u);
+  EXPECT_EQ(SI.intern("alpha"), 0u);
+  EXPECT_EQ(SI.size(), 2u);
+  EXPECT_EQ(SI.stringOf(1), "beta");
+  EXPECT_EQ(SI.lookup("gamma"), UINT32_MAX);
+}
+
+TEST(TablePrinter, AlignsColumns) {
+  TablePrinter T;
+  T.setHeader({"name", "value"});
+  T.addRow({"x", "1.5"});
+  T.addRow({"longer", "22.25"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("| name   |"), std::string::npos);
+  EXPECT_NE(Out.find("longer"), std::string::npos);
+  // Numeric cells right-aligned: "1.5" is padded on the left.
+  EXPECT_NE(Out.find("|   1.5 |"), std::string::npos);
+}
+
+TEST(TablePrinter, FormatHelpers) {
+  EXPECT_EQ(TablePrinter::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(TablePrinter::fmtCi(1.0, 0.5, 1), "1.0 +- 0.5");
+}
+
+TEST(Mix64, InjectiveOnSmallDomain) {
+  std::set<uint64_t> Seen;
+  for (uint64_t I = 0; I < 10000; ++I)
+    Seen.insert(mix64(I));
+  EXPECT_EQ(Seen.size(), 10000u);
+}

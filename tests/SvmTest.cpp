@@ -1,0 +1,187 @@
+//===- tests/SvmTest.cpp - SVM solver tests -------------------------------===//
+
+#include "svm/KernelModel.h"
+#include "svm/Trainer.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace jitml;
+
+namespace {
+
+/// Gaussian blobs: one cluster per class at distinct corners of the unit
+/// cube; linearly separable with margin.
+std::vector<NormalizedInstance> makeBlobs(unsigned Classes, unsigned PerClass,
+                                          unsigned Dims, double Spread,
+                                          uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<NormalizedInstance> Data;
+  for (unsigned C = 0; C < Classes; ++C) {
+    // Center: bits of C pick 0.15 / 0.85 per dimension.
+    std::vector<double> Center(Dims, 0.5);
+    for (unsigned D = 0; D < Dims; ++D)
+      Center[D] = ((C >> (D % 8)) & 1) ? 0.85 : 0.15;
+    for (unsigned I = 0; I < PerClass; ++I) {
+      NormalizedInstance N;
+      N.Label = (int32_t)C + 1;
+      N.Components.resize(Dims);
+      for (unsigned D = 0; D < Dims; ++D) {
+        double V = Center[D] + Spread * R.nextGaussian();
+        N.Components[D] = std::clamp(V, 0.0, 1.0);
+      }
+      Data.push_back(std::move(N));
+    }
+  }
+  return Data;
+}
+
+/// The classic linearly-inseparable XOR layout in 2D.
+std::vector<NormalizedInstance> makeXor(unsigned PerQuadrant,
+                                        uint64_t Seed) {
+  Rng R(Seed);
+  std::vector<NormalizedInstance> Data;
+  for (unsigned Q = 0; Q < 4; ++Q) {
+    double X = (Q & 1) ? 0.8 : 0.2;
+    double Y = (Q & 2) ? 0.8 : 0.2;
+    int32_t Label = ((Q & 1) ^ ((Q >> 1) & 1)) + 1;
+    for (unsigned I = 0; I < PerQuadrant; ++I) {
+      NormalizedInstance N;
+      N.Label = Label;
+      N.Components = {std::clamp(X + 0.05 * R.nextGaussian(), 0.0, 1.0),
+                      std::clamp(Y + 0.05 * R.nextGaussian(), 0.0, 1.0)};
+      Data.push_back(std::move(N));
+    }
+  }
+  return Data;
+}
+
+} // namespace
+
+TEST(CrammerSinger, SeparatesLinearBlobs) {
+  auto Data = makeBlobs(4, 40, 8, 0.04, 1);
+  TrainOptions TO;
+  TrainReport Report;
+  LinearModel M = trainCrammerSinger(Data, TO, &Report);
+  EXPECT_EQ(M.numClasses(), 4u);
+  EXPECT_EQ(M.numFeatures(), 8u);
+  EXPECT_GE(Report.TrainAccuracy, 0.99);
+}
+
+TEST(CrammerSinger, ManyClasses) {
+  auto Data = makeBlobs(16, 15, 10, 0.03, 2);
+  TrainOptions TO;
+  TrainReport Report;
+  LinearModel M = trainCrammerSinger(Data, TO, &Report);
+  EXPECT_GE(Report.TrainAccuracy, 0.95);
+  (void)M;
+}
+
+TEST(CrammerSinger, GeneralizesToHeldOutPoints) {
+  auto Train = makeBlobs(4, 50, 6, 0.05, 3);
+  auto Test = makeBlobs(4, 30, 6, 0.05, 99); // same clusters, new noise
+  LinearModel M = trainCrammerSinger(Train, TrainOptions());
+  EXPECT_GE(modelAccuracy(M, Test), 0.95);
+}
+
+TEST(CrammerSinger, DeterministicForSeed) {
+  auto Data = makeBlobs(3, 30, 5, 0.05, 4);
+  TrainOptions TO;
+  LinearModel A = trainCrammerSinger(Data, TO);
+  LinearModel B = trainCrammerSinger(Data, TO);
+  for (unsigned C = 0; C < A.numClasses(); ++C)
+    for (unsigned F = 0; F < A.numFeatures(); ++F)
+      EXPECT_DOUBLE_EQ(A.weight(C, F), B.weight(C, F));
+}
+
+TEST(CrammerSinger, LowCUnderfitsRelativeToModerateC) {
+  auto Data = makeBlobs(4, 40, 6, 0.12, 5); // overlapping clusters
+  TrainOptions Tight;
+  Tight.C = 1e-4;
+  TrainOptions Paper;
+  Paper.C = 10.0;
+  double AccTight =
+      modelAccuracy(trainCrammerSinger(Data, Tight), Data);
+  double AccPaper =
+      modelAccuracy(trainCrammerSinger(Data, Paper), Data);
+  EXPECT_GE(AccPaper, AccTight);
+}
+
+TEST(OneVsRest, SeparatesLinearBlobs) {
+  auto Data = makeBlobs(5, 30, 8, 0.04, 6);
+  TrainReport Report;
+  LinearModel M = trainOneVsRest(Data, TrainOptions(), &Report);
+  EXPECT_GE(Report.TrainAccuracy, 0.97);
+  (void)M;
+}
+
+TEST(LinearModel, PredictIsArgmaxOfScores) {
+  auto Data = makeBlobs(3, 20, 4, 0.05, 7);
+  LinearModel M = trainCrammerSinger(Data, TrainOptions());
+  for (const NormalizedInstance &N : Data) {
+    std::vector<double> S = M.scores(N.Components);
+    int32_t Best =
+        (int32_t)(std::max_element(S.begin(), S.end()) - S.begin()) + 1;
+    EXPECT_EQ(M.predict(N.Components), Best);
+  }
+}
+
+TEST(LinearModel, TextRoundTrip) {
+  auto Data = makeBlobs(3, 15, 4, 0.05, 8);
+  LinearModel M = trainCrammerSinger(Data, TrainOptions());
+  LinearModel Back;
+  ASSERT_TRUE(LinearModel::fromText(M.toText(), Back));
+  ASSERT_EQ(Back.numClasses(), M.numClasses());
+  ASSERT_EQ(Back.numFeatures(), M.numFeatures());
+  for (const NormalizedInstance &N : Data)
+    EXPECT_EQ(M.predict(N.Components), Back.predict(N.Components));
+  LinearModel Bad;
+  EXPECT_FALSE(LinearModel::fromText("wrongheader 1 2\n", Bad));
+}
+
+TEST(CrossValidation, ReasonableOnSeparableData) {
+  auto Data = makeBlobs(3, 40, 6, 0.05, 9);
+  double Acc = crossValidate(Data, TrainOptions(), 4);
+  EXPECT_GE(Acc, 0.9);
+}
+
+TEST(Rbf, SolvesXorWhereLinearFails) {
+  auto Data = makeXor(40, 10);
+  LinearModel Linear = trainCrammerSinger(Data, TrainOptions());
+  double LinearAcc = modelAccuracy(Linear, Data);
+  EXPECT_LT(LinearAcc, 0.8) << "XOR should not be linearly separable";
+
+  KernelTrainOptions KO;
+  KO.Gamma = 8.0;
+  RbfModel Rbf = trainRbf(Data, KO);
+  EXPECT_GE(rbfAccuracy(Rbf, Data), 0.95);
+}
+
+TEST(Rbf, PredictionCostScalesWithVectors) {
+  // The section 6 finding in miniature: RBF prediction walks all support
+  // vectors, so doubling the training set roughly doubles its work.
+  auto Small = makeBlobs(2, 50, 8, 0.05, 11);
+  auto Large = makeBlobs(2, 200, 8, 0.05, 11);
+  KernelTrainOptions KO;
+  KO.MaxIters = 3;
+  RbfModel A = trainRbf(Small, KO);
+  RbfModel B = trainRbf(Large, KO);
+  EXPECT_EQ(A.numVectors(), Small.size());
+  EXPECT_EQ(B.numVectors(), Large.size());
+  EXPECT_EQ(B.numVectors(), 4 * A.numVectors());
+}
+
+TEST(Trainer, EmptyFeatureInstancesSkipped) {
+  // All-zero vectors (A = 0) must not crash the solvers.
+  std::vector<NormalizedInstance> Data(4);
+  for (auto &N : Data) {
+    N.Label = 1;
+    N.Components.assign(5, 0.0);
+  }
+  Data[3].Label = 2;
+  Data[3].Components[1] = 1.0;
+  LinearModel M = trainCrammerSinger(Data, TrainOptions());
+  EXPECT_EQ(M.numClasses(), 2u);
+}

@@ -1,0 +1,188 @@
+//===- tests/TrainingTest.cpp - end-to-end learning pipeline tests --------===//
+
+#include "harness/Experiment.h"
+#include "jitml/Training.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitml;
+
+namespace {
+
+/// Quick collection config for tests (seconds, not minutes).
+CollectConfig testConfig() {
+  CollectConfig CC;
+  CC.Iterations = 12;
+  CC.ModifiersPerLevel = 24;
+  CC.UsesPerModifier = 2;
+  CC.MaxRecompilesPerMethod = 40;
+  return CC;
+}
+
+} // namespace
+
+TEST(Collect, ProducesMultiLevelRecords) {
+  IntermediateDataSet Data =
+      collectFromWorkload(workloadByCode("mt"), testConfig());
+  EXPECT_GT(Data.size(), 50u);
+  unsigned PerLevel[NumOptLevels] = {};
+  std::set<uint64_t> Modifiers;
+  for (const TaggedRecord &T : Data.Records) {
+    ++PerLevel[(unsigned)T.Record.Level];
+    Modifiers.insert(T.Record.ModifierBits);
+    EXPECT_EQ(T.SourceTag, "mt");
+    EXPECT_FALSE(T.Signature.empty());
+    EXPECT_GT(T.Record.CompileCycles, 0.0);
+  }
+  // Data at the three learned levels, many distinct modifiers explored,
+  // and the null modifier among them ("tried with every compiled method").
+  EXPECT_GT(PerLevel[(unsigned)OptLevel::Cold], 0u);
+  EXPECT_GT(PerLevel[(unsigned)OptLevel::Warm], 0u);
+  EXPECT_GT(PerLevel[(unsigned)OptLevel::Hot], 0u);
+  EXPECT_GT(Modifiers.size(), 10u);
+  EXPECT_TRUE(Modifiers.count(PlanModifier().raw()));
+}
+
+TEST(Collect, StrategiesProduceDifferentExploration) {
+  CollectConfig CC = testConfig();
+  IntermediateDataSet Rand =
+      collectWithStrategy(workloadByCode("db"), CC,
+                          SearchStrategy::Randomized);
+  IntermediateDataSet Prog =
+      collectWithStrategy(workloadByCode("db"), CC,
+                          SearchStrategy::Progressive);
+  ASSERT_GT(Rand.size(), 0u);
+  ASSERT_GT(Prog.size(), 0u);
+  // Randomized disables ~50% of transformations; progressive at most 25%
+  // (Eq. 1) — the average disabled count must reflect that.
+  auto AvgDisabled = [](const IntermediateDataSet &D) {
+    double Sum = 0;
+    unsigned N = 0;
+    for (const TaggedRecord &T : D.Records) {
+      PlanModifier M = PlanModifier::fromRaw(T.Record.ModifierBits);
+      if (M.isNull())
+        continue;
+      Sum += M.numDisabled();
+      ++N;
+    }
+    return N ? Sum / N : 0.0;
+  };
+  EXPECT_GT(AvgDisabled(Rand), AvgDisabled(Prog));
+}
+
+TEST(Training, ModelSetCoversLearnedLevelsOnly) {
+  CollectConfig CC = testConfig();
+  CC.Iterations = 30; // enough exploration to cover all three levels
+  IntermediateDataSet Data = collectFromWorkload(workloadByCode("co"), CC);
+  TrainConfig TC;
+  ModelSet Set = trainModelSet(Data, "test", TC);
+  EXPECT_TRUE(Set.hasModelFor(OptLevel::Cold));
+  EXPECT_TRUE(Set.hasModelFor(OptLevel::Warm));
+  EXPECT_TRUE(Set.hasModelFor(OptLevel::Hot));
+  // "When Testarossa selects scorching, the original compilation plan is
+  // used": no model for the top tiers.
+  EXPECT_FALSE(Set.hasModelFor(OptLevel::VeryHot));
+  EXPECT_FALSE(Set.hasModelFor(OptLevel::Scorching));
+  for (unsigned L = 0; L < 3; ++L) {
+    EXPECT_GT(Set.Levels[L].Model.numClasses(), 1u);
+    EXPECT_EQ(Set.Levels[L].Model.numFeatures(), NumFeatures);
+    EXPECT_GT(Set.Levels[L].Labels.size(), 1u);
+  }
+}
+
+TEST(Training, LeaveOneOutProducesFiveFolds) {
+  CollectConfig CC = testConfig();
+  CC.Iterations = 20;
+  std::vector<IntermediateDataSet> Per;
+  for (const WorkloadSpec &Spec : trainingBenchmarks())
+    Per.push_back(collectFromWorkload(Spec, CC));
+  TrainConfig TC;
+  std::vector<ModelSet> Sets = trainLeaveOneOut(Per, TC);
+  ASSERT_EQ(Sets.size(), 5u);
+  EXPECT_EQ(Sets[0].Name, "H1");
+  EXPECT_EQ(Sets[0].LeftOutBenchmark, "co");
+  EXPECT_EQ(Sets[4].LeftOutBenchmark, "rt");
+  // 5 sets x 3 levels = the paper's 15 models.
+  unsigned Models = 0;
+  for (const ModelSet &S : Sets)
+    for (unsigned L = 0; L < NumOptLevels; ++L)
+      if (S.Levels[L].Valid)
+        ++Models;
+  EXPECT_EQ(Models, 15u);
+}
+
+TEST(Provider, FallsBackToNullForUncoveredLevels) {
+  IntermediateDataSet Data =
+      collectFromWorkload(workloadByCode("rt"), testConfig());
+  ModelSet Set = trainModelSet(Data, "p", TrainConfig());
+  LearnedStrategyProvider Provider(std::move(Set));
+  FeatureVector F;
+  F.set(CF_TreeNodes, 25);
+  EXPECT_TRUE(Provider.modifierFor(OptLevel::Scorching, F).isNull());
+  EXPECT_TRUE(Provider.modifierFor(OptLevel::VeryHot, F).isNull());
+  // Learned levels go through the model (prediction counted).
+  uint64_t Before = Provider.predictions();
+  (void)Provider.modifierFor(OptLevel::Warm, F);
+  EXPECT_EQ(Provider.predictions(), Before + 1);
+}
+
+TEST(EndToEnd, LearnedModelsCutCompileTimeOnHeldOut) {
+  // The paper's headline, in miniature: train on four benchmarks, evaluate
+  // start-up on the held-out fifth. Compile time must drop substantially;
+  // results must stay correct.
+  CollectConfig CC = testConfig();
+  std::vector<IntermediateDataSet> Sets;
+  for (const WorkloadSpec &Spec : trainingBenchmarks()) {
+    if (Spec.Code == "mp")
+      continue;
+    Sets.push_back(collectFromWorkload(Spec, CC));
+  }
+  ModelSet Models = trainModelSet(mergeAll(Sets), "fold", TrainConfig());
+  ASSERT_TRUE(Models.hasModelFor(OptLevel::Cold));
+
+  Program P = buildWorkload(workloadByCode("mp"));
+  RunResult Baseline = runOnce(P, 1, nullptr, 11);
+  LearnedStrategyProvider Provider(std::move(Models));
+  RunResult Learned = runOnce(P, 1, &Provider, 11);
+  EXPECT_EQ(Learned.Checksum, Baseline.Checksum);
+  EXPECT_GT(Provider.predictions(), 0u);
+  EXPECT_LT(Learned.CompileCycles, Baseline.CompileCycles * 0.85)
+      << "learned plans should compile substantially faster";
+}
+
+TEST(Experiment, RunOnceDeterministicPerSeed) {
+  Program P = buildWorkload(workloadByCode("jk"));
+  RunResult A = runOnce(P, 1, nullptr, 5);
+  RunResult B = runOnce(P, 1, nullptr, 5);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  EXPECT_DOUBLE_EQ(A.WallCycles, B.WallCycles);
+  RunResult C = runOnce(P, 1, nullptr, 6);
+  EXPECT_EQ(C.Checksum, A.Checksum); // checksum seed-independent
+  EXPECT_NE(C.WallCycles, A.WallCycles); // but noise differs
+}
+
+TEST(Experiment, SeriesAndRelativeHelpers) {
+  Program P = buildWorkload(workloadByCode("js"));
+  ExperimentConfig EC;
+  EC.Runs = 6;
+  Series S = measureSeries(P, EC, nullptr);
+  EXPECT_EQ(S.Wall.count(), 6u);
+  EXPECT_GT(S.Wall.mean(), 0.0);
+  EXPECT_GT(S.Compile.mean(), 0.0);
+  // Relative helpers: identical series give ratio 1.
+  Relative R = relativePerformance(S, S);
+  EXPECT_NEAR(R.Value, 1.0, 1e-12);
+  Relative C = relativeCompileTime(S, S);
+  EXPECT_NEAR(C.Value, 1.0, 1e-12);
+  EXPECT_GE(R.Ci, 0.0);
+}
+
+TEST(Experiment, MoreIterationsAmortizeCompilation) {
+  Program P = buildWorkload(workloadByCode("lu"));
+  RunResult One = runOnce(P, 1, nullptr, 3);
+  RunResult Ten = runOnce(P, 10, nullptr, 3);
+  double Share1 = One.CompileCycles / (One.AppCycles + One.CompileCycles);
+  double Share10 = Ten.CompileCycles / (Ten.AppCycles + Ten.CompileCycles);
+  EXPECT_LT(Share10, Share1)
+      << "compile share must shrink as iterations amortize it";
+}
