@@ -9,14 +9,19 @@
 //      (cold/warm/hot) with C = 10,
 //   3. start a model *server* on the other end of a pair of POSIX named
 //      pipes and run the held-out benchmark with the learning-enabled
-//      compiler asking the server for a modifier at every compilation,
-//   4. compare start-up wall time and compile time against the baseline.
+//      compiler asking the server for a modifier at every compilation —
+//      through the hardened ResilientModelClient (deadline, retry,
+//      prediction cache, fallback),
+//   4. compare start-up wall time and compile time against the baseline,
+//      print the bridge counters, then stop the model service and show
+//      that compilation still completes via fallback.
 //
 //   $ ./build/examples/learned_pipeline
 //
 //===----------------------------------------------------------------------===//
 
 #include "bridge/ModelService.h"
+#include "bridge/ResilientClient.h"
 #include "harness/Experiment.h"
 #include "jitml/Training.h"
 
@@ -74,41 +79,68 @@ int main() {
     Server.join();
     return 1;
   }
-  ModelClient Client(*ClientTransport);
-  if (!Client.hello()) {
-    std::fprintf(stderr, "model handshake failed\n");
-    Server.join();
-    return 1;
-  }
-  std::printf("[bridge] handshake complete over %s\n", Dir.c_str());
+  // The hardened client: 100ms deadline per round trip, prediction cache
+  // keyed by (level, feature hash), fallback to the hand-tuned plan when
+  // the service cannot answer.
+  ResilientModelClient Client(std::move(ClientTransport));
 
   // 4. Evaluate on the held-out benchmark.
   Program P = buildWorkload(workloadByCode("co"));
-  auto RunStartup = [&](bool Learned) {
+  auto RunStartup = [&](const char *Tag, bool Learned) {
     VirtualMachine::Config Cfg;
     VirtualMachine VM(P, Cfg);
     if (Learned)
-      VM.setModifierHook(makeBridgedHook(Client));
+      VM.setModifierHook(makeResilientHook(Client));
     ExecResult R = VM.run({Value::ofI(0)});
     std::printf("  %-8s checksum=%-11lld wall=%-9.0f app=%-9.0f "
-                "compile=%.0f\n",
-                Learned ? "learned" : "baseline", (long long)R.Ret.I,
-                VM.stats().totalCycles(), VM.stats().AppCycles,
-                VM.stats().CompileCycles);
+                "compile=%.0f fallbackCompiles=%llu\n",
+                Tag, (long long)R.Ret.I, VM.stats().totalCycles(),
+                VM.stats().AppCycles, VM.stats().CompileCycles,
+                (unsigned long long)VM.stats().NullModifierCompilations);
     return VM.stats();
   };
   std::printf("[evaluate] start-up run of held-out benchmark "
               "'compress':\n");
-  VirtualMachine::Stats Base = RunStartup(false);
-  VirtualMachine::Stats Learned = RunStartup(true);
+  VirtualMachine::Stats Base = RunStartup("baseline", false);
+  VirtualMachine::Stats Learned = RunStartup("learned", true);
   std::printf("[evaluate] start-up speedup %.3fx, compile-time ratio "
               "%.3f (%llu bridged predictions)\n",
               Base.totalCycles() / Learned.totalCycles(),
               Learned.CompileCycles / Base.CompileCycles,
               (unsigned long long)Backend.predictions());
 
+  // 5. Model-service overhead, as an experiment would report it.
+  BridgeCounters Counters = Client.counters();
+  std::printf("[bridge] counters after the learned run:\n%s",
+              Counters.toText().c_str());
+
+  // 6. Stop the model service and run again: the prediction cache keeps
+  //    serving the repeated feature vectors without a live service.
   Client.bye();
   Server.join();
+  std::printf("[degrade] model service stopped; rerunning (cache keeps "
+              "serving repeated vectors):\n");
+  RunStartup("cached", true);
+  std::printf("[degrade] cache hits now %llu of %llu requests\n",
+              (unsigned long long)Client.counters().CacheHits,
+              (unsigned long long)Client.counters().Requests);
+
+  // 7. A cold client against an unreachable service: every compilation
+  //    falls back to the unmodified hand-tuned plan — degraded, never
+  //    hung or aborted.
+  ResilientModelClient Down(
+      []() -> std::unique_ptr<Transport> { return nullptr; });
+  {
+    VirtualMachine::Config Cfg;
+    VirtualMachine VM(P, Cfg);
+    VM.setModifierHook(makeResilientHook(Down));
+    ExecResult R = VM.run({Value::ofI(0)});
+    std::printf("[degrade] unreachable service: checksum=%lld, %llu of "
+                "%llu compilations used the hand-tuned fallback plan\n",
+                (long long)R.Ret.I,
+                (unsigned long long)VM.stats().NullModifierCompilations,
+                (unsigned long long)VM.stats().Compilations);
+  }
   ::unlink(ToServer.c_str());
   ::unlink(ToClient.c_str());
   ::rmdir(Dir.c_str());

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the regular build + full test suite (the ROADMAP
+# command), followed by an ASan+UBSan build (-DJITML_SANITIZE=ON) that
+# re-runs the bridge and mldata tests — the subsystems that parse
+# untrusted bytes off the wire and from model files.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S .
+cmake --build build -j"$(nproc)"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+cmake -B build-asan -S . -DJITML_SANITIZE=ON
+cmake --build build-asan -j"$(nproc)" --target jitml_tests
+(cd build-asan && ctest --output-on-failure -j"$(nproc)" -R \
+  'Message\.|Service\.|Transport\.|Resilient\.|BridgeFuzz\.|Normalizer\.|LabelMap\.|LibLinear\.|Ranker\.|Merger\.|Summaries\.')

@@ -2,11 +2,39 @@
 
 #include "bridge/Message.h"
 
+#include <chrono>
 #include <cstring>
 
 using namespace jitml;
 
 Transport::~Transport() = default;
+
+IoStatus Transport::readBytesFor(uint8_t *Data, size_t Size, int TimeoutMs) {
+  (void)TimeoutMs; // block-forever transports ignore the deadline
+  return readBytes(Data, Size) ? IoStatus::Ok : IoStatus::Closed;
+}
+
+bool CountingTransport::writeBytes(const uint8_t *Data, size_t Size) {
+  if (!Inner.writeBytes(Data, Size))
+    return false;
+  BytesSent += Size;
+  return true;
+}
+
+bool CountingTransport::readBytes(uint8_t *Data, size_t Size) {
+  if (!Inner.readBytes(Data, Size))
+    return false;
+  BytesReceived += Size;
+  return true;
+}
+
+IoStatus CountingTransport::readBytesFor(uint8_t *Data, size_t Size,
+                                         int TimeoutMs) {
+  IoStatus S = Inner.readBytesFor(Data, Size, TimeoutMs);
+  if (S == IoStatus::Ok)
+    BytesReceived += Size;
+  return S;
+}
 
 namespace {
 
@@ -79,51 +107,81 @@ bool jitml::sendMessage(Transport &T, const Message &M) {
   return T.writeBytes(Frame.data(), Frame.size());
 }
 
-bool jitml::recvMessage(Transport &T, Message &Out) {
-  uint8_t Head[4];
-  if (!T.readBytes(Head, 4))
-    return false;
-  uint32_t Size = Head[0] | (Head[1] << 8) | (Head[2] << 16) |
-                  ((uint32_t)Head[3] << 24);
-  if (Size == 0 || Size > (1u << 20))
-    return false;
-  std::vector<uint8_t> Payload(Size);
-  if (!T.readBytes(Payload.data(), Size))
-    return false;
+namespace {
+
+/// Decodes a fully-read payload. The frame was consumed whole, so any
+/// failure here leaves the stream aligned — hence Malformed, not Closed.
+RecvStatus decodePayload(const std::vector<uint8_t> &Payload, Message &Out) {
   Out = Message();
   Out.Type = (MsgType)Payload[0];
   const uint8_t *P = Payload.data() + 1;
-  size_t Rest = Size - 1;
+  size_t Rest = Payload.size() - 1;
   switch (Out.Type) {
   case MsgType::Hello:
     if (Rest != 1)
-      return false;
+      return RecvStatus::Malformed;
     Out.Version = P[0];
-    return true;
+    return RecvStatus::Ok;
   case MsgType::Features: {
     if (Rest < 3)
-      return false;
+      return RecvStatus::Malformed;
     Out.Level = (OptLevel)P[0];
     if ((unsigned)Out.Level >= NumOptLevels)
-      return false;
+      return RecvStatus::Malformed;
     uint16_t Count = getU16(P + 1);
     if (Rest != 3 + (size_t)Count * 8)
-      return false;
+      return RecvStatus::Malformed;
     Out.FeatureValues.resize(Count);
     for (uint16_t I = 0; I < Count; ++I)
       Out.FeatureValues[I] = getF64(P + 3 + (size_t)I * 8);
-    return true;
+    return RecvStatus::Ok;
   }
   case MsgType::Modifier:
     if (Rest != 8)
-      return false;
+      return RecvStatus::Malformed;
     Out.ModifierBits = getU64(P);
-    return true;
+    return RecvStatus::Ok;
   case MsgType::Error:
     Out.Text.assign(reinterpret_cast<const char *>(P), Rest);
-    return true;
+    return RecvStatus::Ok;
   case MsgType::Bye:
-    return Rest == 0;
+    return Rest == 0 ? RecvStatus::Ok : RecvStatus::Malformed;
   }
-  return false;
+  return RecvStatus::Malformed; // unknown message type
+}
+
+} // namespace
+
+bool jitml::recvMessage(Transport &T, Message &Out) {
+  return recvMessageFor(T, Out, /*TimeoutMs=*/-1) == RecvStatus::Ok;
+}
+
+RecvStatus jitml::recvMessageFor(Transport &T, Message &Out, int TimeoutMs) {
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Deadline;
+  if (TimeoutMs >= 0)
+    Deadline = Clock::now() + std::chrono::milliseconds(TimeoutMs);
+  auto Remaining = [&]() -> int {
+    if (TimeoutMs < 0)
+      return -1;
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Deadline - Clock::now());
+    return Left.count() > 0 ? (int)Left.count() : 0;
+  };
+
+  uint8_t Head[4];
+  IoStatus S = T.readBytesFor(Head, 4, TimeoutMs);
+  if (S != IoStatus::Ok)
+    return S == IoStatus::Timeout ? RecvStatus::Timeout : RecvStatus::Closed;
+  uint32_t Size = Head[0] | (Head[1] << 8) | (Head[2] << 16) |
+                  ((uint32_t)Head[3] << 24);
+  // An unframeable length prefix means we cannot find the next frame
+  // boundary: the stream is garbage from here on, so treat it as dead.
+  if (Size == 0 || Size > (1u << 20))
+    return RecvStatus::Closed;
+  std::vector<uint8_t> Payload(Size);
+  S = T.readBytesFor(Payload.data(), Size, Remaining());
+  if (S != IoStatus::Ok)
+    return S == IoStatus::Timeout ? RecvStatus::Timeout : RecvStatus::Closed;
+  return decodePayload(Payload, Out);
 }

@@ -48,6 +48,13 @@ struct Message {
   std::string Text;                   ///< Error
 };
 
+/// Result of a deadline-aware read.
+enum class IoStatus : uint8_t {
+  Ok,      ///< all requested bytes delivered
+  Timeout, ///< deadline expired first (stream may be mid-frame!)
+  Closed,  ///< EOF or broken connection
+};
+
 /// Byte-stream transport. Implementations must deliver bytes in order and
 /// block until the requested amount is available (or the peer goes away).
 class Transport {
@@ -57,6 +64,41 @@ public:
   virtual bool writeBytes(const uint8_t *Data, size_t Size) = 0;
   /// Reads exactly \p Size bytes; false on EOF / broken connection.
   virtual bool readBytes(uint8_t *Data, size_t Size) = 0;
+  /// Reads exactly \p Size bytes waiting at most \p TimeoutMs milliseconds
+  /// (negative = wait forever). After a Timeout the stream may have been
+  /// consumed partway through a frame, so callers must treat the
+  /// connection as unusable. The base implementation ignores the deadline
+  /// (block-forever transports).
+  virtual IoStatus readBytesFor(uint8_t *Data, size_t Size, int TimeoutMs);
+};
+
+/// Decorator that counts bytes crossing any transport — the bridge's
+/// "bytes on the wire" counters.
+class CountingTransport : public Transport {
+public:
+  explicit CountingTransport(Transport &Inner) : Inner(Inner) {}
+
+  bool writeBytes(const uint8_t *Data, size_t Size) override;
+  bool readBytes(uint8_t *Data, size_t Size) override;
+  IoStatus readBytesFor(uint8_t *Data, size_t Size, int TimeoutMs) override;
+
+  uint64_t bytesSent() const { return BytesSent; }
+  uint64_t bytesReceived() const { return BytesReceived; }
+
+private:
+  Transport &Inner;
+  uint64_t BytesSent = 0;
+  uint64_t BytesReceived = 0;
+};
+
+/// Result of receiving one frame.
+enum class RecvStatus : uint8_t {
+  Ok,        ///< a well-formed message was decoded
+  Timeout,   ///< deadline expired; the stream is no longer frame-aligned
+  Closed,    ///< EOF, transport failure, or an unframeable length prefix
+  Malformed, ///< the frame was read in full but its content is invalid;
+             ///< the stream is still frame-aligned, so a server may reply
+             ///< with an Error message and keep the session alive
 };
 
 /// Frames and sends \p M. Returns false on transport failure.
@@ -65,6 +107,10 @@ bool sendMessage(Transport &T, const Message &M);
 /// Receives one frame. Returns false on EOF, transport failure, or a
 /// malformed frame.
 bool recvMessage(Transport &T, Message &Out);
+
+/// Deadline-aware receive; \p TimeoutMs bounds the whole frame (negative =
+/// wait forever). See RecvStatus for how failures are classified.
+RecvStatus recvMessageFor(Transport &T, Message &Out, int TimeoutMs);
 
 } // namespace jitml
 

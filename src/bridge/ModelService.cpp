@@ -9,7 +9,21 @@ ModelBackend::~ModelBackend() = default;
 uint64_t jitml::serveModel(Transport &T, ModelBackend &Backend) {
   uint64_t Served = 0;
   Message In;
-  while (recvMessage(T, In)) {
+  for (;;) {
+    RecvStatus S = recvMessageFor(T, In, /*TimeoutMs=*/-1);
+    if (S == RecvStatus::Malformed) {
+      // The frame was consumed whole, so the stream is still aligned:
+      // report the problem and keep serving instead of dropping the
+      // session (and with it every later compilation of this client).
+      Message Reply;
+      Reply.Type = MsgType::Error;
+      Reply.Text = "malformed frame";
+      if (!sendMessage(T, Reply))
+        return Served;
+      continue;
+    }
+    if (S != RecvStatus::Ok)
+      return Served; // EOF, broken pipe, or unframeable garbage
     switch (In.Type) {
     case MsgType::Hello: {
       Message Reply;
@@ -20,6 +34,16 @@ uint64_t jitml::serveModel(Transport &T, ModelBackend &Backend) {
       break;
     }
     case MsgType::Features: {
+      if (In.FeatureValues.size() != NumFeatures) {
+        // A wrong-dimension vector would silently index past the scaling
+        // parameters the backend renormalizes with; reject it explicitly.
+        Message Reply;
+        Reply.Type = MsgType::Error;
+        Reply.Text = "feature count mismatch";
+        if (!sendMessage(T, Reply))
+          return Served;
+        break;
+      }
       std::optional<uint64_t> Bits =
           Backend.predictModifier(In.Level, In.FeatureValues);
       Message Reply;

@@ -1,0 +1,223 @@
+//===- bridge/ResilientClient.cpp -----------------------------------------===//
+
+#include "bridge/ResilientClient.h"
+
+#include "support/Statistics.h"
+
+#include <chrono>
+#include <thread>
+
+using namespace jitml;
+
+std::vector<std::pair<std::string, uint64_t>> BridgeCounters::rows() const {
+  return {
+      {"requests", Requests},         {"cacheHits", CacheHits},
+      {"cacheFlushes", CacheFlushes}, {"wireRequests", WireRequests},
+      {"timeouts", Timeouts},         {"retries", Retries},
+      {"reconnects", Reconnects},     {"errorReplies", ErrorReplies},
+      {"fallbacks", Fallbacks},       {"bytesSent", BytesSent},
+      {"bytesReceived", BytesReceived},
+  };
+}
+
+std::string BridgeCounters::toText() const {
+  std::vector<CounterRow> Rows;
+  for (const auto &[Name, Value] : rows())
+    Rows.push_back({Name, Value});
+  return formatCounterTable(Rows);
+}
+
+namespace {
+
+/// Cache key: the feature hash stirred with the level so equal vectors at
+/// different levels occupy distinct slots.
+uint64_t cacheKey(OptLevel Level, uint64_t FeatureHash) {
+  return FeatureHash ^ (0x9e3779b97f4a7c15ULL * ((uint64_t)Level + 1));
+}
+
+void realSleep(int Ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+} // namespace
+
+ResilientModelClient::ResilientModelClient(std::unique_ptr<Transport> T,
+                                           Config C)
+    : Cfg(C), Owned(std::move(T)), Sleep(realSleep) {
+  if (Owned)
+    Wire = std::make_unique<CountingTransport>(*Owned);
+  else
+    Poisoned = true;
+}
+
+ResilientModelClient::ResilientModelClient(TransportFactory F, Config C)
+    : Cfg(C), Factory(std::move(F)), Sleep(realSleep) {}
+
+ResilientModelClient::~ResilientModelClient() { bye(); }
+
+bool ResilientModelClient::usable() const {
+  return !Poisoned && (Wire != nullptr || Factory != nullptr);
+}
+
+BridgeCounters ResilientModelClient::counters() const {
+  BridgeCounters C = Count;
+  if (Wire) {
+    C.BytesSent += Wire->bytesSent();
+    C.BytesReceived += Wire->bytesReceived();
+  }
+  return C;
+}
+
+void ResilientModelClient::dropConnection() {
+  if (Wire) {
+    Count.BytesSent += Wire->bytesSent();
+    Count.BytesReceived += Wire->bytesReceived();
+  }
+  Wire.reset();
+  Owned.reset();
+  HandshakeDone = false;
+  if (!Factory)
+    Poisoned = true; // nothing to reconnect with
+}
+
+bool ResilientModelClient::ensureConnected() {
+  if (Poisoned)
+    return false;
+  if (!Wire) {
+    if (!Factory)
+      return false;
+    Owned = Factory();
+    if (!Owned)
+      return false;
+    Wire = std::make_unique<CountingTransport>(*Owned);
+    HandshakeDone = false;
+    ++Count.Reconnects;
+  }
+  if (!HandshakeDone) {
+    Message Hello;
+    Hello.Type = MsgType::Hello;
+    Hello.Version = 1;
+    if (!sendMessage(*Wire, Hello)) {
+      dropConnection();
+      return false;
+    }
+    Message Reply;
+    RecvStatus S = recvMessageFor(*Wire, Reply, Cfg.RequestTimeoutMs);
+    if (S != RecvStatus::Ok || Reply.Type != MsgType::Hello ||
+        Reply.Version != 1) {
+      if (S == RecvStatus::Timeout)
+        ++Count.Timeouts;
+      dropConnection();
+      return false;
+    }
+    HandshakeDone = true;
+  }
+  return true;
+}
+
+bool ResilientModelClient::tryOnce(OptLevel Level,
+                                   const FeatureVector &Features,
+                                   std::optional<uint64_t> &Answer) {
+  Message M;
+  M.Type = MsgType::Features;
+  M.Level = Level;
+  M.FeatureValues.reserve(NumFeatures);
+  for (unsigned I = 0; I < NumFeatures; ++I)
+    M.FeatureValues.push_back((double)Features.get(I));
+  ++Count.WireRequests;
+  if (!sendMessage(*Wire, M)) {
+    dropConnection();
+    return false;
+  }
+  Message Reply;
+  RecvStatus S = recvMessageFor(*Wire, Reply, Cfg.RequestTimeoutMs);
+  if (S == RecvStatus::Timeout) {
+    ++Count.Timeouts;
+    dropConnection(); // the stream may be mid-frame: unusable
+    return false;
+  }
+  if (S != RecvStatus::Ok) {
+    dropConnection();
+    return false;
+  }
+  if (Reply.Type == MsgType::Modifier) {
+    Answer = Reply.ModifierBits;
+    return true;
+  }
+  if (Reply.Type == MsgType::Error) {
+    ++Count.ErrorReplies;
+    Answer = std::nullopt; // definitive "no model" answer
+    return true;
+  }
+  // A reply that is neither Modifier nor Error means the peer is not
+  // speaking our dialect; stop trusting the connection.
+  dropConnection();
+  return false;
+}
+
+void ResilientModelClient::cacheInsert(uint64_t Key,
+                                       std::optional<uint64_t> Answer) {
+  if (Cfg.CacheCapacity == 0)
+    return;
+  if (!Answer && !Cfg.CacheErrorReplies)
+    return;
+  if (Cache.size() >= Cfg.CacheCapacity) {
+    Cache.clear(); // wholesale flush keeps the bound without LRU bookkeeping
+    ++Count.CacheFlushes;
+  }
+  Cache.emplace(Key, Answer);
+}
+
+std::optional<uint64_t>
+ResilientModelClient::requestModifier(OptLevel Level,
+                                      const FeatureVector &Features) {
+  ++Count.Requests;
+  uint64_t Key = cacheKey(Level, Features.hash());
+  if (Cfg.CacheCapacity != 0) {
+    auto It = Cache.find(Key);
+    if (It != Cache.end()) {
+      ++Count.CacheHits;
+      if (!It->second)
+        ++Count.Fallbacks;
+      return It->second;
+    }
+  }
+
+  double Backoff = (double)Cfg.InitialBackoffMs;
+  for (unsigned Attempt = 0; Attempt < Cfg.MaxAttempts; ++Attempt) {
+    if (Attempt > 0) {
+      if (Poisoned)
+        break; // no way back: don't burn time sleeping
+      ++Count.Retries;
+      if (Backoff >= 1.0 && Sleep)
+        Sleep((int)Backoff);
+      Backoff *= Cfg.BackoffMultiplier;
+    }
+    if (!ensureConnected())
+      continue;
+    std::optional<uint64_t> Answer;
+    if (tryOnce(Level, Features, Answer)) {
+      cacheInsert(Key, Answer);
+      if (!Answer)
+        ++Count.Fallbacks;
+      return Answer;
+    }
+  }
+  ++Count.Fallbacks;
+  return std::nullopt;
+}
+
+void ResilientModelClient::bye() {
+  if (!Wire)
+    return;
+  Message M;
+  M.Type = MsgType::Bye;
+  sendMessage(*Wire, M);
+  Count.BytesSent += Wire->bytesSent();
+  Count.BytesReceived += Wire->bytesReceived();
+  Wire.reset();
+  Owned.reset();
+  HandshakeDone = false;
+  if (!Factory)
+    Poisoned = true; // no way to reconnect: later requests fall back fast
+}

@@ -2,7 +2,11 @@
 
 #include "bridge/Transports.h"
 
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
 #include <fcntl.h>
+#include <poll.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
@@ -17,15 +21,24 @@ void ByteQueue::push(const uint8_t *Data, size_t Size) {
 }
 
 bool ByteQueue::pop(uint8_t *Data, size_t Size) {
+  return popFor(Data, Size, /*TimeoutMs=*/-1) == IoStatus::Ok;
+}
+
+IoStatus ByteQueue::popFor(uint8_t *Data, size_t Size, int TimeoutMs) {
   std::unique_lock<std::mutex> Lock(Mu);
-  Cv.wait(Lock, [&] { return Bytes.size() >= Size || Closed; });
-  if (Bytes.size() < Size)
-    return false; // closed with insufficient data
-  for (size_t I = 0; I < Size; ++I) {
-    Data[I] = Bytes.front();
-    Bytes.pop_front();
+  auto Ready = [&] { return Bytes.size() >= Size || Closed; };
+  if (TimeoutMs < 0) {
+    Cv.wait(Lock, Ready);
+  } else if (!Cv.wait_for(Lock, std::chrono::milliseconds(TimeoutMs),
+                          Ready)) {
+    return IoStatus::Timeout; // nothing consumed: pops are all-or-nothing
   }
-  return true;
+  if (Bytes.size() < Size)
+    return IoStatus::Closed; // closed with insufficient data
+  auto First = Bytes.begin();
+  std::copy(First, First + (std::ptrdiff_t)Size, Data);
+  Bytes.erase(First, First + (std::ptrdiff_t)Size);
+  return IoStatus::Ok;
 }
 
 void ByteQueue::close() {
@@ -45,6 +58,11 @@ bool InProcessPipe::writeBytes(const uint8_t *Data, size_t Size) {
 
 bool InProcessPipe::readBytes(uint8_t *Data, size_t Size) {
   return In->pop(Data, Size);
+}
+
+IoStatus InProcessPipe::readBytesFor(uint8_t *Data, size_t Size,
+                                     int TimeoutMs) {
+  return In->popFor(Data, Size, TimeoutMs);
 }
 
 void InProcessPipe::close() {
@@ -115,7 +133,12 @@ bool FifoTransport::writeBytes(const uint8_t *Data, size_t Size) {
   size_t Done = 0;
   while (Done < Size) {
     ssize_t N = ::write(WriteFd, Data + Done, Size - Done);
-    if (N <= 0)
+    if (N < 0) {
+      if (errno == EINTR)
+        continue; // interrupted syscall, not a dead pipe
+      return false;
+    }
+    if (N == 0)
       return false;
     Done += (size_t)N;
   }
@@ -126,9 +149,49 @@ bool FifoTransport::readBytes(uint8_t *Data, size_t Size) {
   size_t Done = 0;
   while (Done < Size) {
     ssize_t N = ::read(ReadFd, Data + Done, Size - Done);
-    if (N <= 0)
+    if (N < 0) {
+      if (errno == EINTR)
+        continue; // interrupted syscall, not a dead pipe
       return false;
+    }
+    if (N == 0)
+      return false; // EOF: writer closed its end
     Done += (size_t)N;
   }
   return true;
+}
+
+IoStatus FifoTransport::readBytesFor(uint8_t *Data, size_t Size,
+                                     int TimeoutMs) {
+  if (TimeoutMs < 0)
+    return readBytes(Data, Size) ? IoStatus::Ok : IoStatus::Closed;
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(TimeoutMs);
+  size_t Done = 0;
+  while (Done < Size) {
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Deadline - Clock::now());
+    int Wait = Left.count() > 0 ? (int)Left.count() : 0;
+    struct pollfd Pfd = {ReadFd, POLLIN, 0};
+    int R = ::poll(&Pfd, 1, Wait);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return IoStatus::Closed;
+    }
+    if (R == 0)
+      return IoStatus::Timeout;
+    // POLLHUP may still have buffered bytes to drain; let read() decide.
+    ssize_t N = ::read(ReadFd, Data + Done, Size - Done);
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN)
+        continue;
+      return IoStatus::Closed;
+    }
+    if (N == 0)
+      return IoStatus::Closed; // EOF
+    Done += (size_t)N;
+  }
+  return IoStatus::Ok;
 }

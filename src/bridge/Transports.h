@@ -32,6 +32,9 @@ public:
   void push(const uint8_t *Data, size_t Size);
   /// Blocks until \p Size bytes are available or the queue is closed.
   bool pop(uint8_t *Data, size_t Size);
+  /// Like pop, but gives up after \p TimeoutMs milliseconds (negative =
+  /// wait forever). On Timeout no bytes are consumed.
+  IoStatus popFor(uint8_t *Data, size_t Size, int TimeoutMs);
   void close();
 
 private:
@@ -50,6 +53,7 @@ public:
 
   bool writeBytes(const uint8_t *Data, size_t Size) override;
   bool readBytes(uint8_t *Data, size_t Size) override;
+  IoStatus readBytesFor(uint8_t *Data, size_t Size, int TimeoutMs) override;
   void close();
 
   /// Creates two connected endpoints (client, server).
@@ -81,6 +85,9 @@ public:
 
   bool writeBytes(const uint8_t *Data, size_t Size) override;
   bool readBytes(uint8_t *Data, size_t Size) override;
+  /// poll(2)-based deadline; a Timeout may leave a partially-consumed
+  /// frame in the pipe, so the connection must be abandoned afterwards.
+  IoStatus readBytesFor(uint8_t *Data, size_t Size, int TimeoutMs) override;
 
 private:
   FifoTransport(int ReadFd, int WriteFd) : ReadFd(ReadFd), WriteFd(WriteFd) {}

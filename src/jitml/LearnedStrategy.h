@@ -17,6 +17,7 @@
 #define JITML_JITML_LEARNEDSTRATEGY_H
 
 #include "bridge/ModelService.h"
+#include "bridge/ResilientClient.h"
 #include "jitml/ModelSet.h"
 #include "modifiers/Modifier.h"
 #include "runtime/VirtualMachine.h"
@@ -52,6 +53,12 @@ VirtualMachine::ModifierHook makeLearnedHook(LearnedStrategyProvider &P);
 /// Hook adapter that goes through the bridge protocol (the model may be a
 /// thread or a separate process on the other end of the transport).
 VirtualMachine::ModifierHook makeBridgedHook(ModelClient &Client);
+
+/// Hook adapter over the hardened client: cache-first, deadline-bounded,
+/// and falling back to the unmodified hand-tuned plan whenever the model
+/// service cannot answer — a slow or dead service degrades compilation
+/// quality, never availability.
+VirtualMachine::ModifierHook makeResilientHook(ResilientModelClient &Client);
 
 } // namespace jitml
 

@@ -2,6 +2,7 @@
 
 #include "mldata/Normalizer.h"
 
+#include <bitset>
 #include <cstdio>
 #include <sstream>
 
@@ -53,7 +54,9 @@ bool Scaling::fromText(const std::string &Text, Scaling &Out) {
   Out = Scaling();
   std::istringstream In(Text);
   std::string Line;
-  unsigned Seen = 0;
+  // Track which indices appeared: a plain line counter would let a file
+  // with a duplicated index and a missing one slip through.
+  std::bitset<NumFeatures> Seen;
   while (std::getline(In, Line)) {
     if (Line.empty() || Line[0] == '#')
       continue;
@@ -62,11 +65,13 @@ bool Scaling::fromText(const std::string &Text, Scaling &Out) {
     if (std::sscanf(Line.c_str(), "%u %lg %lg", &Index, &Lo, &Hi) != 3 ||
         Index >= NumFeatures)
       return false;
+    if (Seen[Index])
+      return false; // duplicate index line: the file is corrupt
+    Seen[Index] = true;
     Out.Min[Index] = Lo;
     Out.Max[Index] = Hi;
-    ++Seen;
   }
-  return Seen == NumFeatures;
+  return Seen.all();
 }
 
 bool Scaling::save(const std::string &Path) const {

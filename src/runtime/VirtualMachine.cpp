@@ -50,7 +50,15 @@ void VirtualMachine::compileMethod(uint32_t MethodIndex, OptLevel Level,
   // being compiled" just prior to optimization (Figure 5 step d).
   std::unique_ptr<MethodIL> IL = generateIL(Prog, MethodIndex);
   FeatureVector Features = extractFeatures(*IL);
-  PlanModifier Modifier = Hook(MethodIndex, Level, Features);
+  PlanModifier Modifier;
+  try {
+    Modifier = Hook(MethodIndex, Level, Features);
+  } catch (...) {
+    // A misbehaving strategy hook must never take the VM down: compile
+    // with the unmodified hand-tuned plan instead.
+    ++Stat.HookFailures;
+    Modifier = PlanModifier();
+  }
   compileWithPlan(MethodIndex, planForLevel(Level), Modifier, IsExploration);
 }
 
@@ -78,6 +86,8 @@ void VirtualMachine::compileWithPlan(uint32_t MethodIndex,
   Clock.advance(TotalCompile);
   Stat.CompileCycles += TotalCompile;
   ++Stat.Compilations;
+  if (Modifier.raw() == PlanModifier().raw())
+    ++Stat.NullModifierCompilations;
   if (IsExploration)
     ++Stat.ExplorationRecompiles;
 

@@ -147,6 +147,12 @@ public:
     uint64_t Invocations = 0;
     uint64_t InterpretedInvocations = 0;
     uint64_t ExceptionsRaised = 0;
+    /// Compilations that ran with the null modifier, i.e. the unmodified
+    /// hand-tuned plan — the strategy control's fallback path.
+    uint64_t NullModifierCompilations = 0;
+    /// Modifier hook invocations that threw; the compilation proceeded
+    /// with the null modifier instead of aborting the VM.
+    uint64_t HookFailures = 0;
     double totalCycles() const { return AppCycles + CompileCycles; }
   };
   const Stats &stats() const { return Stat; }

@@ -2,6 +2,8 @@
 
 #include "support/Statistics.h"
 
+#include "support/TablePrinter.h"
+
 #include <cassert>
 #include <cmath>
 
@@ -48,6 +50,14 @@ RunningStat jitml::summarize(const std::vector<double> &Xs) {
   for (double X : Xs)
     S.add(X);
   return S;
+}
+
+std::string jitml::formatCounterTable(const std::vector<CounterRow> &Rows) {
+  TablePrinter T;
+  T.setHeader({"counter", "value"});
+  for (const CounterRow &R : Rows)
+    T.addRow({R.Name, std::to_string(R.Value)});
+  return T.render();
 }
 
 double jitml::geometricMean(const std::vector<double> &Xs) {

@@ -13,6 +13,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace jitml {
@@ -47,6 +48,17 @@ RunningStat summarize(const std::vector<double> &Xs);
 
 /// Geometric mean of strictly positive values; returns 0 for empty input.
 double geometricMean(const std::vector<double> &Xs);
+
+/// One named monotonic counter, as reported by subsystems (e.g. the
+/// bridge's request/timeout/cache counters).
+struct CounterRow {
+  std::string Name;
+  uint64_t Value = 0;
+};
+
+/// Renders counter rows as an aligned two-column text table so experiment
+/// reports can include subsystem overhead next to the timing statistics.
+std::string formatCounterTable(const std::vector<CounterRow> &Rows);
 
 } // namespace jitml
 

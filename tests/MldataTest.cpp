@@ -175,6 +175,38 @@ TEST(Normalizer, ScalingFileRoundTrip) {
   EXPECT_FALSE(Scaling::fromText("garbage\n", Bad));
 }
 
+TEST(Normalizer, ScalingFileRejectsDuplicateIndexLines) {
+  std::vector<RankedInstance> Data(2);
+  Data[0].Features.set(CF_TreeNodes, 5);
+  Data[1].Features.set(CF_TreeNodes, 55);
+  Scaling S = Scaling::fit(Data);
+  std::string Text = S.toText();
+
+  // Regression: replace the line for index 1 with a duplicate of index 0.
+  // A line counter both sees NumFeatures lines and never notices that
+  // index 1 is missing; the bitset-based check must reject the file.
+  std::string Needle = "\n1 ";
+  size_t Pos = Text.find(Needle);
+  ASSERT_NE(Pos, std::string::npos);
+  size_t End = Text.find('\n', Pos + 1);
+  ASSERT_NE(End, std::string::npos);
+  Text.replace(Pos, End - Pos, "\n0 0 0");
+  Scaling Out;
+  EXPECT_FALSE(Scaling::fromText(Text, Out));
+
+  // A duplicate line alone (all indices otherwise present) is also a
+  // corrupt file.
+  std::string WithDup = S.toText() + "0 0 0\n";
+  EXPECT_FALSE(Scaling::fromText(WithDup, Out));
+
+  // And a missing line alone still fails.
+  std::string Missing = S.toText();
+  size_t P0 = Missing.find("\n1 ");
+  size_t E0 = Missing.find('\n', P0 + 1);
+  Missing.erase(P0, E0 - P0);
+  EXPECT_FALSE(Scaling::fromText(Missing, Out));
+}
+
 TEST(LabelMap, DenseLabelsAndInverse) {
   LabelMap L;
   int32_t A = L.labelFor(0xdead);
