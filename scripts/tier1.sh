@@ -1,16 +1,72 @@
 #!/usr/bin/env bash
-# Tier-1 verification: the regular build + full test suite (the ROADMAP
-# command), followed by an ASan+UBSan build (-DJITML_SANITIZE=ON) that
-# re-runs the bridge and mldata tests — the subsystems that parse
-# untrusted bytes off the wire and from model files.
-set -euo pipefail
+# Tier-1 verification, as a sequence of named suites:
+#
+#   build        regular configure + build
+#   tests        full ctest suite (the ROADMAP command)
+#   asan         ASan+UBSan build re-running the byte-parsing subsystems
+#                (bridge wire frames, model-file loaders)
+#   tsan         ThreadSanitizer build re-running the concurrent subsystems
+#                (compilation queue, code cache, async pipeline, shared
+#                bridge client, differential interpreter-vs-JIT checks)
+#
+# The script stops at the first failing suite with a non-zero exit, and
+# always ends with a summary table of every suite it reached.
+set -u
 cd "$(dirname "$0")/.."
 
-cmake -B build -S .
-cmake --build build -j"$(nproc)"
-(cd build && ctest --output-on-failure -j"$(nproc)")
+SUITES=()
+RESULTS=()
 
-cmake -B build-asan -S . -DJITML_SANITIZE=ON
-cmake --build build-asan -j"$(nproc)" --target jitml_tests
-(cd build-asan && ctest --output-on-failure -j"$(nproc)" -R \
-  'Message\.|Service\.|Transport\.|Resilient\.|BridgeFuzz\.|Normalizer\.|LabelMap\.|LibLinear\.|Ranker\.|Merger\.|Summaries\.')
+finish() {
+  local code=$1
+  echo
+  echo "== tier1 summary =="
+  printf '%-10s %s\n' "suite" "result"
+  printf '%-10s %s\n' "-----" "------"
+  for i in "${!SUITES[@]}"; do
+    printf '%-10s %s\n' "${SUITES[$i]}" "${RESULTS[$i]}"
+  done
+  exit "$code"
+}
+
+run_suite() {
+  local name=$1
+  shift
+  echo
+  echo "== tier1: $name =="
+  SUITES+=("$name")
+  if "$@"; then
+    RESULTS+=("PASS")
+  else
+    RESULTS+=("FAIL")
+    finish 1
+  fi
+}
+
+build_step() {
+  cmake -B build -S . && cmake --build build -j"$(nproc)"
+}
+
+tests_step() {
+  (cd build && ctest --output-on-failure -j"$(nproc)")
+}
+
+asan_step() {
+  cmake -B build-asan -S . -DJITML_SANITIZE=ON &&
+    cmake --build build-asan -j"$(nproc)" --target jitml_tests &&
+    (cd build-asan && ctest --output-on-failure -j"$(nproc)" -R \
+      'Message\.|Service\.|Transport\.|Resilient\.|BridgeFuzz\.|Normalizer\.|LabelMap\.|LibLinear\.|Ranker\.|Merger\.|Summaries\.')
+}
+
+tsan_step() {
+  cmake -B build-tsan -S . -DJITML_TSAN=ON &&
+    cmake --build build-tsan -j"$(nproc)" --target jitml_tests &&
+    (cd build-tsan && ctest --output-on-failure -j"$(nproc)" -R \
+      'CompilationQueue\.|CodeCache\.|AsyncPipeline\.|AsyncVM\.|Differential\.|DifferentialModifier\.|ConcurrentBridge\.')
+}
+
+run_suite build build_step
+run_suite tests tests_step
+run_suite asan asan_step
+run_suite tsan tsan_step
+finish 0

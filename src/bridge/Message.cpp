@@ -100,6 +100,22 @@ bool jitml::sendMessage(Transport &T, const Message &M) {
     break;
   case MsgType::Bye:
     break;
+  case MsgType::FeatureBatch:
+    putU16(Payload, (uint16_t)M.BatchFeatures.size());
+    for (const BatchFeatureEntry &E : M.BatchFeatures) {
+      Payload.push_back((uint8_t)E.Level);
+      putU16(Payload, (uint16_t)E.FeatureValues.size());
+      for (double V : E.FeatureValues)
+        putF64(Payload, V);
+    }
+    break;
+  case MsgType::ModifierBatch:
+    putU16(Payload, (uint16_t)M.BatchModifiers.size());
+    for (const BatchModifierEntry &E : M.BatchModifiers) {
+      Payload.push_back(E.HasModifier ? 1 : 0);
+      putU64(Payload, E.Bits);
+    }
+    break;
   }
   std::vector<uint8_t> Frame;
   putU32(Frame, (uint32_t)Payload.size());
@@ -146,6 +162,48 @@ RecvStatus decodePayload(const std::vector<uint8_t> &Payload, Message &Out) {
     return RecvStatus::Ok;
   case MsgType::Bye:
     return Rest == 0 ? RecvStatus::Ok : RecvStatus::Malformed;
+  case MsgType::FeatureBatch: {
+    if (Rest < 2)
+      return RecvStatus::Malformed;
+    uint16_t N = getU16(P);
+    if (N > MaxBatchEntries)
+      return RecvStatus::Malformed;
+    size_t Off = 2;
+    Out.BatchFeatures.resize(N);
+    for (uint16_t I = 0; I < N; ++I) {
+      if (Rest < Off + 3)
+        return RecvStatus::Malformed;
+      BatchFeatureEntry &E = Out.BatchFeatures[I];
+      E.Level = (OptLevel)P[Off];
+      if ((unsigned)E.Level >= NumOptLevels)
+        return RecvStatus::Malformed;
+      uint16_t Count = getU16(P + Off + 1);
+      Off += 3;
+      if (Rest < Off + (size_t)Count * 8)
+        return RecvStatus::Malformed;
+      E.FeatureValues.resize(Count);
+      for (uint16_t J = 0; J < Count; ++J)
+        E.FeatureValues[J] = getF64(P + Off + (size_t)J * 8);
+      Off += (size_t)Count * 8;
+    }
+    return Rest == Off ? RecvStatus::Ok : RecvStatus::Malformed;
+  }
+  case MsgType::ModifierBatch: {
+    if (Rest < 2)
+      return RecvStatus::Malformed;
+    uint16_t N = getU16(P);
+    if (N > MaxBatchEntries || Rest != 2 + (size_t)N * 9)
+      return RecvStatus::Malformed;
+    Out.BatchModifiers.resize(N);
+    for (uint16_t I = 0; I < N; ++I) {
+      const uint8_t *E = P + 2 + (size_t)I * 9;
+      if (E[0] > 1)
+        return RecvStatus::Malformed;
+      Out.BatchModifiers[I].HasModifier = E[0] == 1;
+      Out.BatchModifiers[I].Bits = getU64(E + 1);
+    }
+    return RecvStatus::Ok;
+  }
   }
   return RecvStatus::Malformed; // unknown message type
 }

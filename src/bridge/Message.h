@@ -12,6 +12,14 @@
 ///   Modifier := bits u64le
 ///   Error  := utf-8 text
 ///   Bye    := (empty)
+///   FeatureBatch := n u16le | n x (level u8 | count u16le | count x f64le)
+///   ModifierBatch := n u16le | n x (has u8 | bits u64le)
+///
+/// FeatureBatch/ModifierBatch let one round trip serve a whole backlog of
+/// compilations (the async pipeline's workers dequeue in batches). The
+/// reply carries exactly one entry per request entry, in order; has=0
+/// means "no model for this entry" and the compiler falls back to the
+/// unmodified plan for that method only.
 ///
 /// The model side owns the scaling file and the label lookup table, so the
 /// compiler ships raw feature values and receives a ready-to-install
@@ -36,7 +44,25 @@ enum class MsgType : uint8_t {
   Modifier = 3,
   Error = 4,
   Bye = 5,
+  FeatureBatch = 6,
+  ModifierBatch = 7,
 };
+
+/// One entry of a FeatureBatch request.
+struct BatchFeatureEntry {
+  OptLevel Level = OptLevel::Cold;
+  std::vector<double> FeatureValues;
+};
+
+/// One entry of a ModifierBatch reply.
+struct BatchModifierEntry {
+  bool HasModifier = false; ///< false: no model covers this entry
+  uint64_t Bits = 0;
+};
+
+/// Largest accepted FeatureBatch entry count (well under the 1 MiB frame
+/// cap even at 71 features per entry).
+constexpr size_t MaxBatchEntries = 256;
 
 struct Message {
   MsgType Type = MsgType::Bye;
@@ -46,6 +72,8 @@ struct Message {
   std::vector<double> FeatureValues;  ///< Features
   uint64_t ModifierBits = 0;          ///< Modifier
   std::string Text;                   ///< Error
+  std::vector<BatchFeatureEntry> BatchFeatures;   ///< FeatureBatch
+  std::vector<BatchModifierEntry> BatchModifiers; ///< ModifierBatch
 };
 
 /// Result of a deadline-aware read.

@@ -59,6 +59,29 @@ uint64_t jitml::serveModel(Transport &T, ModelBackend &Backend) {
       ++Served;
       break;
     }
+    case MsgType::FeatureBatch: {
+      // One reply entry per request entry, in order. A bad entry (wrong
+      // feature count) or an uncovered level degrades that entry alone to
+      // has=0; the rest of the batch still gets real predictions.
+      Message Reply;
+      Reply.Type = MsgType::ModifierBatch;
+      Reply.BatchModifiers.resize(In.BatchFeatures.size());
+      for (size_t I = 0; I < In.BatchFeatures.size(); ++I) {
+        const BatchFeatureEntry &E = In.BatchFeatures[I];
+        if (E.FeatureValues.size() != NumFeatures)
+          continue; // HasModifier stays false
+        std::optional<uint64_t> Bits =
+            Backend.predictModifier(E.Level, E.FeatureValues);
+        if (Bits) {
+          Reply.BatchModifiers[I].HasModifier = true;
+          Reply.BatchModifiers[I].Bits = *Bits;
+          ++Served;
+        }
+      }
+      if (!sendMessage(T, Reply))
+        return Served;
+      break;
+    }
     case MsgType::Bye:
       return Served;
     default: {

@@ -4,6 +4,7 @@
 
 #include "support/Statistics.h"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 
@@ -15,7 +16,8 @@ std::vector<std::pair<std::string, uint64_t>> BridgeCounters::rows() const {
       {"cacheFlushes", CacheFlushes}, {"wireRequests", WireRequests},
       {"timeouts", Timeouts},         {"retries", Retries},
       {"reconnects", Reconnects},     {"errorReplies", ErrorReplies},
-      {"fallbacks", Fallbacks},       {"bytesSent", BytesSent},
+      {"fallbacks", Fallbacks},       {"batchRequests", BatchRequests},
+      {"batchItems", BatchItems},     {"bytesSent", BytesSent},
       {"bytesReceived", BytesReceived},
   };
 }
@@ -56,10 +58,12 @@ ResilientModelClient::ResilientModelClient(TransportFactory F, Config C)
 ResilientModelClient::~ResilientModelClient() { bye(); }
 
 bool ResilientModelClient::usable() const {
+  std::lock_guard<std::mutex> Lock(Mu);
   return !Poisoned && (Wire != nullptr || Factory != nullptr);
 }
 
 BridgeCounters ResilientModelClient::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
   BridgeCounters C = Count;
   if (Wire) {
     C.BytesSent += Wire->bytesSent();
@@ -171,6 +175,13 @@ void ResilientModelClient::cacheInsert(uint64_t Key,
 std::optional<uint64_t>
 ResilientModelClient::requestModifier(OptLevel Level,
                                       const FeatureVector &Features) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return requestModifierLocked(Level, Features);
+}
+
+std::optional<uint64_t>
+ResilientModelClient::requestModifierLocked(OptLevel Level,
+                                            const FeatureVector &Features) {
   ++Count.Requests;
   uint64_t Key = cacheKey(Level, Features.hash());
   if (Cfg.CacheCapacity != 0) {
@@ -207,7 +218,118 @@ ResilientModelClient::requestModifier(OptLevel Level,
   return std::nullopt;
 }
 
+bool ResilientModelClient::tryBatchOnce(
+    const std::vector<BatchRequest> &Items, const std::vector<size_t> &Misses,
+    std::vector<std::optional<uint64_t>> &Answers) {
+  Message M;
+  M.Type = MsgType::FeatureBatch;
+  M.BatchFeatures.resize(Misses.size());
+  for (size_t I = 0; I < Misses.size(); ++I) {
+    BatchFeatureEntry &E = M.BatchFeatures[I];
+    E.Level = Items[Misses[I]].Level;
+    E.FeatureValues.reserve(NumFeatures);
+    for (unsigned F = 0; F < NumFeatures; ++F)
+      E.FeatureValues.push_back((double)Items[Misses[I]].Features.get(F));
+  }
+  ++Count.WireRequests;
+  if (!sendMessage(*Wire, M)) {
+    dropConnection();
+    return false;
+  }
+  Message Reply;
+  RecvStatus S = recvMessageFor(*Wire, Reply, Cfg.RequestTimeoutMs);
+  if (S == RecvStatus::Timeout) {
+    ++Count.Timeouts;
+    dropConnection(); // the stream may be mid-frame: unusable
+    return false;
+  }
+  if (S != RecvStatus::Ok) {
+    dropConnection();
+    return false;
+  }
+  if (Reply.Type == MsgType::ModifierBatch &&
+      Reply.BatchModifiers.size() == Misses.size()) {
+    for (size_t I = 0; I < Misses.size(); ++I) {
+      const BatchModifierEntry &E = Reply.BatchModifiers[I];
+      Answers[Misses[I]] =
+          E.HasModifier ? std::optional<uint64_t>(E.Bits) : std::nullopt;
+    }
+    return true;
+  }
+  if (Reply.Type == MsgType::Error) {
+    // Definitive server-side refusal: every entry falls back.
+    ++Count.ErrorReplies;
+    return true;
+  }
+  // Wrong reply type or wrong entry count: the peer is not speaking our
+  // dialect; stop trusting the connection.
+  dropConnection();
+  return false;
+}
+
+std::vector<std::optional<uint64_t>> ResilientModelClient::requestModifierBatch(
+    const std::vector<BatchRequest> &Items) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  ++Count.BatchRequests;
+  Count.BatchItems += Items.size();
+  std::vector<std::optional<uint64_t>> Answers(Items.size());
+
+  // Answer what we can from the prediction cache; collect the misses.
+  std::vector<size_t> Misses;
+  std::vector<uint64_t> Keys(Items.size());
+  for (size_t I = 0; I < Items.size(); ++I) {
+    ++Count.Requests;
+    Keys[I] = cacheKey(Items[I].Level, Items[I].Features.hash());
+    if (Cfg.CacheCapacity != 0) {
+      auto It = Cache.find(Keys[I]);
+      if (It != Cache.end()) {
+        ++Count.CacheHits;
+        if (!It->second)
+          ++Count.Fallbacks;
+        Answers[I] = It->second;
+        continue;
+      }
+    }
+    Misses.push_back(I);
+  }
+
+  // Ship the misses in protocol-sized chunks, each with the single-request
+  // retry/backoff budget.
+  for (size_t Start = 0; Start < Misses.size(); Start += MaxBatchEntries) {
+    std::vector<size_t> Chunk(
+        Misses.begin() + (std::ptrdiff_t)Start,
+        Misses.begin() +
+            (std::ptrdiff_t)std::min(Start + MaxBatchEntries, Misses.size()));
+    bool Answered = false;
+    double Backoff = (double)Cfg.InitialBackoffMs;
+    for (unsigned Attempt = 0; Attempt < Cfg.MaxAttempts; ++Attempt) {
+      if (Attempt > 0) {
+        if (Poisoned)
+          break;
+        ++Count.Retries;
+        if (Backoff >= 1.0 && Sleep)
+          Sleep((int)Backoff);
+        Backoff *= Cfg.BackoffMultiplier;
+      }
+      if (!ensureConnected())
+        continue;
+      if (tryBatchOnce(Items, Chunk, Answers)) {
+        Answered = true;
+        break;
+      }
+    }
+    for (size_t I : Chunk) {
+      if (Answered)
+        cacheInsert(Keys[I], Answers[I]);
+      if (!Answers[I])
+        ++Count.Fallbacks;
+    }
+  }
+  return Answers;
+}
+
 void ResilientModelClient::bye() {
+  std::lock_guard<std::mutex> Lock(Mu);
   if (!Wire)
     return;
   Message M;

@@ -25,6 +25,14 @@
 /// failure poisons it and every later request falls back immediately —
 /// degraded but never hung.
 ///
+/// Thread safety: one client may be shared by the async pipeline's worker
+/// threads. All public entry points serialize on an internal mutex — the
+/// protocol is strictly request/reply over a single connection, so
+/// serialization is the correct concurrency model (interleaved frames
+/// from two threads would corrupt the stream). Workers that want
+/// concurrency across a backlog should use requestModifierBatch, which
+/// amortizes one lock/round trip over many predictions.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JITML_BRIDGE_RESILIENTCLIENT_H
@@ -34,6 +42,7 @@
 
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
 namespace jitml {
@@ -49,6 +58,8 @@ struct BridgeCounters {
   uint64_t Reconnects = 0;    ///< successful factory reconnects
   uint64_t ErrorReplies = 0;  ///< server answered with an Error message
   uint64_t Fallbacks = 0;     ///< requests resolved to "use the base plan"
+  uint64_t BatchRequests = 0; ///< requestModifierBatch calls
+  uint64_t BatchItems = 0;    ///< entries across all batch calls
   uint64_t BytesSent = 0;     ///< wire bytes written (framing included)
   uint64_t BytesReceived = 0; ///< wire bytes read
 
@@ -102,6 +113,21 @@ public:
   std::optional<uint64_t> requestModifier(OptLevel Level,
                                           const FeatureVector &Features);
 
+  /// One entry of a batched prediction request.
+  struct BatchRequest {
+    OptLevel Level = OptLevel::Cold;
+    FeatureVector Features;
+  };
+
+  /// Predicts for a whole backlog in (at most ceil(n / MaxBatchEntries))
+  /// wire round trips: cache hits are answered locally, the misses travel
+  /// together in one FeatureBatch frame. The result has exactly one entry
+  /// per request entry, in order; nullopt entries fall back to the
+  /// unmodified plan. Same deadline/retry/fallback budget per round trip
+  /// as requestModifier.
+  std::vector<std::optional<uint64_t>>
+  requestModifierBatch(const std::vector<BatchRequest> &Items);
+
   /// Polite shutdown of the current connection, if any.
   void bye();
 
@@ -123,8 +149,15 @@ private:
   /// dropped.
   bool tryOnce(OptLevel Level, const FeatureVector &Features,
                std::optional<uint64_t> &Answer);
+  /// One FeatureBatch round trip for \p Misses (indices into Items).
+  bool tryBatchOnce(const std::vector<BatchRequest> &Items,
+                    const std::vector<size_t> &Misses,
+                    std::vector<std::optional<uint64_t>> &Answers);
+  std::optional<uint64_t> requestModifierLocked(OptLevel Level,
+                                                const FeatureVector &Features);
   void cacheInsert(uint64_t Key, std::optional<uint64_t> Answer);
 
+  mutable std::mutex Mu; ///< serializes all public entry points
   Config Cfg;
   TransportFactory Factory;                ///< empty in single-connection mode
   std::unique_ptr<Transport> Owned;        ///< current raw connection

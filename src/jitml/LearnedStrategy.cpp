@@ -56,3 +56,22 @@ jitml::makeResilientHook(ResilientModelClient &Client) {
     return Bits ? PlanModifier::fromRaw(*Bits) : PlanModifier();
   };
 }
+
+AsyncCompilePipeline::BatchModifierFn
+jitml::makeResilientBatchHook(ResilientModelClient &Client) {
+  return [&Client](const std::vector<AsyncCompilePipeline::BatchPredictItem>
+                       &Items) {
+    std::vector<ResilientModelClient::BatchRequest> Requests(Items.size());
+    for (size_t I = 0; I < Items.size(); ++I) {
+      Requests[I].Level = Items[I].Level;
+      Requests[I].Features = Items[I].Features;
+    }
+    std::vector<std::optional<uint64_t>> Bits =
+        Client.requestModifierBatch(Requests);
+    std::vector<PlanModifier> Modifiers(Items.size());
+    for (size_t I = 0; I < Bits.size() && I < Modifiers.size(); ++I)
+      if (Bits[I])
+        Modifiers[I] = PlanModifier::fromRaw(*Bits[I]);
+    return Modifiers;
+  };
+}

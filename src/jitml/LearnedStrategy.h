@@ -24,6 +24,9 @@
 
 namespace jitml {
 
+/// Thread-safe: the model set is immutable after construction and the
+/// prediction counter is atomic, so the async pipeline's workers may share
+/// one provider without locking.
 class LearnedStrategyProvider : public ModelBackend {
 public:
   explicit LearnedStrategyProvider(ModelSet Models)
@@ -40,11 +43,13 @@ public:
 
   const ModelSet &models() const { return Models; }
 
-  uint64_t predictions() const { return Predictions; }
+  uint64_t predictions() const {
+    return Predictions.load(std::memory_order_relaxed);
+  }
 
 private:
   ModelSet Models;
-  uint64_t Predictions = 0;
+  std::atomic<uint64_t> Predictions{0};
 };
 
 /// Hook adapter: plugs a provider into VirtualMachine::setModifierHook.
@@ -59,6 +64,13 @@ VirtualMachine::ModifierHook makeBridgedHook(ModelClient &Client);
 /// service cannot answer — a slow or dead service degrades compilation
 /// quality, never availability.
 VirtualMachine::ModifierHook makeResilientHook(ResilientModelClient &Client);
+
+/// Batch-hook adapter for the async pipeline: a worker's whole dequeued
+/// backlog travels in one FeatureBatch round trip through the hardened
+/// client. Entries the service cannot answer fall back to the unmodified
+/// plan individually.
+AsyncCompilePipeline::BatchModifierFn
+makeResilientBatchHook(ResilientModelClient &Client);
 
 } // namespace jitml
 

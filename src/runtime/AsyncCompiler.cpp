@@ -1,0 +1,182 @@
+//===- runtime/AsyncCompiler.cpp ------------------------------------------===//
+
+#include "runtime/AsyncCompiler.h"
+
+#include "codegen/CodeGenerator.h"
+#include "features/FeatureExtractor.h"
+#include "il/ILGenerator.h"
+#include "il/LoopInfo.h"
+#include "opt/Optimizer.h"
+
+#include <stdexcept>
+
+using namespace jitml;
+
+CompiledBody jitml::compileMethodBody(const Program &P, uint32_t MethodIndex,
+                                      const CompilationPlan &Plan,
+                                      const PlanModifier &Modifier,
+                                      const CostModel &Cost) {
+  std::unique_ptr<MethodIL> IL = generateIL(P, MethodIndex);
+  LoopInfo::annotateFrequencies(*IL);
+  FeatureVector Features = extractFeatures(*IL);
+
+  OptimizeResult Opt = optimize(*IL, Plan, Modifier.enabledMask());
+  NativeMethod Native = generateCode(*IL, Opt.CodegenOptions, Plan.Level, Cost);
+
+  CompiledBody Out;
+  Out.CompileCycles = Opt.CompileCycles + Native.CompileCycles;
+  Native.CompileCycles = Out.CompileCycles;
+  Out.Features = Features;
+  Out.Native = std::make_unique<NativeMethod>(std::move(Native));
+  return Out;
+}
+
+FeatureVector jitml::extractMethodFeatures(const Program &P,
+                                           uint32_t MethodIndex) {
+  std::unique_ptr<MethodIL> IL = generateIL(P, MethodIndex);
+  return extractFeatures(*IL);
+}
+
+AsyncCompilePipeline::AsyncCompilePipeline(const Program &P,
+                                           const CostModel &Cost,
+                                           CodeCache &Cache, Config C)
+    : Prog(P), Cost(Cost), Cache(Cache), Cfg(C),
+      Queue(C.QueueCapacity ? C.QueueCapacity : 1) {
+  unsigned N = Cfg.Workers ? Cfg.Workers : 1;
+  Workers.reserve(N);
+  for (unsigned I = 0; I < N; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+AsyncCompilePipeline::~AsyncCompilePipeline() { shutdown(false); }
+
+void AsyncCompilePipeline::setModifierHook(ModifierFn H) {
+  std::lock_guard<std::mutex> Lock(HookMu);
+  Hook = std::move(H);
+}
+
+void AsyncCompilePipeline::setBatchModifierHook(BatchModifierFn H) {
+  std::lock_guard<std::mutex> Lock(HookMu);
+  BatchHook = std::move(H);
+}
+
+CompilationQueue::EnqueueResult
+AsyncCompilePipeline::request(uint32_t MethodIndex, OptLevel Level,
+                              bool IsExploration, uint64_t Priority) {
+  return Queue.enqueue(MethodIndex, Level, IsExploration, Priority);
+}
+
+std::vector<CompileCompletion> AsyncCompilePipeline::takeCompletions() {
+  std::lock_guard<std::mutex> Lock(CompletionMu);
+  std::vector<CompileCompletion> Out;
+  Out.swap(Completions);
+  CompletionsReady.store(false, std::memory_order_release);
+  return Out;
+}
+
+void AsyncCompilePipeline::drain() { Queue.drain(); }
+
+void AsyncCompilePipeline::shutdown(bool FinishPending) {
+  {
+    std::lock_guard<std::mutex> Lock(HookMu);
+    if (ShutDown)
+      return;
+    ShutDown = true;
+  }
+  Queue.close(FinishPending);
+  for (std::thread &W : Workers)
+    W.join();
+  Workers.clear();
+}
+
+std::vector<PlanModifier> AsyncCompilePipeline::modifiersForBatch(
+    const std::vector<AsyncCompileTask> &Tasks,
+    std::vector<CompileCompletion> &Partial) {
+  ModifierFn H;
+  BatchModifierFn BH;
+  {
+    std::lock_guard<std::mutex> Lock(HookMu);
+    H = Hook;
+    BH = BatchHook;
+  }
+  std::vector<PlanModifier> Mods(Tasks.size());
+  if (!H && !BH)
+    return Mods; // null modifiers: the out-of-the-box compiler
+
+  if (BH && Tasks.size() > 1) {
+    // One round trip for the whole backlog.
+    std::vector<BatchPredictItem> Items(Tasks.size());
+    for (size_t I = 0; I < Tasks.size(); ++I) {
+      Items[I].MethodIndex = Tasks[I].MethodIndex;
+      Items[I].Level = Tasks[I].Level;
+      Items[I].Features = extractMethodFeatures(Prog, Tasks[I].MethodIndex);
+    }
+    BatchPredicts.fetch_add(1, std::memory_order_relaxed);
+    try {
+      std::vector<PlanModifier> Got = BH(Items);
+      if (Got.size() == Tasks.size())
+        return Got;
+    } catch (...) {
+      // fall through to the failure accounting below
+    }
+    for (CompileCompletion &C : Partial)
+      C.HookFailed = true;
+    return Mods; // null modifiers for the whole batch
+  }
+
+  for (size_t I = 0; I < Tasks.size(); ++I) {
+    FeatureVector F = extractMethodFeatures(Prog, Tasks[I].MethodIndex);
+    try {
+      if (BH) {
+        BatchPredicts.fetch_add(1, std::memory_order_relaxed);
+        std::vector<BatchPredictItem> One(1);
+        One[0] = {Tasks[I].MethodIndex, Tasks[I].Level, F};
+        std::vector<PlanModifier> Got = BH(One);
+        if (Got.size() != 1)
+          throw std::runtime_error("batch hook size mismatch");
+        Mods[I] = Got[0];
+      } else {
+        Mods[I] = H(Tasks[I].MethodIndex, Tasks[I].Level, F);
+      }
+    } catch (...) {
+      Partial[I].HookFailed = true;
+      Mods[I] = PlanModifier();
+    }
+  }
+  return Mods;
+}
+
+void AsyncCompilePipeline::workerLoop() {
+  for (;;) {
+    std::vector<AsyncCompileTask> Tasks = Queue.dequeueBatch(Cfg.MaxPredictBatch);
+    if (Tasks.empty())
+      return; // closed and drained
+
+    std::vector<CompileCompletion> Done(Tasks.size());
+    std::vector<PlanModifier> Mods = modifiersForBatch(Tasks, Done);
+
+    for (size_t I = 0; I < Tasks.size(); ++I) {
+      const AsyncCompileTask &T = Tasks[I];
+      CompiledBody Body = compileMethodBody(Prog, T.MethodIndex,
+                                            planForLevel(T.Level), Mods[I],
+                                            Cost);
+      CompileCompletion &C = Done[I];
+      C.MethodIndex = T.MethodIndex;
+      C.Level = T.Level;
+      C.Modifier = Mods[I];
+      C.Features = Body.Features;
+      C.CompileCycles = Body.CompileCycles;
+      C.IsExplorationRecompile = T.IsExplorationRecompile;
+      C.Installed = Cache.install(T.MethodIndex, std::move(Body.Native),
+                                  T.Ticket);
+      {
+        std::lock_guard<std::mutex> Lock(CompletionMu);
+        Completions.push_back(C);
+        CompletionsReady.store(true, std::memory_order_release);
+      }
+      // Publish the completion before declaring the task done, so a
+      // drain() that observes quiescence also observes every completion.
+      Queue.noteDone(T.MethodIndex);
+    }
+  }
+}

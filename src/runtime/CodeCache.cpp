@@ -1,0 +1,47 @@
+//===- runtime/CodeCache.cpp ----------------------------------------------===//
+
+#include "runtime/CodeCache.h"
+
+using namespace jitml;
+
+void CodeCache::reset(size_t NumMethods) {
+  Slots = std::vector<Slot>(NumMethods);
+}
+
+bool CodeCache::install(uint32_t MethodIndex,
+                        std::unique_ptr<NativeMethod> Body, uint64_t Ticket) {
+  assert(MethodIndex < Slots.size() && "method index out of range");
+  std::lock_guard<std::mutex> Lock(Mu);
+  Slot &S = Slots[MethodIndex];
+  if (Ticket <= S.LastTicket) {
+    // A newer request's code already landed; this body lost the race.
+    StaleRejected.fetch_add(1, std::memory_order_relaxed);
+    Retired.push_back(std::move(Body));
+    return false;
+  }
+  const NativeMethod *Old = S.Body.load(std::memory_order_relaxed);
+  S.LastTicket = Ticket;
+  // Release: the body's contents are complete before the pointer is
+  // visible to the dispatch loop's acquire load.
+  S.Body.store(Body.release(), std::memory_order_release);
+  if (Old)
+    Retired.push_back(
+        std::unique_ptr<NativeMethod>(const_cast<NativeMethod *>(Old)));
+  Installs.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void CodeCache::reclaimRetired() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Retired.clear();
+}
+
+size_t CodeCache::retiredCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Retired.size();
+}
+
+CodeCache::~CodeCache() {
+  for (Slot &S : Slots)
+    delete S.Body.load(std::memory_order_relaxed);
+}

@@ -1,0 +1,94 @@
+//===- runtime/CodeCache.h - Atomic code installation handoff ---*- C++ -*-===//
+///
+/// \file
+/// The per-method table of compiled bodies, built for a dispatch loop that
+/// must never take a lock: lookup() is a single acquire-load of the slot's
+/// pointer, so the interpreter picks up freshly installed code at the next
+/// invocation with no synchronization beyond the load itself.
+///
+/// Memory-ordering contract: install() publishes the fully constructed
+/// NativeMethod with a release store; lookup() reads it with an acquire
+/// load. Everything the compiler wrote into the body therefore
+/// happens-before any execution of it on the reading thread.
+///
+/// Install ordering: every installation carries the ticket its compile
+/// request drew (CompilationQueue). A slot only accepts tickets newer than
+/// the last accepted one, so when a recompilation races an in-progress
+/// compile of the same method, whichever worker finishes *last* cannot
+/// clobber the *newer* request's code — the stale body is rejected and
+/// retired unpublished.
+///
+/// Reclamation: replaced (and rejected) bodies are parked on a retire
+/// list instead of being freed, because an execution engine may still be
+/// running them — a recursive method can trigger its own recompilation
+/// while outer frames of the old body are live, and in async mode the
+/// interpreter thread may be mid-body when a worker installs. Retired
+/// bodies are reclaimed by reclaimRetired() at known-quiescent points (VM
+/// destruction, explicit drain), never during execution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_RUNTIME_CODECACHE_H
+#define JITML_RUNTIME_CODECACHE_H
+
+#include "codegen/NativeInst.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace jitml {
+
+class CodeCache {
+public:
+  CodeCache() = default;
+  CodeCache(const CodeCache &) = delete;
+  CodeCache &operator=(const CodeCache &) = delete;
+
+  /// Sizes the table; call once before any install/lookup.
+  void reset(size_t NumMethods);
+
+  /// Wait-free read of the current body; nullptr while interpreted.
+  const NativeMethod *lookup(uint32_t MethodIndex) const {
+    return Slots[MethodIndex].Body.load(std::memory_order_acquire);
+  }
+
+  /// Publishes \p Body for \p MethodIndex if \p Ticket is newer than the
+  /// slot's last accepted install. Returns true when the body became
+  /// current; false means a newer compile already landed and \p Body was
+  /// retired unpublished.
+  bool install(uint32_t MethodIndex, std::unique_ptr<NativeMethod> Body,
+               uint64_t Ticket);
+
+  /// Frees retired bodies. Only call when no engine can be executing old
+  /// code (single-threaded operation, or after a pipeline drain with no
+  /// invocation in progress).
+  void reclaimRetired();
+
+  uint64_t installs() const {
+    return Installs.load(std::memory_order_relaxed);
+  }
+  uint64_t staleRejected() const {
+    return StaleRejected.load(std::memory_order_relaxed);
+  }
+  size_t retiredCount() const;
+
+  ~CodeCache();
+
+private:
+  struct Slot {
+    std::atomic<const NativeMethod *> Body{nullptr};
+    uint64_t LastTicket = 0; ///< guarded by Mu
+  };
+
+  std::vector<Slot> Slots;
+  mutable std::mutex Mu; ///< serializes installs and the retire list
+  std::vector<std::unique_ptr<NativeMethod>> Retired;
+  std::atomic<uint64_t> Installs{0};
+  std::atomic<uint64_t> StaleRejected{0};
+};
+
+} // namespace jitml
+
+#endif // JITML_RUNTIME_CODECACHE_H

@@ -1,0 +1,134 @@
+//===- runtime/CompilationQueue.cpp ---------------------------------------===//
+
+#include "runtime/CompilationQueue.h"
+
+#include <algorithm>
+
+using namespace jitml;
+
+CompilationQueue::EnqueueResult
+CompilationQueue::enqueue(uint32_t MethodIndex, OptLevel Level,
+                          bool IsExploration, uint64_t Priority) {
+  EnqueueResult Result;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (Closed)
+      return EnqueueResult::Closed;
+
+    auto It = std::find_if(Pending.begin(), Pending.end(),
+                           [&](const AsyncCompileTask &T) {
+                             return T.MethodIndex == MethodIndex;
+                           });
+    if (It != Pending.end()) {
+      // Coalesce: the newest request supersedes the pending one. Keep the
+      // higher level (a promotion beats a same-level exploration request)
+      // and the higher priority; the merged entry takes a fresh ticket so
+      // its install outranks anything already in flight for this method.
+      It->Level = std::max(It->Level, Level);
+      It->IsExplorationRecompile = IsExploration && It->IsExplorationRecompile;
+      It->Priority = std::max(It->Priority, Priority);
+      It->Ticket = NextTicket++;
+      ++Count.Coalesced;
+      Result = EnqueueResult::Coalesced;
+    } else if (Pending.size() >= Capacity) {
+      ++Count.Overflows;
+      return EnqueueResult::Overflow;
+    } else {
+      AsyncCompileTask T;
+      T.MethodIndex = MethodIndex;
+      T.Level = Level;
+      T.IsExplorationRecompile = IsExploration;
+      T.Priority = Priority;
+      T.Ticket = NextTicket++;
+      Pending.push_back(T);
+      ++Count.Enqueued;
+      Count.MaxDepth = std::max(Count.MaxDepth, (uint64_t)Pending.size());
+      Result = EnqueueResult::Enqueued;
+    }
+  }
+  WorkCv.notify_one();
+  return Result;
+}
+
+std::optional<AsyncCompileTask> CompilationQueue::dequeue() {
+  std::vector<AsyncCompileTask> Batch = dequeueBatch(1);
+  if (Batch.empty())
+    return std::nullopt;
+  return Batch.front();
+}
+
+std::vector<AsyncCompileTask> CompilationQueue::dequeueBatch(size_t Max) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  WorkCv.wait(Lock, [&] { return !Pending.empty() || Closed; });
+  std::vector<AsyncCompileTask> Out;
+  while (Out.size() < Max && !Pending.empty()) {
+    // Highest invocation count first (ties broken toward the older
+    // request, which has waited longest). Linear scan: the queue is
+    // bounded and small, so this beats heap bookkeeping under coalescing.
+    auto Best = std::max_element(Pending.begin(), Pending.end(),
+                                 [](const AsyncCompileTask &A,
+                                    const AsyncCompileTask &B) {
+                                   if (A.Priority != B.Priority)
+                                     return A.Priority < B.Priority;
+                                   return A.Ticket > B.Ticket;
+                                 });
+    Out.push_back(*Best);
+    Pending.erase(Best);
+    InFlight.insert(Out.back().MethodIndex);
+    ++Count.Dequeued;
+  }
+  return Out;
+}
+
+void CompilationQueue::noteDone(uint32_t MethodIndex) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = InFlight.find(MethodIndex);
+    assert(It != InFlight.end() && "noteDone without matching dequeue");
+    InFlight.erase(It);
+    if (!quiescentLocked())
+      return;
+  }
+  DrainCv.notify_all();
+}
+
+void CompilationQueue::drain() {
+  std::unique_lock<std::mutex> Lock(Mu);
+  DrainCv.wait(Lock, [&] { return quiescentLocked(); });
+}
+
+void CompilationQueue::close(bool FinishPending) {
+  bool Quiescent;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Closed = true;
+    if (!FinishPending) {
+      Count.Discarded += Pending.size();
+      Pending.clear();
+    }
+    Quiescent = quiescentLocked();
+  }
+  WorkCv.notify_all();
+  if (Quiescent)
+    DrainCv.notify_all();
+}
+
+uint64_t CompilationQueue::takeTicket() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return NextTicket++;
+}
+
+size_t CompilationQueue::pendingSize() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Pending.size();
+}
+
+bool CompilationQueue::isClosed() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Closed;
+}
+
+CompilationQueue::Counters CompilationQueue::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Count;
+}

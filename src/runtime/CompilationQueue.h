@@ -1,0 +1,127 @@
+//===- runtime/CompilationQueue.h - Bounded MPMC compile queue --*- C++ -*-===//
+///
+/// \file
+/// The waiting room between the interpreter and the compiler worker pool:
+/// a bounded, thread-safe multi-producer/multi-consumer queue of compile
+/// requests, ordered by priority (the method's invocation count, so the
+/// hottest method is always compiled next — Testarossa's compilation queue
+/// behaves the same way).
+///
+/// Three properties matter for the dispatch loop:
+///  * bounded: a full queue rejects the request (Overflow) and the caller
+///    keeps interpreting — backpressure never blocks the application;
+///  * coalescing: a request for a method that is already pending replaces
+///    the pending entry (highest level / priority / newest ticket wins)
+///    instead of occupying a second slot, so the triggers re-firing every
+///    invocation until the install lands cannot flood the queue;
+///  * tickets: every accepted request carries a monotonically increasing
+///    ticket drawn at enqueue time. Installation order is resolved by
+///    ticket, so a stale compile finishing late can never overwrite the
+///    code of a newer request (see CodeCache).
+///
+/// In-flight bookkeeping (markInFlight/noteDone) lets drain() wait for
+/// true quiescence: empty queue AND no compilation between dequeue and
+/// install.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_RUNTIME_COMPILATIONQUEUE_H
+#define JITML_RUNTIME_COMPILATIONQUEUE_H
+
+#include "opt/Plan.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+namespace jitml {
+
+/// One queued compilation request.
+struct AsyncCompileTask {
+  uint32_t MethodIndex = 0;
+  OptLevel Level = OptLevel::Cold;
+  bool IsExplorationRecompile = false;
+  /// Invocation count at request time; the queue serves high values first.
+  uint64_t Priority = 0;
+  /// Request-order sequence number; installs are ordered by it.
+  uint64_t Ticket = 0;
+};
+
+class CompilationQueue {
+public:
+  enum class EnqueueResult : uint8_t {
+    Enqueued,  ///< a new pending entry was created
+    Coalesced, ///< merged into an existing pending entry for the method
+    Overflow,  ///< queue full: caller keeps interpreting
+    Closed,    ///< shutdown already started
+  };
+
+  /// Monotonic counters (snapshot via counters()).
+  struct Counters {
+    uint64_t Enqueued = 0;
+    uint64_t Coalesced = 0;
+    uint64_t Overflows = 0;
+    uint64_t Dequeued = 0;
+    uint64_t Discarded = 0; ///< pending entries dropped by close(false)
+    uint64_t MaxDepth = 0;  ///< high-water mark of pending entries
+  };
+
+  explicit CompilationQueue(size_t Capacity) : Capacity(Capacity) {}
+
+  /// Submits a request. Never blocks. Tickets are assigned internally in
+  /// arrival order (also on coalesce: the merged entry takes the newest
+  /// ticket, since it represents the newest request).
+  EnqueueResult enqueue(uint32_t MethodIndex, OptLevel Level,
+                        bool IsExploration, uint64_t Priority);
+
+  /// Blocks until a task is available or the queue is closed; nullopt
+  /// means "closed and drained" and tells a worker to exit. The dequeued
+  /// method is marked in-flight until noteDone().
+  std::optional<AsyncCompileTask> dequeue();
+
+  /// Dequeues up to \p Max tasks in one lock acquisition (so one batched
+  /// model round trip can serve a whole backlog). Blocks like dequeue();
+  /// an empty vector means the queue is closed.
+  std::vector<AsyncCompileTask> dequeueBatch(size_t Max);
+
+  /// Marks a dequeued task's compilation complete (install done or task
+  /// abandoned). Required for drain() to observe quiescence.
+  void noteDone(uint32_t MethodIndex);
+
+  /// Blocks until no task is pending or in flight. Safe to call while
+  /// producers are quiet; racing producers just extend the wait.
+  void drain();
+
+  /// Stops accepting work. With \p FinishPending, workers drain what is
+  /// queued before seeing "closed"; otherwise pending entries are
+  /// discarded (counted) and only in-flight compilations finish.
+  void close(bool FinishPending);
+
+  /// Draws a ticket without enqueueing. Synchronous (direct) compiles use
+  /// this so their installs order correctly against queued requests.
+  uint64_t takeTicket();
+
+  size_t pendingSize() const;
+  bool isClosed() const;
+  Counters counters() const;
+
+private:
+  bool quiescentLocked() const { return Pending.empty() && InFlight.empty(); }
+
+  const size_t Capacity;
+  mutable std::mutex Mu;
+  std::condition_variable WorkCv;  ///< signaled on enqueue/close
+  std::condition_variable DrainCv; ///< signaled on possible quiescence
+  std::vector<AsyncCompileTask> Pending;
+  std::unordered_multiset<uint32_t> InFlight;
+  uint64_t NextTicket = 1;
+  bool Closed = false;
+  Counters Count;
+};
+
+} // namespace jitml
+
+#endif // JITML_RUNTIME_COMPILATIONQUEUE_H

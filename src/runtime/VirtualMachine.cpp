@@ -4,7 +4,6 @@
 
 #include "il/ILGenerator.h"
 #include "il/LoopInfo.h"
-#include "features/FeatureExtractor.h"
 #include "runtime/ExecInternal.h"
 
 using namespace jitml;
@@ -14,15 +13,40 @@ JitEventListener::~JitEventListener() = default;
 VirtualMachine::VirtualMachine(const Program &P, const Config &C)
     : Prog(P), Cfg(C), Clock(C.Clock), Control(C.Control) {
   Globals.resize(P.numGlobals());
-  CodePool.resize(P.numMethods());
+  Code.reset(P.numMethods());
   LoopClassCache.assign(P.numMethods(), -1);
+  if (Cfg.Async.Enabled && Cfg.EnableJit) {
+    AsyncCompilePipeline::Config PC;
+    PC.Workers = Cfg.Async.Workers;
+    PC.QueueCapacity = Cfg.Async.QueueCapacity;
+    PC.MaxPredictBatch = Cfg.Async.MaxPredictBatch;
+    AsyncPipe = std::make_unique<AsyncCompilePipeline>(Prog, Cfg.Cost, Code,
+                                                       PC);
+  }
 }
 
-VirtualMachine::~VirtualMachine() = default;
+VirtualMachine::~VirtualMachine() {
+  if (AsyncPipe) {
+    // Discard queued work, let in-flight compiles finish, join workers.
+    AsyncPipe->shutdown(false);
+    flushAsyncCompletions();
+  }
+}
+
+void VirtualMachine::setModifierHook(ModifierHook H) {
+  Hook = std::move(H);
+  if (AsyncPipe)
+    AsyncPipe->setModifierHook(Hook);
+}
+
+void VirtualMachine::setBatchModifierHook(
+    AsyncCompilePipeline::BatchModifierFn H) {
+  if (AsyncPipe)
+    AsyncPipe->setBatchModifierHook(std::move(H));
+}
 
 const NativeMethod *VirtualMachine::nativeOf(uint32_t MethodIndex) const {
-  assert(MethodIndex < CodePool.size() && "method index out of range");
-  return CodePool[MethodIndex].get();
+  return Code.lookup(MethodIndex);
 }
 
 LoopClass VirtualMachine::loopClassOf(uint32_t MethodIndex) {
@@ -39,6 +63,10 @@ ExecResult VirtualMachine::raise(RtExceptionKind Kind) {
   return ExecResult::exception(TheHeap.allocException(Kind));
 }
 
+uint64_t VirtualMachine::nextInstallTicket() {
+  return AsyncPipe ? AsyncPipe->takeTicket() : ++SyncTicket;
+}
+
 void VirtualMachine::compileMethod(uint32_t MethodIndex, OptLevel Level,
                                    bool IsExploration) {
   if (!Hook) {
@@ -48,8 +76,7 @@ void VirtualMachine::compileMethod(uint32_t MethodIndex, OptLevel Level,
   }
   // "The Strategy Control extension computes the features for the method
   // being compiled" just prior to optimization (Figure 5 step d).
-  std::unique_ptr<MethodIL> IL = generateIL(Prog, MethodIndex);
-  FeatureVector Features = extractFeatures(*IL);
+  FeatureVector Features = extractMethodFeatures(Prog, MethodIndex);
   PlanModifier Modifier;
   try {
     Modifier = Hook(MethodIndex, Level, Features);
@@ -67,19 +94,15 @@ void VirtualMachine::compileWithPlan(uint32_t MethodIndex,
                                      const PlanModifier &Modifier,
                                      bool IsExploration) {
   OptLevel Level = Plan.Level;
-  std::unique_ptr<MethodIL> IL = generateIL(Prog, MethodIndex);
-  LoopInfo::annotateFrequencies(*IL);
-  FeatureVector Features = extractFeatures(*IL);
+  CompiledBody Body =
+      compileMethodBody(Prog, MethodIndex, Plan, Modifier, Cfg.Cost);
+  double TotalCompile = Body.CompileCycles;
+  FeatureVector Features = Body.Features;
 
-  OptimizeResult Opt = optimize(*IL, Plan, Modifier.enabledMask());
-  NativeMethod Native =
-      generateCode(*IL, Opt.CodegenOptions, Level, Cfg.Cost);
-  double TotalCompile = Opt.CompileCycles + Native.CompileCycles;
-  Native.CompileCycles = TotalCompile;
-
-  CodePool[MethodIndex] =
-      std::make_unique<NativeMethod>(std::move(Native));
-  Control.noteCompiled(MethodIndex, Level);
+  bool Installed =
+      Code.install(MethodIndex, std::move(Body.Native), nextInstallTicket());
+  if (Installed)
+    Control.noteCompiled(MethodIndex, Level);
 
   // Synchronous compilation: the compiler competes with the application
   // for the same core, so compile cycles advance the clock too.
@@ -103,16 +126,91 @@ void VirtualMachine::compileWithPlan(uint32_t MethodIndex,
   }
 }
 
+void VirtualMachine::flushAsyncCompletions() {
+  if (!AsyncPipe)
+    return;
+  for (const CompileCompletion &C : AsyncPipe->takeCompletions()) {
+    if (C.Installed) {
+      Control.noteCompiled(C.MethodIndex, C.Level);
+      ++Stat.AsyncInstalls;
+    } else {
+      ++Stat.AsyncStaleCompiles;
+    }
+    // Worker compile cycles never advance the interpreter clock — the
+    // background compiler runs on its own core.
+    Stat.AsyncCompileCycles += C.CompileCycles;
+    ++Stat.Compilations;
+    if (C.HookFailed)
+      ++Stat.HookFailures;
+    if (C.Modifier.raw() == PlanModifier().raw())
+      ++Stat.NullModifierCompilations;
+    if (C.IsExplorationRecompile)
+      ++Stat.ExplorationRecompiles;
+    if (Listener) {
+      CompileEvent Event;
+      Event.MethodIndex = C.MethodIndex;
+      Event.Level = C.Level;
+      Event.Modifier = C.Modifier;
+      Event.Features = C.Features;
+      Event.CompileCycles = C.CompileCycles;
+      Event.IsExplorationRecompile = C.IsExplorationRecompile;
+      Listener->onCompile(Event);
+    }
+  }
+}
+
+void VirtualMachine::serviceCompileRequest(const CompileRequest &Req) {
+  if (!AsyncPipe) {
+    compileMethod(Req.MethodIndex, Req.Level, Req.IsExplorationRecompile);
+    return;
+  }
+  switch (AsyncPipe->request(Req.MethodIndex, Req.Level,
+                             Req.IsExplorationRecompile,
+                             Control.invocationsOf(Req.MethodIndex))) {
+  case CompilationQueue::EnqueueResult::Enqueued:
+    ++Stat.AsyncCompileRequests;
+    break;
+  case CompilationQueue::EnqueueResult::Coalesced:
+    ++Stat.AsyncCoalescedRequests;
+    break;
+  case CompilationQueue::EnqueueResult::Overflow:
+    // Backpressure: keep interpreting; the trigger will re-fire.
+    ++Stat.AsyncQueueOverflows;
+    break;
+  case CompilationQueue::EnqueueResult::Closed:
+    break;
+  }
+}
+
+void VirtualMachine::drainCompilations() {
+  if (!AsyncPipe)
+    return;
+  AsyncPipe->drain();
+  flushAsyncCompletions();
+  // Quiescent (no invocation in progress by contract): old bodies are
+  // safe to free now.
+  Code.reclaimRetired();
+}
+
+CompilationQueue::Counters VirtualMachine::asyncQueueCounters() const {
+  return AsyncPipe ? AsyncPipe->queueCounters()
+                   : CompilationQueue::Counters();
+}
+
 ExecResult VirtualMachine::invoke(uint32_t MethodIndex,
                                   std::vector<Value> Args, unsigned Depth) {
   if (Depth > Cfg.MaxCallDepth)
     return raise(RtExceptionKind::StackOverflow);
+  // Apply finished background compilations before dispatching: a relaxed
+  // flag check keeps the cost negligible when nothing completed.
+  if (AsyncPipe && AsyncPipe->hasCompletions())
+    flushAsyncCompletions();
   const MethodInfo &M = Prog.methodAt(MethodIndex);
   assert(Args.size() == M.numArgs() &&
          "invoke with wrong argument count");
   ++Stat.Invocations;
 
-  const NativeMethod *Native = CodePool[MethodIndex].get();
+  const NativeMethod *Native = Code.lookup(MethodIndex);
   // Call overhead: leaf-optimized callees skip most of the frame setup.
   charge(Native && Native->Leaf ? Cfg.Cost.LeafCallOverhead
                                 : Cfg.Cost.CallOverhead);
@@ -149,8 +247,7 @@ ExecResult VirtualMachine::invoke(uint32_t MethodIndex,
       if (Req->IsExplorationRecompile && Gate)
         Allowed = Gate(Req->MethodIndex);
       if (Allowed)
-        compileMethod(Req->MethodIndex, Req->Level,
-                      Req->IsExplorationRecompile);
+        serviceCompileRequest(*Req);
       else
         Control.freezeExploration(Req->MethodIndex);
     }

@@ -24,6 +24,8 @@
 #include "codegen/CodeGenerator.h"
 #include "features/FeatureVector.h"
 #include "modifiers/Modifier.h"
+#include "runtime/AsyncCompiler.h"
+#include "runtime/CodeCache.h"
 #include "runtime/CompilationControl.h"
 #include "runtime/Heap.h"
 #include "runtime/SimClock.h"
@@ -83,10 +85,26 @@ public:
   /// strategy control freeze methods that hit their modifier budget.
   using RecompileGate = std::function<bool(uint32_t MethodIndex)>;
 
+  /// Background-compilation mode. Off by default: synchronous compilation
+  /// stays fully deterministic, which the collection/measurement harness
+  /// and most tests rely on. When enabled, compile requests are queued and
+  /// served by worker threads while the interpreter keeps running; compile
+  /// cycles then no longer advance the interpreter's clock (the compiler
+  /// has its own core), and a full queue simply means the method keeps
+  /// interpreting until a slot frees up.
+  struct AsyncConfig {
+    bool Enabled = false;
+    unsigned Workers = 2;
+    size_t QueueCapacity = 64;
+    /// Max compile requests served by one batched model round trip.
+    size_t MaxPredictBatch = 8;
+  };
+
   struct Config {
     SimClock::Config Clock;
     CostModel Cost;
     CompilationControl::Config Control;
+    AsyncConfig Async;
     /// false = pure interpreter (no JIT at all).
     bool EnableJit = true;
     /// Instrument compiled methods with enter/exit profiling events.
@@ -118,9 +136,30 @@ public:
                        const PlanModifier &Modifier,
                        bool IsExploration = false);
 
-  void setModifierHook(ModifierHook H) { Hook = std::move(H); }
+  /// Set hooks before execution starts. In async mode the hook is shared
+  /// by the worker threads and must be thread-safe (ResilientModelClient
+  /// and LearnedStrategyProvider are).
+  void setModifierHook(ModifierHook H);
+  /// Async mode only: lets one bridge round trip serve a whole worker
+  /// backlog (the PredictBatch message). Ignored in sync mode.
+  void setBatchModifierHook(AsyncCompilePipeline::BatchModifierFn H);
   void setListener(JitEventListener *L) { Listener = L; }
   void setRecompileGate(RecompileGate G) { Gate = std::move(G); }
+
+  /// True when background compilation workers are running.
+  bool asyncEnabled() const { return AsyncPipe != nullptr; }
+
+  /// Async mode: blocks until every queued/in-flight compilation has been
+  /// installed and its bookkeeping applied, then reclaims retired code.
+  /// Call from the interpreter thread between invocations (not from a
+  /// hook or listener). No-op in sync mode.
+  void drainCompilations();
+
+  /// Async mode: the pipeline's queue counters (overflows, coalesces,
+  /// depth high-water mark). Zeroes in sync mode.
+  CompilationQueue::Counters asyncQueueCounters() const;
+
+  const CodeCache &codeCache() const { return Code; }
 
   const Program &program() const { return Prog; }
   Heap &heap() { return TheHeap; }
@@ -153,6 +192,20 @@ public:
     /// Modifier hook invocations that threw; the compilation proceeded
     /// with the null modifier instead of aborting the VM.
     uint64_t HookFailures = 0;
+    // --- Async pipeline (all zero in sync mode) ---
+    /// Cycles spent compiling on worker threads. Unlike CompileCycles
+    /// these do not advance the interpreter's clock: the background
+    /// compiler runs on its own core.
+    double AsyncCompileCycles = 0.0;
+    uint64_t AsyncCompileRequests = 0; ///< requests accepted by the queue
+    uint64_t AsyncCoalescedRequests = 0; ///< merged into a pending request
+    /// Requests rejected by a full queue; the method kept interpreting
+    /// (backpressure falls back to interpretation, never blocks).
+    uint64_t AsyncQueueOverflows = 0;
+    uint64_t AsyncInstalls = 0; ///< worker compilations that became current
+    /// Worker compilations that lost the install race to a newer ticket.
+    uint64_t AsyncStaleCompiles = 0;
+    /// Interpreter-thread wall cycles (what the application experiences).
     double totalCycles() const { return AppCycles + CompileCycles; }
   };
   const Stats &stats() const { return Stat; }
@@ -171,18 +224,29 @@ private:
   friend ExecResult executeNative(VirtualMachine &, const NativeMethod &,
                                   std::vector<Value>, unsigned);
 
+  /// Applies buffered worker completions to the single-threaded VM state
+  /// (CompilationControl, statistics, listener) on the interpreter thread.
+  void flushAsyncCompletions();
+  /// Routes a trigger to the pipeline (async) or compiles inline (sync).
+  void serviceCompileRequest(const CompileRequest &Req);
+  uint64_t nextInstallTicket();
+
   const Program &Prog;
   Config Cfg;
   SimClock Clock;
   Heap TheHeap;
   CompilationControl Control;
   std::vector<Value> Globals;
-  std::vector<std::unique_ptr<NativeMethod>> CodePool; ///< per method
-  std::vector<int8_t> LoopClassCache;                  ///< -1 = unknown
+  CodeCache Code; ///< per-method compiled bodies (atomic handoff)
+  std::vector<int8_t> LoopClassCache; ///< -1 = unknown
   ModifierHook Hook;
   RecompileGate Gate;
   JitEventListener *Listener = nullptr;
   Stats Stat;
+  uint64_t SyncTicket = 0; ///< install sequence when no pipeline exists
+  /// Declared last: destroyed first, so workers are joined before any
+  /// state they reference goes away.
+  std::unique_ptr<AsyncCompilePipeline> AsyncPipe;
 };
 
 } // namespace jitml

@@ -1,0 +1,642 @@
+//===- tests/AsyncRuntimeTest.cpp - background compilation tests ----------===//
+//
+// The async pipeline's building blocks (CompilationQueue, CodeCache) and
+// the assembled subsystem (AsyncCompilePipeline, VirtualMachine in async
+// mode): bounded backpressure, priority order, coalescing, ticket-ordered
+// installation under racing recompiles, drain/shutdown quiescence, and a
+// multi-worker stress run checked against the interpreter. These suites
+// also run under ThreadSanitizer (scripts/tier1.sh, -DJITML_TSAN=ON).
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include "runtime/AsyncCompiler.h"
+#include "runtime/CodeCache.h"
+#include "runtime/CompilationQueue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+using namespace jitml;
+
+namespace {
+
+/// Polls \p Pred every millisecond for up to \p Ms; true when it held.
+template <typename Pred> bool waitUntil(Pred P, int Ms = 5000) {
+  for (int I = 0; I < Ms; ++I) {
+    if (P())
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return P();
+}
+
+/// A marker body: only the Level matters to the tests.
+std::unique_ptr<NativeMethod> markerBody(OptLevel Level) {
+  auto Body = std::make_unique<NativeMethod>();
+  Body->Level = Level;
+  return Body;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CompilationQueue
+//===----------------------------------------------------------------------===//
+
+TEST(CompilationQueue, OverflowAtCapacityKeepsCallerUnblocked) {
+  CompilationQueue Q(2);
+  EXPECT_EQ(Q.enqueue(0, OptLevel::Cold, false, 1),
+            CompilationQueue::EnqueueResult::Enqueued);
+  EXPECT_EQ(Q.enqueue(1, OptLevel::Cold, false, 1),
+            CompilationQueue::EnqueueResult::Enqueued);
+  EXPECT_EQ(Q.enqueue(2, OptLevel::Cold, false, 1),
+            CompilationQueue::EnqueueResult::Overflow);
+  CompilationQueue::Counters C = Q.counters();
+  EXPECT_EQ(C.Enqueued, 2u);
+  EXPECT_EQ(C.Overflows, 1u);
+  EXPECT_EQ(C.MaxDepth, 2u);
+  EXPECT_EQ(Q.pendingSize(), 2u);
+}
+
+TEST(CompilationQueue, CoalescesPendingRequestForSameMethod) {
+  CompilationQueue Q(4);
+  ASSERT_EQ(Q.enqueue(7, OptLevel::Cold, true, 5),
+            CompilationQueue::EnqueueResult::Enqueued);
+  // Re-trigger for the same method: merged, not a second slot. The merged
+  // entry keeps the highest level/priority and takes the newest ticket;
+  // a non-exploration request clears the exploration flag.
+  ASSERT_EQ(Q.enqueue(7, OptLevel::Warm, false, 3),
+            CompilationQueue::EnqueueResult::Coalesced);
+  EXPECT_EQ(Q.pendingSize(), 1u);
+
+  std::optional<AsyncCompileTask> T = Q.dequeue();
+  ASSERT_TRUE(T.has_value());
+  EXPECT_EQ(T->MethodIndex, 7u);
+  EXPECT_EQ(T->Level, OptLevel::Warm);
+  EXPECT_EQ(T->Priority, 5u);
+  EXPECT_FALSE(T->IsExplorationRecompile);
+  EXPECT_EQ(T->Ticket, 2u); // the newest request's ticket
+  Q.noteDone(7);
+  EXPECT_EQ(Q.counters().Coalesced, 1u);
+}
+
+TEST(CompilationQueue, ServesHighestPriorityFirst) {
+  CompilationQueue Q(8);
+  Q.enqueue(0, OptLevel::Cold, false, 1);
+  Q.enqueue(1, OptLevel::Cold, false, 9);
+  Q.enqueue(2, OptLevel::Cold, false, 5);
+  EXPECT_EQ(Q.dequeue()->MethodIndex, 1u);
+  EXPECT_EQ(Q.dequeue()->MethodIndex, 2u);
+  EXPECT_EQ(Q.dequeue()->MethodIndex, 0u);
+  Q.noteDone(0);
+  Q.noteDone(1);
+  Q.noteDone(2);
+}
+
+TEST(CompilationQueue, PriorityTiesBreakByArrivalOrder) {
+  CompilationQueue Q(8);
+  Q.enqueue(4, OptLevel::Cold, false, 2);
+  Q.enqueue(5, OptLevel::Cold, false, 2);
+  Q.enqueue(6, OptLevel::Cold, false, 2);
+  EXPECT_EQ(Q.dequeue()->MethodIndex, 4u);
+  EXPECT_EQ(Q.dequeue()->MethodIndex, 5u);
+  EXPECT_EQ(Q.dequeue()->MethodIndex, 6u);
+}
+
+TEST(CompilationQueue, DequeueBatchTakesUpToMaxByPriority) {
+  CompilationQueue Q(8);
+  for (uint32_t M = 0; M < 5; ++M)
+    Q.enqueue(M, OptLevel::Cold, false, M);
+  std::vector<AsyncCompileTask> Batch = Q.dequeueBatch(3);
+  ASSERT_EQ(Batch.size(), 3u);
+  EXPECT_EQ(Batch[0].MethodIndex, 4u);
+  EXPECT_EQ(Batch[1].MethodIndex, 3u);
+  EXPECT_EQ(Batch[2].MethodIndex, 2u);
+  EXPECT_EQ(Q.pendingSize(), 2u);
+  for (const AsyncCompileTask &T : Batch)
+    Q.noteDone(T.MethodIndex);
+}
+
+TEST(CompilationQueue, CloseDiscardingCountsPendingEntries) {
+  CompilationQueue Q(8);
+  Q.enqueue(0, OptLevel::Cold, false, 1);
+  Q.enqueue(1, OptLevel::Cold, false, 1);
+  Q.enqueue(2, OptLevel::Cold, false, 1);
+  Q.close(/*FinishPending=*/false);
+  EXPECT_FALSE(Q.dequeue().has_value());
+  EXPECT_EQ(Q.counters().Discarded, 3u);
+  EXPECT_EQ(Q.enqueue(3, OptLevel::Cold, false, 1),
+            CompilationQueue::EnqueueResult::Closed);
+}
+
+TEST(CompilationQueue, CloseFinishingServesBacklogThenStops) {
+  CompilationQueue Q(8);
+  Q.enqueue(0, OptLevel::Cold, false, 1);
+  Q.enqueue(1, OptLevel::Cold, false, 2);
+  Q.close(/*FinishPending=*/true);
+  std::optional<AsyncCompileTask> A = Q.dequeue();
+  ASSERT_TRUE(A.has_value());
+  Q.noteDone(A->MethodIndex);
+  std::optional<AsyncCompileTask> B = Q.dequeue();
+  ASSERT_TRUE(B.has_value());
+  Q.noteDone(B->MethodIndex);
+  EXPECT_FALSE(Q.dequeue().has_value());
+  EXPECT_EQ(Q.counters().Discarded, 0u);
+}
+
+TEST(CompilationQueue, DrainWaitsForInFlightWork) {
+  CompilationQueue Q(4);
+  Q.enqueue(0, OptLevel::Cold, false, 1);
+  std::optional<AsyncCompileTask> T = Q.dequeue();
+  ASSERT_TRUE(T.has_value());
+
+  // The queue is empty but the task is in flight: drain must block until
+  // noteDone.
+  std::atomic<bool> Drained{false};
+  std::thread Waiter([&] {
+    Q.drain();
+    Drained.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(Drained.load());
+  Q.noteDone(0);
+  Waiter.join();
+  EXPECT_TRUE(Drained.load());
+}
+
+TEST(CompilationQueue, TicketsAreMonotoneAcrossEnqueueAndDirectDraws) {
+  CompilationQueue Q(4);
+  uint64_t Direct = Q.takeTicket();
+  Q.enqueue(0, OptLevel::Cold, false, 1);
+  std::optional<AsyncCompileTask> T = Q.dequeue();
+  ASSERT_TRUE(T.has_value());
+  EXPECT_GT(T->Ticket, Direct);
+  EXPECT_GT(Q.takeTicket(), T->Ticket);
+  Q.noteDone(0);
+}
+
+//===----------------------------------------------------------------------===//
+// CodeCache
+//===----------------------------------------------------------------------===//
+
+TEST(CodeCache, InstallPublishesBodyForLookup) {
+  CodeCache Cache;
+  Cache.reset(2);
+  EXPECT_EQ(Cache.lookup(0), nullptr);
+  ASSERT_TRUE(Cache.install(0, markerBody(OptLevel::Warm), 1));
+  const NativeMethod *Body = Cache.lookup(0);
+  ASSERT_NE(Body, nullptr);
+  EXPECT_EQ(Body->Level, OptLevel::Warm);
+  EXPECT_EQ(Cache.lookup(1), nullptr);
+  EXPECT_EQ(Cache.installs(), 1u);
+}
+
+TEST(CodeCache, StaleTicketCannotClobberNewerInstall) {
+  // A recompilation raced an in-progress compile: the newer request
+  // (ticket 2) finished first; the older compile (ticket 1) lands late
+  // and must be rejected.
+  CodeCache Cache;
+  Cache.reset(1);
+  ASSERT_TRUE(Cache.install(0, markerBody(OptLevel::Hot), 2));
+  EXPECT_FALSE(Cache.install(0, markerBody(OptLevel::Cold), 1));
+  const NativeMethod *Body = Cache.lookup(0);
+  ASSERT_NE(Body, nullptr);
+  EXPECT_EQ(Body->Level, OptLevel::Hot);
+  EXPECT_EQ(Cache.staleRejected(), 1u);
+  // The rejected body is retired, not leaked and not freed mid-flight.
+  EXPECT_EQ(Cache.retiredCount(), 1u);
+  Cache.reclaimRetired();
+  EXPECT_EQ(Cache.retiredCount(), 0u);
+}
+
+TEST(CodeCache, ReplacementRetiresPreviousBodyUntilQuiescence) {
+  CodeCache Cache;
+  Cache.reset(1);
+  ASSERT_TRUE(Cache.install(0, markerBody(OptLevel::Cold), 1));
+  const NativeMethod *Old = Cache.lookup(0);
+  ASSERT_TRUE(Cache.install(0, markerBody(OptLevel::Warm), 2));
+  // The old body must survive (an engine may still be executing it); it
+  // is only freed at an explicit quiescent point.
+  EXPECT_EQ(Old->Level, OptLevel::Cold);
+  EXPECT_EQ(Cache.retiredCount(), 1u);
+  EXPECT_EQ(Cache.lookup(0)->Level, OptLevel::Warm);
+  Cache.reclaimRetired();
+  EXPECT_EQ(Cache.retiredCount(), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// AsyncCompilePipeline
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A latch the modifier hook can block on, releasing from the test body.
+struct HookLatch {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Entered = false;
+  bool Released = false;
+
+  void enterAndWait() {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Entered = true;
+    Cv.notify_all();
+    Cv.wait(Lock, [&] { return Released; });
+  }
+  bool waitEntered() {
+    std::unique_lock<std::mutex> Lock(Mu);
+    return Cv.wait_for(Lock, std::chrono::seconds(10),
+                       [&] { return Entered; });
+  }
+  void release() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Released = true;
+    Cv.notify_all();
+  }
+};
+
+} // namespace
+
+TEST(AsyncPipeline, CompilesRequestOffThreadAndInstalls) {
+  Program P = jitml::testing::makeSumProgram();
+  CostModel Cost;
+  CodeCache Cache;
+  Cache.reset(P.numMethods());
+  AsyncCompilePipeline::Config C;
+  C.Workers = 2;
+  AsyncCompilePipeline Pipe(P, Cost, Cache, C);
+
+  ASSERT_EQ(Pipe.request(0, OptLevel::Warm, false, 1),
+            CompilationQueue::EnqueueResult::Enqueued);
+  Pipe.drain();
+  std::vector<CompileCompletion> Done = Pipe.takeCompletions();
+  ASSERT_EQ(Done.size(), 1u);
+  EXPECT_TRUE(Done[0].Installed);
+  EXPECT_EQ(Done[0].Level, OptLevel::Warm);
+  EXPECT_GT(Done[0].CompileCycles, 0.0);
+  const NativeMethod *Body = Cache.lookup(0);
+  ASSERT_NE(Body, nullptr);
+  EXPECT_EQ(Body->Level, OptLevel::Warm);
+}
+
+TEST(AsyncPipeline, DrainWaitsForInFlightCompilation) {
+  Program P = jitml::testing::makeSumProgram();
+  CostModel Cost;
+  CodeCache Cache;
+  Cache.reset(P.numMethods());
+  AsyncCompilePipeline::Config C;
+  C.Workers = 1;
+  C.MaxPredictBatch = 1;
+  AsyncCompilePipeline Pipe(P, Cost, Cache, C);
+
+  HookLatch Latch;
+  Pipe.setModifierHook([&](uint32_t, OptLevel, const FeatureVector &) {
+    Latch.enterAndWait();
+    return PlanModifier();
+  });
+
+  ASSERT_EQ(Pipe.request(0, OptLevel::Cold, false, 1),
+            CompilationQueue::EnqueueResult::Enqueued);
+  ASSERT_TRUE(Latch.waitEntered());
+
+  std::atomic<bool> Drained{false};
+  std::thread Waiter([&] {
+    Pipe.drain();
+    Drained.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(Drained.load()); // compilation still in flight
+  Latch.release();
+  Waiter.join();
+
+  // After drain every completion is visible.
+  std::vector<CompileCompletion> Done = Pipe.takeCompletions();
+  ASSERT_EQ(Done.size(), 1u);
+  EXPECT_TRUE(Done[0].Installed);
+  EXPECT_NE(Cache.lookup(0), nullptr);
+}
+
+TEST(AsyncPipeline, ShutdownFinishPendingCompilesBacklog) {
+  Program P = jitml::testing::makeSumProgram();
+  CostModel Cost;
+  CodeCache Cache;
+  Cache.reset(P.numMethods());
+  AsyncCompilePipeline::Config C;
+  C.Workers = 1;
+  auto Pipe = std::make_unique<AsyncCompilePipeline>(P, Cost, Cache, C);
+  Pipe->request(0, OptLevel::Cold, false, 1);
+  Pipe->request(1, OptLevel::Cold, false, 1);
+  Pipe->shutdown(/*FinishPending=*/true);
+  std::vector<CompileCompletion> Done = Pipe->takeCompletions();
+  EXPECT_EQ(Done.size(), 2u);
+  EXPECT_NE(Cache.lookup(0), nullptr);
+  EXPECT_NE(Cache.lookup(1), nullptr);
+}
+
+TEST(AsyncPipeline, RecompilationRacingInFlightCompileKeepsNewestCode) {
+  // Worker A dequeues a Cold compile of method 0 and stalls in the
+  // modifier hook. A Warm recompile of the same method arrives, worker B
+  // compiles and installs it. When A's stale Cold compile finally lands,
+  // its older ticket must be rejected — the Warm body stays current.
+  Program P = jitml::testing::makeSumProgram();
+  CostModel Cost;
+  CodeCache Cache;
+  Cache.reset(P.numMethods());
+  AsyncCompilePipeline::Config C;
+  C.Workers = 2;
+  C.MaxPredictBatch = 1;
+  AsyncCompilePipeline Pipe(P, Cost, Cache, C);
+
+  HookLatch ColdLatch;
+  Pipe.setModifierHook([&](uint32_t, OptLevel Level, const FeatureVector &) {
+    if (Level == OptLevel::Cold)
+      ColdLatch.enterAndWait();
+    return PlanModifier();
+  });
+
+  ASSERT_EQ(Pipe.request(0, OptLevel::Cold, false, 1),
+            CompilationQueue::EnqueueResult::Enqueued);
+  ASSERT_TRUE(ColdLatch.waitEntered()); // Cold is in flight, not pending
+
+  ASSERT_EQ(Pipe.request(0, OptLevel::Warm, false, 2),
+            CompilationQueue::EnqueueResult::Enqueued);
+  ASSERT_TRUE(waitUntil([&] { return Cache.installs() >= 1; }));
+  ColdLatch.release();
+  Pipe.drain();
+
+  std::vector<CompileCompletion> Done = Pipe.takeCompletions();
+  ASSERT_EQ(Done.size(), 2u);
+  unsigned Installed = 0, Stale = 0;
+  for (const CompileCompletion &D : Done) {
+    if (D.Installed) {
+      ++Installed;
+      EXPECT_EQ(D.Level, OptLevel::Warm);
+    } else {
+      ++Stale;
+      EXPECT_EQ(D.Level, OptLevel::Cold);
+    }
+  }
+  EXPECT_EQ(Installed, 1u);
+  EXPECT_EQ(Stale, 1u);
+  EXPECT_EQ(Cache.staleRejected(), 1u);
+  ASSERT_NE(Cache.lookup(0), nullptr);
+  EXPECT_EQ(Cache.lookup(0)->Level, OptLevel::Warm);
+}
+
+TEST(AsyncPipeline, HookFailureFallsBackToNullModifier) {
+  Program P = jitml::testing::makeSumProgram();
+  CostModel Cost;
+  CodeCache Cache;
+  Cache.reset(P.numMethods());
+  AsyncCompilePipeline::Config C;
+  C.Workers = 1;
+  AsyncCompilePipeline Pipe(P, Cost, Cache, C);
+  Pipe.setModifierHook(
+      [](uint32_t, OptLevel, const FeatureVector &) -> PlanModifier {
+        throw std::runtime_error("model service exploded");
+      });
+  Pipe.request(0, OptLevel::Cold, false, 1);
+  Pipe.drain();
+  std::vector<CompileCompletion> Done = Pipe.takeCompletions();
+  ASSERT_EQ(Done.size(), 1u);
+  EXPECT_TRUE(Done[0].HookFailed);
+  EXPECT_TRUE(Done[0].Installed);
+  EXPECT_TRUE(Done[0].Modifier.isNull());
+  EXPECT_NE(Cache.lookup(0), nullptr);
+}
+
+TEST(AsyncPipeline, BatchHookServesWholeBacklogInOneCall) {
+  Program P;
+  jitml::testing::addSumToN(P, "a");
+  jitml::testing::addSumToN(P, "b");
+  jitml::testing::addSumToN(P, "c");
+  ASSERT_TRUE(verifyProgram(P).ok());
+  CostModel Cost;
+  CodeCache Cache;
+  Cache.reset(P.numMethods());
+  AsyncCompilePipeline::Config C;
+  C.Workers = 1;
+  C.MaxPredictBatch = 8;
+  AsyncCompilePipeline Pipe(P, Cost, Cache, C);
+
+  // Park the single worker inside the first prediction call so a backlog
+  // builds up behind it; once released, the whole backlog must arrive at
+  // the batch hook in ONE call (one simulated bridge round trip).
+  HookLatch Latch;
+  std::atomic<uint64_t> BatchCalls{0};
+  std::atomic<uint64_t> MaxBatchSize{0};
+  Pipe.setBatchModifierHook(
+      [&](const std::vector<AsyncCompilePipeline::BatchPredictItem> &Items) {
+        uint64_t Call = BatchCalls.fetch_add(1) + 1;
+        uint64_t Size = Items.size();
+        uint64_t Seen = MaxBatchSize.load();
+        while (Seen < Size && !MaxBatchSize.compare_exchange_weak(Seen, Size))
+          ;
+        if (Call == 1)
+          Latch.enterAndWait();
+        return std::vector<PlanModifier>(Items.size());
+      });
+
+  // The first request occupies the worker; the next two queue up behind it.
+  Pipe.request(0, OptLevel::Cold, false, 3);
+  ASSERT_TRUE(Latch.waitEntered());
+  Pipe.request(1, OptLevel::Cold, false, 2);
+  Pipe.request(2, OptLevel::Cold, false, 1);
+  Latch.release();
+  Pipe.drain();
+
+  EXPECT_EQ(Pipe.takeCompletions().size(), 3u);
+  EXPECT_EQ(BatchCalls.load(), 2u);   // one for the opener, one for the rest
+  EXPECT_EQ(MaxBatchSize.load(), 2u); // methods 1 and 2 in one round trip
+  EXPECT_EQ(Pipe.batchPredictCalls(), 2u);
+  EXPECT_NE(Cache.lookup(1), nullptr);
+  EXPECT_NE(Cache.lookup(2), nullptr);
+}
+
+//===----------------------------------------------------------------------===//
+// VirtualMachine in async mode
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Triggers low enough that a handful of invocations compiles a method,
+/// with the top levels out of reach (keeps tests fast and deterministic).
+void setLowTriggers(VirtualMachine::Config &Cfg) {
+  for (unsigned L = 0; L < NumOptLevels; ++L)
+    for (unsigned K = 0; K < 3; ++K)
+      Cfg.Control.InvocationTriggers[L][K] = (L < 2) ? 2 : 1000000;
+  for (unsigned L = 0; L < NumOptLevels; ++L)
+    Cfg.Control.CycleTriggers[L] = 1e18; // invocation-count triggers only
+}
+
+} // namespace
+
+TEST(AsyncVM, BackgroundCompilationPreservesResultsAndClock) {
+  Program P = jitml::testing::makeSumProgram();
+
+  VirtualMachine::Config InterpCfg;
+  InterpCfg.EnableJit = false;
+  VirtualMachine Interp(P, InterpCfg);
+  ExecResult Ref = Interp.run({Value::ofI(50)});
+  ASSERT_FALSE(Ref.Exceptional);
+
+  VirtualMachine::Config Cfg;
+  setLowTriggers(Cfg);
+  Cfg.Async.Enabled = true;
+  Cfg.Async.Workers = 2;
+  VirtualMachine VM(P, Cfg);
+  ASSERT_TRUE(VM.asyncEnabled());
+  for (int I = 0; I < 12; ++I) {
+    ExecResult Got = VM.run({Value::ofI(50)});
+    ASSERT_FALSE(Got.Exceptional);
+    EXPECT_EQ(Got.Ret.I, Ref.Ret.I);
+  }
+  VM.drainCompilations();
+  ExecResult Got = VM.run({Value::ofI(50)});
+  ASSERT_FALSE(Got.Exceptional);
+  EXPECT_EQ(Got.Ret.I, Ref.Ret.I);
+
+  const VirtualMachine::Stats &S = VM.stats();
+  EXPECT_GT(S.AsyncCompileRequests, 0u);
+  EXPECT_GT(S.AsyncInstalls, 0u);
+  EXPECT_GT(S.AsyncCompileCycles, 0.0);
+  // The whole point of the background compiler: zero interpreter-thread
+  // compile stall. Worker cycles never advance the VM clock.
+  EXPECT_EQ(S.CompileCycles, 0.0);
+  EXPECT_DOUBLE_EQ(VM.clock().cycles(), S.AppCycles);
+}
+
+TEST(AsyncVM, QueueOverflowFallsBackToInterpretation) {
+  // Many methods trigger at once into a one-slot queue served by one
+  // worker that is deliberately slow: overflowing requests must be
+  // rejected (counted) while execution carries on interpreted.
+  Program P;
+  std::vector<uint32_t> Methods;
+  for (int I = 0; I < 24; ++I)
+    Methods.push_back(jitml::testing::addSumToN(
+        P, ("m" + std::to_string(I)).c_str()));
+  ASSERT_TRUE(verifyProgram(P).ok());
+
+  VirtualMachine::Config Cfg;
+  setLowTriggers(Cfg);
+  Cfg.Async.Enabled = true;
+  Cfg.Async.Workers = 1;
+  Cfg.Async.QueueCapacity = 1;
+  VirtualMachine VM(P, Cfg);
+  VM.setModifierHook([](uint32_t, OptLevel, const FeatureVector &) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    return PlanModifier();
+  });
+
+  for (int Round = 0; Round < 4; ++Round)
+    for (uint32_t M : Methods) {
+      ExecResult R = VM.invoke(M, {Value::ofI(10)});
+      ASSERT_FALSE(R.Exceptional);
+      EXPECT_EQ(R.Ret.I, 45);
+    }
+  EXPECT_GT(VM.stats().AsyncQueueOverflows, 0u);
+  VM.drainCompilations();
+}
+
+TEST(AsyncVM, StressFourWorkersManyMethodsMatchesInterpreter) {
+  // 4 workers x 200 methods, compiled while the interpreter thread keeps
+  // invoking them; every result must match the pure interpreter and every
+  // method must end up with installed code.
+  constexpr unsigned NumMethods = 200;
+  Program P;
+  std::vector<uint32_t> Methods;
+  std::vector<int64_t> Expected;
+  for (unsigned I = 0; I < NumMethods; ++I) {
+    MethodBuilder MB(P, ("stress" + std::to_string(I)).c_str(), -1,
+                     MF_Static | MF_Public, {DataType::Int32},
+                     DataType::Int32);
+    uint32_t S = MB.addLocal(DataType::Int32);
+    uint32_t J = MB.addLocal(DataType::Int32);
+    auto Head = MB.newLabel();
+    auto Exit = MB.newLabel();
+    MB.constI(DataType::Int32, (int64_t)I).store(S);
+    MB.constI(DataType::Int32, 0).store(J);
+    MB.place(Head);
+    MB.load(J).load(0).ifCmp(BcCond::Ge, Exit);
+    MB.load(S).load(J).binop(BcOp::Add, DataType::Int32).store(S);
+    MB.load(S).constI(DataType::Int32, 3).binop(BcOp::Xor, DataType::Int32)
+        .store(S);
+    MB.inc(J, 1);
+    MB.gotoLabel(Head);
+    MB.place(Exit);
+    MB.load(S).retValue(DataType::Int32);
+    Methods.push_back(MB.finish());
+  }
+  ASSERT_TRUE(verifyProgram(P).ok()) << verifyProgram(P).message();
+
+  VirtualMachine::Config InterpCfg;
+  InterpCfg.EnableJit = false;
+  VirtualMachine Interp(P, InterpCfg);
+  for (uint32_t M : Methods) {
+    ExecResult R = Interp.invoke(M, {Value::ofI(9)});
+    ASSERT_FALSE(R.Exceptional);
+    Expected.push_back(R.Ret.I);
+  }
+
+  VirtualMachine::Config Cfg;
+  setLowTriggers(Cfg);
+  Cfg.Async.Enabled = true;
+  Cfg.Async.Workers = 4;
+  Cfg.Async.QueueCapacity = 512;
+  VirtualMachine VM(P, Cfg);
+  for (int Round = 0; Round < 8; ++Round)
+    for (unsigned I = 0; I < NumMethods; ++I) {
+      ExecResult R = VM.invoke(Methods[I], {Value::ofI(9)});
+      ASSERT_FALSE(R.Exceptional);
+      ASSERT_EQ(R.Ret.I, Expected[I]) << "method " << I;
+    }
+  VM.drainCompilations();
+  for (unsigned I = 0; I < NumMethods; ++I) {
+    EXPECT_NE(VM.nativeOf(Methods[I]), nullptr) << "method " << I;
+    ExecResult R = VM.invoke(Methods[I], {Value::ofI(9)});
+    ASSERT_FALSE(R.Exceptional);
+    EXPECT_EQ(R.Ret.I, Expected[I]) << "method " << I;
+  }
+  EXPECT_EQ(VM.stats().AsyncQueueOverflows, 0u);
+  EXPECT_GE(VM.stats().AsyncInstalls, (uint64_t)NumMethods);
+}
+
+TEST(AsyncVM, DrainAppliesCompilationBookkeeping) {
+  Program P = jitml::testing::makeSumProgram();
+  VirtualMachine::Config Cfg;
+  setLowTriggers(Cfg);
+  Cfg.Async.Enabled = true;
+  VirtualMachine VM(P, Cfg);
+  for (int I = 0; I < 6; ++I)
+    VM.run({Value::ofI(20)});
+  VM.drainCompilations();
+  // Control sees the installs (levelOf set) and counters are consistent.
+  EXPECT_TRUE(VM.control().levelOf(0).has_value());
+  const VirtualMachine::Stats &S = VM.stats();
+  EXPECT_EQ(S.AsyncInstalls + S.AsyncStaleCompiles, S.Compilations);
+  CompilationQueue::Counters QC = VM.asyncQueueCounters();
+  EXPECT_EQ(QC.Enqueued, S.AsyncCompileRequests);
+  EXPECT_EQ(QC.Overflows, S.AsyncQueueOverflows);
+}
+
+TEST(AsyncVM, SyncModeIsUnchangedByDefault) {
+  Program P = jitml::testing::makeSumProgram();
+  VirtualMachine::Config Cfg; // Async.Enabled defaults to false
+  VirtualMachine VM(P, Cfg);
+  EXPECT_FALSE(VM.asyncEnabled());
+  VM.drainCompilations(); // no-op, must not crash
+  for (int I = 0; I < 40; ++I)
+    VM.run({Value::ofI(30)});
+  // The sync path compiles inline and charges the interpreter clock.
+  EXPECT_GT(VM.stats().Compilations, 0u);
+  EXPECT_GT(VM.stats().CompileCycles, 0.0);
+  EXPECT_EQ(VM.stats().AsyncCompileRequests, 0u);
+}

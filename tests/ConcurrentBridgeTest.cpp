@@ -1,0 +1,213 @@
+//===- tests/ConcurrentBridgeTest.cpp - shared-client thread safety -------===//
+//
+// The async pipeline's workers share ONE ResilientModelClient. The bridge
+// protocol is strictly request/reply over a single connection, so the
+// client serializes all public entry points on an internal mutex —
+// interleaved frames from two unserialized threads would corrupt the
+// stream. These tests drive a shared client from several threads (single
+// requests, batches, and a mix) against an in-process model service and
+// check that every answer is correct and the counters stay consistent.
+// The suite runs under ThreadSanitizer via scripts/tier1.sh.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bridge/ModelService.h"
+#include "bridge/ResilientClient.h"
+#include "bridge/Transports.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+using namespace jitml;
+
+namespace {
+
+/// Deterministic backend: modifier = level + sum(features); Scorching is
+/// an uncovered level (Error reply → client-side fallback).
+class SumBackend : public ModelBackend {
+public:
+  std::optional<uint64_t>
+  predictModifier(OptLevel Level,
+                  const std::vector<double> &RawFeatures) override {
+    if (Level == OptLevel::Scorching)
+      return std::nullopt;
+    uint64_t Sum = (uint64_t)Level;
+    for (double V : RawFeatures)
+      Sum += (uint64_t)V;
+    return Sum;
+  }
+};
+
+/// The answer SumBackend gives for (Level, F).
+uint64_t expectedBits(OptLevel Level, const FeatureVector &F) {
+  uint64_t Sum = (uint64_t)Level;
+  for (unsigned I = 0; I < NumFeatures; ++I)
+    Sum += F.get(I);
+  return Sum;
+}
+
+/// A feature vector unique to (Tag, I): no accidental cache hits between
+/// threads unless a test wants them.
+FeatureVector uniqueFeatures(unsigned Tag, unsigned I) {
+  FeatureVector F;
+  F.set(0, 1 + Tag);
+  F.set(1, I);
+  F.set(2, Tag * 1000 + I);
+  return F;
+}
+
+struct ServedClient {
+  std::unique_ptr<ResilientModelClient> Client;
+  std::thread Server;
+  SumBackend Backend;
+
+  explicit ServedClient(size_t CacheCapacity) {
+    auto [ClientEnd, ServerEnd] = InProcessPipe::makePair();
+    InProcessPipe *Raw = ServerEnd.release();
+    Server = std::thread([Raw, this] {
+      serveModel(*Raw, Backend);
+      delete Raw;
+    });
+    ResilientModelClient::Config Cfg;
+    Cfg.RequestTimeoutMs = 10000; // generous: sanitizer builds are slow
+    Cfg.CacheCapacity = CacheCapacity;
+    Client = std::make_unique<ResilientModelClient>(std::move(ClientEnd),
+                                                    Cfg);
+  }
+  ~ServedClient() {
+    Client->bye(); // server sees Bye (or EOF) and exits
+    Server.join();
+  }
+};
+
+} // namespace
+
+TEST(ConcurrentBridge, SharedClientParallelSingleRequests) {
+  ServedClient S(/*CacheCapacity=*/0); // every request hits the wire
+  constexpr unsigned NumThreads = 4;
+  constexpr unsigned PerThread = 40;
+
+  std::vector<std::thread> Threads;
+  std::vector<unsigned> Wrong(NumThreads, 0);
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I < PerThread; ++I) {
+        FeatureVector F = uniqueFeatures(T, I);
+        OptLevel Level = (OptLevel)(I % 3); // covered levels only
+        std::optional<uint64_t> Got = S.Client->requestModifier(Level, F);
+        if (!Got || *Got != expectedBits(Level, F))
+          ++Wrong[T];
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  for (unsigned T = 0; T < NumThreads; ++T)
+    EXPECT_EQ(Wrong[T], 0u) << "thread " << T;
+
+  BridgeCounters C = S.Client->counters();
+  EXPECT_EQ(C.Requests, (uint64_t)NumThreads * PerThread);
+  EXPECT_EQ(C.WireRequests, (uint64_t)NumThreads * PerThread);
+  // Serialization means no torn frames: nothing timed out, nothing was
+  // retried, nothing fell back.
+  EXPECT_EQ(C.Timeouts, 0u);
+  EXPECT_EQ(C.Retries, 0u);
+  EXPECT_EQ(C.Fallbacks, 0u);
+  EXPECT_TRUE(S.Client->usable());
+}
+
+TEST(ConcurrentBridge, BatchAnswersEveryEntryInOrder) {
+  ServedClient S(/*CacheCapacity=*/4096);
+  std::vector<ResilientModelClient::BatchRequest> Items;
+  for (unsigned I = 0; I < 10; ++I)
+    Items.push_back({(OptLevel)(I % 3), uniqueFeatures(7, I)});
+
+  std::vector<std::optional<uint64_t>> Got =
+      S.Client->requestModifierBatch(Items);
+  ASSERT_EQ(Got.size(), Items.size());
+  for (unsigned I = 0; I < Items.size(); ++I) {
+    ASSERT_TRUE(Got[I].has_value()) << "entry " << I;
+    EXPECT_EQ(*Got[I], expectedBits(Items[I].Level, Items[I].Features))
+        << "entry " << I;
+  }
+  BridgeCounters C = S.Client->counters();
+  EXPECT_EQ(C.BatchRequests, 1u);
+  EXPECT_EQ(C.BatchItems, 10u);
+  EXPECT_EQ(C.WireRequests, 1u); // the whole batch in one round trip
+
+  // The same batch again is answered entirely from the prediction cache.
+  std::vector<std::optional<uint64_t>> Again =
+      S.Client->requestModifierBatch(Items);
+  EXPECT_EQ(Again, Got);
+  C = S.Client->counters();
+  EXPECT_EQ(C.WireRequests, 1u);
+  EXPECT_EQ(C.CacheHits, 10u);
+}
+
+TEST(ConcurrentBridge, BatchDegradesUncoveredEntriesIndividually) {
+  ServedClient S(/*CacheCapacity=*/0);
+  std::vector<ResilientModelClient::BatchRequest> Items;
+  for (unsigned I = 0; I < 6; ++I)
+    Items.push_back({I % 2 ? OptLevel::Scorching : OptLevel::Warm,
+                     uniqueFeatures(3, I)});
+
+  std::vector<std::optional<uint64_t>> Got =
+      S.Client->requestModifierBatch(Items);
+  ASSERT_EQ(Got.size(), Items.size());
+  for (unsigned I = 0; I < Items.size(); ++I) {
+    if (I % 2) {
+      // Uncovered level: that entry alone falls back to the base plan.
+      EXPECT_FALSE(Got[I].has_value()) << "entry " << I;
+    } else {
+      ASSERT_TRUE(Got[I].has_value()) << "entry " << I;
+      EXPECT_EQ(*Got[I], expectedBits(Items[I].Level, Items[I].Features));
+    }
+  }
+  BridgeCounters C = S.Client->counters();
+  EXPECT_EQ(C.Fallbacks, 3u);
+  EXPECT_EQ(C.WireRequests, 1u); // degradation did not cost extra trips
+}
+
+TEST(ConcurrentBridge, MixedSingleAndBatchCallersGetCorrectAnswers) {
+  ServedClient S(/*CacheCapacity=*/4096);
+  constexpr unsigned PerThread = 25;
+  std::vector<std::thread> Threads;
+  std::vector<unsigned> Wrong(4, 0);
+
+  // Two threads issuing single requests...
+  for (unsigned T = 0; T < 2; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I < PerThread; ++I) {
+        FeatureVector F = uniqueFeatures(T, I);
+        std::optional<uint64_t> Got =
+            S.Client->requestModifier(OptLevel::Hot, F);
+        if (!Got || *Got != expectedBits(OptLevel::Hot, F))
+          ++Wrong[T];
+      }
+    });
+  // ...racing two threads issuing batches.
+  for (unsigned T = 2; T < 4; ++T)
+    Threads.emplace_back([&, T] {
+      for (unsigned I = 0; I < PerThread; I += 5) {
+        std::vector<ResilientModelClient::BatchRequest> Items;
+        for (unsigned J = 0; J < 5; ++J)
+          Items.push_back({OptLevel::Warm, uniqueFeatures(T, I + J)});
+        std::vector<std::optional<uint64_t>> Got =
+            S.Client->requestModifierBatch(Items);
+        for (unsigned J = 0; J < Items.size(); ++J)
+          if (!Got[J] ||
+              *Got[J] != expectedBits(Items[J].Level, Items[J].Features))
+            ++Wrong[T];
+      }
+    });
+  for (std::thread &Th : Threads)
+    Th.join();
+  for (unsigned T = 0; T < 4; ++T)
+    EXPECT_EQ(Wrong[T], 0u) << "thread " << T;
+
+  BridgeCounters C = S.Client->counters();
+  EXPECT_EQ(C.Fallbacks, 0u);
+  EXPECT_EQ(C.Timeouts, 0u);
+  EXPECT_TRUE(S.Client->usable());
+}

@@ -1,0 +1,254 @@
+//===- tests/DifferentialTest.cpp - interpreter vs sync vs async JIT ------===//
+//
+// Differential safety net for the background compiler: seeded random
+// programs executed three ways — pure interpreter, adaptive synchronous
+// JIT, adaptive asynchronous JIT — must agree on every invocation,
+// including while compilations are still in flight and after a drain. A
+// second sweep disables each of the 58 transformations one at a time
+// through the modifier hook and re-checks both JIT modes against the
+// interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitml;
+
+namespace {
+
+/// Emits a random Int32 expression of \p Depth onto the stack, reading
+/// locals [0, NumLocals). Mirrors the shape (but not the seed stream) of
+/// the RandomProgramTest generator, with extra comparison nodes.
+void emitExpr(MethodBuilder &MB, Rng &R, unsigned NumLocals, unsigned Depth) {
+  if (Depth == 0 || R.nextBool(0.3)) {
+    if (R.nextBool(0.5))
+      MB.load((uint32_t)R.nextBelow(NumLocals));
+    else
+      MB.constI(DataType::Int32, R.nextInRange(-100, 100));
+    return;
+  }
+  switch (R.nextBelow(6)) {
+  case 0: {
+    static const BcOp Ops[] = {BcOp::Add, BcOp::Sub, BcOp::Mul,
+                               BcOp::Or,  BcOp::And, BcOp::Xor};
+    emitExpr(MB, R, NumLocals, Depth - 1);
+    emitExpr(MB, R, NumLocals, Depth - 1);
+    MB.binop(Ops[R.nextBelow(6)], DataType::Int32);
+    return;
+  }
+  case 1: // division by a guaranteed nonzero constant
+    emitExpr(MB, R, NumLocals, Depth - 1);
+    MB.constI(DataType::Int32, R.nextInRange(1, 23));
+    MB.binop(R.nextBool(0.5) ? BcOp::Div : BcOp::Rem, DataType::Int32);
+    return;
+  case 2: // shifts by small constants
+    emitExpr(MB, R, NumLocals, Depth - 1);
+    MB.constI(DataType::Int32, R.nextInRange(0, 7));
+    MB.binop(R.nextBool(0.5) ? BcOp::Shl : BcOp::Shr, DataType::Int32);
+    return;
+  case 3: { // narrowing/widening round trip
+    DataType Narrow = R.nextBool(0.5) ? DataType::Int16 : DataType::Int8;
+    emitExpr(MB, R, NumLocals, Depth - 1);
+    MB.conv(DataType::Int32, Narrow);
+    MB.conv(Narrow, DataType::Int32);
+    return;
+  }
+  case 4: // a double detour
+    emitExpr(MB, R, NumLocals, Depth - 1);
+    MB.conv(DataType::Int32, DataType::Double);
+    MB.constF(DataType::Double, 0.5 + (double)R.nextBelow(5));
+    MB.binop(BcOp::Mul, DataType::Double);
+    MB.conv(DataType::Double, DataType::Int32);
+    return;
+  default: // negation
+    emitExpr(MB, R, NumLocals, Depth - 1);
+    MB.neg(DataType::Int32);
+    return;
+  }
+}
+
+/// A random method with a loop around a branch diamond, so the adaptive
+/// triggers see loopy code and the optimizer has real control flow:
+///   for (i = 0; i < 8; ++i) { t = expr; if (cond) a = expr else b = expr }
+///   return mix(a, b, t)
+uint32_t buildRandomMethod(Program &P, uint64_t Seed) {
+  Rng R(1000003 * Seed + 17);
+  MethodBuilder MB(P, "diff", -1, MF_Static | MF_Public,
+                   {DataType::Int32, DataType::Int32}, DataType::Int32);
+  unsigned NumLocals = 2;
+  for (unsigned I = 0; I < 3; ++I) {
+    uint32_t T = MB.addLocal(DataType::Int32);
+    ++NumLocals;
+    emitExpr(MB, R, NumLocals - 1, 3);
+    MB.store(T);
+  }
+  uint32_t Iv = MB.addLocal(DataType::Int32);
+  auto Head = MB.newLabel();
+  auto Exit = MB.newLabel();
+  MB.constI(DataType::Int32, 0).store(Iv);
+  MB.place(Head);
+  MB.load(Iv).constI(DataType::Int32, 8).ifCmp(BcCond::Ge, Exit);
+  {
+    auto Else = MB.newLabel();
+    auto Join = MB.newLabel();
+    emitExpr(MB, R, NumLocals, 2);
+    MB.ifZero((BcCond)R.nextBelow(6), Else);
+    emitExpr(MB, R, NumLocals, 3);
+    MB.store(2);
+    MB.gotoLabel(Join);
+    MB.place(Else);
+    emitExpr(MB, R, NumLocals, 3);
+    MB.store(3);
+    MB.place(Join);
+  }
+  emitExpr(MB, R, NumLocals, 2);
+  MB.store(4);
+  MB.inc(Iv, 1);
+  MB.gotoLabel(Head);
+  MB.place(Exit);
+  MB.load(2).load(3).binop(BcOp::Xor, DataType::Int32);
+  MB.load(4).binop(BcOp::Add, DataType::Int32);
+  MB.retValue(DataType::Int32);
+  return MB.finish();
+}
+
+/// Low invocation triggers (promotion through hot after a few calls) with
+/// time sampling off, so adaptive compilation happens fast and the same
+/// way in every configuration.
+VirtualMachine::Config adaptiveConfig(bool Async) {
+  VirtualMachine::Config Cfg;
+  for (unsigned L = 0; L < NumOptLevels; ++L) {
+    for (unsigned K = 0; K < 3; ++K)
+      Cfg.Control.InvocationTriggers[L][K] = (L < 3) ? 2 : 1000000;
+    Cfg.Control.CycleTriggers[L] = 1e18;
+  }
+  if (Async) {
+    Cfg.Async.Enabled = true;
+    Cfg.Async.Workers = 2;
+  }
+  return Cfg;
+}
+
+} // namespace
+
+class Differential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(Differential, InterpreterSyncJitAsyncJitAgree) {
+  Program P;
+  uint32_t M = buildRandomMethod(P, GetParam());
+  ASSERT_TRUE(verifyMethod(P, M).ok()) << verifyMethod(P, M).message();
+
+  VirtualMachine::Config InterpCfg;
+  InterpCfg.EnableJit = false;
+
+  for (int64_t A : {1ll, -7ll}) {
+    std::vector<Value> Args{Value::ofI(A), Value::ofI(A ^ 0x2a)};
+
+    VirtualMachine Interp(P, InterpCfg);
+    ExecResult Ref = Interp.invoke(M, Args);
+    ASSERT_FALSE(Ref.Exceptional);
+
+    // Adaptive sync JIT: the method gets promoted between invocations;
+    // every invocation must still agree with the interpreter.
+    VirtualMachine Sync(P, adaptiveConfig(/*Async=*/false));
+    for (int I = 0; I < 8; ++I) {
+      ExecResult Got = Sync.invoke(M, Args);
+      ASSERT_FALSE(Got.Exceptional);
+      ASSERT_EQ(Got.Ret.I, Ref.Ret.I)
+          << "sync, seed " << GetParam() << " arg " << A << " invocation "
+          << I;
+    }
+    EXPECT_GT(Sync.stats().Compilations, 0u);
+
+    // Adaptive async JIT: results must agree while compilations are in
+    // flight, right after a drain, and on the compiled body.
+    VirtualMachine Async(P, adaptiveConfig(/*Async=*/true));
+    for (int I = 0; I < 8; ++I) {
+      ExecResult Got = Async.invoke(M, Args);
+      ASSERT_FALSE(Got.Exceptional);
+      ASSERT_EQ(Got.Ret.I, Ref.Ret.I)
+          << "async, seed " << GetParam() << " arg " << A << " invocation "
+          << I;
+      if (I == 3)
+        Async.drainCompilations();
+    }
+    Async.drainCompilations();
+    EXPECT_NE(Async.nativeOf(M), nullptr);
+    ExecResult Got = Async.invoke(M, Args);
+    ASSERT_FALSE(Got.Exceptional);
+    ASSERT_EQ(Got.Ret.I, Ref.Ret.I)
+        << "async post-drain, seed " << GetParam() << " arg " << A;
+  }
+}
+
+// ~50 random programs (the satellite's floor for the differential net).
+INSTANTIATE_TEST_SUITE_P(FuzzSeeds, Differential,
+                         ::testing::Range<uint64_t>(1, 51));
+
+class DifferentialModifier : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialModifier, DisablingEachTransformationPreservesResults) {
+  Program P;
+  uint32_t M = buildRandomMethod(P, GetParam());
+  ASSERT_TRUE(verifyMethod(P, M).ok()) << verifyMethod(P, M).message();
+  std::vector<Value> Args{Value::ofI(5), Value::ofI(-3)};
+
+  VirtualMachine::Config InterpCfg;
+  InterpCfg.EnableJit = false;
+  VirtualMachine Interp(P, InterpCfg);
+  ExecResult Ref = Interp.invoke(M, Args);
+  ASSERT_FALSE(Ref.Exceptional);
+
+  for (unsigned K = 0; K < NumTransformations; ++K) {
+    PlanModifier Mod;
+    Mod.disable((TransformationKind)K);
+    auto Hook = [Mod](uint32_t, OptLevel, const FeatureVector &) {
+      return Mod;
+    };
+
+    // Sync: force-compile hot with the transformation disabled.
+    {
+      VirtualMachine::Config Cfg;
+      Cfg.Control.Enabled = false;
+      VirtualMachine VM(P, Cfg);
+      VM.setModifierHook(Hook);
+      VM.compileMethod(M, OptLevel::Hot);
+      ExecResult Got = VM.invoke(M, Args);
+      ASSERT_FALSE(Got.Exceptional);
+      ASSERT_EQ(Got.Ret.I, Ref.Ret.I)
+          << "sync, seed " << GetParam() << " disabled kind " << K;
+    }
+
+    // Async: the worker compiles with the same modifier; results must
+    // match before and after the install becomes visible.
+    {
+      VirtualMachine::Config Cfg = adaptiveConfig(/*Async=*/true);
+      // One promotion is enough for the sweep; keep it to cold.
+      for (unsigned L = 1; L < NumOptLevels; ++L)
+        for (unsigned C = 0; C < 3; ++C)
+          Cfg.Control.InvocationTriggers[L][C] = 1000000;
+      VirtualMachine VM(P, Cfg);
+      VM.setModifierHook(Hook);
+      for (int I = 0; I < 4; ++I) {
+        ExecResult Got = VM.invoke(M, Args);
+        ASSERT_FALSE(Got.Exceptional);
+        ASSERT_EQ(Got.Ret.I, Ref.Ret.I)
+            << "async, seed " << GetParam() << " disabled kind " << K;
+      }
+      VM.drainCompilations();
+      ExecResult Got = VM.invoke(M, Args);
+      ASSERT_FALSE(Got.Exceptional);
+      ASSERT_EQ(Got.Ret.I, Ref.Ret.I)
+          << "async post-drain, seed " << GetParam() << " disabled kind "
+          << K;
+      EXPECT_NE(VM.nativeOf(M), nullptr);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepSeeds, DifferentialModifier,
+                         ::testing::Values<uint64_t>(5, 9));
