@@ -1,0 +1,315 @@
+//===- bench/micro_pipeline.cpp -------------------------------------------===//
+//
+// Wall-clock of the learn-and-measure cycle, sequential (JITML_JOBS=1)
+// versus parallel (JITML_JOBS=N): the per-(benchmark, strategy) collection
+// runs, the five leave-one-out trainings, and a scaled-down figure
+// measurement. Every stage must produce bit-identical artifacts at both
+// job counts — the fan-out buys wall-clock only, never different numbers.
+// Also reports the trainer's throughput (subproblem solves/second) with
+// and without the shrinking heuristic.
+//
+// Emits BENCH_pipeline.json next to the binary so the perf trajectory of
+// the pipeline is tracked run over run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/FigureReport.h"
+#include "support/ThreadPool.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace jitml;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+CollectConfig benchCollectConfig() {
+  CollectConfig CC;
+  CC.Iterations = 16; // scaled so the sequential leg stays in seconds
+  CC.ModifiersPerLevel = 32;
+  CC.UsesPerModifier = 2;
+  CC.MaxRecompilesPerMethod = 60;
+  return CC;
+}
+
+struct CycleResult {
+  double CollectSeconds = 0.0;
+  double TrainSeconds = 0.0;
+  double MeasureSeconds = 0.0;
+  std::vector<IntermediateDataSet> PerBenchmark;
+  std::vector<ModelSet> Sets;
+  FigureData Figure;
+
+  double total() const {
+    return CollectSeconds + TrainSeconds + MeasureSeconds;
+  }
+};
+
+/// One full collect -> train -> measure cycle at the current JITML_JOBS.
+CycleResult runCycle(unsigned Runs) {
+  CycleResult R;
+  CollectConfig CC = benchCollectConfig();
+
+  auto T0 = std::chrono::steady_clock::now();
+  const std::vector<WorkloadSpec> &Training = trainingBenchmarks();
+  R.PerBenchmark.resize(Training.size());
+  static constexpr SearchStrategy Strategies[2] = {
+      SearchStrategy::Randomized, SearchStrategy::Progressive};
+  std::vector<IntermediateDataSet> Parts(Training.size() * 2);
+  parallelFor(Parts.size(), [&](size_t Task) {
+    Parts[Task] = collectWithStrategy(Training[Task / 2], CC,
+                                      Strategies[Task % 2]);
+  });
+  for (size_t B = 0; B < Training.size(); ++B) {
+    R.PerBenchmark[B] = std::move(Parts[B * 2]);
+    R.PerBenchmark[B].append(Parts[B * 2 + 1]);
+  }
+  R.CollectSeconds = secondsSince(T0);
+
+  T0 = std::chrono::steady_clock::now();
+  R.Sets = trainLeaveOneOut(R.PerBenchmark, TrainConfig());
+  R.TrainSeconds = secondsSince(T0);
+
+  T0 = std::chrono::steady_clock::now();
+  ModelStore::Artifacts Artifacts;
+  Artifacts.PerBenchmark = std::move(R.PerBenchmark);
+  Artifacts.Sets = std::move(R.Sets);
+  FigureRequest Request;
+  Request.Title = "micro_pipeline";
+  Request.Metric = FigureMetric::StartupPerformance;
+  Request.BenchSuite = Suite::SpecJvm98;
+  Request.Iterations = 1;
+  Request.Runs = Runs;
+  R.Figure = runFigure(Request, Artifacts);
+  R.MeasureSeconds = secondsSince(T0);
+  R.PerBenchmark = std::move(Artifacts.PerBenchmark);
+  R.Sets = std::move(Artifacts.Sets);
+  return R;
+}
+
+bool sameRecords(const std::vector<IntermediateDataSet> &A,
+                 const std::vector<IntermediateDataSet> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t S = 0; S < A.size(); ++S) {
+    if (A[S].size() != B[S].size())
+      return false;
+    for (size_t I = 0; I < A[S].Records.size(); ++I) {
+      const TaggedRecord &X = A[S].Records[I];
+      const TaggedRecord &Y = B[S].Records[I];
+      if (X.SourceTag != Y.SourceTag || X.Signature != Y.Signature ||
+          X.Record.ModifierBits != Y.Record.ModifierBits ||
+          X.Record.Level != Y.Record.Level ||
+          X.Record.RunCycles != Y.Record.RunCycles ||
+          X.Record.CompileCycles != Y.Record.CompileCycles ||
+          !(X.Record.Features == Y.Record.Features))
+        return false;
+    }
+  }
+  return true;
+}
+
+bool sameModels(const std::vector<ModelSet> &A,
+                const std::vector<ModelSet> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t S = 0; S < A.size(); ++S)
+    for (unsigned L = 0; L < NumOptLevels; ++L) {
+      const LevelModel &X = A[S].Levels[L];
+      const LevelModel &Y = B[S].Levels[L];
+      if (X.Valid != Y.Valid)
+        return false;
+      if (X.Valid && X.Model.toText() != Y.Model.toText())
+        return false;
+    }
+  return true;
+}
+
+bool sameFigure(const FigureData &A, const FigureData &B) {
+  if (A.Rows.size() != B.Rows.size() ||
+      A.ModelGeoMean != B.ModelGeoMean)
+    return false;
+  for (size_t R = 0; R < A.Rows.size(); ++R) {
+    const FigureData::Row &X = A.Rows[R];
+    const FigureData::Row &Y = B.Rows[R];
+    if (X.Benchmark != Y.Benchmark || X.LeaveOneOut != Y.LeaveOneOut ||
+        X.PerModel.size() != Y.PerModel.size())
+      return false;
+    for (size_t M = 0; M < X.PerModel.size(); ++M)
+      if (X.PerModel[M].Value != Y.PerModel[M].Value ||
+          X.PerModel[M].Ci != Y.PerModel[M].Ci)
+        return false;
+  }
+  return true;
+}
+
+/// Trainer throughput on the largest level-0 training problem.
+struct TrainerBench {
+  double SeedSolverSeconds = 0.0;
+  double ShrinkSolverSeconds = 0.0;
+  uint64_t SeedSolves = 0;
+  uint64_t ShrinkSolves = 0;
+  double SeedAccuracy = 0.0;
+  double ShrinkAccuracy = 0.0;
+};
+
+TrainerBench benchTrainer(const std::vector<IntermediateDataSet> &Per) {
+  TrainerBench TB;
+  IntermediateDataSet Merged = mergeAll(Per);
+  TrainConfig TC;
+  std::vector<RankedInstance> Ranked =
+      rankRecords(Merged, OptLevel::Cold, TC.Selection, TC.Triggers);
+  if (Ranked.size() < 8)
+    return TB;
+  Scaling Scale = Scaling::fit(Ranked);
+  LabelMap Labels;
+  std::vector<NormalizedInstance> Instances =
+      normalizeInstances(Ranked, Scale, Labels);
+
+  TrainOptions Reference = TC.Svm;
+  Reference.Shrinking = false;
+  TrainOptions Shrinking = TC.Svm;
+  Shrinking.Shrinking = true;
+
+  TrainReport Report;
+  auto T0 = std::chrono::steady_clock::now();
+  LinearModel Seed = trainCrammerSinger(Instances, Reference, &Report);
+  TB.SeedSolverSeconds = secondsSince(T0);
+  TB.SeedSolves = Report.SubproblemSolves;
+  TB.SeedAccuracy = Report.TrainAccuracy;
+
+  T0 = std::chrono::steady_clock::now();
+  LinearModel Fast = trainCrammerSinger(Instances, Shrinking, &Report);
+  TB.ShrinkSolverSeconds = secondsSince(T0);
+  TB.ShrinkSolves = Report.SubproblemSolves;
+  TB.ShrinkAccuracy = Report.TrainAccuracy;
+  return TB;
+}
+
+void setJobs(unsigned Jobs) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "%u", Jobs);
+  ::setenv("JITML_JOBS", Buf, 1);
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *JsonPath = argc > 1 ? argv[1] : "BENCH_pipeline.json";
+  unsigned Runs = configuredRuns(8);
+  unsigned HW = std::thread::hardware_concurrency();
+  const char *PrevJobs = std::getenv("JITML_JOBS");
+  unsigned ParJobs = PrevJobs && *PrevJobs ? configuredJobs()
+                                           : (HW >= 4 ? 4 : (HW ? HW : 1));
+
+  std::printf("Learning-pipeline wall clock: sequential vs parallel "
+              "(%u hardware threads, parallel leg uses %u jobs, %u runs "
+              "per figure cell)\n\n",
+              HW, ParJobs, Runs);
+
+  setJobs(1);
+  auto T0 = std::chrono::steady_clock::now();
+  CycleResult Seq = runCycle(Runs);
+  double SeqTotal = secondsSince(T0);
+
+  setJobs(ParJobs);
+  T0 = std::chrono::steady_clock::now();
+  CycleResult Par = runCycle(Runs);
+  double ParTotal = secondsSince(T0);
+
+  bool RecordsOk = sameRecords(Seq.PerBenchmark, Par.PerBenchmark);
+  bool ModelsOk = sameModels(Seq.Sets, Par.Sets);
+  bool FigureOk = sameFigure(Seq.Figure, Par.Figure);
+
+  TrainerBench TB = benchTrainer(Seq.PerBenchmark);
+  ::unsetenv("JITML_JOBS");
+  if (PrevJobs)
+    ::setenv("JITML_JOBS", PrevJobs, 1);
+
+  auto Row = [](const char *Stage, double S, double P) {
+    std::printf("%-12s %12.3fs %12.3fs %10.2fx\n", Stage, S, P,
+                P > 0.0 ? S / P : 0.0);
+  };
+  std::printf("%-12s %13s %13s %11s\n", "stage", "JITML_JOBS=1",
+              "parallel", "speedup");
+  Row("collect", Seq.CollectSeconds, Par.CollectSeconds);
+  Row("train", Seq.TrainSeconds, Par.TrainSeconds);
+  Row("measure", Seq.MeasureSeconds, Par.MeasureSeconds);
+  Row("cycle", SeqTotal, ParTotal);
+
+  double SeedRate = TB.SeedSolverSeconds > 0.0
+                        ? (double)TB.SeedSolves / TB.SeedSolverSeconds
+                        : 0.0;
+  double ShrinkRate = TB.ShrinkSolverSeconds > 0.0
+                          ? (double)TB.ShrinkSolves / TB.ShrinkSolverSeconds
+                          : 0.0;
+  std::printf("\ntrainer (cold-level problem): reference %.0f solves/s "
+              "(acc %.3f), shrinking %.0f solves/s over %.1f%% of the "
+              "solves (acc %.3f), wall %.3fs -> %.3fs\n",
+              SeedRate, TB.SeedAccuracy, ShrinkRate,
+              TB.SeedSolves
+                  ? 100.0 * (double)TB.ShrinkSolves / (double)TB.SeedSolves
+                  : 0.0,
+              TB.ShrinkAccuracy, TB.SeedSolverSeconds,
+              TB.ShrinkSolverSeconds);
+  std::printf("determinism: records %s, models %s, figure %s\n",
+              RecordsOk ? "identical" : "MISMATCH",
+              ModelsOk ? "identical" : "MISMATCH",
+              FigureOk ? "identical" : "MISMATCH");
+
+  if (std::FILE *F = std::fopen(JsonPath, "w")) {
+    std::fprintf(
+        F,
+        "{\n"
+        "  \"hardware_threads\": %u,\n"
+        "  \"parallel_jobs\": %u,\n"
+        "  \"figure_runs\": %u,\n"
+        "  \"sequential\": {\"collect_s\": %.6f, \"train_s\": %.6f, "
+        "\"measure_s\": %.6f, \"total_s\": %.6f},\n"
+        "  \"parallel\": {\"collect_s\": %.6f, \"train_s\": %.6f, "
+        "\"measure_s\": %.6f, \"total_s\": %.6f},\n"
+        "  \"speedup\": %.4f,\n"
+        "  \"trainer\": {\"reference_solves_per_s\": %.1f, "
+        "\"shrinking_solves_per_s\": %.1f, \"reference_accuracy\": %.4f, "
+        "\"shrinking_accuracy\": %.4f, \"solve_ratio\": %.4f},\n"
+        "  \"bit_identical\": {\"records\": %s, \"models\": %s, "
+        "\"figure\": %s}\n"
+        "}\n",
+        HW, ParJobs, Runs, Seq.CollectSeconds, Seq.TrainSeconds,
+        Seq.MeasureSeconds, SeqTotal, Par.CollectSeconds, Par.TrainSeconds,
+        Par.MeasureSeconds, ParTotal, ParTotal > 0.0 ? SeqTotal / ParTotal : 0.0,
+        SeedRate, ShrinkRate, TB.SeedAccuracy, TB.ShrinkAccuracy,
+        TB.SeedSolves ? (double)TB.ShrinkSolves / (double)TB.SeedSolves : 0.0,
+        RecordsOk ? "true" : "false", ModelsOk ? "true" : "false",
+        FigureOk ? "true" : "false");
+    std::fclose(F);
+    std::printf("wrote %s\n", JsonPath);
+  } else {
+    std::fprintf(stderr, "could not write %s\n", JsonPath);
+  }
+
+  if (!RecordsOk || !ModelsOk || !FigureOk) {
+    std::fprintf(stderr,
+                 "parallel pipeline diverged from the sequential one\n");
+    return 1;
+  }
+  // The >= 3x wall-clock criterion only binds where the cores exist.
+  if (HW >= 4 && ParTotal > 0.0 && SeqTotal / ParTotal < 3.0) {
+    std::fprintf(stderr,
+                 "expected >= 3x speedup at %u jobs on %u hardware "
+                 "threads, got %.2fx\n",
+                 ParJobs, HW, SeqTotal / ParTotal);
+    return 1;
+  }
+  return 0;
+}

@@ -8,6 +8,10 @@
 #   tsan         ThreadSanitizer build re-running the concurrent subsystems
 #                (compilation queue, code cache, async pipeline, shared
 #                bridge client, differential interpreter-vs-JIT checks)
+#   pipeline     learning-pipeline parallelism: micro_pipeline emits
+#                BENCH_pipeline.json (bit-identity enforced by the binary)
+#                and the Pipeline/TrainerEquivalence tests re-run under
+#                the ThreadSanitizer build
 #
 # The script stops at the first failing suite with a non-zero exit, and
 # always ends with a summary table of every suite it reached.
@@ -65,8 +69,17 @@ tsan_step() {
       'CompilationQueue\.|CodeCache\.|AsyncPipeline\.|AsyncVM\.|Differential\.|DifferentialModifier\.|ConcurrentBridge\.')
 }
 
+pipeline_step() {
+  cmake --build build -j"$(nproc)" --target micro_pipeline &&
+    ./build/bench/micro_pipeline BENCH_pipeline.json &&
+    cmake --build build-tsan -j"$(nproc)" --target jitml_tests &&
+    (cd build-tsan && ctest --output-on-failure -j"$(nproc)" -R \
+      'Pipeline\.|TrainerEquivalence\.')
+}
+
 run_suite build build_step
 run_suite tests tests_step
 run_suite asan asan_step
 run_suite tsan tsan_step
+run_suite pipeline pipeline_step
 finish 0

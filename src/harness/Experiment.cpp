@@ -2,6 +2,8 @@
 
 #include "harness/Experiment.h"
 
+#include "support/ThreadPool.h"
+
 #include <cmath>
 
 using namespace jitml;
@@ -33,12 +35,14 @@ RunResult jitml::runOnce(const Program &P, unsigned Iterations,
   return Out;
 }
 
-Series jitml::measureSeries(const Program &P, const ExperimentConfig &Config,
-                            LearnedStrategyProvider *Provider) {
+uint64_t jitml::runSeed(const ExperimentConfig &Config, unsigned Run) {
+  return mix64(Config.Seed + Run * 0x9e37u);
+}
+
+Series jitml::foldSeries(const std::vector<RunResult> &Results) {
   Series Out;
-  for (unsigned Run = 0; Run < Config.Runs; ++Run) {
-    RunResult R = runOnce(P, Config.Iterations, Provider,
-                          mix64(Config.Seed + Run * 0x9e37u));
+  for (size_t Run = 0; Run < Results.size(); ++Run) {
+    const RunResult &R = Results[Run];
     Out.Wall.add(R.WallCycles);
     Out.Compile.add(R.CompileCycles);
     if (Run == 0)
@@ -47,6 +51,20 @@ Series jitml::measureSeries(const Program &P, const ExperimentConfig &Config,
       assert(Out.Checksum == R.Checksum && "non-deterministic benchmark");
   }
   return Out;
+}
+
+Series jitml::measureSeries(const Program &P, const ExperimentConfig &Config,
+                            LearnedStrategyProvider *Provider) {
+  // The repetitions are independent JVM invocations whose seeds derive
+  // from the run index alone, so they fan out across the worker pool into
+  // ordered result slots; the in-order fold below makes the statistics
+  // bit-identical to the sequential loop (JITML_JOBS=1 runs it inline).
+  std::vector<RunResult> Results(Config.Runs);
+  parallelFor(Config.Runs, [&](size_t Run) {
+    Results[Run] =
+        runOnce(P, Config.Iterations, Provider, runSeed(Config, (unsigned)Run));
+  });
+  return foldSeries(Results);
 }
 
 namespace {

@@ -53,9 +53,21 @@ struct ExperimentConfig {
 RunResult runOnce(const Program &P, unsigned Iterations,
                   LearnedStrategyProvider *Provider, uint64_t RunSeed);
 
-/// The full 30-run series for one (benchmark, configuration) pair.
+/// The full 30-run series for one (benchmark, configuration) pair. The
+/// runs are independent and fan out across the JITML_JOBS worker pool;
+/// per-run seeds depend only on the run index and results fold in index
+/// order, so the statistics are bit-identical to a sequential loop.
 Series measureSeries(const Program &P, const ExperimentConfig &Config,
                      LearnedStrategyProvider *Provider);
+
+/// Seed of run \p Run under \p Config (the derivation measureSeries uses;
+/// exposed so callers that fan out at a different granularity, like the
+/// figure harness, produce the same per-run seeds).
+uint64_t runSeed(const ExperimentConfig &Config, unsigned Run);
+
+/// Folds per-run results (in run order) into a Series, asserting the
+/// checksum agreement measureSeries enforces.
+Series foldSeries(const std::vector<RunResult> &Results);
 
 /// Ratio helpers for the relative bars the figures report. Confidence
 /// half-widths propagate first-order.

@@ -3,9 +3,11 @@
 #include "harness/FigureReport.h"
 
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
 using namespace jitml;
 
@@ -17,6 +19,24 @@ unsigned jitml::configuredRuns(unsigned Default) {
   return V >= 1 ? (unsigned)V : Default;
 }
 
+namespace {
+
+/// One measured (benchmark, compiler configuration) pair: the baseline
+/// compiler (SetIdx == npos) or one leave-one-out model set. Cells are the
+/// unit of fan-out together with their runs: every (cell, run) measurement
+/// is independent, seeded by indices alone, and lands in its own slot.
+struct FigureCell {
+  size_t Bench = 0;
+  size_t SetIdx = SIZE_MAX; ///< SIZE_MAX = baseline
+  /// Shared by every run of the cell; model sets are immutable and the
+  /// provider's counters are atomic, so concurrent runs are safe.
+  std::unique_ptr<LearnedStrategyProvider> Provider;
+  std::vector<RunResult> Runs; ///< ordered result slots
+  Series Folded;
+};
+
+} // namespace
+
 FigureData jitml::runFigure(const FigureRequest &Request,
                             const ModelStore::Artifacts &Artifacts) {
   const std::vector<WorkloadSpec> &Suite =
@@ -25,52 +45,101 @@ FigureData jitml::runFigure(const FigureRequest &Request,
   FigureData Data;
   std::vector<std::vector<double>> GeoInputs(Artifacts.Sets.size());
 
-  for (const WorkloadSpec &Spec : Suite) {
-    std::printf("[figure] %s: measuring baseline (%u runs x %u iters)\n",
-                Spec.Name.c_str(), Request.Runs, Request.Iterations);
-    std::fflush(stdout);
-    Program P = buildWorkload(Spec);
+  // Phase 1: lay out every (benchmark, configuration) cell the sequential
+  // driver would have measured, in its visiting order.
+  std::vector<Program> Programs;
+  std::vector<ExperimentConfig> Configs;
+  Programs.reserve(Suite.size());
+  std::vector<FigureCell> Cells;
+  for (size_t Bench = 0; Bench < Suite.size(); ++Bench) {
+    const WorkloadSpec &Spec = Suite[Bench];
+    Programs.push_back(buildWorkload(Spec));
     ExperimentConfig EC;
     EC.Iterations = Request.Iterations;
     EC.Runs = Request.Runs;
     EC.Seed = mix64(Spec.Seed ^ 0xf19u);
-    Series Baseline = measureSeries(P, EC, nullptr);
+    Configs.push_back(EC);
+
+    FigureCell Baseline;
+    Baseline.Bench = Bench;
+    Cells.push_back(std::move(Baseline));
+
+    const ModelSet *LooSet = ModelStore::setExcluding(Artifacts, Spec.Code);
+    for (size_t S = 0; S < Artifacts.Sets.size(); ++S) {
+      // Training benchmark: only the fold that excluded it is honest.
+      if (LooSet && &Artifacts.Sets[S] != LooSet)
+        continue;
+      FigureCell Cell;
+      Cell.Bench = Bench;
+      Cell.SetIdx = S;
+      Cell.Provider =
+          std::make_unique<LearnedStrategyProvider>(Artifacts.Sets[S]);
+      Cells.push_back(std::move(Cell));
+    }
+  }
+  for (FigureCell &Cell : Cells)
+    Cell.Runs.resize(Request.Runs);
+
+  std::printf("[figure] measuring %zu benchmarks x (baseline + models): "
+              "%zu configurations x %u runs x %u iters, %u jobs\n",
+              Suite.size(), Cells.size(), Request.Runs, Request.Iterations,
+              configuredJobs());
+  std::fflush(stdout);
+
+  // Phase 2: every (configuration, run) measurement fans out across the
+  // pool. Seeds depend only on (benchmark, run), exactly as the
+  // sequential measureSeries derivation, so JITML_JOBS=1 and JITML_JOBS=N
+  // fill identical slots.
+  parallelFor(Cells.size() * Request.Runs, [&](size_t Task) {
+    FigureCell &Cell = Cells[Task / Request.Runs];
+    unsigned Run = (unsigned)(Task % Request.Runs);
+    const ExperimentConfig &EC = Configs[Cell.Bench];
+    Cell.Runs[Run] =
+        runOnce(Programs[Cell.Bench], EC.Iterations,
+                Cell.Provider.get(), runSeed(EC, Run));
+  });
+
+  // Phase 3: fold each cell in run order and assemble rows in suite
+  // order — the exact aggregation of the sequential driver.
+  for (FigureCell &Cell : Cells) {
+    Cell.Folded = foldSeries(Cell.Runs);
+    Cell.Provider.reset();
+  }
+
+  size_t CellAt = 0;
+  for (size_t Bench = 0; Bench < Suite.size(); ++Bench) {
+    const WorkloadSpec &Spec = Suite[Bench];
+    assert(CellAt < Cells.size() && Cells[CellAt].Bench == Bench &&
+           Cells[CellAt].SetIdx == SIZE_MAX &&
+           "cell layout must start each benchmark with its baseline");
+    const Series &Baseline = Cells[CellAt++].Folded;
 
     FigureData::Row Row;
     Row.Benchmark = Spec.Name;
     Row.Code = Spec.Code;
     Row.PerModel.resize(Artifacts.Sets.size());
-    const ModelSet *LooSet = ModelStore::setExcluding(Artifacts, Spec.Code);
-    Row.LeaveOneOut = LooSet != nullptr;
+    Row.LeaveOneOut = ModelStore::setExcluding(Artifacts, Spec.Code) != nullptr;
 
-    auto MeasureWith = [&](const ModelSet &Set) {
-      LearnedStrategyProvider Provider(Set);
-      Series Learned = measureSeries(P, EC, &Provider);
+    for (; CellAt < Cells.size() && Cells[CellAt].Bench == Bench; ++CellAt) {
+      const FigureCell &Cell = Cells[CellAt];
+      const Series &Learned = Cell.Folded;
       // Correctness first: the learned compiler must compute the same
       // answers as the baseline.
       assert(Learned.Checksum == Baseline.Checksum &&
              "learned configuration changed program semantics");
+      Relative Rel;
       switch (Request.Metric) {
       case FigureMetric::StartupPerformance:
       case FigureMetric::ThroughputPerformance:
-        return relativePerformance(Baseline, Learned);
+        Rel = relativePerformance(Baseline, Learned);
+        break;
       case FigureMetric::CompileTime:
-        return relativeCompileTime(Baseline, Learned);
+        Rel = relativeCompileTime(Baseline, Learned);
+        break;
       }
-      return Relative();
-    };
-
-    if (LooSet) {
-      // Training benchmark: only the fold that excluded it is honest.
-      for (size_t S = 0; S < Artifacts.Sets.size(); ++S)
-        if (&Artifacts.Sets[S] == LooSet)
-          Row.PerModel[S] = MeasureWith(*LooSet);
-    } else {
-      for (size_t S = 0; S < Artifacts.Sets.size(); ++S) {
-        Row.PerModel[S] = MeasureWith(Artifacts.Sets[S]);
-        if (Row.PerModel[S].Value > 0.0)
-          GeoInputs[S].push_back(Row.PerModel[S].Value);
-      }
+      Row.PerModel[Cell.SetIdx] = Rel;
+      if (!Row.LeaveOneOut && Rel.Value > 0.0)
+        GeoInputs[Cell.SetIdx].push_back(Rel.Value);
     }
     Data.Rows.push_back(std::move(Row));
   }

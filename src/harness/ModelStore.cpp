@@ -2,6 +2,9 @@
 
 #include "harness/ModelStore.h"
 
+#include "support/ThreadPool.h"
+
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <sys/stat.h>
@@ -58,26 +61,58 @@ ModelStore::Artifacts ModelStore::getOrBuild(bool Verbose) {
   ::mkdir(Dir.c_str(), 0755);
 
   CollectConfig CC = collectConfig();
-  for (const WorkloadSpec &Spec : trainingBenchmarks()) {
+  const std::vector<WorkloadSpec> &Training = trainingBenchmarks();
+  A.PerBenchmark.resize(Training.size());
+
+  // Cheap cache probe first (sequential file I/O), then one parallel
+  // fan-out over every missing (benchmark, search strategy) collection
+  // run — the expensive step. Each strategy run is an independent VM
+  // session with index-derived seeds; merging Randomized before
+  // Progressive per benchmark reproduces collectFromWorkload exactly, so
+  // the cached archives and trained models are bit-identical to the
+  // sequential build.
+  std::vector<size_t> Missing;
+  for (size_t B = 0; B < Training.size(); ++B) {
+    const WorkloadSpec &Spec = Training[B];
     std::string Path = Dir + "/" + Spec.Code + ".jmla";
-    IntermediateDataSet Data;
-    if (loadDataSet(Path, Spec.Code, Data)) {
+    if (loadDataSet(Path, Spec.Code, A.PerBenchmark[B])) {
       if (Verbose)
         std::printf("[modelstore] %s: %zu records (cached)\n",
-                    Spec.Name.c_str(), Data.size());
+                    Spec.Name.c_str(), A.PerBenchmark[B].size());
     } else {
-      if (Verbose)
-        std::printf("[modelstore] %s: collecting...\n", Spec.Name.c_str());
+      Missing.push_back(B);
+    }
+  }
+
+  if (!Missing.empty()) {
+    if (Verbose) {
+      for (size_t B : Missing)
+        std::printf("[modelstore] %s: collecting...\n",
+                    Training[B].Name.c_str());
       std::fflush(stdout);
-      Data = collectFromWorkload(Spec, CC);
+    }
+    static constexpr SearchStrategy Strategies[2] = {
+        SearchStrategy::Randomized, SearchStrategy::Progressive};
+    std::vector<std::array<IntermediateDataSet, 2>> Parts(Missing.size());
+    parallelFor(Missing.size() * 2, [&](size_t Task) {
+      size_t M = Task / 2;
+      Parts[M][Task % 2] = collectWithStrategy(Training[Missing[M]], CC,
+                                               Strategies[Task % 2]);
+    });
+    for (size_t M = 0; M < Missing.size(); ++M) {
+      size_t B = Missing[M];
+      const WorkloadSpec &Spec = Training[B];
+      IntermediateDataSet &Data = A.PerBenchmark[B];
+      Data = std::move(Parts[M][0]);
+      Data.append(Parts[M][1]);
       if (Verbose)
         std::printf("[modelstore] %s: %zu records collected\n",
                     Spec.Name.c_str(), Data.size());
+      std::string Path = Dir + "/" + Spec.Code + ".jmla";
       if (!saveDataSet(Path, Data) && Verbose)
         std::printf("[modelstore] warning: could not cache %s\n",
                     Path.c_str());
     }
-    A.PerBenchmark.push_back(std::move(Data));
   }
 
   if (Verbose)

@@ -3,6 +3,7 @@
 #include "jitml/Training.h"
 
 #include "collect/CollectionListener.h"
+#include "support/ThreadPool.h"
 
 using namespace jitml;
 
@@ -88,10 +89,19 @@ IntermediateDataSet collectOnce(const WorkloadSpec &Spec,
 IntermediateDataSet jitml::collectFromWorkload(const WorkloadSpec &Spec,
                                                const CollectConfig &Config) {
   // "The training data merges the data from the randomized search and the
-  // progressive randomized search data collections" (section 8.1).
-  IntermediateDataSet Merged =
-      collectOnce(Spec, Config, SearchStrategy::Randomized);
-  Merged.append(collectOnce(Spec, Config, SearchStrategy::Progressive));
+  // progressive randomized search data collections" (section 8.1). The
+  // two strategy runs are independent VM sessions with seeds derived from
+  // (Config, Spec, strategy), so they fan out; appending Randomized then
+  // Progressive keeps the merged record order identical to the
+  // sequential build.
+  IntermediateDataSet Parts[2];
+  static constexpr SearchStrategy Strategies[2] = {
+      SearchStrategy::Randomized, SearchStrategy::Progressive};
+  parallelFor(2, [&](size_t S) {
+    Parts[S] = collectOnce(Spec, Config, Strategies[S]);
+  });
+  IntermediateDataSet Merged = std::move(Parts[0]);
+  Merged.append(Parts[1]);
   return Merged;
 }
 
@@ -106,21 +116,24 @@ ModelSet jitml::trainModelSet(const IntermediateDataSet &Data,
                               const TrainConfig &Config) {
   ModelSet Set;
   Set.Name = Name;
-  for (unsigned L = 0; L < NumOptLevels; ++L) {
+  // Each learned level ranks, normalizes, and trains from disjoint
+  // records into its own Levels[L] slot — an independent shard of the
+  // merge -> rank -> normalize -> train pipeline.
+  parallelFor(NumOptLevels, [&](size_t L) {
     OptLevel Level = (OptLevel)L;
     if (!isLearnedLevel(Level))
-      continue;
+      return;
     std::vector<RankedInstance> Ranked =
         rankRecords(Data, Level, Config.Selection, Config.Triggers);
     if (Ranked.size() < 8)
-      continue; // not enough signal for this level
+      return; // not enough signal for this level
     LevelModel &LM = Set.Levels[L];
     LM.Scale = Scaling::fit(Ranked);
     std::vector<NormalizedInstance> Instances =
         normalizeInstances(Ranked, LM.Scale, LM.Labels);
     LM.Model = trainCrammerSinger(Instances, Config.Svm);
     LM.Valid = true;
-  }
+  });
   return Set;
 }
 
@@ -130,14 +143,16 @@ jitml::trainLeaveOneOut(const std::vector<IntermediateDataSet> &PerBenchmark,
   const std::vector<WorkloadSpec> &Training = trainingBenchmarks();
   assert(PerBenchmark.size() == Training.size() &&
          "one data set per training benchmark");
-  std::vector<ModelSet> Sets;
-  for (size_t Fold = 0; Fold < Training.size(); ++Fold) {
+  // The five folds merge and train independently into ordered slots, so
+  // H1..H5 come out identical to the sequential loop regardless of
+  // JITML_JOBS.
+  std::vector<ModelSet> Sets(Training.size());
+  parallelFor(Training.size(), [&](size_t Fold) {
     IntermediateDataSet Merged =
         mergeExcluding(PerBenchmark, {Training[Fold].Code});
     std::string Name = "H" + std::to_string(Fold + 1);
-    ModelSet Set = trainModelSet(Merged, Name, Config);
-    Set.LeftOutBenchmark = Training[Fold].Code;
-    Sets.push_back(std::move(Set));
-  }
+    Sets[Fold] = trainModelSet(Merged, Name, Config);
+    Sets[Fold].LeftOutBenchmark = Training[Fold].Code;
+  });
   return Sets;
 }

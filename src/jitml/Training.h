@@ -8,6 +8,12 @@
 /// "five sets of models were trained with the SVM, each including four
 /// benchmarks ... In total, 15 machine-learned models were trained."
 ///
+/// The stages fan out across the JITML_JOBS worker pool at their natural
+/// independence boundaries — search strategies within a collection, folds
+/// within the leave-one-out study, levels within a model set — with
+/// index-derived seeds and ordered result slots, so every artifact is
+/// bit-identical to the sequential (JITML_JOBS=1) build.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JITML_JITML_TRAINING_H

@@ -2,17 +2,19 @@
 
 #include "mldata/Ranker.h"
 
+#include "support/ThreadPool.h"
+
 #include <algorithm>
-#include <map>
-#include <set>
+#include <unordered_map>
+#include <unordered_set>
 
 using namespace jitml;
 
 DataSetSummary jitml::summarizeMerged(const IntermediateDataSet &Data,
                                       OptLevel Level) {
   DataSetSummary S;
-  std::set<uint64_t> Classes;
-  std::set<uint64_t> Vectors;
+  std::unordered_set<uint64_t> Classes;
+  std::unordered_set<uint64_t> Vectors;
   for (const TaggedRecord &T : Data.Records) {
     if (T.Record.Level != Level)
       continue;
@@ -28,8 +30,8 @@ DataSetSummary jitml::summarizeMerged(const IntermediateDataSet &Data,
 DataSetSummary
 jitml::summarizeRanked(const std::vector<RankedInstance> &Data) {
   DataSetSummary S;
-  std::set<uint64_t> Classes;
-  std::set<uint64_t> Vectors;
+  std::unordered_set<uint64_t> Classes;
+  std::unordered_set<uint64_t> Vectors;
   for (const RankedInstance &R : Data) {
     ++S.Instances;
     Classes.insert(R.ModifierBits);
@@ -56,40 +58,116 @@ double jitml::rankValue(const CollectionRecord &R,
   return PerInvocation + R.CompileCycles / Th;
 }
 
+namespace {
+
+/// Content hash adapter so the grouping map is keyed on the existing
+/// FeatureVector::hash(); equality falls back to the full 71-component
+/// comparison, so colliding vectors still land in distinct groups.
+struct FeatureVectorHash {
+  size_t operator()(const FeatureVector &F) const { return (size_t)F.hash(); }
+};
+
+struct Entry {
+  const CollectionRecord *Rec;
+  double V;
+  size_t Index; ///< position in Data.Records, for deterministic ties
+};
+
+/// Best observation per modifier within one feature-vector group.
+using ModifierMap = std::unordered_map<uint64_t, Entry>;
+using GroupMap = std::unordered_map<FeatureVector, ModifierMap,
+                                    FeatureVectorHash>;
+
+/// Keeps the better of two observations of the same (vector, modifier)
+/// pair: smaller ranking value wins, earlier record wins ties — exactly
+/// the record-order semantics of a single sequential scan.
+void foldEntry(ModifierMap &PerModifier, uint64_t Bits, const Entry &E) {
+  auto [It, Inserted] = PerModifier.try_emplace(Bits, E);
+  if (!Inserted &&
+      (E.V < It->second.V || (E.V == It->second.V && E.Index < It->second.Index)))
+    It->second = E;
+}
+
+GroupMap groupShard(const IntermediateDataSet &Data, size_t Begin, size_t End,
+                    OptLevel Level, const TriggerTable &Triggers) {
+  GroupMap Groups;
+  for (size_t I = Begin; I < End; ++I) {
+    const CollectionRecord &R = Data.Records[I].Record;
+    if (R.Level != Level || R.Invocations == 0)
+      continue;
+    foldEntry(Groups[R.Features], R.ModifierBits,
+              Entry{&R, rankValue(R, Triggers), I});
+  }
+  return Groups;
+}
+
+} // namespace
+
 std::vector<RankedInstance>
 jitml::rankRecords(const IntermediateDataSet &Data, OptLevel Level,
                    const SelectionPolicy &Policy,
                    const TriggerTable &Triggers) {
-  // Figure 3: "intermediate data sets are loaded and progressively sorted
-  // in lexicographical order, based on the feature vector of each record.
-  // This sorting aggregates all experiments performed on the same feature
-  // vector."
-  struct Entry {
-    const CollectionRecord *Rec;
-    double V;
-  };
-  std::map<FeatureVector, std::map<uint64_t, Entry>> Groups;
-  for (const TaggedRecord &T : Data.Records) {
-    const CollectionRecord &R = T.Record;
-    if (R.Level != Level || R.Invocations == 0)
-      continue;
-    double V = rankValue(R, Triggers);
-    auto &PerModifier = Groups[R.Features];
-    auto It = PerModifier.find(R.ModifierBits);
-    // The same (vector, modifier) pair can appear in several runs; keep
-    // the best-performing observation.
-    if (It == PerModifier.end() || V < It->second.V)
-      PerModifier[R.ModifierBits] = {&R, V};
+  // Figure 3's aggregation step ("progressively sorted in lexicographical
+  // order, based on the feature vector of each record ... aggregates all
+  // experiments performed on the same feature vector") — realized as O(n)
+  // hash grouping on FeatureVector::hash() instead of a comparison-sorted
+  // map, with one final lexicographic sort over the (much smaller) set of
+  // unique vectors so the emitted instance order is unchanged.
+  size_t NumRecords = Data.Records.size();
+  unsigned Jobs = configuredJobs();
+  GroupMap Groups;
+  if (Jobs > 1 && NumRecords >= 4096 && !ThreadPool::onWorkerThread()) {
+    // Shard the scan, then fold the per-shard maps left-to-right. The
+    // fold rule is position-aware, so the merged map is identical to the
+    // single-scan result no matter how records were sharded.
+    size_t Shards = std::min<size_t>(Jobs, (NumRecords + 4095) / 4096);
+    std::vector<GroupMap> Parts(Shards);
+    size_t Chunk = (NumRecords + Shards - 1) / Shards;
+    parallelFor(Shards, [&](size_t S) {
+      size_t Begin = S * Chunk;
+      size_t End = std::min(NumRecords, Begin + Chunk);
+      Parts[S] = groupShard(Data, Begin, End, Level, Triggers);
+    });
+    Groups = std::move(Parts[0]);
+    for (size_t S = 1; S < Shards; ++S)
+      for (auto &[Features, PerModifier] : Parts[S]) {
+        auto It = Groups.find(Features);
+        if (It == Groups.end()) {
+          Groups.emplace(Features, std::move(PerModifier));
+          continue;
+        }
+        for (const auto &[Bits, E] : PerModifier)
+          foldEntry(It->second, Bits, E);
+      }
+  } else {
+    Groups = groupShard(Data, 0, NumRecords, Level, Triggers);
   }
 
+  // Restore the lexicographic emission order of the sorted-map original.
+  std::vector<const GroupMap::value_type *> Ordered;
+  Ordered.reserve(Groups.size());
+  for (const auto &KV : Groups)
+    Ordered.push_back(&KV);
+  std::sort(Ordered.begin(), Ordered.end(),
+            [](const GroupMap::value_type *A, const GroupMap::value_type *B) {
+              return A->first < B->first;
+            });
+
   std::vector<RankedInstance> Out;
-  for (const auto &[Features, PerModifier] : Groups) {
+  for (const GroupMap::value_type *Group : Ordered) {
+    const FeatureVector &Features = Group->first;
     std::vector<Entry> Sorted;
-    Sorted.reserve(PerModifier.size());
-    for (const auto &[Bits, E] : PerModifier) {
+    Sorted.reserve(Group->second.size());
+    for (const auto &[Bits, E] : Group->second) {
       (void)Bits;
       Sorted.push_back(E);
     }
+    // Pre-order by modifier bits (the ordered-map original fed the value
+    // sort in ascending-bits order), then rank by value.
+    std::sort(Sorted.begin(), Sorted.end(),
+              [](const Entry &A, const Entry &B) {
+                return A.Rec->ModifierBits < B.Rec->ModifierBits;
+              });
     std::sort(Sorted.begin(), Sorted.end(),
               [](const Entry &A, const Entry &B) { return A.V < B.V; });
     size_t Keep = 0;

@@ -43,12 +43,17 @@ void PassContext::rewriteToCopyOf(NodeId Id, NodeId Source) {
 
 NodeId PassContext::cloneTree(
     NodeId Root, const std::unordered_map<uint32_t, uint32_t> *LocalMap) {
-  const Node &N = IL.node(Root);
+  // Copy what the recursion needs up front: every recursive clone calls
+  // makeNode, which may reallocate the node table and invalidate any
+  // reference into it.
+  ILOp Op = IL.node(Root).Op;
+  DataType Type = IL.node(Root).Type;
+  std::vector<NodeId> OldKids = IL.node(Root).Kids;
   std::vector<NodeId> Kids;
-  Kids.reserve(N.Kids.size());
-  for (NodeId Kid : N.Kids)
+  Kids.reserve(OldKids.size());
+  for (NodeId Kid : OldKids)
     Kids.push_back(cloneTree(Kid, LocalMap));
-  NodeId Fresh = IL.makeNode(N.Op, N.Type, std::move(Kids));
+  NodeId Fresh = IL.makeNode(Op, Type, std::move(Kids));
   Node &F = IL.node(Fresh);
   const Node &Orig = IL.node(Root); // re-fetch: makeNode may reallocate
   F.A = Orig.A;

@@ -1,0 +1,131 @@
+//===- support/ThreadPool.cpp ---------------------------------------------===//
+
+#include "support/ThreadPool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+using namespace jitml;
+
+namespace {
+thread_local bool IsPoolWorker = false;
+} // namespace
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ShuttingDown = true;
+  }
+  TaskReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Queue.push_back(std::move(Task));
+  }
+  TaskReady.notify_one();
+}
+
+void ThreadPool::ensureWorkers(unsigned Threads) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  while (Workers.size() < Threads && !ShuttingDown)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+unsigned ThreadPool::workerCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return (unsigned)Workers.size();
+}
+
+void ThreadPool::workerLoop() {
+  IsPoolWorker = true;
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      TaskReady.wait(Lock, [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // shutting down and drained
+      Task = std::move(Queue.back());
+      Queue.pop_back();
+    }
+    Task();
+  }
+}
+
+ThreadPool &ThreadPool::shared() {
+  static ThreadPool Pool;
+  return Pool;
+}
+
+bool ThreadPool::onWorkerThread() { return IsPoolWorker; }
+
+unsigned jitml::configuredJobs() {
+  const char *Env = std::getenv("JITML_JOBS");
+  if (Env && *Env) {
+    long V = std::strtol(Env, nullptr, 10);
+    if (V >= 1)
+      return (unsigned)V;
+  }
+  unsigned HW = std::thread::hardware_concurrency();
+  return HW >= 1 ? HW : 1;
+}
+
+void jitml::parallelFor(size_t N, const std::function<void(size_t)> &Body,
+                        unsigned Jobs) {
+  if (Jobs == 0)
+    Jobs = configuredJobs();
+  if (N <= 1 || Jobs <= 1 || ThreadPool::onWorkerThread()) {
+    for (size_t I = 0; I < N; ++I)
+      Body(I);
+    return;
+  }
+
+  // Shared loop state: workers and the caller race on Next; every index is
+  // claimed exactly once. Helpers signal completion through Outstanding.
+  struct LoopState {
+    std::atomic<size_t> Next{0};
+    std::mutex Mu;
+    std::condition_variable Done;
+    unsigned Outstanding = 0;
+    std::exception_ptr FirstError;
+  };
+  auto State = std::make_shared<LoopState>();
+
+  auto Drain = [State, &Body, N] {
+    for (;;) {
+      size_t I = State->Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= N)
+        return;
+      try {
+        Body(I);
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(State->Mu);
+        if (!State->FirstError)
+          State->FirstError = std::current_exception();
+      }
+    }
+  };
+
+  unsigned Helpers = (unsigned)std::min<size_t>(Jobs, N) - 1;
+  ThreadPool &Pool = ThreadPool::shared();
+  Pool.ensureWorkers(Helpers);
+  State->Outstanding = Helpers;
+  for (unsigned H = 0; H < Helpers; ++H)
+    Pool.submit([State, Drain] {
+      Drain();
+      std::lock_guard<std::mutex> Lock(State->Mu);
+      if (--State->Outstanding == 0)
+        State->Done.notify_all();
+    });
+
+  Drain(); // the caller participates
+  std::unique_lock<std::mutex> Lock(State->Mu);
+  State->Done.wait(Lock, [&] { return State->Outstanding == 0; });
+  if (State->FirstError)
+    std::rethrow_exception(State->FirstError);
+}

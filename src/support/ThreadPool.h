@@ -1,0 +1,87 @@
+//===- support/ThreadPool.h - Reusable worker pool --------------*- C++ -*-===//
+///
+/// \file
+/// A small reusable worker pool behind the learning pipeline's parallelism.
+/// Work is always expressed as an index space (parallelFor): callers keep
+/// one pre-sized result slot per index, every task derives its random seeds
+/// from its index alone, and the caller folds the slots in index order —
+/// so the parallel schedule can never change a reported number, only the
+/// wall-clock it takes to produce it.
+///
+/// Parallelism is controlled by the JITML_JOBS environment variable
+/// (default: hardware_concurrency). JITML_JOBS=1 runs every loop inline on
+/// the calling thread, which is bit-for-bit today's sequential behavior.
+/// Nested parallelFor calls from inside a worker run inline too, so outer
+/// fan-out (figure cells) composes with inner fan-out (series runs)
+/// without oversubscription or deadlock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_SUPPORT_THREADPOOL_H
+#define JITML_SUPPORT_THREADPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jitml {
+
+/// Fixed set of worker threads consuming a shared task queue. One process-
+/// wide instance (ThreadPool::shared()) serves every parallelFor; it grows
+/// lazily up to the largest job count ever requested and is torn down at
+/// process exit.
+class ThreadPool {
+public:
+  ThreadPool() = default;
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues one task. Tasks must not throw.
+  void submit(std::function<void()> Task);
+
+  /// Grows the pool to at least \p Threads workers.
+  void ensureWorkers(unsigned Threads);
+
+  unsigned workerCount() const;
+
+  /// The process-wide pool.
+  static ThreadPool &shared();
+
+  /// True on a thread owned by any ThreadPool (used to run nested
+  /// parallel loops inline).
+  static bool onWorkerThread();
+
+private:
+  void workerLoop();
+
+  mutable std::mutex Mu;
+  std::condition_variable TaskReady;
+  std::vector<std::thread> Workers;
+  std::vector<std::function<void()>> Queue; ///< LIFO; order is irrelevant
+  bool ShuttingDown = false;
+};
+
+/// Number of parallel jobs the pipeline should use: $JITML_JOBS when set to
+/// a positive integer, otherwise std::thread::hardware_concurrency()
+/// (at least 1).
+unsigned configuredJobs();
+
+/// Runs Body(0) .. Body(N-1), each index exactly once, all complete on
+/// return. Indices execute concurrently on up to \p Jobs threads
+/// (including the caller); Jobs == 0 means configuredJobs(). With one job,
+/// one index, or when already on a pool worker, the loop runs inline in
+/// index order — the exact sequential path. Bodies must be independent:
+/// they may only write state owned by their index (ordered result slots).
+/// The first exception thrown by a body is rethrown on the caller after
+/// the loop drains.
+void parallelFor(size_t N, const std::function<void(size_t)> &Body,
+                 unsigned Jobs = 0);
+
+} // namespace jitml
+
+#endif // JITML_SUPPORT_THREADPOOL_H

@@ -1,0 +1,45 @@
+//===- svm/DenseKernels.h - Vectorizable dense numeric kernels --*- C++ -*-===//
+///
+/// \file
+/// The two inner loops the whole SVM stack reduces to: a dot product
+/// (scoring, gradients) and an axpy update (dual weight maintenance).
+/// The dot product carries four independent accumulator chains so the
+/// compiler can map them onto SIMD lanes without reassociating a single
+/// serial reduction (which -O2 must not do without fast-math); the chains
+/// are combined in one fixed order, so results are deterministic — the
+/// same on every host and at every JITML_JOBS setting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_SVM_DENSEKERNELS_H
+#define JITML_SVM_DENSEKERNELS_H
+
+#include <cstddef>
+
+namespace jitml {
+
+/// sum_i A[i] * B[i] with a fixed lane-wise summation order.
+inline double dotDense(const double *A, const double *B, size_t N) {
+  double S0 = 0.0, S1 = 0.0, S2 = 0.0, S3 = 0.0;
+  size_t I = 0;
+  for (; I + 4 <= N; I += 4) {
+    S0 += A[I + 0] * B[I + 0];
+    S1 += A[I + 1] * B[I + 1];
+    S2 += A[I + 2] * B[I + 2];
+    S3 += A[I + 3] * B[I + 3];
+  }
+  double S = (S0 + S1) + (S2 + S3);
+  for (; I < N; ++I)
+    S += A[I] * B[I];
+  return S;
+}
+
+/// W[i] += Scale * X[i]. No reduction, so this vectorizes as-is.
+inline void axpyDense(double *W, double Scale, const double *X, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    W[I] += Scale * X[I];
+}
+
+} // namespace jitml
+
+#endif // JITML_SVM_DENSEKERNELS_H

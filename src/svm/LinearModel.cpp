@@ -2,27 +2,33 @@
 
 #include "svm/LinearModel.h"
 
+#include "svm/DenseKernels.h"
+
 #include <cstdio>
-#include <sstream>
+#include <cstdlib>
+#include <cstring>
 
 using namespace jitml;
 
 double LinearModel::score(unsigned Class, const std::vector<double> &X) const {
   assert(X.size() == Features && "input dimensionality mismatch");
-  const double *Row = &W[(size_t)Class * Features];
-  double S = 0.0;
-  for (unsigned I = 0; I < Features; ++I)
-    S += Row[I] * X[I];
-  return S;
+  return dotDense(&W[(size_t)Class * Features], X.data(), Features);
 }
 
-int32_t LinearModel::predict(const std::vector<double> &X) const {
+void LinearModel::scoresInto(const double *X, double *Out) const {
+  const double *Row = W.data();
+  for (unsigned C = 0; C < Classes; ++C, Row += Features)
+    Out[C] = dotDense(Row, X, Features);
+}
+
+int32_t LinearModel::predictRaw(const double *X) const {
   assert(Classes > 0 && "predicting with an empty model");
+  const double *Row = W.data();
   unsigned Best = 0;
-  double BestScore = score(0, X);
-  for (unsigned C = 1; C < Classes; ++C) {
-    double S = score(C, X);
-    if (S > BestScore) {
+  double BestScore = 0.0;
+  for (unsigned C = 0; C < Classes; ++C, Row += Features) {
+    double S = dotDense(Row, X, Features);
+    if (C == 0 || S > BestScore) {
       BestScore = S;
       Best = C;
     }
@@ -30,15 +36,29 @@ int32_t LinearModel::predict(const std::vector<double> &X) const {
   return (int32_t)Best + 1;
 }
 
+int32_t LinearModel::predict(const std::vector<double> &X) const {
+  assert(X.size() == Features && "input dimensionality mismatch");
+  return predictRaw(X.data());
+}
+
+void LinearModel::predictBatch(const double *X, size_t Count, size_t Stride,
+                               int32_t *Out) const {
+  assert(Stride >= Features && "stride must cover one input");
+  for (size_t N = 0; N < Count; ++N)
+    Out[N] = predictRaw(X + N * Stride);
+}
+
 std::vector<double> LinearModel::scores(const std::vector<double> &X) const {
+  assert(X.size() == Features && "input dimensionality mismatch");
   std::vector<double> Out(Classes);
-  for (unsigned C = 0; C < Classes; ++C)
-    Out[C] = score(C, X);
+  scoresInto(X.data(), Out.data());
   return Out;
 }
 
 std::string LinearModel::toText() const {
   std::string Out;
+  // ~25 chars per %.17g weight plus separator; headroom avoids regrowth.
+  Out.reserve(32 + (size_t)Classes * Features * 26);
   char Buf[64];
   std::snprintf(Buf, sizeof(Buf), "linearmodel %u %u\n", Classes, Features);
   Out += Buf;
@@ -54,16 +74,39 @@ std::string LinearModel::toText() const {
 }
 
 bool LinearModel::fromText(const std::string &Text, LinearModel &Out) {
-  std::istringstream In(Text);
-  std::string Tag;
-  unsigned Classes = 0, Features = 0;
-  if (!(In >> Tag >> Classes >> Features) || Tag != "linearmodel")
+  // Single buffer scan with a strtod/strtoul cursor: the model file is on
+  // the bridge's model-swap and ModelStore startup paths, where the
+  // istringstream-per-weight approach dominated load time.
+  const char *C = Text.c_str();
+  while (*C == ' ' || *C == '\t' || *C == '\n' || *C == '\r')
+    ++C;
+  static const char Tag[] = "linearmodel";
+  if (std::strncmp(C, Tag, sizeof(Tag) - 1) != 0)
     return false;
-  Out = LinearModel(Classes, Features);
-  for (unsigned C = 0; C < Classes; ++C)
-    for (unsigned F = 0; F < Features; ++F)
-      if (!(In >> Out.weight(C, F)))
-        return false;
+  C += sizeof(Tag) - 1;
+  if (*C != ' ' && *C != '\t' && *C != '\n' && *C != '\r')
+    return false; // the header tag must be a whole token
+
+  char *End = nullptr;
+  unsigned long Classes = std::strtoul(C, &End, 10);
+  if (End == C)
+    return false;
+  C = End;
+  unsigned long Features = std::strtoul(C, &End, 10);
+  if (End == C)
+    return false;
+  C = End;
+
+  Out = LinearModel((unsigned)Classes, (unsigned)Features);
+  double *Wp = Out.data();
+  size_t Total = (size_t)Classes * Features;
+  for (size_t I = 0; I < Total; ++I) {
+    double V = std::strtod(C, &End);
+    if (End == C)
+      return false; // ran out of numbers early
+    Wp[I] = V;
+    C = End;
+  }
   return true;
 }
 
@@ -82,7 +125,7 @@ bool LinearModel::load(const std::string &Path, LinearModel &Out) {
   if (!F)
     return false;
   std::string Text;
-  char Buf[4096];
+  char Buf[65536];
   size_t N;
   while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
     Text.append(Buf, N);

@@ -7,6 +7,12 @@
 /// to the size of the matrix." Prediction is argmax over per-class scores
 /// w_c . x.
 ///
+/// The weight matrix is stored contiguously row-major (class-major), so
+/// the scoring kernels are straight-line dot products over adjacent memory
+/// that the compiler autovectorizes; predictBatch amortizes the argmax
+/// bookkeeping over many inputs at once (the trainer's accuracy sweep and
+/// the bridge's batched prediction path).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JITML_SVM_LINEARMODEL_H
@@ -36,6 +42,14 @@ public:
     return W[(size_t)Class * Features + Feature];
   }
 
+  /// Direct access to the row-major weight storage (trainers update the
+  /// matrix in place; the scoring kernels read it without indirection).
+  double *data() { return W.data(); }
+  const double *data() const { return W.data(); }
+  const double *row(unsigned Class) const {
+    return W.data() + (size_t)Class * Features;
+  }
+
   /// Score of class \p Class for input \p X (dense, Features wide).
   double score(unsigned Class, const std::vector<double> &X) const;
 
@@ -43,8 +57,20 @@ public:
   /// returned value is argmax-class-index + 1.
   int32_t predict(const std::vector<double> &X) const;
 
+  /// Raw-pointer prediction kernel (\p X must be Features wide).
+  int32_t predictRaw(const double *X) const;
+
+  /// Predicts \p Count inputs laid out contiguously with \p Stride doubles
+  /// between consecutive inputs (Stride >= Features). Out receives Count
+  /// labels. One pass per class row keeps the inner loops vectorizable.
+  void predictBatch(const double *X, size_t Count, size_t Stride,
+                    int32_t *Out) const;
+
   /// Per-class scores (used by tests and by the analysis tooling).
   std::vector<double> scores(const std::vector<double> &X) const;
+
+  /// All class scores of \p X into \p Out (Classes wide).
+  void scoresInto(const double *X, double *Out) const;
 
   /// Text serialization compatible with the bridge's model swapping.
   std::string toText() const;

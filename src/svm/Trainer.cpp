@@ -13,14 +13,24 @@
 // B_m = g_m - A a_i^m, where beta is chosen so the new alphas sum to zero
 // (found here by bisection: the sum is continuous and increasing in beta).
 //
+// State layout: instances, dual variables, and the weight matrix all live
+// in contiguous row-major arrays so the two inner loops (w_m.x_i and the
+// rank-1 weight update) run over adjacent memory and autovectorize (see
+// DenseKernels.h). The active-set shrinking heuristic skips instances
+// whose subproblem has been at its optimum for consecutive passes; before
+// the solver may stop, the full set is always re-checked, so shrinking
+// changes the visit schedule, never the convergence criterion.
+//
 //===----------------------------------------------------------------------===//
 
 #include "svm/Trainer.h"
 
 #include "support/Rng.h"
+#include "svm/DenseKernels.h"
 
 #include <algorithm>
 #include <cmath>
+#include <numeric>
 
 using namespace jitml;
 
@@ -33,14 +43,42 @@ unsigned maxLabel(const std::vector<NormalizedInstance> &Data) {
   return (unsigned)Max;
 }
 
+/// Fisher-Yates over \p Order, consuming R exactly as the original
+/// solver's shuffledOrder did.
+void shuffleOrder(std::vector<size_t> &Order, Rng &R) {
+  for (size_t I = Order.size(); I > 1; --I)
+    std::swap(Order[I - 1], Order[R.nextBelow(I)]);
+}
+
 std::vector<size_t> shuffledOrder(size_t N, Rng &R) {
   std::vector<size_t> Order(N);
-  for (size_t I = 0; I < N; ++I)
-    Order[I] = I;
-  for (size_t I = N; I > 1; --I)
-    std::swap(Order[I - 1], Order[R.nextBelow(I)]);
+  std::iota(Order.begin(), Order.end(), (size_t)0);
+  shuffleOrder(Order, R);
   return Order;
 }
+
+/// Instances flattened row-major (N x P) with cached squared norms.
+struct FlatData {
+  std::vector<double> X;
+  std::vector<double> XtX;
+  size_t N = 0;
+  unsigned P = 0;
+
+  explicit FlatData(const std::vector<NormalizedInstance> &Data)
+      : N(Data.size()), P((unsigned)Data.front().Components.size()) {
+    X.resize(N * (size_t)P);
+    XtX.resize(N);
+    for (size_t I = 0; I < N; ++I) {
+      const std::vector<double> &C = Data[I].Components;
+      assert(C.size() == P && "inconsistent feature dimensionality");
+      double *Row = &X[I * P];
+      std::copy(C.begin(), C.end(), Row);
+      XtX[I] = dotDense(Row, Row, P);
+    }
+  }
+
+  const double *row(size_t I) const { return &X[I * P]; }
+};
 
 } // namespace
 
@@ -48,11 +86,14 @@ double jitml::modelAccuracy(const LinearModel &Model,
                             const std::vector<NormalizedInstance> &Data) {
   if (Data.empty())
     return 0.0;
+  FlatData Flat(Data);
+  std::vector<int32_t> Predicted(Flat.N);
+  Model.predictBatch(Flat.X.data(), Flat.N, Flat.P, Predicted.data());
   size_t Correct = 0;
-  for (const NormalizedInstance &N : Data)
-    if (Model.predict(N.Components) == N.Label)
+  for (size_t I = 0; I < Flat.N; ++I)
+    if (Predicted[I] == Data[I].Label)
       ++Correct;
-  return (double)Correct / (double)Data.size();
+  return (double)Correct / (double)Flat.N;
 }
 
 LinearModel
@@ -60,36 +101,61 @@ jitml::trainCrammerSinger(const std::vector<NormalizedInstance> &Data,
                           const TrainOptions &Options, TrainReport *Report) {
   assert(!Data.empty() && "training on an empty data set");
   unsigned L = maxLabel(Data);
-  unsigned P = (unsigned)Data.front().Components.size();
+  FlatData Flat(Data);
+  size_t N = Flat.N;
+  unsigned P = Flat.P;
   LinearModel Model(L, P);
+  double *W = Model.data();
 
-  size_t N = Data.size();
-  // Dual variables alpha[i][m], stored sparsely would be nicer; dense is
-  // fine at our scale (thousands x dozens).
-  std::vector<std::vector<double>> Alpha(N, std::vector<double>(L, 0.0));
-  std::vector<double> XtX(N, 0.0);
-  for (size_t I = 0; I < N; ++I)
-    for (double V : Data[I].Components)
-      XtX[I] += V * V;
+  // Dual variables alpha[i][m], contiguous row-major (N x L).
+  std::vector<double> Alpha(N * (size_t)L, 0.0);
+
+  // Shrinking bookkeeping. An instance leaves the active set after
+  // IdleLimit consecutive passes with an (almost) unchanged subproblem;
+  // the stopping check below always restores everyone first. A shrunk
+  // instance's optimum drifts as the active instances keep moving w, so
+  // the active set is also refreshed unconditionally every RefreshInterval
+  // passes — without this, problems that exhaust MaxIters before reaching
+  // Epsilon would leave stale instances excluded forever and converge to
+  // a measurably worse objective than the reference schedule.
+  constexpr uint8_t IdleLimit = 2;
+  constexpr unsigned RefreshInterval = 8;
+  std::vector<uint8_t> Idle(N, 0);
+  std::vector<uint8_t> Shrunk(N, 0);
+  size_t NumShrunk = 0;
+  uint64_t Solves = 0;
+  unsigned Restarts = 0;
+  unsigned StalePasses = 0;
 
   Rng R(Options.Seed);
   double Violation = 0.0;
   unsigned Iter = 0;
   std::vector<double> G(L), B(L), NewAlpha(L);
+  std::vector<size_t> Order;
   for (; Iter < Options.MaxIters; ++Iter) {
     Violation = 0.0;
-    std::vector<size_t> Order = shuffledOrder(N, R);
+    // Visit the active instances in a fresh random order each pass
+    // (ascending rebuild + Fisher-Yates, as the reference schedule does
+    // for the full set).
+    Order.clear();
+    for (size_t I = 0; I < N; ++I)
+      if (!Shrunk[I])
+        Order.push_back(I);
+    shuffleOrder(Order, R);
+
     for (size_t Pick : Order) {
-      const NormalizedInstance &Inst = Data[Pick];
-      double A = XtX[Pick];
+      double A = Flat.XtX[Pick];
       if (A <= 0.0)
         continue;
-      unsigned Y = (unsigned)Inst.Label - 1;
+      const double *Xi = Flat.row(Pick);
+      double *Ai = &Alpha[Pick * L];
+      unsigned Y = (unsigned)Data[Pick].Label - 1;
+      ++Solves;
       // Gradient g_m = w_m.x + e_i^m.
       for (unsigned M = 0; M < L; ++M)
-        G[M] = Model.score(M, Inst.Components) + (M == Y ? 0.0 : 1.0);
+        G[M] = dotDense(&W[(size_t)M * P], Xi, P) + (M == Y ? 0.0 : 1.0);
       for (unsigned M = 0; M < L; ++M)
-        B[M] = G[M] - A * Alpha[Pick][M];
+        B[M] = G[M] - A * Ai[M];
 
       // Solve sum_m min(Cap_m, (beta - B_m)/A) = 0 for beta by bisection.
       auto SumAt = [&](double Beta) {
@@ -119,28 +185,54 @@ jitml::trainCrammerSinger(const std::vector<NormalizedInstance> &Data,
       for (unsigned M = 0; M < L; ++M) {
         double Cap = M == Y ? Options.C : 0.0;
         NewAlpha[M] = std::min(Cap, (Beta - B[M]) / A);
-        MaxDelta = std::max(MaxDelta, std::fabs(NewAlpha[M] - Alpha[Pick][M]));
+        MaxDelta = std::max(MaxDelta, std::fabs(NewAlpha[M] - Ai[M]));
+      }
+      if (Options.Shrinking) {
+        if (MaxDelta < 0.1 * Options.Epsilon) {
+          if (++Idle[Pick] >= IdleLimit) {
+            Shrunk[Pick] = 1;
+            ++NumShrunk;
+          }
+        } else {
+          Idle[Pick] = 0;
+        }
       }
       if (MaxDelta < 1e-12)
         continue;
       Violation = std::max(Violation, MaxDelta);
       for (unsigned M = 0; M < L; ++M) {
-        double Delta = NewAlpha[M] - Alpha[Pick][M];
+        double Delta = NewAlpha[M] - Ai[M];
         if (Delta == 0.0)
           continue;
-        Alpha[Pick][M] = NewAlpha[M];
-        for (unsigned F = 0; F < P; ++F)
-          Model.weight(M, F) += Delta * Inst.Components[F];
+        Ai[M] = NewAlpha[M];
+        axpyDense(&W[(size_t)M * P], Delta, Xi, P);
       }
     }
-    if (Violation < Options.Epsilon)
-      break;
+    bool Restore = false;
+    if (Violation < Options.Epsilon) {
+      if (NumShrunk == 0)
+        break; // converged over the full set
+      // The shrunk instances were skipped: restore them and let the next
+      // pass re-verify convergence over everyone.
+      Restore = true;
+    } else if (NumShrunk && ++StalePasses >= RefreshInterval) {
+      Restore = true; // periodic refresh against stale exclusions
+    }
+    if (Restore) {
+      std::fill(Shrunk.begin(), Shrunk.end(), (uint8_t)0);
+      std::fill(Idle.begin(), Idle.end(), (uint8_t)0);
+      NumShrunk = 0;
+      StalePasses = 0;
+      ++Restarts;
+    }
   }
   if (Report) {
     Report->Iterations = Iter;
     Report->FinalViolation = Violation;
     Report->NumClasses = L;
     Report->TrainAccuracy = modelAccuracy(Model, Data);
+    Report->SubproblemSolves = Solves;
+    Report->ShrinkRestarts = Restarts;
   }
   return Model;
 }
@@ -150,59 +242,53 @@ LinearModel jitml::trainOneVsRest(const std::vector<NormalizedInstance> &Data,
                                   TrainReport *Report) {
   assert(!Data.empty() && "training on an empty data set");
   unsigned L = maxLabel(Data);
-  unsigned P = (unsigned)Data.front().Components.size();
+  FlatData Flat(Data);
+  size_t N = Flat.N;
+  unsigned P = Flat.P;
   LinearModel Model(L, P);
-  size_t N = Data.size();
-
-  std::vector<double> XtX(N, 0.0);
-  for (size_t I = 0; I < N; ++I)
-    for (double V : Data[I].Components)
-      XtX[I] += V * V;
 
   Rng R(Options.Seed);
   double WorstViolation = 0.0;
   unsigned WorstIters = 0;
+  uint64_t Solves = 0;
   // One L1-loss binary problem per class: y = +1 for the class, -1 rest.
   for (unsigned Cls = 0; Cls < L; ++Cls) {
     std::vector<double> Alpha(N, 0.0);
-    std::vector<double> W(P, 0.0);
+    double *Wc = &Model.data()[(size_t)Cls * P];
     unsigned Iter = 0;
     double Violation = 0.0;
     for (; Iter < Options.MaxIters; ++Iter) {
       Violation = 0.0;
       std::vector<size_t> Order = shuffledOrder(N, R);
       for (size_t I : Order) {
-        if (XtX[I] <= 0.0)
+        if (Flat.XtX[I] <= 0.0)
           continue;
+        const double *Xi = Flat.row(I);
         double Y = Data[I].Label == (int32_t)Cls + 1 ? 1.0 : -1.0;
-        double WX = 0.0;
-        for (unsigned F = 0; F < P; ++F)
-          WX += W[F] * Data[I].Components[F];
-        double Grad = Y * WX - 1.0;
+        ++Solves;
+        double Grad = Y * dotDense(Wc, Xi, P) - 1.0;
         double Old = Alpha[I];
         double NewA =
-            std::clamp(Old - Grad / XtX[I], 0.0, Options.C);
+            std::clamp(Old - Grad / Flat.XtX[I], 0.0, Options.C);
         double Delta = NewA - Old;
         if (std::fabs(Delta) < 1e-12)
           continue;
         Violation = std::max(Violation, std::fabs(Delta));
         Alpha[I] = NewA;
-        for (unsigned F = 0; F < P; ++F)
-          W[F] += Delta * Y * Data[I].Components[F];
+        axpyDense(Wc, Delta * Y, Xi, P);
       }
       if (Violation < Options.Epsilon)
         break;
     }
     WorstViolation = std::max(WorstViolation, Violation);
     WorstIters = std::max(WorstIters, Iter);
-    for (unsigned F = 0; F < P; ++F)
-      Model.weight(Cls, F) = W[F];
   }
   if (Report) {
     Report->Iterations = WorstIters;
     Report->FinalViolation = WorstViolation;
     Report->NumClasses = L;
     Report->TrainAccuracy = modelAccuracy(Model, Data);
+    Report->SubproblemSolves = Solves;
   }
   return Model;
 }

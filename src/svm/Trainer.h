@@ -27,6 +27,13 @@ struct TrainOptions {
   unsigned MaxIters = 60; ///< outer passes over the data
   double Epsilon = 1e-3;  ///< stop when the largest dual update is below
   uint64_t Seed = 7;      ///< instance-order shuffling
+  /// Active-set shrinking: instances whose dual subproblem stays at its
+  /// optimum for consecutive passes drop out of the pass until the
+  /// stopping check, which always re-verifies the full set (so the
+  /// convergence guarantee is unchanged). Disable to run the reference
+  /// every-instance-every-pass schedule the equivalence tests compare
+  /// against.
+  bool Shrinking = true;
 };
 
 struct TrainReport {
@@ -35,6 +42,12 @@ struct TrainReport {
   unsigned NumClasses = 0;
   /// Training-set accuracy of the returned model (sanity metric).
   double TrainAccuracy = 0.0;
+  /// Per-instance dual subproblems optimized (the trainer's unit of work;
+  /// shrinking shows up as fewer solves per outer iteration).
+  uint64_t SubproblemSolves = 0;
+  /// Times the active set was reset to the full data set (for the
+  /// stopping check or the periodic staleness refresh).
+  unsigned ShrinkRestarts = 0;
 };
 
 /// Crammer-Singer multi-class linear SVM via the sequential dual method.

@@ -1,0 +1,397 @@
+//===- tests/PipelineTest.cpp - parallel-pipeline determinism tests -------===//
+//
+// The learning pipeline's contract under JITML_JOBS: parallel execution
+// may only change wall-clock, never a produced number. These tests run
+// the same stage at JITML_JOBS=1 and JITML_JOBS=4 and require the
+// artifacts — series statistics, collection records, trained models,
+// whole figures — to be bit-identical. The TrainerEquivalence suite pins
+// the shrinking solver to the reference (non-shrinking) schedule's
+// quality on freshly collected fixtures.
+//
+// The suite runs under ThreadSanitizer in tier1's `pipeline` stage, so it
+// doubles as the data-race check for the fan-out paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/FigureReport.h"
+#include "jitml/Training.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+using namespace jitml;
+
+namespace {
+
+/// Scoped JITML_JOBS override (restored on destruction). Only used from
+/// the main thread, matching the pipeline's read-on-main-thread contract.
+class ScopedJobs {
+public:
+  explicit ScopedJobs(unsigned Jobs) {
+    const char *Prev = ::getenv("JITML_JOBS");
+    HadPrev = Prev != nullptr;
+    if (Prev)
+      Saved = Prev;
+    char Buf[16];
+    std::snprintf(Buf, sizeof(Buf), "%u", Jobs);
+    ::setenv("JITML_JOBS", Buf, 1);
+  }
+  ~ScopedJobs() {
+    if (HadPrev)
+      ::setenv("JITML_JOBS", Saved.c_str(), 1);
+    else
+      ::unsetenv("JITML_JOBS");
+  }
+
+private:
+  std::string Saved;
+  bool HadPrev = false;
+};
+
+CollectConfig quickConfig() {
+  CollectConfig CC;
+  CC.Iterations = 10;
+  CC.ModifiersPerLevel = 20;
+  CC.UsesPerModifier = 2;
+  CC.MaxRecompilesPerMethod = 32;
+  return CC;
+}
+
+void expectSeriesIdentical(const Series &A, const Series &B) {
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  EXPECT_EQ(A.Wall.count(), B.Wall.count());
+  // Bit-identical, not merely close: the fold order is fixed.
+  EXPECT_EQ(A.Wall.mean(), B.Wall.mean());
+  EXPECT_EQ(A.Wall.variance(), B.Wall.variance());
+  EXPECT_EQ(A.Wall.min(), B.Wall.min());
+  EXPECT_EQ(A.Wall.max(), B.Wall.max());
+  EXPECT_EQ(A.Compile.mean(), B.Compile.mean());
+  EXPECT_EQ(A.Compile.variance(), B.Compile.variance());
+}
+
+void expectDataSetsIdentical(const IntermediateDataSet &A,
+                             const IntermediateDataSet &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.Records.size(); ++I) {
+    const TaggedRecord &X = A.Records[I];
+    const TaggedRecord &Y = B.Records[I];
+    ASSERT_EQ(X.SourceTag, Y.SourceTag);
+    ASSERT_EQ(X.Signature, Y.Signature);
+    ASSERT_EQ(X.Record.ModifierBits, Y.Record.ModifierBits);
+    ASSERT_EQ(X.Record.Level, Y.Record.Level);
+    ASSERT_EQ(X.Record.Invocations, Y.Record.Invocations);
+    ASSERT_EQ(X.Record.RunCycles, Y.Record.RunCycles);
+    ASSERT_EQ(X.Record.CompileCycles, Y.Record.CompileCycles);
+    ASSERT_EQ(X.Record.Features.hash(), Y.Record.Features.hash());
+  }
+}
+
+/// Crammer-Singer primal objective of \p M on \p Data:
+///   1/2 sum_m ||w_m||^2 + C sum_i max_m (delta(m != y_i) + (w_m - w_y).x_i)
+/// Both solver schedules stop at Epsilon-accurate points of the same
+/// strictly convex problem, so their objectives must agree far more
+/// tightly than their raw weights do.
+double primalObjective(const LinearModel &M,
+                       const std::vector<NormalizedInstance> &Data,
+                       double C) {
+  double Reg = 0.0;
+  for (unsigned Cls = 0; Cls < M.numClasses(); ++Cls)
+    for (unsigned F = 0; F < M.numFeatures(); ++F)
+      Reg += M.weight(Cls, F) * M.weight(Cls, F);
+  double Loss = 0.0;
+  for (const NormalizedInstance &N : Data) {
+    std::vector<double> S = M.scores(N.Components);
+    double Sy = S[(size_t)N.Label - 1];
+    double Worst = 0.0; // m == y contributes 0
+    for (unsigned Cls = 0; Cls < M.numClasses(); ++Cls)
+      if ((int32_t)Cls + 1 != N.Label)
+        Worst = std::max(Worst, 1.0 + S[Cls] - Sy);
+    Loss += Worst;
+  }
+  return 0.5 * Reg + C * Loss;
+}
+
+} // namespace
+
+TEST(Pipeline, ParallelForCoversEveryIndexOnce) {
+  std::vector<std::atomic<int>> Hits(257);
+  for (auto &H : Hits)
+    H = 0;
+  parallelFor(Hits.size(), [&](size_t I) { ++Hits[I]; }, 4);
+  for (auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+}
+
+TEST(Pipeline, NestedParallelForRunsInlineInOrder) {
+  std::atomic<bool> InnerOrdered{true};
+  parallelFor(
+      8,
+      [&](size_t) {
+        // From a worker, a nested loop must run inline and in index order.
+        size_t Expect = 0;
+        bool Ordered = true;
+        parallelFor(
+            16, [&](size_t I) { Ordered = Ordered && I == Expect++; }, 4);
+        if (!Ordered)
+          InnerOrdered = false;
+      },
+      4);
+  EXPECT_TRUE(InnerOrdered.load());
+}
+
+TEST(Pipeline, ConfiguredJobsParsesEnvironment) {
+  {
+    ScopedJobs Jobs(3);
+    EXPECT_EQ(configuredJobs(), 3u);
+  }
+  {
+    ScopedJobs Jobs(1);
+    EXPECT_EQ(configuredJobs(), 1u);
+  }
+  ::setenv("JITML_JOBS", "garbage", 1);
+  EXPECT_GE(configuredJobs(), 1u); // falls back to hardware concurrency
+  ::unsetenv("JITML_JOBS");
+}
+
+TEST(Pipeline, ParallelSeriesIsBitIdenticalToSequential) {
+  Program P = buildWorkload(workloadByCode("js"));
+  ExperimentConfig EC;
+  EC.Runs = 8;
+  Series Seq, Par;
+  {
+    ScopedJobs Jobs(1);
+    Seq = measureSeries(P, EC, nullptr);
+  }
+  {
+    ScopedJobs Jobs(4);
+    Par = measureSeries(P, EC, nullptr);
+  }
+  expectSeriesIdentical(Seq, Par);
+}
+
+TEST(Pipeline, ParallelCollectionIsBitIdenticalToSequential) {
+  IntermediateDataSet Seq, Par;
+  {
+    ScopedJobs Jobs(1);
+    Seq = collectFromWorkload(workloadByCode("mt"), quickConfig());
+  }
+  {
+    ScopedJobs Jobs(4);
+    Par = collectFromWorkload(workloadByCode("mt"), quickConfig());
+  }
+  ASSERT_GT(Seq.size(), 0u);
+  expectDataSetsIdentical(Seq, Par);
+}
+
+TEST(Pipeline, ParallelTrainingProducesIdenticalModelSets) {
+  IntermediateDataSet Data;
+  {
+    ScopedJobs Jobs(1);
+    CollectConfig CC = quickConfig();
+    CC.Iterations = 20;
+    Data = collectFromWorkload(workloadByCode("co"), CC);
+  }
+  ModelSet Seq, Par;
+  {
+    ScopedJobs Jobs(1);
+    Seq = trainModelSet(Data, "det", TrainConfig());
+  }
+  {
+    ScopedJobs Jobs(4);
+    Par = trainModelSet(Data, "det", TrainConfig());
+  }
+  for (unsigned L = 0; L < NumOptLevels; ++L) {
+    ASSERT_EQ(Seq.Levels[L].Valid, Par.Levels[L].Valid);
+    if (!Seq.Levels[L].Valid)
+      continue;
+    EXPECT_EQ(Seq.Levels[L].Model.toText(), Par.Levels[L].Model.toText());
+    EXPECT_EQ(Seq.Levels[L].Scale.toText(), Par.Levels[L].Scale.toText());
+    EXPECT_EQ(Seq.Levels[L].Labels.toText(), Par.Levels[L].Labels.toText());
+  }
+}
+
+TEST(Pipeline, ParallelFigureIsBitIdenticalToSequential) {
+  // Small but complete figure: whole suite, two leave-one-out folds, and
+  // reservation-set rows that exercise the geomean path.
+  ModelStore::Artifacts Artifacts;
+  {
+    ScopedJobs Jobs(1);
+    CollectConfig CC = quickConfig();
+    for (const char *Code : {"co", "db"})
+      Artifacts.PerBenchmark.push_back(
+          collectFromWorkload(workloadByCode(Code), CC));
+    ModelSet A = trainModelSet(Artifacts.PerBenchmark[0], "HA", TrainConfig());
+    A.LeftOutBenchmark = "db";
+    ModelSet B = trainModelSet(Artifacts.PerBenchmark[1], "HB", TrainConfig());
+    B.LeftOutBenchmark = "co";
+    Artifacts.Sets.push_back(std::move(A));
+    Artifacts.Sets.push_back(std::move(B));
+  }
+  FigureRequest Request;
+  Request.Title = "determinism";
+  Request.Metric = FigureMetric::StartupPerformance;
+  Request.BenchSuite = Suite::SpecJvm98;
+  Request.Iterations = 1;
+  Request.Runs = 4;
+
+  FigureData Seq, Par;
+  {
+    ScopedJobs Jobs(1);
+    Seq = runFigure(Request, Artifacts);
+  }
+  {
+    ScopedJobs Jobs(4);
+    Par = runFigure(Request, Artifacts);
+  }
+  ASSERT_EQ(Seq.Rows.size(), Par.Rows.size());
+  for (size_t R = 0; R < Seq.Rows.size(); ++R) {
+    EXPECT_EQ(Seq.Rows[R].Benchmark, Par.Rows[R].Benchmark);
+    EXPECT_EQ(Seq.Rows[R].LeaveOneOut, Par.Rows[R].LeaveOneOut);
+    ASSERT_EQ(Seq.Rows[R].PerModel.size(), Par.Rows[R].PerModel.size());
+    for (size_t M = 0; M < Seq.Rows[R].PerModel.size(); ++M) {
+      EXPECT_EQ(Seq.Rows[R].PerModel[M].Value, Par.Rows[R].PerModel[M].Value);
+      EXPECT_EQ(Seq.Rows[R].PerModel[M].Ci, Par.Rows[R].PerModel[M].Ci);
+    }
+  }
+  ASSERT_EQ(Seq.ModelGeoMean.size(), Par.ModelGeoMean.size());
+  for (size_t M = 0; M < Seq.ModelGeoMean.size(); ++M)
+    EXPECT_EQ(Seq.ModelGeoMean[M], Par.ModelGeoMean[M]);
+  // And the rendered report string matches character for character.
+  EXPECT_EQ(formatFigure(Request, Seq), formatFigure(Request, Par));
+}
+
+TEST(TrainerEquivalence, ShrinkingMatchesReferenceOnCollectedFixtures) {
+  // TrainingTest-style fixtures: freshly collected data per training
+  // benchmark, ranked and normalized per learned level, trained with and
+  // without the active-set heuristic. Both solvers optimize the same
+  // strictly convex problem to the same epsilon, and shrinking re-verifies
+  // the stopping criterion over the full set, so the optima must agree:
+  // same training accuracy (up to margin-grazing instances) and close
+  // weights, for no more total subproblem work.
+  ScopedJobs Jobs(1);
+  CollectConfig CC = quickConfig();
+  CC.Iterations = 16;
+  TrainConfig TC;
+  // Train to convergence: two Epsilon-accurate points of the same convex
+  // problem are comparable; two budget-truncated trajectories are not.
+  TC.Svm.MaxIters = 400;
+  unsigned Problems = 0, Converged = 0;
+  uint64_t RefSolves = 0, ShrinkSolves = 0;
+  for (const WorkloadSpec &Spec : trainingBenchmarks()) {
+    IntermediateDataSet Data = collectFromWorkload(Spec, CC);
+    for (unsigned L = 0; L < NumOptLevels; ++L) {
+      OptLevel Level = (OptLevel)L;
+      if (!isLearnedLevel(Level))
+        continue;
+      std::vector<RankedInstance> Ranked =
+          rankRecords(Data, Level, TC.Selection, TC.Triggers);
+      if (Ranked.size() < 8)
+        continue;
+      Scaling Scale = Scaling::fit(Ranked);
+      LabelMap Labels;
+      std::vector<NormalizedInstance> Instances =
+          normalizeInstances(Ranked, Scale, Labels);
+
+      TrainOptions Reference = TC.Svm;
+      Reference.Shrinking = false;
+      TrainOptions Shrink = TC.Svm;
+      Shrink.Shrinking = true;
+      TrainReport RefReport, ShrinkReport;
+      LinearModel RefModel =
+          trainCrammerSinger(Instances, Reference, &RefReport);
+      LinearModel ShrinkModel =
+          trainCrammerSinger(Instances, Shrink, &ShrinkReport);
+      ++Problems;
+      RefSolves += RefReport.SubproblemSolves;
+      ShrinkSolves += ShrinkReport.SubproblemSolves;
+
+      EXPECT_NEAR(ShrinkReport.TrainAccuracy, RefReport.TrainAccuracy,
+                  2.0 / (double)Instances.size() + 1e-12)
+          << Spec.Code << " level " << L
+          << ": shrinking diverged from the reference accuracy";
+      // Same optimum within the solver tolerance. The raw weights of two
+      // Epsilon-accurate points can differ noticeably, but the objective
+      // value they achieve cannot: compare objectives tightly (on the
+      // problems both schedules fully converged on) and weights loosely.
+      ASSERT_EQ(RefModel.numClasses(), ShrinkModel.numClasses());
+      ASSERT_EQ(RefModel.numFeatures(), ShrinkModel.numFeatures());
+      if (RefReport.Iterations < TC.Svm.MaxIters &&
+          ShrinkReport.Iterations < TC.Svm.MaxIters) {
+        ++Converged;
+        double RefObj = primalObjective(RefModel, Instances, TC.Svm.C);
+        double ShrinkObj = primalObjective(ShrinkModel, Instances, TC.Svm.C);
+        EXPECT_NEAR(ShrinkObj, RefObj, 0.01 * std::max(RefObj, 1.0))
+            << Spec.Code << " level " << L
+            << ": shrinking converged to a different objective value";
+        double MaxAbs = 0.0, MaxDiff = 0.0;
+        for (unsigned C = 0; C < RefModel.numClasses(); ++C)
+          for (unsigned F = 0; F < RefModel.numFeatures(); ++F) {
+            MaxAbs = std::max(MaxAbs, std::fabs(RefModel.weight(C, F)));
+            MaxDiff = std::max(MaxDiff, std::fabs(RefModel.weight(C, F) -
+                                                  ShrinkModel.weight(C, F)));
+          }
+        EXPECT_LE(MaxDiff, 0.3 * std::max(MaxAbs, 1.0))
+            << Spec.Code << " level " << L
+            << ": shrinking drifted from the reference optimum";
+      }
+    }
+  }
+  EXPECT_GE(Problems, 10u) << "fixtures must cover most (benchmark, level) "
+                              "training problems";
+  EXPECT_GE(Converged, Problems / 2)
+      << "too few problems converged for the objective comparison to bite";
+  // The heuristic's point: across the fixture set, shrinking does no more
+  // subproblem work than the every-instance-every-pass schedule (small
+  // slack for full-set re-verification passes).
+  EXPECT_LE(ShrinkSolves, RefSolves + RefSolves / 10)
+      << "shrinking should not increase total subproblem work";
+}
+
+TEST(TrainerEquivalence, ShrinkingSolverIsDeterministic) {
+  ScopedJobs Jobs(1);
+  IntermediateDataSet Data =
+      collectFromWorkload(workloadByCode("rt"), quickConfig());
+  TrainConfig TC;
+  std::vector<RankedInstance> Ranked =
+      rankRecords(Data, OptLevel::Cold, TC.Selection, TC.Triggers);
+  ASSERT_GE(Ranked.size(), 8u);
+  Scaling Scale = Scaling::fit(Ranked);
+  LabelMap Labels;
+  std::vector<NormalizedInstance> Instances =
+      normalizeInstances(Ranked, Scale, Labels);
+  LinearModel A = trainCrammerSinger(Instances, TC.Svm);
+  LinearModel B = trainCrammerSinger(Instances, TC.Svm);
+  EXPECT_EQ(A.toText(), B.toText());
+}
+
+TEST(TrainerEquivalence, BatchPredictionMatchesScalar) {
+  ScopedJobs Jobs(1);
+  IntermediateDataSet Data =
+      collectFromWorkload(workloadByCode("db"), quickConfig());
+  TrainConfig TC;
+  std::vector<RankedInstance> Ranked =
+      rankRecords(Data, OptLevel::Warm, TC.Selection, TC.Triggers);
+  ASSERT_GE(Ranked.size(), 8u);
+  Scaling Scale = Scaling::fit(Ranked);
+  LabelMap Labels;
+  std::vector<NormalizedInstance> Instances =
+      normalizeInstances(Ranked, Scale, Labels);
+  LinearModel M = trainCrammerSinger(Instances, TC.Svm);
+
+  unsigned P = M.numFeatures();
+  std::vector<double> Flat(Instances.size() * (size_t)P);
+  for (size_t I = 0; I < Instances.size(); ++I)
+    std::copy(Instances[I].Components.begin(), Instances[I].Components.end(),
+              Flat.begin() + I * P);
+  std::vector<int32_t> Batch(Instances.size());
+  M.predictBatch(Flat.data(), Instances.size(), P, Batch.data());
+  for (size_t I = 0; I < Instances.size(); ++I)
+    EXPECT_EQ(Batch[I], M.predict(Instances[I].Components));
+}
