@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "runtime/VirtualMachine.h"
+#include "support/Telemetry.h"
 #include "workloads/Workload.h"
 
 #include <cstdio>
@@ -122,6 +123,20 @@ int main() {
                   : 0.0,
               AsyncWallTotal > 0.0 ? SyncWallTotal / AsyncWallTotal : 1.0,
               (unsigned long long)OverflowTotal);
+  // The unified registry view of the run: queue, pipeline, cache, and VM
+  // all report here. With JITML_TRACE set, the JSONL trace's compile
+  // spans can be reconciled against these totals (scripts/
+  // trace_summarize.py renders the per-stage table).
+  std::printf("\n== telemetry registry ==\n%s",
+              MetricRegistry::global().toText().c_str());
+  TraceEmitter &Trace = TraceEmitter::global();
+  if (Trace.enabled() || Trace.eventsWritten()) {
+    Trace.flushNow();
+    std::printf("trace: %llu events written, %llu dropped\n",
+                (unsigned long long)Trace.eventsWritten(),
+                (unsigned long long)Trace.eventsDropped());
+  }
+
   if (Mismatches) {
     std::fprintf(stderr, "%u benchmark(s) had checksum mismatches\n",
                  Mismatches);

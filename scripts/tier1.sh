@@ -12,6 +12,10 @@
 #                BENCH_pipeline.json (bit-identity enforced by the binary)
 #                and the Pipeline/TrainerEquivalence tests re-run under
 #                the ThreadSanitizer build
+#   telemetry    observability layer: micro_telemetry enforces the <2%
+#                disabled-overhead gate (BENCH_telemetry.json) and the
+#                ConcurrentTelemetry/TelemetryTrace tests re-run under
+#                the ThreadSanitizer build
 #
 # The script stops at the first failing suite with a non-zero exit, and
 # always ends with a summary table of every suite it reached.
@@ -77,9 +81,18 @@ pipeline_step() {
       'Pipeline\.|TrainerEquivalence\.')
 }
 
+telemetry_step() {
+  cmake --build build -j"$(nproc)" --target micro_telemetry &&
+    ./build/bench/micro_telemetry BENCH_telemetry.json &&
+    cmake --build build-tsan -j"$(nproc)" --target jitml_tests &&
+    (cd build-tsan && ctest --output-on-failure -j"$(nproc)" -R \
+      'ConcurrentTelemetry\.|TelemetryTrace\.')
+}
+
 run_suite build build_step
 run_suite tests tests_step
 run_suite asan asan_step
 run_suite tsan tsan_step
 run_suite pipeline pipeline_step
+run_suite telemetry telemetry_step
 finish 0

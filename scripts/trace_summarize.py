@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Summarize a jitml JSONL trace (JITML_TRACE output) per stage.
+
+Usage:
+    trace_summarize.py TRACE.jsonl [--stage STAGE] [--by-level]
+
+For every stage (compile, queue_wait, bridge_request, ...) prints event
+count, total/mean/p50/p95/max duration in microseconds, and how many
+events reported ok=false. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+
+
+def percentile(sorted_values, p):
+    """Nearest-rank percentile of an ascending list (p in [0, 100])."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, round(p / 100.0 * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def load_events(stream):
+    events = []
+    bad_lines = 0
+    for line in stream:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            ev = json.loads(line)
+        except json.JSONDecodeError:
+            bad_lines += 1
+            continue
+        if isinstance(ev, dict) and "stage" in ev:
+            events.append(ev)
+        else:
+            bad_lines += 1
+    return events, bad_lines
+
+
+def group_key(ev, by_level):
+    stage = ev.get("stage", "?")
+    if by_level and "level" in ev:
+        return "%s/L%s" % (stage, ev["level"])
+    return stage
+
+
+def summarize(events, by_level=False):
+    groups = defaultdict(list)
+    failures = defaultdict(int)
+    for ev in events:
+        key = group_key(ev, by_level)
+        groups[key].append(float(ev.get("dur_us", 0)))
+        if ev.get("ok") is False:
+            failures[key] += 1
+    rows = []
+    for key in sorted(groups):
+        durs = sorted(groups[key])
+        total = sum(durs)
+        rows.append(
+            (
+                key,
+                len(durs),
+                total,
+                total / len(durs),
+                percentile(durs, 50),
+                percentile(durs, 95),
+                durs[-1],
+                failures[key],
+            )
+        )
+    return rows
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(
+        description="Per-stage latency table from a jitml JSONL trace."
+    )
+    ap.add_argument("trace", help="trace file, or - for stdin")
+    ap.add_argument(
+        "--stage", help="only show this stage (exact match)", default=None
+    )
+    ap.add_argument(
+        "--by-level",
+        action="store_true",
+        help="split stages by optimization level",
+    )
+    args = ap.parse_args(argv)
+
+    if args.trace == "-":
+        events, bad = load_events(sys.stdin)
+    else:
+        try:
+            with open(args.trace, "r", encoding="utf-8") as f:
+                events, bad = load_events(f)
+        except OSError as e:
+            print("error: %s" % e, file=sys.stderr)
+            return 1
+
+    if args.stage:
+        events = [ev for ev in events if ev.get("stage") == args.stage]
+    if not events:
+        print("no trace events%s" % (" for stage %r" % args.stage
+                                     if args.stage else ""))
+        return 0 if bad == 0 else 1
+
+    header = ("stage", "count", "total_us", "mean_us", "p50_us", "p95_us",
+              "max_us", "failed")
+    rows = summarize(events, by_level=args.by_level)
+    width = max(len(header[0]), max(len(r[0]) for r in rows))
+    fmt = "%-{0}s %8s %12s %10s %10s %10s %10s %7s".format(width)
+    print(fmt % header)
+    print(fmt % tuple("-" * len(h) for h in header))
+    for key, count, total, mean, p50, p95, mx, failed in rows:
+        print(
+            fmt
+            % (
+                key,
+                count,
+                "%.0f" % total,
+                "%.1f" % mean,
+                "%.0f" % p50,
+                "%.0f" % p95,
+                "%.0f" % mx,
+                failed or "",
+            )
+        )
+    if bad:
+        print("(%d unparseable line(s) skipped)" % bad, file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -43,9 +43,23 @@ void realSleep(int Ms) {
 
 } // namespace
 
+void ResilientModelClient::resolveTelemetry() {
+  MetricRegistry &R = MetricRegistry::global();
+  Tel.Requests = &R.counter("bridge.requests");
+  Tel.CacheHits = &R.counter("bridge.cache_hits");
+  Tel.Timeouts = &R.counter("bridge.timeouts");
+  Tel.Retries = &R.counter("bridge.retries");
+  Tel.Fallbacks = &R.counter("bridge.fallbacks");
+  Tel.ErrorReplies = &R.counter("bridge.error_replies");
+  Tel.WireRequests = &R.counter("bridge.wire_requests");
+  Tel.RequestUs = &R.histogram("bridge.request");
+  Tel.BatchUs = &R.histogram("bridge.batch");
+}
+
 ResilientModelClient::ResilientModelClient(std::unique_ptr<Transport> T,
                                            Config C)
     : Cfg(C), Owned(std::move(T)), Sleep(realSleep) {
+  resolveTelemetry();
   if (Owned)
     Wire = std::make_unique<CountingTransport>(*Owned);
   else
@@ -53,7 +67,9 @@ ResilientModelClient::ResilientModelClient(std::unique_ptr<Transport> T,
 }
 
 ResilientModelClient::ResilientModelClient(TransportFactory F, Config C)
-    : Cfg(C), Factory(std::move(F)), Sleep(realSleep) {}
+    : Cfg(C), Factory(std::move(F)), Sleep(realSleep) {
+  resolveTelemetry();
+}
 
 ResilientModelClient::~ResilientModelClient() { bye(); }
 
@@ -109,8 +125,10 @@ bool ResilientModelClient::ensureConnected() {
     RecvStatus S = recvMessageFor(*Wire, Reply, Cfg.RequestTimeoutMs);
     if (S != RecvStatus::Ok || Reply.Type != MsgType::Hello ||
         Reply.Version != 1) {
-      if (S == RecvStatus::Timeout)
+      if (S == RecvStatus::Timeout) {
         ++Count.Timeouts;
+        Tel.Timeouts->add();
+      }
       dropConnection();
       return false;
     }
@@ -129,6 +147,7 @@ bool ResilientModelClient::tryOnce(OptLevel Level,
   for (unsigned I = 0; I < NumFeatures; ++I)
     M.FeatureValues.push_back((double)Features.get(I));
   ++Count.WireRequests;
+  Tel.WireRequests->add();
   if (!sendMessage(*Wire, M)) {
     dropConnection();
     return false;
@@ -137,6 +156,7 @@ bool ResilientModelClient::tryOnce(OptLevel Level,
   RecvStatus S = recvMessageFor(*Wire, Reply, Cfg.RequestTimeoutMs);
   if (S == RecvStatus::Timeout) {
     ++Count.Timeouts;
+    Tel.Timeouts->add();
     dropConnection(); // the stream may be mid-frame: unusable
     return false;
   }
@@ -150,6 +170,7 @@ bool ResilientModelClient::tryOnce(OptLevel Level,
   }
   if (Reply.Type == MsgType::Error) {
     ++Count.ErrorReplies;
+    Tel.ErrorReplies->add();
     Answer = std::nullopt; // definitive "no model" answer
     return true;
   }
@@ -176,20 +197,36 @@ std::optional<uint64_t>
 ResilientModelClient::requestModifier(OptLevel Level,
                                       const FeatureVector &Features) {
   std::lock_guard<std::mutex> Lock(Mu);
-  return requestModifierLocked(Level, Features);
+  uint64_t StartUs = telemetryNowUs();
+  std::optional<uint64_t> Answer = requestModifierLocked(Level, Features);
+  uint64_t DurUs = telemetryNowUs() - StartUs;
+  Tel.RequestUs->record(DurUs);
+  if (TraceEmitter::global().enabled()) {
+    TraceEvent E;
+    E.Stage = "bridge_request";
+    E.StartUs = StartUs;
+    E.DurUs = DurUs;
+    E.Level = (int)Level;
+    E.Detail = Answer ? "modifier" : "fallback";
+    E.Ok = Answer.has_value();
+    TraceEmitter::global().record(E);
+  }
+  return Answer;
 }
 
 std::optional<uint64_t>
 ResilientModelClient::requestModifierLocked(OptLevel Level,
                                             const FeatureVector &Features) {
   ++Count.Requests;
+  Tel.Requests->add();
   uint64_t Key = cacheKey(Level, Features.hash());
   if (Cfg.CacheCapacity != 0) {
     auto It = Cache.find(Key);
     if (It != Cache.end()) {
       ++Count.CacheHits;
+      Tel.CacheHits->add();
       if (!It->second)
-        ++Count.Fallbacks;
+        ++Count.Fallbacks, Tel.Fallbacks->add();
       return It->second;
     }
   }
@@ -200,6 +237,7 @@ ResilientModelClient::requestModifierLocked(OptLevel Level,
       if (Poisoned)
         break; // no way back: don't burn time sleeping
       ++Count.Retries;
+      Tel.Retries->add();
       if (Backoff >= 1.0 && Sleep)
         Sleep((int)Backoff);
       Backoff *= Cfg.BackoffMultiplier;
@@ -210,11 +248,11 @@ ResilientModelClient::requestModifierLocked(OptLevel Level,
     if (tryOnce(Level, Features, Answer)) {
       cacheInsert(Key, Answer);
       if (!Answer)
-        ++Count.Fallbacks;
+        ++Count.Fallbacks, Tel.Fallbacks->add();
       return Answer;
     }
   }
-  ++Count.Fallbacks;
+  ++Count.Fallbacks, Tel.Fallbacks->add();
   return std::nullopt;
 }
 
@@ -232,6 +270,7 @@ bool ResilientModelClient::tryBatchOnce(
       E.FeatureValues.push_back((double)Items[Misses[I]].Features.get(F));
   }
   ++Count.WireRequests;
+  Tel.WireRequests->add();
   if (!sendMessage(*Wire, M)) {
     dropConnection();
     return false;
@@ -240,6 +279,7 @@ bool ResilientModelClient::tryBatchOnce(
   RecvStatus S = recvMessageFor(*Wire, Reply, Cfg.RequestTimeoutMs);
   if (S == RecvStatus::Timeout) {
     ++Count.Timeouts;
+    Tel.Timeouts->add();
     dropConnection(); // the stream may be mid-frame: unusable
     return false;
   }
@@ -259,6 +299,7 @@ bool ResilientModelClient::tryBatchOnce(
   if (Reply.Type == MsgType::Error) {
     // Definitive server-side refusal: every entry falls back.
     ++Count.ErrorReplies;
+    Tel.ErrorReplies->add();
     return true;
   }
   // Wrong reply type or wrong entry count: the peer is not speaking our
@@ -270,6 +311,7 @@ bool ResilientModelClient::tryBatchOnce(
 std::vector<std::optional<uint64_t>> ResilientModelClient::requestModifierBatch(
     const std::vector<BatchRequest> &Items) {
   std::lock_guard<std::mutex> Lock(Mu);
+  uint64_t StartUs = telemetryNowUs();
   ++Count.BatchRequests;
   Count.BatchItems += Items.size();
   std::vector<std::optional<uint64_t>> Answers(Items.size());
@@ -279,13 +321,15 @@ std::vector<std::optional<uint64_t>> ResilientModelClient::requestModifierBatch(
   std::vector<uint64_t> Keys(Items.size());
   for (size_t I = 0; I < Items.size(); ++I) {
     ++Count.Requests;
+  Tel.Requests->add();
     Keys[I] = cacheKey(Items[I].Level, Items[I].Features.hash());
     if (Cfg.CacheCapacity != 0) {
       auto It = Cache.find(Keys[I]);
       if (It != Cache.end()) {
         ++Count.CacheHits;
+        Tel.CacheHits->add();
         if (!It->second)
-          ++Count.Fallbacks;
+          ++Count.Fallbacks, Tel.Fallbacks->add();
         Answers[I] = It->second;
         continue;
       }
@@ -307,6 +351,7 @@ std::vector<std::optional<uint64_t>> ResilientModelClient::requestModifierBatch(
         if (Poisoned)
           break;
         ++Count.Retries;
+      Tel.Retries->add();
         if (Backoff >= 1.0 && Sleep)
           Sleep((int)Backoff);
         Backoff *= Cfg.BackoffMultiplier;
@@ -322,8 +367,18 @@ std::vector<std::optional<uint64_t>> ResilientModelClient::requestModifierBatch(
       if (Answered)
         cacheInsert(Keys[I], Answers[I]);
       if (!Answers[I])
-        ++Count.Fallbacks;
+        ++Count.Fallbacks, Tel.Fallbacks->add();
     }
+  }
+  uint64_t DurUs = telemetryNowUs() - StartUs;
+  Tel.BatchUs->record(DurUs);
+  if (TraceEmitter::global().enabled()) {
+    TraceEvent E;
+    E.Stage = "bridge_batch";
+    E.StartUs = StartUs;
+    E.DurUs = DurUs;
+    E.Items = (int64_t)Items.size();
+    TraceEmitter::global().record(E);
   }
   return Answers;
 }

@@ -39,6 +39,7 @@
 #define JITML_BRIDGE_RESILIENTCLIENT_H
 
 #include "bridge/ModelService.h"
+#include "support/Telemetry.h"
 
 #include <functional>
 #include <memory>
@@ -142,6 +143,7 @@ public:
   void setSleepFn(std::function<void(int)> Fn) { Sleep = std::move(Fn); }
 
 private:
+  void resolveTelemetry();
   bool ensureConnected();
   void dropConnection();
   /// One wire round trip. Returns true when a definitive answer arrived
@@ -157,7 +159,16 @@ private:
                                                 const FeatureVector &Features);
   void cacheInsert(uint64_t Key, std::optional<uint64_t> Answer);
 
+  /// Process-wide metrics mirroring the hot BridgeCounters fields, plus
+  /// round-trip latency distributions; resolved once at construction.
+  struct TelemetryRefs {
+    TelemetryCounter *Requests, *CacheHits, *Timeouts, *Retries,
+        *Fallbacks, *ErrorReplies, *WireRequests;
+    TelemetryHistogram *RequestUs, *BatchUs;
+  };
+
   mutable std::mutex Mu; ///< serializes all public entry points
+  TelemetryRefs Tel;
   Config Cfg;
   TransportFactory Factory;                ///< empty in single-connection mode
   std::unique_ptr<Transport> Owned;        ///< current raw connection

@@ -3,6 +3,7 @@
 #include "jitml/Training.h"
 
 #include "collect/CollectionListener.h"
+#include "support/Telemetry.h"
 #include "support/ThreadPool.h"
 
 using namespace jitml;
@@ -119,10 +120,15 @@ ModelSet jitml::trainModelSet(const IntermediateDataSet &Data,
   // Each learned level ranks, normalizes, and trains from disjoint
   // records into its own Levels[L] slot — an independent shard of the
   // merge -> rank -> normalize -> train pipeline.
+  static TelemetryCounter &Levels =
+      MetricRegistry::global().counter("train.levels");
+  static TelemetryHistogram &LevelUs =
+      MetricRegistry::global().histogram("train.level");
   parallelFor(NumOptLevels, [&](size_t L) {
     OptLevel Level = (OptLevel)L;
     if (!isLearnedLevel(Level))
       return;
+    uint64_t StartUs = telemetryNowUs();
     std::vector<RankedInstance> Ranked =
         rankRecords(Data, Level, Config.Selection, Config.Triggers);
     if (Ranked.size() < 8)
@@ -133,6 +139,19 @@ ModelSet jitml::trainModelSet(const IntermediateDataSet &Data,
         normalizeInstances(Ranked, LM.Scale, LM.Labels);
     LM.Model = trainCrammerSinger(Instances, Config.Svm);
     LM.Valid = true;
+    uint64_t DurUs = telemetryNowUs() - StartUs;
+    Levels.add();
+    LevelUs.record(DurUs);
+    TraceEmitter &Trace = TraceEmitter::global();
+    if (Trace.enabled()) {
+      TraceEvent E;
+      E.Stage = "train_level";
+      E.StartUs = StartUs;
+      E.DurUs = DurUs;
+      E.Level = (int)L;
+      E.Items = (int64_t)Instances.size();
+      Trace.record(E);
+    }
   });
   return Set;
 }
@@ -147,12 +166,29 @@ jitml::trainLeaveOneOut(const std::vector<IntermediateDataSet> &PerBenchmark,
   // H1..H5 come out identical to the sequential loop regardless of
   // JITML_JOBS.
   std::vector<ModelSet> Sets(Training.size());
+  static TelemetryCounter &Folds =
+      MetricRegistry::global().counter("train.folds");
+  static TelemetryHistogram &FoldUs =
+      MetricRegistry::global().histogram("train.fold");
   parallelFor(Training.size(), [&](size_t Fold) {
+    uint64_t StartUs = telemetryNowUs();
     IntermediateDataSet Merged =
         mergeExcluding(PerBenchmark, {Training[Fold].Code});
     std::string Name = "H" + std::to_string(Fold + 1);
     Sets[Fold] = trainModelSet(Merged, Name, Config);
     Sets[Fold].LeftOutBenchmark = Training[Fold].Code;
+    uint64_t DurUs = telemetryNowUs() - StartUs;
+    Folds.add();
+    FoldUs.record(DurUs);
+    TraceEmitter &Trace = TraceEmitter::global();
+    if (Trace.enabled()) {
+      TraceEvent E;
+      E.Stage = "train_fold";
+      E.StartUs = StartUs;
+      E.DurUs = DurUs;
+      E.Method = (int64_t)Fold; // fold index, not a method
+      Trace.record(E);
+    }
   });
   return Sets;
 }

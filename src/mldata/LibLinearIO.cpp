@@ -2,7 +2,10 @@
 
 #include "mldata/LibLinearIO.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 using namespace jitml;
@@ -25,28 +28,66 @@ jitml::writeLibLinear(const std::vector<NormalizedInstance> &Data) {
   return Out;
 }
 
+namespace {
+
+/// Formats "line L: <what> in 'Token'" into *Error (when provided) and
+/// returns false, so parse rejections read as `return fail(...)`.
+bool fail(std::string *Error, unsigned LineNo, const char *What,
+          const std::string &Token) {
+  if (Error) {
+    *Error = "line " + std::to_string(LineNo) + ": " + What + " in '" +
+             Token + "'";
+  }
+  return false;
+}
+
+} // namespace
+
 bool jitml::readLibLinear(const std::string &Text, unsigned NumComponents,
-                          std::vector<NormalizedInstance> &Out) {
+                          std::vector<NormalizedInstance> &Out,
+                          std::string *Error) {
   Out.clear();
+  if (Error)
+    Error->clear();
   std::istringstream In(Text);
   std::string Line;
+  unsigned LineNo = 0;
   while (std::getline(In, Line)) {
+    ++LineNo;
     if (Line.empty() || Line[0] == '#')
       continue;
     std::istringstream Fields(Line);
     NormalizedInstance N;
     if (!(Fields >> N.Label) || N.Label < 1)
-      return false;
+      return fail(Error, LineNo, "bad class label", Line);
     N.Components.assign(NumComponents, 0.0);
     std::string Pair;
     while (Fields >> Pair) {
       size_t Colon = Pair.find(':');
-      if (Colon == std::string::npos)
-        return false;
-      unsigned long Index = std::strtoul(Pair.c_str(), nullptr, 10);
-      double Value = std::strtod(Pair.c_str() + Colon + 1, nullptr);
+      if (Colon == std::string::npos || Colon == 0)
+        return fail(Error, LineNo, "expected index:value pair", Pair);
+      // Strict index parse: digits only, fully consumed up to the colon.
+      // strtoul with a null end pointer would read "3x:1" as index 3.
+      const char *IdxBegin = Pair.c_str();
+      char *IdxEnd = nullptr;
+      errno = 0;
+      unsigned long Index = std::strtoul(IdxBegin, &IdxEnd, 10);
+      if (IdxEnd != IdxBegin + Colon || errno == ERANGE)
+        return fail(Error, LineNo, "malformed feature index", Pair);
       if (Index < 1 || Index > NumComponents)
-        return false;
+        return fail(Error, LineNo, "feature index out of range", Pair);
+      // Strict value parse: strtod with a null end pointer silently turns
+      // truncated ("3:") or garbage ("3:abc") values into 0.0 — a zero
+      // weight is a legal feature value, so that corruption is invisible
+      // downstream. Require a non-empty, fully-consumed number.
+      const char *ValBegin = IdxBegin + Colon + 1;
+      char *ValEnd = nullptr;
+      errno = 0;
+      double Value = std::strtod(ValBegin, &ValEnd);
+      if (ValEnd == ValBegin || *ValEnd != '\0')
+        return fail(Error, LineNo, "malformed feature value", Pair);
+      if (errno == ERANGE && (Value == HUGE_VAL || Value == -HUGE_VAL))
+        return fail(Error, LineNo, "feature value out of range", Pair);
       N.Components[Index - 1] = Value;
     }
     Out.push_back(std::move(N));

@@ -22,8 +22,16 @@ std::string writeLibLinear(const std::vector<NormalizedInstance> &Data);
 
 /// Parses the sparse text format; returns false on malformed input.
 /// \p NumComponents sets the dense width of the parsed instances.
+///
+/// Parsing is strict: every `index:value` pair must be a fully-consumed
+/// decimal index and floating-point value (truncated pairs like "3:",
+/// garbage like "3:abc", and trailing junk like "3:1.5x" are rejected, not
+/// silently read as 0.0). When \p Error is non-null, a rejected input
+/// leaves a one-line diagnostic naming the line number and the offending
+/// token.
 bool readLibLinear(const std::string &Text, unsigned NumComponents,
-                   std::vector<NormalizedInstance> &Out);
+                   std::vector<NormalizedInstance> &Out,
+                   std::string *Error = nullptr);
 
 bool writeLibLinearFile(const std::string &Path,
                         const std::vector<NormalizedInstance> &Data);

@@ -42,10 +42,17 @@ AsyncCompilePipeline::AsyncCompilePipeline(const Program &P,
                                            CodeCache &Cache, Config C)
     : Prog(P), Cost(Cost), Cache(Cache), Cfg(C),
       Queue(C.QueueCapacity ? C.QueueCapacity : 1) {
+  MetricRegistry &R = MetricRegistry::global();
+  Tel.Compiled = &R.counter("pipeline.compiled");
+  Tel.Installed = &R.counter("pipeline.installed");
+  Tel.Stale = &R.counter("pipeline.stale");
+  Tel.BatchPredicts = &R.counter("pipeline.batch_predicts");
+  Tel.WorkerBusyUs = &R.counter("pipeline.worker_busy_us");
+  Tel.CompileUs = &R.histogram("pipeline.compile");
   unsigned N = Cfg.Workers ? Cfg.Workers : 1;
   Workers.reserve(N);
   for (unsigned I = 0; I < N; ++I)
-    Workers.emplace_back([this] { workerLoop(); });
+    Workers.emplace_back([this, I] { workerLoop(I); });
 }
 
 AsyncCompilePipeline::~AsyncCompilePipeline() { shutdown(false); }
@@ -112,6 +119,7 @@ std::vector<PlanModifier> AsyncCompilePipeline::modifiersForBatch(
       Items[I].Features = extractMethodFeatures(Prog, Tasks[I].MethodIndex);
     }
     BatchPredicts.fetch_add(1, std::memory_order_relaxed);
+    Tel.BatchPredicts->add();
     try {
       std::vector<PlanModifier> Got = BH(Items);
       if (Got.size() == Tasks.size())
@@ -129,6 +137,7 @@ std::vector<PlanModifier> AsyncCompilePipeline::modifiersForBatch(
     try {
       if (BH) {
         BatchPredicts.fetch_add(1, std::memory_order_relaxed);
+        Tel.BatchPredicts->add();
         std::vector<BatchPredictItem> One(1);
         One[0] = {Tasks[I].MethodIndex, Tasks[I].Level, F};
         std::vector<PlanModifier> Got = BH(One);
@@ -146,17 +155,19 @@ std::vector<PlanModifier> AsyncCompilePipeline::modifiersForBatch(
   return Mods;
 }
 
-void AsyncCompilePipeline::workerLoop() {
+void AsyncCompilePipeline::workerLoop(unsigned WorkerId) {
   for (;;) {
     std::vector<AsyncCompileTask> Tasks = Queue.dequeueBatch(Cfg.MaxPredictBatch);
     if (Tasks.empty())
       return; // closed and drained
+    uint64_t BatchStartUs = telemetryNowUs();
 
     std::vector<CompileCompletion> Done(Tasks.size());
     std::vector<PlanModifier> Mods = modifiersForBatch(Tasks, Done);
 
     for (size_t I = 0; I < Tasks.size(); ++I) {
       const AsyncCompileTask &T = Tasks[I];
+      uint64_t StartUs = telemetryNowUs();
       CompiledBody Body = compileMethodBody(Prog, T.MethodIndex,
                                             planForLevel(T.Level), Mods[I],
                                             Cost);
@@ -169,6 +180,23 @@ void AsyncCompilePipeline::workerLoop() {
       C.IsExplorationRecompile = T.IsExplorationRecompile;
       C.Installed = Cache.install(T.MethodIndex, std::move(Body.Native),
                                   T.Ticket);
+      uint64_t DurUs = telemetryNowUs() - StartUs;
+      Tel.CompileUs->record(DurUs);
+      Tel.Compiled->add();
+      (C.Installed ? Tel.Installed : Tel.Stale)->add();
+      if (TraceEmitter::global().enabled()) {
+        TraceEvent E;
+        E.Stage = "compile";
+        E.StartUs = StartUs;
+        E.DurUs = DurUs;
+        E.Method = T.MethodIndex;
+        E.Level = (int)T.Level;
+        E.Worker = (int)WorkerId;
+        E.Cycles = Body.CompileCycles;
+        E.Detail = C.Installed ? "installed" : "stale";
+        E.Ok = C.Installed;
+        TraceEmitter::global().record(E);
+      }
       {
         std::lock_guard<std::mutex> Lock(CompletionMu);
         Completions.push_back(C);
@@ -178,5 +206,6 @@ void AsyncCompilePipeline::workerLoop() {
       // drain() that observes quiescence also observes every completion.
       Queue.noteDone(T.MethodIndex);
     }
+    Tel.WorkerBusyUs->add(telemetryNowUs() - BatchStartUs);
   }
 }

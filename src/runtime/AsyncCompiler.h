@@ -34,6 +34,7 @@
 #include "modifiers/Modifier.h"
 #include "runtime/CodeCache.h"
 #include "runtime/CompilationQueue.h"
+#include "support/Telemetry.h"
 
 #include <functional>
 #include <thread>
@@ -139,7 +140,7 @@ public:
   }
 
 private:
-  void workerLoop();
+  void workerLoop(unsigned WorkerId);
   std::vector<PlanModifier>
   modifiersForBatch(const std::vector<AsyncCompileTask> &Tasks,
                     std::vector<CompileCompletion> &Partial);
@@ -157,6 +158,14 @@ private:
   std::mutex CompletionMu;
   std::vector<CompileCompletion> Completions;
   std::atomic<bool> CompletionsReady{false};
+
+  /// Process-wide metrics, resolved once at construction.
+  struct TelemetryRefs {
+    TelemetryCounter *Compiled, *Installed, *Stale, *BatchPredicts,
+        *WorkerBusyUs;
+    TelemetryHistogram *CompileUs; ///< per-method worker compile wall us
+  };
+  TelemetryRefs Tel;
 
   std::atomic<uint64_t> BatchPredicts{0};
   std::vector<std::thread> Workers;

@@ -4,6 +4,13 @@
 
 using namespace jitml;
 
+CodeCache::CodeCache() {
+  MetricRegistry &R = MetricRegistry::global();
+  Tel.Installs = &R.counter("cache.installs");
+  Tel.Stale = &R.counter("cache.stale_rejected");
+  Tel.Reclaimed = &R.counter("cache.reclaimed");
+}
+
 void CodeCache::reset(size_t NumMethods) {
   Slots = std::vector<Slot>(NumMethods);
 }
@@ -16,6 +23,16 @@ bool CodeCache::install(uint32_t MethodIndex,
   if (Ticket <= S.LastTicket) {
     // A newer request's code already landed; this body lost the race.
     StaleRejected.fetch_add(1, std::memory_order_relaxed);
+    Tel.Stale->add();
+    if (TraceEmitter::global().enabled()) {
+      TraceEvent E;
+      E.Stage = "cache_install";
+      E.StartUs = telemetryNowUs();
+      E.Method = MethodIndex;
+      E.Detail = "stale";
+      E.Ok = false;
+      TraceEmitter::global().record(E);
+    }
     Retired.push_back(std::move(Body));
     return false;
   }
@@ -28,11 +45,21 @@ bool CodeCache::install(uint32_t MethodIndex,
     Retired.push_back(
         std::unique_ptr<NativeMethod>(const_cast<NativeMethod *>(Old)));
   Installs.fetch_add(1, std::memory_order_relaxed);
+  Tel.Installs->add();
+  if (TraceEmitter::global().enabled()) {
+    TraceEvent E;
+    E.Stage = "cache_install";
+    E.StartUs = telemetryNowUs();
+    E.Method = MethodIndex;
+    E.Detail = "installed";
+    TraceEmitter::global().record(E);
+  }
   return true;
 }
 
 void CodeCache::reclaimRetired() {
   std::lock_guard<std::mutex> Lock(Mu);
+  Tel.Reclaimed->add(Retired.size());
   Retired.clear();
 }
 

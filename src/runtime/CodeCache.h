@@ -32,6 +32,7 @@
 #define JITML_RUNTIME_CODECACHE_H
 
 #include "codegen/NativeInst.h"
+#include "support/Telemetry.h"
 
 #include <atomic>
 #include <memory>
@@ -42,7 +43,7 @@ namespace jitml {
 
 class CodeCache {
 public:
-  CodeCache() = default;
+  CodeCache();
   CodeCache(const CodeCache &) = delete;
   CodeCache &operator=(const CodeCache &) = delete;
 
@@ -82,7 +83,14 @@ private:
     uint64_t LastTicket = 0; ///< guarded by Mu
   };
 
+  /// Process-wide metrics (aggregated across caches); the per-instance
+  /// Installs/StaleRejected counters below stay authoritative for tests.
+  struct TelemetryRefs {
+    TelemetryCounter *Installs, *Stale, *Reclaimed;
+  };
+
   std::vector<Slot> Slots;
+  TelemetryRefs Tel;
   mutable std::mutex Mu; ///< serializes installs and the retire list
   std::vector<std::unique_ptr<NativeMethod>> Retired;
   std::atomic<uint64_t> Installs{0};

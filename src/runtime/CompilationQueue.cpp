@@ -6,6 +6,16 @@
 
 using namespace jitml;
 
+CompilationQueue::CompilationQueue(size_t Capacity) : Capacity(Capacity) {
+  MetricRegistry &R = MetricRegistry::global();
+  Tel.Enqueued = &R.counter("queue.enqueued");
+  Tel.Coalesced = &R.counter("queue.coalesced");
+  Tel.Overflows = &R.counter("queue.overflows");
+  Tel.Dequeued = &R.counter("queue.dequeued");
+  Tel.Discarded = &R.counter("queue.discarded");
+  Tel.WaitUs = &R.histogram("queue.wait");
+}
+
 CompilationQueue::EnqueueResult
 CompilationQueue::enqueue(uint32_t MethodIndex, OptLevel Level,
                           bool IsExploration, uint64_t Priority) {
@@ -29,9 +39,11 @@ CompilationQueue::enqueue(uint32_t MethodIndex, OptLevel Level,
       It->Priority = std::max(It->Priority, Priority);
       It->Ticket = NextTicket++;
       ++Count.Coalesced;
+      Tel.Coalesced->add();
       Result = EnqueueResult::Coalesced;
     } else if (Pending.size() >= Capacity) {
       ++Count.Overflows;
+      Tel.Overflows->add();
       return EnqueueResult::Overflow;
     } else {
       AsyncCompileTask T;
@@ -40,8 +52,10 @@ CompilationQueue::enqueue(uint32_t MethodIndex, OptLevel Level,
       T.IsExplorationRecompile = IsExploration;
       T.Priority = Priority;
       T.Ticket = NextTicket++;
+      T.EnqueueUs = telemetryNowUs();
       Pending.push_back(T);
       ++Count.Enqueued;
+      Tel.Enqueued->add();
       Count.MaxDepth = std::max(Count.MaxDepth, (uint64_t)Pending.size());
       Result = EnqueueResult::Enqueued;
     }
@@ -77,6 +91,22 @@ std::vector<AsyncCompileTask> CompilationQueue::dequeueBatch(size_t Max) {
     InFlight.insert(Out.back().MethodIndex);
     ++Count.Dequeued;
   }
+  Tel.Dequeued->add(Out.size());
+  uint64_t Now = telemetryNowUs();
+  TraceEmitter &Trace = TraceEmitter::global();
+  for (const AsyncCompileTask &T : Out) {
+    uint64_t Wait = Now > T.EnqueueUs ? Now - T.EnqueueUs : 0;
+    Tel.WaitUs->record(Wait);
+    if (Trace.enabled()) {
+      TraceEvent E;
+      E.Stage = "queue_wait";
+      E.StartUs = T.EnqueueUs;
+      E.DurUs = Wait;
+      E.Method = T.MethodIndex;
+      E.Level = (int)T.Level;
+      Trace.record(E);
+    }
+  }
   return Out;
 }
 
@@ -104,6 +134,7 @@ void CompilationQueue::close(bool FinishPending) {
     Closed = true;
     if (!FinishPending) {
       Count.Discarded += Pending.size();
+      Tel.Discarded->add(Pending.size());
       Pending.clear();
     }
     Quiescent = quiescentLocked();

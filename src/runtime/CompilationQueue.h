@@ -29,6 +29,7 @@
 #define JITML_RUNTIME_COMPILATIONQUEUE_H
 
 #include "opt/Plan.h"
+#include "support/Telemetry.h"
 
 #include <condition_variable>
 #include <cstdint>
@@ -48,6 +49,10 @@ struct AsyncCompileTask {
   uint64_t Priority = 0;
   /// Request-order sequence number; installs are ordered by it.
   uint64_t Ticket = 0;
+  /// Wall time the method first entered the queue (telemetryNowUs);
+  /// coalescing keeps the oldest so the queue-wait span covers the full
+  /// time the method waited for a compile.
+  uint64_t EnqueueUs = 0;
 };
 
 class CompilationQueue {
@@ -69,7 +74,7 @@ public:
     uint64_t MaxDepth = 0;  ///< high-water mark of pending entries
   };
 
-  explicit CompilationQueue(size_t Capacity) : Capacity(Capacity) {}
+  explicit CompilationQueue(size_t Capacity);
 
   /// Submits a request. Never blocks. Tickets are assigned internally in
   /// arrival order (also on coalesce: the merged entry takes the newest
@@ -111,7 +116,16 @@ public:
 private:
   bool quiescentLocked() const { return Pending.empty() && InFlight.empty(); }
 
+  /// Process-wide metrics (aggregated across every queue instance),
+  /// resolved once at construction. Per-instance numbers stay in Count.
+  struct TelemetryRefs {
+    TelemetryCounter *Enqueued, *Coalesced, *Overflows, *Dequeued,
+        *Discarded;
+    TelemetryHistogram *WaitUs; ///< enqueue -> dequeue wall us
+  };
+
   const size_t Capacity;
+  TelemetryRefs Tel;
   mutable std::mutex Mu;
   std::condition_variable WorkCv;  ///< signaled on enqueue/close
   std::condition_variable DrainCv; ///< signaled on possible quiescence

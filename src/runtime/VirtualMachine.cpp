@@ -5,6 +5,7 @@
 #include "il/ILGenerator.h"
 #include "il/LoopInfo.h"
 #include "runtime/ExecInternal.h"
+#include "support/Telemetry.h"
 
 using namespace jitml;
 
@@ -94,6 +95,7 @@ void VirtualMachine::compileWithPlan(uint32_t MethodIndex,
                                      const PlanModifier &Modifier,
                                      bool IsExploration) {
   OptLevel Level = Plan.Level;
+  uint64_t StartUs = telemetryNowUs();
   CompiledBody Body =
       compileMethodBody(Prog, MethodIndex, Plan, Modifier, Cfg.Cost);
   double TotalCompile = Body.CompileCycles;
@@ -101,6 +103,25 @@ void VirtualMachine::compileWithPlan(uint32_t MethodIndex,
 
   bool Installed =
       Code.install(MethodIndex, std::move(Body.Native), nextInstallTicket());
+  // Name lookups once per process, not per compile.
+  static TelemetryCounter &SyncCompiles =
+      MetricRegistry::global().counter("vm.sync_compiles");
+  static TelemetryHistogram &SyncCompileUs =
+      MetricRegistry::global().histogram("vm.sync_compile");
+  SyncCompiles.add();
+  SyncCompileUs.record(telemetryNowUs() - StartUs);
+  if (TraceEmitter::global().enabled()) {
+    TraceEvent E;
+    E.Stage = "compile";
+    E.StartUs = StartUs;
+    E.DurUs = telemetryNowUs() - StartUs;
+    E.Method = MethodIndex;
+    E.Level = (int)Level;
+    E.Cycles = TotalCompile;
+    E.Detail = Installed ? "installed" : "stale";
+    E.Ok = Installed;
+    TraceEmitter::global().record(E);
+  }
   if (Installed)
     Control.noteCompiled(MethodIndex, Level);
 

@@ -6,6 +6,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <limits>
 
 using namespace jitml;
 
@@ -32,9 +33,17 @@ double RunningStat::variance() const {
 
 double RunningStat::stddev() const { return std::sqrt(variance()); }
 
+double RunningStat::min() const {
+  return N ? Min : std::numeric_limits<double>::quiet_NaN();
+}
+
+double RunningStat::max() const {
+  return N ? Max : std::numeric_limits<double>::quiet_NaN();
+}
+
 double RunningStat::ci95HalfWidth() const {
   if (N < 2)
-    return 0.0;
+    return std::numeric_limits<double>::quiet_NaN();
   // Two-sided 97.5% t quantiles for df = 1..30; 1.96 beyond that.
   static const double TTable[30] = {
       12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,

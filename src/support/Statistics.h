@@ -30,10 +30,14 @@ public:
   double variance() const;
   double stddev() const;
   /// Half-width of the 95% CI on the mean (t-distribution for small n,
-  /// normal approximation beyond the table).
+  /// normal approximation beyond the table). NaN for fewer than two
+  /// samples: one sample has no dispersion estimate, and a 0-width CI
+  /// would falsely claim certainty.
   double ci95HalfWidth() const;
-  double min() const { return N ? Min : 0.0; }
-  double max() const { return N ? Max : 0.0; }
+  /// Extremes of the samples seen so far. NaN for an empty stat — a 0.0
+  /// sentinel would be indistinguishable from a real 0.0 sample.
+  double min() const;
+  double max() const;
 
 private:
   size_t N = 0;

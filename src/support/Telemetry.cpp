@@ -1,0 +1,440 @@
+//===- support/Telemetry.cpp ----------------------------------------------===//
+
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+using namespace jitml;
+
+//===----------------------------------------------------------------------===//
+// Clock
+//===----------------------------------------------------------------------===//
+
+uint64_t jitml::telemetryNowUs() {
+  // One process-wide epoch so every subsystem's timestamps are comparable.
+  static const std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+  return (uint64_t)std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - Epoch)
+      .count();
+}
+
+//===----------------------------------------------------------------------===//
+// TelemetryHistogram
+//===----------------------------------------------------------------------===//
+
+void TelemetryHistogram::record(uint64_t Value) {
+  unsigned B = Value == 0 ? 0 : 64 - (unsigned)__builtin_clzll(Value);
+  if (B >= NumBuckets)
+    B = NumBuckets - 1;
+  Buckets[B].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  Sum.fetch_add(Value, std::memory_order_relaxed);
+  uint64_t Cur = Min.load(std::memory_order_relaxed);
+  while (Value < Cur &&
+         !Min.compare_exchange_weak(Cur, Value, std::memory_order_relaxed)) {
+  }
+  Cur = Max.load(std::memory_order_relaxed);
+  while (Value > Cur &&
+         !Max.compare_exchange_weak(Cur, Value, std::memory_order_relaxed)) {
+  }
+}
+
+TelemetryHistogram::Snapshot TelemetryHistogram::snapshot() const {
+  // Per-field relaxed loads: a snapshot racing record() may be off by the
+  // in-flight sample, which is fine for reporting.
+  Snapshot S;
+  S.Count = Count.load(std::memory_order_relaxed);
+  S.Sum = Sum.load(std::memory_order_relaxed);
+  uint64_t M = Min.load(std::memory_order_relaxed);
+  S.Min = (S.Count && M != UINT64_MAX) ? M : 0;
+  S.Max = Max.load(std::memory_order_relaxed);
+  for (unsigned B = 0; B < NumBuckets; ++B)
+    S.Buckets[B] = Buckets[B].load(std::memory_order_relaxed);
+  return S;
+}
+
+void TelemetryHistogram::reset() {
+  for (unsigned B = 0; B < NumBuckets; ++B)
+    Buckets[B].store(0, std::memory_order_relaxed);
+  Count.store(0, std::memory_order_relaxed);
+  Sum.store(0, std::memory_order_relaxed);
+  Min.store(UINT64_MAX, std::memory_order_relaxed);
+  Max.store(0, std::memory_order_relaxed);
+}
+
+uint64_t TelemetryHistogram::Snapshot::percentile(double P) const {
+  if (Count == 0)
+    return 0;
+  P = std::min(std::max(P, 0.0), 1.0);
+  uint64_t Rank = (uint64_t)(P * (double)Count);
+  if (Rank == 0)
+    Rank = 1;
+  uint64_t Seen = 0;
+  for (unsigned B = 0; B < NumBuckets; ++B) {
+    Seen += Buckets[B];
+    if (Seen >= Rank)
+      return B == 0 ? 0 : (uint64_t)1 << B; // bucket upper bound
+  }
+  return Max;
+}
+
+//===----------------------------------------------------------------------===//
+// MetricRegistry
+//===----------------------------------------------------------------------===//
+
+struct MetricRegistry::Impl {
+  mutable std::mutex Mu; ///< registration and snapshots, never the hot path
+  // Node-based maps: references stay valid across later registrations.
+  std::map<std::string, std::unique_ptr<TelemetryCounter>> Counters;
+  std::map<std::string, std::unique_ptr<TelemetryGauge>> Gauges;
+  std::map<std::string, std::unique_ptr<TelemetryHistogram>> Histograms;
+};
+
+MetricRegistry::MetricRegistry() : I(new Impl) {}
+MetricRegistry::~MetricRegistry() { delete I; }
+
+TelemetryCounter &MetricRegistry::counter(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  std::unique_ptr<TelemetryCounter> &Slot = I->Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<TelemetryCounter>();
+  return *Slot;
+}
+
+TelemetryGauge &MetricRegistry::gauge(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  std::unique_ptr<TelemetryGauge> &Slot = I->Gauges[Name];
+  if (!Slot)
+    Slot = std::make_unique<TelemetryGauge>();
+  return *Slot;
+}
+
+TelemetryHistogram &MetricRegistry::histogram(const std::string &Name) {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  std::unique_ptr<TelemetryHistogram> &Slot = I->Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<TelemetryHistogram>();
+  return *Slot;
+}
+
+std::vector<MetricSample> MetricRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  std::vector<MetricSample> Out;
+  Out.reserve(I->Counters.size() + I->Gauges.size() +
+              I->Histograms.size() * 4);
+  for (const auto &[Name, C] : I->Counters)
+    Out.push_back({Name, C->value()});
+  for (const auto &[Name, G] : I->Gauges)
+    Out.push_back({Name, (uint64_t)G->value()});
+  for (const auto &[Name, H] : I->Histograms) {
+    TelemetryHistogram::Snapshot S = H->snapshot();
+    Out.push_back({Name + ".count", S.Count});
+    Out.push_back({Name + ".mean_us", (uint64_t)S.mean()});
+    Out.push_back({Name + ".p95_us", S.percentile(0.95)});
+    Out.push_back({Name + ".max_us", S.Max});
+  }
+  std::sort(Out.begin(), Out.end(),
+            [](const MetricSample &A, const MetricSample &B) {
+              return A.Name < B.Name;
+            });
+  return Out;
+}
+
+std::vector<CounterRow> MetricRegistry::counterRows() const {
+  std::vector<CounterRow> Rows;
+  for (const MetricSample &S : snapshot())
+    Rows.push_back({S.Name, S.Value});
+  return Rows;
+}
+
+std::string MetricRegistry::toText() const {
+  return formatCounterTable(counterRows());
+}
+
+void MetricRegistry::resetAll() {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  for (auto &[Name, C] : I->Counters)
+    C->reset();
+  for (auto &[Name, G] : I->Gauges)
+    G->reset();
+  for (auto &[Name, H] : I->Histograms)
+    H->reset();
+}
+
+namespace {
+
+/// JITML_METRICS exit dump: "stderr"/"1" to stderr, anything else a path.
+void dumpGlobalRegistryAtExit() {
+  const char *Dest = std::getenv("JITML_METRICS");
+  if (!Dest || !*Dest || std::strcmp(Dest, "0") == 0)
+    return;
+  std::string Table = MetricRegistry::global().toText();
+  if (std::strcmp(Dest, "stderr") == 0 || std::strcmp(Dest, "1") == 0) {
+    std::fputs(Table.c_str(), stderr);
+    return;
+  }
+  if (std::FILE *F = std::fopen(Dest, "w")) {
+    std::fputs(Table.c_str(), F);
+    std::fclose(F);
+  } else {
+    std::fprintf(stderr, "jitml: JITML_METRICS: cannot write %s\n", Dest);
+  }
+}
+
+} // namespace
+
+MetricRegistry &MetricRegistry::global() {
+  static MetricRegistry R;
+  static bool Registered = [] {
+    if (const char *Dest = std::getenv("JITML_METRICS"))
+      if (*Dest)
+        std::atexit(dumpGlobalRegistryAtExit);
+    return true;
+  }();
+  (void)Registered;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// TraceEmitter
+//===----------------------------------------------------------------------===//
+
+struct TraceEmitter::Impl {
+  const size_t Capacity;
+  std::mutex RingMu; ///< guards Ring and the writer-control flags
+  std::condition_variable FlushCv;
+  std::vector<TraceEvent> Ring;
+  std::mutex WriteMu; ///< serializes sink calls (writer thread vs flushNow)
+  SinkFn Sink;
+  std::FILE *File = nullptr;
+  std::thread Writer;
+  bool StopWriter = false;
+  bool Failed = false;
+  bool Warned = false;
+
+  explicit Impl(size_t Cap) : Capacity(Cap ? Cap : 1) {
+    Ring.reserve(Capacity);
+  }
+};
+
+TraceEmitter::TraceEmitter(size_t RingCapacity)
+    : I(new Impl(RingCapacity)) {}
+
+TraceEmitter::~TraceEmitter() {
+  close();
+  delete I;
+}
+
+TraceEmitter &TraceEmitter::global() {
+  static TraceEmitter E;
+  static bool Configured = [] {
+    if (const char *Path = std::getenv("JITML_TRACE"))
+      if (*Path)
+        E.open(Path);
+    return true;
+  }();
+  (void)Configured;
+  return E;
+}
+
+void TraceEmitter::failOnce(const char *What) {
+  bool Warn = false;
+  {
+    std::lock_guard<std::mutex> Lock(I->RingMu);
+    if (!I->Warned) {
+      I->Warned = true;
+      Warn = true;
+    }
+    I->Failed = true;
+    I->Ring.clear(); // nothing will ever drain it
+  }
+  Enabled.store(false, std::memory_order_relaxed);
+  if (Warn)
+    std::fprintf(stderr,
+                 "jitml: telemetry trace disabled: %s "
+                 "(continuing with counters only)\n",
+                 What);
+}
+
+bool TraceEmitter::open(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    failOnce("cannot open JITML_TRACE path");
+    return false;
+  }
+  SinkFn Sink = [F](const char *Data, size_t Size) {
+    return std::fwrite(Data, 1, Size, F) == Size && std::fflush(F) == 0;
+  };
+  {
+    std::lock_guard<std::mutex> Lock(I->RingMu);
+    if (!startLocked(std::move(Sink))) {
+      std::fclose(F);
+      return false;
+    }
+    I->File = F;
+  }
+  Enabled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool TraceEmitter::openWithSink(SinkFn Sink) {
+  {
+    std::lock_guard<std::mutex> Lock(I->RingMu);
+    if (!startLocked(std::move(Sink)))
+      return false;
+  }
+  Enabled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool TraceEmitter::startLocked(SinkFn Sink) {
+  if (I->Writer.joinable())
+    return false; // already open; close() first
+  I->Sink = std::move(Sink);
+  I->StopWriter = false;
+  I->Failed = false;
+  I->Writer = std::thread([this] { writerLoop(); });
+  return true;
+}
+
+void TraceEmitter::record(const TraceEvent &E) {
+  if (!enabled())
+    return;
+  bool Nudge = false;
+  {
+    std::lock_guard<std::mutex> Lock(I->RingMu);
+    if (I->Failed || I->Ring.size() >= I->Capacity) {
+      Dropped.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    I->Ring.push_back(E);
+    Nudge = I->Ring.size() >= I->Capacity / 2;
+  }
+  if (Nudge)
+    I->FlushCv.notify_one(); // wake the writer before the ring fills
+}
+
+bool TraceEmitter::flushLocked(std::vector<TraceEvent> &Scratch) {
+  // Serialize outside any lock that record() takes; WriteMu only orders
+  // concurrent flushers.
+  std::string Out;
+  Out.reserve(Scratch.size() * 96);
+  char Buf[256];
+  for (const TraceEvent &E : Scratch) {
+    int N = std::snprintf(Buf, sizeof(Buf),
+                          "{\"stage\":\"%s\",\"start_us\":%llu,"
+                          "\"dur_us\":%llu",
+                          E.Stage, (unsigned long long)E.StartUs,
+                          (unsigned long long)E.DurUs);
+    Out.append(Buf, (size_t)N);
+    if (E.Method >= 0) {
+      N = std::snprintf(Buf, sizeof(Buf), ",\"method\":%lld",
+                        (long long)E.Method);
+      Out.append(Buf, (size_t)N);
+    }
+    if (E.Level >= 0) {
+      N = std::snprintf(Buf, sizeof(Buf), ",\"level\":%d", E.Level);
+      Out.append(Buf, (size_t)N);
+    }
+    if (E.Worker >= 0) {
+      N = std::snprintf(Buf, sizeof(Buf), ",\"worker\":%d", E.Worker);
+      Out.append(Buf, (size_t)N);
+    }
+    if (E.Items >= 0) {
+      N = std::snprintf(Buf, sizeof(Buf), ",\"items\":%lld",
+                        (long long)E.Items);
+      Out.append(Buf, (size_t)N);
+    }
+    if (E.Cycles != 0.0) {
+      N = std::snprintf(Buf, sizeof(Buf), ",\"cycles\":%.17g", E.Cycles);
+      Out.append(Buf, (size_t)N);
+    }
+    if (E.Detail) {
+      N = std::snprintf(Buf, sizeof(Buf), ",\"detail\":\"%s\"", E.Detail);
+      Out.append(Buf, (size_t)N);
+    }
+    Out += E.Ok ? ",\"ok\":true}\n" : ",\"ok\":false}\n";
+  }
+  if (Out.empty())
+    return true;
+  std::lock_guard<std::mutex> Lock(I->WriteMu);
+  if (!I->Sink)
+    return true; // already closed/failed: events are simply dropped
+  if (!I->Sink(Out.data(), Out.size()))
+    return false;
+  Written.fetch_add(Scratch.size(), std::memory_order_relaxed);
+  return true;
+}
+
+void TraceEmitter::writerLoop() {
+  std::vector<TraceEvent> Scratch;
+  for (;;) {
+    bool Stopping;
+    {
+      std::unique_lock<std::mutex> Lock(I->RingMu);
+      I->FlushCv.wait_for(Lock, std::chrono::milliseconds(20), [&] {
+        return I->StopWriter || I->Ring.size() >= I->Capacity / 2;
+      });
+      Scratch.clear();
+      Scratch.swap(I->Ring);
+      I->Ring.reserve(I->Capacity);
+      Stopping = I->StopWriter;
+    }
+    if (!flushLocked(Scratch)) {
+      failOnce("trace write failed (disk full or short write?)");
+      return;
+    }
+    if (Stopping) {
+      // One last sweep: events recorded between the swap and Enabled
+      // going false would otherwise be stranded in the ring.
+      {
+        std::lock_guard<std::mutex> Lock(I->RingMu);
+        Scratch.clear();
+        Scratch.swap(I->Ring);
+      }
+      if (!flushLocked(Scratch))
+        failOnce("trace write failed (disk full or short write?)");
+      return;
+    }
+  }
+}
+
+void TraceEmitter::flushNow() {
+  std::vector<TraceEvent> Scratch;
+  {
+    std::lock_guard<std::mutex> Lock(I->RingMu);
+    Scratch.swap(I->Ring);
+  }
+  if (!flushLocked(Scratch))
+    failOnce("trace write failed (disk full or short write?)");
+}
+
+void TraceEmitter::close() {
+  Enabled.store(false, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> Lock(I->RingMu);
+    I->StopWriter = true;
+  }
+  I->FlushCv.notify_all();
+  if (I->Writer.joinable())
+    I->Writer.join();
+  std::lock_guard<std::mutex> WLock(I->WriteMu);
+  I->Sink = nullptr;
+  if (I->File) {
+    std::fclose(I->File);
+    I->File = nullptr;
+  }
+  std::lock_guard<std::mutex> Lock(I->RingMu);
+  I->Ring.clear();
+  I->StopWriter = false;
+}

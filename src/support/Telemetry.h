@@ -1,0 +1,234 @@
+//===- support/Telemetry.h - Metrics registry + JSONL tracing ---*- C++ -*-===//
+///
+/// \file
+/// The unified observability layer. Every subsystem — compilation queue,
+/// async pipeline, bridge client, code cache, thread pool, training — used
+/// to keep its own ad-hoc counter struct; they now report through one
+/// process-wide MetricRegistry of named atomic metrics, so experiment
+/// reports, the figure harness, and the bench JSON all render the same
+/// table (support/Statistics::formatCounterTable).
+///
+/// Three metric kinds, all with lock-free hot paths:
+///  * TelemetryCounter — monotonic; add() is one relaxed fetch_add;
+///  * TelemetryGauge   — a settable level (worker counts, queue depth);
+///  * TelemetryHistogram — latency distribution over power-of-two buckets
+///    with atomic count/sum/min/max; record() touches no lock.
+///
+/// Registration (registry.counter("queue.enqueued")) takes a mutex, so
+/// subsystems resolve their metric pointers once at construction and keep
+/// the raw pointer: the registry is append-only and process-lived, so the
+/// pointers stay valid forever.
+///
+/// Tracing: TraceEmitter turns discrete spans (compile requests, queue
+/// waits, bridge round trips, cache installs, training folds) into a JSONL
+/// file, one object per line. Events go into a bounded in-memory ring; a
+/// background thread flushes the ring off the hot path, so record() never
+/// performs I/O and never blocks the interpreter thread. A full ring drops
+/// the event (counted under trace.dropped) rather than stalling. Any write
+/// failure — unwritable path, disk full, short write — prints ONE warning,
+/// disables tracing, and the process degrades to counters-only; it never
+/// crashes and never blocks.
+///
+/// Knobs: JITML_TRACE=<path> enables the emitter at first use;
+/// JITML_METRICS=<stderr|path> dumps the registry table at process exit.
+///
+/// Simulated time vs wall time: histograms and span durations measure real
+/// wall microseconds (telemetryNowUs), which never feed back into any
+/// simulated-cycle statistic — figures stay bit-deterministic with
+/// telemetry on or off. Spans that describe simulated work (compiles)
+/// additionally carry the simulated cycle count in the `cycles` field so a
+/// trace can be reconciled against the VM's cycle accounting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_SUPPORT_TELEMETRY_H
+#define JITML_SUPPORT_TELEMETRY_H
+
+#include "support/Statistics.h"
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace jitml {
+
+/// Monotonic counter; safe to bump from any thread.
+class TelemetryCounter {
+public:
+  void add(uint64_t N = 1) { V.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// A settable level (e.g. current worker count).
+class TelemetryGauge {
+public:
+  void set(int64_t X) { V.store(X, std::memory_order_relaxed); }
+  void add(int64_t N) { V.fetch_add(N, std::memory_order_relaxed); }
+  int64_t value() const { return V.load(std::memory_order_relaxed); }
+  void reset() { V.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<int64_t> V{0};
+};
+
+/// Latency histogram over power-of-two buckets (bucket B holds values in
+/// [2^(B-1), 2^B), bucket 0 holds zero), plus exact count/sum/min/max.
+/// record() is lock-free: one relaxed add per bucket/count/sum and a CAS
+/// loop only when a new min or max is observed.
+class TelemetryHistogram {
+public:
+  static constexpr unsigned NumBuckets = 64;
+
+  void record(uint64_t Value);
+
+  struct Snapshot {
+    uint64_t Count = 0;
+    uint64_t Sum = 0;
+    uint64_t Min = 0; ///< 0 when Count == 0
+    uint64_t Max = 0;
+    uint64_t Buckets[NumBuckets] = {};
+
+    double mean() const { return Count ? (double)Sum / (double)Count : 0.0; }
+    /// Upper bound of the bucket containing the P-quantile (P in [0,1]).
+    uint64_t percentile(double P) const;
+  };
+  Snapshot snapshot() const;
+  void reset();
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Min{UINT64_MAX};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// One row of a registry snapshot (flattened for rendering).
+struct MetricSample {
+  std::string Name;
+  uint64_t Value = 0;
+};
+
+/// Process-wide, append-only table of named metrics. Lookup by name takes
+/// a mutex; do it once and cache the pointer (stable for process life).
+class MetricRegistry {
+public:
+  /// The process-wide registry every subsystem reports into.
+  static MetricRegistry &global();
+
+  MetricRegistry();
+  ~MetricRegistry();
+  MetricRegistry(const MetricRegistry &) = delete;
+  MetricRegistry &operator=(const MetricRegistry &) = delete;
+
+  TelemetryCounter &counter(const std::string &Name);
+  TelemetryGauge &gauge(const std::string &Name);
+  TelemetryHistogram &histogram(const std::string &Name);
+
+  /// Name-sorted snapshot: counters and gauges as-is; each histogram
+  /// flattened to .count/.sum_us/.mean_us/.p95_us/.max_us rows.
+  std::vector<MetricSample> snapshot() const;
+
+  /// snapshot() as CounterRow rows for formatCounterTable.
+  std::vector<CounterRow> counterRows() const;
+
+  /// Aligned two-column table of the whole registry.
+  std::string toText() const;
+
+  /// Zeroes every metric (the names stay registered). Snapshots taken
+  /// concurrently see either the old or the new value per metric.
+  void resetAll();
+
+private:
+  struct Impl;
+  Impl *I;
+};
+
+/// Monotonic wall-clock microseconds (steady_clock based). Used only for
+/// telemetry durations, never for simulated time.
+uint64_t telemetryNowUs();
+
+/// One trace span or instant event. String fields must have static
+/// lifetime (the emitter stores the pointers, not copies).
+struct TraceEvent {
+  const char *Stage = "";       ///< e.g. "compile", "queue_wait"
+  uint64_t StartUs = 0;         ///< wall us at span start (telemetryNowUs)
+  uint64_t DurUs = 0;           ///< wall duration; 0 for instant events
+  int64_t Method = -1;          ///< method index / fold index; -1 = n/a
+  int Level = -1;               ///< OptLevel as int; -1 = n/a
+  int Worker = -1;              ///< worker index; -1 = caller thread
+  int64_t Items = -1;           ///< batch size / element count; -1 = n/a
+  double Cycles = 0.0;          ///< simulated cycles, when meaningful
+  const char *Detail = nullptr; ///< e.g. "installed", "stale", "timeout"
+  bool Ok = true;
+};
+
+/// Ring-buffered JSONL trace writer. See the file comment for the
+/// threading and failure contract.
+class TraceEmitter {
+public:
+  /// Bytes-out function; returns false on any failure (short write, disk
+  /// full). Lets tests inject failing sinks; production wraps fwrite.
+  using SinkFn = std::function<bool(const char *Data, size_t Size)>;
+
+  /// The process-wide emitter; opens $JITML_TRACE on first use.
+  static TraceEmitter &global();
+
+  explicit TraceEmitter(size_t RingCapacity = 8192);
+  ~TraceEmitter(); ///< close()
+
+  TraceEmitter(const TraceEmitter &) = delete;
+  TraceEmitter &operator=(const TraceEmitter &) = delete;
+
+  /// Cheap gate for callers that would otherwise compute span fields.
+  bool enabled() const { return Enabled.load(std::memory_order_relaxed); }
+
+  /// Buffers one event. Never blocks on I/O; a full ring drops the event.
+  /// No-op while disabled.
+  void record(const TraceEvent &E);
+
+  /// Starts tracing to \p Path. False (with one stderr warning) when the
+  /// path cannot be opened; the emitter stays disabled.
+  bool open(const std::string &Path);
+
+  /// Starts tracing into an arbitrary sink (tests).
+  bool openWithSink(SinkFn Sink);
+
+  /// Stops tracing: flushes whatever the ring still holds, joins the
+  /// writer thread, closes the file. Safe to call repeatedly, from any
+  /// state, with events still being recorded concurrently.
+  void close();
+
+  /// Synchronously drains the ring to the sink (still off the record()
+  /// path — callers are tests and benchmarks, not the interpreter).
+  void flushNow();
+
+  uint64_t eventsWritten() const {
+    return Written.load(std::memory_order_relaxed);
+  }
+  uint64_t eventsDropped() const {
+    return Dropped.load(std::memory_order_relaxed);
+  }
+
+private:
+  struct Impl;
+  bool startLocked(SinkFn Sink); ///< common tail of open/openWithSink
+  void writerLoop();
+  bool flushLocked(std::vector<TraceEvent> &Scratch);
+  void failOnce(const char *What);
+
+  std::atomic<bool> Enabled{false};
+  std::atomic<uint64_t> Written{0};
+  std::atomic<uint64_t> Dropped{0};
+  Impl *I;
+};
+
+} // namespace jitml
+
+#endif // JITML_SUPPORT_TELEMETRY_H

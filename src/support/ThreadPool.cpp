@@ -12,6 +12,15 @@ namespace {
 thread_local bool IsPoolWorker = false;
 } // namespace
 
+ThreadPool::ThreadPool() {
+  MetricRegistry &R = MetricRegistry::global();
+  Tel.Tasks = &R.counter("pool.tasks");
+  Tel.BusyUs = &R.counter("pool.busy_us");
+  Tel.WorkerCount = &R.gauge("pool.workers");
+  Tel.WaitUs = &R.histogram("pool.task_wait");
+  Tel.RunUs = &R.histogram("pool.task_run");
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> Lock(Mu);
@@ -25,7 +34,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> Task) {
   {
     std::lock_guard<std::mutex> Lock(Mu);
-    Queue.push_back(std::move(Task));
+    Queue.push_back({std::move(Task), telemetryNowUs()});
   }
   TaskReady.notify_one();
 }
@@ -34,6 +43,7 @@ void ThreadPool::ensureWorkers(unsigned Threads) {
   std::lock_guard<std::mutex> Lock(Mu);
   while (Workers.size() < Threads && !ShuttingDown)
     Workers.emplace_back([this] { workerLoop(); });
+  Tel.WorkerCount->set((int64_t)Workers.size());
 }
 
 unsigned ThreadPool::workerCount() const {
@@ -44,7 +54,7 @@ unsigned ThreadPool::workerCount() const {
 void ThreadPool::workerLoop() {
   IsPoolWorker = true;
   for (;;) {
-    std::function<void()> Task;
+    PoolTask Task;
     {
       std::unique_lock<std::mutex> Lock(Mu);
       TaskReady.wait(Lock, [this] { return ShuttingDown || !Queue.empty(); });
@@ -53,7 +63,14 @@ void ThreadPool::workerLoop() {
       Task = std::move(Queue.back());
       Queue.pop_back();
     }
-    Task();
+    uint64_t StartUs = telemetryNowUs();
+    Tel.WaitUs->record(StartUs > Task.SubmitUs ? StartUs - Task.SubmitUs
+                                               : 0);
+    Task.Fn();
+    uint64_t RunUs = telemetryNowUs() - StartUs;
+    Tel.Tasks->add();
+    Tel.RunUs->record(RunUs);
+    Tel.BusyUs->add(RunUs);
   }
 }
 

@@ -20,6 +20,8 @@
 #ifndef JITML_SUPPORT_THREADPOOL_H
 #define JITML_SUPPORT_THREADPOOL_H
 
+#include "support/Telemetry.h"
+
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -35,7 +37,7 @@ namespace jitml {
 /// process exit.
 class ThreadPool {
 public:
-  ThreadPool() = default;
+  ThreadPool();
   ~ThreadPool();
 
   ThreadPool(const ThreadPool &) = delete;
@@ -59,10 +61,25 @@ public:
 private:
   void workerLoop();
 
+  /// A queued task plus the wall time it entered the queue, so the pool
+  /// reports task wait (submit -> start) and run time distributions.
+  struct PoolTask {
+    std::function<void()> Fn;
+    uint64_t SubmitUs = 0;
+  };
+
+  /// Process-wide metrics shared by every pool (in practice: shared()).
+  struct TelemetryRefs {
+    TelemetryCounter *Tasks, *BusyUs;
+    TelemetryGauge *WorkerCount;
+    TelemetryHistogram *WaitUs, *RunUs;
+  };
+
   mutable std::mutex Mu;
   std::condition_variable TaskReady;
   std::vector<std::thread> Workers;
-  std::vector<std::function<void()>> Queue; ///< LIFO; order is irrelevant
+  std::vector<PoolTask> Queue; ///< LIFO; order is irrelevant
+  TelemetryRefs Tel;
   bool ShuttingDown = false;
 };
 

@@ -26,6 +26,7 @@
 #include "svm/Trainer.h"
 
 #include "support/Rng.h"
+#include "support/Telemetry.h"
 #include "svm/DenseKernels.h"
 
 #include <algorithm>
@@ -35,6 +36,23 @@
 using namespace jitml;
 
 namespace {
+
+/// Mirrors one solver run's effort totals into the process-wide registry
+/// (the per-run TrainReport stays the authoritative per-call API).
+void noteSolverEffort(unsigned Iters, uint64_t Solves, unsigned Restarts) {
+  static TelemetryCounter &SolveRuns =
+      MetricRegistry::global().counter("train.solver_runs");
+  static TelemetryCounter &Iterations =
+      MetricRegistry::global().counter("train.iterations");
+  static TelemetryCounter &Subproblems =
+      MetricRegistry::global().counter("train.subproblem_solves");
+  static TelemetryCounter &ShrinkRestarts =
+      MetricRegistry::global().counter("train.shrink_restarts");
+  SolveRuns.add();
+  Iterations.add(Iters);
+  Subproblems.add(Solves);
+  ShrinkRestarts.add(Restarts);
+}
 
 unsigned maxLabel(const std::vector<NormalizedInstance> &Data) {
   int32_t Max = 0;
@@ -234,6 +252,7 @@ jitml::trainCrammerSinger(const std::vector<NormalizedInstance> &Data,
     Report->SubproblemSolves = Solves;
     Report->ShrinkRestarts = Restarts;
   }
+  noteSolverEffort(Iter, Solves, Restarts);
   return Model;
 }
 
@@ -290,6 +309,7 @@ LinearModel jitml::trainOneVsRest(const std::vector<NormalizedInstance> &Data,
     Report->TrainAccuracy = modelAccuracy(Model, Data);
     Report->SubproblemSolves = Solves;
   }
+  noteSolverEffort(WorstIters, Solves, 0);
   return Model;
 }
 

@@ -262,3 +262,41 @@ TEST(LibLinear, RejectsMalformedInput) {
   EXPECT_FALSE(readLibLinear("1 99:0.5\n", 71, Out)); // index too large
   EXPECT_FALSE(readLibLinear("1 nonsense\n", 71, Out)); // no colon
 }
+
+TEST(LibLinear, RejectsTruncatedAndGarbagePairs) {
+  // strtod/strtoul with a null end pointer used to read all of these as
+  // value 0.0 (or index 0/3), silently training on corrupt data.
+  std::vector<NormalizedInstance> Out;
+  EXPECT_FALSE(readLibLinear("1 3:\n", 71, Out));      // truncated value
+  EXPECT_FALSE(readLibLinear("1 3:abc\n", 71, Out));   // garbage value
+  EXPECT_FALSE(readLibLinear("1 3:1.5x\n", 71, Out));  // trailing junk
+  EXPECT_FALSE(readLibLinear("1 :0.5\n", 71, Out));    // missing index
+  EXPECT_FALSE(readLibLinear("1 3x:0.5\n", 71, Out));  // junk in index
+  EXPECT_FALSE(readLibLinear("1 x3:0.5\n", 71, Out));  // non-digit index
+  EXPECT_FALSE(readLibLinear("1 1e400:0.5\n", 71, Out)); // index overflow
+  EXPECT_FALSE(readLibLinear("1 3:1e999\n", 71, Out)); // value overflow
+
+  // The diagnostic names the offending line and token.
+  std::string Error;
+  EXPECT_FALSE(readLibLinear("1 1:0.5\n2 3:abc\n", 71, Out, &Error));
+  EXPECT_NE(Error.find("line 2"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("3:abc"), std::string::npos) << Error;
+
+  // A good parse clears any stale diagnostic.
+  EXPECT_TRUE(readLibLinear("1 3:0.5\n", 71, Out, &Error));
+  EXPECT_TRUE(Error.empty());
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_DOUBLE_EQ(Out[0].Components[2], 0.5);
+}
+
+TEST(LibLinear, AcceptsValidEdgeForms) {
+  std::vector<NormalizedInstance> Out;
+  // Negative values, exponents, and the full index range must still parse.
+  ASSERT_TRUE(readLibLinear("2 1:-0.25 71:1e-3\n", 71, Out));
+  ASSERT_EQ(Out.size(), 1u);
+  EXPECT_DOUBLE_EQ(Out[0].Components[0], -0.25);
+  EXPECT_DOUBLE_EQ(Out[0].Components[70], 1e-3);
+  // An explicit zero value is legal (writers omit zeros, readers accept).
+  ASSERT_TRUE(readLibLinear("1 5:0\n", 71, Out));
+  EXPECT_DOUBLE_EQ(Out[0].Components[4], 0.0);
+}

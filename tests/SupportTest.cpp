@@ -97,6 +97,47 @@ TEST(Statistics, CiZeroForConstantData) {
   EXPECT_DOUBLE_EQ(S.ci95HalfWidth(), 0.0);
 }
 
+TEST(Statistics, EmptyStatHasNoExtremesOrCi) {
+  // n=0: min/max/CI are undefined — NaN, not a 0.0 that could be mistaken
+  // for a real sample.
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(S.min()));
+  EXPECT_TRUE(std::isnan(S.max()));
+  EXPECT_TRUE(std::isnan(S.ci95HalfWidth()));
+
+  RunningStat FromEmpty = summarize({});
+  EXPECT_TRUE(std::isnan(FromEmpty.min()));
+  EXPECT_TRUE(std::isnan(FromEmpty.ci95HalfWidth()));
+}
+
+TEST(Statistics, SingleSampleHasExtremesButNoCi) {
+  // n=1: the sample is its own min/max/mean, but there is no dispersion
+  // estimate, so the CI half-width is NaN rather than a false 0.
+  RunningStat S = summarize({-4.5});
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_DOUBLE_EQ(S.mean(), -4.5);
+  EXPECT_DOUBLE_EQ(S.min(), -4.5);
+  EXPECT_DOUBLE_EQ(S.max(), -4.5);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_TRUE(std::isnan(S.ci95HalfWidth()));
+}
+
+TEST(Statistics, TwoSamplesProduceFiniteCi) {
+  // n=2: the first df=1 row of the t-table kicks in.
+  RunningStat S = summarize({1.0, 3.0});
+  EXPECT_EQ(S.count(), 2u);
+  EXPECT_DOUBLE_EQ(S.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 2.0);
+  EXPECT_DOUBLE_EQ(S.min(), 1.0);
+  EXPECT_DOUBLE_EQ(S.max(), 3.0);
+  // t(df=1, 97.5%) * s / sqrt(2) = 12.706 * sqrt(2) / sqrt(2).
+  EXPECT_NEAR(S.ci95HalfWidth(), 12.706, 1e-9);
+  EXPECT_TRUE(std::isfinite(S.ci95HalfWidth()));
+}
+
 TEST(Statistics, GeometricMean) {
   EXPECT_DOUBLE_EQ(geometricMean({4.0, 1.0}), 2.0);
   EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);

@@ -1,0 +1,492 @@
+//===- tests/TelemetryTest.cpp --------------------------------------------===//
+//
+// The unified observability layer: registry semantics, lock-free hot-path
+// behavior under contention (the ConcurrentTelemetry suite runs under TSan
+// in tier-1), and the trace emitter's failure contract — unwritable path,
+// short writes, shutdown with a non-empty ring — which must always degrade
+// to counters-only, never crash or block.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Telemetry.h"
+#include "support/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace jitml;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Registry basics
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, CounterAddValueReset) {
+  TelemetryCounter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(Telemetry, GaugeSetAndAdd) {
+  TelemetryGauge G;
+  G.set(7);
+  EXPECT_EQ(G.value(), 7);
+  G.add(-10);
+  EXPECT_EQ(G.value(), -3);
+}
+
+TEST(Telemetry, HistogramStatsAndPercentile) {
+  TelemetryHistogram H;
+  for (uint64_t V : {1u, 2u, 4u, 100u, 1000u})
+    H.record(V);
+  TelemetryHistogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 5u);
+  EXPECT_EQ(S.Sum, 1107u);
+  EXPECT_EQ(S.Min, 1u);
+  EXPECT_EQ(S.Max, 1000u);
+  EXPECT_DOUBLE_EQ(S.mean(), 1107.0 / 5.0);
+  // Power-of-two bucket upper bounds: the median of {1,2,4,100,1000}
+  // lands in [4,8), the p100 in [512,1024).
+  EXPECT_EQ(S.percentile(0.5), 4u);
+  EXPECT_EQ(S.percentile(1.0), 1024u);
+  H.reset();
+  EXPECT_EQ(H.snapshot().Count, 0u);
+  EXPECT_EQ(H.snapshot().percentile(0.5), 0u);
+}
+
+TEST(Telemetry, HistogramZeroAndHugeValues) {
+  TelemetryHistogram H;
+  H.record(0);
+  H.record(UINT64_MAX);
+  TelemetryHistogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, 2u);
+  EXPECT_EQ(S.Min, 0u);
+  EXPECT_EQ(S.Max, UINT64_MAX);
+  EXPECT_EQ(S.Buckets[0], 1u);
+  EXPECT_EQ(S.Buckets[TelemetryHistogram::NumBuckets - 1], 1u);
+}
+
+TEST(Telemetry, RegistryReturnsStableReferences) {
+  MetricRegistry R;
+  TelemetryCounter &A = R.counter("x.a");
+  A.add(3);
+  // Same name -> same metric, even after later registrations.
+  for (int I = 0; I < 100; ++I)
+    R.counter("x.fill" + std::to_string(I));
+  EXPECT_EQ(&R.counter("x.a"), &A);
+  EXPECT_EQ(R.counter("x.a").value(), 3u);
+  // Counters, gauges, and histograms are separate namespaces.
+  R.gauge("x.a").set(9);
+  EXPECT_EQ(R.counter("x.a").value(), 3u);
+}
+
+TEST(Telemetry, SnapshotIsSortedAndFlattensHistograms) {
+  MetricRegistry R;
+  R.counter("b.count").add(2);
+  R.counter("a.count").add(1);
+  R.gauge("c.level").set(5);
+  R.histogram("d.lat").record(7);
+  std::vector<MetricSample> S = R.snapshot();
+  ASSERT_GE(S.size(), 7u);
+  for (size_t I = 1; I < S.size(); ++I)
+    EXPECT_LT(S[I - 1].Name, S[I].Name);
+  bool SawHistCount = false;
+  for (const MetricSample &M : S)
+    if (M.Name == "d.lat.count") {
+      SawHistCount = true;
+      EXPECT_EQ(M.Value, 1u);
+    }
+  EXPECT_TRUE(SawHistCount);
+  // toText renders every row.
+  std::string Text = R.toText();
+  EXPECT_NE(Text.find("a.count"), std::string::npos);
+  EXPECT_NE(Text.find("d.lat.p95_us"), std::string::npos);
+}
+
+TEST(Telemetry, ResetAllZeroesButKeepsNames) {
+  MetricRegistry R;
+  R.counter("r.c").add(10);
+  R.histogram("r.h").record(10);
+  R.resetAll();
+  EXPECT_EQ(R.counter("r.c").value(), 0u);
+  EXPECT_EQ(R.histogram("r.h").snapshot().Count, 0u);
+  // The names survive a reset (still present in the snapshot).
+  bool Saw = false;
+  for (const MetricSample &M : R.snapshot())
+    if (M.Name == "r.c")
+      Saw = true;
+  EXPECT_TRUE(Saw);
+}
+
+TEST(Telemetry, GlobalRegistryHasSubsystemMetrics) {
+  // Constructing the instrumented subsystems registers their names; at
+  // minimum the pool (exercised by every parallelFor) must be present in
+  // the process-wide table.
+  MetricRegistry::global().counter("pool.tasks");
+  parallelFor(4, [](size_t) {}, 2);
+  bool SawPool = false;
+  for (const MetricSample &M : MetricRegistry::global().snapshot())
+    if (M.Name == "pool.tasks")
+      SawPool = true;
+  EXPECT_TRUE(SawPool);
+}
+
+//===----------------------------------------------------------------------===//
+// ConcurrentTelemetry — run under TSan in tier-1
+//===----------------------------------------------------------------------===//
+
+TEST(ConcurrentTelemetry, CountersSumExactlyAcrossThreads) {
+  MetricRegistry R;
+  TelemetryCounter &C = R.counter("cc.hits");
+  TelemetryHistogram &H = R.histogram("cc.lat");
+  constexpr int Threads = 8, PerThread = 20000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      for (int I = 0; I < PerThread; ++I) {
+        C.add();
+        H.record((uint64_t)(T + 1));
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(C.value(), (uint64_t)Threads * PerThread);
+  TelemetryHistogram::Snapshot S = H.snapshot();
+  EXPECT_EQ(S.Count, (uint64_t)Threads * PerThread);
+  EXPECT_EQ(S.Min, 1u);
+  EXPECT_EQ(S.Max, (uint64_t)Threads);
+}
+
+TEST(ConcurrentTelemetry, RegistrationRacesAreSafe) {
+  // Many threads resolving the same and different names concurrently must
+  // agree on the same metric object per name.
+  MetricRegistry R;
+  constexpr int Threads = 8;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      for (int I = 0; I < 500; ++I) {
+        R.counter("race.shared").add();
+        R.counter("race.t" + std::to_string(T)).add();
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  EXPECT_EQ(R.counter("race.shared").value(), (uint64_t)Threads * 500);
+  for (int T = 0; T < Threads; ++T)
+    EXPECT_EQ(R.counter("race.t" + std::to_string(T)).value(), 500u);
+}
+
+TEST(ConcurrentTelemetry, SnapshotDuringIncrementsIsConsistent) {
+  MetricRegistry R;
+  TelemetryCounter &C = R.counter("snap.c");
+  std::atomic<bool> Stop{false};
+  std::thread Bumper([&] {
+    while (!Stop.load(std::memory_order_relaxed))
+      C.add();
+  });
+  uint64_t Last = 0;
+  for (int I = 0; I < 200; ++I) {
+    for (const MetricSample &M : R.snapshot())
+      if (M.Name == "snap.c") {
+        EXPECT_GE(M.Value, Last); // monotonic across snapshots
+        Last = M.Value;
+      }
+  }
+  Stop.store(true, std::memory_order_relaxed);
+  Bumper.join();
+}
+
+TEST(ConcurrentTelemetry, PoolWorkersBumpSharedCountersExactly) {
+  // Regression for the counter race this PR fixes: subsystem counters
+  // surfaced as CounterRow used to be plain uint64_t ("Counters.X++")
+  // while async-compile and pool workers bumped them concurrently. On the
+  // atomic registry the total must be exact — and TSan-clean.
+  MetricRegistry &R = MetricRegistry::global();
+  TelemetryCounter &C = R.counter("test.pool_race");
+  C.reset();
+  TelemetryHistogram &H = R.histogram("test.pool_race_lat");
+  H.reset();
+  constexpr size_t N = 64, PerIndex = 5000;
+  parallelFor(
+      N,
+      [&](size_t I) {
+        for (size_t K = 0; K < PerIndex; ++K)
+          C.add();
+        H.record((uint64_t)I);
+      },
+      8);
+  EXPECT_EQ(C.value(), (uint64_t)N * PerIndex);
+  EXPECT_EQ(H.snapshot().Count, (uint64_t)N);
+}
+
+TEST(ConcurrentTelemetry, TraceRecordFromManyThreads) {
+  // record() must stay wait-free w.r.t. the sink: threads hammer the ring
+  // while the writer drains it; written + dropped accounts for every
+  // recorded event after close().
+  std::mutex Mu;
+  std::string Out;
+  TraceEmitter E(64);
+  ASSERT_TRUE(E.openWithSink([&](const char *D, size_t S) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Out.append(D, S);
+    return true;
+  }));
+  constexpr int Threads = 4, PerThread = 3000;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < Threads; ++T)
+    Ts.emplace_back([&, T] {
+      TraceEvent Ev;
+      Ev.Stage = "span";
+      Ev.Worker = T;
+      for (int I = 0; I < PerThread; ++I) {
+        Ev.StartUs = telemetryNowUs();
+        E.record(Ev);
+      }
+    });
+  for (std::thread &T : Ts)
+    T.join();
+  E.close();
+  EXPECT_EQ(E.eventsWritten() + E.eventsDropped(),
+            (uint64_t)Threads * PerThread);
+  EXPECT_GT(E.eventsWritten(), 0u);
+  // Every written line is a complete JSON object.
+  size_t Lines = 0;
+  for (char Ch : Out)
+    if (Ch == '\n')
+      ++Lines;
+  EXPECT_EQ(Lines, E.eventsWritten());
+}
+
+//===----------------------------------------------------------------------===//
+// TelemetryTrace — failure paths
+//===----------------------------------------------------------------------===//
+
+TEST(TelemetryTrace, SerializesAllFields) {
+  std::string Out;
+  TraceEmitter E;
+  ASSERT_TRUE(E.openWithSink([&](const char *D, size_t S) {
+    Out.append(D, S);
+    return true;
+  }));
+  TraceEvent Ev;
+  Ev.Stage = "compile";
+  Ev.StartUs = 10;
+  Ev.DurUs = 5;
+  Ev.Method = 42;
+  Ev.Level = 2;
+  Ev.Worker = 1;
+  Ev.Items = 3;
+  Ev.Cycles = 1234.5;
+  Ev.Detail = "installed";
+  Ev.Ok = false;
+  E.record(Ev);
+  E.flushNow();
+  EXPECT_NE(Out.find("\"stage\":\"compile\""), std::string::npos) << Out;
+  EXPECT_NE(Out.find("\"start_us\":10"), std::string::npos);
+  EXPECT_NE(Out.find("\"dur_us\":5"), std::string::npos);
+  EXPECT_NE(Out.find("\"method\":42"), std::string::npos);
+  EXPECT_NE(Out.find("\"level\":2"), std::string::npos);
+  EXPECT_NE(Out.find("\"worker\":1"), std::string::npos);
+  EXPECT_NE(Out.find("\"items\":3"), std::string::npos);
+  EXPECT_NE(Out.find("\"cycles\":1234.5"), std::string::npos);
+  EXPECT_NE(Out.find("\"detail\":\"installed\""), std::string::npos);
+  EXPECT_NE(Out.find("\"ok\":false"), std::string::npos);
+  E.close();
+
+  // Unset optional fields are omitted entirely.
+  Out.clear();
+  ASSERT_TRUE(E.openWithSink([&](const char *D, size_t S) {
+    Out.append(D, S);
+    return true;
+  }));
+  TraceEvent Bare;
+  Bare.Stage = "tick";
+  E.record(Bare);
+  E.flushNow();
+  EXPECT_NE(Out.find("\"stage\":\"tick\""), std::string::npos);
+  EXPECT_EQ(Out.find("\"method\""), std::string::npos);
+  EXPECT_EQ(Out.find("\"items\""), std::string::npos);
+  EXPECT_EQ(Out.find("\"cycles\""), std::string::npos);
+  EXPECT_EQ(Out.find("\"detail\""), std::string::npos);
+  E.close();
+}
+
+TEST(TelemetryTrace, UnwritablePathDegradesWithOneWarning) {
+  TraceEmitter E;
+  testing::internal::CaptureStderr();
+  EXPECT_FALSE(E.open("/nonexistent-dir-jitml/trace.jsonl"));
+  // A second failure must not warn again (one warning per emitter).
+  EXPECT_FALSE(E.open("/nonexistent-dir-jitml/trace2.jsonl"));
+  std::string Err = testing::internal::GetCapturedStderr();
+  size_t First = Err.find("telemetry trace disabled");
+  ASSERT_NE(First, std::string::npos) << Err;
+  EXPECT_EQ(Err.find("telemetry trace disabled", First + 1),
+            std::string::npos)
+      << "warned more than once: " << Err;
+  // The emitter stays disabled; record() is a harmless no-op.
+  EXPECT_FALSE(E.enabled());
+  TraceEvent Ev;
+  Ev.Stage = "ignored";
+  E.record(Ev);
+  E.close(); // never crashes on a never-opened emitter
+  EXPECT_EQ(E.eventsWritten(), 0u);
+}
+
+TEST(TelemetryTrace, ShortWriteDisablesOnceAndKeepsCounters) {
+  // A sink that fails (disk full / short write) must disable tracing with
+  // one warning; the metric registry keeps working untouched.
+  TraceEmitter E;
+  std::atomic<int> SinkCalls{0};
+  testing::internal::CaptureStderr();
+  ASSERT_TRUE(E.openWithSink([&](const char *, size_t) {
+    SinkCalls.fetch_add(1);
+    return false; // every write fails
+  }));
+  TraceEvent Ev;
+  Ev.Stage = "doomed";
+  E.record(Ev);
+  E.flushNow(); // the event fails here or on the writer thread
+  // close() joins the writer, so by now the (single) warning is printed
+  // and no further sink activity is possible.
+  E.close();
+  std::string Err = testing::internal::GetCapturedStderr();
+  size_t First = Err.find("telemetry trace disabled");
+  ASSERT_NE(First, std::string::npos) << Err;
+  EXPECT_EQ(Err.find("telemetry trace disabled", First + 1),
+            std::string::npos)
+      << "warned more than once: " << Err;
+  EXPECT_FALSE(E.enabled());
+  EXPECT_EQ(E.eventsWritten(), 0u);
+  // Tracing is dead but counters still work.
+  MetricRegistry::global().counter("test.after_trace_failure").add();
+  EXPECT_EQ(
+      MetricRegistry::global().counter("test.after_trace_failure").value(),
+      1u);
+  // Later records are no-ops that never touch the failed sink again.
+  int CallsAfterFailure = SinkCalls.load();
+  E.record(Ev);
+  E.flushNow();
+  EXPECT_EQ(SinkCalls.load(), CallsAfterFailure);
+}
+
+TEST(TelemetryTrace, CloseFlushesNonEmptyRing) {
+  // Shutdown with buffered events must write them all, then close cleanly.
+  std::string Out;
+  TraceEmitter E(1024);
+  ASSERT_TRUE(E.openWithSink([&](const char *D, size_t S) {
+    Out.append(D, S);
+    return true;
+  }));
+  TraceEvent Ev;
+  Ev.Stage = "pending";
+  for (int I = 0; I < 100; ++I) {
+    Ev.StartUs = (uint64_t)I;
+    E.record(Ev);
+  }
+  E.close();
+  EXPECT_EQ(E.eventsWritten(), 100u);
+  EXPECT_EQ(E.eventsDropped(), 0u);
+  size_t Lines = 0;
+  for (char Ch : Out)
+    if (Ch == '\n')
+      ++Lines;
+  EXPECT_EQ(Lines, 100u);
+  // close() is idempotent and record() after close is a no-op.
+  E.close();
+  E.record(Ev);
+  EXPECT_EQ(E.eventsWritten(), 100u);
+}
+
+TEST(TelemetryTrace, FullRingDropsInsteadOfBlocking) {
+  // Block the sink so the writer cannot drain, then overfill the ring:
+  // record() must return immediately and count drops, never wait.
+  std::mutex Gate;
+  std::condition_variable Cv;
+  bool Release = false;
+  constexpr size_t Cap = 16;
+  TraceEmitter E(Cap);
+  ASSERT_TRUE(E.openWithSink([&](const char *, size_t) {
+    std::unique_lock<std::mutex> Lock(Gate);
+    Cv.wait(Lock, [&] { return Release; });
+    return true;
+  }));
+  TraceEvent Ev;
+  Ev.Stage = "flood";
+  // 4x capacity: at most one ringful is in flight inside the blocked
+  // writer, at most one fits in the ring, the rest must drop.
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (size_t I = 0; I < Cap * 4; ++I) {
+    E.record(Ev);
+    ASSERT_LT(std::chrono::steady_clock::now(), Deadline)
+        << "record() appears to block";
+  }
+  EXPECT_GT(E.eventsDropped(), 0u);
+  {
+    std::lock_guard<std::mutex> Lock(Gate);
+    Release = true;
+  }
+  Cv.notify_all();
+  E.close();
+  EXPECT_EQ(E.eventsWritten() + E.eventsDropped(), Cap * 4);
+}
+
+TEST(TelemetryTrace, ReopenAfterCloseWorks) {
+  std::string A, B;
+  TraceEmitter E;
+  ASSERT_TRUE(E.openWithSink([&](const char *D, size_t S) {
+    A.append(D, S);
+    return true;
+  }));
+  // A second open while running is rejected; close first.
+  EXPECT_FALSE(E.openWithSink([](const char *, size_t) { return true; }));
+  TraceEvent Ev;
+  Ev.Stage = "first";
+  E.record(Ev);
+  E.close();
+  ASSERT_TRUE(E.openWithSink([&](const char *D, size_t S) {
+    B.append(D, S);
+    return true;
+  }));
+  Ev.Stage = "second";
+  E.record(Ev);
+  E.close();
+  EXPECT_NE(A.find("first"), std::string::npos);
+  EXPECT_EQ(A.find("second"), std::string::npos);
+  EXPECT_NE(B.find("second"), std::string::npos);
+}
+
+TEST(TelemetryTrace, FileSinkWritesJsonl) {
+  std::string Path = testing::TempDir() + "/jitml_trace_test.jsonl";
+  TraceEmitter E;
+  ASSERT_TRUE(E.open(Path));
+  EXPECT_TRUE(E.enabled());
+  TraceEvent Ev;
+  Ev.Stage = "file";
+  Ev.Method = 7;
+  E.record(Ev);
+  E.close();
+  std::FILE *F = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  char Buf[512] = {};
+  size_t N = std::fread(Buf, 1, sizeof(Buf) - 1, F);
+  std::fclose(F);
+  std::remove(Path.c_str());
+  std::string Content(Buf, N);
+  EXPECT_NE(Content.find("\"stage\":\"file\""), std::string::npos);
+  EXPECT_NE(Content.find("\"method\":7"), std::string::npos);
+}
+
+} // namespace
