@@ -4,10 +4,11 @@
 #   build        regular configure + build
 #   tests        full ctest suite (the ROADMAP command)
 #   asan         ASan+UBSan build re-running the byte-parsing subsystems
-#                (bridge wire frames, model-file loaders)
+#                (bridge wire frames, fuzzed framing, model-file loaders)
 #   tsan         ThreadSanitizer build re-running the concurrent subsystems
 #                (compilation queue, code cache, async pipeline, shared
-#                bridge client, differential interpreter-vs-JIT checks)
+#                bridge client, differential interpreter-vs-JIT checks,
+#                chaos scenarios with injected stalls)
 #   pipeline     learning-pipeline parallelism: micro_pipeline emits
 #                BENCH_pipeline.json (bit-identity enforced by the binary)
 #                and the Pipeline/TrainerEquivalence tests re-run under
@@ -16,23 +17,27 @@
 #                disabled-overhead gate (BENCH_telemetry.json) and the
 #                ConcurrentTelemetry/TelemetryTrace tests re-run under
 #                the ThreadSanitizer build
+#   chaos        fault-injection layer: micro_faults enforces the <1%
+#                disabled-overhead gate and bit-identical figures under
+#                the never-firing `*=p0` schedule (BENCH_faults.json)
 #
 # The script stops at the first failing suite with a non-zero exit, and
-# always ends with a summary table of every suite it reached.
+# always ends with a summary table (result + wall time per suite).
 set -u
 cd "$(dirname "$0")/.."
 
 SUITES=()
 RESULTS=()
+TIMES=()
 
 finish() {
   local code=$1
   echo
   echo "== tier1 summary =="
-  printf '%-10s %s\n' "suite" "result"
-  printf '%-10s %s\n' "-----" "------"
+  printf '%-10s %-7s %s\n' "suite" "result" "wall"
+  printf '%-10s %-7s %s\n' "-----" "------" "----"
   for i in "${!SUITES[@]}"; do
-    printf '%-10s %s\n' "${SUITES[$i]}" "${RESULTS[$i]}"
+    printf '%-10s %-7s %ss\n' "${SUITES[$i]}" "${RESULTS[$i]}" "${TIMES[$i]}"
   done
   exit "$code"
 }
@@ -43,11 +48,27 @@ run_suite() {
   echo
   echo "== tier1: $name =="
   SUITES+=("$name")
+  local start
+  start=$(date +%s)
   if "$@"; then
+    TIMES+=("$(( $(date +%s) - start ))")
     RESULTS+=("PASS")
   else
+    TIMES+=("$(( $(date +%s) - start ))")
     RESULTS+=("FAIL")
     finish 1
+  fi
+}
+
+# The sanitizer suites reuse persistent build dirs. A stale dir configured
+# WITHOUT the sanitizer flag would silently run plain builds and pass
+# vacuously, so verify the cached flag before trusting the directory.
+require_flag() {
+  local dir=$1 flag=$2
+  if [ -d "$dir" ] && ! grep -q "^${flag}:BOOL=ON$" "$dir/CMakeCache.txt" 2>/dev/null; then
+    echo "error: $dir exists but was not configured with -D${flag}=ON." >&2
+    echo "       Delete $dir and re-run (a stale cache would skip the sanitizer)." >&2
+    return 1
   fi
 }
 
@@ -60,17 +81,19 @@ tests_step() {
 }
 
 asan_step() {
-  cmake -B build-asan -S . -DJITML_SANITIZE=ON &&
+  require_flag build-asan JITML_SANITIZE &&
+    cmake -B build-asan -S . -DJITML_SANITIZE=ON &&
     cmake --build build-asan -j"$(nproc)" --target jitml_tests &&
     (cd build-asan && ctest --output-on-failure -j"$(nproc)" -R \
-      'Message\.|Service\.|Transport\.|Resilient\.|BridgeFuzz\.|Normalizer\.|LabelMap\.|LibLinear\.|Ranker\.|Merger\.|Summaries\.')
+      'Message\.|Service\.|Transport\.|Resilient\.|BridgeFuzz\.|FaultInjection\.|Chaos\.|Normalizer\.|LabelMap\.|LibLinear\.|Ranker\.|Merger\.|Summaries\.')
 }
 
 tsan_step() {
-  cmake -B build-tsan -S . -DJITML_TSAN=ON &&
+  require_flag build-tsan JITML_TSAN &&
+    cmake -B build-tsan -S . -DJITML_TSAN=ON &&
     cmake --build build-tsan -j"$(nproc)" --target jitml_tests &&
     (cd build-tsan && ctest --output-on-failure -j"$(nproc)" -R \
-      'CompilationQueue\.|CodeCache\.|AsyncPipeline\.|AsyncVM\.|Differential\.|DifferentialModifier\.|ConcurrentBridge\.')
+      'CompilationQueue\.|CodeCache\.|AsyncPipeline\.|AsyncVM\.|Differential\.|DifferentialModifier\.|ConcurrentBridge\.|Chaos\.')
 }
 
 pipeline_step() {
@@ -89,10 +112,16 @@ telemetry_step() {
       'ConcurrentTelemetry\.|TelemetryTrace\.')
 }
 
+chaos_step() {
+  cmake --build build -j"$(nproc)" --target micro_faults &&
+    ./build/bench/micro_faults BENCH_faults.json
+}
+
 run_suite build build_step
 run_suite tests tests_step
 run_suite asan asan_step
 run_suite tsan tsan_step
 run_suite pipeline pipeline_step
 run_suite telemetry telemetry_step
+run_suite chaos chaos_step
 finish 0

@@ -2,6 +2,8 @@
 
 #include "bridge/Message.h"
 
+#include "support/FaultInjection.h"
+
 #include <chrono>
 #include <cstring>
 
@@ -80,6 +82,8 @@ double getF64(const uint8_t *P) {
 } // namespace
 
 bool jitml::sendMessage(Transport &T, const Message &M) {
+  if (JITML_FAULT_POINT("bridge.send.fail"))
+    return false; // simulated send failure before any bytes hit the wire
   std::vector<uint8_t> Payload;
   Payload.push_back((uint8_t)M.Type);
   switch (M.Type) {
@@ -241,5 +245,8 @@ RecvStatus jitml::recvMessageFor(Transport &T, Message &Out, int TimeoutMs) {
   S = T.readBytesFor(Payload.data(), Size, Remaining());
   if (S != IoStatus::Ok)
     return S == IoStatus::Timeout ? RecvStatus::Timeout : RecvStatus::Closed;
+  uint64_t CorruptAt = 0; // arg picks the flipped byte; defaults to byte 0
+  if (JITML_FAULT_POINT_ARG("bridge.frame.corrupt", CorruptAt))
+    Payload[CorruptAt % Payload.size()] ^= 0x01; // Size >= 1 checked above
   return decodePayload(Payload, Out);
 }

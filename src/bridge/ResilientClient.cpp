@@ -2,6 +2,7 @@
 
 #include "bridge/ResilientClient.h"
 
+#include "support/FaultInjection.h"
 #include "support/Statistics.h"
 
 #include <algorithm>
@@ -106,6 +107,8 @@ bool ResilientModelClient::ensureConnected() {
   if (!Wire) {
     if (!Factory)
       return false;
+    if (JITML_FAULT_POINT("client.connect.fail"))
+      return false; // simulated reconnect failure; retry loop handles it
     Owned = Factory();
     if (!Owned)
       return false;
@@ -153,7 +156,9 @@ bool ResilientModelClient::tryOnce(OptLevel Level,
     return false;
   }
   Message Reply;
-  RecvStatus S = recvMessageFor(*Wire, Reply, Cfg.RequestTimeoutMs);
+  RecvStatus S = JITML_FAULT_POINT("client.request.timeout")
+                     ? RecvStatus::Timeout
+                     : recvMessageFor(*Wire, Reply, Cfg.RequestTimeoutMs);
   if (S == RecvStatus::Timeout) {
     ++Count.Timeouts;
     Tel.Timeouts->add();
@@ -231,6 +236,13 @@ ResilientModelClient::requestModifierLocked(OptLevel Level,
     }
   }
 
+  // Forced fallback: behave exactly as if every attempt failed, without
+  // touching the wire — the caller must degrade to the default plan.
+  if (JITML_FAULT_POINT("client.request.fallback")) {
+    ++Count.Fallbacks, Tel.Fallbacks->add();
+    return std::nullopt;
+  }
+
   double Backoff = (double)Cfg.InitialBackoffMs;
   for (unsigned Attempt = 0; Attempt < Cfg.MaxAttempts; ++Attempt) {
     if (Attempt > 0) {
@@ -276,7 +288,9 @@ bool ResilientModelClient::tryBatchOnce(
     return false;
   }
   Message Reply;
-  RecvStatus S = recvMessageFor(*Wire, Reply, Cfg.RequestTimeoutMs);
+  RecvStatus S = JITML_FAULT_POINT("client.request.timeout")
+                     ? RecvStatus::Timeout
+                     : recvMessageFor(*Wire, Reply, Cfg.RequestTimeoutMs);
   if (S == RecvStatus::Timeout) {
     ++Count.Timeouts;
     Tel.Timeouts->add();
@@ -335,6 +349,14 @@ std::vector<std::optional<uint64_t>> ResilientModelClient::requestModifierBatch(
       }
     }
     Misses.push_back(I);
+  }
+
+  // Forced fallback: skip the wire entirely so every miss degrades to the
+  // default plan, as if the model service were unreachable.
+  if (!Misses.empty() && JITML_FAULT_POINT("client.request.fallback")) {
+    for (size_t I : Misses)
+      ++Count.Fallbacks, Tel.Fallbacks->add();
+    Misses.clear();
   }
 
   // Ship the misses in protocol-sized chunks, each with the single-request

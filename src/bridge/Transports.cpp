@@ -2,6 +2,8 @@
 
 #include "bridge/Transports.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -52,16 +54,27 @@ void ByteQueue::close() {
 InProcessPipe::~InProcessPipe() { close(); }
 
 bool InProcessPipe::writeBytes(const uint8_t *Data, size_t Size) {
+  if (JITML_FAULT_POINT("transport.write.fail"))
+    return false; // simulated dead pipe: nothing reaches the peer
   Out->push(Data, Size);
   return true;
 }
 
 bool InProcessPipe::readBytes(uint8_t *Data, size_t Size) {
+  if (JITML_FAULT_POINT("transport.read.short"))
+    return false; // simulated short read / peer hangup
   return In->pop(Data, Size);
 }
 
 IoStatus InProcessPipe::readBytesFor(uint8_t *Data, size_t Size,
                                      int TimeoutMs) {
+  if (JITML_FAULT_POINT("transport.read.short"))
+    return IoStatus::Closed;
+  if (JITML_FAULT_POINT("transport.read.timeout"))
+    return IoStatus::Timeout; // reply never arrives within the deadline
+  uint64_t DelayMs = 10;
+  if (JITML_FAULT_POINT_ARG("transport.read.delay", DelayMs))
+    faultDelayMs(DelayMs); // slow peer: data arrives, but late
   return In->popFor(Data, Size, TimeoutMs);
 }
 
@@ -132,6 +145,10 @@ FifoTransport::open(const std::string &ToServerPath,
 bool FifoTransport::writeBytes(const uint8_t *Data, size_t Size) {
   size_t Done = 0;
   while (Done < Size) {
+    // Simulated EINTR storm: retry the iteration without progress. Use a
+    // p/n schedule — an 'always' rule would spin this loop forever.
+    if (JITML_FAULT_POINT("transport.fifo.eintr"))
+      continue;
     ssize_t N = ::write(WriteFd, Data + Done, Size - Done);
     if (N < 0) {
       if (errno == EINTR)
@@ -148,6 +165,8 @@ bool FifoTransport::writeBytes(const uint8_t *Data, size_t Size) {
 bool FifoTransport::readBytes(uint8_t *Data, size_t Size) {
   size_t Done = 0;
   while (Done < Size) {
+    if (JITML_FAULT_POINT("transport.fifo.eintr"))
+      continue; // see writeBytes: simulated EINTR retry
     ssize_t N = ::read(ReadFd, Data + Done, Size - Done);
     if (N < 0) {
       if (errno == EINTR)
@@ -173,6 +192,8 @@ IoStatus FifoTransport::readBytesFor(uint8_t *Data, size_t Size,
     auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
         Deadline - Clock::now());
     int Wait = Left.count() > 0 ? (int)Left.count() : 0;
+    if (JITML_FAULT_POINT("transport.fifo.eintr"))
+      continue; // see writeBytes: simulated EINTR retry
     struct pollfd Pfd = {ReadFd, POLLIN, 0};
     int R = ::poll(&Pfd, 1, Wait);
     if (R < 0) {

@@ -7,6 +7,7 @@
 #include "il/ILGenerator.h"
 #include "il/LoopInfo.h"
 #include "opt/Optimizer.h"
+#include "support/FaultInjection.h"
 
 #include <stdexcept>
 
@@ -167,6 +168,11 @@ void AsyncCompilePipeline::workerLoop(unsigned WorkerId) {
 
     for (size_t I = 0; I < Tasks.size(); ++I) {
       const AsyncCompileTask &T = Tasks[I];
+      // Simulated slow worker: the method stays in flight (dequeued but
+      // not noteDone), stretching the window drain()/close() must survive.
+      uint64_t StallMs = 1;
+      if (JITML_FAULT_POINT_ARG("pipeline.worker.stall", StallMs))
+        faultDelayMs(StallMs);
       uint64_t StartUs = telemetryNowUs();
       CompiledBody Body = compileMethodBody(Prog, T.MethodIndex,
                                             planForLevel(T.Level), Mods[I],

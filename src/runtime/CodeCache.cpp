@@ -2,6 +2,8 @@
 
 #include "runtime/CodeCache.h"
 
+#include "support/FaultInjection.h"
+
 using namespace jitml;
 
 CodeCache::CodeCache() {
@@ -20,7 +22,10 @@ bool CodeCache::install(uint32_t MethodIndex,
   assert(MethodIndex < Slots.size() && "method index out of range");
   std::lock_guard<std::mutex> Lock(Mu);
   Slot &S = Slots[MethodIndex];
-  if (Ticket <= S.LastTicket) {
+  // Forced stale install: treat this body as having lost the ticket race,
+  // without advancing LastTicket — later genuine installs still win.
+  bool ForcedStale = JITML_FAULT_POINT("cache.install.stale");
+  if (ForcedStale || Ticket <= S.LastTicket) {
     // A newer request's code already landed; this body lost the race.
     StaleRejected.fetch_add(1, std::memory_order_relaxed);
     Tel.Stale->add();
@@ -58,6 +63,8 @@ bool CodeCache::install(uint32_t MethodIndex,
 }
 
 void CodeCache::reclaimRetired() {
+  if (JITML_FAULT_POINT("cache.reclaim.defer"))
+    return; // simulated reclamation pressure: retired bodies accumulate
   std::lock_guard<std::mutex> Lock(Mu);
   Tel.Reclaimed->add(Retired.size());
   Retired.clear();

@@ -2,6 +2,8 @@
 
 #include "runtime/CompilationQueue.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 
 using namespace jitml;
@@ -24,6 +26,14 @@ CompilationQueue::enqueue(uint32_t MethodIndex, OptLevel Level,
     std::lock_guard<std::mutex> Lock(Mu);
     if (Closed)
       return EnqueueResult::Closed;
+
+    // Forced backpressure: reject as if the queue were at capacity. The
+    // caller must keep running the method at its current tier.
+    if (JITML_FAULT_POINT("queue.enqueue.overflow")) {
+      ++Count.Overflows;
+      Tel.Overflows->add();
+      return EnqueueResult::Overflow;
+    }
 
     auto It = std::find_if(Pending.begin(), Pending.end(),
                            [&](const AsyncCompileTask &T) {
@@ -91,6 +101,13 @@ std::vector<AsyncCompileTask> CompilationQueue::dequeueBatch(size_t Max) {
     InFlight.insert(Out.back().MethodIndex);
     ++Count.Dequeued;
   }
+  Lock.unlock(); // telemetry below is lock-free; drop Mu before any stall
+  // Forced race window: the worker now holds dequeued, in-flight items but
+  // not the lock — exactly when a concurrent close()/drain() must wait for
+  // noteDone rather than deadlock or discard the batch.
+  uint64_t StallMs = 1;
+  if (!Out.empty() && JITML_FAULT_POINT_ARG("queue.dequeue.stall", StallMs))
+    faultDelayMs(StallMs);
   Tel.Dequeued->add(Out.size());
   uint64_t Now = telemetryNowUs();
   TraceEmitter &Trace = TraceEmitter::global();

@@ -1,0 +1,289 @@
+//===- support/FaultInjection.cpp -----------------------------------------===//
+
+#include "support/FaultInjection.h"
+
+#include "support/Rng.h"
+#include "support/Telemetry.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+
+using namespace jitml;
+
+std::atomic<uint32_t> jitml::detail::FaultEpoch{0};
+
+void jitml::faultDelayMs(uint64_t Ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(Ms));
+}
+
+namespace {
+
+/// FNV-1a over the point name; only used to derive per-point seeds.
+uint64_t hashName(const std::string &Name) {
+  uint64_t H = 0xcbf29ce484222325ULL;
+  for (char C : Name) {
+    H ^= (uint8_t)C;
+    H *= 0x100000001b3ULL;
+  }
+  return H;
+}
+
+/// Uniform double in [0, 1) from one mixed 64-bit draw.
+double unitDouble(uint64_t Bits) { return (double)(Bits >> 11) * 0x1.0p-53; }
+
+bool patternMatches(const std::string &Pattern, const std::string &Name) {
+  if (!Pattern.empty() && Pattern.back() == '*')
+    return Name.compare(0, Pattern.size() - 1, Pattern, 0,
+                        Pattern.size() - 1) == 0;
+  return Pattern == Name;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Spec parsing
+//===----------------------------------------------------------------------===//
+
+bool FaultRegistry::parseSpec(const std::string &Spec,
+                              std::vector<FaultRule> &Out,
+                              std::string *Error) {
+  auto Fail = [&](const std::string &What) {
+    if (Error)
+      *Error = What;
+    return false;
+  };
+  std::vector<FaultRule> Rules;
+  size_t Pos = 0;
+  while (Pos < Spec.size()) {
+    size_t End = Spec.find(';', Pos);
+    if (End == std::string::npos)
+      End = Spec.size();
+    std::string Entry = Spec.substr(Pos, End - Pos);
+    Pos = End + 1;
+    if (Entry.empty())
+      continue; // tolerate empty segments ("a=p1;;b=n2")
+    size_t Eq = Entry.find('=');
+    if (Eq == std::string::npos || Eq == 0)
+      return Fail("entry '" + Entry + "' is not 'name=mode[:arg]'");
+    FaultRule R;
+    R.Pattern = Entry.substr(0, Eq);
+    std::string Mode = Entry.substr(Eq + 1);
+    size_t Colon = Mode.find(':');
+    if (Colon != std::string::npos) {
+      std::string ArgText = Mode.substr(Colon + 1);
+      Mode.resize(Colon);
+      char *EndPtr = nullptr;
+      R.Arg = std::strtoull(ArgText.c_str(), &EndPtr, 10);
+      if (ArgText.empty() || *EndPtr != '\0')
+        return Fail("bad arg '" + ArgText + "' in '" + Entry + "'");
+      R.HasArg = true;
+    }
+    if (Mode == "always") {
+      R.Mode = FaultMode::Always;
+    } else if (!Mode.empty() && Mode[0] == 'p') {
+      char *EndPtr = nullptr;
+      R.P = std::strtod(Mode.c_str() + 1, &EndPtr);
+      if (EndPtr == Mode.c_str() + 1 || *EndPtr != '\0' || R.P < 0.0 ||
+          R.P > 1.0)
+        return Fail("bad probability in '" + Entry + "' (want p0..p1)");
+      R.Mode = FaultMode::Prob;
+    } else if (!Mode.empty() && (Mode[0] == 'n' || Mode[0] == 'k')) {
+      char *EndPtr = nullptr;
+      R.N = std::strtoull(Mode.c_str() + 1, &EndPtr, 10);
+      if (EndPtr == Mode.c_str() + 1 || *EndPtr != '\0' || R.N == 0)
+        return Fail("bad ordinal in '" + Entry + "' (want a positive int)");
+      R.Mode = Mode[0] == 'n' ? FaultMode::EveryNth : FaultMode::OneShot;
+    } else {
+      return Fail("unknown mode '" + Mode + "' in '" + Entry + "'");
+    }
+    Rules.push_back(std::move(R));
+  }
+  if (Rules.empty())
+    return Fail("empty spec");
+  Out = std::move(Rules);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Registry-owned state of one named point. Node-based map keeps the
+/// address stable, so FaultSite handles cache the pointer.
+struct PointState {
+  std::string Name;
+  uint64_t Hits = 0;
+  uint64_t Fires = 0;
+  uint64_t PointSeed = 0;           ///< mix of registry seed and name hash
+  const FaultRule *Rule = nullptr;  ///< bound rule; null = unmatched
+  uint32_t BoundEpoch = 0;          ///< epoch the binding was made under
+  TelemetryCounter *Mirror = nullptr; ///< "fault.<name>" registry counter
+};
+
+} // namespace
+
+struct FaultRegistry::Impl {
+  mutable std::mutex Mu;
+  std::vector<FaultRule> Rules; ///< armed spec, in spec order
+  uint64_t Seed = 0;
+  /// Monotonic arm counter. The published FaultEpoch drops to 0 on
+  /// disarm, so the next arm must NOT reuse a previously published value:
+  /// a PointState bound under the earlier arm would keep its stale seed
+  /// and a dangling pointer into the replaced Rules vector.
+  uint32_t EpochCounter = 0;
+  std::map<std::string, PointState> Points;
+};
+
+FaultRegistry::FaultRegistry() : I(new Impl) {}
+FaultRegistry::~FaultRegistry() { delete I; }
+
+FaultRegistry &FaultRegistry::global() {
+  static FaultRegistry R;
+  return R;
+}
+
+bool FaultRegistry::arm(const std::string &Spec, uint64_t Seed) {
+  std::vector<FaultRule> Rules;
+  std::string Error;
+  if (!parseSpec(Spec, Rules, &Error)) {
+    std::fprintf(stderr, "jitml: JITML_FAULTS ignored: %s\n", Error.c_str());
+    return false;
+  }
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  I->Rules = std::move(Rules);
+  I->Seed = Seed;
+  for (auto &[Name, P] : I->Points) {
+    P.Hits = P.Fires = 0; // fresh schedule: ordinals restart at 1
+    if (P.Mirror)
+      P.Mirror->reset();
+  }
+  // A fresh nonzero epoch arms the fast path and invalidates every rule
+  // binding. Epochs are plentiful enough (2^32) that skipping 0 is the
+  // only wrap concern worth handling.
+  if (++I->EpochCounter == 0)
+    ++I->EpochCounter;
+  detail::FaultEpoch.store(I->EpochCounter, std::memory_order_relaxed);
+  return true;
+}
+
+void FaultRegistry::disarm() {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  detail::FaultEpoch.store(0, std::memory_order_relaxed);
+  I->Rules.clear();
+}
+
+uint64_t FaultRegistry::seed() const {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  return I->Seed;
+}
+
+std::vector<FaultPointStats> FaultRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  std::vector<FaultPointStats> Out;
+  Out.reserve(I->Points.size());
+  for (const auto &[Name, P] : I->Points)
+    Out.push_back({Name, P.Hits, P.Fires});
+  return Out; // std::map iteration is already name-sorted
+}
+
+uint64_t FaultRegistry::hits(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  auto It = I->Points.find(Name);
+  return It == I->Points.end() ? 0 : It->second.Hits;
+}
+
+uint64_t FaultRegistry::fires(const std::string &Name) const {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  auto It = I->Points.find(Name);
+  return It == I->Points.end() ? 0 : It->second.Fires;
+}
+
+void FaultRegistry::resetCounters() {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  for (auto &[Name, P] : I->Points) {
+    P.Hits = P.Fires = 0;
+    if (P.Mirror)
+      P.Mirror->reset();
+  }
+}
+
+bool FaultRegistry::fireSite(FaultSite &Site, uint64_t *ArgOut) {
+  std::lock_guard<std::mutex> Lock(I->Mu);
+  uint32_t Epoch = detail::FaultEpoch.load(std::memory_order_relaxed);
+  if (Epoch == 0)
+    return false; // raced a disarm between the fast-path check and here
+  PointState *P = static_cast<PointState *>(Site.State);
+  if (!P) {
+    P = &I->Points[Site.Name];
+    if (P->Name.empty())
+      P->Name = Site.Name;
+    Site.State = P; // written under Mu; read under Mu on every later hit
+  }
+  if (P->BoundEpoch != Epoch) {
+    P->Rule = nullptr;
+    for (const FaultRule &R : I->Rules)
+      if (patternMatches(R.Pattern, P->Name)) {
+        P->Rule = &R;
+        break;
+      }
+    P->PointSeed = mix64(I->Seed ^ hashName(P->Name));
+    P->BoundEpoch = Epoch;
+  }
+  uint64_t Ordinal = ++P->Hits;
+  if (!P->Rule)
+    return false;
+  bool Fire = false;
+  switch (P->Rule->Mode) {
+  case FaultMode::Always:
+    Fire = true;
+    break;
+  case FaultMode::Prob:
+    // Pure function of (seed, name, ordinal): the replay contract.
+    Fire = unitDouble(mix64(P->PointSeed + Ordinal)) < P->Rule->P;
+    break;
+  case FaultMode::EveryNth:
+    Fire = Ordinal % P->Rule->N == 0;
+    break;
+  case FaultMode::OneShot:
+    Fire = Ordinal == P->Rule->N;
+    break;
+  }
+  if (!Fire)
+    return false;
+  ++P->Fires;
+  if (!P->Mirror)
+    P->Mirror = &MetricRegistry::global().counter("fault." + P->Name);
+  P->Mirror->add();
+  if (ArgOut && P->Rule->HasArg)
+    *ArgOut = P->Rule->Arg;
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Environment arming
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Arms from JITML_FAULTS/JITML_FAULT_SEED before main. Lives in this TU,
+/// so the epoch word (constant-initialized) is ready first.
+struct EnvArm {
+  EnvArm() {
+    const char *Spec = std::getenv("JITML_FAULTS");
+    if (!Spec || !*Spec)
+      return;
+    uint64_t Seed = 0;
+    if (const char *S = std::getenv("JITML_FAULT_SEED"))
+      Seed = std::strtoull(S, nullptr, 10);
+    FaultRegistry::global().arm(Spec, Seed);
+  }
+};
+EnvArm ArmFromEnv;
+
+} // namespace

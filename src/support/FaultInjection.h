@@ -1,0 +1,185 @@
+//===- support/FaultInjection.h - Deterministic fault injection -*- C++ -*-===//
+///
+/// \file
+/// A process-wide registry of named fault points for chaos testing the
+/// async compilation stack. Every error path that production code already
+/// handles — a bridge timeout, a full compilation queue, a stale install,
+/// a failing trace sink — carries a JITML_FAULT_POINT("name") check that
+/// lets a test (or JITML_FAULTS=<spec> in the environment) force that
+/// path deterministically, so the degradation behavior the design docs
+/// promise is provable instead of incidental.
+///
+/// Disabled cost: with no spec armed, a fault point is one relaxed load of
+/// a process-wide epoch word and a predictably-not-taken branch — the same
+/// gating discipline as TraceEmitter::enabled(). The per-point static
+/// state is not even constructed until the first armed hit.
+///
+/// Spec grammar (JITML_FAULTS, or FaultRegistry::arm in tests):
+///
+///   spec  := entry (';' entry)*
+///   entry := pattern '=' mode (':' arg)?
+///   mode  := 'always'                 every hit
+///          | 'p' float                Bernoulli per hit, e.g. p0.25
+///          | 'n' int                  every-Nth hit (N, 2N, 3N, ...)
+///          | 'k' int                  one shot, exactly the Kth hit
+///   arg   := uint64                   site-specific (e.g. a delay in ms)
+///
+/// A pattern is an exact point name or a 'prefix*' glob; the first
+/// matching entry (in spec order) governs a point.
+///
+/// Replay contract: whether a hit fires is a pure function of
+/// (JITML_FAULT_SEED, point name, hit ordinal). Ordinals are assigned per
+/// point in hit order, starting at 1 on every arm(). Single-threaded
+/// scenarios therefore replay bit-identically from the same seed + spec;
+/// under concurrency the SET of firing ordinals per point is still
+/// identical, only their assignment to threads may vary.
+///
+/// Counting: every armed hit and fire is counted per point, and fires are
+/// mirrored into MetricRegistry as "fault.<name>" counters so chaos tests
+/// can check subsystem telemetry against injected fault counts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_SUPPORT_FAULTINJECTION_H
+#define JITML_SUPPORT_FAULTINJECTION_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jitml {
+
+namespace detail {
+/// Nonzero while a fault spec is armed; bumped to a fresh value on every
+/// arm() so point sites know to re-resolve their rule binding.
+extern std::atomic<uint32_t> FaultEpoch;
+} // namespace detail
+
+/// The disabled fast path: one relaxed load, one predictable branch.
+inline bool faultsArmed() {
+  return detail::FaultEpoch.load(std::memory_order_relaxed) != 0;
+}
+
+/// How an armed rule chooses which hit ordinals fire.
+enum class FaultMode : uint8_t {
+  Always,   ///< every hit
+  Prob,     ///< Bernoulli per hit, derived from (seed, name, ordinal)
+  EveryNth, ///< ordinals N, 2N, 3N, ...
+  OneShot,  ///< exactly ordinal K
+};
+
+/// One parsed spec entry.
+struct FaultRule {
+  std::string Pattern;  ///< exact name or 'prefix*' glob
+  FaultMode Mode = FaultMode::Always;
+  double P = 0.0;       ///< Prob: firing probability in [0, 1]
+  uint64_t N = 1;       ///< EveryNth period / OneShot ordinal (>= 1)
+  uint64_t Arg = 0;     ///< site-specific argument (e.g. delay ms)
+  bool HasArg = false;  ///< true when the entry carried ':arg'
+};
+
+/// Counters for one fault point (snapshot via FaultRegistry::snapshot).
+struct FaultPointStats {
+  std::string Name;
+  uint64_t Hits = 0;  ///< armed executions of the point
+  uint64_t Fires = 0; ///< hits the schedule turned into faults
+};
+
+class FaultSite;
+
+/// Process-wide fault-point registry. arm()/disarm() are rare control
+/// operations; point evaluation serializes on one mutex, which is fine —
+/// it only runs while a chaos spec is armed.
+class FaultRegistry {
+public:
+  /// The registry every JITML_FAULT_POINT reports to. Reads JITML_FAULTS
+  /// and JITML_FAULT_SEED once at process start.
+  static FaultRegistry &global();
+
+  /// Parses and arms \p Spec with \p Seed, resetting every point's
+  /// hit/fire counters (a fresh schedule). Returns false — leaving the
+  /// previous state untouched — when the spec does not parse.
+  bool arm(const std::string &Spec, uint64_t Seed);
+
+  /// Stops all injection. Counters keep their values for inspection.
+  void disarm();
+
+  bool armed() const { return faultsArmed(); }
+  uint64_t seed() const;
+
+  /// Parses \p Spec without arming. On failure returns false and, when
+  /// \p Error is non-null, a one-line diagnostic.
+  static bool parseSpec(const std::string &Spec, std::vector<FaultRule> &Out,
+                        std::string *Error = nullptr);
+
+  /// Name-sorted counters of every point hit while armed.
+  std::vector<FaultPointStats> snapshot() const;
+  /// Convenience lookups; 0 for a never-hit point.
+  uint64_t hits(const std::string &Name) const;
+  uint64_t fires(const std::string &Name) const;
+  /// Zeroes every point's counters (the schedule keeps running).
+  void resetCounters();
+
+  /// Point evaluation (the macro's slow path); not for direct use.
+  bool fireSite(FaultSite &Site, uint64_t *ArgOut);
+
+  FaultRegistry(const FaultRegistry &) = delete;
+  FaultRegistry &operator=(const FaultRegistry &) = delete;
+
+private:
+  FaultRegistry();
+  ~FaultRegistry();
+  struct Impl;
+  Impl *I;
+};
+
+/// Per-expansion handle of one named fault point. Constructed lazily (the
+/// macro's static local) on the first armed hit; state is keyed by name in
+/// the registry, so several expansions with one name share counters and
+/// schedule.
+class FaultSite {
+public:
+  explicit FaultSite(const char *Name) : Name(Name) {}
+
+  /// Counts the hit and evaluates the armed schedule. When firing and the
+  /// rule carries an argument, \p ArgOut (if non-null) receives it;
+  /// otherwise \p ArgOut keeps the caller's default.
+  bool fire(uint64_t *ArgOut = nullptr) {
+    return FaultRegistry::global().fireSite(*this, ArgOut);
+  }
+
+  const char *name() const { return Name; }
+
+private:
+  friend class FaultRegistry;
+  const char *Name;
+  void *State = nullptr; ///< registry-owned per-name state; set under its mutex
+};
+
+/// Sleeps \p Ms milliseconds — the helper behind delay/stall fault points,
+/// so instrumented files need no <thread> include.
+void faultDelayMs(uint64_t Ms);
+
+} // namespace jitml
+
+/// True when the named fault point fires this hit. Disabled cost: one
+/// relaxed load and a not-taken branch; the static site is not constructed
+/// until the first armed evaluation.
+#define JITML_FAULT_POINT(NAME)                                               \
+  (jitml::faultsArmed() && ([]() -> jitml::FaultSite & {                      \
+                             static jitml::FaultSite Site(NAME);              \
+                             return Site;                                     \
+                           }())                                               \
+                               .fire())
+
+/// Like JITML_FAULT_POINT, but a firing rule with ':arg' overwrites
+/// \p ARGVAR (a uint64_t lvalue preset to the caller's default).
+#define JITML_FAULT_POINT_ARG(NAME, ARGVAR)                                   \
+  (jitml::faultsArmed() && ([]() -> jitml::FaultSite & {                      \
+                             static jitml::FaultSite Site(NAME);              \
+                             return Site;                                     \
+                           }())                                               \
+                               .fire(&(ARGVAR)))
+
+#endif // JITML_SUPPORT_FAULTINJECTION_H

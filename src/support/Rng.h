@@ -96,6 +96,30 @@ public:
     return Sum - 6.0;
   }
 
+  /// Advances the state by 2^128 steps (the xoshiro256** jump
+  /// polynomial): up to 2^128 callers can take non-overlapping
+  /// subsequences of one seeded stream, deterministically.
+  void jump() {
+    static constexpr uint64_t Poly[4] = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL, 0xa9582618e03fc9aaULL,
+        0x39abdc4529b1661cULL};
+    uint64_t S[4] = {0, 0, 0, 0};
+    for (uint64_t Word : Poly)
+      for (int Bit = 0; Bit < 64; ++Bit) {
+        if (Word & (1ULL << Bit))
+          for (int I = 0; I < 4; ++I)
+            S[I] ^= State[I];
+        next();
+      }
+    for (int I = 0; I < 4; ++I)
+      State[I] = S[I];
+  }
+
+  /// Derives an independent child generator from this stream's next draw
+  /// (consuming it). Deterministic: the Nth split of a seeded generator is
+  /// always the same generator.
+  Rng split() { return Rng(next()); }
+
 private:
   static uint64_t rotl(uint64_t X, int K) {
     return (X << K) | (X >> (64 - K));

@@ -2,6 +2,8 @@
 
 #include "support/Telemetry.h"
 
+#include "support/FaultInjection.h"
+
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
@@ -310,6 +312,12 @@ bool TraceEmitter::startLocked(SinkFn Sink) {
 void TraceEmitter::record(const TraceEvent &E) {
   if (!enabled())
     return;
+  // Simulated ring saturation: the event is dropped (and counted) exactly
+  // as if the writer thread had fallen behind.
+  if (JITML_FAULT_POINT("trace.ring.full")) {
+    Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   bool Nudge = false;
   {
     std::lock_guard<std::mutex> Lock(I->RingMu);
@@ -367,6 +375,10 @@ bool TraceEmitter::flushLocked(std::vector<TraceEvent> &Scratch) {
   }
   if (Out.empty())
     return true;
+  // Simulated sink failure (disk full): the caller runs failOnce and the
+  // emitter must degrade to counters-only without losing the process.
+  if (JITML_FAULT_POINT("trace.sink.fail"))
+    return false;
   std::lock_guard<std::mutex> Lock(I->WriteMu);
   if (!I->Sink)
     return true; // already closed/failed: events are simply dropped

@@ -2,6 +2,8 @@
 
 #include "support/ThreadPool.h"
 
+#include "support/FaultInjection.h"
+
 #include <atomic>
 #include <cstdlib>
 #include <exception>
@@ -66,6 +68,11 @@ void ThreadPool::workerLoop() {
     uint64_t StartUs = telemetryNowUs();
     Tel.WaitUs->record(StartUs > Task.SubmitUs ? StartUs - Task.SubmitUs
                                                : 0);
+    // Simulated scheduling jitter: the task runs, but late. parallelFor's
+    // completion accounting must tolerate arbitrarily slow helpers.
+    uint64_t DelayMs = 1;
+    if (JITML_FAULT_POINT_ARG("pool.task.delay", DelayMs))
+      faultDelayMs(DelayMs);
     Task.Fn();
     uint64_t RunUs = telemetryNowUs() - StartUs;
     Tel.Tasks->add();

@@ -172,6 +172,64 @@ TEST(CompilationQueue, DrainWaitsForInFlightWork) {
   EXPECT_TRUE(Drained.load());
 }
 
+TEST(CompilationQueue, CloseWhileWorkersHoldDequeuedItems) {
+  // The race the sequential close tests miss: close() lands while worker
+  // threads hold dequeued (in-flight) items. The backlog is discarded, the
+  // in-flight items are not, and drain() must block until their noteDone
+  // calls arrive — not deadlock, not return early.
+  CompilationQueue Q(16);
+  for (uint32_t M = 0; M < 8; ++M)
+    ASSERT_EQ(Q.enqueue(M, OptLevel::Cold, false, 1),
+              CompilationQueue::EnqueueResult::Enqueued);
+
+  std::mutex Mu;
+  std::condition_variable Cv;
+  bool Release = false;
+  std::atomic<unsigned> Holding{0};
+  std::atomic<uint64_t> Finished{0};
+  auto Worker = [&] {
+    std::vector<AsyncCompileTask> Batch = Q.dequeueBatch(2);
+    if (Batch.empty())
+      return;
+    Holding.fetch_add(1);
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      Cv.wait(Lock, [&] { return Release; });
+    }
+    for (const AsyncCompileTask &T : Batch) {
+      Q.noteDone(T.MethodIndex);
+      Finished.fetch_add(1);
+    }
+  };
+  std::thread A(Worker), B(Worker);
+  ASSERT_TRUE(waitUntil([&] { return Holding.load() == 2; }));
+
+  // 4 items are held in flight; closing discards only the other 4.
+  Q.close(/*FinishPending=*/false);
+  EXPECT_EQ(Q.counters().Discarded, 4u);
+
+  std::atomic<bool> Drained{false};
+  std::thread Waiter([&] {
+    Q.drain();
+    Drained.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(Drained.load()) << "drain returned with items in flight";
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Release = true;
+  }
+  Cv.notify_all();
+  A.join();
+  B.join();
+  Waiter.join();
+  EXPECT_TRUE(Drained.load());
+  EXPECT_EQ(Finished.load(), 4u);
+  EXPECT_EQ(Q.enqueue(99, OptLevel::Cold, false, 1),
+            CompilationQueue::EnqueueResult::Closed);
+  EXPECT_FALSE(Q.dequeue().has_value()); // closed and empty: no hang
+}
+
 TEST(CompilationQueue, TicketsAreMonotoneAcrossEnqueueAndDirectDraws) {
   CompilationQueue Q(4);
   uint64_t Direct = Q.takeTicket();

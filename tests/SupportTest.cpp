@@ -70,6 +70,55 @@ TEST(Rng, GaussianMoments) {
   EXPECT_NEAR(Sq / N, 1.0, 0.05);
 }
 
+TEST(Rng, JumpIsDeterministicAndDisjoint) {
+  // Same seed, same jump count -> same stream; the fault-schedule replay
+  // guarantee rests on this.
+  Rng A(42), B(42);
+  A.jump();
+  B.jump();
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+
+  // A jumped stream must not replay the unjumped stream's prefix.
+  Rng Base(42), Jumped(42);
+  Jumped.jump();
+  bool Differs = false;
+  for (int I = 0; I < 100 && !Differs; ++I)
+    Differs = Base.next() != Jumped.next();
+  EXPECT_TRUE(Differs);
+}
+
+TEST(Rng, DoubleJumpDiffersFromSingle) {
+  Rng One(7), Two(7);
+  One.jump();
+  Two.jump();
+  Two.jump();
+  bool Differs = false;
+  for (int I = 0; I < 100 && !Differs; ++I)
+    Differs = One.next() != Two.next();
+  EXPECT_TRUE(Differs);
+}
+
+TEST(Rng, SplitIsDeterministicAndIndependent) {
+  Rng A(123), B(123);
+  Rng ChildA = A.split();
+  Rng ChildB = B.split();
+  // Same parent state -> identical children, and identical parents after.
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(ChildA.next(), ChildB.next());
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+
+  // Consecutive splits of one parent give distinct children.
+  Rng Parent(9);
+  Rng First = Parent.split();
+  Rng Second = Parent.split();
+  bool Differs = false;
+  for (int I = 0; I < 100 && !Differs; ++I)
+    Differs = First.next() != Second.next();
+  EXPECT_TRUE(Differs);
+}
+
 TEST(Statistics, MeanAndVariance) {
   RunningStat S;
   for (double X : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
@@ -228,6 +277,49 @@ TEST(VarInt, SmallValuesAreOneByte) {
   EXPECT_EQ(Buf.size(), 1u);
   encodeVarUInt(Buf, 128);
   EXPECT_EQ(Buf.size(), 3u); // second value took two bytes
+}
+
+TEST(VarInt, UnsignedBoundaryEncodingWidths) {
+  // Exact encoded widths at the 7-bit group boundaries: 0, 2^7 +- 1,
+  // 2^14 +- 1, and the 10-byte maximum.
+  struct Case {
+    uint64_t Value;
+    size_t Bytes;
+  };
+  const Case Cases[] = {
+      {0, 1},     {127, 1},   {128, 2},          {129, 2},
+      {16383, 2}, {16384, 3}, {16385, 3},        {UINT64_MAX, 10},
+  };
+  for (const Case &C : Cases) {
+    std::vector<uint8_t> Buf;
+    encodeVarUInt(Buf, C.Value);
+    EXPECT_EQ(Buf.size(), C.Bytes) << "value " << C.Value;
+    ByteReader Reader(Buf);
+    EXPECT_EQ(Reader.readVarUInt(), C.Value);
+    EXPECT_TRUE(Reader.ok());
+    EXPECT_TRUE(Reader.atEnd());
+  }
+}
+
+TEST(VarInt, SignedZigZagBoundaryWidths) {
+  // Zig-zag maps [-64, 63] onto one byte; -65 and 64 spill into two.
+  struct Case {
+    int64_t Value;
+    size_t Bytes;
+  };
+  const Case Cases[] = {
+      {0, 1},   {-64, 1}, {63, 1},         {-65, 2},
+      {64, 2},  {INT64_MIN, 10},           {INT64_MAX, 10},
+  };
+  for (const Case &C : Cases) {
+    std::vector<uint8_t> Buf;
+    encodeVarInt(Buf, C.Value);
+    EXPECT_EQ(Buf.size(), C.Bytes) << "value " << C.Value;
+    ByteReader Reader(Buf);
+    EXPECT_EQ(Reader.readVarInt(), C.Value);
+    EXPECT_TRUE(Reader.ok());
+    EXPECT_TRUE(Reader.atEnd());
+  }
 }
 
 TEST(VarInt, TruncatedInputSetsError) {
