@@ -20,6 +20,10 @@
 #   chaos        fault-injection layer: micro_faults enforces the <1%
 #                disabled-overhead gate and bit-identical figures under
 #                the never-firing `*=p0` schedule (BENCH_faults.json)
+#   verify       IL verifier + differential fuzzer: a fixed-seed 30-second
+#                fuzz smoke (interpreter vs every opt level vs async, deep
+#                verifier interposed — zero divergences), corpus replay,
+#                and the <3% disabled-hook overhead gate (BENCH_fuzz.json)
 #
 # The script stops at the first failing suite with a non-zero exit, and
 # always ends with a summary table (result + wall time per suite).
@@ -85,7 +89,7 @@ asan_step() {
     cmake -B build-asan -S . -DJITML_SANITIZE=ON &&
     cmake --build build-asan -j"$(nproc)" --target jitml_tests &&
     (cd build-asan && ctest --output-on-failure -j"$(nproc)" -R \
-      'Message\.|Service\.|Transport\.|Resilient\.|BridgeFuzz\.|FaultInjection\.|Chaos\.|Normalizer\.|LabelMap\.|LibLinear\.|Ranker\.|Merger\.|Summaries\.')
+      'Message\.|Service\.|Transport\.|Resilient\.|BridgeFuzz\.|FaultInjection\.|Chaos\.|Normalizer\.|LabelMap\.|LibLinear\.|Ranker\.|Merger\.|Summaries\.|Corpus\.|ILVerifierDeep\.|FuzzInput\.|Reducer\.')
 }
 
 tsan_step() {
@@ -93,7 +97,7 @@ tsan_step() {
     cmake -B build-tsan -S . -DJITML_TSAN=ON &&
     cmake --build build-tsan -j"$(nproc)" --target jitml_tests &&
     (cd build-tsan && ctest --output-on-failure -j"$(nproc)" -R \
-      'CompilationQueue\.|CodeCache\.|AsyncPipeline\.|AsyncVM\.|Differential\.|DifferentialModifier\.|ConcurrentBridge\.|Chaos\.')
+      'CompilationQueue\.|CodeCache\.|AsyncPipeline\.|AsyncVM\.|Differential\.|DifferentialModifier\.|ConcurrentBridge\.|Chaos\.|Oracle\.|Campaign\.')
 }
 
 pipeline_step() {
@@ -117,6 +121,14 @@ chaos_step() {
     ./build/bench/micro_faults BENCH_faults.json
 }
 
+verify_step() {
+  cmake --build build -j"$(nproc)" --target fuzz_differential jitml_tests &&
+    ./build/bench/fuzz_differential --seed 1 --seconds 30 --execs 0 &&
+    ./build/bench/fuzz_differential --overhead-gate --json BENCH_fuzz.json &&
+    (cd build && ctest --output-on-failure -j"$(nproc)" -R \
+      'Corpus\.|ILVerifierDeep\.|PassVerifier\.|Oracle\.|Reducer\.|Campaign\.|FuzzInput\.')
+}
+
 run_suite build build_step
 run_suite tests tests_step
 run_suite asan asan_step
@@ -124,4 +136,5 @@ run_suite tsan tsan_step
 run_suite pipeline pipeline_step
 run_suite telemetry telemetry_step
 run_suite chaos chaos_step
+run_suite verify verify_step
 finish 0

@@ -69,6 +69,49 @@ int expectedKids(const MethodIL &IL, const Node &N) {
   return -1;
 }
 
+/// Coarse type buckets for operand checking. Values are carried in 64-bit
+/// lanes, so passes may legally narrow within a bucket (e.g. sign-extension
+/// elimination leaves an Int16-typed operand under an Int32 add); crossing
+/// buckets without an explicit Conv is a miscompile.
+enum class TypeCat { Integer, Float, Decimal, Reference, Void };
+
+TypeCat categoryOf(DataType T) {
+  if (isIntegerType(T))
+    return TypeCat::Integer;
+  if (isFloatType(T))
+    return TypeCat::Float;
+  if (isDecimalType(T))
+    return TypeCat::Decimal;
+  if (isReferenceType(T))
+    return TypeCat::Reference;
+  return TypeCat::Void;
+}
+
+/// Category of the runtime value a node produces. Array allocations carry
+/// their ELEMENT type in Type (see ILOps.h) while producing a reference,
+/// so Type alone misclassifies them.
+TypeCat valueCategoryOf(const Node &N) {
+  if (N.Op == ILOp::NewArray || N.Op == ILOp::NewMultiArray)
+    return TypeCat::Reference;
+  return categoryOf(N.Type);
+}
+
+const char *categoryName(TypeCat C) {
+  switch (C) {
+  case TypeCat::Integer:
+    return "integer";
+  case TypeCat::Float:
+    return "float";
+  case TypeCat::Decimal:
+    return "decimal";
+  case TypeCat::Reference:
+    return "reference";
+  case TypeCat::Void:
+    return "void";
+  }
+  return "?";
+}
+
 } // namespace
 
 std::vector<std::string> jitml::verifyIL(const MethodIL &IL) {
@@ -105,13 +148,17 @@ std::vector<std::string> jitml::verifyIL(const MethodIL &IL) {
             IsLast ? "does not terminate the block"
                    : "is a terminator in the middle of a block");
       }
-      // Walk the tree checking structure.
+      // Walk the tree checking structure. Visited guards termination: a
+      // cyclic DAG (an in-place rewrite bug) must produce a diagnostic,
+      // not an endless walk.
       std::vector<NodeId> Stack{Root};
-      std::vector<bool> OnPath(IL.numNodes(), false);
-      std::vector<NodeId> Visited;
+      std::vector<bool> Visited(IL.numNodes(), false);
       while (!Stack.empty()) {
         NodeId Id = Stack.back();
         Stack.pop_back();
+        if (Visited[Id])
+          continue;
+        Visited[Id] = true;
         const Node &N = IL.node(Id);
         if (Id != Root && isStatementOp(N.Op))
           Err("B%u: statement op %s nested inside a tree", B, ilOpName(N.Op));
@@ -163,6 +210,307 @@ std::vector<std::string> jitml::verifyIL(const MethodIL &IL) {
         Err("B%u: handler block out of range", B);
       else if (!IL.block(H.Handler).IsHandler)
         Err("B%u: handler edge to non-handler block B%u", B, H.Handler);
+    }
+  }
+  return Errors;
+}
+
+std::vector<std::string> jitml::verifyILDeep(const MethodIL &IL) {
+  // Structural soundness first; the deep checks walk the same references
+  // and would crash or lie on structurally broken IL.
+  std::vector<std::string> Errors = verifyIL(IL);
+  if (!Errors.empty())
+    return Errors;
+
+  char Buf[256];
+  auto Err = [&](const char *Fmt, auto... Args) {
+    std::snprintf(Buf, sizeof(Buf), Fmt, Args...);
+    Errors.push_back(Buf);
+  };
+  const uint32_t NumNodes = IL.numNodes();
+  const uint32_t NumBlocks = IL.numBlocks();
+
+  // --- CFG well-formedness -------------------------------------------------
+  // Succs and Preds must mirror each other edge-for-edge (parallel edges
+  // must match in multiplicity: Branch taken == fallthrough is legal).
+  for (BlockId B = 0; B < NumBlocks; ++B) {
+    const Block &Blk = IL.block(B);
+    for (BlockId S : Blk.Succs) {
+      if (S >= NumBlocks)
+        continue; // already reported
+      size_t Fwd = 0, Back = 0;
+      for (BlockId X : Blk.Succs)
+        Fwd += X == S;
+      for (BlockId P : IL.block(S).Preds)
+        Back += P == B;
+      if (Fwd != Back)
+        Err("B%u -> B%u: %zu successor edges but %zu mirrored pred edges",
+            B, S, Fwd, Back);
+    }
+    for (BlockId P : Blk.Preds) {
+      if (P >= NumBlocks) {
+        Err("B%u: pred out of range", B);
+        continue;
+      }
+      size_t Fwd = 0, Back = 0;
+      for (BlockId X : IL.block(P).Succs)
+        Fwd += X == B;
+      for (BlockId X : Blk.Preds)
+        Back += X == P;
+      if (Fwd != Back)
+        Err("B%u: pred edge from B%u lacks a matching successor edge", B, P);
+    }
+  }
+
+  // Reachable flags must be sound: a block reachable from the entry via
+  // successor or handler edges of reachable blocks must not be marked
+  // unreachable (codegen skips !Reachable blocks entirely).
+  {
+    std::vector<bool> Seen(NumBlocks, false);
+    std::vector<BlockId> Work{IL.entryBlock()};
+    Seen[IL.entryBlock()] = true;
+    while (!Work.empty()) {
+      BlockId B = Work.back();
+      Work.pop_back();
+      const Block &Blk = IL.block(B);
+      auto Visit = [&](BlockId S) {
+        if (S < NumBlocks && !Seen[S]) {
+          Seen[S] = true;
+          Work.push_back(S);
+        }
+      };
+      for (BlockId S : Blk.Succs)
+        Visit(S);
+      for (const HandlerRef &H : Blk.Handlers)
+        Visit(H.Handler);
+    }
+    for (BlockId B = 0; B < NumBlocks; ++B)
+      if (Seen[B] && !IL.block(B).Reachable)
+        Err("B%u: reachable from entry but flagged unreachable", B);
+  }
+
+  // --- Node DAG: def-before-use --------------------------------------------
+  // Under evaluate-at-first-reference semantics an operand is always
+  // defined by the time a later reference consumes it — unless the
+  // reference graph has a cycle, which no evaluation order can satisfy.
+  // Colors: 0 unvisited, 1 on the current DFS path, 2 done.
+  {
+    std::vector<uint8_t> Color(NumNodes, 0);
+    bool CycleReported = false;
+    // Iterative DFS with an explicit phase marker per frame.
+    struct Frame {
+      NodeId Id;
+      size_t NextKid;
+    };
+    for (BlockId B = 0; B < NumBlocks && !CycleReported; ++B) {
+      const Block &Blk = IL.block(B);
+      if (!Blk.Reachable)
+        continue;
+      for (NodeId Root : Blk.Trees) {
+        if (Color[Root] == 2)
+          continue;
+        std::vector<Frame> Stack{{Root, 0}};
+        Color[Root] = 1;
+        while (!Stack.empty() && !CycleReported) {
+          Frame &F = Stack.back();
+          const Node &N = IL.node(F.Id);
+          if (F.NextKid < N.Kids.size()) {
+            NodeId Kid = N.Kids[F.NextKid++];
+            if (Color[Kid] == 1) {
+              Err("node %u: operand cycle through node %u (%s) — no "
+                  "def-before-use order exists",
+                  F.Id, Kid, ilOpName(IL.node(Kid).Op));
+              CycleReported = true;
+            } else if (Color[Kid] == 0) {
+              Color[Kid] = 1;
+              Stack.push_back({Kid, 0});
+            }
+          } else {
+            Color[F.Id] = 2;
+            Stack.pop_back();
+          }
+        }
+        if (CycleReported)
+          break;
+      }
+    }
+    if (CycleReported)
+      return Errors; // type/sharing walks below assume an acyclic DAG
+  }
+
+  // --- Per-node semantic checks over reachable trees -----------------------
+  // First owner block of every node (InvalidBlock = unseen). Side-effecting
+  // expressions shared across blocks execute once per block — a silent
+  // duplication of the effect.
+  std::vector<BlockId> OwnerBlock(NumNodes, InvalidBlock);
+  const MethodInfo &MI = IL.methodInfo();
+  for (BlockId B = 0; B < NumBlocks; ++B) {
+    const Block &Blk = IL.block(B);
+    if (!Blk.Reachable)
+      continue;
+    for (size_t TI = 0; TI < Blk.Trees.size(); ++TI) {
+      NodeId Root = Blk.Trees[TI];
+      const Node &RootN = IL.node(Root);
+      // Stack-balance analog: a non-statement root computes a value that no
+      // consumer ever pops. The IL generator wraps discarded values in
+      // ExprStmt; a pass that drops the wrapper leaks the value.
+      if (!isStatementOp(RootN.Op))
+        Err("B%u: tree %zu roots expression %s — value computed but never "
+            "consumed",
+            B, TI, ilOpName(RootN.Op));
+      std::vector<NodeId> Stack{Root};
+      std::vector<bool> InTree(NumNodes, false);
+      while (!Stack.empty()) {
+        NodeId Id = Stack.back();
+        Stack.pop_back();
+        if (InTree[Id])
+          continue;
+        InTree[Id] = true;
+        const Node &N = IL.node(Id);
+        if (OwnerBlock[Id] == InvalidBlock)
+          OwnerBlock[Id] = B;
+        else if (OwnerBlock[Id] != B && hasSideEffects(N.Op) &&
+                 !isStatementOp(N.Op))
+          Err("B%u: side-effecting %s (node %u) already referenced in B%u — "
+              "it would execute once per block",
+              B, ilOpName(N.Op), Id, OwnerBlock[Id]);
+        for (NodeId Kid : N.Kids)
+          Stack.push_back(Kid);
+
+        // Operands must produce runtime values. The one place a Void node
+        // may legally sit under a parent is a discarded void call under
+        // ExprStmt.
+        for (NodeId Kid : N.Kids) {
+          const Node &K = IL.node(Kid);
+          if (N.Op == ILOp::ExprStmt && K.Op == ILOp::Call)
+            continue;
+          if (!isValueType(K.Type))
+            Err("B%u: %s operand (node %u, %s) has non-value type %s", B,
+                ilOpName(N.Op), Kid, ilOpName(K.Op), dataTypeName(K.Type));
+        }
+
+        // Category-level type consistency.
+        TypeCat NC = categoryOf(N.Type);
+        auto KidCat = [&](unsigned I) {
+          return valueCategoryOf(IL.node(N.Kids[I]));
+        };
+        switch (N.Op) {
+        case ILOp::Add:
+        case ILOp::Sub:
+        case ILOp::Mul:
+        case ILOp::Div:
+        case ILOp::Rem:
+        case ILOp::Shl:
+        case ILOp::Shr:
+        case ILOp::Or:
+        case ILOp::And:
+        case ILOp::Xor:
+          if (NC == TypeCat::Void || NC == TypeCat::Reference)
+            Err("B%u: %s typed %s", B, ilOpName(N.Op), dataTypeName(N.Type));
+          for (unsigned I = 0; I < 2 && I < N.Kids.size(); ++I)
+            if (KidCat(I) != NC)
+              Err("B%u: %s(%s) operand %u is %s", B, ilOpName(N.Op),
+                  categoryName(NC), I, categoryName(KidCat(I)));
+          break;
+        case ILOp::Neg:
+          if (!N.Kids.empty() && KidCat(0) != NC)
+            Err("B%u: neg(%s) operand is %s", B, categoryName(NC),
+                categoryName(KidCat(0)));
+          break;
+        case ILOp::Cmp:
+        case ILOp::CmpCond:
+          if (categoryOf(N.Type) != TypeCat::Integer)
+            Err("B%u: %s must yield an integer, got %s", B, ilOpName(N.Op),
+                dataTypeName(N.Type));
+          if (N.Kids.size() == 2 && KidCat(0) != KidCat(1))
+            Err("B%u: %s compares %s against %s", B, ilOpName(N.Op),
+                categoryName(KidCat(0)), categoryName(KidCat(1)));
+          break;
+        case ILOp::Branch:
+          if (N.A < 0 || N.A > (int32_t)BcCond::Le)
+            Err("B%u: branch with invalid condition %d", B, N.A);
+          if (N.Kids.size() == 2 && KidCat(0) != KidCat(1))
+            Err("B%u: branch compares %s against %s", B,
+                categoryName(KidCat(0)), categoryName(KidCat(1)));
+          break;
+        case ILOp::Conv: {
+          DataType From = (DataType)N.A;
+          if (N.A < 0 || N.A >= (int32_t)NumDataTypes ||
+              !isValueType(From)) {
+            Err("B%u: conv with invalid source type %d", B, N.A);
+          } else if (!N.Kids.empty() &&
+                     KidCat(0) != categoryOf(From))
+            Err("B%u: conv from %s fed a %s operand", B, dataTypeName(From),
+                categoryName(KidCat(0)));
+          break;
+        }
+        case ILOp::LoadLocal:
+        case ILOp::StoreLocal: {
+          if (N.A >= 0 && (uint32_t)N.A < IL.numLocals()) {
+            DataType Slot = IL.localType((uint32_t)N.A);
+            TypeCat ValCat =
+                N.Op == ILOp::LoadLocal
+                    ? categoryOf(N.Type)
+                    : (N.Kids.empty() ? TypeCat::Void
+                                      : valueCategoryOf(IL.node(N.Kids[0])));
+            if (ValCat != categoryOf(Slot))
+              Err("B%u: %s of %s local %d carries a %s value", B,
+                  ilOpName(N.Op), categoryName(categoryOf(Slot)), N.A,
+                  categoryName(ValCat));
+          }
+          break;
+        }
+        case ILOp::LoadGlobal:
+        case ILOp::StoreGlobal:
+          if (N.A < 0 || (uint32_t)N.A >= IL.program().numGlobals())
+            Err("B%u: global slot %d out of range", B, N.A);
+          break;
+        case ILOp::LoadElem:
+        case ILOp::StoreElem:
+          if (!N.Kids.empty() && KidCat(0) != TypeCat::Reference)
+            Err("B%u: %s on non-reference array operand", B, ilOpName(N.Op));
+          if (N.Kids.size() >= 2 && KidCat(1) != TypeCat::Integer)
+            Err("B%u: %s with non-integer index", B, ilOpName(N.Op));
+          break;
+        case ILOp::ArrayLen:
+        case ILOp::NullCheck:
+        case ILOp::CastCheck:
+        case ILOp::MonitorEnter:
+        case ILOp::MonitorExit:
+        case ILOp::Throw:
+        case ILOp::InstanceOf:
+          if (!N.Kids.empty() && KidCat(0) != TypeCat::Reference)
+            Err("B%u: %s on non-reference operand (%s)", B, ilOpName(N.Op),
+                categoryName(KidCat(0)));
+          break;
+        case ILOp::Return:
+          if (MI.ReturnType == DataType::Void) {
+            if (!N.Kids.empty())
+              Err("B%u: value return from void method", B);
+          } else if (N.Kids.size() == 1 &&
+                     KidCat(0) != categoryOf(MI.ReturnType))
+            Err("B%u: return carries %s, method returns %s", B,
+                categoryName(KidCat(0)), dataTypeName(MI.ReturnType));
+          break;
+        case ILOp::Call: {
+          if (N.A >= 0 && (uint32_t)N.A < IL.program().numMethods()) {
+            const MethodInfo &Callee =
+                IL.program().methodAt((uint32_t)N.A);
+            for (size_t AI = 0;
+                 AI < Callee.ArgTypes.size() && AI < N.Kids.size(); ++AI) {
+              TypeCat Want = categoryOf(Callee.ArgTypes[AI]);
+              TypeCat Got = valueCategoryOf(IL.node(N.Kids[AI]));
+              if (Want != Got)
+                Err("B%u: call arg %zu is %s, callee expects %s", B, AI,
+                    categoryName(Got), categoryName(Want));
+            }
+          }
+          break;
+        }
+        default:
+          break;
+        }
+      }
     }
   }
   return Errors;

@@ -7,6 +7,15 @@
 /// appear only as treetops, child counts match opcodes, and node/local/CFG
 /// references stay in range.
 ///
+/// verifyILDeep layers the semantic invariants the code generator relies on
+/// on top: an acyclic node DAG (operand def-before-use under the IL's
+/// evaluate-at-first-reference semantics), no side-effecting expression
+/// shared across blocks (it would execute once per referencing block), every
+/// treetop a statement (the stack-balance analog: a bare expression root is
+/// a value that is computed and never consumed), Succs/Preds mirror
+/// consistency, sound Reachable flags, and category-level type agreement
+/// between every node and its operands, locals, and the method signature.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef JITML_IL_ILVERIFIER_H
@@ -21,6 +30,12 @@ namespace jitml {
 
 /// Returns a list of violated invariants; empty means the IL is sound.
 std::vector<std::string> verifyIL(const MethodIL &IL);
+
+/// Structural checks plus the CFG/DAG/type invariants listed above. This is
+/// the check interposed between optimization passes under JITML_VERIFY_IL
+/// (see verify/PassVerifier.h); any pass output that trips it would lower
+/// to wrong or crashing native code.
+std::vector<std::string> verifyILDeep(const MethodIL &IL);
 
 } // namespace jitml
 

@@ -3,8 +3,47 @@
 #include "opt/Optimizer.h"
 
 #include "opt/Passes.h"
+#include "support/FaultInjection.h"
+#include "verify/PassVerifier.h"
 
 using namespace jitml;
+
+namespace {
+
+/// opt.pass.corrupt: structural damage the ILVerifier must catch — an
+/// extra successor edge on the entry block breaks the terminator/arity
+/// invariant without touching any tree.
+void corruptIL(MethodIL &IL) {
+  Block &Entry = IL.block(IL.entryBlock());
+  Entry.Succs.push_back(IL.entryBlock());
+}
+
+/// opt.pass.miscompile: semantic damage that stays structurally valid —
+/// bump the first integer constant in a reachable tree. The verifier
+/// cannot see it; only differential execution can.
+void miscompileIL(MethodIL &IL) {
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    const Block &Blk = IL.block(B);
+    if (!Blk.Reachable)
+      continue;
+    for (NodeId Root : Blk.Trees) {
+      std::vector<NodeId> Stack{Root};
+      while (!Stack.empty()) {
+        NodeId Id = Stack.back();
+        Stack.pop_back();
+        Node &N = IL.node(Id);
+        if (N.Op == ILOp::Const && isIntegerType(N.Type)) {
+          ++N.ConstI;
+          return;
+        }
+        for (NodeId Kid : N.Kids)
+          Stack.push_back(Kid);
+      }
+    }
+  }
+}
+
+} // namespace
 
 bool jitml::runTransformation(PassContext &Ctx, TransformationKind K) {
   switch (K) {
@@ -129,7 +168,8 @@ OptimizeResult jitml::optimize(MethodIL &IL, const CompilationPlan &Plan,
          "modifier mask must cover all 58 transformations");
   OptimizeResult Result;
   PassContext Ctx(IL);
-  for (TransformationKind K : Plan.Entries) {
+  for (size_t EI = 0; EI < Plan.Entries.size(); ++EI) {
+    TransformationKind K = Plan.Entries[EI];
     if (!EnabledMask.test((unsigned)K)) {
       ++Result.EntriesDisabled;
       continue;
@@ -153,8 +193,21 @@ OptimizeResult jitml::optimize(MethodIL &IL, const CompilationPlan &Plan,
       continue;
     }
     Ctx.charge(Info.BaseCost + Info.CostPerNode * IL.countLiveNodes());
-    runTransformation(Ctx, K);
+    if (runTransformation(Ctx, K)) {
+      Result.ChangedPasses.insert(K);
+      if (verify::coverageEnabled())
+        verify::notePassCoverage((unsigned)Plan.Level, (unsigned)K);
+    }
     ++Result.EntriesRun;
+    // Chaos hooks: corrupt damages structure (the verifier must catch
+    // it); miscompile damages semantics only (the fuzzer must catch it).
+    if (JITML_FAULT_POINT("opt.pass.corrupt"))
+      corruptIL(IL);
+    if (JITML_FAULT_POINT("opt.pass.miscompile"))
+      miscompileIL(IL);
+    if (verify::verifyIlMode() != verify::VerifyIlMode::Off &&
+        !verify::checkAfterPass(IL, Info.Name, (int)EI))
+      break; // IL no longer trusted; feeding it to more passes can crash
   }
   Result.CompileCycles = Ctx.compileCycles();
   return Result;

@@ -30,6 +30,10 @@ struct OptimizeResult {
   uint32_t EntriesRun = 0;
   uint32_t EntriesSkippedInapplicable = 0;
   uint32_t EntriesDisabled = 0;
+  /// Tree-stage transformations that reported changing the IL at least
+  /// once — the per-method coverage signal the differential fuzzer steers
+  /// by (see verify/PassVerifier.h).
+  TransformSet ChangedPasses;
 };
 
 /// Runs a single transformation engine (tree-stage only). Exposed for unit

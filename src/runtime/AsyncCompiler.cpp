@@ -8,6 +8,7 @@
 #include "il/LoopInfo.h"
 #include "opt/Optimizer.h"
 #include "support/FaultInjection.h"
+#include "verify/PassVerifier.h"
 
 #include <stdexcept>
 
@@ -18,10 +19,17 @@ CompiledBody jitml::compileMethodBody(const Program &P, uint32_t MethodIndex,
                                       const PlanModifier &Modifier,
                                       const CostModel &Cost) {
   std::unique_ptr<MethodIL> IL = generateIL(P, MethodIndex);
+  bool IlTrusted = true;
+  if (verify::verifyIlMode() != verify::VerifyIlMode::Off)
+    IlTrusted = verify::checkAfterPass(*IL, "ilgen", -1);
   LoopInfo::annotateFrequencies(*IL);
   FeatureVector Features = extractFeatures(*IL);
 
-  OptimizeResult Opt = optimize(*IL, Plan, Modifier.enabledMask());
+  // Broken ilgen output (only survivable under a collecting failure
+  // handler) skips the pass pipeline: passes assume the invariants hold.
+  OptimizeResult Opt =
+      IlTrusted ? optimize(*IL, Plan, Modifier.enabledMask())
+                : OptimizeResult();
   NativeMethod Native = generateCode(*IL, Opt.CodegenOptions, Plan.Level, Cost);
 
   CompiledBody Out;

@@ -1,0 +1,100 @@
+//===- verify/Corpus.cpp --------------------------------------------------===//
+
+#include "verify/Corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace jitml;
+using namespace jitml::verify;
+
+bool jitml::verify::writeCorpusFile(const std::string &Path,
+                                    const CorpusEntry &E) {
+  std::ofstream Out(Path, std::ios::trunc);
+  if (!Out)
+    return false;
+  Out << "# jitml corpus v1\n";
+  Out << "kind: " << E.Kind << "\n";
+  if (!E.Scenario.empty())
+    Out << "scenario: " << E.Scenario << "\n";
+  if (!E.Note.empty())
+    Out << "note: " << E.Note << "\n";
+  if (!E.FaultSpec.empty()) {
+    Out << "faults: " << E.FaultSpec << "\n";
+    Out << "faultseed: " << E.FaultSeed << "\n";
+  }
+  if (E.Kind == "differential")
+    Out << "input: " << serializeFuzzInput(E.Input) << "\n";
+  Out.flush();
+  return Out.good();
+}
+
+bool jitml::verify::readCorpusFile(const std::string &Path, CorpusEntry &Out,
+                                   std::string *Err) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Err)
+      *Err = Path + ": " + Msg;
+    return false;
+  };
+  std::ifstream In(Path);
+  if (!In)
+    return Fail("cannot open");
+  Out = CorpusEntry();
+  std::string Line;
+  unsigned LineNo = 0;
+  bool SawInput = false;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    if (Line.empty() || Line[0] == '#')
+      continue;
+    size_t Colon = Line.find(": ");
+    if (Colon == std::string::npos)
+      return Fail("line " + std::to_string(LineNo) + ": expected 'key: value'");
+    std::string Key = Line.substr(0, Colon);
+    std::string Value = Line.substr(Colon + 2);
+    if (Key == "kind") {
+      Out.Kind = Value;
+    } else if (Key == "scenario") {
+      Out.Scenario = Value;
+    } else if (Key == "note") {
+      Out.Note = Value;
+    } else if (Key == "faults") {
+      Out.FaultSpec = Value;
+    } else if (Key == "faultseed") {
+      char *End = nullptr;
+      Out.FaultSeed = std::strtoull(Value.c_str(), &End, 10);
+      if (!End || *End)
+        return Fail("line " + std::to_string(LineNo) + ": bad faultseed");
+    } else if (Key == "input") {
+      if (!deserializeFuzzInput(Value, Out.Input))
+        return Fail("line " + std::to_string(LineNo) + ": bad input");
+      SawInput = true;
+    } else {
+      return Fail("line " + std::to_string(LineNo) + ": unknown key '" + Key +
+                  "'");
+    }
+  }
+  if (Out.Kind != "differential" && Out.Kind != "scenario")
+    return Fail("missing or unknown kind");
+  if (Out.Kind == "differential" && !SawInput)
+    return Fail("differential entry without input line");
+  if (Out.Kind == "scenario" && Out.Scenario.empty())
+    return Fail("scenario entry without scenario name");
+  return true;
+}
+
+std::vector<std::string> jitml::verify::listCorpusFiles(const std::string &Dir) {
+  std::vector<std::string> Files;
+  std::error_code Ec;
+  for (const auto &Entry : std::filesystem::directory_iterator(Dir, Ec)) {
+    if (!Entry.is_regular_file(Ec))
+      continue;
+    if (Entry.path().extension() == ".repro")
+      Files.push_back(Entry.path().string());
+  }
+  std::sort(Files.begin(), Files.end());
+  return Files;
+}

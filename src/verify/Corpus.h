@@ -1,0 +1,60 @@
+//===- verify/Corpus.h - Persistent repro store -----------------*- C++ -*-===//
+///
+/// \file
+/// The on-disk corpus under tests/corpus/: one small text file per repro,
+/// replayed by tests/CorpusTest.cpp on every ctest run. Two kinds:
+///
+///   differential  a reduced FuzzInput (plus the fault spec that injected
+///                 the bug, when there was one). Replay = run the oracle;
+///                 with the recorded faults armed it must diverge the same
+///                 way, with them disarmed it must not diverge at all.
+///   scenario      a named historical bug class (e.g. "stale-install");
+///                 CorpusTest maps the name to a hand-written replay.
+///
+/// Format ("# jitml corpus v1" header, then "key: value" lines):
+///
+///   kind: differential | scenario
+///   scenario: <name>            (scenario only)
+///   note: <free text>
+///   faults: <JITML_FAULTS spec> (optional)
+///   faultseed: <uint64>         (optional)
+///   input: <serializeFuzzInput> (differential only)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_VERIFY_CORPUS_H
+#define JITML_VERIFY_CORPUS_H
+
+#include "verify/ProgramMutator.h"
+
+#include <string>
+#include <vector>
+
+namespace jitml {
+namespace verify {
+
+struct CorpusEntry {
+  std::string Kind;      ///< "differential" or "scenario"
+  std::string Scenario;  ///< scenario name when Kind == "scenario"
+  std::string Note;      ///< one-line provenance (what/when/why)
+  std::string FaultSpec; ///< arm before replay; "" = none
+  uint64_t FaultSeed = 0;
+  FuzzInput Input;       ///< valid when Kind == "differential"
+};
+
+/// Writes \p E to \p Path (atomic enough for tests: whole-file rewrite).
+bool writeCorpusFile(const std::string &Path, const CorpusEntry &E);
+
+/// Parses a corpus file; on failure returns false with a one-line
+/// diagnostic in \p Err (when non-null).
+bool readCorpusFile(const std::string &Path, CorpusEntry &Out,
+                    std::string *Err = nullptr);
+
+/// All *.repro files directly under \p Dir, sorted by name (deterministic
+/// replay order); empty when the directory does not exist.
+std::vector<std::string> listCorpusFiles(const std::string &Dir);
+
+} // namespace verify
+} // namespace jitml
+
+#endif // JITML_VERIFY_CORPUS_H

@@ -1,0 +1,154 @@
+//===- verify/PassVerifier.cpp --------------------------------------------===//
+
+#include "verify/PassVerifier.h"
+
+#include "il/ILVerifier.h"
+#include "il/MethodIL.h"
+#include "support/Telemetry.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+using namespace jitml;
+using namespace jitml::verify;
+
+namespace {
+
+std::atomic<int> ModeCell{-1}; // -1 = not yet read from the environment
+
+VerifyIlMode readModeFromEnv() {
+  const char *E = std::getenv("JITML_VERIFY_IL");
+  if (!E || !*E || std::strcmp(E, "0") == 0 || std::strcmp(E, "off") == 0)
+    return VerifyIlMode::Off;
+  if (std::strcmp(E, "count") == 0)
+    return VerifyIlMode::Count;
+  return VerifyIlMode::Full;
+}
+
+std::mutex HandlerMu;
+FailureHandler Handler; // null = default print-and-abort
+
+struct VerifyCounters {
+  TelemetryCounter *Checks;
+  TelemetryCounter *Failures;
+  VerifyCounters() {
+    MetricRegistry &R = MetricRegistry::global();
+    Checks = &R.counter("verify.checks");
+    Failures = &R.counter("verify.failures");
+  }
+};
+
+VerifyCounters &counters() {
+  static VerifyCounters C;
+  return C;
+}
+
+constexpr unsigned CoverageLevels = 5;
+std::atomic<uint64_t> CovBits[CoverageLevels];
+
+} // namespace
+
+namespace jitml {
+namespace verify {
+namespace detail {
+std::atomic<bool> CoverageOn{false};
+} // namespace detail
+} // namespace verify
+} // namespace jitml
+
+VerifyIlMode jitml::verify::verifyIlMode() {
+  int M = ModeCell.load(std::memory_order_relaxed);
+  if (M >= 0)
+    return (VerifyIlMode)M;
+  VerifyIlMode Read = readModeFromEnv();
+  int Expected = -1;
+  ModeCell.compare_exchange_strong(Expected, (int)Read,
+                                   std::memory_order_relaxed);
+  return (VerifyIlMode)ModeCell.load(std::memory_order_relaxed);
+}
+
+void jitml::verify::setVerifyIlMode(VerifyIlMode M) {
+  ModeCell.store((int)M, std::memory_order_relaxed);
+}
+
+std::string jitml::verify::formatFailure(const PassCheckFailure &F) {
+  char Head[160];
+  std::snprintf(Head, sizeof(Head),
+                "IL verification failed: method %u after %s%s",
+                F.MethodIndex, F.PassName.c_str(),
+                F.PlanIndex >= 0 ? "" : " (pre-optimization)");
+  std::string Out = Head;
+  if (F.PlanIndex >= 0) {
+    std::snprintf(Head, sizeof(Head), " (plan entry %d)", F.PlanIndex);
+    Out += Head;
+  }
+  for (const std::string &E : F.Errors) {
+    Out += "\n  ";
+    Out += E;
+  }
+  return Out;
+}
+
+void jitml::verify::setVerifyFailureHandler(FailureHandler H) {
+  std::lock_guard<std::mutex> Lock(HandlerMu);
+  Handler = std::move(H);
+}
+
+bool jitml::verify::checkAfterPass(const MethodIL &IL, const char *PassName,
+                                   int PlanIndex) {
+  counters().Checks->add();
+  if (verifyIlMode() != VerifyIlMode::Full)
+    return true;
+  std::vector<std::string> Errors = verifyILDeep(IL);
+  if (Errors.empty())
+    return true;
+  counters().Failures->add();
+  PassCheckFailure F;
+  F.MethodIndex = IL.methodIndex();
+  F.PassName = PassName;
+  F.PlanIndex = PlanIndex;
+  F.Errors = std::move(Errors);
+  FailureHandler H;
+  {
+    std::lock_guard<std::mutex> Lock(HandlerMu);
+    H = Handler;
+  }
+  if (H) {
+    H(F);
+    return false;
+  }
+  std::fprintf(stderr, "%s\n", formatFailure(F).c_str());
+  std::abort();
+}
+
+void jitml::verify::setCoverageEnabled(bool On) {
+  detail::CoverageOn.store(On, std::memory_order_relaxed);
+}
+
+void jitml::verify::resetCoverage() {
+  for (std::atomic<uint64_t> &W : CovBits)
+    W.store(0, std::memory_order_relaxed);
+  MetricRegistry::global().gauge("verify.coverage_bits").set(0);
+}
+
+bool jitml::verify::notePassCoverage(unsigned Level, unsigned Kind) {
+  if (Level >= CoverageLevels || Kind >= 64)
+    return false;
+  uint64_t Bit = 1ULL << Kind;
+  uint64_t Prev =
+      CovBits[Level].fetch_or(Bit, std::memory_order_relaxed);
+  if (Prev & Bit)
+    return false;
+  MetricRegistry::global().gauge("verify.coverage_bits").set(
+      (int64_t)coverageBitCount());
+  return true;
+}
+
+unsigned jitml::verify::coverageBitCount() {
+  unsigned N = 0;
+  for (const std::atomic<uint64_t> &W : CovBits)
+    N += (unsigned)__builtin_popcountll(W.load(std::memory_order_relaxed));
+  return N;
+}

@@ -1,0 +1,106 @@
+//===- verify/PassVerifier.h - Pass-interposed IL checking ------*- C++ -*-===//
+///
+/// \file
+/// The hook the optimizer (and the IL generator's caller) uses to run
+/// il/ILVerifier between passes. Three modes, selected by JITML_VERIFY_IL:
+///
+///   Off    (unset, "0", "off")  one relaxed load + predictable branch per
+///                               executed pass — the production path
+///   Count  ("count")            count crossings in verify.checks without
+///                               running the checks; the overhead gate in
+///                               bench/fuzz_differential uses this to price
+///                               the interposition points
+///   Full   (anything else)     run verifyILDeep after every executed pass
+///                               and after IL generation; a failure reports
+///                               method/pass/plan-index plus every violated
+///                               invariant, then calls the failure handler
+///                               (default: print to stderr and abort — a
+///                               miscompile must not limp on)
+///
+/// The same translation unit owns the (level x transformation) coverage map
+/// the differential fuzzer steers by: notePassCoverage() marks "this pass
+/// changed IL at this opt level" and returns whether the bit is new, which
+/// is what makes a mutated program interesting enough to keep in the pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_VERIFY_PASSVERIFIER_H
+#define JITML_VERIFY_PASSVERIFIER_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace jitml {
+
+class MethodIL;
+
+namespace verify {
+
+enum class VerifyIlMode : uint8_t { Off = 0, Count, Full };
+
+/// The process-wide mode, read from JITML_VERIFY_IL once on first use.
+/// The accessor is a single relaxed atomic load after initialization.
+VerifyIlMode verifyIlMode();
+
+/// Test/driver override; takes effect immediately on all threads.
+void setVerifyIlMode(VerifyIlMode M);
+
+/// Everything a failed check knows, handed to the failure handler.
+struct PassCheckFailure {
+  uint32_t MethodIndex = 0;
+  std::string PassName;   ///< transformation name, or "ilgen"
+  int PlanIndex = -1;     ///< index into the plan's entries; -1 = not a pass
+  std::vector<std::string> Errors; ///< verifyILDeep diagnostics
+};
+
+/// Renders the failure as the multi-line diagnostic the default handler
+/// prints (method/pass header + one line per violated invariant).
+std::string formatFailure(const PassCheckFailure &F);
+
+using FailureHandler = std::function<void(const PassCheckFailure &)>;
+
+/// Installs \p H as the failure sink; pass nullptr to restore the default
+/// print-and-abort handler. Tests install a collector; the fuzzer installs
+/// a recorder so one bad pass output becomes a divergence, not a crash.
+void setVerifyFailureHandler(FailureHandler H);
+
+/// The interposition point. Call only when verifyIlMode() != Off (callers
+/// keep the disabled path to one branch). Count mode bumps verify.checks;
+/// Full mode additionally runs verifyILDeep and routes any violation —
+/// counted in verify.failures — to the failure handler. Returns false when
+/// a violation was found and a collecting handler swallowed it: the IL is
+/// no longer trusted, so the caller must stop feeding it through further
+/// passes (with the default handler the process aborts instead).
+bool checkAfterPass(const MethodIL &IL, const char *PassName, int PlanIndex);
+
+// --- (opt level x transformation) coverage map ---------------------------
+
+namespace detail {
+extern std::atomic<bool> CoverageOn;
+} // namespace detail
+
+/// Disabled cost in optimize(): one relaxed load + predictable branch.
+inline bool coverageEnabled() {
+  return detail::CoverageOn.load(std::memory_order_relaxed);
+}
+
+/// Turns coverage recording on/off (the fuzz driver flips it on once).
+void setCoverageEnabled(bool On);
+
+/// Zeroes the bitmap and the verify.coverage_bits gauge.
+void resetCoverage();
+
+/// Marks (Level, Kind) covered — "this transformation changed IL at this
+/// opt level". Returns true when the bit was not set before (new coverage).
+bool notePassCoverage(unsigned Level, unsigned Kind);
+
+/// Number of set bits in the (level x transformation) map.
+unsigned coverageBitCount();
+
+} // namespace verify
+} // namespace jitml
+
+#endif // JITML_VERIFY_PASSVERIFIER_H

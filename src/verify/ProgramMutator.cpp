@@ -1,0 +1,303 @@
+//===- verify/ProgramMutator.cpp ------------------------------------------===//
+
+#include "verify/ProgramMutator.h"
+
+#include "bytecode/Builder.h"
+#include "opt/Transformation.h"
+
+#include <cstdio>
+
+using namespace jitml;
+using namespace jitml::verify;
+
+namespace {
+
+/// Reads the decision stream; exhaustion yields zeros so every byte string
+/// is a complete program description.
+class ByteStream {
+public:
+  explicit ByteStream(const std::vector<uint8_t> &B) : Bytes(B) {}
+
+  uint8_t next() { return Pos < Bytes.size() ? Bytes[Pos++] : 0; }
+  /// next() reduced mod \p Bound (Bound in [1, 255]).
+  unsigned below(unsigned Bound) { return next() % Bound; }
+
+private:
+  const std::vector<uint8_t> &Bytes;
+  size_t Pos = 0;
+};
+
+/// Emits an Int32 expression onto the stack. Mirrors the shapes of
+/// tests/RandomProgramTest.cpp's emitExpr, but byte-driven: same byte
+/// string, same expression.
+void emitExpr(MethodBuilder &MB, ByteStream &S, unsigned NumLocals,
+              unsigned Depth) {
+  if (Depth == 0 || S.below(4) == 0) {
+    if (S.below(2))
+      MB.load(S.below(NumLocals));
+    else
+      MB.constI(DataType::Int32, (int64_t)S.below(129) - 64);
+    return;
+  }
+  switch (S.below(7)) {
+  case 0: {
+    static const BcOp Ops[] = {BcOp::Add, BcOp::Sub, BcOp::Mul, BcOp::Or,
+                               BcOp::And, BcOp::Xor};
+    emitExpr(MB, S, NumLocals, Depth - 1);
+    emitExpr(MB, S, NumLocals, Depth - 1);
+    MB.binop(Ops[S.below(6)], DataType::Int32);
+    return;
+  }
+  case 1: // division by a guaranteed nonzero constant
+    emitExpr(MB, S, NumLocals, Depth - 1);
+    MB.constI(DataType::Int32, 1 + (int64_t)S.below(31));
+    MB.binop(S.below(2) ? BcOp::Div : BcOp::Rem, DataType::Int32);
+    return;
+  case 2: // shifts by small constants
+    emitExpr(MB, S, NumLocals, Depth - 1);
+    MB.constI(DataType::Int32, (int64_t)S.below(8));
+    MB.binop(S.below(2) ? BcOp::Shl : BcOp::Shr, DataType::Int32);
+    return;
+  case 3: // narrowing/widening round trip
+    emitExpr(MB, S, NumLocals, Depth - 1);
+    MB.conv(DataType::Int32, DataType::Int16);
+    MB.conv(DataType::Int16, DataType::Int32);
+    return;
+  case 4: { // float detour
+    emitExpr(MB, S, NumLocals, Depth - 1);
+    MB.conv(DataType::Int32, DataType::Double);
+    MB.constF(DataType::Double, 1.0 + (double)S.below(4));
+    MB.binop(BcOp::Mul, DataType::Double);
+    MB.conv(DataType::Double, DataType::Int32);
+    return;
+  }
+  case 5: // negation
+    emitExpr(MB, S, NumLocals, Depth - 1);
+    MB.neg(DataType::Int32);
+    return;
+  default: { // redundant subtree (CSE/value-numbering fodder)
+    unsigned Slot = S.below(NumLocals);
+    MB.load(Slot);
+    MB.load(Slot);
+    MB.binop(BcOp::Add, DataType::Int32);
+    return;
+  }
+  }
+}
+
+/// Emits one statement: a store, a branch diamond, or a counted loop.
+/// Every shape terminates and leaves the stack empty.
+void emitStmt(MethodBuilder &MB, ByteStream &S, unsigned NumLocals) {
+  switch (S.below(4)) {
+  case 0:
+  case 1: // store an expression
+    emitExpr(MB, S, NumLocals, 3);
+    MB.store(S.below(NumLocals));
+    return;
+  case 2: { // branch diamond
+    auto Else = MB.newLabel();
+    auto Join = MB.newLabel();
+    emitExpr(MB, S, NumLocals, 2);
+    MB.ifZero((BcCond)S.below(6), Else);
+    emitExpr(MB, S, NumLocals, 2);
+    MB.store(S.below(NumLocals));
+    MB.gotoLabel(Join);
+    MB.place(Else);
+    emitExpr(MB, S, NumLocals, 2);
+    MB.store(S.below(NumLocals));
+    MB.place(Join);
+    return;
+  }
+  default: { // counted loop, trip count 1..8 (always terminates)
+    unsigned Trips = 1 + S.below(8);
+    unsigned Acc = S.below(NumLocals);
+    uint32_t C = MB.addLocal(DataType::Int32);
+    MB.constI(DataType::Int32, 0).store(C);
+    auto Head = MB.newLabel();
+    auto Exit = MB.newLabel();
+    MB.place(Head);
+    MB.load(C).constI(DataType::Int32, (int64_t)Trips);
+    MB.ifCmp(BcCond::Ge, Exit);
+    MB.load(Acc);
+    emitExpr(MB, S, NumLocals, 2);
+    MB.binop(S.below(2) ? BcOp::Add : BcOp::Xor, DataType::Int32);
+    MB.store(Acc);
+    MB.inc(C, 1);
+    MB.gotoLabel(Head);
+    MB.place(Exit);
+    return;
+  }
+  }
+}
+
+constexpr uint64_t ModifierMask = (1ULL << NumTransformations) - 1;
+
+int hexVal(char C) {
+  if (C >= '0' && C <= '9')
+    return C - '0';
+  if (C >= 'a' && C <= 'f')
+    return C - 'a' + 10;
+  if (C >= 'A' && C <= 'F')
+    return C - 'A' + 10;
+  return -1;
+}
+
+} // namespace
+
+uint32_t jitml::verify::buildFuzzProgram(Program &P, const FuzzInput &In) {
+  ByteStream S(In.Bytes);
+  MethodBuilder MB(P, "fuzz", -1, MF_Static | MF_Public,
+                   {DataType::Int32, DataType::Int32}, DataType::Int32);
+  // 1..3 Int32 temporaries, each initialized from an expression over the
+  // locals already live.
+  unsigned NumLocals = 2;
+  unsigned Temps = 1 + S.below(3);
+  for (unsigned I = 0; I < Temps; ++I) {
+    uint32_t T = MB.addLocal(DataType::Int32);
+    emitExpr(MB, S, NumLocals, 3);
+    MB.store(T);
+    ++NumLocals;
+  }
+  // 1..5 statements. Loop-added counter locals are intentionally NOT fed
+  // back into NumLocals: expressions must only read locals that are
+  // initialized on every path.
+  unsigned Stmts = 1 + S.below(5);
+  for (unsigned I = 0; I < Stmts; ++I)
+    emitStmt(MB, S, NumLocals);
+  // Epilogue: fold every addressable local into the return value so no
+  // statement is trivially dead.
+  MB.load(0);
+  for (unsigned I = 1; I < NumLocals; ++I) {
+    MB.load(I);
+    MB.binop(BcOp::Xor, DataType::Int32);
+  }
+  emitExpr(MB, S, NumLocals, 2);
+  MB.binop(BcOp::Add, DataType::Int32);
+  MB.retValue(DataType::Int32);
+  return MB.finish();
+}
+
+std::string jitml::verify::serializeFuzzInput(const FuzzInput &In) {
+  char Head[80];
+  std::snprintf(Head, sizeof(Head), "%u %016llx %llu ", (unsigned)In.Level,
+                (unsigned long long)In.ModifierRaw,
+                (unsigned long long)In.ArgSeed);
+  std::string Out = Head;
+  static const char Hex[] = "0123456789abcdef";
+  for (uint8_t B : In.Bytes) {
+    Out.push_back(Hex[B >> 4]);
+    Out.push_back(Hex[B & 15]);
+  }
+  if (In.Bytes.empty())
+    Out += "-"; // explicit empty marker so the line always has 4 fields
+  return Out;
+}
+
+bool jitml::verify::deserializeFuzzInput(const std::string &Text,
+                                         FuzzInput &Out) {
+  unsigned Level = 0;
+  unsigned long long Mod = 0, Seed = 0;
+  int Consumed = 0;
+  if (std::sscanf(Text.c_str(), "%u %llx %llu %n", &Level, &Mod, &Seed,
+                  &Consumed) != 3 ||
+      Level >= 5)
+    return false;
+  const char *Hex = Text.c_str() + Consumed;
+  std::vector<uint8_t> Bytes;
+  if (!(Hex[0] == '-' && Hex[1] == '\0')) {
+    for (; Hex[0] && Hex[0] != '\n'; Hex += 2) {
+      int Hi = hexVal(Hex[0]);
+      int Lo = Hex[1] ? hexVal(Hex[1]) : -1;
+      if (Hi < 0 || Lo < 0)
+        return false;
+      Bytes.push_back((uint8_t)((Hi << 4) | Lo));
+    }
+  }
+  Out.Level = (uint8_t)Level;
+  Out.ModifierRaw = Mod & ModifierMask;
+  Out.ArgSeed = Seed;
+  Out.Bytes = std::move(Bytes);
+  return true;
+}
+
+FuzzInput ProgramMutator::seedInput(size_t NumBytes) {
+  FuzzInput In;
+  In.Bytes.resize(NumBytes);
+  for (uint8_t &B : In.Bytes)
+    B = (uint8_t)R.nextBelow(256);
+  In.Level = (uint8_t)R.nextBelow(5);
+  In.ModifierRaw = ModifierMask; // start from the unmodified plan
+  In.ArgSeed = 1 + R.nextBelow(1 << 20);
+  return In;
+}
+
+FuzzInput ProgramMutator::mutate(const FuzzInput &In,
+                                 const std::vector<FuzzInput> &Pool) {
+  FuzzInput Out = In;
+  unsigned Rounds = 1 + (unsigned)R.nextBelow(3);
+  for (unsigned I = 0; I < Rounds; ++I) {
+    switch (R.nextBelow(10)) {
+    case 0: // flip one bit
+      if (!Out.Bytes.empty()) {
+        size_t P = R.nextBelow(Out.Bytes.size());
+        Out.Bytes[P] ^= (uint8_t)(1 << R.nextBelow(8));
+      }
+      break;
+    case 1: // overwrite one byte
+      if (!Out.Bytes.empty())
+        Out.Bytes[R.nextBelow(Out.Bytes.size())] = (uint8_t)R.nextBelow(256);
+      break;
+    case 2: // byte arithmetic
+      if (!Out.Bytes.empty())
+        Out.Bytes[R.nextBelow(Out.Bytes.size())] +=
+            (uint8_t)(1 + R.nextBelow(8));
+      break;
+    case 3: { // insert a small chunk
+      size_t P = Out.Bytes.empty() ? 0 : R.nextBelow(Out.Bytes.size() + 1);
+      size_t N = 1 + R.nextBelow(6);
+      std::vector<uint8_t> Chunk(N);
+      for (uint8_t &B : Chunk)
+        B = (uint8_t)R.nextBelow(256);
+      Out.Bytes.insert(Out.Bytes.begin() + (long)P, Chunk.begin(),
+                       Chunk.end());
+      break;
+    }
+    case 4: // delete a small chunk
+      if (Out.Bytes.size() > 4) {
+        size_t P = R.nextBelow(Out.Bytes.size() - 1);
+        size_t N = 1 + R.nextBelow(std::min<size_t>(6, Out.Bytes.size() - P));
+        Out.Bytes.erase(Out.Bytes.begin() + (long)P,
+                        Out.Bytes.begin() + (long)(P + N));
+      }
+      break;
+    case 5: // splice a tail from a pool partner
+      if (!Pool.empty()) {
+        const FuzzInput &Mate = Pool[R.nextBelow(Pool.size())];
+        if (!Mate.Bytes.empty() && !Out.Bytes.empty()) {
+          size_t Cut = R.nextBelow(Out.Bytes.size());
+          size_t From = R.nextBelow(Mate.Bytes.size());
+          Out.Bytes.resize(Cut);
+          Out.Bytes.insert(Out.Bytes.end(), Mate.Bytes.begin() + (long)From,
+                           Mate.Bytes.end());
+        }
+      }
+      break;
+    case 6: // focus level
+      Out.Level = (uint8_t)R.nextBelow(5);
+      break;
+    case 7: // flip one modifier bit — a learned model may clear any of them
+      Out.ModifierRaw ^= 1ULL << R.nextBelow(NumTransformations);
+      break;
+    case 8: // modifier extremes: the null modifier / everything disabled
+      Out.ModifierRaw = R.nextBool(0.5) ? ModifierMask : 0;
+      break;
+    default: // new argument tuples
+      Out.ArgSeed = 1 + R.nextBelow(1 << 20);
+      break;
+    }
+  }
+  Out.ModifierRaw &= ModifierMask;
+  if (Out.Bytes.size() > 4096) // keep generator inputs bounded
+    Out.Bytes.resize(4096);
+  return Out;
+}

@@ -1,0 +1,81 @@
+//===- verify/ProgramMutator.h - Fuzz inputs and mutation -------*- C++ -*-===//
+///
+/// \file
+/// The differential fuzzer's input representation and mutator. A FuzzInput
+/// is a flat byte string plus a (level, modifier, argseed) triple; the
+/// bytes drive a decision-stream program generator (buildFuzzProgram) that
+/// can only emit verifier-valid, always-terminating methods: loops are
+/// counted with small constant trip counts, divisors and shift amounts are
+/// clamped nonzero/small, and every local is typed Int32. Because the
+/// mapping bytes -> program is total (an exhausted stream reads as zeros),
+/// the mutator can do dumb byte surgery — flips, arithmetic, chunk
+/// insert/delete, splicing — and every mutant is still a runnable program,
+/// the property that makes coverage-guided fuzzing cheap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_VERIFY_PROGRAMMUTATOR_H
+#define JITML_VERIFY_PROGRAMMUTATOR_H
+
+#include "bytecode/Program.h"
+#include "opt/Transformation.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace jitml {
+namespace verify {
+
+/// One fuzz candidate: the generator decision stream plus the compilation
+/// strategy it is executed under.
+struct FuzzInput {
+  std::vector<uint8_t> Bytes;
+  /// Focus level for the async replay (the sync oracle runs all levels).
+  uint8_t Level = 0;
+  /// Raw 58-bit enabled mask (bit set = transformation enabled). Kept
+  /// canonical (no bits above NumTransformations) so serialization — which
+  /// masks on read — round-trips exactly.
+  uint64_t ModifierRaw = (1ULL << NumTransformations) - 1;
+  /// Seeds the argument tuples the oracle feeds the method.
+  uint64_t ArgSeed = 1;
+
+  bool operator==(const FuzzInput &O) const {
+    return Bytes == O.Bytes && Level == O.Level &&
+           ModifierRaw == O.ModifierRaw && ArgSeed == O.ArgSeed;
+  }
+};
+
+/// One-line text form "level modifier argseed bytes-hex" used by the
+/// corpus format and campaign logs.
+std::string serializeFuzzInput(const FuzzInput &In);
+/// Parses serializeFuzzInput output; false on malformed text.
+bool deserializeFuzzInput(const std::string &Text, FuzzInput &Out);
+
+/// Builds the method the decision stream describes into \p P and returns
+/// its index. Signature is always fuzz(Int32, Int32) -> Int32. Total:
+/// every byte string maps to a valid method.
+uint32_t buildFuzzProgram(Program &P, const FuzzInput &In);
+
+/// Deterministic input mutator (all randomness from the caller's Rng).
+class ProgramMutator {
+public:
+  explicit ProgramMutator(uint64_t Seed) : R(Seed) {}
+
+  /// Returns a mutant of \p In; \p Pool (may be empty) supplies splice
+  /// partners. Byte mutations dominate; level/modifier/argseed mutations
+  /// are rarer so a mutant usually stays comparable to its parent.
+  FuzzInput mutate(const FuzzInput &In, const std::vector<FuzzInput> &Pool);
+
+  /// A fresh random seed input (used to found the initial pool).
+  FuzzInput seedInput(size_t NumBytes);
+
+private:
+  Rng R;
+};
+
+} // namespace verify
+} // namespace jitml
+
+#endif // JITML_VERIFY_PROGRAMMUTATOR_H

@@ -1,0 +1,116 @@
+//===- verify/Reducer.cpp -------------------------------------------------===//
+
+#include "verify/Reducer.h"
+
+#include "opt/Transformation.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace jitml;
+using namespace jitml::verify;
+
+namespace {
+
+struct Budget {
+  const FailPredicate &Fails;
+  unsigned Remaining;
+  ReduceStats Stats;
+
+  bool probe(const FuzzInput &Candidate) {
+    if (Remaining == 0)
+      return false;
+    --Remaining;
+    ++Stats.Probes;
+    return Fails(Candidate);
+  }
+};
+
+/// One ddmin sweep over the byte string: try deleting chunks of Size; a
+/// successful deletion restarts the scan at the new string.
+bool chunkSweep(FuzzInput &Best, size_t Size, Budget &B) {
+  bool Shrunk = false;
+  size_t Pos = 0;
+  while (Pos < Best.Bytes.size() && B.Remaining) {
+    FuzzInput Candidate = Best;
+    size_t N = std::min(Size, Candidate.Bytes.size() - Pos);
+    Candidate.Bytes.erase(Candidate.Bytes.begin() + (long)Pos,
+                          Candidate.Bytes.begin() + (long)(Pos + N));
+    if (B.probe(Candidate)) {
+      Best = std::move(Candidate);
+      Shrunk = true; // same Pos now addresses the next chunk
+    } else {
+      Pos += Size;
+    }
+  }
+  return Shrunk;
+}
+
+} // namespace
+
+FuzzInput jitml::verify::reduceInput(const FuzzInput &Failing,
+                                     const FailPredicate &StillFails,
+                                     unsigned MaxProbes, ReduceStats *Stats) {
+  assert(StillFails(Failing) && "reduceInput needs a failing input");
+  FuzzInput Best = Failing;
+  Budget B{StillFails, MaxProbes, {}};
+
+  // 1. ddmin chunk deletion: halving granularity down to single bytes.
+  for (size_t Size = std::max<size_t>(Best.Bytes.size() / 2, 1);;
+       Size /= 2) {
+    while (chunkSweep(Best, Size, B) && B.Remaining)
+      ;
+    ++B.Stats.Rounds;
+    if (Size == 1 || !B.Remaining)
+      break;
+  }
+
+  // 2. Zero surviving bytes (zero decisions select the simplest arms).
+  for (size_t I = 0; I < Best.Bytes.size() && B.Remaining; ++I) {
+    if (Best.Bytes[I] == 0)
+      continue;
+    FuzzInput Candidate = Best;
+    Candidate.Bytes[I] = 0;
+    if (B.probe(Candidate))
+      Best = std::move(Candidate);
+  }
+  // Drop a now-all-zero tail (reads identically off the end of the
+  // stream).
+  while (!Best.Bytes.empty() && Best.Bytes.back() == 0 && B.Remaining) {
+    FuzzInput Candidate = Best;
+    Candidate.Bytes.pop_back();
+    if (!B.probe(Candidate))
+      break;
+    Best = std::move(Candidate);
+  }
+
+  // 3. Re-enable disabled transformations one at a time; the bits that
+  // must stay cleared are the failure's minimal disable-set.
+  for (unsigned K = 0; K < NumTransformations && B.Remaining; ++K) {
+    uint64_t Bit = 1ULL << K;
+    if (Best.ModifierRaw & Bit)
+      continue;
+    FuzzInput Candidate = Best;
+    Candidate.ModifierRaw |= Bit;
+    if (B.probe(Candidate))
+      Best = std::move(Candidate);
+  }
+
+  // 4. Canonicalize the remaining scalars.
+  if (Best.ArgSeed != 1 && B.Remaining) {
+    FuzzInput Candidate = Best;
+    Candidate.ArgSeed = 1;
+    if (B.probe(Candidate))
+      Best = std::move(Candidate);
+  }
+  if (Best.Level != 0 && B.Remaining) {
+    FuzzInput Candidate = Best;
+    Candidate.Level = 0;
+    if (B.probe(Candidate))
+      Best = std::move(Candidate);
+  }
+
+  if (Stats)
+    *Stats = B.Stats;
+  return Best;
+}

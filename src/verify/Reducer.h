@@ -1,0 +1,45 @@
+//===- verify/Reducer.h - Delta-debugging failing fuzz inputs ---*- C++ -*-===//
+///
+/// \file
+/// Deterministic test-case reduction. Given a failing FuzzInput and a
+/// predicate that re-runs the oracle, reduceInput shrinks along every axis
+/// the input has: ddmin-style chunk deletion over the decision bytes
+/// (smaller byte string -> structurally smaller program), zeroing of the
+/// surviving bytes (zero decisions pick the simplest generator arm), then
+/// re-enabling disabled modifier bits one at a time — whatever stays
+/// cleared after that is the minimal set of disabled transformations the
+/// failure needs — and finally collapsing the argument seed. Probe count
+/// is bounded, every probe is a pure function of its input, and the
+/// result is guaranteed to still satisfy the predicate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_VERIFY_REDUCER_H
+#define JITML_VERIFY_REDUCER_H
+
+#include "verify/ProgramMutator.h"
+
+#include <functional>
+
+namespace jitml {
+namespace verify {
+
+/// Returns true when the candidate still exhibits the failure being
+/// reduced (typically: same DivergenceKind from runOracle).
+using FailPredicate = std::function<bool(const FuzzInput &)>;
+
+struct ReduceStats {
+  unsigned Probes = 0;  ///< predicate evaluations spent
+  unsigned Rounds = 0;  ///< ddmin granularity rounds completed
+};
+
+/// Shrinks \p Failing while \p StillFails holds. \p Failing itself must
+/// satisfy the predicate (asserted). Stops early after \p MaxProbes
+/// predicate calls.
+FuzzInput reduceInput(const FuzzInput &Failing, const FailPredicate &StillFails,
+                      unsigned MaxProbes = 400, ReduceStats *Stats = nullptr);
+
+} // namespace verify
+} // namespace jitml
+
+#endif // JITML_VERIFY_REDUCER_H

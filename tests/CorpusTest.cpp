@@ -1,0 +1,166 @@
+//===- tests/CorpusTest.cpp - Replay the persistent repro corpus ----------===//
+//
+// Every *.repro file under tests/corpus/ replays on every ctest run, so a
+// bug that was ever found by the fuzzer (or fixed by hand and pinned as a
+// scenario) stays fixed. Two kinds of entry:
+//
+//   differential  the file carries a reduced FuzzInput; replay runs the
+//                 full oracle. With the recorded fault spec armed it must
+//                 diverge (the repro still reproduces); with faults
+//                 disarmed — and for entries recorded against the real
+//                 compiler — it must be clean (the bug stays fixed).
+//   scenario      the file names a historical bug class; the name maps to
+//                 a hand-written replay below.
+//
+// JITML_CORPUS_DIR points at the source-tree corpus (set in
+// tests/CMakeLists.txt) so the suite needs no install step.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include "codegen/NativeInst.h"
+#include "mldata/Normalizer.h"
+#include "runtime/CodeCache.h"
+#include "support/FaultInjection.h"
+#include "verify/Corpus.h"
+#include "verify/DifferentialFuzzer.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitml;
+using namespace jitml::verify;
+
+#ifndef JITML_CORPUS_DIR
+#define JITML_CORPUS_DIR "tests/corpus"
+#endif
+
+namespace {
+
+// --- Scenario replays ----------------------------------------------------
+//
+// Each function re-runs the distilled form of a bug this codebase actually
+// shipped (see CHANGES.md) and passes only while the fix holds.
+
+/// Scaling::fromText once counted lines instead of tracking indices, so a
+/// file with a duplicated index and a missing one parsed fine and silently
+/// mis-scaled every feature from the missing index on.
+void replayScalingDuplicateIndex() {
+  // A well-formed table: every index exactly once.
+  std::string Good;
+  for (unsigned I = 0; I < NumFeatures; ++I)
+    Good += std::to_string(I) + " 0 1\n";
+  Scaling S;
+  EXPECT_TRUE(Scaling::fromText(Good, S));
+
+  // Duplicate index 3, drop index 4: same line count, corrupt content.
+  std::string Bad;
+  for (unsigned I = 0; I < NumFeatures; ++I)
+    Bad += std::to_string(I == 4 ? 3 : I) + " 0 1\n";
+  EXPECT_FALSE(Scaling::fromText(Bad, S))
+      << "duplicate-index scaling file must be rejected";
+
+  // A short file (missing trailing index) is also corrupt.
+  std::string Short;
+  for (unsigned I = 0; I + 1 < NumFeatures; ++I)
+    Short += std::to_string(I) + " 0 1\n";
+  EXPECT_FALSE(Scaling::fromText(Short, S));
+}
+
+/// An async worker that drew an older compile ticket than a faster rival
+/// must not clobber the newer installed body when it finally finishes.
+void replayStaleInstall() {
+  CodeCache Cache;
+  Cache.reset(1);
+  auto Newer = std::make_unique<NativeMethod>();
+  Newer->NumVRegs = 2; // tag so we can tell the bodies apart
+  ASSERT_TRUE(Cache.install(0, std::move(Newer), /*Ticket=*/7));
+
+  auto Stale = std::make_unique<NativeMethod>();
+  Stale->NumVRegs = 1;
+  EXPECT_FALSE(Cache.install(0, std::move(Stale), /*Ticket=*/3))
+      << "older ticket must lose the install race";
+  EXPECT_EQ(Cache.staleRejected(), 1u);
+  ASSERT_NE(Cache.lookup(0), nullptr);
+  EXPECT_EQ(Cache.lookup(0)->NumVRegs, 2u)
+      << "stale install clobbered the newer body";
+
+  // Equal ticket is also stale (exactly-once handoff).
+  auto Equal = std::make_unique<NativeMethod>();
+  EXPECT_FALSE(Cache.install(0, std::move(Equal), /*Ticket=*/7));
+}
+
+/// Recompiling a recursive method while native frames of the old body are
+/// still live once reclaimed the old body too eagerly (use-after-free the
+/// ASan job catches if it regresses). Replay: drive fib through every
+/// promotion with recursion active and eagerly reclaim at each step.
+void replayRecursiveRecompile() {
+  Program P;
+  uint32_t Fib = jitml::testing::addFib(P);
+  VirtualMachine::Config Cfg;
+  for (unsigned L = 0; L < NumOptLevels; ++L) {
+    for (unsigned K = 0; K < 3; ++K)
+      Cfg.Control.InvocationTriggers[L][K] = 2; // promote at every turn
+    Cfg.Control.CycleTriggers[L] = 1e18;
+  }
+  VirtualMachine VM(P, Cfg);
+  for (int I = 0; I < 12; ++I) {
+    ExecResult R = VM.invoke(Fib, {Value::ofI(12)});
+    ASSERT_FALSE(R.Exceptional);
+    EXPECT_EQ(R.Ret.I, 144) << "fib(12) wrong after recompile " << I;
+  }
+}
+
+void replayScenario(const CorpusEntry &E, const std::string &File) {
+  SCOPED_TRACE(File);
+  if (E.Scenario == "scaling-duplicate-index")
+    replayScalingDuplicateIndex();
+  else if (E.Scenario == "stale-install")
+    replayStaleInstall();
+  else if (E.Scenario == "recursive-recompile")
+    replayRecursiveRecompile();
+  else
+    FAIL() << "corpus file names unknown scenario '" << E.Scenario
+           << "' — add a replay to CorpusTest.cpp";
+}
+
+void replayDifferential(const CorpusEntry &E, const std::string &File) {
+  SCOPED_TRACE(File);
+  if (!E.FaultSpec.empty()) {
+    // The repro was minimized against an injected bug: armed, it must
+    // still diverge (proving the reducer kept the trigger) ...
+    ASSERT_TRUE(FaultRegistry::global().arm(E.FaultSpec, E.FaultSeed));
+    OracleResult Armed = runOracle(E.Input);
+    EXPECT_TRUE(Armed.diverged())
+        << "repro no longer reproduces under " << E.FaultSpec;
+    FaultRegistry::global().disarm();
+  }
+  // ... and with the real (or repaired) compiler it must be clean.
+  OracleResult Clean = runOracle(E.Input);
+  EXPECT_FALSE(Clean.diverged())
+      << divergenceKindName(Clean.Kind) << ": " << Clean.Detail;
+}
+
+} // namespace
+
+TEST(Corpus, DirectoryIsSeeded) {
+  // The corpus ships with the tree; an empty directory means the compile
+  // definition points somewhere wrong, which would make every replay
+  // below pass vacuously.
+  EXPECT_GE(listCorpusFiles(JITML_CORPUS_DIR).size(), 4u)
+      << "corpus dir: " << JITML_CORPUS_DIR;
+}
+
+TEST(Corpus, EveryFileReplays) {
+  FaultRegistry::global().disarm();
+  for (const std::string &File : listCorpusFiles(JITML_CORPUS_DIR)) {
+    CorpusEntry E;
+    std::string Err;
+    ASSERT_TRUE(readCorpusFile(File, E, &Err)) << Err;
+    if (E.Kind == "scenario")
+      replayScenario(E, File);
+    else
+      replayDifferential(E, File);
+  }
+  FaultRegistry::global().disarm();
+}

@@ -2,6 +2,9 @@
 
 #include "jitml/Training.h"
 #include "modifiers/GuidedSearch.h"
+#include "runtime/VirtualMachine.h"
+#include "verify/PassVerifier.h"
+#include "workloads/Workload.h"
 
 #include <gtest/gtest.h>
 
@@ -81,6 +84,47 @@ TEST(GuidedSearch, UntrustedBitsStayAtBase) {
   Search.noteOutcome(OptLevel::Cold, PlanModifier(), 100.0);
   EXPECT_NEAR(Search.disableProbability(OptLevel::Cold, BadPass), 0.12,
               1e-9);
+}
+
+TEST(GuidedSearch, ProposalsSurviveVerifiedPipelineEdges) {
+  // Edge plans under search-proposed modifiers, with the deep IL verifier
+  // interposed after every pass (default abort handler: completing the
+  // test is the structural assertion; the checksum is the semantic one).
+  // Covers the empty plan and the scorching/all-bits extremes that the
+  // search can and does propose once it has learned to distrust nothing.
+  verify::VerifyIlMode Saved = verify::verifyIlMode();
+  verify::setVerifyIlMode(verify::VerifyIlMode::Full);
+
+  Program P = buildWorkload(workloadByCode("cp"));
+  int64_t Reference = workloadChecksum(P, 1);
+  std::vector<uint32_t> Kernels;
+  for (uint32_t M = 0; M < P.numMethods(); ++M)
+    if (P.methodAt(M).Name.find("Kernel") != std::string::npos)
+      Kernels.push_back(M);
+
+  GuidedSearch Search;
+  Rng R(314);
+  CompilationPlan Empty; // zero entries
+  Empty.Level = OptLevel::Hot;
+  std::vector<const CompilationPlan *> Plans{
+      &Empty, &planForLevel(OptLevel::Scorching)};
+  for (int I = 0; I < 4; ++I) {
+    PlanModifier Mod = Search.propose(R, OptLevel::Hot);
+    for (const CompilationPlan *Plan : Plans) {
+      VirtualMachine::Config Cfg;
+      Cfg.Control.Enabled = false;
+      VirtualMachine VM(P, Cfg);
+      for (uint32_t M : Kernels)
+        VM.compileWithPlan(M, *Plan, Mod);
+      ExecResult Res = VM.run({Value::ofI(0)});
+      ASSERT_FALSE(Res.Exceptional);
+      EXPECT_EQ((int64_t)mix64((uint64_t)Res.Ret.I), Reference)
+          << "plan size " << Plan->size() << " modifier "
+          << Mod.enabledMask().toString();
+      Search.noteOutcome(OptLevel::Hot, Mod, 100.0);
+    }
+  }
+  verify::setVerifyIlMode(Saved);
 }
 
 TEST(GuidedStrategy, ServesAndExhaustsWithinBudget) {

@@ -12,7 +12,9 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bytecode/Builder.h"
 #include "runtime/VirtualMachine.h"
+#include "verify/PassVerifier.h"
 #include "workloads/Workload.h"
 
 #include <gtest/gtest.h>
@@ -93,3 +95,116 @@ std::vector<SweepCase> sweepCases() {
 
 INSTANTIATE_TEST_SUITE_P(TrainingSuite, ModifierSweep,
                          ::testing::ValuesIn(sweepCases()), caseName);
+
+// --- Degenerate plans and methods ----------------------------------------
+//
+// The sweep above covers realistic plans; these pin the boundary shapes.
+// All of them compile with the deep IL verifier interposed after every
+// pass (the default handler aborts the process on a violation, so merely
+// finishing is the assertion).
+
+namespace {
+
+/// Scope guard: Full verify mode with the abort-on-failure default
+/// handler, restored on exit.
+struct FullVerifyScope {
+  verify::VerifyIlMode Saved = verify::verifyIlMode();
+  FullVerifyScope() { verify::setVerifyIlMode(verify::VerifyIlMode::Full); }
+  ~FullVerifyScope() { verify::setVerifyIlMode(Saved); }
+};
+
+/// Methods with one-instruction bodies: `return 7` and `return arg`.
+std::vector<uint32_t> addSingleInstructionMethods(Program &P) {
+  std::vector<uint32_t> Out;
+  {
+    MethodBuilder MB(P, "retConst", -1, MF_Static | MF_Public, {},
+                     DataType::Int32);
+    MB.constI(DataType::Int32, 7).retValue(DataType::Int32);
+    Out.push_back(MB.finish());
+  }
+  {
+    MethodBuilder MB(P, "retArg", -1, MF_Static | MF_Public,
+                     {DataType::Int32}, DataType::Int32);
+    MB.load(0).retValue(DataType::Int32);
+    Out.push_back(MB.finish());
+  }
+  return Out;
+}
+
+int64_t invokeCompiled(Program &P, uint32_t M, const CompilationPlan &Plan,
+                       const PlanModifier &Mod, int64_t Arg) {
+  VirtualMachine::Config Cfg;
+  Cfg.Control.Enabled = false;
+  VirtualMachine VM(P, Cfg);
+  VM.compileWithPlan(M, Plan, Mod);
+  std::vector<Value> Args;
+  for (size_t I = 0; I < P.methodAt(M).ArgTypes.size(); ++I)
+    Args.push_back(Value::ofI(Arg));
+  ExecResult R = VM.invoke(M, Args);
+  EXPECT_FALSE(R.Exceptional);
+  return R.Ret.I;
+}
+
+} // namespace
+
+TEST(ModifierEdge, EmptyPlanThroughVerifiedPipeline) {
+  // A plan with zero entries: codegen consumes exactly what ilgen
+  // produced. Every level tag is legal on an empty plan.
+  FullVerifyScope Scope;
+  Program P;
+  std::vector<uint32_t> Methods = addSingleInstructionMethods(P);
+  for (unsigned L = 0; L < NumOptLevels; ++L) {
+    CompilationPlan Empty;
+    Empty.Level = (OptLevel)L;
+    EXPECT_EQ(invokeCompiled(P, Methods[0], Empty, PlanModifier(), 0), 7);
+    EXPECT_EQ(invokeCompiled(P, Methods[1], Empty, PlanModifier(), -13),
+              -13);
+  }
+}
+
+TEST(ModifierEdge, AllBitsSetPlanThroughVerifiedPipeline) {
+  // The densest configuration: the scorching plan (172 entries) with every
+  // one of the 58 transformation bits enabled, on both a degenerate method
+  // and a real workload kernel.
+  FullVerifyScope Scope;
+  PlanModifier AllOn =
+      PlanModifier::fromRaw((1ULL << NumTransformations) - 1);
+  ASSERT_TRUE(AllOn.isNull());
+  Program P;
+  std::vector<uint32_t> Methods = addSingleInstructionMethods(P);
+  const CompilationPlan &Plan = planForLevel(OptLevel::Scorching);
+  EXPECT_EQ(invokeCompiled(P, Methods[0], Plan, AllOn, 0), 7);
+  EXPECT_EQ(invokeCompiled(P, Methods[1], Plan, AllOn, 42), 42);
+
+  Program W = buildWorkload(workloadByCode("cp"));
+  int64_t Reference = workloadChecksum(W, 1);
+  VirtualMachine::Config Cfg;
+  Cfg.Control.Enabled = false;
+  VirtualMachine VM(W, Cfg);
+  for (uint32_t M = 0; M < W.numMethods(); ++M)
+    if (W.methodAt(M).Name.find("Kernel") != std::string::npos)
+      VM.compileWithPlan(M, Plan, AllOn);
+  ExecResult Res = VM.run({Value::ofI(0)});
+  ASSERT_FALSE(Res.Exceptional);
+  EXPECT_EQ((int64_t)mix64((uint64_t)Res.Ret.I), Reference);
+}
+
+TEST(ModifierEdge, SingleInstructionMethodsSweepAllLevels) {
+  // One-instruction bodies hit the degenerate ends of every pass's scan
+  // loops (no loops, one block, no kills). Sweep all levels x {null,
+  // all-disabled} under the interposed verifier.
+  FullVerifyScope Scope;
+  Program P;
+  std::vector<uint32_t> Methods = addSingleInstructionMethods(P);
+  PlanModifier AllOff{BitSet64::allZero(NumTransformations)};
+  for (unsigned L = 0; L < NumOptLevels; ++L) {
+    for (const PlanModifier &Mod : {PlanModifier(), AllOff}) {
+      EXPECT_EQ(
+          invokeCompiled(P, Methods[0], planForLevel((OptLevel)L), Mod, 0),
+          7);
+      EXPECT_EQ(invokeCompiled(P, Methods[1], planForLevel((OptLevel)L),
+                               Mod, 1234),
+                1234);
+    }
+  }
+}

@@ -12,7 +12,10 @@
 
 #include "bridge/ModelService.h"
 #include "collect/Archive.h"
+#include "il/ILGenerator.h"
+#include "il/ILVerifier.h"
 
+#include <cstdlib>
 #include <gtest/gtest.h>
 
 using namespace jitml;
@@ -101,10 +104,29 @@ uint32_t buildRandomMethod(Program &P, uint64_t Seed) {
 
 class RandomProgram : public ::testing::TestWithParam<uint64_t> {};
 
+/// JITML_GEN_SEED=N re-runs one failing seed in isolation: the fixture's
+/// parameter range collapses to just N, so `--gtest_filter='FuzzSeeds/*'`
+/// replays exactly the reported program.
+static uint64_t replaySeedOr(uint64_t Param) {
+  const char *S = std::getenv("JITML_GEN_SEED");
+  return (S && *S) ? std::strtoull(S, nullptr, 10) : Param;
+}
+
 TEST_P(RandomProgram, AllLevelsMatchInterpreter) {
   Program P;
-  uint32_t M = buildRandomMethod(P, GetParam());
+  uint64_t Seed = replaySeedOr(GetParam());
+  uint32_t M = buildRandomMethod(P, Seed);
   ASSERT_TRUE(verifyMethod(P, M).ok()) << verifyMethod(P, M).message();
+
+  // Before any optimization runs, the generated IL must satisfy every
+  // deep invariant — a generator or ilgen bug found here is diagnosed at
+  // the source instead of as a downstream miscompile.
+  {
+    auto IL = generateIL(P, M);
+    std::vector<std::string> Errors = verifyILDeep(*IL);
+    ASSERT_TRUE(Errors.empty())
+        << "seed " << Seed << ": " << Errors.front();
+  }
 
   VirtualMachine::Config Interp;
   Interp.EnableJit = false;
@@ -121,7 +143,7 @@ TEST_P(RandomProgram, AllLevelsMatchInterpreter) {
       ExecResult Got = VM.invoke(M, Args);
       ASSERT_FALSE(Got.Exceptional);
       EXPECT_EQ(Got.Ret.I, Ref.Ret.I)
-          << "seed " << GetParam() << " arg " << A << " level "
+          << "seed " << Seed << " arg " << A << " level "
           << optLevelName((OptLevel)L);
     }
   }

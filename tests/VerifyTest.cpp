@@ -1,0 +1,554 @@
+//===- tests/VerifyTest.cpp - verify/ subsystem unit tests ----------------===//
+//
+// Covers the three cooperating parts of src/verify/: the deep IL verifier
+// (accepts everything the compiler legitimately produces, rejects every
+// planted invariant violation, terminates on cyclic node graphs), the
+// pass-interposed checker with its fault-injected broken-pass scenario,
+// the differential oracle + campaign, the ddmin reducer, and the corpus
+// file format.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include "bytecode/Verifier.h"
+#include "il/ILGenerator.h"
+#include "il/ILVerifier.h"
+#include "opt/Optimizer.h"
+#include "support/FaultInjection.h"
+#include "verify/Corpus.h"
+#include "verify/DifferentialFuzzer.h"
+#include "verify/PassVerifier.h"
+#include "verify/Reducer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+using namespace jitml;
+using namespace jitml::verify;
+
+namespace {
+
+/// RAII guard: whatever a test does to the process-wide verify state is
+/// undone on scope exit, so tests stay order-independent.
+struct VerifyStateGuard {
+  VerifyIlMode Saved = verifyIlMode();
+  ~VerifyStateGuard() {
+    setVerifyFailureHandler(nullptr);
+    setVerifyIlMode(Saved);
+    setCoverageEnabled(false);
+    FaultRegistry::global().disarm();
+  }
+};
+
+std::unique_ptr<MethodIL> ilFor(Program &P, uint32_t M) {
+  EXPECT_TRUE(verifyMethod(P, M).ok());
+  return generateIL(P, M);
+}
+
+} // namespace
+
+// --- Deep verifier: acceptance ------------------------------------------
+
+TEST(ILVerifierDeep, AcceptsGeneratedILOfEveryTestProgram) {
+  Program P;
+  std::vector<uint32_t> Methods = {jitml::testing::addSumToN(P),
+                                   jitml::testing::addFib(P),
+                                   jitml::testing::addConstKernel(P)};
+  for (uint32_t M : Methods) {
+    auto IL = ilFor(P, M);
+    EXPECT_TRUE(verifyILDeep(*IL).empty())
+        << "method " << M << ": " << verifyILDeep(*IL).front();
+  }
+}
+
+TEST(ILVerifierDeep, AcceptsEveryPassOutputAtEveryLevel) {
+  // The strongest acceptance statement: run the full plan of every level
+  // over representative methods with the verifier interposed after every
+  // pass; zero failures expected.
+  VerifyStateGuard Guard;
+  setVerifyIlMode(VerifyIlMode::Full);
+  std::vector<std::string> Seen;
+  setVerifyFailureHandler([&Seen](const PassCheckFailure &F) {
+    Seen.push_back(formatFailure(F));
+  });
+  Program P;
+  std::vector<uint32_t> Methods = {jitml::testing::addSumToN(P),
+                                   jitml::testing::addFib(P),
+                                   jitml::testing::addConstKernel(P)};
+  for (uint32_t M : Methods) {
+    for (unsigned L = 0; L < NumOptLevels; ++L) {
+      auto IL = ilFor(P, M);
+      optimize(*IL, planForLevel((OptLevel)L),
+               BitSet64::allOne(NumTransformations));
+    }
+  }
+  EXPECT_TRUE(Seen.empty()) << Seen.front();
+}
+
+// --- Deep verifier: planted violations ----------------------------------
+
+TEST(ILVerifierDeep, RejectsCyclicNodeGraphWithoutHanging) {
+  Program P;
+  uint32_t M = jitml::testing::addSumToN(P);
+  auto IL = ilFor(P, M);
+  // Redirect a grandchild edge back at the grandparent: a cycle no
+  // def-before-use order can satisfy. Replacing (not appending) keeps
+  // every node's arity legal so only the cycle check can object — and the
+  // old structural walk looped forever on exactly this shape.
+  bool Planted = false;
+  for (NodeId Id = 0; Id < IL->numNodes() && !Planted; ++Id) {
+    Node &N = IL->node(Id);
+    for (NodeId Kid : N.Kids) {
+      if (!IL->node(Kid).Kids.empty()) {
+        IL->node(Kid).Kids[0] = Id;
+        Planted = true;
+        break;
+      }
+    }
+  }
+  ASSERT_TRUE(Planted);
+  std::vector<std::string> Errors = verifyILDeep(*IL);
+  ASSERT_FALSE(Errors.empty());
+  bool FoundCycle = false;
+  for (const std::string &E : Errors)
+    FoundCycle |= E.find("cycle") != std::string::npos;
+  EXPECT_TRUE(FoundCycle) << Errors.front();
+}
+
+TEST(ILVerifierDeep, RejectsSuccPredMirrorBreak) {
+  Program P;
+  uint32_t M = jitml::testing::addSumToN(P);
+  auto IL = ilFor(P, M);
+  // Drop one pred edge without touching the successor side.
+  for (BlockId B = 0; B < IL->numBlocks(); ++B) {
+    if (!IL->block(B).Preds.empty()) {
+      IL->block(B).Preds.pop_back();
+      break;
+    }
+  }
+  EXPECT_FALSE(verifyILDeep(*IL).empty());
+}
+
+TEST(ILVerifierDeep, RejectsUnsoundReachableFlag) {
+  Program P;
+  uint32_t M = jitml::testing::addSumToN(P);
+  auto IL = ilFor(P, M);
+  // Lie about a reachable non-entry block; codegen would skip it.
+  BlockId Victim = InvalidBlock;
+  for (BlockId B = 0; B < IL->numBlocks(); ++B)
+    if (B != IL->entryBlock() && IL->block(B).Reachable &&
+        !IL->block(B).Preds.empty()) {
+      Victim = B;
+      break;
+    }
+  ASSERT_NE(Victim, InvalidBlock);
+  IL->block(Victim).Reachable = false;
+  EXPECT_FALSE(verifyILDeep(*IL).empty());
+}
+
+TEST(ILVerifierDeep, RejectsCrossBlockSideEffectSharing) {
+  Program P;
+  uint32_t M = jitml::testing::addFib(P);
+  auto IL = ilFor(P, M);
+  // Find a Call expression and reference it from a second block's tree:
+  // codegen materializes shared nodes per block, so the call would run
+  // twice.
+  NodeId CallNode = InvalidNode;
+  BlockId Owner = InvalidBlock;
+  for (BlockId B = 0; B < IL->numBlocks() && CallNode == InvalidNode; ++B) {
+    if (!IL->block(B).Reachable)
+      continue;
+    for (NodeId Root : IL->block(B).Trees) {
+      std::vector<NodeId> Stack{Root};
+      while (!Stack.empty()) {
+        NodeId Id = Stack.back();
+        Stack.pop_back();
+        const Node &N = IL->node(Id);
+        if (N.Op == ILOp::Call && N.Type != DataType::Void) {
+          CallNode = Id;
+          Owner = B;
+          break;
+        }
+        for (NodeId Kid : N.Kids)
+          Stack.push_back(Kid);
+      }
+      if (CallNode != InvalidNode)
+        break;
+    }
+  }
+  ASSERT_NE(CallNode, InvalidNode);
+  for (BlockId B = 0; B < IL->numBlocks(); ++B) {
+    Block &Blk = IL->block(B);
+    if (B == Owner || !Blk.Reachable || Blk.Trees.empty())
+      continue;
+    // Wrap the shared call in a store treetop prepended to another block.
+    uint32_t Slot = IL->addLocal(DataType::Int32);
+    NodeId St = IL->makeNode(ILOp::StoreLocal, DataType::Void, {CallNode});
+    IL->node(St).A = (int32_t)Slot;
+    Blk.Trees.insert(Blk.Trees.begin(), St);
+    break;
+  }
+  std::vector<std::string> Errors = verifyILDeep(*IL);
+  ASSERT_FALSE(Errors.empty());
+  bool Found = false;
+  for (const std::string &E : Errors)
+    Found |= E.find("once per block") != std::string::npos;
+  EXPECT_TRUE(Found) << Errors.front();
+}
+
+TEST(ILVerifierDeep, RejectsCategoryTypeMismatch) {
+  Program P;
+  uint32_t M = jitml::testing::addSumToN(P);
+  auto IL = ilFor(P, M);
+  // Retype one integer constant under an integer op as Double.
+  bool Planted = false;
+  for (NodeId Id = 0; Id < IL->numNodes() && !Planted; ++Id) {
+    Node &N = IL->node(Id);
+    if (!isArithOp(N.Op) || N.Kids.size() != 2)
+      continue;
+    Node &K = IL->node(N.Kids[1]);
+    if (K.Op == ILOp::Const && isIntegerType(K.Type)) {
+      K.Type = DataType::Double;
+      Planted = true;
+    }
+  }
+  ASSERT_TRUE(Planted);
+  EXPECT_FALSE(verifyILDeep(*IL).empty());
+}
+
+TEST(ILVerifierDeep, RejectsBareExpressionTreetop) {
+  Program P;
+  uint32_t M = jitml::testing::addSumToN(P);
+  auto IL = ilFor(P, M);
+  // Plant a value-computing root that nothing consumes (a dropped
+  // ExprStmt wrapper).
+  NodeId C = IL->makeConstI(DataType::Int32, 42);
+  Block &Entry = IL->block(IL->entryBlock());
+  Entry.Trees.insert(Entry.Trees.begin(), C);
+  std::vector<std::string> Errors = verifyILDeep(*IL);
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors.front().find("never"), std::string::npos);
+}
+
+// --- Pass interposition + fault injection -------------------------------
+
+TEST(PassVerifier, BrokenPassIsCaughtByInterposedVerifier) {
+  // Acceptance criterion: a deliberately broken pass (structural damage
+  // injected under JITML_FAULTS) is caught by the ILVerifier, with the
+  // failing pass named in the diagnostic.
+  VerifyStateGuard Guard;
+  setVerifyIlMode(VerifyIlMode::Full);
+  std::vector<PassCheckFailure> Seen;
+  setVerifyFailureHandler(
+      [&Seen](const PassCheckFailure &F) { Seen.push_back(F); });
+  ASSERT_TRUE(
+      FaultRegistry::global().arm("opt.pass.corrupt=k1", /*Seed=*/7));
+
+  Program P;
+  uint32_t M = jitml::testing::addConstKernel(P);
+  auto IL = generateIL(P, M);
+  optimize(*IL, planForLevel(OptLevel::Hot),
+           BitSet64::allOne(NumTransformations));
+
+  ASSERT_FALSE(Seen.empty());
+  EXPECT_EQ(Seen.front().MethodIndex, M);
+  EXPECT_GE(Seen.front().PlanIndex, 0);
+  EXPECT_FALSE(Seen.front().Errors.empty());
+  EXPECT_EQ(FaultRegistry::global().fires("opt.pass.corrupt"), 1u);
+  // The formatted diagnostic names the pass and the invariant.
+  std::string Msg = formatFailure(Seen.front());
+  EXPECT_NE(Msg.find(Seen.front().PassName), std::string::npos);
+}
+
+TEST(PassVerifier, CountModeCountsCrossingsWithoutChecking) {
+  VerifyStateGuard Guard;
+  MetricRegistry &R = MetricRegistry::global();
+  uint64_t Before = R.counter("verify.checks").value();
+  uint64_t FailsBefore = R.counter("verify.failures").value();
+  setVerifyIlMode(VerifyIlMode::Count);
+
+  Program P;
+  uint32_t M = jitml::testing::addSumToN(P);
+  auto IL = generateIL(P, M);
+  OptimizeResult Res = optimize(*IL, planForLevel(OptLevel::Warm),
+                                BitSet64::allOne(NumTransformations));
+  uint64_t Crossings = R.counter("verify.checks").value() - Before;
+  // One crossing per executed tree-stage entry (codegen-stage entries and
+  // guard-skipped entries never reach the checker).
+  EXPECT_GT(Crossings, 0u);
+  EXPECT_LE(Crossings, Res.EntriesRun);
+  EXPECT_EQ(R.counter("verify.failures").value(), FailsBefore);
+}
+
+TEST(PassVerifier, CoverageMapReportsNewBitsOnce) {
+  VerifyStateGuard Guard;
+  resetCoverage();
+  EXPECT_EQ(coverageBitCount(), 0u);
+  EXPECT_TRUE(notePassCoverage(2, 5));
+  EXPECT_FALSE(notePassCoverage(2, 5));
+  EXPECT_TRUE(notePassCoverage(3, 5));
+  EXPECT_EQ(coverageBitCount(), 2u);
+  resetCoverage();
+  EXPECT_EQ(coverageBitCount(), 0u);
+}
+
+TEST(PassVerifier, OptimizerRecordsChangedPassesAsCoverage) {
+  VerifyStateGuard Guard;
+  resetCoverage();
+  setCoverageEnabled(true);
+  Program P;
+  uint32_t M = jitml::testing::addConstKernel(P);
+  auto IL = generateIL(P, M);
+  OptimizeResult Res = optimize(*IL, planForLevel(OptLevel::Scorching),
+                                BitSet64::allOne(NumTransformations));
+  EXPECT_TRUE(Res.ChangedPasses.bits().any());
+  EXPECT_EQ(coverageBitCount(), Res.ChangedPasses.bits().popCount());
+}
+
+// --- FuzzInput plumbing ---------------------------------------------------
+
+TEST(FuzzInput, SerializeRoundTrips) {
+  ProgramMutator Mut(99);
+  for (int I = 0; I < 20; ++I) {
+    FuzzInput In = Mut.seedInput(1 + (size_t)I * 3);
+    In.ModifierRaw ^= (uint64_t)I * 0x1234567;
+    In.ModifierRaw &= (1ULL << NumTransformations) - 1;
+    FuzzInput Out;
+    ASSERT_TRUE(deserializeFuzzInput(serializeFuzzInput(In), Out));
+    EXPECT_TRUE(In == Out);
+  }
+  // Empty byte string round-trips through the explicit marker.
+  FuzzInput Empty, Got;
+  Empty.Bytes.clear();
+  ASSERT_TRUE(deserializeFuzzInput(serializeFuzzInput(Empty), Got));
+  EXPECT_TRUE(Empty == Got);
+  EXPECT_FALSE(deserializeFuzzInput("9 0 0 -", Got)) << "level out of range";
+  EXPECT_FALSE(deserializeFuzzInput("1 0 0 xyz", Got)) << "bad hex";
+}
+
+TEST(FuzzInput, GeneratorIsTotalAndVerifierValid) {
+  // Every byte string — including empty and adversarial ones — must build
+  // a method that passes the bytecode verifier AND whose generated IL
+  // passes the deep verifier.
+  ProgramMutator Mut(1234);
+  std::vector<FuzzInput> Pool;
+  FuzzInput In = Mut.seedInput(32);
+  for (int I = 0; I < 60; ++I) {
+    Program P;
+    uint32_t M = buildFuzzProgram(P, In);
+    ASSERT_TRUE(verifyMethod(P, M).ok())
+        << "input " << serializeFuzzInput(In) << ": "
+        << verifyMethod(P, M).message();
+    auto IL = generateIL(P, M);
+    EXPECT_TRUE(verifyILDeep(*IL).empty())
+        << "input " << serializeFuzzInput(In);
+    Pool.push_back(In);
+    In = Mut.mutate(In, Pool);
+  }
+}
+
+TEST(FuzzInput, SameBytesSameProgram) {
+  ProgramMutator Mut(5);
+  FuzzInput In = Mut.seedInput(40);
+  Program P1, P2;
+  uint32_t M1 = buildFuzzProgram(P1, In);
+  uint32_t M2 = buildFuzzProgram(P2, In);
+  ASSERT_EQ(P1.methodAt(M1).Code.size(), P2.methodAt(M2).Code.size());
+  // Same decision stream must run to the same result.
+  EXPECT_EQ(jitml::testing::runBothEngines(P1, M1, 17),
+            jitml::testing::runBothEngines(P2, M2, 17));
+}
+
+// --- Oracle ---------------------------------------------------------------
+
+TEST(Oracle, CleanCompilerShowsNoDivergence) {
+  VerifyStateGuard Guard;
+  ProgramMutator Mut(2024);
+  for (int I = 0; I < 3; ++I) {
+    FuzzInput In = Mut.seedInput(24 + (size_t)I * 16);
+    OracleResult R = runOracle(In);
+    EXPECT_FALSE(R.diverged())
+        << divergenceKindName(R.Kind) << ": " << R.Detail;
+  }
+}
+
+TEST(Oracle, InjectedMiscompileDiverges) {
+  // Acceptance criterion: semantic damage the verifier cannot see (an
+  // off-by-one constant) is flagged by differential execution.
+  VerifyStateGuard Guard;
+  ASSERT_TRUE(
+      FaultRegistry::global().arm("opt.pass.miscompile=always", /*Seed=*/11));
+  ProgramMutator Mut(77);
+  FuzzInput In = Mut.seedInput(48);
+  OracleResult R = runOracle(In);
+  EXPECT_TRUE(R.diverged());
+  EXPECT_EQ(R.Kind, DivergenceKind::Output) << R.Detail;
+
+  // Replay contract: disarming restores agreement.
+  FaultRegistry::global().disarm();
+  OracleResult Clean = runOracle(In);
+  EXPECT_FALSE(Clean.diverged()) << Clean.Detail;
+}
+
+TEST(Oracle, InjectedCorruptionReportsVerifierDivergence) {
+  VerifyStateGuard Guard;
+  ASSERT_TRUE(
+      FaultRegistry::global().arm("opt.pass.corrupt=always", /*Seed=*/3));
+  ProgramMutator Mut(78);
+  OracleResult R = runOracle(Mut.seedInput(48));
+  EXPECT_TRUE(R.diverged());
+  EXPECT_EQ(R.Kind, DivergenceKind::Verifier) << R.Detail;
+}
+
+// --- Reducer --------------------------------------------------------------
+
+TEST(Reducer, ShrinksToSyntheticMinimum) {
+  // Predicate: fails iff any byte == 0xAB and transformation bit 7 is
+  // disabled. The minimum is one byte and one cleared bit.
+  auto Fails = [](const FuzzInput &In) {
+    bool Marker = false;
+    for (uint8_t B : In.Bytes)
+      Marker |= B == 0xAB;
+    return Marker && !(In.ModifierRaw & (1ULL << 7));
+  };
+  FuzzInput Big;
+  Big.Bytes.assign(64, 0x11);
+  Big.Bytes[40] = 0xAB;
+  Big.ModifierRaw = ((1ULL << NumTransformations) - 1) &
+                    ~((1ULL << 7) | (1ULL << 9) | (1ULL << 30));
+  Big.ArgSeed = 987;
+  Big.Level = 3;
+  ASSERT_TRUE(Fails(Big));
+  ReduceStats Stats;
+  FuzzInput Min = reduceInput(Big, Fails, 600, &Stats);
+  EXPECT_TRUE(Fails(Min));
+  EXPECT_EQ(Min.Bytes.size(), 1u);
+  EXPECT_EQ(Min.Bytes[0], 0xAB);
+  // Only the load-bearing bit stays cleared; 9 and 30 were re-enabled.
+  EXPECT_EQ(Min.ModifierRaw,
+            ((1ULL << NumTransformations) - 1) & ~(1ULL << 7));
+  EXPECT_EQ(Min.ArgSeed, 1u);
+  EXPECT_EQ(Min.Level, 0);
+  EXPECT_GT(Stats.Probes, 0u);
+}
+
+TEST(Reducer, InjectedMiscompileReducesAndReplays) {
+  // Acceptance criterion: an injected divergence is auto-reduced and the
+  // reduction still replays deterministically under the same fault spec.
+  VerifyStateGuard Guard;
+  ASSERT_TRUE(
+      FaultRegistry::global().arm("opt.pass.miscompile=always", /*Seed=*/11));
+  ProgramMutator Mut(77);
+  FuzzInput In = Mut.seedInput(48);
+  ASSERT_EQ(runOracle(In).Kind, DivergenceKind::Output);
+  FuzzInput Reduced = reduceInput(In, [](const FuzzInput &X) {
+    return runOracle(X).Kind == DivergenceKind::Output;
+  }, /*MaxProbes=*/120);
+  EXPECT_LE(Reduced.Bytes.size(), In.Bytes.size());
+  // Deterministic replay, twice.
+  EXPECT_EQ(runOracle(Reduced).Kind, DivergenceKind::Output);
+  EXPECT_EQ(runOracle(Reduced).Kind, DivergenceKind::Output);
+}
+
+// --- Campaign + corpus ----------------------------------------------------
+
+TEST(Campaign, FindsInjectedBugAndWritesReducedCorpusFile) {
+  VerifyStateGuard Guard;
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / "jitml-corpus-test").string();
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+
+  ASSERT_TRUE(
+      FaultRegistry::global().arm("opt.pass.miscompile=always", /*Seed=*/5));
+  FuzzCampaignConfig Cfg;
+  Cfg.Seed = 42;
+  Cfg.MaxExecs = 40; // the very first exec should trip the fault
+  Cfg.MaxDivergences = 1;
+  Cfg.Reduce = true;
+  Cfg.CorpusDir = Dir;
+  Cfg.FaultSpec = "opt.pass.miscompile=always";
+  Cfg.FaultSeed = 5;
+  FuzzCampaignResult Res = runFuzzCampaign(Cfg);
+  ASSERT_EQ(Res.Divergences.size(), 1u);
+  const Divergence &D = Res.Divergences.front();
+  EXPECT_TRUE(D.WasReduced);
+  ASSERT_FALSE(D.CorpusFile.empty());
+
+  // The written file parses and replays: armed -> diverges, disarmed ->
+  // clean.
+  CorpusEntry E;
+  std::string Err;
+  ASSERT_TRUE(readCorpusFile(D.CorpusFile, E, &Err)) << Err;
+  EXPECT_EQ(E.Kind, "differential");
+  EXPECT_EQ(E.FaultSpec, "opt.pass.miscompile=always");
+  ASSERT_TRUE(FaultRegistry::global().arm(E.FaultSpec, E.FaultSeed));
+  EXPECT_TRUE(runOracle(E.Input).diverged());
+  FaultRegistry::global().disarm();
+  EXPECT_FALSE(runOracle(E.Input).diverged());
+  std::filesystem::remove_all(Dir);
+}
+
+TEST(Campaign, CleanRunFindsNoDivergencesAndGrowsCoverage) {
+  VerifyStateGuard Guard;
+  FuzzCampaignConfig Cfg;
+  Cfg.Seed = 7;
+  Cfg.MaxExecs = 25;
+  Cfg.Reduce = false;
+  resetCoverage();
+  FuzzCampaignResult Res = runFuzzCampaign(Cfg);
+  EXPECT_EQ(Res.Divergences.size(), 0u);
+  EXPECT_EQ(Res.Execs, 25u);
+  EXPECT_GT(Res.CoverageBits, 0u);
+}
+
+TEST(Corpus, FileFormatRoundTripsAndRejectsGarbage) {
+  std::string Dir =
+      (std::filesystem::temp_directory_path() / "jitml-corpus-fmt").string();
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+
+  CorpusEntry E;
+  E.Kind = "differential";
+  E.Note = "round trip";
+  E.FaultSpec = "opt.pass.miscompile=k1";
+  E.FaultSeed = 99;
+  ProgramMutator Mut(3);
+  E.Input = Mut.seedInput(17);
+  std::string Path = Dir + "/a.repro";
+  ASSERT_TRUE(writeCorpusFile(Path, E));
+  CorpusEntry Got;
+  std::string Err;
+  ASSERT_TRUE(readCorpusFile(Path, Got, &Err)) << Err;
+  EXPECT_EQ(Got.Kind, E.Kind);
+  EXPECT_EQ(Got.Note, E.Note);
+  EXPECT_EQ(Got.FaultSpec, E.FaultSpec);
+  EXPECT_EQ(Got.FaultSeed, E.FaultSeed);
+  EXPECT_TRUE(Got.Input == E.Input);
+
+  CorpusEntry S;
+  S.Kind = "scenario";
+  S.Scenario = "stale-install";
+  ASSERT_TRUE(writeCorpusFile(Dir + "/b.repro", S));
+  ASSERT_TRUE(readCorpusFile(Dir + "/b.repro", Got, &Err)) << Err;
+  EXPECT_EQ(Got.Scenario, "stale-install");
+
+  // listCorpusFiles: sorted, .repro only, tolerant of a missing dir.
+  { std::ofstream(Dir + "/ignored.txt") << "x\n"; }
+  std::vector<std::string> Files = listCorpusFiles(Dir);
+  ASSERT_EQ(Files.size(), 2u);
+  EXPECT_LT(Files[0], Files[1]);
+  EXPECT_TRUE(listCorpusFiles(Dir + "/missing").empty());
+
+  // Malformed inputs are diagnosed, not crashed on.
+  { std::ofstream(Dir + "/bad.repro") << "kind: differential\n"; }
+  EXPECT_FALSE(readCorpusFile(Dir + "/bad.repro", Got, &Err));
+  EXPECT_NE(Err.find("without input"), std::string::npos);
+  { std::ofstream(Dir + "/bad2.repro") << "garbage line\n"; }
+  EXPECT_FALSE(readCorpusFile(Dir + "/bad2.repro", Got, &Err));
+  std::filesystem::remove_all(Dir);
+}
