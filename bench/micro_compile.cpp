@@ -1,0 +1,198 @@
+//===- bench/micro_compile.cpp --------------------------------------------===//
+//
+// Compile-path hot-loop benchmark and bit-identity gate for the epoch
+// memoization layer (pass memo + cached CFG analyses + cached live-node
+// counts, all keyed on MethodIL::modEpoch; JITML_OPT_MEMO=off disables).
+//
+//   1. Bit-identity: for every SPECjvm98 workload method and every one of
+//      the five plans, optimize() with memoization on and off must agree
+//      on simulated CompileCycles to the last bit, on every entry counter,
+//      and on the shape of the resulting IL. The simulated-clock figures
+//      must not know the caches exist.
+//   2. Speed: wall-clock the optimize() loop on the scorching plan (the
+//      170+-entry plan where cleanup passes repeat heavily) with memo on
+//      vs off. IL generation is excluded from the timed region; each
+//      optimize() run gets freshly generated IL. Gate: >= 1.5x.
+//
+// Emits BENCH_compile.json next to the binary. Exit status is the gate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "il/ILGenerator.h"
+#include "opt/Optimizer.h"
+#include "support/Memo.h"
+#include "support/Telemetry.h"
+#include "workloads/Workload.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+using namespace jitml;
+
+namespace {
+
+double nowSeconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// A cheap structural fingerprint of post-optimization IL: enough to catch
+/// any divergence the memo layer could plausibly introduce.
+uint64_t ilFingerprint(const MethodIL &IL) {
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  Mix(IL.numNodes());
+  Mix(IL.numBlocks());
+  Mix(IL.countLiveNodes());
+  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
+    const Block &Blk = IL.block(B);
+    Mix(Blk.Trees.size());
+    Mix(Blk.Succs.size());
+    Mix(Blk.Reachable ? 7 : 3);
+    for (NodeId Root : Blk.Trees) {
+      const Node &N = IL.node(Root);
+      Mix(((uint64_t)N.Op << 32) | (uint32_t)N.A);
+    }
+  }
+  return H;
+}
+
+struct CellResult {
+  double CompileCycles = 0.0;
+  uint32_t EntriesRun = 0;
+  uint32_t EntriesSkipped = 0;
+  uint64_t Fingerprint = 0;
+};
+
+CellResult optimizeFresh(const Program &P, uint32_t Method, OptLevel L) {
+  std::unique_ptr<MethodIL> IL = generateIL(P, Method);
+  OptimizeResult R = optimize(*IL, planForLevel(L),
+                              BitSet64::allOne(NumTransformations));
+  CellResult C;
+  C.CompileCycles = R.CompileCycles;
+  C.EntriesRun = R.EntriesRun;
+  C.EntriesSkipped = R.EntriesSkippedInapplicable;
+  C.Fingerprint = ilFingerprint(*IL);
+  return C;
+}
+
+/// Wall seconds spent inside optimize() on the scorching plan over every
+/// method of every suite program. IL generation happens outside the timer.
+double timeScorchingLoop(const std::vector<Program> &Programs) {
+  const CompilationPlan &Plan = planForLevel(OptLevel::Scorching);
+  BitSet64 Mask = BitSet64::allOne(NumTransformations);
+  double Total = 0.0;
+  for (const Program &P : Programs) {
+    for (uint32_t M = 0; M < P.numMethods(); ++M) {
+      std::unique_ptr<MethodIL> IL = generateIL(P, M);
+      double Start = nowSeconds();
+      (void)optimize(*IL, Plan, Mask);
+      Total += nowSeconds() - Start;
+    }
+  }
+  return Total;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *JsonPath = argc > 1 ? argv[1] : "BENCH_compile.json";
+
+  std::printf("Compile-path hot loop: epoch memoization on vs off\n\n");
+
+  std::vector<Program> Programs;
+  for (const WorkloadSpec &Spec : specJvm98Suite())
+    Programs.push_back(buildWorkload(Spec));
+
+  // 1. Bit-identity across every (program, method, level) cell.
+  uint32_t Cells = 0, Mismatches = 0;
+  for (const Program &P : Programs) {
+    for (uint32_t M = 0; M < P.numMethods(); ++M) {
+      for (unsigned L = 0; L < NumOptLevels; ++L) {
+        setMemoEnabled(true);
+        CellResult On = optimizeFresh(P, M, (OptLevel)L);
+        setMemoEnabled(false);
+        CellResult Off = optimizeFresh(P, M, (OptLevel)L);
+        setMemoEnabled(true);
+        ++Cells;
+        if (On.CompileCycles != Off.CompileCycles ||
+            On.EntriesRun != Off.EntriesRun ||
+            On.EntriesSkipped != Off.EntriesSkipped ||
+            On.Fingerprint != Off.Fingerprint) {
+          ++Mismatches;
+          std::fprintf(stderr,
+                       "MISMATCH method %u level %u: cycles %.17g vs %.17g, "
+                       "run %u/%u, skipped %u/%u, fp %llx vs %llx\n",
+                       M, L, On.CompileCycles, Off.CompileCycles,
+                       On.EntriesRun, Off.EntriesRun, On.EntriesSkipped,
+                       Off.EntriesSkipped,
+                       (unsigned long long)On.Fingerprint,
+                       (unsigned long long)Off.Fingerprint);
+        }
+      }
+    }
+  }
+  bool IdentityOk = Mismatches == 0;
+  std::printf("bit-identity: %u cells (method x level), %u mismatches\n",
+              Cells, Mismatches);
+
+  // 2. Wall-clock speedup on the scorching-plan compile loop (best of 3).
+  MetricRegistry &Reg = MetricRegistry::global();
+  uint64_t Hits0 = Reg.counter("opt.memo.hits").value();
+  uint64_t Misses0 = Reg.counter("opt.memo.misses").value();
+  double OnBest = 1e30, OffBest = 1e30;
+  for (int Rep = 0; Rep < 3; ++Rep) {
+    setMemoEnabled(true);
+    OnBest = std::min(OnBest, timeScorchingLoop(Programs));
+    if (Rep == 0) { // hit rate of one memo-on sweep
+      Hits0 = Reg.counter("opt.memo.hits").value() - Hits0;
+      Misses0 = Reg.counter("opt.memo.misses").value() - Misses0;
+    }
+    setMemoEnabled(false);
+    OffBest = std::min(OffBest, timeScorchingLoop(Programs));
+  }
+  setMemoEnabled(true);
+  double Speedup = OnBest > 0.0 ? OffBest / OnBest : 0.0;
+  double HitRate =
+      Hits0 + Misses0 ? (double)Hits0 / (double)(Hits0 + Misses0) : 0.0;
+  std::printf("scorching loop: memo off %.4fs, memo on %.4fs, "
+              "speedup %.2fx (gate: >= 1.5x)\n",
+              OffBest, OnBest, Speedup);
+  std::printf("memo hit rate: %.1f%% (%llu hits / %llu bodies)\n",
+              100.0 * HitRate, (unsigned long long)Hits0,
+              (unsigned long long)(Hits0 + Misses0));
+
+  bool SpeedOk = Speedup >= 1.5;
+  if (std::FILE *F = std::fopen(JsonPath, "w")) {
+    std::fprintf(F,
+                 "{\n"
+                 "  \"identity_cells\": %u,\n"
+                 "  \"identity_mismatches\": %u,\n"
+                 "  \"scorching_memo_off_s\": %.6f,\n"
+                 "  \"scorching_memo_on_s\": %.6f,\n"
+                 "  \"speedup\": %.4f,\n"
+                 "  \"memo_hit_rate\": %.4f,\n"
+                 "  \"gate_identity\": %s,\n"
+                 "  \"gate_speedup_1_5x\": %s\n"
+                 "}\n",
+                 Cells, Mismatches, OffBest, OnBest, Speedup, HitRate,
+                 IdentityOk ? "true" : "false", SpeedOk ? "true" : "false");
+    std::fclose(F);
+    std::printf("\nwrote %s\n", JsonPath);
+  }
+
+  if (!IdentityOk || !SpeedOk) {
+    std::fprintf(stderr, "FAIL: compile-path memoization gate\n");
+    return 1;
+  }
+  std::printf("PASS: memoized compile loop is bit-identical and >= 1.5x "
+              "faster\n");
+  return 0;
+}

@@ -24,6 +24,12 @@
 #                fuzz smoke (interpreter vs every opt level vs async, deep
 #                verifier interposed — zero divergences), corpus replay,
 #                and the <3% disabled-hook overhead gate (BENCH_fuzz.json)
+#   opt-perf     compile-path hot loop: micro_compile enforces bit-identical
+#                simulated figures with the pass memo on vs off across every
+#                (program, method, level) cell plus the >=1.5x scorching-loop
+#                speedup gate (BENCH_compile.json), and a short fixed-seed
+#                fuzz smoke re-runs with JITML_OPT_MEMO=off to exercise the
+#                escape hatch
 #
 # The script stops at the first failing suite with a non-zero exit, and
 # always ends with a summary table (result + wall time per suite).
@@ -89,7 +95,7 @@ asan_step() {
     cmake -B build-asan -S . -DJITML_SANITIZE=ON &&
     cmake --build build-asan -j"$(nproc)" --target jitml_tests &&
     (cd build-asan && ctest --output-on-failure -j"$(nproc)" -R \
-      'Message\.|Service\.|Transport\.|Resilient\.|BridgeFuzz\.|FaultInjection\.|Chaos\.|Normalizer\.|LabelMap\.|LibLinear\.|Ranker\.|Merger\.|Summaries\.|Corpus\.|ILVerifierDeep\.|FuzzInput\.|Reducer\.')
+      'Message\.|Service\.|Transport\.|Resilient\.|BridgeFuzz\.|FaultInjection\.|Chaos\.|Normalizer\.|LabelMap\.|LibLinear\.|Ranker\.|Merger\.|Summaries\.|Corpus\.|ILVerifierDeep\.|FuzzInput\.|Reducer\.|IlEpoch\.|OptMemo\.|KidList\.')
 }
 
 tsan_step() {
@@ -97,7 +103,7 @@ tsan_step() {
     cmake -B build-tsan -S . -DJITML_TSAN=ON &&
     cmake --build build-tsan -j"$(nproc)" --target jitml_tests &&
     (cd build-tsan && ctest --output-on-failure -j"$(nproc)" -R \
-      'CompilationQueue\.|CodeCache\.|AsyncPipeline\.|AsyncVM\.|Differential\.|DifferentialModifier\.|ConcurrentBridge\.|Chaos\.|Oracle\.|Campaign\.')
+      'CompilationQueue\.|CodeCache\.|AsyncPipeline\.|AsyncVM\.|Differential\.|DifferentialModifier\.|ConcurrentBridge\.|Chaos\.|Oracle\.|Campaign\.|OptMemo\.')
 }
 
 pipeline_step() {
@@ -129,6 +135,12 @@ verify_step() {
       'Corpus\.|ILVerifierDeep\.|PassVerifier\.|Oracle\.|Reducer\.|Campaign\.|FuzzInput\.')
 }
 
+opt_perf_step() {
+  cmake --build build -j"$(nproc)" --target micro_compile fuzz_differential &&
+    ./build/bench/micro_compile BENCH_compile.json &&
+    JITML_OPT_MEMO=off ./build/bench/fuzz_differential --seed 1 --seconds 10 --execs 0
+}
+
 run_suite build build_step
 run_suite tests tests_step
 run_suite asan asan_step
@@ -137,4 +149,5 @@ run_suite pipeline pipeline_step
 run_suite telemetry telemetry_step
 run_suite chaos chaos_step
 run_suite verify verify_step
+run_suite opt-perf opt_perf_step
 finish 0

@@ -144,11 +144,16 @@ unsigned LoopInfo::depthOf(BlockId B) const {
   return L ? L->Depth : 0;
 }
 
-void LoopInfo::annotateFrequencies(MethodIL &IL) {
+bool LoopInfo::annotateFrequencies(MethodIL &IL) {
   LoopInfo LI(IL);
+  return annotateFrequencies(IL, LI);
+}
+
+bool LoopInfo::annotateFrequencies(MethodIL &IL, const LoopInfo &LI) {
+  const MethodIL &CIL = IL;
+  bool Changed = false;
   for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
-    if (!Blk.Reachable)
+    if (!CIL.block(B).Reachable)
       continue;
     double Freq = 1.0;
     const Loop *L = LI.loopFor(B);
@@ -158,8 +163,14 @@ void LoopInfo::annotateFrequencies(MethodIL &IL) {
       for (unsigned D = 0; D < L->Depth; ++D)
         Freq *= PerLevel;
     }
-    if (Blk.IsHandler)
+    if (CIL.block(B).IsHandler)
       Freq = 0.01;
-    Blk.Frequency = Freq;
+    // Write (and bump the epoch) only on change, so a re-annotation that
+    // finds the frequencies already correct stays memoizable.
+    if (CIL.block(B).Frequency != Freq) {
+      IL.block(B).Frequency = Freq;
+      Changed = true;
+    }
   }
+  return Changed;
 }

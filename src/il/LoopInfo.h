@@ -66,8 +66,16 @@ public:
 
   /// Writes frequency estimates into the blocks of \p IL: entry 1.0,
   /// multiplied by min(TripCount, 10) per nesting level, halved on each
-  /// side of a branch, and 0.01 for handler blocks.
-  static void annotateFrequencies(MethodIL &IL);
+  /// side of a branch, and 0.01 for handler blocks. Blocks already carrying
+  /// the computed value are left untouched (no epoch bump), so callers that
+  /// re-annotate an unchanged CFG stay memoizable. Returns true when any
+  /// frequency actually moved — passes must surface that as a change so
+  /// the epoch bump is accounted for rather than silently invalidating
+  /// every downstream memo entry.
+  static bool annotateFrequencies(MethodIL &IL);
+  /// Same, reusing an already-built LoopInfo for \p IL (e.g. the
+  /// PassContext-cached one) instead of rebuilding the analysis.
+  static bool annotateFrequencies(MethodIL &IL, const LoopInfo &LI);
 
 private:
   std::vector<Loop> Loops;

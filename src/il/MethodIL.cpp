@@ -2,6 +2,8 @@
 
 #include "il/MethodIL.h"
 
+#include "support/Memo.h"
+
 #include <algorithm>
 
 using namespace jitml;
@@ -104,21 +106,61 @@ MethodIL::MethodIL(const Program &P, uint32_t MethodIndex)
   LocalTypes = M.LocalTypes;
 }
 
+NodeId *MethodIL::allocKids(size_t N) {
+  constexpr size_t ChunkSize = 1024;
+  if (KidChunkUsed + N > KidChunkCap) {
+    size_t Cap = std::max(N, ChunkSize);
+    KidChunks.push_back(std::make_unique<NodeId[]>(Cap));
+    KidChunkUsed = 0;
+    KidChunkCap = Cap;
+  }
+  NodeId *Out = KidChunks.back().get() + KidChunkUsed;
+  KidChunkUsed += N;
+  return Out;
+}
+
+void MethodIL::assignKids(Node &N, const NodeId *K, size_t Count) {
+  N.Kids.Count = (uint32_t)Count;
+  if (Count <= KidList::InlineSlots) {
+    for (size_t I = 0; I < Count; ++I)
+      N.Kids.Inline[I] = K[I];
+    N.Kids.Ovf = nullptr;
+  } else {
+    // Always fresh pool storage: two nodes must never alias one overflow
+    // list, or an element write through one would be seen by the other.
+    NodeId *Slot = allocKids(Count);
+    std::copy(K, K + Count, Slot);
+    N.Kids.Ovf = Slot;
+  }
+}
+
 NodeId MethodIL::makeNode(ILOp Op, DataType Type) {
   Node N;
   N.Op = Op;
   N.Type = Type;
   Nodes.push_back(std::move(N));
+  ++ModEpoch;
   return (NodeId)Nodes.size() - 1;
 }
 
-NodeId MethodIL::makeNode(ILOp Op, DataType Type, std::vector<NodeId> Kids) {
-  Node N;
-  N.Op = Op;
-  N.Type = Type;
-  N.Kids = std::move(Kids);
-  Nodes.push_back(std::move(N));
-  return (NodeId)Nodes.size() - 1;
+NodeId MethodIL::makeNode(ILOp Op, DataType Type,
+                          std::initializer_list<NodeId> Kids) {
+  NodeId Id = makeNode(Op, Type);
+  assignKids(Nodes[Id], Kids.begin(), Kids.size());
+  return Id;
+}
+
+NodeId MethodIL::makeNode(ILOp Op, DataType Type,
+                          const std::vector<NodeId> &Kids) {
+  NodeId Id = makeNode(Op, Type);
+  assignKids(Nodes[Id], Kids.data(), Kids.size());
+  return Id;
+}
+
+void MethodIL::setKids(NodeId Id, const NodeId *K, size_t N) {
+  assert(Id < Nodes.size() && "node id out of range");
+  ++ModEpoch;
+  assignKids(Nodes[Id], K, N);
 }
 
 NodeId MethodIL::makeConstI(DataType Type, int64_t V) {
@@ -135,6 +177,7 @@ NodeId MethodIL::makeConstF(DataType Type, double V) {
 
 BlockId MethodIL::makeBlock() {
   Blocks.emplace_back();
+  ++ModEpoch;
   return (BlockId)Blocks.size() - 1;
 }
 
@@ -159,6 +202,7 @@ void MethodIL::replaceEdge(BlockId From, BlockId OldTo, BlockId NewTo) {
 }
 
 void MethodIL::recomputePreds() {
+  ++ModEpoch;
   for (Block &B : Blocks)
     B.Preds.clear();
   for (BlockId Id = 0; Id < Blocks.size(); ++Id)
@@ -167,29 +211,40 @@ void MethodIL::recomputePreds() {
 }
 
 void MethodIL::computeReachability() {
-  for (Block &B : Blocks)
-    B.Reachable = false;
-  if (Entry == InvalidBlock)
-    return;
-  std::vector<BlockId> Stack{Entry};
-  Blocks[Entry].Reachable = true;
-  while (!Stack.empty()) {
-    BlockId Id = Stack.back();
-    Stack.pop_back();
-    auto Push = [&](BlockId S) {
-      if (!Blocks[S].Reachable) {
-        Blocks[S].Reachable = true;
-        Stack.push_back(S);
-      }
-    };
-    for (BlockId S : Blocks[Id].Succs)
-      Push(S);
-    for (const HandlerRef &H : Blocks[Id].Handlers)
-      Push(H.Handler);
+  std::vector<uint8_t> New(Blocks.size(), 0);
+  if (Entry != InvalidBlock) {
+    std::vector<BlockId> Stack{Entry};
+    New[Entry] = 1;
+    while (!Stack.empty()) {
+      BlockId Id = Stack.back();
+      Stack.pop_back();
+      auto Push = [&](BlockId S) {
+        if (!New[S]) {
+          New[S] = 1;
+          Stack.push_back(S);
+        }
+      };
+      for (BlockId S : Blocks[Id].Succs)
+        Push(S);
+      for (const HandlerRef &H : Blocks[Id].Handlers)
+        Push(H.Handler);
+    }
   }
+  bool Changed = false;
+  for (size_t I = 0; I < Blocks.size(); ++I) {
+    bool R = New[I] != 0;
+    if (Blocks[I].Reachable != R) {
+      Blocks[I].Reachable = R;
+      Changed = true;
+    }
+  }
+  if (Changed)
+    ++ModEpoch;
 }
 
 uint32_t MethodIL::countLiveNodes() const {
+  if (LiveCountEpoch == ModEpoch && memoEnabled())
+    return LiveCount;
   std::vector<bool> Seen(Nodes.size(), false);
   uint32_t Count = 0;
   std::vector<NodeId> Stack;
@@ -209,6 +264,8 @@ uint32_t MethodIL::countLiveNodes() const {
     for (NodeId Kid : Nodes[Id].Kids)
       Stack.push_back(Kid);
   }
+  LiveCountEpoch = ModEpoch;
+  LiveCount = Count;
   return Count;
 }
 

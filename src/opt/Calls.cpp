@@ -17,19 +17,21 @@ using namespace jitml;
 
 bool jitml::runDevirtualization(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   const Program &P = IL.program();
   bool Changed = false;
-  for (NodeId Id = 0; Id < IL.numNodes(); ++Id) {
-    Node &N = IL.node(Id);
-    if (N.Op != ILOp::Call || N.B != 1)
+  for (NodeId Id = 0; Id < CIL.numNodes(); ++Id) {
+    if (CIL.node(Id).Op != ILOp::Call || CIL.node(Id).B != 1)
       continue;
     Ctx.charge(2);
-    uint32_t Callee = (uint32_t)N.A;
+    uint32_t Callee = (uint32_t)CIL.node(Id).A;
     const MethodInfo &CalleeInfo = P.methodAt(Callee);
-    const Node &Receiver = IL.node(N.Kids[0]);
+    const Node &Receiver = CIL.node(CIL.node(Id).Kids[0]);
     // Exact type known from the allocation site.
     if (Receiver.Op == ILOp::New) {
-      N.A = (int32_t)P.resolveVirtual(Callee, (uint32_t)Receiver.A);
+      int32_t Resolved = (int32_t)P.resolveVirtual(Callee, (uint32_t)Receiver.A);
+      Node &N = IL.node(Id);
+      N.A = Resolved;
       N.B = 0;
       Ctx.noteChange(TransformationKind::Devirtualization);
       Changed = true;
@@ -40,7 +42,7 @@ bool jitml::runDevirtualization(PassContext &Ctx) {
     // the runtime flags the caller with MF_VirtualOverridden and
     // recompiles it — see runtime/CompilationControl.)
     if (CalleeInfo.hasFlag(MF_Final) || !P.isOverridden(Callee)) {
-      N.B = 0;
+      IL.node(Id).B = 0;
       Ctx.noteChange(TransformationKind::Devirtualization);
       Changed = true;
     }
@@ -111,7 +113,8 @@ uint32_t inlineSite(PassContext &Ctx, const CallSite &Site,
   // call used to be anchored.
   {
     // Copy the kid list: node references go stale across makeNode calls.
-    std::vector<NodeId> Args = IL.node(Site.CallNode).Kids;
+    const KidList &CallKids = Ctx.cil().node(Site.CallNode).Kids;
+    std::vector<NodeId> Args(CallKids.begin(), CallKids.end());
     for (uint32_t AI = 0; AI < Args.size(); ++AI) {
       NodeId Store = IL.makeNode(ILOp::StoreLocal, DataType::Void, {Args[AI]});
       IL.node(Store).A = (int32_t)LocalMap[AI];
@@ -128,21 +131,30 @@ uint32_t inlineSite(PassContext &Ctx, const CallSite &Site,
   // Deep-copy the callee node arena tree by tree, remapping locals.
   // A node-id translation table keeps callee DAG sharing intact.
   std::unordered_map<NodeId, NodeId> NodeMap;
+  const MethodIL &CCal = *CalleeIL;
   auto Import = [&](auto &&Self, NodeId CalleeNode) -> NodeId {
     auto It = NodeMap.find(CalleeNode);
     if (It != NodeMap.end())
       return It->second;
-    const Node Src = CalleeIL->node(CalleeNode); // copy (arena may grow)
+    // Only the caller arena grows during the recursion; references into
+    // the callee arena stay valid, but snapshot the fields the tail below
+    // needs so the shape is robust to a future two-arena refactor.
+    const Node &Src = CCal.node(CalleeNode);
+    ILOp SrcOp = Src.Op;
+    DataType SrcType = Src.Type;
+    int32_t SrcA = Src.A, SrcB = Src.B;
+    int64_t SrcCI = Src.ConstI;
+    double SrcCF = Src.ConstF;
     std::vector<NodeId> Kids;
     Kids.reserve(Src.Kids.size());
-    for (NodeId K : Src.Kids)
+    for (NodeId K : std::vector<NodeId>(Src.Kids.begin(), Src.Kids.end()))
       Kids.push_back(Self(Self, K));
-    NodeId Fresh = IL.makeNode(Src.Op, Src.Type, std::move(Kids));
+    NodeId Fresh = IL.makeNode(SrcOp, SrcType, Kids);
     Node &F = IL.node(Fresh);
-    F.A = Src.A;
-    F.B = Src.B;
-    F.ConstI = Src.ConstI;
-    F.ConstF = Src.ConstF;
+    F.A = SrcA;
+    F.B = SrcB;
+    F.ConstI = SrcCI;
+    F.ConstF = SrcCF;
     if (F.Op == ILOp::LoadLocal || F.Op == ILOp::StoreLocal)
       F.A = (int32_t)LocalMap[(uint32_t)F.A];
     NodeMap[CalleeNode] = Fresh;
@@ -150,7 +162,7 @@ uint32_t inlineSite(PassContext &Ctx, const CallSite &Site,
   };
 
   for (BlockId CB = 0; CB < CalleeIL->numBlocks(); ++CB) {
-    const Block &Src = CalleeIL->block(CB);
+    const Block &Src = CCal.block(CB);
     Block &Dst = IL.block(BlockMap[CB]);
     Dst.IsHandler = Src.IsHandler;
     Dst.Frequency = IL.block(B).Frequency * Src.Frequency;
@@ -163,7 +175,7 @@ uint32_t inlineSite(PassContext &Ctx, const CallSite &Site,
     if (!Src.Reachable)
       continue;
     for (NodeId Tree : Src.Trees) {
-      const Node &T = CalleeIL->node(Tree);
+      const Node &T = CCal.node(Tree);
       if (T.Op == ILOp::Return) {
         if (!T.Kids.empty() && RetSlot != UINT32_MAX) {
           NodeId Val = Import(Import, T.Kids[0]);
@@ -201,7 +213,7 @@ uint32_t inlineSite(PassContext &Ctx, const CallSite &Site,
 
 bool jitml::runInlining(PassContext &Ctx, uint32_t CalleeNodeBudget,
                         uint32_t GrowthBudget) {
-  MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   bool Changed = false;
   uint32_t Growth = 0;
   // Remember rejected call nodes so the scan makes progress.
@@ -209,20 +221,20 @@ bool jitml::runInlining(PassContext &Ctx, uint32_t CalleeNodeBudget,
   while (Growth < GrowthBudget) {
     CallSite Site;
     bool Found = false;
-    for (BlockId B = 0; B < IL.numBlocks() && !Found; ++B) {
-      const Block &Blk = IL.block(B);
+    for (BlockId B = 0; B < CIL.numBlocks() && !Found; ++B) {
+      const Block &Blk = CIL.block(B);
       if (!Blk.Reachable)
         continue;
       for (size_t TI = 0; TI < Blk.Trees.size(); ++TI) {
-        const Node &N = IL.node(Blk.Trees[TI]);
+        const Node &N = CIL.node(Blk.Trees[TI]);
         if (N.Op != ILOp::ExprStmt)
           continue;
-        const Node &C = IL.node(N.Kids[0]);
+        const Node &C = CIL.node(N.Kids[0]);
         if (C.Op != ILOp::Call || C.B != 0 || Rejected.count(N.Kids[0]))
           continue;
         uint32_t Callee = (uint32_t)C.A;
-        const MethodInfo &M = IL.program().methodAt(Callee);
-        if (Callee == IL.methodIndex() || M.hasFlag(MF_Synchronized) ||
+        const MethodInfo &M = CIL.program().methodAt(Callee);
+        if (Callee == CIL.methodIndex() || M.hasFlag(MF_Synchronized) ||
             M.Code.size() > CalleeNodeBudget) {
           Rejected[N.Kids[0]] = true;
           continue;

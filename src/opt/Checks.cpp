@@ -27,20 +27,21 @@ bool isAllocation(ILOp Op) {
 
 bool jitml::runNullCheckElimination(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable)
       continue;
     std::unordered_set<NodeId> NonNullNodes;
     std::unordered_set<int32_t> NonNullSlots;
     for (size_t TI = 0; TI < Blk.Trees.size();) {
-      Node &N = IL.node(Blk.Trees[TI]);
+      const Node &N = CIL.node(Blk.Trees[TI]);
       Ctx.charge(1);
       if (N.Op == ILOp::StoreLocal) {
         NonNullSlots.erase(N.A);
         // A store of a fresh allocation makes the slot non-null.
-        if (isAllocation(IL.node(N.Kids[0]).Op))
+        if (isAllocation(CIL.node(N.Kids[0]).Op))
           NonNullSlots.insert(N.A);
       }
       if (N.Op != ILOp::NullCheck) {
@@ -48,12 +49,13 @@ bool jitml::runNullCheckElimination(PassContext &Ctx) {
         continue;
       }
       NodeId Ref = N.Kids[0];
-      const Node &RefN = IL.node(Ref);
+      const Node &RefN = CIL.node(Ref);
       bool Redundant = isAllocation(RefN.Op) || NonNullNodes.count(Ref) ||
                        (RefN.Op == ILOp::LoadLocal &&
                         NonNullSlots.count(RefN.A));
       if (Redundant) {
-        Blk.Trees.erase(Blk.Trees.begin() + (std::ptrdiff_t)TI);
+        Block &MBlk = IL.block(B);
+        MBlk.Trees.erase(MBlk.Trees.begin() + (std::ptrdiff_t)TI);
         Ctx.noteChange(TransformationKind::NullCheckElimination);
         Changed = true;
         continue;
@@ -69,16 +71,17 @@ bool jitml::runNullCheckElimination(PassContext &Ctx) {
 
 bool jitml::runBoundsCheckElimination(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable)
       continue;
     // (array node, index node) pairs already checked in this block. Node
     // ids denote fixed values per execution, so repeats are redundant.
     std::set<std::pair<NodeId, NodeId>> Checked;
     for (size_t TI = 0; TI < Blk.Trees.size();) {
-      Node &N = IL.node(Blk.Trees[TI]);
+      const Node &N = CIL.node(Blk.Trees[TI]);
       Ctx.charge(1);
       if (N.Op != ILOp::BoundsCheck) {
         ++TI;
@@ -91,17 +94,18 @@ bool jitml::runBoundsCheckElimination(PassContext &Ctx) {
       if (Checked.count({Arr, Idx}))
         Redundant = true;
       // Constant index into an allocation with a constant length.
-      const Node &ArrN = IL.node(Arr);
-      const Node &IdxN = IL.node(Idx);
+      const Node &ArrN = CIL.node(Arr);
+      const Node &IdxN = CIL.node(Idx);
       if (!Redundant && ArrN.Op == ILOp::NewArray &&
           IdxN.Op == ILOp::Const) {
-        const Node &Len = IL.node(ArrN.Kids[0]);
+        const Node &Len = CIL.node(ArrN.Kids[0]);
         if (Len.Op == ILOp::Const && IdxN.ConstI >= 0 &&
             IdxN.ConstI < Len.ConstI)
           Redundant = true;
       }
       if (Redundant && N.B == 0) {
-        Blk.Trees.erase(Blk.Trees.begin() + (std::ptrdiff_t)TI);
+        Block &MBlk = IL.block(B);
+        MBlk.Trees.erase(MBlk.Trees.begin() + (std::ptrdiff_t)TI);
         Ctx.noteChange(TransformationKind::BoundsCheckElimination);
         Changed = true;
         continue;
@@ -115,25 +119,27 @@ bool jitml::runBoundsCheckElimination(PassContext &Ctx) {
 
 bool jitml::runDivCheckElimination(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable)
       continue;
     std::unordered_set<NodeId> CheckedDivisors;
     for (size_t TI = 0; TI < Blk.Trees.size();) {
-      Node &N = IL.node(Blk.Trees[TI]);
+      const Node &N = CIL.node(Blk.Trees[TI]);
       Ctx.charge(1);
       if (N.Op != ILOp::DivCheck) {
         ++TI;
         continue;
       }
       NodeId D = N.Kids[0];
-      const Node &DN = IL.node(D);
+      const Node &DN = CIL.node(D);
       bool Redundant = CheckedDivisors.count(D) ||
                        (DN.Op == ILOp::Const && DN.ConstI != 0);
       if (Redundant) {
-        Blk.Trees.erase(Blk.Trees.begin() + (std::ptrdiff_t)TI);
+        Block &MBlk = IL.block(B);
+        MBlk.Trees.erase(MBlk.Trees.begin() + (std::ptrdiff_t)TI);
         Ctx.noteChange(TransformationKind::DivCheckElimination);
         Changed = true;
         continue;
@@ -147,29 +153,31 @@ bool jitml::runDivCheckElimination(PassContext &Ctx) {
 
 bool jitml::runCastCheckElimination(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
-  const Program &P = IL.program();
+  const MethodIL &CIL = Ctx.cil();
+  const Program &P = CIL.program();
   bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable)
       continue;
     std::set<std::pair<int32_t, NodeId>> Passed; ///< (class, node) pairs
     for (size_t TI = 0; TI < Blk.Trees.size();) {
-      Node &N = IL.node(Blk.Trees[TI]);
+      const Node &N = CIL.node(Blk.Trees[TI]);
       Ctx.charge(1);
       if (N.Op != ILOp::CastCheck) {
         ++TI;
         continue;
       }
       NodeId Obj = N.Kids[0];
-      const Node &ObjN = IL.node(Obj);
+      const Node &ObjN = CIL.node(Obj);
       bool Redundant = Passed.count({N.A, Obj});
       // Statically known allocation class.
       if (!Redundant && ObjN.Op == ILOp::New &&
           P.isSubclassOf(ObjN.A, N.A))
         Redundant = true;
       if (Redundant) {
-        Blk.Trees.erase(Blk.Trees.begin() + (std::ptrdiff_t)TI);
+        Block &MBlk = IL.block(B);
+        MBlk.Trees.erase(MBlk.Trees.begin() + (std::ptrdiff_t)TI);
         Ctx.noteChange(TransformationKind::CastCheckElimination);
         Changed = true;
         continue;
@@ -179,11 +187,11 @@ bool jitml::runCastCheckElimination(PassContext &Ctx) {
     }
   }
   // Fold instanceof on fresh allocations (expression level).
-  for (NodeId Id = 0; Id < IL.numNodes(); ++Id) {
-    Node &N = IL.node(Id);
+  for (NodeId Id = 0; Id < CIL.numNodes(); ++Id) {
+    const Node &N = CIL.node(Id);
     if (N.Op != ILOp::InstanceOf)
       continue;
-    const Node &Obj = IL.node(N.Kids[0]);
+    const Node &Obj = CIL.node(N.Kids[0]);
     if (Obj.Op != ILOp::New)
       continue;
     Ctx.rewriteToConstI(Id, DataType::Int32,
@@ -196,13 +204,14 @@ bool jitml::runCastCheckElimination(PassContext &Ctx) {
 
 bool jitml::runImplicitExceptionChecks(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable)
       continue;
     for (size_t TI = 0; TI < Blk.Trees.size(); ++TI) {
-      Node &N = IL.node(Blk.Trees[TI]);
+      const Node &N = CIL.node(Blk.Trees[TI]);
       Ctx.charge(1);
       if (N.Op != ILOp::NullCheck || N.B == 1)
         continue;
@@ -214,7 +223,7 @@ bool jitml::runImplicitExceptionChecks(PassContext &Ctx) {
            ++TJ) {
         std::vector<NodeId> Stack{Blk.Trees[TJ]};
         while (!Stack.empty()) {
-          const Node &K = IL.node(Stack.back());
+          const Node &K = CIL.node(Stack.back());
           Stack.pop_back();
           bool Deref = false;
           switch (K.Op) {
@@ -242,7 +251,7 @@ bool jitml::runImplicitExceptionChecks(PassContext &Ctx) {
       }
       if (!Dereferenced)
         continue;
-      N.B = 1; // codegen: folded into the access, zero issue cost
+      IL.node(Blk.Trees[TI]).B = 1; // codegen: folded into the access
       Ctx.noteChange(TransformationKind::ImplicitExceptionChecks);
       Changed = true;
     }

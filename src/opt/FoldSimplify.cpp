@@ -36,7 +36,10 @@ int64_t normalizeInt(DataType T, int64_t V) {
 /// when it rewrote the node. Each node is visited once per run.
 template <typename VisitFn>
 bool forEachNodePostOrder(PassContext &Ctx, VisitFn Visit) {
-  MethodIL &IL = Ctx.il();
+  // All reads go through the const view: the mutable accessors bump the
+  // IL's modification epoch, which would make every visit look like a
+  // write and defeat no-change memoization of these cleanup passes.
+  const MethodIL &IL = Ctx.cil();
   std::vector<uint8_t> Seen(IL.numNodes(), 0);
   bool Changed = false;
   // Explicit stack: (node, kids-done flag).
@@ -135,9 +138,9 @@ bool evalCond(BcCond C, int64_t Cmp3) {
 //===----------------------------------------------------------------------===//
 
 bool jitml::runConstantFolding(PassContext &Ctx) {
-  MethodIL &IL = Ctx.il();
+  const MethodIL &IL = Ctx.cil();
   return forEachNodePostOrder(Ctx, [&](NodeId Id) {
-    Node &N = IL.node(Id);
+    const Node &N = IL.node(Id);
     // Unary.
     if (N.Op == ILOp::Neg && isConst(IL, N.Kids[0])) {
       const Node &K = IL.node(N.Kids[0]);
@@ -254,9 +257,9 @@ bool jitml::runConstantFolding(PassContext &Ctx) {
 //===----------------------------------------------------------------------===//
 
 bool jitml::runExpressionSimplification(PassContext &Ctx) {
-  MethodIL &IL = Ctx.il();
+  const MethodIL &IL = Ctx.cil();
   return forEachNodePostOrder(Ctx, [&](NodeId Id) {
-    Node &N = IL.node(Id);
+    const Node &N = IL.node(Id);
     if (N.Kids.size() == 1 && N.Op == ILOp::Neg) {
       const Node &K = IL.node(N.Kids[0]);
       if (K.Op == ILOp::Neg) { // neg(neg(x)) -> x
@@ -350,18 +353,19 @@ bool jitml::runExpressionSimplification(PassContext &Ctx) {
 
 bool jitml::runStrengthReduction(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   return forEachNodePostOrder(Ctx, [&](NodeId Id) {
-    Node &N = IL.node(Id);
+    const Node &N = CIL.node(Id);
     if (N.Op != ILOp::Mul || !isIntegerType(N.Type) || N.Kids.size() != 2)
       return false;
     // Canonical: constant on the right (reassociation also ensures this).
     NodeId XId = N.Kids[0], CId = N.Kids[1];
-    if (!isConst(IL, CId)) {
+    if (!isConst(CIL, CId)) {
       std::swap(XId, CId);
-      if (!isConst(IL, CId))
+      if (!isConst(CIL, CId))
         return false;
     }
-    int64_t C = IL.node(CId).ConstI;
+    int64_t C = CIL.node(CId).ConstI;
     if (C <= 0)
       return false;
     DataType T = N.Type;
@@ -372,10 +376,13 @@ bool jitml::runStrengthReduction(PassContext &Ctx) {
         ++K;
       return (int64_t)K;
     };
+    // All makeNode/makeConstI calls happen before taking the mutable ref:
+    // they can reallocate the arena and leave it dangling.
     if (IsPow2(C)) { // x * 2^k -> x << k
+      NodeId ShAmt = IL.makeConstI(T, Log2(C));
       Node &M = IL.node(Id);
       M.Op = ILOp::Shl;
-      M.Kids = {XId, IL.makeConstI(T, Log2(C))};
+      M.Kids = {XId, ShAmt};
       return true;
     }
     if (IsPow2(C - 1)) { // x * (2^k + 1) -> (x << k) + x
@@ -404,31 +411,37 @@ bool jitml::runStrengthReduction(PassContext &Ctx) {
 
 bool jitml::runReassociation(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   return forEachNodePostOrder(Ctx, [&](NodeId Id) {
-    Node &N = IL.node(Id);
+    const Node &N = CIL.node(Id);
     if (!isIntegerType(N.Type) || N.Kids.size() != 2)
       return false;
     if (N.Op != ILOp::Add && N.Op != ILOp::Mul)
       return false;
     bool Changed = false;
     // Canonicalize: constant operand on the right.
-    if (isConst(IL, N.Kids[0]) && !isConst(IL, N.Kids[1])) {
-      std::swap(N.Kids[0], N.Kids[1]);
+    if (isConst(CIL, N.Kids[0]) && !isConst(CIL, N.Kids[1])) {
+      Node &M = IL.node(Id);
+      std::swap(M.Kids[0], M.Kids[1]);
       Changed = true;
     }
     // (x op c1) op c2 -> x op (c1 op c2): rotate so folding finishes it.
-    if (isConst(IL, N.Kids[1])) {
-      const Node &L = IL.node(N.Kids[0]);
-      if (L.Op == N.Op && L.Kids.size() == 2 && isConst(IL, L.Kids[1]) &&
+    if (isConst(CIL, N.Kids[1])) {
+      const Node &L = CIL.node(N.Kids[0]);
+      if (L.Op == N.Op && L.Kids.size() == 2 && isConst(CIL, L.Kids[1]) &&
           L.Type == N.Type) {
-        int64_t C1 = IL.node(L.Kids[1]).ConstI;
-        int64_t C2 = IL.node(N.Kids[1]).ConstI;
+        int64_t C1 = CIL.node(L.Kids[1]).ConstI;
+        int64_t C2 = CIL.node(N.Kids[1]).ConstI;
         int64_t C = N.Op == ILOp::Add
                         ? (int64_t)((uint64_t)C1 + (uint64_t)C2)
                         : (int64_t)((uint64_t)C1 * (uint64_t)C2);
         NodeId X = L.Kids[0];
+        DataType MT = N.Type;
+        // makeConstI may reallocate the arena: call it before re-taking
+        // the mutable ref (N/L are stale past this point).
+        NodeId CN = IL.makeConstI(MT, normalizeInt(MT, C));
         Node &M = IL.node(Id);
-        M.Kids = {X, IL.makeConstI(M.Type, normalizeInt(M.Type, C))};
+        M.Kids = {X, CN};
         Changed = true;
       }
     }
@@ -441,9 +454,9 @@ bool jitml::runReassociation(PassContext &Ctx) {
 //===----------------------------------------------------------------------===//
 
 bool jitml::runSignExtensionElimination(PassContext &Ctx) {
-  MethodIL &IL = Ctx.il();
+  const MethodIL &IL = Ctx.cil();
   return forEachNodePostOrder(Ctx, [&](NodeId Id) {
-    Node &N = IL.node(Id);
+    const Node &N = IL.node(Id);
     if (N.Op != ILOp::Conv)
       return false;
     DataType From = (DataType)N.A;
@@ -473,9 +486,9 @@ bool jitml::runSignExtensionElimination(PassContext &Ctx) {
 //===----------------------------------------------------------------------===//
 
 bool jitml::runFPSimplification(PassContext &Ctx) {
-  MethodIL &IL = Ctx.il();
+  const MethodIL &IL = Ctx.cil();
   return forEachNodePostOrder(Ctx, [&](NodeId Id) {
-    Node &N = IL.node(Id);
+    const Node &N = IL.node(Id);
     if (!isFloatType(N.Type) || N.Kids.size() != 2)
       return false;
     NodeId LId = N.Kids[0], RId = N.Kids[1];
@@ -516,11 +529,12 @@ bool jitml::runFPSimplification(PassContext &Ctx) {
 
 bool jitml::runFPStrengthReduction(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   return forEachNodePostOrder(Ctx, [&](NodeId Id) {
-    Node &N = IL.node(Id);
+    const Node &N = CIL.node(Id);
     if (N.Op != ILOp::Div || !isFloatType(N.Type) || N.Kids.size() != 2)
       return false;
-    const Node &R = IL.node(N.Kids[1]);
+    const Node &R = CIL.node(N.Kids[1]);
     if (R.Op != ILOp::Const || R.ConstF == 0.0)
       return false;
     // x / c -> x * (1/c). Exact for powers of two; the plan only schedules
@@ -538,9 +552,9 @@ bool jitml::runFPStrengthReduction(PassContext &Ctx) {
 //===----------------------------------------------------------------------===//
 
 bool jitml::runBCDSimplification(PassContext &Ctx) {
-  MethodIL &IL = Ctx.il();
+  const MethodIL &IL = Ctx.cil();
   return forEachNodePostOrder(Ctx, [&](NodeId Id) {
-    Node &N = IL.node(Id);
+    const Node &N = IL.node(Id);
     // packed<->zoned round trips are identities.
     if (N.Op == ILOp::Conv && isDecimalType(N.Type)) {
       const Node &K = IL.node(N.Kids[0]);
@@ -568,12 +582,13 @@ bool jitml::runBCDSimplification(PassContext &Ctx) {
 
 bool jitml::runLongDoubleFastPath(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   return forEachNodePostOrder(Ctx, [&](NodeId Id) {
-    Node &N = IL.node(Id);
+    const Node &N = CIL.node(Id);
     // conv(longdouble->double) of conv(double->longdouble) is exact.
     if (N.Op == ILOp::Conv && N.Type == DataType::Double &&
         (DataType)N.A == DataType::LongDouble) {
-      const Node &K = IL.node(N.Kids[0]);
+      const Node &K = CIL.node(N.Kids[0]);
       if (K.Op == ILOp::Conv && (DataType)K.A == DataType::Double) {
         Ctx.rewriteToCopyOf(Id, K.Kids[0]);
         return true;
@@ -586,8 +601,8 @@ bool jitml::runLongDoubleFastPath(PassContext &Ctx) {
     if (N.Type != DataType::LongDouble || N.Kids.size() != 2 ||
         !isArithOp(N.Op))
       return false;
-    const Node &L = IL.node(N.Kids[0]);
-    const Node &R = IL.node(N.Kids[1]);
+    const Node &L = CIL.node(N.Kids[0]);
+    const Node &R = CIL.node(N.Kids[1]);
     auto IsWiden = [](const Node &K) {
       return K.Op == ILOp::Conv && (DataType)K.A == DataType::Double;
     };

@@ -33,34 +33,40 @@ void forEachNodeInTree(const MethodIL &IL, NodeId Root, Fn Visit) {
   }
 }
 
-/// Per-local liveness over the CFG (handler edges included).
+/// Per-local liveness over the CFG (handler edges included). Sets are flat
+/// 64-bit word rows (one row of W words per block): the backward fixpoint
+/// runs on every GDSE invocation in the compile hot loop, and word-wise
+/// or/and-not beats the old vector<vector<bool>> by an order of magnitude.
 class Liveness {
 public:
   explicit Liveness(const MethodIL &IL) : IL(IL) {
     uint32_t NB = IL.numBlocks();
     uint32_t NL = IL.numLocals();
-    Use.assign(NB, std::vector<bool>(NL, false));
-    Def.assign(NB, std::vector<bool>(NL, false));
-    LiveOut.assign(NB, std::vector<bool>(NL, false));
-    LiveIn.assign(NB, std::vector<bool>(NL, false));
+    W = (NL + 63) / 64;
+    Use.assign((size_t)NB * W, 0);
+    Def.assign((size_t)NB * W, 0);
+    LiveOut.assign((size_t)NB * W, 0);
+    LiveIn.assign((size_t)NB * W, 0);
 
     for (BlockId B = 0; B < NB; ++B) {
       const Block &Blk = IL.block(B);
       if (!Blk.Reachable)
         continue;
+      uint64_t *UseB = &Use[(size_t)B * W], *DefB = &Def[(size_t)B * W];
       for (NodeId Root : Blk.Trees) {
         // Loads anywhere in the tree happen before the root store.
         forEachNodeInTree(IL, Root, [&](NodeId Id) {
           const Node &N = IL.node(Id);
-          if (N.Op == ILOp::LoadLocal && !Def[B][(uint32_t)N.A])
-            Use[B][(uint32_t)N.A] = true;
+          if (N.Op == ILOp::LoadLocal && !bit(DefB, (uint32_t)N.A))
+            setBit(UseB, (uint32_t)N.A);
         });
         const Node &RootN = IL.node(Root);
         if (RootN.Op == ILOp::StoreLocal)
-          Def[B][(uint32_t)RootN.A] = true;
+          setBit(DefB, (uint32_t)RootN.A);
       }
     }
-    // Backward fixpoint.
+    // Backward fixpoint. In = (Out & ~(Def & ~Use)) | Use.
+    std::vector<uint64_t> Out(W);
     bool Changed = true;
     while (Changed) {
       Changed = false;
@@ -68,38 +74,50 @@ public:
         const Block &Blk = IL.block(B);
         if (!Blk.Reachable)
           continue;
-        std::vector<bool> Out(NL, false);
+        std::fill(Out.begin(), Out.end(), 0);
         auto Merge = [&](BlockId S) {
-          for (uint32_t L = 0; L < NL; ++L)
-            if (LiveIn[S][L])
-              Out[L] = true;
+          const uint64_t *InS = &LiveIn[(size_t)S * W];
+          for (uint32_t I = 0; I < W; ++I)
+            Out[I] |= InS[I];
         };
         for (BlockId S : Blk.Succs)
           Merge(S);
         for (const HandlerRef &H : Blk.Handlers)
           Merge(H.Handler);
-        std::vector<bool> In = Out;
-        for (uint32_t L = 0; L < NL; ++L) {
-          if (Def[B][L] && !Use[B][L])
-            In[L] = false;
-          if (Use[B][L])
-            In[L] = true;
-        }
-        if (Out != LiveOut[B] || In != LiveIn[B]) {
-          LiveOut[B] = std::move(Out);
-          LiveIn[B] = std::move(In);
-          Changed = true;
+        const uint64_t *UseB = &Use[(size_t)B * W];
+        const uint64_t *DefB = &Def[(size_t)B * W];
+        uint64_t *OutB = &LiveOut[(size_t)B * W];
+        uint64_t *InB = &LiveIn[(size_t)B * W];
+        for (uint32_t I = 0; I < W; ++I) {
+          uint64_t In = (Out[I] & ~(DefB[I] & ~UseB[I])) | UseB[I];
+          if (Out[I] != OutB[I] || In != InB[I]) {
+            OutB[I] = Out[I];
+            InB[I] = In;
+            Changed = true;
+          }
         }
       }
     }
   }
 
-  bool liveOut(BlockId B, uint32_t Slot) const { return LiveOut[B][Slot]; }
-  bool liveIn(BlockId B, uint32_t Slot) const { return LiveIn[B][Slot]; }
+  bool liveOut(BlockId B, uint32_t Slot) const {
+    return bit(&LiveOut[(size_t)B * W], Slot);
+  }
+  bool liveIn(BlockId B, uint32_t Slot) const {
+    return bit(&LiveIn[(size_t)B * W], Slot);
+  }
 
 private:
+  static bool bit(const uint64_t *Row, uint32_t I) {
+    return (Row[I / 64] >> (I % 64)) & 1;
+  }
+  static void setBit(uint64_t *Row, uint32_t I) {
+    Row[I / 64] |= uint64_t(1) << (I % 64);
+  }
+
   const MethodIL &IL;
-  std::vector<std::vector<bool>> Use, Def, LiveOut, LiveIn;
+  uint32_t W = 0; ///< words per block row
+  std::vector<uint64_t> Use, Def, LiveOut, LiveIn;
 };
 
 } // namespace
@@ -109,7 +127,7 @@ private:
 //===----------------------------------------------------------------------===//
 
 bool jitml::runGlobalCopyPropagation(PassContext &Ctx) {
-  MethodIL &IL = Ctx.il();
+  const MethodIL &IL = Ctx.cil();
   uint32_t NL = IL.numLocals();
   struct Lattice {
     enum Kind : uint8_t { Top, ConstI, ConstF, Bottom } K = Top;
@@ -130,13 +148,17 @@ bool jitml::runGlobalCopyPropagation(PassContext &Ctx) {
   };
 
   uint32_t NB = IL.numBlocks();
-  std::vector<std::vector<Lattice>> EntryState(NB,
-                                               std::vector<Lattice>(NL));
+  // One flat row of NL lattice cells per block (a vector-of-vectors here
+  // meant one allocation per block on every invocation of this pass).
+  std::vector<Lattice> EntryState((size_t)NB * NL);
+  auto stateRow = [&](BlockId B) { return &EntryState[(size_t)B * NL]; };
   // Parameters have unknown values.
   for (uint32_t L = 0; L < IL.methodInfo().numArgs(); ++L)
-    EntryState[IL.entryBlock()][L] = {Lattice::Bottom, 0, 0};
+    stateRow(IL.entryBlock())[L] = {Lattice::Bottom, 0, 0};
 
-  auto Transfer = [&](BlockId B, std::vector<Lattice> State) {
+  // Applies a block's stores to \p State in place (same transfer function
+  // the old copy-in/copy-out version had, minus the per-call allocation).
+  auto Transfer = [&](BlockId B, std::vector<Lattice> &State) {
     for (NodeId Root : IL.block(B).Trees) {
       Ctx.charge(1);
       const Node &N = IL.node(Root);
@@ -152,48 +174,59 @@ bool jitml::runGlobalCopyPropagation(PassContext &Ctx) {
         State[(uint32_t)N.A] = {Lattice::Bottom, 0, 0};
       }
     }
-    return State;
   };
 
   // Forward fixpoint in RPO. Handler blocks are conservatively Bottom: an
-  // exception can arrive from any point in the protected region.
+  // exception can arrive from any point in the protected region. Scratch
+  // vectors live outside the loop — this runs every few plan entries and
+  // the old per-block copies allocated in the hottest compile path.
   std::vector<BlockId> Rpo = IL.reversePostOrder();
+  const Lattice BotCell{Lattice::Bottom, 0, 0};
+  std::vector<Lattice> Out(NL);
   bool Iterate = true;
   while (Iterate) {
     Iterate = false;
     for (BlockId B : Rpo) {
       if (IL.block(B).IsHandler) {
-        std::vector<Lattice> Bot(NL, {Lattice::Bottom, 0, 0});
-        if (!(EntryState[B] == Bot)) {
-          EntryState[B] = Bot;
-          Iterate = true;
-        }
+        Lattice *Row = stateRow(B);
+        for (uint32_t L = 0; L < NL; ++L)
+          if (!(Row[L] == BotCell)) {
+            Row[L] = BotCell;
+            Iterate = true;
+          }
         continue;
       }
-      std::vector<Lattice> Out = Transfer(B, EntryState[B]);
+      const Lattice *Row = stateRow(B);
+      Out.assign(Row, Row + NL);
+      Transfer(B, Out);
       for (BlockId S : IL.block(B).Succs) {
-        std::vector<Lattice> Merged = EntryState[S];
-        for (uint32_t L = 0; L < NL; ++L)
-          Merged[L] = Meet(Merged[L], Out[L]);
-        if (!(Merged == EntryState[S])) {
-          EntryState[S] = std::move(Merged);
-          Iterate = true;
+        Lattice *Target = stateRow(S);
+        for (uint32_t L = 0; L < NL; ++L) {
+          Lattice M = Meet(Target[L], Out[L]);
+          if (!(M == Target[L])) {
+            Target[L] = M;
+            Iterate = true;
+          }
         }
       }
     }
   }
 
-  // Rewrite loads whose reaching value is a constant.
+  // Rewrite loads whose reaching value is a constant. Visited is a
+  // generation-stamped map reused across blocks (no per-block allocation).
   bool Changed = false;
+  std::vector<uint32_t> Visited(IL.numNodes(), 0);
+  uint32_t Gen = 0;
+  std::vector<Lattice> State;
   for (BlockId B : Rpo) {
-    std::vector<Lattice> State = EntryState[B];
-    std::vector<bool> Visited(IL.numNodes(), false);
+    State.assign(stateRow(B), stateRow(B) + NL);
+    ++Gen;
     for (NodeId Root : IL.block(B).Trees) {
       forEachNodeInTree(IL, Root, [&](NodeId Id) {
-        if (Visited[Id])
+        if (Visited[Id] == Gen)
           return;
-        Visited[Id] = true;
-        Node &N = IL.node(Id);
+        Visited[Id] = Gen;
+        const Node &N = IL.node(Id);
         if (N.Op != ILOp::LoadLocal)
           return;
         const Lattice &V = State[(uint32_t)N.A];
@@ -230,26 +263,29 @@ bool jitml::runGlobalCopyPropagation(PassContext &Ctx) {
 
 bool jitml::runGlobalValueNumbering(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
-  DominatorTree DT(IL);
+  const MethodIL &CIL = Ctx.cil();
+  // Cached across passes; this reference stays valid for the whole run
+  // even after we mutate (the cache only swaps on the *next* request).
+  const DominatorTree &DT = Ctx.dominators();
 
   // Def-once locals: their loads are stable everywhere after the def.
-  std::vector<uint32_t> StoreCount(IL.numLocals(), 0);
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    if (!IL.block(B).Reachable)
+  std::vector<uint32_t> StoreCount(CIL.numLocals(), 0);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    if (!CIL.block(B).Reachable)
       continue;
-    for (NodeId Root : IL.block(B).Trees) {
-      const Node &N = IL.node(Root);
+    for (NodeId Root : CIL.block(B).Trees) {
+      const Node &N = CIL.node(Root);
       if (N.Op == ILOp::StoreLocal)
         ++StoreCount[(uint32_t)N.A];
     }
   }
   // Parameters are implicitly stored at entry.
-  for (uint32_t L = 0; L < IL.methodInfo().numArgs(); ++L)
+  for (uint32_t L = 0; L < CIL.methodInfo().numArgs(); ++L)
     ++StoreCount[L];
 
   // Is the whole tree stable (pure, memory-free, only def-once locals)?
   auto IsStable = [&](auto &&Self, NodeId Id) -> bool {
-    const Node &N = IL.node(Id);
+    const Node &N = CIL.node(Id);
     if (N.Op == ILOp::LoadLocal)
       // Slots beyond the pass-entry count are temps this pass created,
       // and those are def-once by construction.
@@ -274,7 +310,7 @@ bool jitml::runGlobalValueNumbering(PassContext &Ctx) {
   std::map<std::string, Occurrence> Table;
 
   auto KeyOf = [&](auto &&Self, NodeId Id) -> std::string {
-    const Node &N = IL.node(Id);
+    const Node &N = CIL.node(Id);
     char Buf[96];
     std::snprintf(Buf, sizeof(Buf), "%u:%u:%d:%d:%lld:%a(", (unsigned)N.Op,
                   (unsigned)N.Type, N.A, N.B, (long long)N.ConstI, N.ConstF);
@@ -289,14 +325,14 @@ bool jitml::runGlobalValueNumbering(PassContext &Ctx) {
 
   bool Changed = false;
   for (BlockId B : DT.rpo()) {
-    Block &Blk = IL.block(B);
+    const Block &Blk = CIL.block(B);
     for (size_t TI = 0; TI < Blk.Trees.size(); ++TI) {
       // Consider candidate nodes: direct children of the treetop (the
       // biggest subtrees — maximal reuse).
-      for (unsigned KI = 0; KI < IL.node(Blk.Trees[TI]).numKids(); ++KI) {
-        NodeId Cand = IL.node(Blk.Trees[TI]).Kids[KI];
+      for (unsigned KI = 0; KI < CIL.node(Blk.Trees[TI]).numKids(); ++KI) {
+        NodeId Cand = CIL.node(Blk.Trees[TI]).Kids[KI];
         Ctx.charge(2);
-        const Node &CN = IL.node(Cand);
+        const Node &CN = CIL.node(Cand);
         if (CN.Op == ILOp::Const || CN.Op == ILOp::LoadLocal)
           continue; // too cheap to be worth a temp
         if (!IsStable(IsStable, Cand))
@@ -316,7 +352,7 @@ bool jitml::runGlobalValueNumbering(PassContext &Ctx) {
           continue; // local VN's job
         // Materialize a temp at the first occurrence if not done yet.
         if (First.TempSlot < 0) {
-          uint32_t Slot = IL.addLocal(IL.node(First.Node).Type);
+          uint32_t Slot = IL.addLocal(CIL.node(First.Node).Type);
           NodeId Clone = Ctx.cloneTree(First.Node, nullptr);
           NodeId Store =
               IL.makeNode(ILOp::StoreLocal, DataType::Void, {Clone});
@@ -326,10 +362,10 @@ bool jitml::runGlobalValueNumbering(PassContext &Ctx) {
                           Store);
           if (First.Block == B && First.TreeIndex <= TI)
             ++TI; // keep our index valid after the insert
-          Ctx.rewriteToLoadLocal(First.Node, IL.node(Clone).Type, Slot);
+          Ctx.rewriteToLoadLocal(First.Node, CIL.node(Clone).Type, Slot);
           First.TempSlot = (int32_t)Slot;
         }
-        Ctx.rewriteToLoadLocal(Cand, IL.node(First.Node).Type,
+        Ctx.rewriteToLoadLocal(Cand, CIL.node(First.Node).Type,
                                (uint32_t)First.TempSlot);
         Ctx.noteChange(TransformationKind::GlobalValueNumbering);
         Changed = true;
@@ -345,34 +381,36 @@ bool jitml::runGlobalValueNumbering(PassContext &Ctx) {
 
 bool jitml::runGlobalDeadStoreElimination(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
-  Liveness LV(IL);
+  const MethodIL &CIL = Ctx.cil();
+  Liveness LV(CIL);
   bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable)
       continue;
     bool HasHandlers = !Blk.Handlers.empty();
     // Walk backward tracking locals still needed after each point.
-    std::vector<bool> Needed(IL.numLocals(), false);
-    for (uint32_t L = 0; L < IL.numLocals(); ++L)
+    std::vector<bool> Needed(CIL.numLocals(), false);
+    for (uint32_t L = 0; L < CIL.numLocals(); ++L)
       Needed[L] = LV.liveOut(B, L);
     for (size_t TI = Blk.Trees.size(); TI-- > 0;) {
-      Node &N = IL.node(Blk.Trees[TI]);
+      const Node &N = CIL.node(Blk.Trees[TI]);
       Ctx.charge(1);
       if (N.Op == ILOp::StoreLocal && !Needed[(uint32_t)N.A] &&
           !HasHandlers) {
         // Dead everywhere below: keep the value's evaluation as an anchor
         // (dead-tree elimination finishes the job when it is pure).
-        N.Op = ILOp::ExprStmt;
-        N.A = 0;
+        Node &M = IL.node(Blk.Trees[TI]);
+        M.Op = ILOp::ExprStmt;
+        M.A = 0;
         Ctx.noteChange(TransformationKind::GlobalDeadStoreElimination);
         Changed = true;
         continue;
       }
       if (N.Op == ILOp::StoreLocal)
         Needed[(uint32_t)N.A] = false;
-      forEachNodeInTree(IL, Blk.Trees[TI], [&](NodeId Id) {
-        const Node &K = IL.node(Id);
+      forEachNodeInTree(CIL, Blk.Trees[TI], [&](NodeId Id) {
+        const Node &K = CIL.node(Id);
         if (K.Op == ILOp::LoadLocal)
           Needed[(uint32_t)K.A] = true;
       });
@@ -388,16 +426,17 @@ bool jitml::runGlobalDeadStoreElimination(PassContext &Ctx) {
 
 bool jitml::runPartialRedundancyElimination(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable || Blk.Succs.size() != 2)
       continue;
     BlockId S0 = Blk.Succs[0], S1 = Blk.Succs[1];
     if (S0 == S1)
       continue;
-    Block &B0 = IL.block(S0);
-    Block &B1 = IL.block(S1);
+    const Block &B0 = CIL.block(S0);
+    const Block &B1 = CIL.block(S1);
     if (B0.Preds.size() != 1 || B1.Preds.size() != 1 || B0.IsHandler ||
         B1.IsHandler)
       continue;
@@ -410,7 +449,7 @@ bool jitml::runPartialRedundancyElimination(PassContext &Ctx) {
       std::string Key;
     };
     auto KeyOf = [&](auto &&Self, NodeId Id) -> std::string {
-      const Node &N = IL.node(Id);
+      const Node &N = CIL.node(Id);
       char Buf[96];
       std::snprintf(Buf, sizeof(Buf), "%u:%u:%d:%d:%lld:%a(", (unsigned)N.Op,
                     (unsigned)N.Type, N.A, N.B, (long long)N.ConstI,
@@ -426,14 +465,14 @@ bool jitml::runPartialRedundancyElimination(PassContext &Ctx) {
     // Only expressions whose local inputs are not redefined before their
     // use in the successor may be hoisted; requiring the candidate to sit
     // in the successor's *first* treetop guarantees that.
-    auto Collect = [&](Block &SB) {
+    auto Collect = [&](const Block &SB) {
       std::vector<Cand> Out;
       if (SB.Trees.empty())
         return Out;
-      const Node &Root = IL.node(SB.Trees.front());
+      const Node &Root = CIL.node(SB.Trees.front());
       for (NodeId Kid : Root.Kids) {
         Ctx.charge(2);
-        const Node &K = IL.node(Kid);
+        const Node &K = CIL.node(Kid);
         if (K.Op == ILOp::Const || K.Op == ILOp::LoadLocal)
           continue;
         if (!Ctx.isPureAndMemoryFree(Kid))
@@ -448,13 +487,14 @@ bool jitml::runPartialRedundancyElimination(PassContext &Ctx) {
       for (const Cand &C : C1) {
         if (A.Key != C.Key || A.Id == C.Id)
           continue;
-        uint32_t Slot = IL.addLocal(IL.node(A.Id).Type);
+        uint32_t Slot = IL.addLocal(CIL.node(A.Id).Type);
         NodeId Clone = Ctx.cloneTree(A.Id, nullptr);
         NodeId Store = IL.makeNode(ILOp::StoreLocal, DataType::Void, {Clone});
         IL.node(Store).A = (int32_t)Slot;
         // Insert before the branch terminator.
-        Blk.Trees.insert(Blk.Trees.end() - 1, Store);
-        DataType T = IL.node(Clone).Type;
+        Block &MBlk = IL.block(B);
+        MBlk.Trees.insert(MBlk.Trees.end() - 1, Store);
+        DataType T = CIL.node(Clone).Type;
         Ctx.rewriteToLoadLocal(A.Id, T, Slot);
         Ctx.rewriteToLoadLocal(C.Id, T, Slot);
         Ctx.noteChange(TransformationKind::PartialRedundancyElimination);
@@ -472,20 +512,22 @@ bool jitml::runPartialRedundancyElimination(PassContext &Ctx) {
 
 bool jitml::runUnreachableCodeElimination(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   IL.computeReachability();
   bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     Ctx.charge(1);
     if (Blk.Reachable || Blk.Succs.empty())
       continue;
     // Scrub edges out of dead blocks so predecessor counts stay honest.
-    for (BlockId S : Blk.Succs) {
+    for (BlockId S : std::vector<BlockId>(Blk.Succs)) {
       auto &P = IL.block(S).Preds;
       P.erase(std::remove(P.begin(), P.end(), B), P.end());
     }
-    Blk.Succs.clear();
-    Blk.Trees.clear();
+    Block &MBlk = IL.block(B);
+    MBlk.Succs.clear();
+    MBlk.Trees.clear();
     Ctx.noteChange(TransformationKind::UnreachableCodeElimination);
     Changed = true;
   }
@@ -498,20 +540,21 @@ bool jitml::runUnreachableCodeElimination(PassContext &Ctx) {
 
 bool jitml::runBranchFolding(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable || Blk.Trees.empty())
       continue;
-    Node &Term = IL.node(Blk.Trees.back());
+    const Node &Term = CIL.node(Blk.Trees.back());
     Ctx.charge(1);
     if (Term.Op != ILOp::Branch)
       continue;
     BlockId Taken = Blk.Succs[0], Fall = Blk.Succs[1];
     bool Fold = false;
     bool CondTrue = false;
-    const Node &L = IL.node(Term.Kids[0]);
-    const Node &R = IL.node(Term.Kids[1]);
+    const Node &L = CIL.node(Term.Kids[0]);
+    const Node &R = CIL.node(Term.Kids[1]);
     if (L.Op == ILOp::Const && R.Op == ILOp::Const) {
       int64_t C3;
       if (isFloatType(L.Type))
@@ -548,10 +591,11 @@ bool jitml::runBranchFolding(PassContext &Ctx) {
       continue;
     BlockId Kept = CondTrue ? Taken : Fall;
     BlockId Dropped = CondTrue ? Fall : Taken;
-    Term.Op = ILOp::Goto;
-    Term.Kids.clear();
-    Term.A = 0;
-    Blk.Succs = {Kept};
+    Node &MTerm = IL.node(Blk.Trees.back());
+    MTerm.Op = ILOp::Goto;
+    MTerm.Kids.clear();
+    MTerm.A = 0;
+    IL.block(B).Succs = {Kept};
     if (Dropped != Kept) {
       auto &P = IL.block(Dropped).Preds;
       P.erase(std::find(P.begin(), P.end(), B));
@@ -574,21 +618,22 @@ bool jitml::runBranchFolding(PassContext &Ctx) {
 
 bool jitml::runJumpThreading(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   auto IsTrivialGoto = [&](BlockId B) {
-    const Block &Blk = IL.block(B);
+    const Block &Blk = CIL.block(B);
     return Blk.Reachable && !Blk.IsHandler && Blk.Trees.size() == 1 &&
-           IL.node(Blk.Trees[0]).Op == ILOp::Goto;
+           CIL.node(Blk.Trees[0]).Op == ILOp::Goto;
   };
   bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable)
       continue;
     for (BlockId S : std::vector<BlockId>(Blk.Succs)) {
       Ctx.charge(1);
       if (!IsTrivialGoto(S))
         continue;
-      BlockId Target = IL.block(S).Succs[0];
+      BlockId Target = CIL.block(S).Succs[0];
       if (Target == S || Target == B)
         continue;
       IL.replaceEdge(B, S, Target);
@@ -607,22 +652,23 @@ bool jitml::runJumpThreading(PassContext &Ctx) {
 
 bool jitml::runBlockMerging(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   bool Changed = false;
   bool Merged = true;
   while (Merged) {
     Merged = false;
-    for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-      Block &Blk = IL.block(B);
+    for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+      const Block &Blk = CIL.block(B);
       if (!Blk.Reachable || Blk.Trees.empty())
         continue;
       Ctx.charge(1);
-      if (IL.node(Blk.Trees.back()).Op != ILOp::Goto ||
+      if (CIL.node(Blk.Trees.back()).Op != ILOp::Goto ||
           Blk.Succs.size() != 1)
         continue;
       BlockId S = Blk.Succs[0];
-      if (S == B || S == IL.entryBlock())
+      if (S == B || S == CIL.entryBlock())
         continue;
-      Block &Next = IL.block(S);
+      const Block &Next = CIL.block(S);
       if (Next.Preds.size() != 1 || Next.IsHandler)
         continue;
       // Handler scopes must match or the merged code would be covered by
@@ -639,18 +685,20 @@ bool jitml::runBlockMerging(PassContext &Ctx) {
       if (!SameHandlers())
         continue;
       // Splice: drop our goto, take S's trees and successors.
-      Blk.Trees.pop_back();
-      for (NodeId T : Next.Trees)
-        Blk.Trees.push_back(T);
-      Blk.Succs = Next.Succs;
-      for (BlockId NS : Next.Succs) {
+      Block &MBlk = IL.block(B);
+      Block &MNext = IL.block(S);
+      MBlk.Trees.pop_back();
+      for (NodeId T : MNext.Trees)
+        MBlk.Trees.push_back(T);
+      MBlk.Succs = MNext.Succs;
+      for (BlockId NS : MNext.Succs) {
         auto &P = IL.block(NS).Preds;
         std::replace(P.begin(), P.end(), S, B);
       }
-      Next.Trees.clear();
-      Next.Succs.clear();
-      Next.Preds.clear();
-      Next.Reachable = false;
+      MNext.Trees.clear();
+      MNext.Succs.clear();
+      MNext.Preds.clear();
+      MNext.Reachable = false;
       Ctx.noteChange(TransformationKind::BlockMerging);
       Changed = Merged = true;
     }
@@ -664,14 +712,15 @@ bool jitml::runBlockMerging(PassContext &Ctx) {
 
 bool jitml::runTailDuplication(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   bool Changed = false;
-  for (BlockId S = 0; S < IL.numBlocks(); ++S) {
-    Block &Join = IL.block(S);
+  for (BlockId S = 0; S < CIL.numBlocks(); ++S) {
+    const Block &Join = CIL.block(S);
     if (!Join.Reachable || Join.IsHandler || Join.Preds.size() < 2)
       continue;
     if (Join.Trees.size() > 4)
       continue;
-    const Node &Term = IL.node(Join.Trees.back());
+    const Node &Term = CIL.node(Join.Trees.back());
     if (Term.Op != ILOp::Return && Term.Op != ILOp::Goto)
       continue;
     // Duplicate into predecessors that reach us by an unconditional goto
@@ -686,27 +735,27 @@ bool jitml::runTailDuplication(PassContext &Ctx) {
     };
     std::vector<BlockId> Preds = Join.Preds;
     for (BlockId P : Preds) {
-      if (IL.block(S).Preds.size() <= 1)
+      if (CIL.block(S).Preds.size() <= 1)
         break; // keep one inline path
-      Block &Pred = IL.block(P);
+      const Block &Pred = CIL.block(P);
       if (P == S || !Pred.Reachable || Pred.Trees.empty())
         continue;
-      if (IL.node(Pred.Trees.back()).Op != ILOp::Goto ||
+      if (CIL.node(Pred.Trees.back()).Op != ILOp::Goto ||
           Pred.Succs.size() != 1 || Pred.Succs[0] != S)
         continue;
       if (!SameHandlers(Pred))
         continue;
       Ctx.charge((double)Join.Trees.size() * 3);
       // Clone the join's trees in place of the predecessor's goto.
-      Pred.Trees.pop_back();
-      for (NodeId T : IL.block(S).Trees)
-        Pred.Trees.push_back(Ctx.cloneTree(T, nullptr));
-      Pred.Succs.clear();
+      IL.block(P).Trees.pop_back();
+      for (NodeId T : std::vector<NodeId>(CIL.block(S).Trees))
+        IL.block(P).Trees.push_back(Ctx.cloneTree(T, nullptr));
+      IL.block(P).Succs.clear();
       {
         auto &JP = IL.block(S).Preds;
         JP.erase(std::find(JP.begin(), JP.end(), P));
       }
-      for (BlockId NS : IL.block(S).Succs)
+      for (BlockId NS : std::vector<BlockId>(CIL.block(S).Succs))
         IL.addEdge(P, NS);
       Ctx.noteChange(TransformationKind::TailDuplication);
       Changed = true;
@@ -721,16 +770,21 @@ bool jitml::runTailDuplication(PassContext &Ctx) {
 
 bool jitml::runColdBlockOutlining(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
-  LoopInfo::annotateFrequencies(IL);
-  bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  const MethodIL &CIL = Ctx.cil();
+  // Reuse the cached loop forest for the frequency annotation; the
+  // annotate overload only touches blocks whose frequency actually moves,
+  // and a moved frequency counts as a change (it bumped the epoch).
+  bool Changed = LoopInfo::annotateFrequencies(IL, Ctx.loopInfo());
+  if (Changed)
+    Ctx.noteChange(TransformationKind::ColdBlockOutlining);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     Ctx.charge(1);
     if (!Blk.Reachable)
       continue;
     bool Cold = Blk.Frequency <= 0.05 || Blk.IsHandler;
     if (Cold != Blk.Cold) {
-      Blk.Cold = Cold;
+      IL.block(B).Cold = Cold;
       Ctx.noteChange(TransformationKind::ColdBlockOutlining);
       Changed = true;
     }

@@ -110,10 +110,11 @@ struct KillTracker {
 bool valueNumberBlocks(PassContext &Ctx, bool CommonMemoryReads,
                        bool CommonPure) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   bool Changed = false;
 
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable)
       continue;
     KillTracker Kills;
@@ -124,20 +125,22 @@ bool valueNumberBlocks(PassContext &Ctx, bool CommonMemoryReads,
     std::unordered_map<uint64_t, std::vector<Avail>> Table;
     std::unordered_map<NodeId, NodeId> Canon;
 
-    // Recursive canonicalization (kid slots updated in place).
+    // Recursive canonicalization; kid slots are written back only when
+    // they actually change (mutable access bumps the IL epoch).
     auto Canonical = [&](auto &&Self, NodeId Id) -> NodeId {
       auto Found = Canon.find(Id);
       if (Found != Canon.end())
         return Found->second;
-      Node &N = IL.node(Id);
       Ctx.charge(1);
-      for (NodeId &KidSlot : N.Kids) {
-        NodeId C = Self(Self, KidSlot);
-        if (C != KidSlot) {
-          KidSlot = C;
+      for (unsigned KI = 0; KI < CIL.node(Id).numKids(); ++KI) {
+        NodeId Kid = CIL.node(Id).Kids[KI];
+        NodeId C = Self(Self, Kid);
+        if (C != Kid) {
+          IL.node(Id).Kids[KI] = C;
           Changed = true;
         }
       }
+      const Node &N = CIL.node(Id);
       bool IsMemRead = readsMemory(N.Op) || N.Op == ILOp::LoadLocal;
       bool Eligible =
           !hasSideEffects(N.Op) && N.Op != ILOp::LoadException &&
@@ -155,10 +158,10 @@ bool valueNumberBlocks(PassContext &Ctx, bool CommonMemoryReads,
       for (const Avail &A : Bucket) {
         if (A.Id == Id)
           continue;
-        if (!shallowEqualNodes(IL.node(A.Id), N))
+        if (!shallowEqualNodes(CIL.node(A.Id), N))
           continue;
         // The recorded value must still be valid: no kill since birth.
-        if (Kills.epochFor(IL.node(A.Id)) != A.BirthEpoch)
+        if (Kills.epochFor(CIL.node(A.Id)) != A.BirthEpoch)
           continue;
         Canon[Id] = A.Id;
         return A.Id;
@@ -169,15 +172,15 @@ bool valueNumberBlocks(PassContext &Ctx, bool CommonMemoryReads,
     };
 
     for (NodeId Root : Blk.Trees) {
-      Node &RootN = IL.node(Root);
-      for (NodeId &KidSlot : RootN.Kids) {
-        NodeId C = Canonical(Canonical, KidSlot);
-        if (C != KidSlot) {
-          KidSlot = C;
+      for (unsigned KI = 0; KI < CIL.node(Root).numKids(); ++KI) {
+        NodeId Kid = CIL.node(Root).Kids[KI];
+        NodeId C = Canonical(Canonical, Kid);
+        if (C != Kid) {
+          IL.node(Root).Kids[KI] = C;
           Changed = true;
         }
       }
-      Kills.applyStatement(IL, Root);
+      Kills.applyStatement(CIL, Root);
     }
   }
   return Changed;
@@ -190,10 +193,10 @@ bool valueNumberBlocks(PassContext &Ctx, bool CommonMemoryReads,
 //===----------------------------------------------------------------------===//
 
 bool jitml::runLocalCopyPropagation(PassContext &Ctx) {
-  MethodIL &IL = Ctx.il();
+  const MethodIL &IL = Ctx.cil();
   bool Changed = false;
   for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+    const Block &Blk = IL.block(B);
     if (!Blk.Reachable)
       continue;
     // Slot -> defining node (Const or LoadLocal of another slot).
@@ -207,7 +210,7 @@ bool jitml::runLocalCopyPropagation(PassContext &Ctx) {
         Visited.resize(IL.numNodes(), false);
       Visited[Id] = true;
       Ctx.charge(1);
-      Node &N = IL.node(Id);
+      const Node &N = IL.node(Id);
       if (N.Op == ILOp::LoadLocal) {
         auto It = Defs.find(N.A);
         if (It != Defs.end()) {
@@ -225,7 +228,7 @@ bool jitml::runLocalCopyPropagation(PassContext &Ctx) {
     };
 
     for (NodeId Root : Blk.Trees) {
-      Node &RootN = IL.node(Root);
+      const Node &RootN = IL.node(Root);
       for (NodeId Kid : RootN.Kids)
         Propagate(Propagate, Kid);
       if (RootN.Op == ILOp::StoreLocal) {
@@ -272,15 +275,16 @@ bool jitml::runRedundantLoadElimination(PassContext &Ctx) {
 
 bool jitml::runDeadTreeElimination(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
-  std::vector<uint32_t> Refs = computeRefCounts(IL);
+  const MethodIL &CIL = Ctx.cil();
+  std::vector<uint32_t> Refs = computeRefCounts(CIL);
   bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable)
       continue;
     for (size_t TI = 0; TI < Blk.Trees.size();) {
       NodeId Root = Blk.Trees[TI];
-      const Node &N = IL.node(Root);
+      const Node &N = CIL.node(Root);
       Ctx.charge(1);
       if (N.Op != ILOp::ExprStmt) {
         ++TI;
@@ -301,7 +305,8 @@ bool jitml::runDeadTreeElimination(PassContext &Ctx) {
         ++TI;
         continue;
       }
-      Blk.Trees.erase(Blk.Trees.begin() + (std::ptrdiff_t)TI);
+      Block &MBlk = IL.block(B);
+      MBlk.Trees.erase(MBlk.Trees.begin() + (std::ptrdiff_t)TI);
       Ctx.noteChange(TransformationKind::DeadTreeElimination);
       Changed = true;
     }
@@ -315,14 +320,15 @@ bool jitml::runDeadTreeElimination(PassContext &Ctx) {
 
 bool jitml::runDeadStoreElimination(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable)
       continue;
     bool HasHandlers = !Blk.Handlers.empty();
     for (size_t TI = 0; TI < Blk.Trees.size(); ++TI) {
-      const Node &N = IL.node(Blk.Trees[TI]);
+      const Node &N = CIL.node(Blk.Trees[TI]);
       Ctx.charge(1);
       if (N.Op != ILOp::StoreLocal)
         continue;
@@ -332,11 +338,11 @@ bool jitml::runDeadStoreElimination(PassContext &Ctx) {
       // statement in between could expose the stored value to the handler.
       bool Dead = false;
       for (size_t TJ = TI + 1; TJ < Blk.Trees.size(); ++TJ) {
-        const Node &M = IL.node(Blk.Trees[TJ]);
+        const Node &M = CIL.node(Blk.Trees[TJ]);
         bool ReadsSlot = false;
         std::vector<NodeId> Stack{Blk.Trees[TJ]};
         while (!Stack.empty()) {
-          const Node &K = IL.node(Stack.back());
+          const Node &K = CIL.node(Stack.back());
           Stack.pop_back();
           if (K.Op == ILOp::LoadLocal && K.A == Slot)
             ReadsSlot = true;
@@ -347,7 +353,7 @@ bool jitml::runDeadStoreElimination(PassContext &Ctx) {
           break;
         if (HasHandlers && ilCanThrow(M.Op))
           break;
-        if (M.Op == ILOp::ExprStmt && ilCanThrow(IL.node(M.Kids[0]).Op) &&
+        if (M.Op == ILOp::ExprStmt && ilCanThrow(CIL.node(M.Kids[0]).Op) &&
             HasHandlers)
           break;
         if (M.Op == ILOp::StoreLocal && M.A == Slot) {
@@ -378,28 +384,29 @@ bool jitml::runDeadStoreElimination(PassContext &Ctx) {
 
 bool jitml::runRematerialization(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
-  std::vector<uint32_t> Refs = computeRefCounts(IL);
-  const MethodInfo &M = IL.methodInfo();
+  const MethodIL &CIL = Ctx.cil();
+  std::vector<uint32_t> Refs = computeRefCounts(CIL);
+  const MethodInfo &M = CIL.methodInfo();
   bool Changed = false;
 
   // "Uses BigDecimal ... may not be eligible for rematerialization because
   // the code generated outweighs the benefits": skip decimal-typed trees
   // in such methods.
   bool AvoidDecimal = false;
-  for (NodeId Id = 0; Id < IL.numNodes() && !AvoidDecimal; ++Id) {
-    const Node &N = IL.node(Id);
+  for (NodeId Id = 0; Id < CIL.numNodes() && !AvoidDecimal; ++Id) {
+    const Node &N = CIL.node(Id);
     if (N.Op != ILOp::Call)
       continue;
-    const MethodInfo &Callee = IL.program().methodAt((uint32_t)N.A);
+    const MethodInfo &Callee = CIL.program().methodAt((uint32_t)N.A);
     if (Callee.ClassIndex >= 0 &&
-        IL.program().classAt((uint32_t)Callee.ClassIndex).Kind ==
+        CIL.program().classAt((uint32_t)Callee.ClassIndex).Kind ==
             ClassKind::BigDecimal)
       AvoidDecimal = true;
   }
   (void)M;
 
   auto IsCheap = [&](NodeId Id) {
-    const Node &N = IL.node(Id);
+    const Node &N = CIL.node(Id);
     if (AvoidDecimal && isDecimalType(N.Type))
       return false;
     // Only re-materialize values that cost (at most) one cycle to rebuild:
@@ -409,8 +416,8 @@ bool jitml::runRematerialization(PassContext &Ctx) {
   };
 
   constexpr uint32_t PhysRegs = 16;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable)
       continue;
     // Rematerialization trades recompute for register pressure. Pressure
@@ -424,7 +431,7 @@ bool jitml::runRematerialization(PassContext &Ctx) {
       while (!Stack.empty()) {
         NodeId Id = Stack.back();
         Stack.pop_back();
-        const Node &N = IL.node(Id);
+        const Node &N = CIL.node(Id);
         if (N.Type != DataType::Void) {
           auto It = Span.find(Id);
           if (It == Span.end())
@@ -453,7 +460,7 @@ bool jitml::runRematerialization(PassContext &Ctx) {
     // *first* evaluation, so every local a candidate loads must not have
     // been stored since the candidate was first seen. Track a per-slot
     // store version and snapshot it when a node first appears.
-    std::vector<bool> SeenInBlock(IL.numNodes(), false);
+    std::vector<bool> SeenInBlock(CIL.numNodes(), false);
     std::unordered_map<int32_t, uint32_t> SlotVersion;
     std::unordered_map<NodeId, std::vector<std::pair<int32_t, uint32_t>>>
         BirthVersions;
@@ -462,7 +469,7 @@ bool jitml::runRematerialization(PassContext &Ctx) {
       std::vector<int32_t> Slots;
       std::vector<NodeId> Stack{Id};
       while (!Stack.empty()) {
-        const Node &N = IL.node(Stack.back());
+        const Node &N = CIL.node(Stack.back());
         Stack.pop_back();
         if (N.Op == ILOp::LoadLocal)
           Slots.push_back(N.A);
@@ -491,8 +498,8 @@ bool jitml::runRematerialization(PassContext &Ctx) {
         Ctx.charge(1);
         // Index-based kid access: cloneTree grows the node arena and would
         // invalidate references into it.
-        for (unsigned KI = 0; KI < IL.node(Id).numKids(); ++KI) {
-          NodeId Kid = IL.node(Id).Kids[KI];
+        for (unsigned KI = 0; KI < CIL.node(Id).numKids(); ++KI) {
+          NodeId Kid = CIL.node(Id).Kids[KI];
           if (Kid < Refs.size() && Refs[Kid] > 1 && Kid < SeenInBlock.size() &&
               SeenInBlock[Kid] && IsCheap(Kid) && StillCurrent(Kid)) {
             NodeId Clone = Ctx.cloneTree(Kid, nullptr);
@@ -505,8 +512,8 @@ bool jitml::runRematerialization(PassContext &Ctx) {
           Stack.push_back(Kid);
         }
       }
-      if (SeenInBlock.size() < IL.numNodes())
-        SeenInBlock.resize(IL.numNodes(), false);
+      if (SeenInBlock.size() < CIL.numNodes())
+        SeenInBlock.resize(CIL.numNodes(), false);
       for (NodeId Id : ThisTree) {
         if (!SeenInBlock[Id]) {
           SeenInBlock[Id] = true;
@@ -517,7 +524,7 @@ bool jitml::runRematerialization(PassContext &Ctx) {
             BirthVersions.emplace(Id, std::move(Snapshot));
         }
       }
-      const Node &RootN = IL.node(Root);
+      const Node &RootN = CIL.node(Root);
       if (RootN.Op == ILOp::StoreLocal)
         ++SlotVersion[RootN.A];
     }
@@ -531,15 +538,16 @@ bool jitml::runRematerialization(PassContext &Ctx) {
 
 bool jitml::runStoreSinking(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable || Blk.Trees.size() < 3)
       continue;
     bool HasHandlers = !Blk.Handlers.empty();
     for (size_t TI = 0; TI + 2 < Blk.Trees.size(); ++TI) {
       NodeId Root = Blk.Trees[TI];
-      const Node &N = IL.node(Root);
+      const Node &N = CIL.node(Root);
       if (N.Op != ILOp::StoreLocal)
         continue;
       int32_t Slot = N.A;
@@ -550,7 +558,7 @@ bool jitml::runStoreSinking(PassContext &Ctx) {
       {
         std::vector<NodeId> Stack{N.Kids[0]};
         while (!Stack.empty()) {
-          const Node &K = IL.node(Stack.back());
+          const Node &K = CIL.node(Stack.back());
           Stack.pop_back();
           if (K.Op == ILOp::LoadLocal)
             InputSlots.push_back(K.A);
@@ -561,12 +569,12 @@ bool jitml::runStoreSinking(PassContext &Ctx) {
       // Find the furthest sink position.
       size_t Target = TI;
       for (size_t TJ = TI + 1; TJ + 1 < Blk.Trees.size(); ++TJ) {
-        const Node &M = IL.node(Blk.Trees[TJ]);
+        const Node &M = CIL.node(Blk.Trees[TJ]);
         Ctx.charge(1);
         bool Blocks = false;
         std::vector<NodeId> Stack{Blk.Trees[TJ]};
         while (!Stack.empty() && !Blocks) {
-          const Node &K = IL.node(Stack.back());
+          const Node &K = CIL.node(Stack.back());
           Stack.pop_back();
           if (K.Op == ILOp::LoadLocal && K.A == Slot)
             Blocks = true;
@@ -585,7 +593,7 @@ bool jitml::runStoreSinking(PassContext &Ctx) {
              M.Op == ILOp::MonitorEnter || M.Op == ILOp::MonitorExit))
           Blocks = true;
         if (ValueReadsMemory && M.Op == ILOp::ExprStmt &&
-            IL.node(M.Kids[0]).Op == ILOp::Call)
+            CIL.node(M.Kids[0]).Op == ILOp::Call)
           Blocks = true;
         if (HasHandlers && ilCanThrow(M.Op))
           Blocks = true;
@@ -595,8 +603,9 @@ bool jitml::runStoreSinking(PassContext &Ctx) {
       }
       if (Target == TI)
         continue;
-      Blk.Trees.erase(Blk.Trees.begin() + (std::ptrdiff_t)TI);
-      Blk.Trees.insert(Blk.Trees.begin() + (std::ptrdiff_t)Target, Root);
+      Block &MBlk = IL.block(B);
+      MBlk.Trees.erase(MBlk.Trees.begin() + (std::ptrdiff_t)TI);
+      MBlk.Trees.insert(MBlk.Trees.begin() + (std::ptrdiff_t)Target, Root);
       Ctx.noteChange(TransformationKind::StoreSinking);
       Changed = true;
     }
@@ -610,23 +619,25 @@ bool jitml::runStoreSinking(PassContext &Ctx) {
 
 bool jitml::runGuardMerging(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable)
       continue;
     for (size_t TI = 0; TI + 1 < Blk.Trees.size(); ++TI) {
-      const Node &N = IL.node(Blk.Trees[TI]);
+      const Node &N = CIL.node(Blk.Trees[TI]);
       Ctx.charge(1);
       if (N.Op != ILOp::NullCheck)
         continue;
-      const Node &Next = IL.node(Blk.Trees[TI + 1]);
+      const Node &Next = CIL.node(Blk.Trees[TI + 1]);
       if (Next.Op != ILOp::BoundsCheck || Next.Kids[0] != N.Kids[0])
         continue;
       // Fuse: the bounds check now also performs the null check (B = 1 is
       // the fused flag the code generator honors with a single guard).
       IL.node(Blk.Trees[TI + 1]).B = 1;
-      Blk.Trees.erase(Blk.Trees.begin() + (std::ptrdiff_t)TI);
+      Block &MBlk = IL.block(B);
+      MBlk.Trees.erase(MBlk.Trees.begin() + (std::ptrdiff_t)TI);
       Ctx.noteChange(TransformationKind::GuardMerging);
       Changed = true;
     }
@@ -641,18 +652,19 @@ bool jitml::runGuardMerging(PassContext &Ctx) {
 
 bool jitml::runThrowFastPathing(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable || Blk.Trees.empty())
       continue;
-    Node &Term = IL.node(Blk.Trees.back());
+    const Node &Term = CIL.node(Blk.Trees.back());
     Ctx.charge(1);
     if (Term.Op != ILOp::Throw || Term.B == 1)
       continue;
-    if (IL.node(Term.Kids[0]).Op != ILOp::New)
+    if (CIL.node(Term.Kids[0]).Op != ILOp::New)
       continue;
-    Term.B = 1;
+    IL.node(Blk.Trees.back()).B = 1;
     Ctx.noteChange(TransformationKind::ThrowFastPathing);
     Changed = true;
   }
@@ -666,20 +678,21 @@ bool jitml::runThrowFastPathing(PassContext &Ctx) {
 
 bool jitml::runAllocationSinking(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
-  std::vector<uint32_t> Refs = computeRefCounts(IL);
+  const MethodIL &CIL = Ctx.cil();
+  std::vector<uint32_t> Refs = computeRefCounts(CIL);
   bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable)
       continue;
     for (size_t TI = 0; TI < Blk.Trees.size();) {
-      const Node &N = IL.node(Blk.Trees[TI]);
+      const Node &N = CIL.node(Blk.Trees[TI]);
       Ctx.charge(1);
       if (N.Op != ILOp::ExprStmt) {
         ++TI;
         continue;
       }
-      const Node &Child = IL.node(N.Kids[0]);
+      const Node &Child = CIL.node(N.Kids[0]);
       bool IsAlloc = Child.Op == ILOp::New || Child.Op == ILOp::NewArray;
       // A dead allocation has exactly one reference: this anchor. Plain
       // `new` has no user-visible side effect in this VM (no finalizers),
@@ -688,7 +701,8 @@ bool jitml::runAllocationSinking(PassContext &Ctx) {
       if (IsAlloc && Refs[N.Kids[0]] == 1 &&
           (Child.Op == ILOp::New ||
            (Child.Kids.size() == 1 && Ctx.isPure(Child.Kids[0])))) {
-        Blk.Trees.erase(Blk.Trees.begin() + (std::ptrdiff_t)TI);
+        Block &MBlk = IL.block(B);
+        MBlk.Trees.erase(MBlk.Trees.begin() + (std::ptrdiff_t)TI);
         Ctx.noteChange(TransformationKind::AllocationSinking);
         Changed = true;
         continue;

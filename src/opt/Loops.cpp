@@ -63,7 +63,7 @@ BlockId findPreheader(const MethodIL &IL, const Loop &L) {
 }
 
 /// Recognizes the canonical counted-loop shape for \p L.
-bool recognize(MethodIL &IL, const Loop &L, CanonicalLoop &Out) {
+bool recognize(const MethodIL &IL, const Loop &L, CanonicalLoop &Out) {
   if (L.Blocks.size() != 2)
     return false;
   BlockId H = L.Header;
@@ -188,25 +188,38 @@ int64_t tripCount(const CanonicalLoop &C) {
   return (C.Bound - C.Start + C.Step - 1) / C.Step;
 }
 
-/// Facts about what a loop's blocks write, for LICM legality.
+/// Facts about what a loop's blocks write, for LICM legality. Flat
+/// byte-per-slot maps (locals and globals are both small dense id spaces);
+/// the scan runs per loop per LICM invocation on the compile hot path.
 struct LoopMemFacts {
-  std::unordered_set<int32_t> StoredSlots;
-  std::unordered_set<int32_t> StoredGlobals;
+  std::vector<uint8_t> StoredSlots;   ///< indexed by local slot
+  std::vector<uint8_t> StoredGlobals; ///< indexed by global id
   bool HasCallOrMonitor = false;
+
+  bool storesSlot(int32_t A) const {
+    return (uint32_t)A < StoredSlots.size() && StoredSlots[(uint32_t)A];
+  }
+  bool storesGlobal(int32_t A) const {
+    return (uint32_t)A < StoredGlobals.size() && StoredGlobals[(uint32_t)A];
+  }
 };
 
 LoopMemFacts scanLoopMem(const MethodIL &IL, const Loop &L) {
   LoopMemFacts F;
+  F.StoredSlots.assign(IL.numLocals(), 0);
+  F.StoredGlobals.assign(IL.program().numGlobals(), 0);
+  std::vector<NodeId> Stack;
   for (BlockId B : L.Blocks) {
     for (NodeId Root : IL.block(B).Trees) {
-      std::vector<NodeId> Stack{Root};
+      Stack.assign(1, Root);
       while (!Stack.empty()) {
         const Node &N = IL.node(Stack.back());
         Stack.pop_back();
-        if (N.Op == ILOp::StoreLocal)
-          F.StoredSlots.insert(N.A);
-        if (N.Op == ILOp::StoreGlobal)
-          F.StoredGlobals.insert(N.A);
+        if (N.Op == ILOp::StoreLocal && (uint32_t)N.A < F.StoredSlots.size())
+          F.StoredSlots[(uint32_t)N.A] = 1;
+        if (N.Op == ILOp::StoreGlobal &&
+            (uint32_t)N.A < F.StoredGlobals.size())
+          F.StoredGlobals[(uint32_t)N.A] = 1;
         if (N.Op == ILOp::Call || N.Op == ILOp::MonitorEnter ||
             N.Op == ILOp::MonitorExit)
           F.HasCallOrMonitor = true;
@@ -234,26 +247,27 @@ uint32_t treeSize(const MethodIL &IL, NodeId Id) {
 
 bool jitml::runLoopCanonicalization(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
-  LoopInfo LI(IL);
+  const MethodIL &CIL = Ctx.cil();
+  const LoopInfo &LI = Ctx.loopInfo();
   bool Changed = false;
   for (const Loop &L : LI.loops()) {
     Ctx.charge(4);
-    if (findPreheader(IL, L) != InvalidBlock)
+    if (findPreheader(CIL, L) != InvalidBlock)
       continue;
     // Collect outside predecessors.
     std::vector<BlockId> Outside;
-    for (BlockId P : IL.block(L.Header).Preds)
+    for (BlockId P : CIL.block(L.Header).Preds)
       if (!L.contains(P))
         Outside.push_back(P);
     BlockId Pre = IL.makeBlock();
     Block &PB = IL.block(Pre);
     PB.Trees.push_back(IL.makeNode(ILOp::Goto, DataType::Void));
-    PB.Handlers = IL.block(L.Header).Handlers;
+    PB.Handlers = CIL.block(L.Header).Handlers;
     PB.Reachable = true;
     IL.addEdge(Pre, L.Header);
     for (BlockId P : Outside)
       IL.replaceEdge(P, L.Header, Pre);
-    if (L.Header == IL.entryBlock())
+    if (L.Header == CIL.entryBlock())
       IL.setEntryBlock(Pre);
     Ctx.noteChange(TransformationKind::LoopCanonicalization);
     Changed = true;
@@ -267,39 +281,55 @@ bool jitml::runLoopCanonicalization(PassContext &Ctx) {
 
 bool jitml::runLoopInvariantCodeMotion(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
-  LoopInfo LI(IL);
+  const MethodIL &CIL = Ctx.cil();
+  const LoopInfo &LI = Ctx.loopInfo();
   bool Changed = false;
 
+  // Scratch reused across loops, generation-stamped so each loop starts
+  // from a clean map without refilling: this walk and the invariance memo
+  // sit on the hottest compile path and hashing/allocating here dominated
+  // the whole pass.
+  std::vector<uint32_t> UsedOutside, MemoGen;
+  std::vector<uint8_t> MemoVal;
+  uint32_t Gen = 0;
+  std::vector<NodeId> Stack;
+  std::vector<std::pair<NodeId, unsigned>> Work;
+
   for (const Loop &L : LI.loops()) {
-    BlockId Pre = findPreheader(IL, L);
+    BlockId Pre = findPreheader(CIL, L);
     if (Pre == InvalidBlock)
       continue;
-    LoopMemFacts MF = scanLoopMem(IL, L);
+    LoopMemFacts MF = scanLoopMem(CIL, L);
+
+    // Hoisting under the previous loop may have grown the node arena.
+    if (UsedOutside.size() < CIL.numNodes()) {
+      UsedOutside.resize(CIL.numNodes(), 0);
+      MemoGen.resize(CIL.numNodes(), 0);
+      MemoVal.resize(CIL.numNodes(), 0);
+    }
+    ++Gen;
 
     // Which nodes are referenced outside the loop? Those cannot be
     // rewritten to a preheader temp (the temp might not dominate them).
-    std::unordered_set<NodeId> UsedOutside;
-    for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-      if (!IL.block(B).Reachable || L.contains(B))
+    for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+      if (!CIL.block(B).Reachable || L.contains(B))
         continue;
-      for (NodeId Root : IL.block(B).Trees) {
-        std::vector<NodeId> Stack{Root};
+      for (NodeId Root : CIL.block(B).Trees) {
+        Stack.assign(1, Root);
         while (!Stack.empty()) {
           NodeId Id = Stack.back();
           Stack.pop_back();
-          UsedOutside.insert(Id);
-          for (NodeId Kid : IL.node(Id).Kids)
+          UsedOutside[Id] = Gen;
+          for (NodeId Kid : CIL.node(Id).Kids)
             Stack.push_back(Kid);
         }
       }
     }
 
-    std::unordered_map<NodeId, bool> Memo;
     auto Invariant = [&](auto &&Self, NodeId Id) -> bool {
-      auto It = Memo.find(Id);
-      if (It != Memo.end())
-        return It->second;
-      const Node &N = IL.node(Id);
+      if (MemoGen[Id] == Gen)
+        return MemoVal[Id] != 0;
+      const Node &N = CIL.node(Id);
       Ctx.charge(1);
       bool Inv = false;
       switch (N.Op) {
@@ -307,10 +337,10 @@ bool jitml::runLoopInvariantCodeMotion(PassContext &Ctx) {
         Inv = true;
         break;
       case ILOp::LoadLocal:
-        Inv = !MF.StoredSlots.count(N.A);
+        Inv = !MF.storesSlot(N.A);
         break;
       case ILOp::LoadGlobal:
-        Inv = !MF.HasCallOrMonitor && !MF.StoredGlobals.count(N.A);
+        Inv = !MF.HasCallOrMonitor && !MF.storesGlobal(N.A);
         break;
       case ILOp::Add:
       case ILOp::Sub:
@@ -329,7 +359,7 @@ bool jitml::runLoopInvariantCodeMotion(PassContext &Ctx) {
       case ILOp::Div:
       case ILOp::Rem: {
         // Speculating a division is only safe when it cannot trap.
-        const Node &R = IL.node(N.Kids[1]);
+        const Node &R = CIL.node(N.Kids[1]);
         Inv = isFloatType(N.Type) ||
               (R.Op == ILOp::Const && R.ConstI != 0);
         break;
@@ -344,26 +374,27 @@ bool jitml::runLoopInvariantCodeMotion(PassContext &Ctx) {
             Inv = false;
             break;
           }
-      Memo[Id] = Inv;
+      MemoGen[Id] = Gen;
+      MemoVal[Id] = Inv ? 1 : 0;
       return Inv;
     };
 
     // Hoist maximal invariant subtrees found under loop treetops.
     for (BlockId B : L.Blocks) {
-      Block &Blk = IL.block(B);
+      const Block &Blk = CIL.block(B);
       for (size_t TI = 0; TI < Blk.Trees.size(); ++TI) {
         // Fresh worklist per tree: (parent, kid index).
-        std::vector<std::pair<NodeId, unsigned>> Work;
-        for (unsigned KI = 0; KI < IL.node(Blk.Trees[TI]).numKids(); ++KI)
+        Work.clear();
+        for (unsigned KI = 0; KI < CIL.node(Blk.Trees[TI]).numKids(); ++KI)
           Work.emplace_back(Blk.Trees[TI], KI);
         while (!Work.empty()) {
           auto [Parent, KI] = Work.back();
           Work.pop_back();
-          NodeId Id = IL.node(Parent).Kids[KI];
-          const Node &N = IL.node(Id);
+          NodeId Id = CIL.node(Parent).Kids[KI];
+          const Node &N = CIL.node(Id);
           bool Trivial = N.Op == ILOp::Const || N.Op == ILOp::LoadLocal;
-          if (!Trivial && !UsedOutside.count(Id) &&
-              Invariant(Invariant, Id) && treeSize(IL, Id) >= 2) {
+          if (!Trivial && UsedOutside[Id] != Gen &&
+              Invariant(Invariant, Id) && treeSize(CIL, Id) >= 2) {
             DataType T = N.Type;
             uint32_t Slot = IL.addLocal(T);
             NodeId Clone = Ctx.cloneTree(Id, nullptr);
@@ -377,7 +408,7 @@ bool jitml::runLoopInvariantCodeMotion(PassContext &Ctx) {
             Changed = true;
             continue; // node is now a LoadLocal; nothing to descend into
           }
-          for (unsigned K2 = 0; K2 < IL.node(Id).numKids(); ++K2)
+          for (unsigned K2 = 0; K2 < CIL.node(Id).numKids(); ++K2)
             Work.emplace_back(Id, K2);
         }
       }
@@ -392,16 +423,17 @@ bool jitml::runLoopInvariantCodeMotion(PassContext &Ctx) {
 
 bool jitml::runLoopUnrolling(PassContext &Ctx, unsigned Factor) {
   MethodIL &IL = Ctx.il();
-  LoopInfo LI(IL);
+  const MethodIL &CIL = Ctx.cil();
+  const LoopInfo &LI = Ctx.loopInfo();
   bool Changed = false;
   for (const Loop &L : LI.loops()) {
     CanonicalLoop C;
-    if (!recognize(IL, L, C))
+    if (!recognize(CIL, L, C))
       continue;
     int64_t Trips = tripCount(C);
     if (Trips <= 1)
       continue;
-    Block &WB = IL.block(C.Body);
+    const Block &WB = CIL.block(C.Body);
     size_t BodyTrees = WB.Trees.size() - 1; // excluding the Goto
     unsigned K = Factor;
     if (K == 0) {
@@ -420,7 +452,7 @@ bool jitml::runLoopUnrolling(PassContext &Ctx, unsigned Factor) {
     for (NodeId Root : WB.Trees) {
       std::vector<NodeId> Stack{Root};
       while (!Stack.empty() && !HasCall) {
-        const Node &N = IL.node(Stack.back());
+        const Node &N = CIL.node(Stack.back());
         Stack.pop_back();
         if (N.Op == ILOp::Call)
           HasCall = true;
@@ -458,13 +490,14 @@ bool jitml::runLoopUnrolling(PassContext &Ctx, unsigned Factor) {
 
 bool jitml::runLoopPeeling(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
-  LoopInfo LI(IL);
+  const MethodIL &CIL = Ctx.cil();
+  const LoopInfo &LI = Ctx.loopInfo();
   bool Changed = false;
   for (const Loop &L : LI.loops()) {
     CanonicalLoop C;
-    if (!recognize(IL, L, C) || C.Preheader == InvalidBlock)
+    if (!recognize(CIL, L, C) || C.Preheader == InvalidBlock)
       continue;
-    Block &WB = IL.block(C.Body);
+    const Block &WB = CIL.block(C.Body);
     if (WB.Trees.size() > 10)
       continue;
     // Like unrolling, peeling duplicates the body: keep call sites unique.
@@ -472,7 +505,7 @@ bool jitml::runLoopPeeling(PassContext &Ctx) {
     for (NodeId Root : WB.Trees) {
       std::vector<NodeId> Stack{Root};
       while (!Stack.empty() && !HasCall) {
-        const Node &N = IL.node(Stack.back());
+        const Node &N = CIL.node(Stack.back());
         Stack.pop_back();
         if (N.Op == ILOp::Call)
           HasCall = true;
@@ -505,8 +538,8 @@ bool jitml::runLoopPeeling(PassContext &Ctx) {
     // Wire: preheader -> HCopy; HCopy branches to (exit | WCopy) in the
     // same orientation as the original header; WCopy -> Header.
     IL.replaceEdge(C.Preheader, C.Header, HCopy);
-    const Block &HB = IL.block(C.Header);
-    for (BlockId S : HB.Succs)
+    const Block &HB = CIL.block(C.Header);
+    for (BlockId S : std::vector<BlockId>(HB.Succs))
       IL.addEdge(HCopy, S == C.Body ? WCopy : S);
     IL.addEdge(WCopy, C.Header);
     Ctx.noteChange(TransformationKind::LoopPeeling);
@@ -522,28 +555,30 @@ bool jitml::runLoopPeeling(PassContext &Ctx) {
 
 bool jitml::runLoopBoundsVersioning(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
-  LoopInfo LI(IL);
+  const MethodIL &CIL = Ctx.cil();
+  const LoopInfo &LI = Ctx.loopInfo();
   bool Changed = false;
   for (const Loop &L : LI.loops()) {
     CanonicalLoop C;
-    if (!recognize(IL, L, C))
+    if (!recognize(CIL, L, C))
       continue;
     if (C.BoundArraySlot < 0 || !C.HasConstStart || C.Start < 0 ||
         C.Step != 1)
       continue;
-    Block &WB = IL.block(C.Body);
+    const Block &WB = CIL.block(C.Body);
     for (size_t TI = 0; TI < WB.Trees.size();) {
-      const Node &N = IL.node(WB.Trees[TI]);
+      const Node &N = CIL.node(WB.Trees[TI]);
       Ctx.charge(1);
       bool Removable = false;
       if (N.Op == ILOp::BoundsCheck && N.B == 0) {
-        const Node &Arr = IL.node(N.Kids[0]);
-        const Node &Idx = IL.node(N.Kids[1]);
+        const Node &Arr = CIL.node(N.Kids[0]);
+        const Node &Idx = CIL.node(N.Kids[1]);
         Removable = Arr.Op == ILOp::LoadLocal && Arr.A == C.BoundArraySlot &&
                     Idx.Op == ILOp::LoadLocal && Idx.A == C.IndVar;
       }
       if (Removable) {
-        WB.Trees.erase(WB.Trees.begin() + (std::ptrdiff_t)TI);
+        Block &MBlk = IL.block(C.Body);
+        MBlk.Trees.erase(MBlk.Trees.begin() + (std::ptrdiff_t)TI);
         Ctx.noteChange(TransformationKind::LoopBoundsVersioning);
         Changed = true;
         continue;
@@ -560,28 +595,29 @@ bool jitml::runLoopBoundsVersioning(PassContext &Ctx) {
 
 bool jitml::runLoopStrengthReduction(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
-  LoopInfo LI(IL);
+  const MethodIL &CIL = Ctx.cil();
+  const LoopInfo &LI = Ctx.loopInfo();
   bool Changed = false;
   for (const Loop &L : LI.loops()) {
     CanonicalLoop C;
-    if (!recognize(IL, L, C) || C.Preheader == InvalidBlock)
+    if (!recognize(CIL, L, C) || C.Preheader == InvalidBlock)
       continue;
     // Pre-count candidate multiplications per constant: one shared
     // recurrence amortizes its update traffic only when at least two
     // multiplies use it; single-use muls stay as (cheaper) multiplies.
     std::unordered_map<int64_t, uint32_t> MulCount;
     {
-      Block &Body = IL.block(C.Body);
+      const Block &Body = CIL.block(C.Body);
       for (size_t TI = 0; TI < C.IncTreeIdx; ++TI) {
         std::vector<NodeId> Stack{Body.Trees[TI]};
         while (!Stack.empty()) {
-          const Node &N = IL.node(Stack.back());
+          const Node &N = CIL.node(Stack.back());
           Stack.pop_back();
           if (N.Op == ILOp::Mul && N.Kids.size() == 2 &&
-              IL.node(N.Kids[0]).Op == ILOp::LoadLocal &&
-              IL.node(N.Kids[0]).A == C.IndVar &&
-              IL.node(N.Kids[1]).Op == ILOp::Const)
-            ++MulCount[IL.node(N.Kids[1]).ConstI];
+              CIL.node(N.Kids[0]).Op == ILOp::LoadLocal &&
+              CIL.node(N.Kids[0]).A == C.IndVar &&
+              CIL.node(N.Kids[1]).Op == ILOp::Const)
+            ++MulCount[CIL.node(N.Kids[1]).ConstI];
           for (NodeId Kid : N.Kids)
             Stack.push_back(Kid);
         }
@@ -589,18 +625,22 @@ bool jitml::runLoopStrengthReduction(PassContext &Ctx) {
     }
     // Collect i*const multiplications in body trees before the increment.
     std::unordered_map<int64_t, uint32_t> TempForConst;
-    Block &WB = IL.block(C.Body);
+    const Block &WB = CIL.block(C.Body);
     for (size_t TI = 0; TI < C.IncTreeIdx; ++TI) {
       std::vector<NodeId> Stack{WB.Trees[TI]};
       while (!Stack.empty()) {
         NodeId Id = Stack.back();
         Stack.pop_back();
         Ctx.charge(1);
-        const Node N = IL.node(Id); // copy; we may rewrite below
-        if (N.Op == ILOp::Mul && isIntegerType(N.Type) &&
-            N.Kids.size() == 2) {
-          const Node &Lk = IL.node(N.Kids[0]);
-          const Node &Rk = IL.node(N.Kids[1]);
+        // Snapshot; we may rewrite the node below and makeNode calls can
+        // reallocate the arena.
+        ILOp NOp = Ctx.cil().node(Id).Op;
+        DataType NType = Ctx.cil().node(Id).Type;
+        const KidList &KL = Ctx.cil().node(Id).Kids;
+        std::vector<NodeId> NKids(KL.begin(), KL.end());
+        if (NOp == ILOp::Mul && isIntegerType(NType) && NKids.size() == 2) {
+          const Node &Lk = CIL.node(NKids[0]);
+          const Node &Rk = CIL.node(NKids[1]);
           if (Lk.Op == ILOp::LoadLocal && Lk.A == C.IndVar &&
               Rk.Op == ILOp::Const &&
               // Power-of-two multiplies belong to strength reduction: a
@@ -609,7 +649,7 @@ bool jitml::runLoopStrengthReduction(PassContext &Ctx) {
               (Rk.ConstI <= 0 || (Rk.ConstI & (Rk.ConstI - 1)) != 0) &&
               MulCount[Rk.ConstI] >= 2) {
             int64_t Mult = Rk.ConstI;
-            DataType T = N.Type;
+            DataType T = NType;
             uint32_t Temp;
             auto It = TempForConst.find(Mult);
             if (It != TempForConst.end()) {
@@ -645,7 +685,7 @@ bool jitml::runLoopStrengthReduction(PassContext &Ctx) {
             continue;
           }
         }
-        for (NodeId Kid : IL.node(Id).Kids)
+        for (NodeId Kid : NKids)
           Stack.push_back(Kid);
       }
     }
@@ -659,8 +699,9 @@ bool jitml::runLoopStrengthReduction(PassContext &Ctx) {
 
 bool jitml::runInductionVariableElimination(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   // Loads per slot, excluding loads inside the slot's own update trees.
-  std::vector<uint32_t> ForeignLoads(IL.numLocals(), 0);
+  std::vector<uint32_t> ForeignLoads(CIL.numLocals(), 0);
   struct Update {
     BlockId Block;
     size_t TreeIdx;
@@ -670,21 +711,21 @@ bool jitml::runInductionVariableElimination(PassContext &Ctx) {
   auto IsSelfUpdate = [&](const Node &Store) {
     if (Store.Op != ILOp::StoreLocal)
       return false;
-    const Node &V = IL.node(Store.Kids[0]);
+    const Node &V = CIL.node(Store.Kids[0]);
     if (!isArithOp(V.Op) || V.Kids.size() != 2)
       return false;
-    const Node &Lk = IL.node(V.Kids[0]);
-    const Node &Rk = IL.node(V.Kids[1]);
+    const Node &Lk = CIL.node(V.Kids[0]);
+    const Node &Rk = CIL.node(V.Kids[1]);
     return Lk.Op == ILOp::LoadLocal && Lk.A == Store.A &&
            Rk.Op == ILOp::Const;
   };
 
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    const Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable)
       continue;
     for (size_t TI = 0; TI < Blk.Trees.size(); ++TI) {
-      const Node &Root = IL.node(Blk.Trees[TI]);
+      const Node &Root = CIL.node(Blk.Trees[TI]);
       Ctx.charge(1);
       if (IsSelfUpdate(Root)) {
         Updates[Root.A].push_back({B, TI});
@@ -692,7 +733,7 @@ bool jitml::runInductionVariableElimination(PassContext &Ctx) {
       }
       std::vector<NodeId> Stack{Blk.Trees[TI]};
       while (!Stack.empty()) {
-        const Node &N = IL.node(Stack.back());
+        const Node &N = CIL.node(Stack.back());
         Stack.pop_back();
         if (N.Op == ILOp::LoadLocal)
           ++ForeignLoads[(uint32_t)N.A];
@@ -727,16 +768,17 @@ bool jitml::runInductionVariableElimination(PassContext &Ctx) {
 
 bool jitml::runEmptyLoopRemoval(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
-  LoopInfo LI(IL);
+  const MethodIL &CIL = Ctx.cil();
+  const LoopInfo &LI = Ctx.loopInfo();
   bool Changed = false;
   for (const Loop &L : LI.loops()) {
     CanonicalLoop C;
-    if (!recognize(IL, L, C))
+    if (!recognize(CIL, L, C))
       continue;
     int64_t Trips = tripCount(C);
     if (Trips < 0)
       continue;
-    Block &WB = IL.block(C.Body);
+    const Block &WB = CIL.block(C.Body);
     // Body must be just the increment and the back edge.
     if (WB.Trees.size() != 2)
       continue;
@@ -744,11 +786,11 @@ bool jitml::runEmptyLoopRemoval(PassContext &Ctx) {
     // Final induction value after the loop completes.
     int64_t Final =
         C.Start >= C.Bound ? C.Start : C.Start + Trips * C.Step;
-    Block &HB = IL.block(C.Header);
     DataType T = DataType::Int32;
     // Rewrite the header: set i to its final value and fall out. The
     // pre-test check prefix (if any) keeps its exception semantics.
-    std::vector<NodeId> Prefix(HB.Trees.begin(), HB.Trees.end() - 1);
+    std::vector<NodeId> Prefix(CIL.block(C.Header).Trees.begin(),
+                               CIL.block(C.Header).Trees.end() - 1);
     NodeId FinalStore = IL.makeNode(ILOp::StoreLocal, DataType::Void,
                                     {IL.makeConstI(T, Final)});
     IL.node(FinalStore).A = C.IndVar;
@@ -756,7 +798,6 @@ bool jitml::runEmptyLoopRemoval(PassContext &Ctx) {
     Header.Trees = Prefix;
     Header.Trees.push_back(FinalStore);
     Header.Trees.push_back(IL.makeNode(ILOp::Goto, DataType::Void));
-    (void)HB;
     // Drop the body edge.
     Header.Succs.clear();
     {
@@ -781,16 +822,17 @@ bool jitml::runEmptyLoopRemoval(PassContext &Ctx) {
 
 bool jitml::runIdiomRecognition(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
-  LoopInfo LI(IL);
+  const MethodIL &CIL = Ctx.cil();
+  const LoopInfo &LI = Ctx.loopInfo();
   bool Changed = false;
   for (const Loop &L : LI.loops()) {
     CanonicalLoop C;
-    if (!recognize(IL, L, C))
+    if (!recognize(CIL, L, C))
       continue;
     if (!C.HasConstBound || !C.HasConstStart || C.Step != 1 || C.Start < 0 ||
         C.Bound <= C.Start)
       continue;
-    Block &WB = IL.block(C.Body);
+    const Block &WB = CIL.block(C.Body);
     // Validate the body: checks plus exactly one dst[i] = src[i] store.
     int32_t SrcSlot = -1, DstSlot = -1;
     bool Valid = true;
@@ -798,23 +840,23 @@ bool jitml::runIdiomRecognition(PassContext &Ctx) {
     for (size_t TI = 0; TI + 2 < WB.Trees.size() + 0 && Valid; ++TI) {
       if (TI == C.IncTreeIdx)
         continue;
-      const Node &N = IL.node(WB.Trees[TI]);
+      const Node &N = CIL.node(WB.Trees[TI]);
       Ctx.charge(1);
       switch (N.Op) {
       case ILOp::NullCheck:
       case ILOp::BoundsCheck:
         break; // subsumed by arraycopy's own checking
       case ILOp::StoreElem: {
-        const Node &Arr = IL.node(N.Kids[0]);
-        const Node &Idx = IL.node(N.Kids[1]);
-        const Node &Val = IL.node(N.Kids[2]);
+        const Node &Arr = CIL.node(N.Kids[0]);
+        const Node &Idx = CIL.node(N.Kids[1]);
+        const Node &Val = CIL.node(N.Kids[2]);
         if (Arr.Op != ILOp::LoadLocal || Idx.Op != ILOp::LoadLocal ||
             Idx.A != C.IndVar || Val.Op != ILOp::LoadElem) {
           Valid = false;
           break;
         }
-        const Node &SrcArr = IL.node(Val.Kids[0]);
-        const Node &SrcIdx = IL.node(Val.Kids[1]);
+        const Node &SrcArr = CIL.node(Val.Kids[0]);
+        const Node &SrcIdx = CIL.node(Val.Kids[1]);
         if (SrcArr.Op != ILOp::LoadLocal || SrcIdx.Op != ILOp::LoadLocal ||
             SrcIdx.A != C.IndVar || SrcArr.A == Arr.A) {
           Valid = false;
@@ -878,24 +920,25 @@ bool jitml::runIdiomRecognition(PassContext &Ctx) {
 
 bool jitml::runPrefetchInsertion(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
-  LoopInfo LI(IL);
+  const MethodIL &CIL = Ctx.cil();
+  const LoopInfo &LI = Ctx.loopInfo();
   bool Changed = false;
   for (const Loop &L : LI.loops()) {
     CanonicalLoop C;
-    if (!recognize(IL, L, C))
+    if (!recognize(CIL, L, C))
       continue;
-    Block &WB = IL.block(C.Body);
+    const Block &WB = CIL.block(C.Body);
     for (NodeId Root : WB.Trees) {
       std::vector<NodeId> Stack{Root};
       while (!Stack.empty()) {
         NodeId Id = Stack.back();
         Stack.pop_back();
-        Node &N = IL.node(Id);
+        const Node &N = CIL.node(Id);
         Ctx.charge(1);
         if (N.Op == ILOp::LoadElem && N.B == 0) {
-          const Node &Idx = IL.node(N.Kids[1]);
+          const Node &Idx = CIL.node(N.Kids[1]);
           if (Idx.Op == ILOp::LoadLocal && Idx.A == C.IndVar) {
-            N.B = 1; // codegen: sequential access, prefetch-friendly
+            IL.node(Id).B = 1; // codegen: sequential, prefetch-friendly
             Ctx.noteChange(TransformationKind::PrefetchInsertion);
             Changed = true;
           }

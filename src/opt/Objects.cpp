@@ -26,7 +26,7 @@ struct EscapeFacts {
 };
 
 EscapeFacts computeEscapes(PassContext &Ctx) {
-  MethodIL &IL = Ctx.il();
+  const MethodIL &IL = Ctx.cil();
   EscapeFacts Facts;
 
   // Candidate allocations: every reachable `new` node.
@@ -130,13 +130,13 @@ EscapeFacts computeEscapes(PassContext &Ctx) {
 
 bool jitml::runEscapeAnalysis(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   EscapeFacts Facts = computeEscapes(Ctx);
   bool Changed = false;
   for (NodeId Alloc : Facts.NonEscaping) {
-    Node &N = IL.node(Alloc);
-    if (N.B & 1)
+    if (CIL.node(Alloc).B & 1)
       continue;
-    N.B |= 1; // codegen: frame-local allocation, no heap traffic
+    IL.node(Alloc).B |= 1; // codegen: frame-local allocation
     Ctx.noteChange(TransformationKind::EscapeAnalysis);
     Changed = true;
   }
@@ -145,30 +145,32 @@ bool jitml::runEscapeAnalysis(PassContext &Ctx) {
 
 bool jitml::runMonitorElision(PassContext &Ctx) {
   MethodIL &IL = Ctx.il();
+  const MethodIL &CIL = Ctx.cil();
   EscapeFacts Facts = computeEscapes(Ctx);
   if (Facts.NonEscaping.empty())
     return false;
   auto GuardsNonEscaping = [&](NodeId Ref) {
     if (Facts.NonEscaping.count(Ref))
       return true;
-    const Node &N = IL.node(Ref);
+    const Node &N = CIL.node(Ref);
     if (N.Op != ILOp::LoadLocal)
       return false;
     auto It = Facts.ExclusiveSlots.find(N.A);
     return It != Facts.ExclusiveSlots.end();
   };
   bool Changed = false;
-  for (BlockId B = 0; B < IL.numBlocks(); ++B) {
-    Block &Blk = IL.block(B);
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B) {
+    const Block &Blk = CIL.block(B);
     if (!Blk.Reachable)
       continue;
     for (size_t TI = 0; TI < Blk.Trees.size();) {
-      const Node &N = IL.node(Blk.Trees[TI]);
+      const Node &N = CIL.node(Blk.Trees[TI]);
       Ctx.charge(1);
       bool IsMonitor =
           N.Op == ILOp::MonitorEnter || N.Op == ILOp::MonitorExit;
       if (IsMonitor && GuardsNonEscaping(N.Kids[0])) {
-        Blk.Trees.erase(Blk.Trees.begin() + (std::ptrdiff_t)TI);
+        Block &MBlk = IL.block(B);
+        MBlk.Trees.erase(MBlk.Trees.begin() + (std::ptrdiff_t)TI);
         Ctx.noteChange(TransformationKind::MonitorElision);
         Changed = true;
         continue;

@@ -2,7 +2,36 @@
 
 #include "opt/PassContext.h"
 
+#include "support/Memo.h"
+
 using namespace jitml;
+
+const LoopInfo &PassContext::loopInfo() {
+  uint64_t E = IL.modEpoch();
+  if (!CachedLI || LIEpoch != E || !memoEnabled()) {
+    CachedLI = std::make_unique<LoopInfo>(IL);
+    LIEpoch = E; // analysis reads via const accessors: epoch unchanged
+  }
+  return *CachedLI;
+}
+
+const DominatorTree &PassContext::dominators() {
+  uint64_t E = IL.modEpoch();
+  if (!CachedDT || DTEpoch != E || !memoEnabled()) {
+    CachedDT = std::make_unique<DominatorTree>(IL);
+    DTEpoch = E;
+  }
+  return *CachedDT;
+}
+
+const GuardFacts &PassContext::guardFacts() {
+  uint64_t E = IL.modEpoch();
+  if (!CachedFacts || FactsEpoch != E || !memoEnabled()) {
+    CachedFacts = std::make_unique<GuardFacts>(scanGuardFacts(IL));
+    FactsEpoch = E;
+  }
+  return *CachedFacts;
+}
 
 void PassContext::rewriteToConstI(NodeId Id, DataType T, int64_t V) {
   Node &N = IL.node(Id);
@@ -37,8 +66,25 @@ void PassContext::rewriteToLoadLocal(NodeId Id, DataType T, uint32_t Slot) {
 
 void PassContext::rewriteToCopyOf(NodeId Id, NodeId Source) {
   assert(Id != Source && "self-copy");
-  Node Copy = IL.node(Source); // copy first: node() refs may alias
-  IL.node(Id) = std::move(Copy);
+  // Snapshot the source first: the destination write below must not read
+  // through a reference that aliases it, and the kid list must go through
+  // setKids so a wide list gets its own pool storage (two nodes must never
+  // share one overflow list).
+  const Node &S = cil().node(Source);
+  ILOp Op = S.Op;
+  DataType Type = S.Type;
+  int32_t A = S.A, B = S.B;
+  int64_t CI = S.ConstI;
+  double CF = S.ConstF;
+  std::vector<NodeId> Kids(S.Kids.begin(), S.Kids.end());
+  Node &N = IL.node(Id);
+  N.Op = Op;
+  N.Type = Type;
+  N.A = A;
+  N.B = B;
+  N.ConstI = CI;
+  N.ConstF = CF;
+  IL.setKids(Id, Kids.data(), Kids.size());
 }
 
 NodeId PassContext::cloneTree(
@@ -46,16 +92,17 @@ NodeId PassContext::cloneTree(
   // Copy what the recursion needs up front: every recursive clone calls
   // makeNode, which may reallocate the node table and invalidate any
   // reference into it.
-  ILOp Op = IL.node(Root).Op;
-  DataType Type = IL.node(Root).Type;
-  std::vector<NodeId> OldKids = IL.node(Root).Kids;
+  ILOp Op = cil().node(Root).Op;
+  DataType Type = cil().node(Root).Type;
+  const KidList &RootKids = cil().node(Root).Kids;
+  std::vector<NodeId> OldKids(RootKids.begin(), RootKids.end());
   std::vector<NodeId> Kids;
   Kids.reserve(OldKids.size());
   for (NodeId Kid : OldKids)
     Kids.push_back(cloneTree(Kid, LocalMap));
-  NodeId Fresh = IL.makeNode(Op, Type, std::move(Kids));
+  NodeId Fresh = IL.makeNode(Op, Type, Kids);
   Node &F = IL.node(Fresh);
-  const Node &Orig = IL.node(Root); // re-fetch: makeNode may reallocate
+  const Node &Orig = cil().node(Root); // re-fetch: makeNode may reallocate
   F.A = Orig.A;
   F.B = Orig.B;
   F.ConstI = Orig.ConstI;
@@ -69,7 +116,7 @@ NodeId PassContext::cloneTree(
 }
 
 bool PassContext::isPure(NodeId Root) const {
-  const Node &N = IL.node(Root);
+  const Node &N = cil().node(Root);
   if (hasSideEffects(N.Op))
     return false;
   for (NodeId Kid : N.Kids)
@@ -130,7 +177,7 @@ uint64_t jitml::shallowHashNode(const Node &N) {
 }
 
 bool PassContext::isPureAndMemoryFree(NodeId Root) const {
-  const Node &N = IL.node(Root);
+  const Node &N = cil().node(Root);
   if (hasSideEffects(N.Op) || readsMemory(N.Op))
     return false;
   for (NodeId Kid : N.Kids)

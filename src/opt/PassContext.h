@@ -3,44 +3,91 @@
 /// \file
 /// The context handed to every pass engine: the IL under optimization,
 /// compile-effort accounting (the C_i term of the ranking function, Eq. 2,
-/// comes from here), and small IL-surgery helpers shared by many passes.
+/// comes from here), small IL-surgery helpers shared by many passes, and
+/// the epoch-keyed analysis caches (LoopInfo / dominators / guard facts)
+/// that let a 170-entry scorching plan reuse a CFG analysis across passes
+/// instead of rebuilding it at every consumer.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef JITML_OPT_PASSCONTEXT_H
 #define JITML_OPT_PASSCONTEXT_H
 
+#include "il/Dominators.h"
+#include "il/LoopInfo.h"
 #include "il/MethodIL.h"
 #include "opt/Transformation.h"
 
+#include <array>
+#include <memory>
 #include <unordered_map>
+#include <vector>
 
 namespace jitml {
+
+/// One run-length-encoded charge() call sequence entry: \p Amount charged
+/// \p Count consecutive times. The pass memo records a no-change body's
+/// charges in this form and replays them addition-by-addition on a hit, so
+/// the CompileCycles accumulator sees bit-identical arithmetic (FP addition
+/// is not associative; charging one summed total would drift in the last
+/// ULPs relative to a real rerun).
+struct ChargeRec {
+  double Amount;
+  uint32_t Count;
+};
 
 class PassContext {
 public:
   explicit PassContext(MethodIL &IL) : IL(IL) {}
 
   MethodIL &il() { return IL; }
+  /// Const view of the IL for reads. Prefer this inside analyses and scan
+  /// loops: the mutable node()/block() accessors bump the modification
+  /// epoch (they must assume a write), which costs analysis-cache and
+  /// memoization hit-rate.
+  const MethodIL &cil() const { return IL; }
   const Program &program() const { return IL.program(); }
 
   /// Charges \p Cycles of compile effort to the current pass.
-  void charge(double Cycles) { CompileCycles += Cycles; }
+  void charge(double Cycles) {
+    CompileCycles += Cycles;
+    if (ChargeLog) {
+      if (!ChargeLog->empty() && ChargeLog->back().Amount == Cycles)
+        ++ChargeLog->back().Count;
+      else
+        ChargeLog->push_back({Cycles, 1});
+    }
+  }
   double compileCycles() const { return CompileCycles; }
+
+  /// While non-null, every charge() is appended (run-length encoded) to
+  /// \p Log. The optimizer records a memo candidate's body charges this
+  /// way and replays them verbatim on a hit.
+  void setChargeLog(std::vector<ChargeRec> *Log) { ChargeLog = Log; }
 
   /// Statistics: how many times each pass reported a change.
   void noteChange(TransformationKind K) { ++Changes[(unsigned)K]; }
   uint32_t changesOf(TransformationKind K) const {
-    auto It = Changes.find((unsigned)K);
-    return It == Changes.end() ? 0 : It->second;
+    return Changes[(unsigned)K];
   }
+
+  // --- Epoch-cached CFG analyses ---
+  // Valid for the IL's current modification epoch; rebuilt on first use
+  // after any IL change (and always when memoEnabled() is off). The
+  // returned reference is stable until the next IL mutation *through this
+  // context's accessors* triggers a rebuild on the following call — passes
+  // take the reference once at entry, exactly matching the lifetime the
+  // old pass-local `LoopInfo LI(IL)` had.
+  const LoopInfo &loopInfo();
+  const DominatorTree &dominators();
+  const GuardFacts &guardFacts();
 
   // --- IL surgery helpers (in-place node rewrites; every tree referencing
   // the node observes the new form, which is how passes "replace all uses").
   void rewriteToConstI(NodeId Id, DataType T, int64_t V);
   void rewriteToConstF(NodeId Id, DataType T, double V);
   void rewriteToLoadLocal(NodeId Id, DataType T, uint32_t Slot);
-  /// Turns \p Id into a shallow copy of \p Source (same kids vector).
+  /// Turns \p Id into a shallow copy of \p Source (same kid ids).
   void rewriteToCopyOf(NodeId Id, NodeId Source);
 
   /// Deep-clones the tree rooted at \p Root into fresh nodes. \p LocalMap,
@@ -59,7 +106,17 @@ public:
 private:
   MethodIL &IL;
   double CompileCycles = 0.0;
-  std::unordered_map<unsigned, uint32_t> Changes;
+  std::vector<ChargeRec> *ChargeLog = nullptr;
+  /// Flat per-kind change counters (NumTransformations is small and fixed;
+  /// the old unordered_map hashed on every noteChange in the hot loop).
+  std::array<uint32_t, NumTransformations> Changes{};
+
+  std::unique_ptr<LoopInfo> CachedLI;
+  uint64_t LIEpoch = 0;
+  std::unique_ptr<DominatorTree> CachedDT;
+  uint64_t DTEpoch = 0;
+  std::unique_ptr<GuardFacts> CachedFacts;
+  uint64_t FactsEpoch = 0;
 };
 
 /// Counts how many times each node is referenced (as a treetop root or as a

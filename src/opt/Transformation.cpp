@@ -71,25 +71,9 @@ constexpr TransformationInfo Infos[NumTransformations] = {
     {"leafRoutineOptimization", TransformStage::Codegen, 2.4, 160},
 };
 
-/// One cached scan of the IL for the cheap guard predicates.
-struct GuardFacts {
-  bool HasLoops = false;
-  bool HasAllocation = false;
-  bool HasMonitors = false;
-  bool HasCalls = false;
-  bool HasVirtualCalls = false;
-  bool HasFP = false;
-  bool HasDecimal = false;
-  bool HasLongDouble = false;
-  bool HasThrow = false;
-  bool HasCasts = false;
-  bool HasCheckCast = false;
-  bool HasMemoryLoads = false;
-  bool HasChecks = false;
-  bool UsesUnsafe = false;
-};
+} // namespace
 
-GuardFacts scanFacts(const MethodIL &IL) {
+GuardFacts jitml::scanGuardFacts(const MethodIL &IL) {
   GuardFacts F;
   for (BlockId B = 0; B < IL.numBlocks(); ++B) {
     const Block &Blk = IL.block(B);
@@ -154,8 +138,6 @@ GuardFacts scanFacts(const MethodIL &IL) {
   return F;
 }
 
-} // namespace
-
 const TransformationInfo &jitml::transformationInfo(TransformationKind K) {
   return Infos[(unsigned)K];
 }
@@ -166,7 +148,11 @@ const char *jitml::transformationName(TransformationKind K) {
 
 bool jitml::transformationApplicable(TransformationKind K,
                                      const MethodIL &IL) {
-  GuardFacts F = scanFacts(IL);
+  return transformationApplicable(K, IL, scanGuardFacts(IL));
+}
+
+bool jitml::transformationApplicable(TransformationKind K, const MethodIL &IL,
+                                     const GuardFacts &F) {
   const MethodInfo &M = IL.methodInfo();
   switch (K) {
   case TransformationKind::LoopCanonicalization:

@@ -122,10 +122,37 @@ struct TransformationInfo {
 const TransformationInfo &transformationInfo(TransformationKind K);
 const char *transformationName(TransformationKind K);
 
+/// The cheap method characteristics the applicability guards test, filled
+/// by one scan over the IL. The optimizer caches one of these per IL epoch
+/// in PassContext instead of rescanning the whole method before every plan
+/// entry (scorching plans consult the guard 170+ times per compile).
+struct GuardFacts {
+  bool HasLoops = false;
+  bool HasAllocation = false;
+  bool HasMonitors = false;
+  bool HasCalls = false;
+  bool HasVirtualCalls = false;
+  bool HasFP = false;
+  bool HasDecimal = false;
+  bool HasLongDouble = false;
+  bool HasThrow = false;
+  bool HasCasts = false;
+  bool HasCheckCast = false;
+  bool HasMemoryLoads = false;
+  bool HasChecks = false;
+  bool UsesUnsafe = false;
+};
+
+/// One scan of \p IL for the guard predicates above.
+GuardFacts scanGuardFacts(const MethodIL &IL);
+
 /// Applicability guard: true when running \p K on \p IL can possibly do
 /// something (e.g. loop passes require loops). Inapplicable passes are
 /// skipped without charging their full cost.
 bool transformationApplicable(TransformationKind K, const MethodIL &IL);
+/// Same, against pre-scanned facts for \p IL (avoids the full-method scan).
+bool transformationApplicable(TransformationKind K, const MethodIL &IL,
+                              const GuardFacts &F);
 
 /// A set of transformation kinds as a 58-bit mask (used both for modifiers
 /// and for the codegen option set).

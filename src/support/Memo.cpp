@@ -1,0 +1,38 @@
+//===- support/Memo.cpp ---------------------------------------------------===//
+
+#include "support/Memo.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+using namespace jitml;
+
+namespace {
+
+std::atomic<int> MemoCell{-1}; // -1 = not yet read from the environment
+
+bool readFromEnv() {
+  const char *E = std::getenv("JITML_OPT_MEMO");
+  if (E && (std::strcmp(E, "off") == 0 || std::strcmp(E, "0") == 0))
+    return false;
+  return true;
+}
+
+} // namespace
+
+bool jitml::memoEnabled() {
+  int V = MemoCell.load(std::memory_order_relaxed);
+  if (V < 0) {
+    V = readFromEnv() ? 1 : 0;
+    int Expected = -1;
+    if (!MemoCell.compare_exchange_strong(Expected, V,
+                                          std::memory_order_relaxed))
+      V = Expected;
+  }
+  return V != 0;
+}
+
+void jitml::setMemoEnabled(bool On) {
+  MemoCell.store(On ? 1 : 0, std::memory_order_relaxed);
+}

@@ -1,0 +1,29 @@
+//===- support/Memo.h - Compile-path memoization switch ---------*- C++ -*-===//
+///
+/// \file
+/// The process-wide switch for the compile-path caches: pass memoization in
+/// the optimizer, the PassContext analysis caches (LoopInfo / dominators /
+/// guard facts), and MethodIL's cached live-node count. All of these are
+/// keyed on MethodIL's modification epoch and are bit-identical by
+/// construction; the switch exists purely as a debugging escape hatch
+/// (JITML_OPT_MEMO=off) so a suspected caching bug can be ruled out in one
+/// rerun.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_SUPPORT_MEMO_H
+#define JITML_SUPPORT_MEMO_H
+
+namespace jitml {
+
+/// True unless JITML_OPT_MEMO is "off"/"0" (read once on first use) or a
+/// test/driver turned the caches off via setMemoEnabled. The accessor is a
+/// single relaxed atomic load after initialization.
+bool memoEnabled();
+
+/// Test/driver override; takes effect immediately on all threads.
+void setMemoEnabled(bool On);
+
+} // namespace jitml
+
+#endif // JITML_SUPPORT_MEMO_H

@@ -1,0 +1,337 @@
+//===- tests/EpochMemoTest.cpp - IL epoch / pass memo / kid storage -------===//
+//
+// Covers the compile-path memoization layer: the MethodIL modification
+// epoch protocol (every mutation API bumps, no-op recomputes do not), the
+// optimizer's per-kind pass memo (repeats skipped only at an unchanged
+// epoch, simulated figures bit-identical with the memo on or off), the
+// epoch-keyed analysis caches, and the inline-kids node storage.
+//
+//===----------------------------------------------------------------------===//
+
+#include "TestPrograms.h"
+
+#include "il/ILGenerator.h"
+#include "il/ILVerifier.h"
+#include "il/LoopInfo.h"
+#include "opt/Optimizer.h"
+#include "opt/Passes.h"
+#include "support/Memo.h"
+#include "support/Telemetry.h"
+#include "workloads/Workload.h"
+
+#include <gtest/gtest.h>
+
+using namespace jitml;
+using namespace jitml::testing;
+
+namespace {
+
+/// RAII: force the memo state for one test, restore the default after.
+struct MemoState {
+  explicit MemoState(bool On) { setMemoEnabled(On); }
+  ~MemoState() { setMemoEnabled(true); }
+};
+
+std::unique_ptr<MethodIL> makeLoopIL(Program &P) {
+  uint32_t M = addSumToN(P);
+  return generateIL(P, M);
+}
+
+uint64_t memoHits() {
+  return MetricRegistry::global().counter("opt.memo.hits").value();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// IlEpoch: the modification-epoch protocol
+//===----------------------------------------------------------------------===//
+
+TEST(IlEpoch, EveryMutationApiBumps) {
+  Program P;
+  auto IL = makeLoopIL(P);
+
+  uint64_t E = IL->modEpoch();
+  auto Bumped = [&](const char *What) {
+    EXPECT_GT(IL->modEpoch(), E) << What << " must bump the epoch";
+    E = IL->modEpoch();
+  };
+
+  NodeId A = IL->makeNode(ILOp::ExprStmt, DataType::Void);
+  Bumped("makeNode");
+  NodeId C1 = IL->makeConstI(DataType::Int32, 7);
+  Bumped("makeConstI");
+  IL->makeConstF(DataType::Double, 1.5);
+  Bumped("makeConstF");
+  NodeId Kids[1] = {C1};
+  IL->setKids(A, Kids, 1);
+  Bumped("setKids");
+  (void)IL->node(A); // mutable handout: must assume a write
+  Bumped("mutable node()");
+  (void)IL->block(IL->entryBlock());
+  Bumped("mutable block()");
+  IL->setEntryBlock(IL->entryBlock());
+  Bumped("setEntryBlock");
+  IL->addLocal(DataType::Int32);
+  Bumped("addLocal");
+  BlockId NB = IL->makeBlock();
+  Bumped("makeBlock");
+  IL->addEdge(IL->entryBlock(), NB);
+  Bumped("addEdge");
+  BlockId NB2 = IL->makeBlock();
+  E = IL->modEpoch();
+  IL->replaceEdge(IL->entryBlock(), NB, NB2);
+  Bumped("replaceEdge");
+  IL->recomputePreds();
+  Bumped("recomputePreds");
+}
+
+TEST(IlEpoch, ConstReadsDoNotBump) {
+  Program P;
+  auto IL = makeLoopIL(P);
+  const MethodIL &CIL = *IL;
+  uint64_t E = IL->modEpoch();
+  for (BlockId B = 0; B < CIL.numBlocks(); ++B)
+    for (NodeId Root : CIL.block(B).Trees)
+      (void)CIL.node(Root).Op;
+  (void)CIL.countLiveNodes();
+  (void)CIL.reversePostOrder();
+  EXPECT_EQ(IL->modEpoch(), E) << "const traversal must not bump";
+}
+
+TEST(IlEpoch, ReachabilityRecomputeBumpsOnlyOnChange) {
+  Program P;
+  auto IL = makeLoopIL(P);
+  IL->computeReachability();
+  uint64_t E = IL->modEpoch();
+  IL->computeReachability(); // flags already correct: no-op
+  EXPECT_EQ(IL->modEpoch(), E)
+      << "a reachability recompute that changes nothing must stay quiet";
+}
+
+TEST(IlEpoch, SurgeryHelpersBump) {
+  Program P;
+  auto IL = makeLoopIL(P);
+  PassContext Ctx(*IL);
+  NodeId C = IL->makeConstI(DataType::Int32, 3);
+
+  uint64_t E = IL->modEpoch();
+  Ctx.rewriteToConstI(C, DataType::Int32, 9);
+  EXPECT_GT(IL->modEpoch(), E);
+  E = IL->modEpoch();
+  Ctx.rewriteToLoadLocal(C, DataType::Int32, 0);
+  EXPECT_GT(IL->modEpoch(), E);
+  E = IL->modEpoch();
+  Ctx.cloneTree(C, nullptr);
+  EXPECT_GT(IL->modEpoch(), E);
+}
+
+//===----------------------------------------------------------------------===//
+// OptMemo: the per-kind pass memo
+//===----------------------------------------------------------------------===//
+
+TEST(OptMemo, RepeatSkippedOnlyWhenEpochUnchanged) {
+  Program P;
+  uint32_t M = addSumToN(P);
+
+  // Three DTE entries on stable IL: the first runs, the repeats hit.
+  CompilationPlan Stable;
+  Stable.Level = OptLevel::Cold;
+  Stable.Entries = {TransformationKind::DeadTreeElimination,
+                    TransformationKind::DeadTreeElimination,
+                    TransformationKind::DeadTreeElimination};
+  {
+    auto IL = generateIL(P, M);
+    uint64_t Before = memoHits();
+    optimize(*IL, Stable, BitSet64::allOne(NumTransformations));
+    EXPECT_EQ(memoHits() - Before, 2u)
+        << "two identical reruns at an unchanged epoch must both hit";
+  }
+
+  // A changing pass between the repeats invalidates the memo: the DTE
+  // after the local-value-numbering rewrite must run its body again.
+  CompilationPlan Dirty;
+  Dirty.Level = OptLevel::Cold;
+  Dirty.Entries = {TransformationKind::DeadTreeElimination,
+                   TransformationKind::LocalValueNumbering,
+                   TransformationKind::DeadTreeElimination};
+  {
+    auto IL = generateIL(P, M);
+    PassContext Probe(*IL); // confirm LVN actually changes this method
+    ASSERT_TRUE(runLocalValueNumbering(Probe));
+  }
+  {
+    auto IL = generateIL(P, M);
+    uint64_t Before = memoHits();
+    OptimizeResult R = optimize(*IL, Dirty,
+                                BitSet64::allOne(NumTransformations));
+    EXPECT_TRUE(R.ChangedPasses.contains(
+        TransformationKind::LocalValueNumbering));
+    EXPECT_EQ(memoHits() - Before, 0u)
+        << "a changed epoch between repeats must force a rerun";
+  }
+}
+
+TEST(OptMemo, FiguresBitIdenticalAcrossAllPlans) {
+  Program P;
+  uint32_t M = addSumToN(P);
+  for (unsigned L = 0; L < NumOptLevels; ++L) {
+    OptimizeResult On, Off;
+    uint32_t LiveOn, LiveOff;
+    {
+      MemoState S(true);
+      auto IL = generateIL(P, M);
+      On = optimize(*IL, planForLevel((OptLevel)L),
+                    BitSet64::allOne(NumTransformations));
+      LiveOn = IL->countLiveNodes();
+      EXPECT_TRUE(verifyIL(*IL).empty());
+    }
+    {
+      MemoState S(false);
+      auto IL = generateIL(P, M);
+      Off = optimize(*IL, planForLevel((OptLevel)L),
+                     BitSet64::allOne(NumTransformations));
+      LiveOff = IL->countLiveNodes();
+      EXPECT_TRUE(verifyIL(*IL).empty());
+    }
+    // Bit-identical, not approximately equal: the simulated clock must
+    // not know the memo exists.
+    EXPECT_EQ(On.CompileCycles, Off.CompileCycles)
+        << "level " << optLevelName((OptLevel)L);
+    EXPECT_EQ(On.EntriesRun, Off.EntriesRun);
+    EXPECT_EQ(On.EntriesSkippedInapplicable, Off.EntriesSkippedInapplicable);
+    EXPECT_EQ(LiveOn, LiveOff);
+  }
+}
+
+/// The figure-level regression: one SPECjvm98 cell of the Figure 6 compile
+/// pipeline, byte-identical simulated compile cycles with the memo on/off.
+TEST(OptMemo, Figure6CellBitIdentical) {
+  Program P = buildWorkload(specJvm98Suite().front());
+  const CompilationPlan &Plan = planForLevel(OptLevel::Scorching);
+  for (uint32_t M = 0; M < std::min<uint32_t>(4, P.numMethods()); ++M) {
+    double On, Off;
+    {
+      MemoState S(true);
+      auto IL = generateIL(P, M);
+      On = optimize(*IL, Plan, BitSet64::allOne(NumTransformations))
+               .CompileCycles;
+    }
+    {
+      MemoState S(false);
+      auto IL = generateIL(P, M);
+      Off = optimize(*IL, Plan, BitSet64::allOne(NumTransformations))
+                .CompileCycles;
+    }
+    EXPECT_EQ(On, Off) << "method " << M;
+  }
+}
+
+TEST(OptMemo, StaleLoopInfoNeverServedAfterCfgChange) {
+  Program P;
+  auto IL = makeLoopIL(P);
+  PassContext Ctx(*IL);
+
+  const LoopInfo &LI = Ctx.loopInfo();
+  ASSERT_FALSE(LI.loops().empty()) << "sumToN must contain a loop";
+  BlockId Header = LI.loops().front().Header;
+
+  // Sever the back edge: the loop is gone, and the next analysis request
+  // must observe that rather than serve the cached forest.
+  const Block &HB = const_cast<const MethodIL &>(*IL).block(Header);
+  BlockId Latch = InvalidBlock;
+  for (BlockId Pred : HB.Preds)
+    if (LI.loops().front().contains(Pred))
+      Latch = Pred;
+  ASSERT_NE(Latch, InvalidBlock);
+  IL->block(Latch).Succs.clear();
+  IL->recomputePreds();
+  IL->computeReachability();
+
+  EXPECT_TRUE(Ctx.loopInfo().loops().empty())
+      << "analysis cache served a stale loop forest after a CFG edit";
+}
+
+TEST(OptMemo, EscapeHatchDisablesMemo) {
+  Program P;
+  uint32_t M = addSumToN(P);
+  CompilationPlan Plan;
+  Plan.Level = OptLevel::Cold;
+  Plan.Entries = {TransformationKind::DeadTreeElimination,
+                  TransformationKind::DeadTreeElimination};
+  MemoState S(false);
+  auto IL = generateIL(P, M);
+  uint64_t Before = memoHits();
+  optimize(*IL, Plan, BitSet64::allOne(NumTransformations));
+  EXPECT_EQ(memoHits() - Before, 0u)
+      << "JITML_OPT_MEMO=off must run every body";
+}
+
+//===----------------------------------------------------------------------===//
+// KidList: inline-kids node storage
+//===----------------------------------------------------------------------===//
+
+TEST(KidList, InlineAndPooledKidsRoundTrip) {
+  Program P;
+  auto IL = makeLoopIL(P);
+  const MethodIL &CIL = *IL;
+
+  std::vector<NodeId> Kids;
+  for (int I = 0; I < 5; ++I)
+    Kids.push_back(IL->makeConstI(DataType::Int32, I));
+
+  for (size_t N = 0; N <= Kids.size(); ++N) {
+    std::vector<NodeId> Sub(Kids.begin(), Kids.begin() + (std::ptrdiff_t)N);
+    NodeId Id = IL->makeNode(ILOp::Call, DataType::Int32, Sub);
+    const Node &Made = CIL.node(Id);
+    ASSERT_EQ(Made.numKids(), (unsigned)N);
+    for (size_t I = 0; I < N; ++I)
+      EXPECT_EQ(Made.Kids[I], Sub[I]) << "arity " << N << " kid " << I;
+    size_t Count = 0;
+    for (NodeId K : Made.Kids) { // range-for over both storage layouts
+      EXPECT_EQ(K, Sub[Count]);
+      ++Count;
+    }
+    EXPECT_EQ(Count, N);
+  }
+}
+
+TEST(KidList, SetKidsGrowsAndShrinks) {
+  Program P;
+  auto IL = makeLoopIL(P);
+  const MethodIL &CIL = *IL;
+
+  NodeId A = IL->makeConstI(DataType::Int32, 1);
+  NodeId B = IL->makeConstI(DataType::Int32, 2);
+  NodeId C = IL->makeConstI(DataType::Int32, 3);
+  NodeId Id = IL->makeNode(ILOp::Call, DataType::Int32, {A, B});
+  ASSERT_EQ(CIL.node(Id).numKids(), 2u);
+
+  NodeId Three[3] = {A, B, C}; // inline -> pool
+  IL->setKids(Id, Three, 3);
+  ASSERT_EQ(CIL.node(Id).numKids(), 3u);
+  EXPECT_EQ(CIL.node(Id).Kids[2], C);
+
+  NodeId One[1] = {C}; // pool -> inline
+  IL->setKids(Id, One, 1);
+  ASSERT_EQ(CIL.node(Id).numKids(), 1u);
+  EXPECT_EQ(CIL.node(Id).Kids[0], C);
+}
+
+TEST(KidList, ClearAndEquality) {
+  Program P;
+  auto IL = makeLoopIL(P);
+  NodeId A = IL->makeConstI(DataType::Int32, 1);
+  NodeId B = IL->makeConstI(DataType::Int32, 2);
+  NodeId X = IL->makeNode(ILOp::Add, DataType::Int32, {A, B});
+  NodeId Y = IL->makeNode(ILOp::Add, DataType::Int32, {A, B});
+  NodeId Z = IL->makeNode(ILOp::Add, DataType::Int32, {B, A});
+
+  const MethodIL &CIL = *IL;
+  EXPECT_TRUE(CIL.node(X).Kids == CIL.node(Y).Kids);
+  EXPECT_FALSE(CIL.node(X).Kids == CIL.node(Z).Kids);
+
+  IL->node(X).Kids.clear();
+  EXPECT_EQ(CIL.node(X).numKids(), 0u);
+  EXPECT_FALSE(CIL.node(X).Kids == CIL.node(Y).Kids);
+}
