@@ -30,6 +30,10 @@
 #                speedup gate (BENCH_compile.json), and a short fixed-seed
 #                fuzz smoke re-runs with JITML_OPT_MEMO=off to exercise the
 #                escape hatch
+#   serve        multi-client serving daemon: micro_serve enforces
+#                bit-identical client streams vs the single-client loop,
+#                the >=1.5x cross-client batching speedup, and exact shed
+#                accounting (BENCH_serve.json), plus the Serve ctest suite
 #
 # The script stops at the first failing suite with a non-zero exit, and
 # always ends with a summary table (result + wall time per suite).
@@ -95,7 +99,7 @@ asan_step() {
     cmake -B build-asan -S . -DJITML_SANITIZE=ON &&
     cmake --build build-asan -j"$(nproc)" --target jitml_tests &&
     (cd build-asan && ctest --output-on-failure -j"$(nproc)" -R \
-      'Message\.|Service\.|Transport\.|Resilient\.|BridgeFuzz\.|FaultInjection\.|Chaos\.|Normalizer\.|LabelMap\.|LibLinear\.|Ranker\.|Merger\.|Summaries\.|Corpus\.|ILVerifierDeep\.|FuzzInput\.|Reducer\.|IlEpoch\.|OptMemo\.|KidList\.')
+      'Message\.|Service\.|Transport\.|Resilient\.|BridgeFuzz\.|FaultInjection\.|Chaos\.|Normalizer\.|LabelMap\.|LibLinear\.|Ranker\.|Merger\.|Summaries\.|Corpus\.|ILVerifierDeep\.|FuzzInput\.|Reducer\.|IlEpoch\.|OptMemo\.|KidList\.|Serve\.')
 }
 
 tsan_step() {
@@ -103,7 +107,7 @@ tsan_step() {
     cmake -B build-tsan -S . -DJITML_TSAN=ON &&
     cmake --build build-tsan -j"$(nproc)" --target jitml_tests &&
     (cd build-tsan && ctest --output-on-failure -j"$(nproc)" -R \
-      'CompilationQueue\.|CodeCache\.|AsyncPipeline\.|AsyncVM\.|Differential\.|DifferentialModifier\.|ConcurrentBridge\.|Chaos\.|Oracle\.|Campaign\.|OptMemo\.')
+      'CompilationQueue\.|CodeCache\.|AsyncPipeline\.|AsyncVM\.|Differential\.|DifferentialModifier\.|ConcurrentBridge\.|Chaos\.|Oracle\.|Campaign\.|OptMemo\.|Serve\.')
 }
 
 pipeline_step() {
@@ -141,6 +145,12 @@ opt_perf_step() {
     JITML_OPT_MEMO=off ./build/bench/fuzz_differential --seed 1 --seconds 10 --execs 0
 }
 
+serve_step() {
+  cmake --build build -j"$(nproc)" --target micro_serve jitml_tests &&
+    ./build/bench/micro_serve BENCH_serve.json &&
+    (cd build && ctest --output-on-failure -j"$(nproc)" -R 'Serve\.')
+}
+
 run_suite build build_step
 run_suite tests tests_step
 run_suite asan asan_step
@@ -150,4 +160,5 @@ run_suite telemetry telemetry_step
 run_suite chaos chaos_step
 run_suite verify verify_step
 run_suite opt-perf opt_perf_step
+run_suite serve serve_step
 finish 0

@@ -4,9 +4,12 @@
 Usage:
     trace_summarize.py TRACE.jsonl [--stage STAGE] [--by-level]
 
-For every stage (compile, queue_wait, bridge_request, ...) prints event
-count, total/mean/p50/p95/max duration in microseconds, and how many
-events reported ok=false. Stdlib only.
+For every stage (compile, queue_wait, bridge_request, serve.batch,
+serve.request, ...) prints event count, total/mean/p50/p95/max duration
+in microseconds, and how many events reported ok=false. Stages whose
+events carry an item count — e.g. serve.batch, where items is the number
+of coalesced entries the batch answered — also get total and mean items
+(mean items on serve.batch is the daemon's batch fill). Stdlib only.
 """
 
 import argparse
@@ -52,11 +55,16 @@ def group_key(ev, by_level):
 def summarize(events, by_level=False):
     groups = defaultdict(list)
     failures = defaultdict(int)
+    items = defaultdict(int)
+    items_seen = defaultdict(int)
     for ev in events:
         key = group_key(ev, by_level)
         groups[key].append(float(ev.get("dur_us", 0)))
         if ev.get("ok") is False:
             failures[key] += 1
+        if "items" in ev:
+            items[key] += int(ev["items"])
+            items_seen[key] += 1
     rows = []
     for key in sorted(groups):
         durs = sorted(groups[key])
@@ -71,6 +79,8 @@ def summarize(events, by_level=False):
                 percentile(durs, 95),
                 durs[-1],
                 failures[key],
+                items[key] if items_seen[key] else None,
+                items[key] / items_seen[key] if items_seen[key] else None,
             )
         )
     return rows
@@ -109,13 +119,13 @@ def main(argv):
         return 0 if bad == 0 else 1
 
     header = ("stage", "count", "total_us", "mean_us", "p50_us", "p95_us",
-              "max_us", "failed")
+              "max_us", "failed", "items", "items/ev")
     rows = summarize(events, by_level=args.by_level)
     width = max(len(header[0]), max(len(r[0]) for r in rows))
-    fmt = "%-{0}s %8s %12s %10s %10s %10s %10s %7s".format(width)
+    fmt = "%-{0}s %8s %12s %10s %10s %10s %10s %7s %9s %9s".format(width)
     print(fmt % header)
     print(fmt % tuple("-" * len(h) for h in header))
-    for key, count, total, mean, p50, p95, mx, failed in rows:
+    for key, count, total, mean, p50, p95, mx, failed, itot, imean in rows:
         print(
             fmt
             % (
@@ -127,6 +137,8 @@ def main(argv):
                 "%.0f" % p95,
                 "%.0f" % mx,
                 failed or "",
+                "" if itot is None else itot,
+                "" if imean is None else "%.1f" % imean,
             )
         )
     if bad:

@@ -81,9 +81,7 @@ double getF64(const uint8_t *P) {
 
 } // namespace
 
-bool jitml::sendMessage(Transport &T, const Message &M) {
-  if (JITML_FAULT_POINT("bridge.send.fail"))
-    return false; // simulated send failure before any bytes hit the wire
+void jitml::encodeMessageFrame(const Message &M, std::vector<uint8_t> &Out) {
   std::vector<uint8_t> Payload;
   Payload.push_back((uint8_t)M.Type);
   switch (M.Type) {
@@ -121,18 +119,25 @@ bool jitml::sendMessage(Transport &T, const Message &M) {
     }
     break;
   }
+  putU32(Out, (uint32_t)Payload.size());
+  Out.insert(Out.end(), Payload.begin(), Payload.end());
+}
+
+bool jitml::sendMessage(Transport &T, const Message &M) {
+  if (JITML_FAULT_POINT("bridge.send.fail"))
+    return false; // simulated send failure before any bytes hit the wire
   std::vector<uint8_t> Frame;
-  putU32(Frame, (uint32_t)Payload.size());
-  Frame.insert(Frame.end(), Payload.begin(), Payload.end());
+  encodeMessageFrame(M, Frame);
   return T.writeBytes(Frame.data(), Frame.size());
 }
 
-namespace {
-
 /// Decodes a fully-read payload. The frame was consumed whole, so any
 /// failure here leaves the stream aligned — hence Malformed, not Closed.
-RecvStatus decodePayload(const std::vector<uint8_t> &Payload, Message &Out) {
+RecvStatus jitml::decodeMessagePayload(const std::vector<uint8_t> &Payload,
+                                       Message &Out) {
   Out = Message();
+  if (Payload.empty())
+    return RecvStatus::Malformed;
   Out.Type = (MsgType)Payload[0];
   const uint8_t *P = Payload.data() + 1;
   size_t Rest = Payload.size() - 1;
@@ -212,8 +217,6 @@ RecvStatus decodePayload(const std::vector<uint8_t> &Payload, Message &Out) {
   return RecvStatus::Malformed; // unknown message type
 }
 
-} // namespace
-
 bool jitml::recvMessage(Transport &T, Message &Out) {
   return recvMessageFor(T, Out, /*TimeoutMs=*/-1) == RecvStatus::Ok;
 }
@@ -248,5 +251,5 @@ RecvStatus jitml::recvMessageFor(Transport &T, Message &Out, int TimeoutMs) {
   uint64_t CorruptAt = 0; // arg picks the flipped byte; defaults to byte 0
   if (JITML_FAULT_POINT_ARG("bridge.frame.corrupt", CorruptAt))
     Payload[CorruptAt % Payload.size()] ^= 0x01; // Size >= 1 checked above
-  return decodePayload(Payload, Out);
+  return decodeMessagePayload(Payload, Out);
 }

@@ -38,6 +38,10 @@
 
 namespace jitml {
 
+/// The protocol version both sides announce in Hello. A server rejects a
+/// mismatched client with an Error reply instead of silently proceeding.
+constexpr uint8_t ProtocolVersion = 1;
+
 enum class MsgType : uint8_t {
   Hello = 1,
   Features = 2,
@@ -131,6 +135,19 @@ enum class RecvStatus : uint8_t {
 
 /// Frames and sends \p M. Returns false on transport failure.
 bool sendMessage(Transport &T, const Message &M);
+
+/// Decodes one fully-read frame payload (everything after the u32 length
+/// prefix). Returns Ok or Malformed — never Timeout/Closed, since the
+/// bytes are already in hand. Exposed for event-loop servers that
+/// reassemble frames from a byte buffer instead of blocking in
+/// recvMessage.
+RecvStatus decodeMessagePayload(const std::vector<uint8_t> &Payload,
+                                Message &Out);
+
+/// Serializes \p M into a complete frame (length prefix included),
+/// appending to \p Out. The writing half of decodeMessagePayload for
+/// buffered servers.
+void encodeMessageFrame(const Message &M, std::vector<uint8_t> &Out);
 
 /// Receives one frame. Returns false on EOF, transport failure, or a
 /// malformed frame.

@@ -2,12 +2,18 @@
 
 #include "bridge/ModelService.h"
 
+#include "support/Telemetry.h"
+
 using namespace jitml;
 
 ModelBackend::~ModelBackend() = default;
 
-uint64_t jitml::serveModel(Transport &T, ModelBackend &Backend) {
-  uint64_t Served = 0;
+ServeStats jitml::serveModel(Transport &T, ModelBackend &Backend) {
+  MetricRegistry &R = MetricRegistry::global();
+  TelemetryCounter &ServedCtr = R.counter("bridge.served");
+  TelemetryCounter &DegradedCtr = R.counter("bridge.degraded");
+  TelemetryCounter &HelloRejectCtr = R.counter("bridge.hello_rejects");
+  ServeStats Stats;
   Message In;
   for (;;) {
     RecvStatus S = recvMessageFor(T, In, /*TimeoutMs=*/-1);
@@ -19,18 +25,27 @@ uint64_t jitml::serveModel(Transport &T, ModelBackend &Backend) {
       Reply.Type = MsgType::Error;
       Reply.Text = "malformed frame";
       if (!sendMessage(T, Reply))
-        return Served;
+        return Stats;
       continue;
     }
     if (S != RecvStatus::Ok)
-      return Served; // EOF, broken pipe, or unframeable garbage
+      return Stats; // EOF, broken pipe, or unframeable garbage
     switch (In.Type) {
     case MsgType::Hello: {
       Message Reply;
-      Reply.Type = MsgType::Hello;
-      Reply.Version = 1;
+      if (In.Version != ProtocolVersion) {
+        // A silent "Version=1" answer to a v2 client would let the session
+        // proceed on a dialect neither side actually speaks; reject it.
+        ++Stats.HelloRejects;
+        HelloRejectCtr.add();
+        Reply.Type = MsgType::Error;
+        Reply.Text = "unsupported protocol version";
+      } else {
+        Reply.Type = MsgType::Hello;
+        Reply.Version = ProtocolVersion;
+      }
       if (!sendMessage(T, Reply))
-        return Served;
+        return Stats;
       break;
     }
     case MsgType::Features: {
@@ -41,7 +56,7 @@ uint64_t jitml::serveModel(Transport &T, ModelBackend &Backend) {
         Reply.Type = MsgType::Error;
         Reply.Text = "feature count mismatch";
         if (!sendMessage(T, Reply))
-          return Served;
+          return Stats;
         break;
       }
       std::optional<uint64_t> Bits =
@@ -50,13 +65,16 @@ uint64_t jitml::serveModel(Transport &T, ModelBackend &Backend) {
       if (Bits) {
         Reply.Type = MsgType::Modifier;
         Reply.ModifierBits = *Bits;
+        ++Stats.Served;
+        ServedCtr.add();
       } else {
         Reply.Type = MsgType::Error;
         Reply.Text = "no model for level";
+        ++Stats.Degraded;
+        DegradedCtr.add();
       }
       if (!sendMessage(T, Reply))
-        return Served;
-      ++Served;
+        return Stats;
       break;
     }
     case MsgType::FeatureBatch: {
@@ -68,44 +86,51 @@ uint64_t jitml::serveModel(Transport &T, ModelBackend &Backend) {
       Reply.BatchModifiers.resize(In.BatchFeatures.size());
       for (size_t I = 0; I < In.BatchFeatures.size(); ++I) {
         const BatchFeatureEntry &E = In.BatchFeatures[I];
-        if (E.FeatureValues.size() != NumFeatures)
-          continue; // HasModifier stays false
+        if (E.FeatureValues.size() != NumFeatures) {
+          ++Stats.Degraded; // HasModifier stays false
+          DegradedCtr.add();
+          continue;
+        }
         std::optional<uint64_t> Bits =
             Backend.predictModifier(E.Level, E.FeatureValues);
         if (Bits) {
           Reply.BatchModifiers[I].HasModifier = true;
           Reply.BatchModifiers[I].Bits = *Bits;
-          ++Served;
+          ++Stats.Served;
+          ServedCtr.add();
+        } else {
+          ++Stats.Degraded;
+          DegradedCtr.add();
         }
       }
       if (!sendMessage(T, Reply))
-        return Served;
+        return Stats;
       break;
     }
     case MsgType::Bye:
-      return Served;
+      return Stats;
     default: {
       Message Reply;
       Reply.Type = MsgType::Error;
       Reply.Text = "unexpected message";
       if (!sendMessage(T, Reply))
-        return Served;
+        return Stats;
       break;
     }
     }
   }
-  return Served;
+  return Stats;
 }
 
 bool ModelClient::hello() {
   Message M;
   M.Type = MsgType::Hello;
-  M.Version = 1;
+  M.Version = ProtocolVersion;
   if (!sendMessage(T, M))
     return false;
   Message Reply;
   return recvMessage(T, Reply) && Reply.Type == MsgType::Hello &&
-         Reply.Version == 1;
+         Reply.Version == ProtocolVersion;
 }
 
 std::optional<uint64_t>

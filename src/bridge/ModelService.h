@@ -32,9 +32,23 @@ public:
   predictModifier(OptLevel Level, const std::vector<double> &RawFeatures) = 0;
 };
 
+/// What one serveModel session answered, broken down by outcome — a
+/// Modifier reply is not the same thing as an Error reply ("no model for
+/// level"), and callers sizing a deployment need to see the difference.
+struct ServeStats {
+  uint64_t Served = 0;       ///< Features answered with a real Modifier
+  uint64_t Degraded = 0;     ///< Features answered with Error / has=0
+  uint64_t HelloRejects = 0; ///< Hello frames with a mismatched version
+
+  uint64_t answered() const { return Served + Degraded; }
+};
+
 /// Serves one connection: replies to Hello and Features, stops on Bye or
-/// transport EOF. Returns the number of predictions served.
-uint64_t serveModel(Transport &T, ModelBackend &Backend);
+/// transport EOF. Hello frames announcing a protocol version other than
+/// ProtocolVersion are rejected with an Error reply. The stats are also
+/// mirrored process-wide as bridge.served / bridge.degraded /
+/// bridge.hello_rejects counters.
+ServeStats serveModel(Transport &T, ModelBackend &Backend);
 
 class ModelClient {
 public:

@@ -7,9 +7,12 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstring>
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 using namespace jitml;
@@ -215,4 +218,180 @@ IoStatus FifoTransport::readBytesFor(uint8_t *Data, size_t Size,
     Done += (size_t)N;
   }
   return IoStatus::Ok;
+}
+
+//===----------------------------------------------------------------------===//
+// SocketTransport / SocketListener
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Fills \p Addr for \p Path; false when the path exceeds sun_path.
+bool fillSockAddr(const std::string &Path, sockaddr_un &Addr) {
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return false;
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+} // namespace
+
+SocketTransport::~SocketTransport() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+std::unique_ptr<SocketTransport>
+SocketTransport::connect(const std::string &Path) {
+  sockaddr_un Addr;
+  if (!fillSockAddr(Path, Addr))
+    return nullptr;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return nullptr;
+  int R;
+  do {
+    R = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  } while (R < 0 && errno == EINTR);
+  if (R < 0) {
+    ::close(Fd);
+    return nullptr;
+  }
+  return std::unique_ptr<SocketTransport>(new SocketTransport(Fd));
+}
+
+bool SocketTransport::writeBytes(const uint8_t *Data, size_t Size) {
+  if (JITML_FAULT_POINT("transport.write.fail"))
+    return false; // simulated dead socket: nothing reaches the peer
+  size_t Done = 0;
+  while (Done < Size) {
+    ssize_t N = ::send(Fd, Data + Done, Size - Done, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false; // EPIPE/ECONNRESET: the peer went away
+    }
+    if (N == 0)
+      return false;
+    Done += (size_t)N;
+  }
+  return true;
+}
+
+bool SocketTransport::readBytes(uint8_t *Data, size_t Size) {
+  if (JITML_FAULT_POINT("transport.read.short"))
+    return false; // simulated short read / peer hangup
+  size_t Done = 0;
+  while (Done < Size) {
+    ssize_t N = ::read(Fd, Data + Done, Size - Done);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false; // EOF: peer closed
+    Done += (size_t)N;
+  }
+  return true;
+}
+
+IoStatus SocketTransport::readBytesFor(uint8_t *Data, size_t Size,
+                                       int TimeoutMs) {
+  if (JITML_FAULT_POINT("transport.read.short"))
+    return IoStatus::Closed;
+  if (JITML_FAULT_POINT("transport.read.timeout"))
+    return IoStatus::Timeout; // reply never arrives within the deadline
+  uint64_t DelayMs = 10;
+  if (JITML_FAULT_POINT_ARG("transport.read.delay", DelayMs))
+    faultDelayMs(DelayMs); // slow peer: data arrives, but late
+  if (TimeoutMs < 0)
+    return readBytes(Data, Size) ? IoStatus::Ok : IoStatus::Closed;
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Deadline =
+      Clock::now() + std::chrono::milliseconds(TimeoutMs);
+  size_t Done = 0;
+  while (Done < Size) {
+    auto Left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        Deadline - Clock::now());
+    int Wait = Left.count() > 0 ? (int)Left.count() : 0;
+    struct pollfd Pfd = {Fd, POLLIN, 0};
+    int R = ::poll(&Pfd, 1, Wait);
+    if (R < 0) {
+      if (errno == EINTR)
+        continue;
+      return IoStatus::Closed;
+    }
+    if (R == 0)
+      return IoStatus::Timeout;
+    // POLLHUP may still have buffered bytes to drain; let read() decide.
+    ssize_t N = ::read(Fd, Data + Done, Size - Done);
+    if (N < 0) {
+      if (errno == EINTR || errno == EAGAIN)
+        continue;
+      return IoStatus::Closed;
+    }
+    if (N == 0)
+      return IoStatus::Closed; // EOF
+    Done += (size_t)N;
+  }
+  return IoStatus::Ok;
+}
+
+ssize_t SocketTransport::readSome(uint8_t *Data, size_t Cap) {
+  for (;;) {
+    ssize_t N = ::read(Fd, Data, Cap);
+    if (N < 0 && errno == EINTR)
+      continue;
+    return N;
+  }
+}
+
+SocketListener::~SocketListener() { close(); }
+
+void SocketListener::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  if (!Path.empty()) {
+    ::unlink(Path.c_str());
+    Path.clear();
+  }
+}
+
+std::unique_ptr<SocketListener> SocketListener::listen(const std::string &Path,
+                                                       int Backlog) {
+  sockaddr_un Addr;
+  if (!fillSockAddr(Path, Addr))
+    return nullptr;
+  ::unlink(Path.c_str()); // a stale socket file would make bind fail
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0)
+    return nullptr;
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0 ||
+      ::listen(Fd, Backlog) != 0) {
+    ::close(Fd);
+    return nullptr;
+  }
+  return std::unique_ptr<SocketListener>(new SocketListener(Fd, Path));
+}
+
+std::unique_ptr<SocketTransport> SocketListener::accept() {
+  int Conn;
+  do {
+    Conn = ::accept(Fd, nullptr, nullptr);
+  } while (Conn < 0 && errno == EINTR);
+  if (Conn < 0)
+    return nullptr;
+  if (JITML_FAULT_POINT("serve.accept.fail")) {
+    // Simulated accept failure AFTER the kernel handed us the connection:
+    // drop it so the client sees a clean EOF and the poll loop does not
+    // spin on a forever-pending backlog entry.
+    ::close(Conn);
+    return nullptr;
+  }
+  return std::unique_ptr<SocketTransport>(new SocketTransport(Conn));
 }

@@ -11,6 +11,10 @@
 ///    communication between Testarossa and the model uses named pipes ...
 ///    a flexible prototype enabling the machine-learned model to be
 ///    replaced without any change to the rest of the infrastructure."
+///  * SocketTransport / SocketListener — Unix-domain SOCK_STREAM. Unlike a
+///    FIFO pair, one listening socket accepts any number of concurrent
+///    clients, which is what the multi-client serving daemon (src/serve)
+///    is built on. The framed Message protocol is unchanged.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -23,6 +27,7 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <sys/types.h>
 
 namespace jitml {
 
@@ -93,6 +98,66 @@ private:
   FifoTransport(int ReadFd, int WriteFd) : ReadFd(ReadFd), WriteFd(WriteFd) {}
   int ReadFd = -1;
   int WriteFd = -1;
+};
+
+/// Unix-domain stream socket endpoint. Client side connects with
+/// connect(); the server side gets one per accepted connection from
+/// SocketListener::accept(). Writes use MSG_NOSIGNAL so a client that
+/// vanished mid-reply surfaces as a failed write, not a fatal SIGPIPE.
+class SocketTransport : public Transport {
+public:
+  ~SocketTransport() override;
+
+  /// Connects to the daemon listening at \p Path; nullptr when nobody is
+  /// listening (the resilient client's factory treats that as "service
+  /// unreachable right now").
+  static std::unique_ptr<SocketTransport> connect(const std::string &Path);
+
+  bool writeBytes(const uint8_t *Data, size_t Size) override;
+  bool readBytes(uint8_t *Data, size_t Size) override;
+  /// poll(2)-based deadline; a Timeout may leave a partially-consumed
+  /// frame in the stream, so the connection must be abandoned afterwards.
+  IoStatus readBytesFor(uint8_t *Data, size_t Size, int TimeoutMs) override;
+
+  /// One read(2) of whatever is available (up to \p Cap bytes). For event
+  /// loops that poll the descriptor themselves: returns the byte count,
+  /// 0 on EOF, -1 on error. Blocks only when the socket holds no data, so
+  /// call it after poll() reported readability.
+  ssize_t readSome(uint8_t *Data, size_t Cap);
+
+  /// Raw descriptor for poll()-driven servers.
+  int fd() const { return Fd; }
+
+private:
+  friend class SocketListener;
+  explicit SocketTransport(int Fd) : Fd(Fd) {}
+  int Fd = -1;
+};
+
+/// The accepting side of a Unix-domain socket. Owns the listening
+/// descriptor and unlinks the socket path on close.
+class SocketListener {
+public:
+  ~SocketListener();
+
+  /// Binds and listens at \p Path (unlinking a stale socket file first);
+  /// nullptr when bind/listen fails.
+  static std::unique_ptr<SocketListener> listen(const std::string &Path,
+                                                int Backlog = 64);
+
+  /// Accepts one pending connection; nullptr on failure (including the
+  /// forced "serve.accept.fail" fault, which still consumes the pending
+  /// connection so an accept storm cannot wedge the poll loop).
+  std::unique_ptr<SocketTransport> accept();
+
+  int fd() const { return Fd; }
+  const std::string &path() const { return Path; }
+  void close();
+
+private:
+  SocketListener(int Fd, std::string Path) : Fd(Fd), Path(std::move(Path)) {}
+  int Fd = -1;
+  std::string Path;
 };
 
 } // namespace jitml

@@ -1,0 +1,43 @@
+//===- support/Env.h - Typed environment-variable lookups -------*- C++ -*-===//
+///
+/// \file
+/// Small helpers for the JITML_* configuration knobs. Every subsystem that
+/// reads its config from the environment (thread pool, trace emitter,
+/// serving daemon) wants the same three lines: getenv, parse, fall back to
+/// the default on absent/garbage input. Garbage never aborts — a knob that
+/// does not parse keeps its default, matching the fail-safe posture of the
+/// rest of the configuration surface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef JITML_SUPPORT_ENV_H
+#define JITML_SUPPORT_ENV_H
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace jitml {
+
+/// $Name parsed as a non-negative integer; \p Default when unset or
+/// unparseable (trailing garbage counts as unparseable).
+inline uint64_t envU64(const char *Name, uint64_t Default) {
+  const char *V = std::getenv(Name);
+  if (!V || !*V)
+    return Default;
+  char *End = nullptr;
+  unsigned long long Parsed = std::strtoull(V, &End, 10);
+  if (End == V || *End != '\0')
+    return Default;
+  return (uint64_t)Parsed;
+}
+
+/// $Name as a string; \p Default when unset (empty string counts as unset).
+inline std::string envString(const char *Name, const std::string &Default) {
+  const char *V = std::getenv(Name);
+  return (V && *V) ? std::string(V) : Default;
+}
+
+} // namespace jitml
+
+#endif // JITML_SUPPORT_ENV_H

@@ -682,3 +682,194 @@ TEST(Chaos, SubsystemScheduleReplaysBitIdentically) {
   EXPECT_EQ(A, B);
   EXPECT_NE(A, C);
 }
+
+//===----------------------------------------------------------------------===//
+// Chaos: the serving daemon (src/serve)
+//===----------------------------------------------------------------------===//
+
+#include "serve/Server.h"
+
+namespace {
+
+/// Minimal real ModelSet for the daemon: identity scaling, 2-class linear
+/// model over Cold/Warm/Hot, label bits keyed off \p BitsBase.
+ModelSet serveChaosModelSet(uint64_t BitsBase) {
+  std::string ScalingText;
+  for (unsigned I = 0; I < NumFeatures; ++I)
+    ScalingText += std::to_string(I) + " 0 1\n";
+  ModelSet Set;
+  for (unsigned L = 0; L < 3; ++L) {
+    LevelModel &LM = Set.Levels[L];
+    EXPECT_TRUE(Scaling::fromText(ScalingText, LM.Scale));
+    LM.Labels.labelFor(BitsBase + 10 * L + 1);
+    LM.Labels.labelFor(BitsBase + 10 * L + 2);
+    LM.Model = LinearModel(2, NumFeatures);
+    LM.Model.weight(0, 0) = 1.0;
+    LM.Model.weight(1, 1) = 1.0;
+    LM.Valid = true;
+  }
+  return Set;
+}
+
+std::string serveChaosSocket(const char *Tag) {
+  return "/tmp/jitml-chaos-" + std::to_string(::getpid()) + "-" + Tag +
+         ".sock";
+}
+
+FeatureVector serveChaosFeatures(unsigned I) {
+  FeatureVector F;
+  F.set(0, I % 2 ? 5 : 1);
+  F.set(1, I % 2 ? 1 : 5);
+  F.set(3, I);
+  return F;
+}
+
+std::unique_ptr<ResilientModelClient>
+serveChaosClient(const std::string &Path) {
+  ResilientModelClient::Config C = fastConfig();
+  C.RequestTimeoutMs = 10000; // the daemon answers; only EOFs degrade
+  C.CacheCapacity = 0;
+  C.CacheErrorReplies = false;
+  return std::make_unique<ResilientModelClient>(
+      [Path]() -> std::unique_ptr<Transport> {
+        return SocketTransport::connect(Path);
+      },
+      C);
+}
+
+} // namespace
+
+TEST(Chaos, ServeForcedShedIsCountedExactlyAndFallsBack) {
+  // Every 3rd admission decision sheds. The shed requests must surface as
+  // client-side fallbacks — never wrong bits — and the daemon's shed
+  // counter must equal the fault point's fire count exactly.
+  ModelRegistry Registry;
+  Registry.install(serveChaosModelSet(100));
+  ServeConfig Cfg;
+  Cfg.SocketPath = serveChaosSocket("shed");
+  Cfg.CacheCapacity = 0; // admission control sees every request
+  ModelServer Server(Registry, Cfg);
+  ASSERT_TRUE(Server.start());
+  std::shared_ptr<const ServeModel> M = Registry.snapshot();
+
+  FaultGuard G("serve.shed=n3");
+  auto Client = serveChaosClient(Cfg.SocketPath);
+  constexpr unsigned N = 30;
+  unsigned Fallbacks = 0, Wrong = 0;
+  for (unsigned I = 0; I < N; ++I) {
+    FeatureVector F = serveChaosFeatures(I);
+    std::optional<uint64_t> Got =
+        Client->requestModifier(OptLevel::Warm, F);
+    if (!Got)
+      ++Fallbacks;
+    else if (*Got != *M->predict(OptLevel::Warm, F))
+      ++Wrong;
+  }
+  Client.reset();
+  Server.stop();
+
+  EXPECT_EQ(Wrong, 0u);
+  EXPECT_EQ(hits("serve.shed"), (uint64_t)N);
+  EXPECT_EQ(fires("serve.shed"), (uint64_t)(N / 3));
+  ModelServer::Stats S = Server.stats();
+  EXPECT_EQ(S.Shed, fires("serve.shed"));
+  EXPECT_EQ((uint64_t)Fallbacks, S.Shed);
+  EXPECT_EQ(S.Served, (uint64_t)(N - N / 3));
+}
+
+TEST(Chaos, ServeReloadFailureKeepsPriorModelServing) {
+  // A reload that tears mid-read must leave the prior version serving:
+  // reloadFromFile reports failure, the version stays, clients keep
+  // getting the old bits.
+  ModelRegistry Registry;
+  uint64_t V1 = Registry.install(serveChaosModelSet(100));
+  ServeConfig Cfg;
+  Cfg.SocketPath = serveChaosSocket("reload");
+  ModelServer Server(Registry, Cfg);
+  ASSERT_TRUE(Server.start());
+
+  std::string Path = serveChaosSocket("reload-bundle") + ".txt";
+  std::string Bundle = ModelRegistry::bundleText(serveChaosModelSet(500));
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  ASSERT_NE(F, nullptr);
+  std::fwrite(Bundle.data(), 1, Bundle.size(), F);
+  std::fclose(F);
+
+  {
+    FaultGuard G("serve.reload.torn=always");
+    EXPECT_FALSE(Registry.reloadFromFile(Path)); // valid file, torn read
+    EXPECT_GE(fires("serve.reload.torn"), 1u);
+    EXPECT_EQ(Registry.version(), V1);
+    EXPECT_EQ(Registry.reloadFailures(), 1u);
+
+    auto Client = serveChaosClient(Cfg.SocketPath);
+    std::optional<uint64_t> Got =
+        Client->requestModifier(OptLevel::Cold, serveChaosFeatures(1));
+    ASSERT_TRUE(Got.has_value());
+    EXPECT_TRUE(*Got >= 100 && *Got < 130) << *Got; // version A bits
+  }
+
+  // Fault cleared: the same file now installs, and new answers use it.
+  EXPECT_TRUE(Registry.reloadFromFile(Path));
+  EXPECT_GT(Registry.version(), V1);
+  auto Client = serveChaosClient(Cfg.SocketPath);
+  std::optional<uint64_t> Got =
+      Client->requestModifier(OptLevel::Cold, serveChaosFeatures(2));
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_TRUE(*Got >= 500 && *Got < 530) << *Got; // version B bits
+  Server.stop();
+  std::remove(Path.c_str());
+}
+
+TEST(Chaos, ServeAcceptFailStormLeavesExistingSessionsIntact) {
+  // An accept-failure storm must only affect NEW connections: the victims
+  // see a clean EOF and degrade to fallback, established sessions keep
+  // answering correctly, and the daemon recovers the moment the storm
+  // passes.
+  ModelRegistry Registry;
+  Registry.install(serveChaosModelSet(100));
+  ServeConfig Cfg;
+  Cfg.SocketPath = serveChaosSocket("acceptfail");
+  ModelServer Server(Registry, Cfg);
+  ASSERT_TRUE(Server.start());
+  std::shared_ptr<const ServeModel> M = Registry.snapshot();
+
+  auto Established = serveChaosClient(Cfg.SocketPath);
+  FeatureVector F0 = serveChaosFeatures(0);
+  ASSERT_EQ(Established->requestModifier(OptLevel::Hot, F0),
+            M->predict(OptLevel::Hot, F0));
+
+  {
+    FaultGuard G("serve.accept.fail=always");
+    // New connections die at accept: clean fallback, no wrong bits.
+    ResilientModelClient::Config C = fastConfig();
+    C.CacheCapacity = 0;
+    ResilientModelClient Victim(
+        [&]() -> std::unique_ptr<Transport> {
+          return SocketTransport::connect(Cfg.SocketPath);
+        },
+        C);
+    EXPECT_FALSE(Victim.requestModifier(OptLevel::Warm,
+                                        serveChaosFeatures(1))
+                     .has_value());
+    EXPECT_GE(fires("serve.accept.fail"), 1u);
+
+    // The established session rides out the storm untouched.
+    for (unsigned I = 2; I < 12; ++I) {
+      FeatureVector F = serveChaosFeatures(I);
+      EXPECT_EQ(Established->requestModifier(OptLevel::Hot, F),
+                M->predict(OptLevel::Hot, F))
+          << "request " << I;
+    }
+  }
+
+  // Storm over: fresh connections serve again.
+  auto Fresh = serveChaosClient(Cfg.SocketPath);
+  FeatureVector F9 = serveChaosFeatures(99);
+  EXPECT_EQ(Fresh->requestModifier(OptLevel::Cold, F9),
+            M->predict(OptLevel::Cold, F9));
+  ModelServer::Stats S = Server.stats();
+  EXPECT_GE(S.AcceptFails, 1u);
+  EXPECT_GE(S.Accepts, 2u);
+  Server.stop();
+}
